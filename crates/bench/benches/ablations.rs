@@ -1,0 +1,137 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * walk-scheme length `ℓmax` ∈ {1, 2, 3} — cost of the richer target set,
+//! * embedding dimension `d` — the quadratic `ψ` cost,
+//! * exact (BFS) vs Monte-Carlo `KD` evaluation,
+//! * `nnew_samples` — the size/cost of the dynamic linear system.
+//!
+//! Run with: `cargo bench -p bench --bench ablations`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::DatasetParams;
+use rand::SeedableRng;
+use std::hint::black_box;
+use stembed_core::kd::{kd_exact, kd_monte_carlo, KdOptions};
+use stembed_core::kernel::KernelAssignment;
+use stembed_core::schemes::enumerate_schemes;
+use stembed_core::walkdist::destination_value_distribution;
+use stembed_core::{ForwardConfig, ForwardEmbedding};
+
+fn tiny_ds() -> datasets::Dataset {
+    datasets::hepatitis::generate(&DatasetParams { scale: 0.06, ..Default::default() })
+}
+
+fn bench_walk_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_lmax");
+    group.sample_size(10);
+    let ds = tiny_ds();
+    for lmax in [1usize, 2, 3] {
+        let cfg = ForwardConfig {
+            dim: 16,
+            epochs: 3,
+            nsamples: 10,
+            max_walk_len: lmax,
+            ..ForwardConfig::small()
+        };
+        group.bench_with_input(BenchmarkId::new("train", lmax), &lmax, |b, _| {
+            b.iter(|| {
+                let emb =
+                    ForwardEmbedding::train(&ds.db, ds.prediction_rel, &cfg, 3).unwrap();
+                black_box(emb.targets().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dimension(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dim");
+    group.sample_size(10);
+    let ds = tiny_ds();
+    for dim in [16usize, 48, 100] {
+        let cfg = ForwardConfig {
+            dim,
+            epochs: 3,
+            nsamples: 10,
+            max_walk_len: 2,
+            ..ForwardConfig::small()
+        };
+        group.bench_with_input(BenchmarkId::new("train", dim), &dim, |b, _| {
+            b.iter(|| {
+                let emb =
+                    ForwardEmbedding::train(&ds.db, ds.prediction_rel, &cfg, 3).unwrap();
+                black_box(emb.dim())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_kd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_kd");
+    let ds = tiny_ds();
+    let schema = ds.db.schema();
+    let kernels = KernelAssignment::defaults(&ds.db);
+    let scheme = enumerate_schemes(schema, ds.prediction_rel, 1, false)
+        .into_iter()
+        .find(|s| s.len() == 1)
+        .expect("a backward scheme exists");
+    // Target: a non-FK attribute of the scheme's end relation.
+    let end = scheme.end(schema);
+    let attr = (0..schema.relation(end).arity())
+        .find(|&a| !schema.attr_in_any_fk(end, a))
+        .expect("non-FK attribute");
+    let f1 = ds.labels[0].0;
+    let f2 = ds.labels[1].0;
+    let opts = KdOptions::default();
+
+    group.bench_function("kd_exact_bfs", |b| {
+        b.iter(|| {
+            let p = destination_value_distribution(&ds.db, &scheme, attr, f1, 4096)
+                .expect("exists");
+            let q = destination_value_distribution(&ds.db, &scheme, attr, f2, 4096)
+                .expect("exists");
+            black_box(kd_exact(&kernels, end, attr, &p, &q))
+        })
+    });
+    group.bench_function("kd_monte_carlo_48", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        b.iter(|| {
+            black_box(
+                kd_monte_carlo(&ds.db, &kernels, &scheme, attr, f1, f2, &opts, &mut rng)
+                    .expect("exists"),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_nnew_samples(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_nnew_samples");
+    group.sample_size(10);
+    let ds = tiny_ds();
+    let mut db = ds.db.clone();
+    let victim = ds.labels[0].0;
+    let journal = reldb::cascade_delete(&mut db, victim, true).unwrap();
+    let cfg = ForwardConfig { dim: 16, epochs: 3, nsamples: 10, ..ForwardConfig::small() };
+    let trained = ForwardEmbedding::train(&db, ds.prediction_rel, &cfg, 3).unwrap();
+    reldb::restore_journal(&mut db, &journal).unwrap();
+    for nnew in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("extend", nnew), &nnew, |b, &nnew| {
+            b.iter_batched(
+                || trained.clone(),
+                |mut emb| {
+                    let opts =
+                        stembed_core::ExtendOptions { nnew_samples: Some(nnew) };
+                    emb.extend_with(&db, victim, 5, opts).unwrap();
+                    black_box(emb.embedding(victim).map(|v| v[0]))
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_walk_length, bench_dimension, bench_kd, bench_nnew_samples);
+criterion_main!(benches);

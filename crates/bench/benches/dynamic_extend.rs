@@ -1,0 +1,59 @@
+//! Benchmarks behind **Table VI**: time to embed a single newly inserted
+//! tuple. The paper's headline to reproduce: in the one-by-one regime,
+//! FoRWaRD (one linear solve) beats Node2Vec (SGD continuation) on every
+//! dataset.
+//!
+//! Run with: `cargo bench -p bench --bench dynamic_extend`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::DatasetParams;
+use repro::{AnyEmbedder, ExperimentConfig, Method};
+use reldb::cascade_delete;
+use std::hint::black_box;
+use stembed_core::embedder::ExtendMode;
+
+fn bench_extend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extend_one_tuple");
+    group.sample_size(10);
+    let mut cfg = ExperimentConfig::quick();
+    cfg.data.scale = 0.08;
+    cfg.fwd.epochs = 4;
+    cfg.n2v.epochs = 2;
+    let params = DatasetParams { scale: 0.08, ..DatasetParams::default() };
+
+    for name in ["hepatitis", "genes"] {
+        for method in Method::all() {
+            // Setup outside the measured loop: remove one tuple, train,
+            // re-insert. The measured operation is `extend` alone, on a
+            // fresh clone of the trained embedder per iteration.
+            let ds = datasets::by_name(name, &params).expect("dataset");
+            let mut db = ds.db.clone();
+            let victim = ds.labels[0].0;
+            let journal = cascade_delete(&mut db, victim, true).expect("cascade");
+            let trained =
+                AnyEmbedder::train(method, &db, &ds, &cfg, 3, ExtendMode::OneByOne)
+                    .expect("training");
+            let restored =
+                reldb::restore_journal(&mut db, &journal).expect("restore");
+
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), name),
+                &method,
+                |b, _| {
+                    b.iter_batched(
+                        || trained.clone(),
+                        |mut emb| {
+                            emb.extend(&db, &restored, 9).expect("extend");
+                            black_box(emb.embedding(victim).map(|v| v[0]))
+                        },
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extend);
+criterion_main!(benches);

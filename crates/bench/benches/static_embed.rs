@@ -1,0 +1,48 @@
+//! Benchmarks behind **Table V**: static embedding wall-clock for both
+//! methods. The paper's observation to reproduce: Node2Vec trains faster
+//! than FoRWaRD on every dataset (ratios 1.2–2.9×).
+//!
+//! Run with: `cargo bench -p bench --bench static_embed`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repro::{AnyEmbedder, ExperimentConfig, Method};
+use std::hint::black_box;
+use stembed_core::embedder::ExtendMode;
+
+fn bench_static(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_embed");
+    group.sample_size(10);
+    let mut cfg = ExperimentConfig::quick();
+    // Keep the benchmark itself snappy; relative method cost is the point.
+    cfg.data.scale = 0.08;
+    cfg.fwd.epochs = 5;
+    cfg.n2v.epochs = 2;
+
+    for name in ["hepatitis", "genes", "world"] {
+        let ds = datasets::by_name(name, &cfg.data).expect("dataset");
+        for method in Method::all() {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), name),
+                &method,
+                |b, &method| {
+                    b.iter(|| {
+                        let emb = AnyEmbedder::train(
+                            method,
+                            &ds.db,
+                            &ds,
+                            &cfg,
+                            7,
+                            ExtendMode::OneByOne,
+                        )
+                        .expect("training");
+                        black_box(emb.embedding(ds.labels[0].0).map(|v| v[0]))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_static);
+criterion_main!(benches);

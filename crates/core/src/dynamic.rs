@@ -1,0 +1,308 @@
+//! FoRWaRD dynamic phase: extending the embedding to new tuples
+//! (paper §V-E).
+//!
+//! For a newly inserted `R`-fact `f_new` we want `ϕ(f_new)` to satisfy
+//! Eq. 6 against already-embedded facts:
+//!
+//! ```text
+//! ϕ(f_new)ᵀ · ψ(s,A) · ϕ(f_old) = KD(d_{s,f_old}[A], d_{s,f_new}[A])
+//! ```
+//!
+//! Each choice of `(f_old, s, A)` contributes one linear equation
+//! `cᵀ ϕ(f_new) = y` with `c = ψ(s,A)·ϕ(f_old)` (Eq. 7) and
+//! `y` the KD value (Eq. 8). Stacking `n_new_samples` equations per target
+//! yields the overdetermined system `C·ϕ(f_new) = b` (Eq. 9), solved with
+//! the SVD **pseudoinverse** `ϕ(f_new) = C⁺·b` (Eq. 10) — no gradient
+//! descent, which is exactly why FoRWaRD's one-by-one extension is fast
+//! (paper Table VI).
+//!
+//! Crucially, **no existing embedding changes**: the method writes exactly
+//! one new vector. This is the stability guarantee of the paper's problem
+//! statement, and the test below asserts bit-identity of every old vector.
+
+use crate::kd::kd;
+use crate::train::ForwardEmbedding;
+use crate::CoreError;
+use linalg::{lstsq, LstsqMethod, Matrix};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use reldb::{Database, FactId};
+
+/// Options controlling the dynamic extension.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExtendOptions {
+    /// Override the per-target equation budget (`None`: use the trained
+    /// config's `nnew_samples`).
+    pub nnew_samples: Option<usize>,
+}
+
+impl ForwardEmbedding {
+    /// Extend the embedding to one newly inserted fact. Old embeddings are
+    /// untouched; returns the new vector's L2 norm (diagnostics).
+    pub fn extend(
+        &mut self,
+        db: &Database,
+        new_fact: FactId,
+        seed: u64,
+    ) -> Result<f64, CoreError> {
+        self.extend_with(db, new_fact, seed, ExtendOptions::default())
+    }
+
+    /// [`ForwardEmbedding::extend`] with explicit options.
+    pub fn extend_with(
+        &mut self,
+        db: &Database,
+        new_fact: FactId,
+        seed: u64,
+        options: ExtendOptions,
+    ) -> Result<f64, CoreError> {
+        if new_fact.rel != self.relation() {
+            return Err(CoreError::WrongRelation(new_fact));
+        }
+        if db.fact(new_fact).is_none() {
+            return Err(CoreError::UnknownFact(new_fact));
+        }
+        let phi_new = self.solve_new_vector(db, new_fact, seed, options)?;
+        let norm = linalg::vector::norm2(&phi_new);
+        self.insert_phi(new_fact, phi_new);
+        Ok(norm)
+    }
+
+    /// Extend to a batch of new facts, one linear solve each, in order.
+    /// Earlier-extended facts become usable as `f_old` for later ones.
+    pub fn extend_batch(
+        &mut self,
+        db: &Database,
+        new_facts: &[FactId],
+        seed: u64,
+    ) -> Result<(), CoreError> {
+        for (i, &f) in new_facts.iter().enumerate() {
+            self.extend_with(
+                db,
+                f,
+                seed.wrapping_add(i as u64),
+                ExtendOptions::default(),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Assemble and solve the linear system for `ϕ(f_new)`.
+    fn solve_new_vector(
+        &self,
+        db: &Database,
+        new_fact: FactId,
+        seed: u64,
+        options: ExtendOptions,
+    ) -> Result<Vec<f64>, CoreError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = self.config().clone();
+        let per_target = options.nnew_samples.unwrap_or(config.nnew_samples);
+
+        // Candidate old facts: everything embedded except the new fact
+        // itself (covers previously extended facts too).
+        let mut candidates: Vec<FactId> =
+            self.embedded_facts().filter(|&f| f != new_fact).collect();
+        if candidates.is_empty() {
+            return Err(CoreError::NoEquations(new_fact));
+        }
+        candidates.sort_unstable(); // determinism independent of HashMap order
+
+        let mut c = Matrix::zeros(0, 0);
+        let mut b = Vec::new();
+        for (t_idx, target) in self.targets().iter().enumerate() {
+            // Distinct f_old per target: shuffle a copy, take a prefix.
+            let mut pool = candidates.clone();
+            for i in (1..pool.len()).rev() {
+                let j = rng.random_range(0..=i);
+                pool.swap(i, j);
+            }
+            let mut taken = 0usize;
+            for &f_old in &pool {
+                if taken >= per_target {
+                    break;
+                }
+                // Dead f_old (deleted since training) can't contribute.
+                if db.fact(f_old).is_none() {
+                    continue;
+                }
+                let Some(y) = kd(
+                    db,
+                    self.kernels(),
+                    &target.scheme,
+                    target.attr,
+                    f_old,
+                    new_fact,
+                    &config.kd,
+                    &mut rng,
+                ) else {
+                    continue;
+                };
+                let phi_old = self
+                    .embedding(f_old)
+                    .expect("candidate comes from embedded_facts");
+                let row = self.psi(t_idx).matvec(phi_old).expect("dims agree");
+                c.push_row(&row);
+                b.push(y);
+                taken += 1;
+            }
+        }
+        if c.rows() == 0 {
+            // No KD equation could be built — the new fact is disconnected
+            // from every embedded fact under all schemes (e.g. all its FK
+            // neighbourhoods are empty). Fall back to the centroid of the
+            // existing embeddings: a neutral point that keeps downstream
+            // pipelines running and is the natural "no information" answer.
+            let mut mean = vec![0.0; self.dim()];
+            for f in &candidates {
+                if let Some(v) = self.embedding(*f) {
+                    linalg::vector::axpy(1.0, v, &mut mean);
+                }
+            }
+            linalg::vector::scale(1.0 / candidates.len() as f64, &mut mean);
+            return Ok(mean);
+        }
+        let method = match config.ridge {
+            Some(lambda) => LstsqMethod::Ridge(lambda),
+            None => LstsqMethod::PseudoInverse,
+        };
+        Ok(lstsq(&c, &b, method)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ForwardConfig;
+    use reldb::movies::movies_database_labeled;
+    use reldb::{cascade_delete, restore_journal};
+
+    fn cfg() -> ForwardConfig {
+        ForwardConfig { dim: 8, epochs: 5, nsamples: 30, ..ForwardConfig::small() }
+    }
+
+    /// Shared scenario: cascade-delete actor a5 (which takes collaboration
+    /// c2 with it), train a static embedding of ACTORS on the remainder,
+    /// then restore and extend.
+    fn scenario() -> (reldb::Database, std::collections::HashMap<&'static str, FactId>, reldb::DeletionJournal)
+    {
+        let (mut db, ids) = movies_database_labeled();
+        let journal = cascade_delete(&mut db, ids["a5"], false).unwrap();
+        (db, ids, journal)
+    }
+
+    #[test]
+    fn extend_is_stable_and_produces_a_vector() {
+        let (mut db, ids, journal) = scenario();
+        let actors = db.schema().relation_id("ACTORS").unwrap();
+        let mut emb = ForwardEmbedding::train(&db, actors, &cfg(), 42).unwrap();
+        let snapshot: Vec<(FactId, Vec<f64>)> = emb
+            .embedded_facts()
+            .map(|f| (f, emb.embedding(f).unwrap().to_vec()))
+            .collect();
+
+        restore_journal(&mut db, &journal).unwrap();
+        let norm = emb.extend(&db, ids["a5"], 7).unwrap();
+        assert!(norm.is_finite());
+
+        // Stability: bit-identical old vectors (the paper's core promise).
+        for (f, old) in &snapshot {
+            assert_eq!(emb.embedding(*f).unwrap(), old.as_slice(), "{f} drifted");
+        }
+        let new_vec = emb.embedding(ids["a5"]).unwrap();
+        assert_eq!(new_vec.len(), 8);
+        assert!(new_vec.iter().all(|v| v.is_finite()));
+        assert!(new_vec.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn extend_respects_bilinear_constraints_approximately() {
+        // The solved vector should fit its own equations better than a
+        // random vector does: compare residuals of Eq. 6 on fresh KD draws.
+        let (mut db, ids, journal) = scenario();
+        let actors = db.schema().relation_id("ACTORS").unwrap();
+        let mut emb = ForwardEmbedding::train(&db, actors, &cfg(), 1).unwrap();
+        restore_journal(&mut db, &journal).unwrap();
+        emb.extend(&db, ids["a5"], 3).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut resid_solved = 0.0;
+        let mut resid_random = 0.0;
+        let random: Vec<f64> = (0..emb.dim()).map(|_| rng.random_range(-0.3..0.3)).collect();
+        let mut n = 0usize;
+        for (t_idx, target) in emb.targets().iter().enumerate() {
+            for old_label in ["a1", "a2", "a3", "a4"] {
+                let f_old = ids[old_label];
+                let Some(y) = kd(
+                    &db,
+                    emb.kernels(),
+                    &target.scheme,
+                    target.attr,
+                    f_old,
+                    ids["a5"],
+                    &emb.config().kd,
+                    &mut rng,
+                ) else {
+                    continue;
+                };
+                let c = emb.psi(t_idx).matvec(emb.embedding(f_old).unwrap()).unwrap();
+                let pred =
+                    linalg::vector::dot(emb.embedding(ids["a5"]).unwrap(), &c);
+                let pred_rand = linalg::vector::dot(&random, &c);
+                resid_solved += (pred - y) * (pred - y);
+                resid_random += (pred_rand - y) * (pred_rand - y);
+                n += 1;
+            }
+        }
+        assert!(n > 0);
+        assert!(
+            resid_solved < resid_random,
+            "solved {resid_solved} must beat random {resid_random} over {n} equations"
+        );
+    }
+
+    #[test]
+    fn batch_extension_covers_all_new_facts() {
+        let (mut db, ids) = movies_database_labeled();
+        let j1 = cascade_delete(&mut db, ids["a5"], false).unwrap();
+        let j2 = cascade_delete(&mut db, ids["a3"], false).unwrap();
+        let actors = db.schema().relation_id("ACTORS").unwrap();
+        let mut emb = ForwardEmbedding::train(&db, actors, &cfg(), 9).unwrap();
+        restore_journal(&mut db, &j2).unwrap();
+        restore_journal(&mut db, &j1).unwrap();
+        emb.extend_batch(&db, &[ids["a3"], ids["a5"]], 13).unwrap();
+        assert!(emb.embedding(ids["a3"]).is_some());
+        assert!(emb.embedding(ids["a5"]).is_some());
+        assert_eq!(emb.len(), 5);
+    }
+
+    #[test]
+    fn ridge_option_also_works() {
+        let (mut db, ids, journal) = scenario();
+        let actors = db.schema().relation_id("ACTORS").unwrap();
+        let config = ForwardConfig { ridge: Some(1e-3), ..cfg() };
+        let mut emb = ForwardEmbedding::train(&db, actors, &config, 21).unwrap();
+        restore_journal(&mut db, &journal).unwrap();
+        emb.extend(&db, ids["a5"], 2).unwrap();
+        assert!(emb.embedding(ids["a5"]).is_some());
+    }
+
+    #[test]
+    fn extend_rejects_wrong_relation_and_dead_facts() {
+        let (mut db, ids, journal) = scenario();
+        let actors = db.schema().relation_id("ACTORS").unwrap();
+        let mut emb = ForwardEmbedding::train(&db, actors, &cfg(), 4).unwrap();
+        // m1 is a MOVIES fact.
+        assert!(matches!(
+            emb.extend(&db, ids["m1"], 0),
+            Err(CoreError::WrongRelation(_))
+        ));
+        // a5 is still deleted at this point.
+        assert!(matches!(
+            emb.extend(&db, ids["a5"], 0),
+            Err(CoreError::UnknownFact(_))
+        ));
+        restore_journal(&mut db, &journal).unwrap();
+        assert!(emb.extend(&db, ids["a5"], 0).is_ok());
+    }
+}

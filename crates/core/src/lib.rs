@@ -1,0 +1,99 @@
+//! # stembed-core — stable tuple embeddings (FoRWaRD + dynamic Node2Vec)
+//!
+//! The paper's primary contribution, implemented from scratch:
+//!
+//! * **Walk schemes** (§V-A): sequences of forward/backward foreign-key
+//!   steps, enumerated from the schema up to a maximum length
+//!   ([`schemes`]).
+//! * **Kernelized domains** (§V-B): per-attribute similarity kernels —
+//!   Gaussian for numbers, equality for categoricals, and an edit-distance
+//!   kernel for noisy text ([`kernel`]).
+//! * **Destination distributions** `d_{s,f}[A]` (§V-A): the distribution of
+//!   the walk destination's attribute value, computed exactly by
+//!   probability-propagating BFS or estimated by Monte-Carlo sampling
+//!   ([`walkdist`]), with null values conditioned away.
+//! * **Expected kernel distance** `KD` (§V-B, Eq. 2) ([`kd`]).
+//! * **FoRWaRD static training** (§V-C/D): fact vectors `ϕ` and symmetric
+//!   per-(scheme, attribute) matrices `ψ` jointly trained with SGD on the
+//!   bilinear ℓ2 objective of Eq. 5 ([`train`]).
+//! * **FoRWaRD dynamic extension** (§V-E): embedding a newly inserted fact
+//!   by solving the overdetermined linear system `C·ϕ(f_new) = b` of Eq. 9
+//!   with the SVD pseudoinverse ([`dynamic`]).
+//! * A unified [`TupleEmbedder`] trait implemented by both FoRWaRD and the
+//!   Node2Vec adaptation, which the experiment harness trains and extends
+//!   interchangeably ([`embedder`]).
+
+pub mod config;
+pub mod dynamic;
+pub mod embedder;
+pub mod kd;
+pub mod kernel;
+pub mod sampler;
+pub mod schemes;
+pub mod train;
+pub mod walkdist;
+
+pub use config::ForwardConfig;
+pub use dynamic::ExtendOptions;
+pub use embedder::{ForwardEmbedder, Node2VecEmbedder, TupleEmbedder};
+pub use kernel::{EditDistanceKernel, EqualityKernel, GaussianKernel, Kernel, KernelAssignment};
+pub use schemes::{enumerate_schemes, target_pairs, Step, Target, WalkScheme};
+pub use train::ForwardEmbedding;
+pub use walkdist::{DestinationSampler, ValueDistribution};
+
+/// Errors surfaced by the embedding algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The relation has too few facts to embed (need at least two).
+    NotEnoughFacts {
+        /// Relation name.
+        relation: String,
+        /// Live fact count.
+        got: usize,
+    },
+    /// No usable target pair `(s, A)` exists for the relation — every
+    /// reachable attribute participates in a foreign key or all destination
+    /// distributions are empty.
+    NoTargets {
+        /// Relation name.
+        relation: String,
+    },
+    /// The fact to extend is not live in the database.
+    UnknownFact(reldb::FactId),
+    /// A fact handed to `extend` does not belong to the embedded relation.
+    WrongRelation(reldb::FactId),
+    /// The dynamic linear system could not be assembled (no old fact yields
+    /// a computable `KD` row).
+    NoEquations(reldb::FactId),
+    /// Numerical failure in the linear solve.
+    Linalg(linalg::LinalgError),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::NotEnoughFacts { relation, got } => {
+                write!(f, "relation {relation} has {got} facts; need at least 2")
+            }
+            CoreError::NoTargets { relation } => {
+                write!(f, "no target (scheme, attribute) pairs for {relation}")
+            }
+            CoreError::UnknownFact(id) => write!(f, "fact {id} is not live"),
+            CoreError::WrongRelation(id) => {
+                write!(f, "fact {id} is not in the embedded relation")
+            }
+            CoreError::NoEquations(id) => {
+                write!(f, "no KD equations could be built for new fact {id}")
+            }
+            CoreError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<linalg::LinalgError> for CoreError {
+    fn from(e: linalg::LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}

@@ -1,0 +1,376 @@
+//! Walk schemes over foreign keys (paper §V-A, Figure 4).
+//!
+//! A walk scheme is a sequence
+//! `R₀[A₀]—R₁[B₁], R₁[A₁]—R₂[B₂], …, R_{ℓ−1}[A_{ℓ−1}]—R_ℓ[B_ℓ]` where each
+//! step follows a foreign key either **forward** (from the referencing
+//! relation to the referenced one: `A = from_attrs`, `B = key`) or
+//! **backward** (`A = key`, `B = from_attrs`).
+//!
+//! ## The non-backtracking rule
+//!
+//! The paper's formal definition (1) places no restriction on consecutive
+//! steps, which would yield 21 schemes of length ≤ 3 from `ACTORS` in the
+//! movie schema — but Example 5.1 / Figure 4 say there are nine, so the
+//! authors' enumeration is clearly pruned. We enumerate under the standard
+//! **non-backtracking** rule: a step may not be the exact inverse (same
+//! foreign key, opposite direction) of the step before it — walking
+//! `ACTORS[aid]—COLLAB[actor1]` and then immediately
+//! `COLLAB[actor1]—ACTORS[aid]` returns to the start fact and carries no
+//! information. This gives 10 non-trivial schemes (+ the length-0 scheme)
+//! for the movie schema; the figure draws 9, merging the two symmetric
+//! `…—MOVIES[mid], MOVIES[studio]—STUDIOS[sid]` branches into one (the
+//! figure's token counts show a single STUDIOS node). We keep both — the
+//! stricter alternative of forbidding *any* re-exit through the entry
+//! attributes would make the satellite walks that the paper's Mondial
+//! results depend on (`TARGET→COUNTRY→RELIGION`, entering and leaving
+//! `COUNTRY` through its key) impossible, so it cannot be what the authors
+//! ran. The unrestricted variant stays available behind a flag for
+//! ablations.
+
+use reldb::{FkId, RelationId, Schema};
+use std::fmt;
+
+/// One step of a walk scheme: a foreign key and a direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Step {
+    /// The foreign key being traversed.
+    pub fk: FkId,
+    /// `true`: referencing → referenced (follow the pointer).
+    /// `false`: referenced → referencing (find who points here).
+    pub forward: bool,
+}
+
+impl Step {
+    /// Relation this step departs from.
+    pub fn source(&self, schema: &Schema) -> RelationId {
+        let fk = schema.foreign_key(self.fk);
+        if self.forward {
+            fk.from_rel
+        } else {
+            fk.to_rel
+        }
+    }
+
+    /// Relation this step arrives at.
+    pub fn destination(&self, schema: &Schema) -> RelationId {
+        let fk = schema.foreign_key(self.fk);
+        if self.forward {
+            fk.to_rel
+        } else {
+            fk.from_rel
+        }
+    }
+
+    /// The attribute tuple `A` used on the departure side.
+    pub fn depart_attrs<'s>(&self, schema: &'s Schema) -> &'s [usize] {
+        let fk = schema.foreign_key(self.fk);
+        if self.forward {
+            &fk.from_attrs
+        } else {
+            &fk.to_attrs
+        }
+    }
+
+    /// The attribute tuple `B` used on the arrival side.
+    pub fn arrive_attrs<'s>(&self, schema: &'s Schema) -> &'s [usize] {
+        let fk = schema.foreign_key(self.fk);
+        if self.forward {
+            &fk.to_attrs
+        } else {
+            &fk.from_attrs
+        }
+    }
+}
+
+/// A walk scheme: start relation plus steps (possibly none).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WalkScheme {
+    /// The start relation `R₀`.
+    pub start: RelationId,
+    /// The steps, in order.
+    pub steps: Vec<Step>,
+}
+
+impl WalkScheme {
+    /// The length-0 scheme on `rel` (walks `(f₀)` ending at the start fact).
+    pub fn trivial(rel: RelationId) -> Self {
+        WalkScheme { start: rel, steps: Vec::new() }
+    }
+
+    /// Scheme length `ℓ`.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` for the length-0 scheme.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The relation the scheme ends with.
+    pub fn end(&self, schema: &Schema) -> RelationId {
+        self.steps
+            .last()
+            .map_or(self.start, |s| s.destination(schema))
+    }
+
+    /// Paper notation, e.g.
+    /// `ACTORS[aid]—COLLABORATIONS[actor2], COLLABORATIONS[movie]—MOVIES[mid]`.
+    pub fn display<'s>(&'s self, schema: &'s Schema) -> SchemeDisplay<'s> {
+        SchemeDisplay { scheme: self, schema }
+    }
+}
+
+/// `Display` adapter for [`WalkScheme`].
+pub struct SchemeDisplay<'s> {
+    scheme: &'s WalkScheme,
+    schema: &'s Schema,
+}
+
+impl fmt::Display for SchemeDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let schema = self.schema;
+        if self.scheme.is_empty() {
+            return write!(f, "{}[·]", schema.relation(self.scheme.start).name);
+        }
+        for (i, step) in self.scheme.steps.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let src = step.source(schema);
+            let dst = step.destination(schema);
+            let a_names: Vec<&str> = step
+                .depart_attrs(schema)
+                .iter()
+                .map(|&a| schema.relation(src).attributes[a].name.as_str())
+                .collect();
+            let b_names: Vec<&str> = step
+                .arrive_attrs(schema)
+                .iter()
+                .map(|&a| schema.relation(dst).attributes[a].name.as_str())
+                .collect();
+            write!(
+                f,
+                "{}[{}]—{}[{}]",
+                schema.relation(src).name,
+                a_names.join(","),
+                schema.relation(dst).name,
+                b_names.join(",")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A training target: a walk scheme paired with an attribute of its end
+/// relation that is not involved in any foreign key — the `(s, A)` pairs of
+/// `T(R, ℓmax)` (paper §V-C).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Target {
+    /// The walk scheme `s`.
+    pub scheme: WalkScheme,
+    /// Attribute position `A` within the scheme's end relation.
+    pub attr: usize,
+}
+
+/// Enumerate all walk schemes of length ≤ `max_len` starting from `start`,
+/// including the length-0 scheme.
+///
+/// With `allow_backtracking = false` (the default used everywhere), a step
+/// may not be the exact inverse of its predecessor (same FK, opposite
+/// direction) — see the module docs.
+pub fn enumerate_schemes(
+    schema: &Schema,
+    start: RelationId,
+    max_len: usize,
+    allow_backtracking: bool,
+) -> Vec<WalkScheme> {
+    let mut out = vec![WalkScheme::trivial(start)];
+    let mut frontier = vec![WalkScheme::trivial(start)];
+    for _ in 0..max_len {
+        let mut next_frontier = Vec::new();
+        for scheme in &frontier {
+            let cur = scheme.end(schema);
+            for step in steps_from(schema, cur) {
+                if !allow_backtracking {
+                    if let Some(last) = scheme.steps.last() {
+                        // Disallow the exact inverse of the previous step.
+                        if last.fk == step.fk && last.forward != step.forward {
+                            continue;
+                        }
+                    }
+                }
+                let mut extended = scheme.clone();
+                extended.steps.push(step);
+                out.push(extended.clone());
+                next_frontier.push(extended);
+            }
+        }
+        frontier = next_frontier;
+    }
+    out
+}
+
+/// All single steps departing from `rel`: forward along each FK out of it,
+/// backward along each FK into it.
+pub fn steps_from(schema: &Schema, rel: RelationId) -> Vec<Step> {
+    let mut steps = Vec::new();
+    for &fk in schema.fks_from(rel) {
+        steps.push(Step { fk, forward: true });
+    }
+    for &fk in schema.fks_to(rel) {
+        steps.push(Step { fk, forward: false });
+    }
+    steps
+}
+
+/// The target set `T(R, ℓmax)`: every `(scheme, attribute)` pair where the
+/// scheme starts at `rel` (length ≤ `max_len`, non-returning) and the
+/// attribute belongs to the scheme's end relation and participates in **no**
+/// foreign key (paper §V-C — FK attributes are opaque identifiers whose
+/// kernel similarity carries no signal).
+pub fn target_pairs(schema: &Schema, rel: RelationId, max_len: usize) -> Vec<Target> {
+    let mut out = Vec::new();
+    for scheme in enumerate_schemes(schema, rel, max_len, false) {
+        let end = scheme.end(schema);
+        for attr in 0..schema.relation(end).arity() {
+            if !schema.attr_in_any_fk(end, attr) {
+                out.push(Target { scheme: scheme.clone(), attr });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reldb::movies::movies_schema;
+
+    #[test]
+    fn figure_4_schemes_from_actors() {
+        // Figure 4 draws nine schemes; non-backtracking enumeration yields
+        // ten non-trivial ones (the figure merges the two symmetric
+        // …—MOVIES—STUDIOS branches) plus the length-0 scheme the paper
+        // explicitly allows.
+        let schema = movies_schema();
+        let actors = schema.relation_id("ACTORS").unwrap();
+        let schemes = enumerate_schemes(&schema, actors, 3, false);
+        assert_eq!(
+            schemes.len(),
+            11,
+            "got: {:#?}",
+            schemes
+                .iter()
+                .map(|s| s.display(&schema).to_string())
+                .collect::<Vec<_>>()
+        );
+        // Breakdown: 1 trivial + 2 of length 1 + 4 of length 2 + 4 of length 3.
+        let by_len = |l: usize| schemes.iter().filter(|s| s.len() == l).count();
+        assert_eq!(by_len(0), 1);
+        assert_eq!(by_len(1), 2);
+        assert_eq!(by_len(2), 4);
+        assert_eq!(by_len(3), 4);
+        // No scheme ever backtracks.
+        for s in &schemes {
+            for w in s.steps.windows(2) {
+                assert!(!(w[0].fk == w[1].fk && w[0].forward != w[1].forward));
+            }
+        }
+    }
+
+    #[test]
+    fn example_5_1_s5_exists_and_displays_correctly() {
+        let schema = movies_schema();
+        let actors = schema.relation_id("ACTORS").unwrap();
+        let schemes = enumerate_schemes(&schema, actors, 3, false);
+        let wanted = "ACTORS[aid]—COLLABORATIONS[actor2], COLLABORATIONS[movie]—MOVIES[mid]";
+        assert!(
+            schemes.iter().any(|s| s.display(&schema).to_string() == wanted),
+            "scheme s5 of Example 5.1 must be enumerated"
+        );
+        // s1: length 1 ending with COLLABORATIONS.
+        let collabs = schema.relation_id("COLLABORATIONS").unwrap();
+        assert!(schemes
+            .iter()
+            .any(|s| s.len() == 1 && s.end(&schema) == collabs));
+    }
+
+    #[test]
+    fn unrestricted_enumeration_is_larger() {
+        let schema = movies_schema();
+        let actors = schema.relation_id("ACTORS").unwrap();
+        let restricted = enumerate_schemes(&schema, actors, 3, false);
+        let unrestricted = enumerate_schemes(&schema, actors, 3, true);
+        assert!(unrestricted.len() > restricted.len());
+        // Unrestricted count: 1 + 2 + 6 + 12 = 21.
+        assert_eq!(unrestricted.len(), 21);
+    }
+
+    #[test]
+    fn scheme_end_relations() {
+        let schema = movies_schema();
+        let actors = schema.relation_id("ACTORS").unwrap();
+        let studios = schema.relation_id("STUDIOS").unwrap();
+        let collabs = schema.relation_id("COLLABORATIONS").unwrap();
+        let schemes = enumerate_schemes(&schema, actors, 3, false);
+        // Length-3 schemes: two end at STUDIOS (…—MOVIES—STUDIOS), two end
+        // at COLLABORATIONS (ACTORS—COLLAB—ACTORS—COLLAB via the other
+        // actor role).
+        let l3: Vec<_> = schemes.iter().filter(|s| s.len() == 3).collect();
+        assert_eq!(l3.iter().filter(|s| s.end(&schema) == studios).count(), 2);
+        assert_eq!(l3.iter().filter(|s| s.end(&schema) == collabs).count(), 2);
+        // Trivial scheme ends at the start.
+        assert_eq!(WalkScheme::trivial(actors).end(&schema), actors);
+    }
+
+    #[test]
+    fn target_pairs_exclude_fk_attributes() {
+        let schema = movies_schema();
+        let actors = schema.relation_id("ACTORS").unwrap();
+        let targets = target_pairs(&schema, actors, 3);
+        // No target may use an FK-involved attribute.
+        for t in &targets {
+            let end = t.scheme.end(&schema);
+            assert!(
+                !schema.attr_in_any_fk(end, t.attr),
+                "target attribute {} of {} is in an FK",
+                schema.relation(end).attributes[t.attr].name,
+                schema.relation(end).name
+            );
+        }
+        // Trivial scheme contributes ACTORS.name and ACTORS.worth (aid is a
+        // referenced key); COLLABORATIONS has *no* non-FK attribute, so
+        // length-1 schemes contribute nothing.
+        let trivial_targets =
+            targets.iter().filter(|t| t.scheme.is_empty()).count();
+        assert_eq!(trivial_targets, 2);
+        let len1_targets = targets.iter().filter(|t| t.scheme.len() == 1).count();
+        assert_eq!(len1_targets, 0);
+        // Length-2 schemes ending at MOVIES contribute title, genre, budget
+        // each (mid and studio are FK attrs): 2 schemes × 3 attrs. Length-2
+        // schemes ending at ACTORS contribute name, worth: 2 × 2.
+        let len2_targets = targets.iter().filter(|t| t.scheme.len() == 2).count();
+        assert_eq!(len2_targets, 10);
+        // Length-3 (STUDIOS): name, loc (sid is referenced): 2 × 2.
+        let len3_targets = targets.iter().filter(|t| t.scheme.len() == 3).count();
+        assert_eq!(len3_targets, 4);
+        assert_eq!(targets.len(), 16);
+    }
+
+    #[test]
+    fn steps_from_covers_both_directions() {
+        let schema = movies_schema();
+        let movies = schema.relation_id("MOVIES").unwrap();
+        let steps = steps_from(&schema, movies);
+        // MOVIES: forward via studio-FK, backward via COLLAB.movie-FK.
+        assert_eq!(steps.len(), 2);
+        assert!(steps.iter().any(|s| s.forward));
+        assert!(steps.iter().any(|s| !s.forward));
+        let fwd = steps.iter().find(|s| s.forward).unwrap();
+        assert_eq!(
+            fwd.destination(&schema),
+            schema.relation_id("STUDIOS").unwrap()
+        );
+    }
+}

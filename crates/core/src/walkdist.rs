@@ -1,0 +1,341 @@
+//! Destination distributions of foreign-key random walks (paper §V-A).
+//!
+//! A random walk with scheme `s` starting at fact `f` iteratively picks the
+//! next fact uniformly among the valid continuations. `d_{f,s}` is the
+//! distribution of the walk's destination fact, and `d_{f,s}[A]` the
+//! distribution of the destination's value in attribute `A`, **conditioned
+//! on being non-null** (the paper's posterior convention). Both are
+//! computed here in two interchangeable ways:
+//!
+//! * **exactly**, by propagating probabilities along the scheme (a BFS over
+//!   facts, as the paper suggests), with a configurable support cap, and
+//! * **by Monte-Carlo sampling** of walks, used when supports grow large
+//!   and during training-sample generation.
+
+use crate::schemes::{Step, WalkScheme};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use reldb::{Database, FactId, Value};
+use std::collections::HashMap;
+
+/// Exact distribution over destination facts. Probabilities sum to 1
+/// (walks that dead-end before completing the scheme are conditioned away).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactDistribution {
+    /// `(destination, probability)` pairs; unordered, no duplicates.
+    pub support: Vec<(FactId, f64)>,
+}
+
+/// Exact distribution over non-null destination attribute values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueDistribution {
+    /// `(value, probability)` pairs; unordered, no duplicates.
+    pub support: Vec<(Value, f64)>,
+}
+
+impl ValueDistribution {
+    /// Probability of `value` (0 if outside the support).
+    pub fn prob(&self, value: &Value) -> f64 {
+        self.support
+            .iter()
+            .find(|(v, _)| v == value)
+            .map_or(0.0, |(_, p)| *p)
+    }
+
+    /// Total probability mass (≈ 1 up to rounding; exposed for tests).
+    pub fn total_mass(&self) -> f64 {
+        self.support.iter().map(|(_, p)| p).sum()
+    }
+}
+
+/// The facts one step leads to from `cur`.
+///
+/// Forward: the (unique) referenced fact — none when a referencing attribute
+/// is null or the reference dangles. Backward: all facts referencing `cur`'s
+/// key through the step's FK.
+pub fn step_successors(db: &Database, step: &Step, cur: FactId) -> Vec<FactId> {
+    let schema = db.schema();
+    let fk = schema.foreign_key(step.fk);
+    let Some(fact) = db.fact(cur) else { return Vec::new() };
+    if step.forward {
+        if fact.any_null(&fk.from_attrs) {
+            return Vec::new();
+        }
+        let key = fact.project(&fk.from_attrs);
+        db.lookup_key(fk.to_rel, &key).into_iter().collect()
+    } else {
+        let key = fact.project(&fk.to_attrs);
+        db.referencing_slots(step.fk, &key)
+            .iter()
+            .map(|&row| FactId::new(fk.from_rel, row))
+            .collect()
+    }
+}
+
+/// Exactly compute `d_{f,s}` by probability propagation.
+///
+/// Returns `None` when no complete walk exists or when any intermediate
+/// support exceeds `support_limit` (callers then fall back to sampling).
+pub fn destination_distribution(
+    db: &Database,
+    scheme: &WalkScheme,
+    start: FactId,
+    support_limit: usize,
+) -> Option<FactDistribution> {
+    debug_assert_eq!(start.rel, scheme.start);
+    db.fact(start)?;
+    let mut frontier: HashMap<FactId, f64> = HashMap::new();
+    frontier.insert(start, 1.0);
+    for step in &scheme.steps {
+        let mut next: HashMap<FactId, f64> = HashMap::new();
+        for (fact, prob) in frontier {
+            let succ = step_successors(db, step, fact);
+            if succ.is_empty() {
+                continue; // this walk prefix dead-ends; mass is lost
+            }
+            let share = prob / succ.len() as f64;
+            for s in succ {
+                *next.entry(s).or_insert(0.0) += share;
+            }
+        }
+        if next.is_empty() {
+            return None;
+        }
+        if next.len() > support_limit {
+            return None;
+        }
+        frontier = next;
+    }
+    // Renormalise: the remaining mass conditions on walk completion.
+    let total: f64 = frontier.values().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    Some(FactDistribution {
+        support: frontier.into_iter().map(|(f, p)| (f, p / total)).collect(),
+    })
+}
+
+/// Marginalise a fact distribution to attribute `attr` of the destination
+/// relation, conditioning on non-null. `None` when all destinations are null
+/// in `attr` — then `d_{f,s}[A]` "does not exist" per the paper.
+pub fn value_distribution(
+    db: &Database,
+    dist: &FactDistribution,
+    attr: usize,
+) -> Option<ValueDistribution> {
+    let mut acc: HashMap<Value, f64> = HashMap::new();
+    for (fact_id, prob) in &dist.support {
+        let fact = db.fact(*fact_id)?;
+        let value = fact.get(attr);
+        if !value.is_null() {
+            *acc.entry(value.clone()).or_insert(0.0) += prob;
+        }
+    }
+    let total: f64 = acc.values().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    Some(ValueDistribution {
+        support: acc.into_iter().map(|(v, p)| (v, p / total)).collect(),
+    })
+}
+
+/// Convenience: exact `d_{f,s}[A]`.
+pub fn destination_value_distribution(
+    db: &Database,
+    scheme: &WalkScheme,
+    attr: usize,
+    start: FactId,
+    support_limit: usize,
+) -> Option<ValueDistribution> {
+    let facts = destination_distribution(db, scheme, start, support_limit)?;
+    value_distribution(db, &facts, attr)
+}
+
+/// Monte-Carlo walk sampler bound to a database.
+#[derive(Debug, Clone, Copy)]
+pub struct DestinationSampler<'db> {
+    db: &'db Database,
+}
+
+impl<'db> DestinationSampler<'db> {
+    /// Sampler over `db`.
+    pub fn new(db: &'db Database) -> Self {
+        DestinationSampler { db }
+    }
+
+    /// Sample one walk with `scheme` from `start`; `None` when it
+    /// dead-ends.
+    pub fn sample_destination(
+        &self,
+        scheme: &WalkScheme,
+        start: FactId,
+        rng: &mut StdRng,
+    ) -> Option<FactId> {
+        let mut cur = start;
+        for step in &scheme.steps {
+            let succ = step_successors(self.db, step, cur);
+            if succ.is_empty() {
+                return None;
+            }
+            cur = succ[rng.random_range(0..succ.len())];
+        }
+        Some(cur)
+    }
+
+    /// Sample a non-null destination value of `d_{f,s}[A]`, retrying dead
+    /// ends and null values up to `max_attempts` times. `None` means the
+    /// pair `(s, A)` is (very likely) nonexistent for this start fact.
+    pub fn sample_value(
+        &self,
+        scheme: &WalkScheme,
+        attr: usize,
+        start: FactId,
+        max_attempts: usize,
+        rng: &mut StdRng,
+    ) -> Option<Value> {
+        for _ in 0..max_attempts {
+            if let Some(dest) = self.sample_destination(scheme, start, rng) {
+                let v = self.db.fact(dest)?.get(attr);
+                if !v.is_null() {
+                    return Some(v.clone());
+                }
+            }
+        }
+        None
+    }
+
+    /// The database this sampler walks over.
+    pub fn database(&self) -> &'db Database {
+        self.db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::enumerate_schemes;
+    use rand::SeedableRng;
+    use reldb::movies::{movies_database_labeled, movies_schema};
+
+    /// The scheme of Example 5.2/5.3. The paper prints s5 with `actor2`,
+    /// but its own walks `(a1,c1,m3)` and `(a1,c4,m6)` satisfy
+    /// `a1[aid] = c[actor1]` (a01), not `actor2` — an evident typo; the
+    /// examples' numbers correspond to the `actor1` scheme used here.
+    fn scheme_s5(db: &Database) -> WalkScheme {
+        let schema = db.schema();
+        let actors = schema.relation_id("ACTORS").unwrap();
+        enumerate_schemes(schema, actors, 3, false)
+            .into_iter()
+            .find(|s| {
+                s.display(schema).to_string()
+                    == "ACTORS[aid]—COLLABORATIONS[actor1], COLLABORATIONS[movie]—MOVIES[mid]"
+            })
+            .expect("s5 exists")
+    }
+
+    #[test]
+    fn example_5_2_walks_from_a1() {
+        // Exactly two walks follow s5 from a1: destinations m3 and m6.
+        let (db, ids) = movies_database_labeled();
+        let s5 = scheme_s5(&db);
+        let dist = destination_distribution(&db, &s5, ids["a1"], 1024).unwrap();
+        let mut support = dist.support.clone();
+        support.sort_by_key(|(f, _)| *f);
+        assert_eq!(support.len(), 2);
+        assert!(support.iter().any(|(f, p)| *f == ids["m3"] && (*p - 0.5).abs() < 1e-12));
+        assert!(support.iter().any(|(f, p)| *f == ids["m6"] && (*p - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn example_5_3_value_distributions() {
+        let (db, ids) = movies_database_labeled();
+        let s5 = scheme_s5(&db);
+        // budget: Pr(150M) = Pr(100M) = 0.5.
+        let budget = destination_value_distribution(&db, &s5, 4, ids["a1"], 1024).unwrap();
+        assert!((budget.prob(&Value::Int(150)) - 0.5).abs() < 1e-12);
+        assert!((budget.prob(&Value::Int(100)) - 0.5).abs() < 1e-12);
+        assert!((budget.total_mass() - 1.0).abs() < 1e-12);
+        // genre: m3's genre is ⊥, so the posterior is Pr(Bio) = 1.
+        let genre = destination_value_distribution(&db, &s5, 3, ids["a1"], 1024).unwrap();
+        assert_eq!(genre.support.len(), 1);
+        assert!((genre.prob(&Value::Text("Bio".into())) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trivial_scheme_is_a_point_mass() {
+        let (db, ids) = movies_database_labeled();
+        let actors = db.schema().relation_id("ACTORS").unwrap();
+        let trivial = WalkScheme::trivial(actors);
+        let dist = destination_distribution(&db, &trivial, ids["a2"], 16).unwrap();
+        assert_eq!(dist.support, vec![(ids["a2"], 1.0)]);
+        // Value distribution of `name` is a point mass on Watanabe.
+        let names = value_distribution(&db, &dist, 1).unwrap();
+        assert!((names.prob(&Value::Text("Watanabe".into())) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonexistent_distribution_when_no_walks() {
+        // a3 (Cruise) is only actor2 of c3: walks via actor1-backward don't
+        // exist from a3 as long as nobody lists him as actor1.
+        let (db, ids) = movies_database_labeled();
+        let schema = db.schema();
+        let actors = schema.relation_id("ACTORS").unwrap();
+        let s1_actor1 = enumerate_schemes(schema, actors, 1, false)
+            .into_iter()
+            .find(|s| {
+                s.len() == 1
+                    && s.display(schema).to_string()
+                        == "ACTORS[aid]—COLLABORATIONS[actor1]"
+            })
+            .unwrap();
+        assert!(destination_distribution(&db, &s1_actor1, ids["a3"], 16).is_none());
+        // And the sampler agrees.
+        let sampler = DestinationSampler::new(&db);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(sampler
+            .sample_value(&s1_actor1, 0, ids["a3"], 32, &mut rng)
+            .is_none());
+    }
+
+    #[test]
+    fn sampler_matches_exact_distribution() {
+        let (db, ids) = movies_database_labeled();
+        let s5 = scheme_s5(&db);
+        let sampler = DestinationSampler::new(&db);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut m3 = 0usize;
+        let mut m6 = 0usize;
+        let n = 4000;
+        for _ in 0..n {
+            match sampler.sample_destination(&s5, ids["a1"], &mut rng) {
+                Some(d) if d == ids["m3"] => m3 += 1,
+                Some(d) if d == ids["m6"] => m6 += 1,
+                Some(other) => panic!("unexpected destination {other}"),
+                None => panic!("s5 from a1 never dead-ends"),
+            }
+        }
+        let frac = m3 as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.05, "empirical Pr(m3) = {frac}");
+        assert_eq!(m3 + m6, n);
+    }
+
+    #[test]
+    fn support_limit_forces_sampling_fallback() {
+        let (db, ids) = movies_database_labeled();
+        let s5 = scheme_s5(&db);
+        // With a support cap of 1 the two-destination distribution cannot be
+        // represented exactly.
+        assert!(destination_distribution(&db, &s5, ids["a1"], 1).is_none());
+    }
+
+    #[test]
+    fn schema_is_the_figure_2_schema() {
+        // Guard: the tests above assume attribute positions of Figure 2.
+        let schema = movies_schema();
+        let movies = schema.relation_id("MOVIES").unwrap();
+        assert_eq!(schema.relation(movies).attributes[3].name, "genre");
+        assert_eq!(schema.relation(movies).attributes[4].name, "budget");
+    }
+}

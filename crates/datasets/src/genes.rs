@@ -1,0 +1,218 @@
+//! Genes-like database (KDD Cup 2001 gene localization task).
+//!
+//! Table I shape: prediction relation `CLASSIFICATION`, predicted attribute
+//! `localization` (15 classes), 3 relations, 6,063 tuples, 15 attributes.
+//! The class signal lives in the `GENE` attribute rows (complex, motif,
+//! class) and — as in the real data — in **interaction homophily**: genes
+//! preferentially interact with genes of the same localization, so walks
+//! through `INTERACTION` carry signal too.
+
+use crate::synth::{DatasetParams, SynthCtx};
+use crate::Dataset;
+use reldb::{Database, Schema, SchemaBuilder, Value, ValueType};
+
+const CLASSES: usize = 15;
+
+fn schema() -> Schema {
+    let mut b = SchemaBuilder::new();
+    b.relation("CLASSIFICATION")
+        .attr("gid", ValueType::Text)
+        .attr("localization", ValueType::Text) // hidden prediction column
+        .key(&["gid"]);
+    b.relation("GENE")
+        .attr("rowid", ValueType::Text)
+        .attr("gid", ValueType::Text)
+        .attr("essential", ValueType::Text)
+        .attr("cls", ValueType::Text)
+        .attr("complex", ValueType::Text)
+        .attr("motif", ValueType::Text)
+        .attr("chromosome", ValueType::Int)
+        .key(&["rowid"]);
+    b.relation("INTERACTION")
+        .attr("iid", ValueType::Text)
+        .attr("gid1", ValueType::Text)
+        .attr("gid2", ValueType::Text)
+        .attr("itype", ValueType::Text)
+        .attr("expr", ValueType::Float)
+        .attr("corr", ValueType::Float)
+        .key(&["iid"]);
+    b.foreign_key("GENE", &["gid"], "CLASSIFICATION");
+    b.foreign_key("INTERACTION", &["gid1"], "CLASSIFICATION");
+    b.foreign_key("INTERACTION", &["gid2"], "CLASSIFICATION");
+    b.build().expect("genes schema is valid")
+}
+
+/// Generate the dataset.
+pub fn generate(params: &DatasetParams) -> Dataset {
+    let mut ctx = SynthCtx::new(params, 0x6e5e);
+    let mut db = Database::new(schema());
+    let pred = db.schema().relation_id("CLASSIFICATION").unwrap();
+
+    // Skewed class weights: majority ≈ 43% (the paper's Figure 5a baseline).
+    let mut weights = vec![1.0f64; CLASSES];
+    weights[0] = 12.0;
+    weights[1] = 2.0;
+    weights[2] = 1.5;
+    weights[3] = 1.2;
+
+    let n_genes = params.scaled(862, 45);
+    let mut labels = Vec::with_capacity(n_genes);
+    let mut genes: Vec<(String, usize)> = Vec::with_capacity(n_genes);
+    // Per-class gene index for homophilous interaction sampling.
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); CLASSES];
+    for i in 0..n_genes {
+        let class = ctx.class_from_weights(&weights);
+        let gid = format!("g{i:04}");
+        let fact = db
+            .insert_into(
+                "CLASSIFICATION",
+                vec![Value::Text(gid.clone()), Value::Null],
+            )
+            .expect("gene insert");
+        labels.push((fact, class));
+        by_class[class].push(i);
+        genes.push((gid, class));
+    }
+
+    // GENE attribute rows: ~5 per gene, strongly class-specific complex and
+    // motif tokens (the paper reports ~98% on Genes — the structure is
+    // nearly deterministic).
+    let n_gene_rows = params.scaled(4300, 150);
+    for i in 0..n_gene_rows {
+        let (gid, class) = if i < genes.len() {
+            genes[i].clone()
+        } else {
+            genes[ctx.index(genes.len())].clone()
+        };
+        let essential = ctx.noise_token("ess", 2);
+        let cls = ctx.class_token("cls", class, 2);
+        let complex = ctx.class_token("cpx", class, 2);
+        let motif = ctx.class_token("mot", class, 3);
+        let chromosome = Value::Int(ctx.int_in(1, 17));
+        db.insert_into(
+            "GENE",
+            vec![
+                Value::Text(format!("gr{i:05}")),
+                Value::Text(gid),
+                ctx.maybe_null(essential),
+                ctx.maybe_null(cls),
+                ctx.maybe_null(complex),
+                ctx.maybe_null(motif),
+                ctx.maybe_null(chromosome),
+            ],
+        )
+        .expect("gene row insert");
+    }
+
+    // INTERACTION: homophilous gene pairs.
+    let n_inter = params.scaled(901, 60);
+    for i in 0..n_inter {
+        let a = ctx.index(genes.len());
+        let (gid1, class1) = genes[a].clone();
+        // With probability `signal`, interact within the same class.
+        let b_idx = if ctx.chance(params.signal) && by_class[class1].len() > 1 {
+            let bucket = &by_class[class1];
+            let mut b = bucket[ctx.index(bucket.len())];
+            if b == a {
+                b = bucket[ctx.index(bucket.len())];
+            }
+            b
+        } else {
+            ctx.index(genes.len())
+        };
+        let (gid2, _class2) = genes[b_idx].clone();
+        let itype = ctx.noise_token("it", 3);
+        let expr = Value::Float(ctx.float_in(-1.0, 1.0));
+        let corr = Value::Float(ctx.float_in(0.0, 1.0));
+        db.insert_into(
+            "INTERACTION",
+            vec![
+                Value::Text(format!("ix{i:05}")),
+                Value::Text(gid1),
+                Value::Text(gid2),
+                ctx.maybe_null(itype),
+                ctx.maybe_null(expr),
+                ctx.maybe_null(corr),
+            ],
+        )
+        .expect("interaction insert");
+    }
+
+    Dataset {
+        name: "Genes",
+        db,
+        prediction_rel: pred,
+        class_attr: 1,
+        labels,
+        class_names: vec![
+            "nucleus",
+            "cytoplasm",
+            "mitochondria",
+            "membrane",
+            "er",
+            "golgi",
+            "vacuole",
+            "peroxisome",
+            "extracellular",
+            "cytoskeleton",
+            "endosome",
+            "cellwall",
+            "lipid",
+            "ribosome",
+            "transport",
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_one_shape() {
+        let ds = generate(&DatasetParams::default());
+        ds.validate().unwrap();
+        assert_eq!(ds.sample_count(), 862);
+        assert_eq!(ds.db.schema().relation_count(), 3);
+        assert_eq!(ds.db.schema().total_attributes(), 15);
+        assert_eq!(ds.db.total_facts(), 6_063);
+        assert_eq!(ds.class_count(), 15);
+        // Majority class ≈ 43%.
+        let dist = ds.class_distribution();
+        let majority = *dist.iter().max().unwrap() as f64 / ds.sample_count() as f64;
+        assert!((0.32..0.55).contains(&majority), "majority {majority}");
+    }
+
+    #[test]
+    fn interactions_are_homophilous() {
+        let ds = generate(&DatasetParams::default());
+        let inter = ds.db.schema().relation_id("INTERACTION").unwrap();
+        let class_of: std::collections::HashMap<String, usize> = ds
+            .labels
+            .iter()
+            .map(|(f, c)| {
+                let gid = ds.db.fact(*f).unwrap().get(0).as_text().unwrap().to_string();
+                (gid, *c)
+            })
+            .collect();
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for (_, fact) in ds.db.facts(inter) {
+            let g1 = fact.get(1).as_text().unwrap();
+            let g2 = fact.get(2).as_text().unwrap();
+            if class_of[g1] == class_of[g2] {
+                same += 1;
+            }
+            total += 1;
+        }
+        let frac = same as f64 / total as f64;
+        assert!(frac > 0.6, "homophily fraction {frac}");
+    }
+
+    #[test]
+    fn tiny_scale_is_valid() {
+        let ds = generate(&DatasetParams::tiny(3));
+        ds.validate().unwrap();
+        assert!(ds.sample_count() >= 45);
+    }
+}

@@ -1,0 +1,222 @@
+//! Hepatitis-like database (ECML/PKDD 2002 discovery challenge, modified
+//! per Neville et al. as in the paper).
+//!
+//! Table I shape: prediction relation `DISPAT`, predicted attribute `type`
+//! (Hepatitis B vs C, imbalanced ≈ 206:294 at 500 samples), 7 relations,
+//! 12,927 tuples, 26 attributes. The class signal lives in the medical
+//! examination relations (`INDIS`, `INHOSP`, `BIO`, …) that reference the
+//! patient — reachable from `DISPAT` only by backward FK walks.
+
+use crate::synth::{DatasetParams, SynthCtx};
+use crate::Dataset;
+use reldb::{Database, Schema, SchemaBuilder, Value, ValueType};
+
+fn schema() -> Schema {
+    let mut b = SchemaBuilder::new();
+    b.relation("DISPAT")
+        .attr("pid", ValueType::Text)
+        .attr("age", ValueType::Int)
+        .attr("sex", ValueType::Text)
+        .attr("type", ValueType::Text) // hidden prediction column
+        .key(&["pid"]);
+    b.relation("INDIS")
+        .attr("iid", ValueType::Text)
+        .attr("pid", ValueType::Text)
+        .attr("got", ValueType::Float)
+        .attr("gpt", ValueType::Float)
+        .attr("alb", ValueType::Float)
+        .attr("tbil", ValueType::Float)
+        .key(&["iid"]);
+    b.relation("INHOSP")
+        .attr("hid", ValueType::Text)
+        .attr("pid", ValueType::Text)
+        .attr("che", ValueType::Float)
+        .key(&["hid"]);
+    b.relation("BIO")
+        .attr("bid", ValueType::Text)
+        .attr("pid", ValueType::Text)
+        .attr("fibros", ValueType::Text)
+        .attr("activity", ValueType::Text)
+        .key(&["bid"]);
+    b.relation("INTERFERON")
+        .attr("fid", ValueType::Text)
+        .attr("pid", ValueType::Text)
+        .attr("dose", ValueType::Float)
+        .key(&["fid"]);
+    b.relation("REL11")
+        .attr("r11id", ValueType::Text)
+        .attr("pid", ValueType::Text)
+        .attr("marker", ValueType::Text)
+        .key(&["r11id"]);
+    b.relation("REL12")
+        .attr("r12id", ValueType::Text)
+        .attr("pid", ValueType::Text)
+        .attr("measure", ValueType::Float)
+        .key(&["r12id"]);
+    for rel in ["INDIS", "INHOSP", "BIO", "INTERFERON", "REL11", "REL12"] {
+        b.foreign_key(rel, &["pid"], "DISPAT");
+    }
+    b.build().expect("hepatitis schema is valid")
+}
+
+/// Generate the dataset.
+pub fn generate(params: &DatasetParams) -> Dataset {
+    let mut ctx = SynthCtx::new(params, 0x4e50);
+    let mut db = Database::new(schema());
+    let pred = db.schema().relation_id("DISPAT").unwrap();
+
+    let n_patients = params.scaled(500, 30);
+    let mut labels = Vec::with_capacity(n_patients);
+    let mut patient_ids = Vec::with_capacity(n_patients);
+    for i in 0..n_patients {
+        // Hepatitis B : Hepatitis C ≈ 206 : 294.
+        let class = ctx.class_from_weights(&[206.0, 294.0]);
+        let pid = format!("p{i:04}");
+        let age = ctx.class_int(class, 38.0, 14.0, 11.0);
+        let sex = ctx.noise_token("sex", 2);
+        let fact = db
+            .insert_into(
+                "DISPAT",
+                vec![
+                    Value::Text(pid.clone()),
+                    ctx.maybe_null(age),
+                    ctx.maybe_null(sex),
+                    Value::Null, // hidden class
+                ],
+            )
+            .expect("patient insert");
+        labels.push((fact, class));
+        patient_ids.push((pid, class));
+    }
+
+    // Each satellite row picks a patient: the first `n_patients` rows cover
+    // every patient once (so every patient has signal), the rest uniform.
+    let pick = |ctx: &mut SynthCtx, i: usize| -> (String, usize) {
+        if i < patient_ids.len() {
+            patient_ids[i].clone()
+        } else {
+            patient_ids[ctx.index(patient_ids.len())].clone()
+        }
+    };
+
+    // INDIS: strong numeric signal in got/gpt (liver enzymes).
+    for i in 0..params.scaled(4000, 60) {
+        let (pid, class) = pick(&mut ctx, i);
+        let got = ctx.class_float(class, 45.0, 40.0, 18.0);
+        let gpt = ctx.class_float(class, 50.0, 35.0, 20.0);
+        let alb = ctx.class_float(class, 4.0, 0.3, 0.6);
+        let tbil = Value::Float(ctx.float_in(0.2, 2.5));
+        let (alb, tbil) = (ctx.maybe_null(alb), ctx.maybe_null(tbil));
+        db.insert_into(
+            "INDIS",
+            vec![Value::Text(format!("in{i:05}")), Value::Text(pid), got, gpt, alb, tbil],
+        )
+        .expect("indis insert");
+    }
+
+    // INHOSP: moderate numeric signal in che.
+    for i in 0..params.scaled(2500, 40) {
+        let (pid, class) = pick(&mut ctx, i);
+        let che = ctx.class_float(class, 180.0, -45.0, 40.0);
+        db.insert_into(
+            "INHOSP",
+            vec![Value::Text(format!("ho{i:05}")), Value::Text(pid), ctx.maybe_null(che)],
+        )
+        .expect("inhosp insert");
+    }
+
+    // BIO: categorical signal in fibrosis stage and activity grade.
+    for i in 0..params.scaled(500, 30) {
+        let (pid, class) = pick(&mut ctx, i);
+        let fibros = ctx.class_token("fibros", class, 3);
+        let activity = ctx.class_token("act", class, 3);
+        db.insert_into(
+            "BIO",
+            vec![
+                Value::Text(format!("bio{i:05}")),
+                Value::Text(pid),
+                ctx.maybe_null(fibros),
+                ctx.maybe_null(activity),
+            ],
+        )
+        .expect("bio insert");
+    }
+
+    // INTERFERON: weak numeric signal.
+    for i in 0..params.scaled(1500, 25) {
+        let (pid, class) = pick(&mut ctx, i);
+        let dose = ctx.class_float(class, 6.0, 1.0, 2.5);
+        db.insert_into(
+            "INTERFERON",
+            vec![Value::Text(format!("if{i:05}")), Value::Text(pid), ctx.maybe_null(dose)],
+        )
+        .expect("interferon insert");
+    }
+
+    // REL11: weak categorical marker.
+    for i in 0..params.scaled(2000, 25) {
+        let (pid, class) = pick(&mut ctx, i);
+        let marker = ctx.class_token("mk", class, 6);
+        db.insert_into(
+            "REL11",
+            vec![Value::Text(format!("ra{i:05}")), Value::Text(pid), ctx.maybe_null(marker)],
+        )
+        .expect("rel11 insert");
+    }
+
+    // REL12: pure noise measurements (realistic distractor relation).
+    for i in 0..params.scaled(1927, 25) {
+        let (pid, _class) = pick(&mut ctx, i);
+        let measure = Value::Float(ctx.float_in(0.0, 100.0));
+        db.insert_into(
+            "REL12",
+            vec![Value::Text(format!("rb{i:05}")), Value::Text(pid), ctx.maybe_null(measure)],
+        )
+        .expect("rel12 insert");
+    }
+
+    Dataset {
+        name: "Hepatitis",
+        db,
+        prediction_rel: pred,
+        class_attr: 3,
+        labels,
+        class_names: vec!["HepatitisB", "HepatitisC"],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_one_shape() {
+        let ds = generate(&DatasetParams::default());
+        ds.validate().unwrap();
+        assert_eq!(ds.sample_count(), 500);
+        assert_eq!(ds.db.schema().relation_count(), 7);
+        assert_eq!(ds.db.schema().total_attributes(), 26);
+        assert_eq!(ds.db.total_facts(), 12_927);
+        assert_eq!(ds.class_count(), 2);
+        // Imbalance roughly 206:294.
+        let dist = ds.class_distribution();
+        let frac = dist[0] as f64 / ds.sample_count() as f64;
+        assert!((0.33..0.50).contains(&frac), "class-0 fraction {frac}");
+    }
+
+    #[test]
+    fn scaling_shrinks_everything() {
+        let ds = generate(&DatasetParams::tiny(7));
+        ds.validate().unwrap();
+        assert!(ds.db.total_facts() < 2_000);
+        assert!(ds.sample_count() >= 30);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&DatasetParams::tiny(5));
+        let b = generate(&DatasetParams::tiny(5));
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.db.total_facts(), b.db.total_facts());
+    }
+}

@@ -1,0 +1,227 @@
+//! Mondial-like database (May 1999, geographic multi-source integration).
+//!
+//! Table I shape: prediction relation `TARGET`, predicted attribute
+//! `target` (binary: Christian-majority vs not, ≈ 114:71 imbalance scaled
+//! to 206 samples), **40 relations**, 21,497 tuples, 167 attributes. As in
+//! the real Mondial setup of the paper, the prediction relation is binary —
+//! it contains *only* the country name and the hidden class — so every bit
+//! of signal must travel across foreign keys: `TARGET → COUNTRY →`
+//! satellite relations (religions, languages, ethnic groups carry the
+//! class; dozens of other geographic satellites are realistic distractors).
+
+use crate::synth::{DatasetParams, SynthCtx};
+use crate::Dataset;
+use reldb::{Database, Schema, SchemaBuilder, Value, ValueType};
+
+/// The 38 satellite relations (name, number of payload attributes beyond
+/// the key and the country FK). Totals: 38 relations, 85 payload attrs →
+/// with 2 structural attrs each plus TARGET(2) and COUNTRY(4):
+/// 38·2 + 85 + 6 = 167 attributes, matching Table I.
+const SATELLITES: [(&str, usize); 38] = [
+    ("RELIGION", 3),
+    ("LANGUAGE", 3),
+    ("ETHNICGROUP", 3),
+    ("CITY", 3),
+    ("PROVINCE", 3),
+    ("ECONOMY", 3),
+    ("POLITICS", 3),
+    ("POPULATION", 3),
+    ("BORDER", 3),
+    ("MOUNTAIN", 2),
+    ("RIVER", 2),
+    ("LAKE", 2),
+    ("SEA", 2),
+    ("DESERT", 2),
+    ("ISLAND", 2),
+    ("AIRPORT", 2),
+    ("ORGANIZATION", 2),
+    ("MEMBER", 2),
+    ("ENCOMPASSES", 2),
+    ("LOCATED", 2),
+    ("MOUNTAINSITE", 2),
+    ("RIVERTHROUGH", 2),
+    ("CITYPOP", 2),
+    ("PROVPOP", 2),
+    ("AGRICULTURE", 2),
+    ("INDUSTRY", 2),
+    ("SERVICE", 2),
+    ("INFLATION", 2),
+    ("UNEMPLOYMENT", 2),
+    ("GDP", 2),
+    ("DEPENDENT", 2),
+    ("TREATY", 2),
+    ("ALLIANCE", 2),
+    ("COAST", 2),
+    ("CLIMATE", 2),
+    ("EXPORT", 2),
+    ("IMPORT", 2),
+    ("HERITAGE", 2),
+];
+
+fn schema() -> Schema {
+    let mut b = SchemaBuilder::new();
+    b.relation("TARGET")
+        .attr("country", ValueType::Text)
+        .attr("target", ValueType::Text) // hidden prediction column
+        .key(&["country"]);
+    b.relation("COUNTRY")
+        .attr("code", ValueType::Text)
+        .attr("name", ValueType::Text)
+        .attr("area", ValueType::Float)
+        .attr("population", ValueType::Int)
+        .key(&["code"]);
+    for (name, payload) in SATELLITES {
+        let mut rb = b
+            .relation(name)
+            .attr("sid", ValueType::Text)
+            .attr("country", ValueType::Text);
+        for p in 0..payload {
+            // Payload types cycle text → float → int.
+            let ty = match p % 3 {
+                0 => ValueType::Text,
+                1 => ValueType::Float,
+                _ => ValueType::Int,
+            };
+            rb = rb.attr(format!("v{p}"), ty);
+        }
+        rb.key(&["sid"]);
+    }
+    b.foreign_key("TARGET", &["country"], "COUNTRY");
+    for (name, _) in SATELLITES {
+        b.foreign_key(name, &["country"], "COUNTRY");
+    }
+    b.build().expect("mondial schema is valid")
+}
+
+/// Generate the dataset.
+pub fn generate(params: &DatasetParams) -> Dataset {
+    let mut ctx = SynthCtx::new(params, 0x4d4f);
+    let mut db = Database::new(schema());
+    let pred = db.schema().relation_id("TARGET").unwrap();
+
+    let n_countries = params.scaled(206, 30);
+    let mut labels = Vec::with_capacity(n_countries);
+    let mut countries: Vec<(String, usize)> = Vec::with_capacity(n_countries);
+    for i in 0..n_countries {
+        // Christian-majority : other ≈ 114 : 71 (paper §VI-A-2).
+        let class = ctx.class_from_weights(&[114.0, 71.0]);
+        let code = format!("M{i:03}");
+        let area = Value::Float(ctx.float_in(10.0, 1000.0));
+        let population = Value::Int(ctx.int_in(100, 90_000));
+        db.insert_into(
+            "COUNTRY",
+            vec![
+                Value::Text(code.clone()),
+                ctx.noise_token("cname", 400),
+                ctx.maybe_null(area),
+                ctx.maybe_null(population),
+            ],
+        )
+        .expect("country insert");
+        let fact = db
+            .insert_into("TARGET", vec![Value::Text(code.clone()), Value::Null])
+            .expect("target insert");
+        labels.push((fact, class));
+        countries.push((code, class));
+    }
+
+    // Tuple budget: 21,497 total − 2·countries for TARGET/COUNTRY.
+    let full_satellite_budget = 21_497 - 2 * 206;
+    let signal_rows_full = 500usize; // per signal relation
+    let noise_rows_full =
+        (full_satellite_budget - 3 * signal_rows_full) / (SATELLITES.len() - 3);
+    // Remainder rows land in the last satellite so full scale is exact.
+    let remainder_full = full_satellite_budget
+        - 3 * signal_rows_full
+        - noise_rows_full * (SATELLITES.len() - 3);
+
+    for (idx, (name, payload)) in SATELLITES.iter().enumerate() {
+        let is_signal = idx < 3;
+        let full_rows = if is_signal {
+            signal_rows_full
+        } else if idx == SATELLITES.len() - 1 {
+            noise_rows_full + remainder_full
+        } else {
+            noise_rows_full
+        };
+        let rows = params.scaled(full_rows, n_countries.min(full_rows).max(10));
+        for r in 0..rows {
+            // Signal relations cover every country at least once.
+            let (code, class) = if is_signal && r < countries.len() {
+                countries[r].clone()
+            } else {
+                countries[ctx.index(countries.len())].clone()
+            };
+            let mut values = vec![
+                Value::Text(format!("{}{r:05}", &name[..2].to_ascii_lowercase())),
+                Value::Text(code),
+            ];
+            for p in 0..*payload {
+                let v = match (p % 3, is_signal) {
+                    (0, true) => ctx.class_token(name, class, 4),
+                    (0, false) => ctx.noise_token(name, 12),
+                    (1, true) => ctx.class_float(class, 50.0, 25.0, 15.0),
+                    (1, false) => Value::Float(ctx.float_in(0.0, 100.0)),
+                    (_, true) => ctx.class_int(class, 10.0, 5.0, 4.0),
+                    (_, false) => Value::Int(ctx.int_in(0, 1000)),
+                };
+                values.push(ctx.maybe_null(v));
+            }
+            db.insert_into(name, values).expect("satellite insert");
+        }
+    }
+
+    Dataset {
+        name: "Mondial",
+        db,
+        prediction_rel: pred,
+        class_attr: 1,
+        labels,
+        class_names: vec!["Christian", "non-Christian"],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_one_shape() {
+        let ds = generate(&DatasetParams::default());
+        ds.validate().unwrap();
+        assert_eq!(ds.sample_count(), 206);
+        assert_eq!(ds.db.schema().relation_count(), 40);
+        assert_eq!(ds.db.schema().total_attributes(), 167);
+        assert_eq!(ds.db.total_facts(), 21_497);
+        assert_eq!(ds.class_count(), 2);
+        // ≈ 114:71 imbalance.
+        let dist = ds.class_distribution();
+        let frac = dist[0] as f64 / ds.sample_count() as f64;
+        assert!((0.5..0.72).contains(&frac), "majority fraction {frac}");
+    }
+
+    #[test]
+    fn prediction_relation_is_bare() {
+        // The paper stresses that Mondial's target relation contains only
+        // the country name and the class — no feature leakage possible.
+        let ds = generate(&DatasetParams::tiny(9));
+        let rel = ds.db.schema().relation(ds.prediction_rel);
+        assert_eq!(rel.arity(), 2);
+        for (_, fact) in ds.db.facts(ds.prediction_rel) {
+            assert!(fact.get(1).is_null());
+        }
+    }
+
+    #[test]
+    fn signal_relations_cover_every_country() {
+        let ds = generate(&DatasetParams::tiny(11));
+        for name in ["RELIGION", "LANGUAGE", "ETHNICGROUP"] {
+            let rel = ds.db.schema().relation_id(name).unwrap();
+            let mut seen: std::collections::HashSet<String> = Default::default();
+            for (_, fact) in ds.db.facts(rel) {
+                seen.insert(fact.get(1).as_text().unwrap().to_string());
+            }
+            assert_eq!(seen.len(), ds.sample_count(), "{name} must cover all");
+        }
+    }
+}

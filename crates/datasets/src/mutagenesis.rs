@@ -1,0 +1,200 @@
+//! Mutagenesis-like database (Debnath et al. 1991).
+//!
+//! Table I shape: prediction relation `MOLECULE`, predicted attribute
+//! `mutagenic` (binary, 122 positive : 66 negative), 3 relations, 10,324
+//! tuples, 14 attributes. As in the real data the prediction relation
+//! carries some chemical descriptors itself (`logp`, `lumo`) while the rest
+//! of the signal lives in the atom composition and bond structure.
+
+use crate::synth::{DatasetParams, SynthCtx};
+use crate::Dataset;
+use reldb::{Database, Schema, SchemaBuilder, Value, ValueType};
+
+fn schema() -> Schema {
+    let mut b = SchemaBuilder::new();
+    b.relation("MOLECULE")
+        .attr("mid", ValueType::Text)
+        .attr("ind1", ValueType::Int)
+        .attr("logp", ValueType::Float)
+        .attr("lumo", ValueType::Float)
+        .attr("mutagenic", ValueType::Text) // hidden prediction column
+        .key(&["mid"]);
+    b.relation("ATOM")
+        .attr("aid", ValueType::Text)
+        .attr("mid", ValueType::Text)
+        .attr("element", ValueType::Text)
+        .attr("atype", ValueType::Int)
+        .attr("charge", ValueType::Float)
+        .key(&["aid"]);
+    b.relation("BOND")
+        .attr("bid", ValueType::Text)
+        .attr("atom1", ValueType::Text)
+        .attr("atom2", ValueType::Text)
+        .attr("btype", ValueType::Int)
+        .key(&["bid"]);
+    b.foreign_key("ATOM", &["mid"], "MOLECULE");
+    b.foreign_key("BOND", &["atom1"], "ATOM");
+    b.foreign_key("BOND", &["atom2"], "ATOM");
+    b.build().expect("mutagenesis schema is valid")
+}
+
+/// Generate the dataset.
+pub fn generate(params: &DatasetParams) -> Dataset {
+    let mut ctx = SynthCtx::new(params, 0x4d47);
+    let mut db = Database::new(schema());
+    let pred = db.schema().relation_id("MOLECULE").unwrap();
+
+    let n_molecules = params.scaled(188, 24);
+    let n_atoms = params.scaled(4893, 24 * 8);
+    let n_bonds = params.scaled(5243, 24 * 8);
+
+    let mut labels = Vec::with_capacity(n_molecules);
+    let mut molecules: Vec<(String, usize)> = Vec::with_capacity(n_molecules);
+    for i in 0..n_molecules {
+        // 122 mutagenic : 66 non-mutagenic.
+        let class = ctx.class_from_weights(&[66.0, 122.0]);
+        let mid = format!("d{i:03}");
+        // Direct descriptors carry part of the signal, as in the real data.
+        let ind1 = ctx.class_int(class, 0.0, 1.0, 0.4);
+        let logp = ctx.class_float(class, 2.0, 1.4, 1.0);
+        let lumo = ctx.class_float(class, -1.2, -0.8, 0.5);
+        let fact = db
+            .insert_into(
+                "MOLECULE",
+                vec![
+                    Value::Text(mid.clone()),
+                    ctx.maybe_null(ind1),
+                    ctx.maybe_null(logp),
+                    ctx.maybe_null(lumo),
+                    Value::Null, // hidden class
+                ],
+            )
+            .expect("molecule insert");
+        labels.push((fact, class));
+        molecules.push((mid, class));
+    }
+
+    // Atoms: element distribution depends on the class (mutagenic molecules
+    // are nitro-aromatic: more N/O). Atoms are dealt round-robin so every
+    // molecule has atoms; per-molecule atom lists drive bond generation.
+    let mut atoms_of: Vec<Vec<String>> = vec![Vec::new(); n_molecules];
+    for i in 0..n_atoms {
+        let m_idx = if i < n_molecules { i } else { ctx.index(n_molecules) };
+        let (mid, class) = molecules[m_idx].clone();
+        let element = if ctx.chance(params.signal) {
+            // Class-conditional element frequencies.
+            let pools: [&[&str]; 2] = [&["c", "c", "c", "h", "h", "cl"], &["c", "c", "n", "o", "o", "h"]];
+            let pool = pools[class];
+            Value::Text(pool[ctx.index(pool.len())].to_string())
+        } else {
+            ctx.noise_token("el", 5)
+        };
+        let atype = ctx.class_int(class, 22.0, 6.0, 8.0);
+        let charge = ctx.class_float(class, -0.1, 0.15, 0.1);
+        let aid = format!("a{i:05}");
+        db.insert_into(
+            "ATOM",
+            vec![
+                Value::Text(aid.clone()),
+                Value::Text(mid),
+                ctx.maybe_null(element),
+                ctx.maybe_null(atype),
+                ctx.maybe_null(charge),
+            ],
+        )
+        .expect("atom insert");
+        atoms_of[m_idx].push(aid);
+    }
+
+    // Bonds: connect atoms within the same molecule (chain + random
+    // chords), bond type weakly class-conditional (aromatic rings).
+    let mut bonds = 0usize;
+    let mut i = 0usize;
+    while bonds < n_bonds {
+        let m_idx = i % n_molecules;
+        i += 1;
+        let list = &atoms_of[m_idx];
+        if list.len() < 2 {
+            continue;
+        }
+        let a = ctx.index(list.len());
+        let mut b = ctx.index(list.len());
+        if b == a {
+            b = (a + 1) % list.len();
+        }
+        let class = molecules[m_idx].1;
+        let btype = if ctx.chance(params.signal * 0.6) {
+            Value::Int(1 + class as i64) // single vs aromatic-ish
+        } else {
+            Value::Int(ctx.int_in(1, 4))
+        };
+        db.insert_into(
+            "BOND",
+            vec![
+                Value::Text(format!("b{bonds:05}")),
+                Value::Text(list[a].clone()),
+                Value::Text(list[b].clone()),
+                ctx.maybe_null(btype),
+            ],
+        )
+        .expect("bond insert");
+        bonds += 1;
+    }
+
+    Dataset {
+        name: "Mutagenesis",
+        db,
+        prediction_rel: pred,
+        class_attr: 4,
+        labels,
+        class_names: vec!["non-mutagenic", "mutagenic"],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_one_shape() {
+        let ds = generate(&DatasetParams::default());
+        ds.validate().unwrap();
+        assert_eq!(ds.sample_count(), 188);
+        assert_eq!(ds.db.schema().relation_count(), 3);
+        assert_eq!(ds.db.schema().total_attributes(), 14);
+        assert_eq!(ds.db.total_facts(), 10_324);
+        // 122:66 imbalance (positive = class 1).
+        let dist = ds.class_distribution();
+        let frac = dist[1] as f64 / ds.sample_count() as f64;
+        assert!((0.55..0.75).contains(&frac), "mutagenic fraction {frac}");
+    }
+
+    #[test]
+    fn bonds_connect_atoms_of_one_molecule() {
+        let ds = generate(&DatasetParams::tiny(1));
+        ds.validate().unwrap();
+        let schema = ds.db.schema();
+        let bond = schema.relation_id("BOND").unwrap();
+        let atom = schema.relation_id("ATOM").unwrap();
+        for (_, fact) in ds.db.facts(bond) {
+            let a1 = fact.get(1).clone();
+            let a2 = fact.get(2).clone();
+            let f1 = ds.db.lookup_key(atom, &[a1]).unwrap();
+            let f2 = ds.db.lookup_key(atom, &[a2]).unwrap();
+            let m1 = ds.db.fact(f1).unwrap().get(1);
+            let m2 = ds.db.fact(f2).unwrap().get(1);
+            assert_eq!(m1, m2, "bond crosses molecules");
+        }
+    }
+
+    #[test]
+    fn every_molecule_has_atoms() {
+        let ds = generate(&DatasetParams::tiny(2));
+        let atom = ds.db.schema().relation_id("ATOM").unwrap();
+        let mut seen: std::collections::HashSet<String> = Default::default();
+        for (_, fact) in ds.db.facts(atom) {
+            seen.insert(fact.get(1).as_text().unwrap().to_string());
+        }
+        assert_eq!(seen.len(), ds.sample_count());
+    }
+}

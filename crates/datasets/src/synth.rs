@@ -1,0 +1,217 @@
+//! Shared machinery for the synthetic dataset generators.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use reldb::Value;
+
+/// Generation parameters shared by all five datasets.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetParams {
+    /// RNG seed; generation is fully deterministic given the seed.
+    pub seed: u64,
+    /// Size multiplier: `1.0` reproduces the Table I tuple counts, smaller
+    /// values shrink every relation proportionally (minimum sizes keep the
+    /// databases well-formed). Used by quick experiment modes.
+    pub scale: f64,
+    /// Signal strength `α ∈ [0, 1]`: probability that a class-bearing
+    /// categorical attribute draws from its class-specific pool rather than
+    /// the shared noise pool; also scales the separation of numeric
+    /// class-conditional means.
+    pub signal: f64,
+    /// Probability of nulling out a nullable attribute value (the real
+    /// datasets contain missing values).
+    pub p_null: f64,
+}
+
+impl Default for DatasetParams {
+    fn default() -> Self {
+        DatasetParams { seed: 2023, scale: 1.0, signal: 0.85, p_null: 0.02 }
+    }
+}
+
+impl DatasetParams {
+    /// Scaled count with a floor.
+    pub fn scaled(&self, full: usize, min: usize) -> usize {
+        ((full as f64 * self.scale).round() as usize).max(min)
+    }
+
+    /// A small-scale preset for tests and quick runs.
+    pub fn tiny(seed: u64) -> Self {
+        DatasetParams { seed, scale: 0.08, signal: 0.9, p_null: 0.02 }
+    }
+}
+
+/// RNG + sampling helpers used by every generator.
+pub struct SynthCtx {
+    rng: StdRng,
+    params: DatasetParams,
+}
+
+impl SynthCtx {
+    /// Fresh context; `salt` decorrelates the five generators under a
+    /// shared seed.
+    pub fn new(params: &DatasetParams, salt: u64) -> Self {
+        SynthCtx {
+            rng: StdRng::seed_from_u64(params.seed.wrapping_mul(0x9e37).wrapping_add(salt)),
+            params: *params,
+        }
+    }
+
+    /// The generation parameters.
+    pub fn params(&self) -> &DatasetParams {
+        &self.params
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+        self.rng.random_range(lo..hi)
+    }
+
+    /// Uniform index.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.rng.random_range(0..n)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn float_in(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.random_range(lo..hi)
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.random_range(0.0..1.0) < p
+    }
+
+    /// Standard normal via Box–Muller (the offline `rand` has no
+    /// distributions module).
+    pub fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.random_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.random_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// A categorical token from a class-conditional pool family: with
+    /// probability `signal` the token comes from the class's own pool of
+    /// `pool` tokens, otherwise from a shared pool — this is how class
+    /// signal is planted in satellite relations.
+    pub fn class_token(
+        &mut self,
+        prefix: &str,
+        class: usize,
+        pool: usize,
+    ) -> Value {
+        let signal = self.params.signal;
+        if self.chance(signal) {
+            Value::Text(format!("{prefix}_c{class}_{}", self.index(pool)))
+        } else {
+            Value::Text(format!("{prefix}_shared_{}", self.index(pool * 2)))
+        }
+    }
+
+    /// A class-free categorical token (pure noise attribute).
+    pub fn noise_token(&mut self, prefix: &str, pool: usize) -> Value {
+        Value::Text(format!("{prefix}_{}", self.index(pool)))
+    }
+
+    /// Class-conditional numeric: `base + class·step·signal + σ·N(0,1)`.
+    pub fn class_float(
+        &mut self,
+        class: usize,
+        base: f64,
+        step: f64,
+        sigma: f64,
+    ) -> Value {
+        let mean = base + class as f64 * step * self.params.signal;
+        Value::Float(mean + sigma * self.gaussian())
+    }
+
+    /// Class-conditional integer (rounded [`SynthCtx::class_float`]).
+    pub fn class_int(&mut self, class: usize, base: f64, step: f64, sigma: f64) -> Value {
+        let Value::Float(x) = self.class_float(class, base, step, sigma) else {
+            unreachable!()
+        };
+        Value::Int(x.round() as i64)
+    }
+
+    /// Replace with `⊥` with the configured null probability.
+    pub fn maybe_null(&mut self, v: Value) -> Value {
+        if self.chance(self.params.p_null) {
+            Value::Null
+        } else {
+            v
+        }
+    }
+
+    /// Draw a class id from explicit per-class weights.
+    pub fn class_from_weights(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        let mut x = self.rng.random_range(0.0..total);
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_has_floor() {
+        let p = DatasetParams { scale: 0.01, ..Default::default() };
+        assert_eq!(p.scaled(1000, 25), 25);
+        let p1 = DatasetParams::default();
+        assert_eq!(p1.scaled(1000, 25), 1000);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut ctx = SynthCtx::new(&DatasetParams::default(), 1);
+        let xs: Vec<f64> = (0..20_000).map(|_| ctx.gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / xs.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn class_tokens_carry_signal() {
+        let params = DatasetParams { signal: 0.9, ..Default::default() };
+        let mut ctx = SynthCtx::new(&params, 2);
+        let mut class_specific = 0;
+        for _ in 0..1000 {
+            if let Value::Text(t) = ctx.class_token("x", 3, 4) {
+                if t.starts_with("x_c3_") {
+                    class_specific += 1;
+                }
+            }
+        }
+        assert!((850..=950).contains(&class_specific), "{class_specific}");
+    }
+
+    #[test]
+    fn class_weights_respected() {
+        let mut ctx = SynthCtx::new(&DatasetParams::default(), 3);
+        let mut counts = [0usize; 2];
+        for _ in 0..5000 {
+            counts[ctx.class_from_weights(&[3.0, 1.0])] += 1;
+        }
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((2.4..3.6).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn determinism() {
+        let p = DatasetParams::default();
+        let mut a = SynthCtx::new(&p, 9);
+        let mut b = SynthCtx::new(&p, 9);
+        for _ in 0..100 {
+            assert_eq!(a.int_in(0, 1000), b.int_in(0, 1000));
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! World-like database (the classic MySQL `world` sample).
+//!
+//! Table I shape: prediction relation `COUNTRY`, predicted attribute
+//! `continent` (7 classes), 3 relations, 5,411 tuples, 24 attributes.
+//! Signal: the country's own socio-economic descriptors correlate with the
+//! continent (as in the real data, where e.g. region nearly determines it),
+//! and cities/languages referencing the country carry additional
+//! class-specific vocabulary.
+
+use crate::synth::{DatasetParams, SynthCtx};
+use crate::Dataset;
+use reldb::{Database, Schema, SchemaBuilder, Value, ValueType};
+
+
+fn schema() -> Schema {
+    let mut b = SchemaBuilder::new();
+    b.relation("COUNTRY")
+        .attr("code", ValueType::Text)
+        .attr("name", ValueType::Text)
+        .attr("region", ValueType::Text)
+        .attr("surface", ValueType::Float)
+        .attr("indep", ValueType::Int)
+        .attr("population", ValueType::Int)
+        .attr("gnp", ValueType::Float)
+        .attr("gnpold", ValueType::Float)
+        .attr("lifeexp", ValueType::Float)
+        .attr("govform", ValueType::Text)
+        .attr("headofstate", ValueType::Text)
+        .attr("capital", ValueType::Text)
+        .attr("continent", ValueType::Text) // hidden prediction column
+        .key(&["code"]);
+    b.relation("CITY")
+        .attr("cid", ValueType::Text)
+        .attr("country", ValueType::Text)
+        .attr("name", ValueType::Text)
+        .attr("district", ValueType::Text)
+        .attr("population", ValueType::Int)
+        .attr("is_capital", ValueType::Bool)
+        .key(&["cid"]);
+    b.relation("LANG")
+        .attr("lid", ValueType::Text)
+        .attr("country", ValueType::Text)
+        .attr("language", ValueType::Text)
+        .attr("official", ValueType::Bool)
+        .attr("percentage", ValueType::Float)
+        .key(&["lid"]);
+    b.foreign_key("CITY", &["country"], "COUNTRY");
+    b.foreign_key("LANG", &["country"], "COUNTRY");
+    b.build().expect("world schema is valid")
+}
+
+/// Generate the dataset.
+pub fn generate(params: &DatasetParams) -> Dataset {
+    let mut ctx = SynthCtx::new(params, 0x574c);
+    let mut db = Database::new(schema());
+    let pred = db.schema().relation_id("COUNTRY").unwrap();
+
+    // Continent sizes roughly matching the real `world` database.
+    let weights = [58.0, 51.0, 46.0, 36.0, 28.0, 14.0, 6.0];
+
+    let n_countries = params.scaled(239, 35);
+    let mut labels = Vec::with_capacity(n_countries);
+    let mut countries: Vec<(String, usize)> = Vec::with_capacity(n_countries);
+    for i in 0..n_countries {
+        let class = ctx.class_from_weights(&weights);
+        let code = format!("C{i:03}");
+        let name = ctx.noise_token("country", 400);
+        let region = ctx.class_token("region", class, 4);
+        let surface = ctx.class_float(class, 300.0, 120.0, 250.0);
+        let indep = Value::Int(ctx.int_in(1400, 2000));
+        let population = ctx.class_int(class, 8_000.0, 4_000.0, 9_000.0);
+        let gnp = ctx.class_float(class, 90.0, 60.0, 80.0);
+        let gnpold = ctx.class_float(class, 80.0, 55.0, 85.0);
+        let lifeexp = ctx.class_float(class, 55.0, 4.0, 6.0);
+        let govform = ctx.class_token("gov", class, 3);
+        let head = ctx.noise_token("head", 300);
+        let capital = ctx.noise_token("cap", 400);
+        let fact = db
+            .insert_into(
+                "COUNTRY",
+                vec![
+                    Value::Text(code.clone()),
+                    ctx.maybe_null(name),
+                    ctx.maybe_null(region),
+                    ctx.maybe_null(surface),
+                    ctx.maybe_null(indep),
+                    ctx.maybe_null(population),
+                    ctx.maybe_null(gnp),
+                    ctx.maybe_null(gnpold),
+                    ctx.maybe_null(lifeexp),
+                    ctx.maybe_null(govform),
+                    ctx.maybe_null(head),
+                    ctx.maybe_null(capital),
+                    Value::Null, // hidden class
+                ],
+            )
+            .expect("country insert");
+        labels.push((fact, class));
+        countries.push((code, class));
+    }
+
+    // Cities: district vocabulary and population scale carry signal.
+    for i in 0..params.scaled(4100, 80) {
+        let (code, class) = if i < countries.len() {
+            countries[i].clone()
+        } else {
+            countries[ctx.index(countries.len())].clone()
+        };
+        let name = ctx.noise_token("city", 2500);
+        let district = ctx.class_token("dist", class, 5);
+        let population = ctx.class_int(class, 120.0, 60.0, 150.0);
+        let is_capital = Value::Bool(ctx.chance(0.06));
+        db.insert_into(
+            "CITY",
+            vec![
+                Value::Text(format!("ct{i:05}")),
+                Value::Text(code),
+                ctx.maybe_null(name),
+                ctx.maybe_null(district),
+                ctx.maybe_null(population),
+                is_capital,
+            ],
+        )
+        .expect("city insert");
+    }
+
+    // Languages: strongly continent-specific vocabularies.
+    for i in 0..params.scaled(1072, 40) {
+        let (code, class) = if i < countries.len() {
+            countries[i].clone()
+        } else {
+            countries[ctx.index(countries.len())].clone()
+        };
+        let language = ctx.class_token("lang", class, 6);
+        let official = Value::Bool(ctx.chance(0.5));
+        let percentage = Value::Float(ctx.float_in(1.0, 100.0));
+        db.insert_into(
+            "LANG",
+            vec![
+                Value::Text(format!("ln{i:05}")),
+                Value::Text(code),
+                ctx.maybe_null(language),
+                official,
+                ctx.maybe_null(percentage),
+            ],
+        )
+        .expect("lang insert");
+    }
+
+    Dataset {
+        name: "World",
+        db,
+        prediction_rel: pred,
+        class_attr: 12,
+        labels,
+        class_names: vec![
+            "Asia",
+            "Europe",
+            "Africa",
+            "NorthAmerica",
+            "SouthAmerica",
+            "Oceania",
+            "Antarctica",
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_one_shape() {
+        let ds = generate(&DatasetParams::default());
+        ds.validate().unwrap();
+        assert_eq!(ds.sample_count(), 239);
+        assert_eq!(ds.db.schema().relation_count(), 3);
+        assert_eq!(ds.db.schema().total_attributes(), 24);
+        assert_eq!(ds.db.total_facts(), 5_411);
+        assert_eq!(ds.class_count(), 7);
+        // Majority ≈ 24%.
+        let dist = ds.class_distribution();
+        let majority = *dist.iter().max().unwrap() as f64 / ds.sample_count() as f64;
+        assert!((0.15..0.35).contains(&majority), "majority {majority}");
+    }
+
+    #[test]
+    fn every_country_has_a_city_and_language() {
+        let ds = generate(&DatasetParams::tiny(4));
+        ds.validate().unwrap();
+        for rel_name in ["CITY", "LANG"] {
+            let rel = ds.db.schema().relation_id(rel_name).unwrap();
+            let mut seen: std::collections::HashSet<String> = Default::default();
+            for (_, fact) in ds.db.facts(rel) {
+                seen.insert(fact.get(1).as_text().unwrap().to_string());
+            }
+            assert_eq!(seen.len(), ds.sample_count(), "{rel_name} coverage");
+        }
+    }
+}

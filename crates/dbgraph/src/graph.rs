@@ -1,0 +1,144 @@
+//! Generic undirected multigraph with sorted adjacency lists.
+
+/// Node identifier: index into the graph's node arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// As a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An undirected multigraph. Nodes are dense indices; edges are stored as
+/// adjacency lists that are kept **sorted** so that the second-order walk
+/// bias can test adjacency in `O(log deg)`.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    adjacency: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Add a node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.adjacency.len() as u32);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Add an undirected edge. Parallel edges are allowed (they simply give
+    /// the neighbour more transition weight); self-loops are rejected as a
+    /// programmer error.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
+        assert_ne!(a, b, "self-loops are not meaningful in the bipartite DB graph");
+        // Insert keeping the lists sorted.
+        let insert_sorted = |list: &mut Vec<NodeId>, v: NodeId| {
+            let pos = list.partition_point(|&x| x <= v);
+            list.insert(pos, v);
+        };
+        insert_sorted(&mut self.adjacency[a.index()], b);
+        insert_sorted(&mut self.adjacency[b.index()], a);
+        self.edge_count += 1;
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of edges (each undirected edge counted once).
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Neighbours of `v` (sorted, possibly with duplicates for parallel
+    /// edges).
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adjacency[v.index()]
+    }
+
+    /// Degree of `v` (counting parallel edges).
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adjacency[v.index()].len()
+    }
+
+    /// `true` iff `a` and `b` are adjacent (binary search over the sorted
+    /// list).
+    #[inline]
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.adjacency[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// Iterate over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.adjacency.len() as u32).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> (Graph, [NodeId; 3]) {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        (g, [a, b, c])
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let (g, [a, b, c]) = path3();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(a), 1);
+        assert_eq!(g.degree(b), 2);
+        assert_eq!(g.degree(c), 1);
+    }
+
+    #[test]
+    fn adjacency_is_sorted_and_searchable() {
+        let mut g = Graph::new();
+        let nodes: Vec<NodeId> = (0..5).map(|_| g.add_node()).collect();
+        g.add_edge(nodes[0], nodes[3]);
+        g.add_edge(nodes[0], nodes[1]);
+        g.add_edge(nodes[0], nodes[4]);
+        g.add_edge(nodes[0], nodes[2]);
+        let neigh = g.neighbors(nodes[0]);
+        assert!(neigh.windows(2).all(|w| w[0] <= w[1]));
+        assert!(g.has_edge(nodes[0], nodes[2]));
+        assert!(!g.has_edge(nodes[1], nodes[2]));
+    }
+
+    #[test]
+    fn parallel_edges_increase_weight() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b);
+        g.add_edge(a, b);
+        assert_eq!(g.degree(a), 2);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        g.add_edge(a, a);
+    }
+}

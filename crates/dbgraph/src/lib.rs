@@ -1,0 +1,30 @@
+//! # dbgraph — graph model of a relational database
+//!
+//! Implements the graph construction of the paper's §IV: a bipartite graph
+//! `G_D` whose one side is the **facts** of the database and whose other
+//! side is the **attribute values** occurring in them. For each relation
+//! schema `R(A₁,…,A_k)`, attribute `Aᵢ`, and value `a` occurring in
+//! `R(D).Aᵢ` there is a node `u(R,Aᵢ,a)`; each fact node `v(f)` is adjacent
+//! to the value nodes of its (non-null) attribute values.
+//!
+//! The crucial subtlety (paper Figure 3 and the "Universal" discussion): the
+//! same constant in two different columns yields **two distinct nodes**,
+//! *except* when the columns are linked by a foreign key — for an FK
+//! `R[B₁,…,B_ℓ] ⊆ S[C₁,…,C_ℓ]` the nodes `u(R,Bᵢ,a)` and `u(S,Cᵢ,a)` are
+//! identified. We realise the identification by computing the equivalence
+//! classes of *columns* under the FK-pairing relation (union-find) and
+//! keying value nodes by `(column-class, value)`.
+//!
+//! The crate also provides the **biased second-order random walks** of
+//! Node2Vec (Grover & Leskovec 2016, return parameter `p`, in-out parameter
+//! `q`) and the incremental graph extension used by the dynamic phase.
+
+pub mod builder;
+pub mod graph;
+pub mod unionfind;
+pub mod walks;
+
+pub use builder::{DbGraph, NodeKind};
+pub use graph::{Graph, NodeId};
+pub use unionfind::UnionFind;
+pub use walks::{WalkConfig, WalkCorpus, Walker};

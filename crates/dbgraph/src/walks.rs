@@ -1,0 +1,261 @@
+//! Biased second-order random walks (Node2Vec, Grover & Leskovec 2016).
+//!
+//! A walk step from `cur` (having arrived from `prev`) picks the next node
+//! `x` among `cur`'s neighbours with unnormalised weight
+//!
+//! * `1/p` if `x == prev` (return),
+//! * `1`   if `x` is adjacent to `prev` (BFS-ish),
+//! * `1/q` otherwise (DFS-ish).
+//!
+//! With `p = q = 1` this degenerates to a first-order uniform walk — the
+//! setting the paper uses for its database graphs. The corpus generator
+//! produces `walks_per_node` truncated walks of `walk_length` steps from
+//! every start node, exactly the sampling regime of Table II (40 walks × 30
+//! steps), and the dynamic phase re-samples walks **only from the new
+//! nodes** (paper §IV-A).
+
+use crate::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Walk sampling hyperparameters.
+#[derive(Debug, Clone)]
+pub struct WalkConfig {
+    /// Walks started per start node (paper default 40).
+    pub walks_per_node: usize,
+    /// Steps per walk (paper default 30).
+    pub walk_length: usize,
+    /// Node2Vec return parameter.
+    pub p: f64,
+    /// Node2Vec in-out parameter.
+    pub q: f64,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        WalkConfig { walks_per_node: 40, walk_length: 30, p: 1.0, q: 1.0 }
+    }
+}
+
+/// A corpus of random walks: each walk is a node sequence whose first entry
+/// is the start node.
+#[derive(Debug, Clone, Default)]
+pub struct WalkCorpus {
+    /// The walks.
+    pub walks: Vec<Vec<NodeId>>,
+}
+
+impl WalkCorpus {
+    /// Number of walks.
+    pub fn len(&self) -> usize {
+        self.walks.len()
+    }
+
+    /// `true` iff no walks were generated.
+    pub fn is_empty(&self) -> bool {
+        self.walks.is_empty()
+    }
+
+    /// Total number of node visits across all walks.
+    pub fn total_tokens(&self) -> usize {
+        self.walks.iter().map(|w| w.len()).sum()
+    }
+}
+
+/// Stateful walker bound to a graph.
+pub struct Walker<'g> {
+    graph: &'g Graph,
+    config: WalkConfig,
+    rng: StdRng,
+}
+
+impl<'g> Walker<'g> {
+    /// Create a walker with a deterministic seed.
+    pub fn new(graph: &'g Graph, config: WalkConfig, seed: u64) -> Self {
+        Walker { graph, config, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Generate the full corpus: `walks_per_node` walks from every node of
+    /// the graph.
+    pub fn corpus(&mut self) -> WalkCorpus {
+        let starts: Vec<NodeId> = self.graph.node_ids().collect();
+        self.corpus_from(&starts)
+    }
+
+    /// Generate `walks_per_node` walks from each given start node only —
+    /// the dynamic-phase sampling.
+    pub fn corpus_from(&mut self, starts: &[NodeId]) -> WalkCorpus {
+        let mut walks =
+            Vec::with_capacity(starts.len() * self.config.walks_per_node);
+        for _ in 0..self.config.walks_per_node {
+            for &start in starts {
+                let w = self.walk_from(start);
+                if w.len() > 1 {
+                    walks.push(w);
+                }
+            }
+        }
+        WalkCorpus { walks }
+    }
+
+    /// One truncated biased walk from `start`.
+    pub fn walk_from(&mut self, start: NodeId) -> Vec<NodeId> {
+        let mut walk = Vec::with_capacity(self.config.walk_length + 1);
+        walk.push(start);
+        if self.graph.degree(start) == 0 {
+            return walk;
+        }
+        // First step: uniform.
+        let first = self.uniform_neighbor(start);
+        walk.push(first);
+        while walk.len() <= self.config.walk_length {
+            let cur = walk[walk.len() - 1];
+            let prev = walk[walk.len() - 2];
+            if self.graph.degree(cur) == 0 {
+                break;
+            }
+            let next = self.biased_step(prev, cur);
+            walk.push(next);
+        }
+        walk
+    }
+
+    fn uniform_neighbor(&mut self, v: NodeId) -> NodeId {
+        let neigh = self.graph.neighbors(v);
+        neigh[self.rng.random_range(0..neigh.len())]
+    }
+
+    /// Second-order step with rejection sampling (Knightking-style): avoids
+    /// materialising the weight vector. Upper bound of weights is
+    /// `max(1/p, 1, 1/q)`.
+    fn biased_step(&mut self, prev: NodeId, cur: NodeId) -> NodeId {
+        let (p, q) = (self.config.p, self.config.q);
+        // Fast path: uniform walk.
+        if (p - 1.0).abs() < 1e-12 && (q - 1.0).abs() < 1e-12 {
+            return self.uniform_neighbor(cur);
+        }
+        let w_return = 1.0 / p;
+        let w_common = 1.0;
+        let w_far = 1.0 / q;
+        let w_max = w_return.max(w_common).max(w_far);
+        loop {
+            let cand = self.uniform_neighbor(cur);
+            let w = if cand == prev {
+                w_return
+            } else if self.graph.has_edge(cand, prev) {
+                w_common
+            } else {
+                w_far
+            };
+            if self.rng.random_range(0.0..w_max) < w {
+                return cand;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Barbell-ish test graph: two triangles joined by a bridge.
+    fn two_triangles() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let n: Vec<NodeId> = (0..6).map(|_| g.add_node()).collect();
+        // Triangle 1: 0-1-2, triangle 2: 3-4-5, bridge 2-3.
+        g.add_edge(n[0], n[1]);
+        g.add_edge(n[1], n[2]);
+        g.add_edge(n[0], n[2]);
+        g.add_edge(n[3], n[4]);
+        g.add_edge(n[4], n[5]);
+        g.add_edge(n[3], n[5]);
+        g.add_edge(n[2], n[3]);
+        (g, n)
+    }
+
+    #[test]
+    fn walks_are_valid_paths() {
+        let (g, _) = two_triangles();
+        let cfg = WalkConfig { walks_per_node: 5, walk_length: 12, p: 0.5, q: 2.0 };
+        let mut walker = Walker::new(&g, cfg, 11);
+        let corpus = walker.corpus();
+        assert!(!corpus.is_empty());
+        for walk in &corpus.walks {
+            assert!(walk.len() >= 2);
+            assert!(walk.len() <= 13);
+            for pair in walk.windows(2) {
+                assert!(g.has_edge(pair[0], pair[1]), "non-edge in walk");
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_covers_all_start_nodes() {
+        let (g, n) = two_triangles();
+        let cfg = WalkConfig { walks_per_node: 3, walk_length: 4, ..Default::default() };
+        let mut walker = Walker::new(&g, cfg, 1);
+        let corpus = walker.corpus();
+        for &node in &n {
+            let count = corpus.walks.iter().filter(|w| w[0] == node).count();
+            assert_eq!(count, 3, "every node starts walks_per_node walks");
+        }
+    }
+
+    #[test]
+    fn corpus_from_restricts_starts() {
+        let (g, n) = two_triangles();
+        let cfg = WalkConfig { walks_per_node: 4, walk_length: 4, ..Default::default() };
+        let mut walker = Walker::new(&g, cfg, 2);
+        let corpus = walker.corpus_from(&[n[0]]);
+        assert_eq!(corpus.len(), 4);
+        assert!(corpus.walks.iter().all(|w| w[0] == n[0]));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (g, _) = two_triangles();
+        let cfg = WalkConfig::default();
+        let c1 = Walker::new(&g, cfg.clone(), 99).corpus();
+        let c2 = Walker::new(&g, cfg, 99).corpus();
+        assert_eq!(c1.walks, c2.walks);
+    }
+
+    #[test]
+    fn low_p_increases_backtracking() {
+        let (g, _) = two_triangles();
+        let count_backtracks = |p: f64, q: f64, seed: u64| -> f64 {
+            let cfg = WalkConfig { walks_per_node: 50, walk_length: 20, p, q };
+            let corpus = Walker::new(&g, cfg, seed).corpus();
+            let mut back = 0usize;
+            let mut total = 0usize;
+            for w in &corpus.walks {
+                for win in w.windows(3) {
+                    total += 1;
+                    if win[0] == win[2] {
+                        back += 1;
+                    }
+                }
+            }
+            back as f64 / total as f64
+        };
+        let returny = count_backtracks(0.1, 1.0, 5);
+        let explorey = count_backtracks(10.0, 1.0, 5);
+        assert!(
+            returny > explorey + 0.05,
+            "p≪1 must backtrack more: {returny} vs {explorey}"
+        );
+    }
+
+    #[test]
+    fn isolated_node_yields_trivial_walk() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let cfg = WalkConfig::default();
+        let mut walker = Walker::new(&g, cfg, 0);
+        let w = walker.walk_from(a);
+        assert_eq!(w, vec![a]);
+        // …and the corpus drops length-1 walks.
+        let corpus = walker.corpus();
+        assert!(corpus.is_empty());
+    }
+}

@@ -1,0 +1,206 @@
+//! Cyclic Jacobi eigendecomposition of symmetric matrices.
+//!
+//! This is the numerical core behind the pseudoinverse: for the
+//! dynamic-phase system matrix `C` (paper Eq. 9) we diagonalise the small
+//! `d × d` Gram matrix `CᵀC = V Λ Vᵀ` and assemble the thin SVD from it.
+//! Jacobi is slower than Householder tridiagonalisation + QL, but it is
+//! simple, remarkably robust, and delivers small eigenvalues with high
+//! relative accuracy — exactly what a rank-revealing pseudoinverse needs.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Result of a symmetric eigendecomposition `A = V Λ Vᵀ`.
+///
+/// Eigenpairs are sorted by **descending** eigenvalue. `V`'s columns are the
+/// eigenvectors.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Orthogonal matrix whose column `i` is the eigenvector for
+    /// `values[i]`.
+    pub vectors: Matrix,
+}
+
+const MAX_SWEEPS: usize = 64;
+
+impl SymmetricEigen {
+    /// Decompose a symmetric matrix. The input is symmetrized defensively
+    /// (averaging `A` and `Aᵀ`) so tiny asymmetries from accumulated
+    /// floating-point error cannot derail the rotations.
+    pub fn decompose(a: &Matrix) -> Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "symmetric eigen: matrix is {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Ok(SymmetricEigen { values: vec![], vectors: Matrix::zeros(0, 0) });
+        }
+        let mut m = a.clone();
+        m.symmetrize();
+        let mut v = Matrix::identity(n);
+
+        let frob = m.frobenius_norm().max(1.0);
+        let tol = crate::EPS * frob;
+
+        for _sweep in 0..MAX_SWEEPS {
+            let off = m.max_off_diagonal();
+            if off <= tol {
+                return Ok(Self::sorted(m, v));
+            }
+            for p in 0..n {
+                for q in p + 1..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() <= tol * 1e-3 {
+                        continue;
+                    }
+                    let app = m[(p, p)];
+                    let aqq = m[(q, q)];
+                    // Rotation angle: standard two-sided Jacobi formulas.
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+
+                    // Apply the rotation on rows/cols p and q of `m`.
+                    for k in 0..n {
+                        let mkp = m[(k, p)];
+                        let mkq = m[(k, q)];
+                        m[(k, p)] = c * mkp - s * mkq;
+                        m[(k, q)] = s * mkp + c * mkq;
+                    }
+                    for k in 0..n {
+                        let mpk = m[(p, k)];
+                        let mqk = m[(q, k)];
+                        m[(p, k)] = c * mpk - s * mqk;
+                        m[(q, k)] = s * mpk + c * mqk;
+                    }
+                    // Accumulate the eigenvector rotation.
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+        // Even if we exhausted sweeps, accept the result when the residual
+        // off-diagonal mass is merely small rather than tiny.
+        if m.max_off_diagonal() <= 1e-7 * frob {
+            return Ok(Self::sorted(m, v));
+        }
+        Err(LinalgError::NoConvergence("jacobi eigendecomposition"))
+    }
+
+    fn sorted(m: Matrix, v: Matrix) -> SymmetricEigen {
+        let n = m.rows();
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| {
+            m[(b, b)].partial_cmp(&m[(a, a)]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let values: Vec<f64> = idx.iter().map(|&i| m[(i, i)]).collect();
+        let mut vectors = Matrix::zeros(n, n);
+        for (new_col, &old_col) in idx.iter().enumerate() {
+            for r in 0..n {
+                vectors[(r, new_col)] = v[(r, old_col)];
+            }
+        }
+        SymmetricEigen { values, vectors }
+    }
+
+    /// Reconstruct `V Λ Vᵀ` (testing / diagnostics helper).
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.values.len();
+        let mut lam = Matrix::zeros(n, n);
+        for i in 0..n {
+            lam[(i, i)] = self.values[i];
+        }
+        self.vectors
+            .matmul(&lam)
+            .and_then(|vl| vl.matmul(&self.vectors.transpose()))
+            .expect("reconstruct: shapes are consistent by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = 3.0;
+        a[(1, 1)] = 1.0;
+        a[(2, 2)] = 2.0;
+        let e = SymmetricEigen::decompose(&a).unwrap();
+        assert_eq!(e.values, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let e = SymmetricEigen::decompose(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for n in [1usize, 2, 5, 12] {
+            // Random symmetric matrix.
+            let mut a = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..=i {
+                    let v: f64 = rng.random_range(-1.0..1.0);
+                    a[(i, j)] = v;
+                    a[(j, i)] = v;
+                }
+            }
+            let e = SymmetricEigen::decompose(&a).unwrap();
+            let rec = e.reconstruct();
+            for i in 0..n {
+                for j in 0..n {
+                    assert!(
+                        (rec[(i, j)] - a[(i, j)]).abs() < 1e-8,
+                        "n={n} reconstruction mismatch at ({i},{j})"
+                    );
+                }
+            }
+            // VᵀV = I.
+            let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+            for i in 0..n {
+                for j in 0..n {
+                    let expect = if i == j { 1.0 } else { 0.0 };
+                    assert!((vtv[(i, j)] - expect).abs() < 1e-9);
+                }
+            }
+            // Sorted descending.
+            for w in e.values.windows(2) {
+                assert!(w[0] >= w[1] - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let e = SymmetricEigen::decompose(&Matrix::zeros(0, 0)).unwrap();
+        assert!(e.values.is_empty());
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        assert!(SymmetricEigen::decompose(&Matrix::zeros(2, 3)).is_err());
+    }
+}

@@ -1,0 +1,224 @@
+//! Moore–Penrose pseudoinverse via a thin SVD.
+//!
+//! Paper Eq. 10 computes the embedding of a newly inserted fact as
+//! `ϕ(f_new) = C⁺ · b`. We build the thin SVD `C = U Σ Vᵀ` from the
+//! symmetric eigendecomposition of the (small) `d × d` Gram matrix
+//! `CᵀC = V Σ² Vᵀ`, then `U = C V Σ⁻¹` and `C⁺ = V Σ⁺ Uᵀ`. Rank is
+//! determined with the conventional tolerance
+//! `max(m, n) · σ_max · machine-eps`.
+
+use crate::{jacobi::SymmetricEigen, Matrix, Result};
+
+/// Thin singular value decomposition `A = U Σ Vᵀ` of an `m × n` matrix with
+/// `r = rank(A)` retained components.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// `m × r` matrix of left singular vectors.
+    pub u: Matrix,
+    /// The `r` nonzero singular values, descending.
+    pub sigma: Vec<f64>,
+    /// `n × r` matrix of right singular vectors.
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Compute the thin SVD. Works for any shape; for `m < n` we decompose
+    /// the transpose and swap `U`/`V`.
+    pub fn decompose(a: &Matrix) -> Result<Svd> {
+        if a.rows() < a.cols() {
+            let t = Svd::decompose(&a.transpose())?;
+            return Ok(Svd { u: t.v, sigma: t.sigma, v: t.u });
+        }
+        let m = a.rows();
+        let n = a.cols();
+        let gram = a.gram(); // n × n
+        let eig = SymmetricEigen::decompose(&gram)?;
+
+        let sigma_max = eig.values.first().copied().unwrap_or(0.0).max(0.0).sqrt();
+        let tol = (m.max(n) as f64) * sigma_max * f64::EPSILON;
+
+        let mut sigma = Vec::new();
+        let mut keep = Vec::new();
+        for (i, &lam) in eig.values.iter().enumerate() {
+            let s = lam.max(0.0).sqrt();
+            if s > tol && s > 0.0 {
+                sigma.push(s);
+                keep.push(i);
+            }
+        }
+        let r = sigma.len();
+
+        // V: n × r (selected eigenvector columns).
+        let mut v = Matrix::zeros(n, r);
+        for (new_c, &old_c) in keep.iter().enumerate() {
+            for row in 0..n {
+                v[(row, new_c)] = eig.vectors[(row, old_c)];
+            }
+        }
+        // U = A · V · Σ⁻¹: m × r.
+        let av = a.matmul(&v)?;
+        let mut u = av;
+        for c in 0..r {
+            let inv = 1.0 / sigma[c];
+            for row in 0..m {
+                u[(row, c)] *= inv;
+            }
+        }
+        Ok(Svd { u, sigma, v })
+    }
+
+    /// Numerical rank (number of retained singular values).
+    pub fn rank(&self) -> usize {
+        self.sigma.len()
+    }
+
+    /// Condition number `σ_max / σ_min` of the retained spectrum;
+    /// `f64::INFINITY` for the zero matrix.
+    pub fn condition_number(&self) -> f64 {
+        match (self.sigma.first(), self.sigma.last()) {
+            (Some(&hi), Some(&lo)) if lo > 0.0 => hi / lo,
+            _ => f64::INFINITY,
+        }
+    }
+
+    /// Minimum-norm least-squares solution `x = V Σ⁺ Uᵀ b` without forming
+    /// the pseudoinverse explicitly.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        // t = Uᵀ b  (r)
+        let t = self.u.matvec_t(b)?;
+        // t ← Σ⁺ t
+        let scaled: Vec<f64> =
+            t.iter().zip(self.sigma.iter()).map(|(ti, si)| ti / si).collect();
+        // x = V · scaled  (n)
+        self.v.matvec(&scaled)
+    }
+
+    /// Dense pseudoinverse `A⁺ = V Σ⁺ Uᵀ` (n × m).
+    pub fn pseudo_inverse(&self) -> Result<Matrix> {
+        let r = self.rank();
+        let mut vs = self.v.clone(); // n × r
+        for c in 0..r {
+            let inv = 1.0 / self.sigma[c];
+            for row in 0..vs.rows() {
+                vs[(row, c)] *= inv;
+            }
+        }
+        vs.matmul(&self.u.transpose())
+    }
+}
+
+/// Dense pseudoinverse of `a`.
+pub fn pinv(a: &Matrix) -> Result<Matrix> {
+    Svd::decompose(a)?.pseudo_inverse()
+}
+
+/// Minimum-norm least-squares solution of `A x = b` via the pseudoinverse —
+/// the exact operation of paper Eq. 10.
+pub fn pinv_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Svd::decompose(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn random_matrix(m: usize, n: usize, seed: u64) -> Matrix {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Matrix::random_uniform(m, n, 1.0, &mut rng)
+    }
+
+    fn approx_eq(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+        a.rows() == b.rows()
+            && a.cols() == b.cols()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| (x - y).abs() < tol)
+    }
+
+    #[test]
+    fn svd_reconstructs_full_rank() {
+        for (m, n, seed) in [(5, 3, 1u64), (3, 5, 2), (6, 6, 3), (1, 4, 4)] {
+            let a = random_matrix(m, n, seed);
+            let svd = Svd::decompose(&a).unwrap();
+            // U Σ Vᵀ == A
+            let mut us = svd.u.clone();
+            for c in 0..svd.rank() {
+                for r in 0..us.rows() {
+                    us[(r, c)] *= svd.sigma[c];
+                }
+            }
+            let rec = us.matmul(&svd.v.transpose()).unwrap();
+            assert!(approx_eq(&rec, &a, 1e-8), "reconstruction failed {m}x{n}");
+        }
+    }
+
+    #[test]
+    fn penrose_conditions() {
+        let a = random_matrix(6, 4, 9);
+        let ap = pinv(&a).unwrap();
+        let a_ap_a = a.matmul(&ap).unwrap().matmul(&a).unwrap();
+        assert!(approx_eq(&a_ap_a, &a, 1e-8), "A A⁺ A = A fails");
+        let ap_a_ap = ap.matmul(&a).unwrap().matmul(&ap).unwrap();
+        assert!(approx_eq(&ap_a_ap, &ap, 1e-8), "A⁺ A A⁺ = A⁺ fails");
+        // (A A⁺) and (A⁺ A) symmetric.
+        let aap = a.matmul(&ap).unwrap();
+        assert!(aap.is_symmetric(1e-8));
+        let apa = ap.matmul(&a).unwrap();
+        assert!(apa.is_symmetric(1e-8));
+    }
+
+    #[test]
+    fn rank_deficient_matrix() {
+        // Two identical columns => rank 1.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0],
+        ]);
+        let svd = Svd::decompose(&a).unwrap();
+        assert_eq!(svd.rank(), 1);
+        // Penrose condition 1 still holds on the rank-deficient input.
+        let ap = svd.pseudo_inverse().unwrap();
+        let rec = a.matmul(&ap).unwrap().matmul(&a).unwrap();
+        assert!(approx_eq(&rec, &a, 1e-8));
+    }
+
+    #[test]
+    fn solve_matches_explicit_pinv() {
+        let a = random_matrix(8, 3, 21);
+        let b: Vec<f64> = (0..8).map(|i| i as f64 * 0.3 - 1.0).collect();
+        let x1 = pinv_solve(&a, &b).unwrap();
+        let x2 = pinv(&a).unwrap().matvec(&b).unwrap();
+        for (u, v) in x1.iter().zip(x2.iter()) {
+            assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn minimum_norm_property_underdetermined() {
+        // 1 equation, 2 unknowns: x0 + x1 = 2. Minimum-norm solution (1,1).
+        let a = Matrix::from_rows(&[vec![1.0, 1.0]]);
+        let x = pinv_solve(&a, &[2.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zero_matrix_pinv_is_zero() {
+        let a = Matrix::zeros(3, 2);
+        let svd = Svd::decompose(&a).unwrap();
+        assert_eq!(svd.rank(), 0);
+        let x = svd.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![0.0, 0.0]);
+        assert_eq!(svd.condition_number(), f64::INFINITY);
+    }
+
+    #[test]
+    fn identity_pinv_is_identity() {
+        let i = Matrix::identity(4);
+        let p = pinv(&i).unwrap();
+        assert!(approx_eq(&p, &i, 1e-10));
+    }
+}

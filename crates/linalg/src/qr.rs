@@ -1,0 +1,190 @@
+//! Householder QR decomposition with least-squares solving.
+//!
+//! For a full-column-rank `m × n` system (`m ≥ n`) QR is the numerically
+//! preferred way to solve `min ‖Ax − b‖₂`; the pseudoinverse path
+//! ([`crate::pinv`]) is only needed when the system may be rank-deficient.
+
+use crate::{vector, LinalgError, Matrix, Result};
+
+/// Compact Householder QR: stores the reflectors in the lower trapezoid of
+/// `qr` and `R`'s diagonal separately.
+#[derive(Debug, Clone)]
+pub struct QrDecomposition {
+    qr: Matrix,
+    rdiag: Vec<f64>,
+}
+
+impl QrDecomposition {
+    /// Decompose an `m × n` matrix with `m ≥ n`.
+    #[allow(clippy::needless_range_loop)] // dual-indexed numeric kernel
+    pub fn decompose(a: &Matrix) -> Result<Self> {
+        let m = a.rows();
+        let n = a.cols();
+        if m < n {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "qr: need rows >= cols, got {m}x{n}"
+            )));
+        }
+        let mut qr = a.clone();
+        let mut rdiag = vec![0.0; n];
+        for k in 0..n {
+            // Norm of the k-th column below (and including) row k.
+            let mut nrm = 0.0_f64;
+            for i in k..m {
+                nrm = nrm.hypot(qr[(i, k)]);
+            }
+            if nrm == 0.0 {
+                rdiag[k] = 0.0;
+                continue;
+            }
+            if qr[(k, k)] < 0.0 {
+                nrm = -nrm;
+            }
+            for i in k..m {
+                qr[(i, k)] /= nrm;
+            }
+            qr[(k, k)] += 1.0;
+            // Apply the reflector to the remaining columns.
+            for j in k + 1..n {
+                let mut s = 0.0;
+                for i in k..m {
+                    s += qr[(i, k)] * qr[(i, j)];
+                }
+                s = -s / qr[(k, k)];
+                for i in k..m {
+                    let add = s * qr[(i, k)];
+                    qr[(i, j)] += add;
+                }
+            }
+            rdiag[k] = -nrm;
+        }
+        Ok(QrDecomposition { qr, rdiag })
+    }
+
+    /// `true` iff `R` has no (numerically) zero diagonal entry.
+    pub fn is_full_rank(&self) -> bool {
+        let scale = self.qr.max_abs().max(1.0);
+        self.rdiag.iter().all(|d| d.abs() > crate::EPS * scale)
+    }
+
+    /// Solve the least-squares problem `min ‖Ax − b‖₂`.
+    ///
+    /// Returns [`LinalgError::Singular`] when `A` is rank-deficient; callers
+    /// should then fall back to [`crate::pinv_solve`].
+    #[allow(clippy::needless_range_loop)] // dual-indexed numeric kernel
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let m = self.qr.rows();
+        let n = self.qr.cols();
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "qr solve: rhs has length {}, expected {m}",
+                b.len()
+            )));
+        }
+        if !self.is_full_rank() {
+            return Err(LinalgError::Singular);
+        }
+        let mut y = b.to_vec();
+        // Compute Qᵀ b by applying the stored reflectors.
+        for k in 0..n {
+            if self.qr[(k, k)] == 0.0 {
+                continue;
+            }
+            let mut s = 0.0;
+            for i in k..m {
+                s += self.qr[(i, k)] * y[i];
+            }
+            s = -s / self.qr[(k, k)];
+            for i in k..m {
+                y[i] += s * self.qr[(i, k)];
+            }
+        }
+        // Back-substitute R x = (Qᵀ b)[..n].
+        let mut x = vec![0.0; n];
+        for k in (0..n).rev() {
+            let mut sum = y[k];
+            for j in k + 1..n {
+                sum -= self.qr[(k, j)] * x[j];
+            }
+            x[k] = sum / self.rdiag[k];
+        }
+        Ok(x)
+    }
+
+    /// Residual 2-norm `‖Ax − b‖₂` for a candidate solution (diagnostics).
+    pub fn residual_norm(a: &Matrix, x: &[f64], b: &[f64]) -> Result<f64> {
+        let ax = a.matvec(x)?;
+        Ok(vector::norm2(&vector::sub(&ax, b)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_square_system() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 4.0],
+        ]);
+        let x_true = [1.0, -1.0, 2.0];
+        let b = a.matvec(&x_true).unwrap();
+        let qr = QrDecomposition::decompose(&a).unwrap();
+        let x = qr.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn least_squares_overdetermined() {
+        // Fit y = 2x + 1 through noisy-free points: exact recovery.
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x, 1.0]).collect();
+        let a = Matrix::from_rows(&rows);
+        let b: Vec<f64> = xs.iter().map(|&x| 2.0 * x + 1.0).collect();
+        let qr = QrDecomposition::decompose(&a).unwrap();
+        let x = qr.solve(&b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        // Inconsistent system: check the solution beats nearby candidates.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+        ]);
+        let b = [0.0, 2.0, 3.0];
+        let qr = QrDecomposition::decompose(&a).unwrap();
+        let x = qr.solve(&b).unwrap();
+        // Optimal: x0 = mean(0, 2) = 1, x1 = 3.
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+        let r_opt = QrDecomposition::residual_norm(&a, &x, &b).unwrap();
+        let r_other =
+            QrDecomposition::residual_norm(&a, &[1.1, 3.0], &b).unwrap();
+        assert!(r_opt <= r_other);
+    }
+
+    #[test]
+    fn detects_rank_deficiency() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 4.0],
+            vec![3.0, 6.0],
+        ]);
+        let qr = QrDecomposition::decompose(&a).unwrap();
+        assert!(!qr.is_full_rank());
+        assert_eq!(qr.solve(&[1.0, 2.0, 3.0]).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn rejects_underdetermined() {
+        assert!(QrDecomposition::decompose(&Matrix::zeros(2, 3)).is_err());
+    }
+}

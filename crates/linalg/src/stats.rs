@@ -1,0 +1,75 @@
+//! Descriptive statistics used for experiment reporting (accuracy ± std).
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n−1 denominator, matching the paper's ± bands
+/// over 10 folds/runs); `0.0` for fewer than two observations.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var =
+        xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// `(mean, std_dev)` in one pass over the slice boundary.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    (mean(xs), std_dev(xs))
+}
+
+/// Median (averaging the middle pair for even lengths); `0.0` when empty.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_known() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sample std of this classic example: sqrt(32/7).
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn median_even_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn mean_std_pair() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+}

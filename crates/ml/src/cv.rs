@@ -1,0 +1,134 @@
+//! Stratified k-fold cross-validation (the paper's evaluation protocol:
+//! k = 10 folds, class-stratified splits, accuracy ± std).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Partition `0..labels.len()` into `k` folds with (approximately) equal
+/// class proportions in every fold. Deterministic given `seed`.
+pub fn stratified_kfold(labels: &[usize], k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k >= 2, "need at least two folds");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+    // Indices per class, shuffled.
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); classes];
+    for (i, &l) in labels.iter().enumerate() {
+        per_class[l].push(i);
+    }
+    for bucket in &mut per_class {
+        for i in (1..bucket.len()).rev() {
+            let j = rng.random_range(0..=i);
+            bucket.swap(i, j);
+        }
+    }
+    // Deal each class round-robin into folds.
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut next = 0usize;
+    for bucket in per_class {
+        for idx in bucket {
+            folds[next % k].push(idx);
+            next += 1;
+        }
+    }
+    folds
+}
+
+/// Run k-fold cross-validation: `eval(train_indices, test_indices)` returns
+/// the fold's accuracy; the result collects all fold accuracies.
+///
+/// Folds run in parallel on scoped threads (the classifier trainers in this
+/// workspace are CPU-bound and independent per fold).
+pub fn cross_validate<F>(labels: &[usize], k: usize, seed: u64, eval: F) -> Vec<f64>
+where
+    F: Fn(&[usize], &[usize]) -> f64 + Sync,
+{
+    let folds = stratified_kfold(labels, k, seed);
+    let jobs: Vec<(Vec<usize>, Vec<usize>)> = (0..k)
+        .map(|fold| {
+            let test = folds[fold].clone();
+            let train: Vec<usize> = folds
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != fold)
+                .flat_map(|(_, f)| f.iter().copied())
+                .collect();
+            (train, test)
+        })
+        .collect();
+
+    let mut results = vec![0.0; k];
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(k);
+        for (train, test) in &jobs {
+            let eval = &eval;
+            handles.push(scope.spawn(move |_| eval(train, test)));
+        }
+        for (i, h) in handles.into_iter().enumerate() {
+            results[i] = h.join().expect("fold thread panicked");
+        }
+    })
+    .expect("crossbeam scope");
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_partition_the_indices() {
+        let labels: Vec<usize> = (0..50).map(|i| i % 3).collect();
+        let folds = stratified_kfold(&labels, 5, 1);
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        // 40 of class 0, 10 of class 1, 5 folds → each fold has exactly
+        // 8 and 2.
+        let mut labels = vec![0usize; 40];
+        labels.extend(vec![1usize; 10]);
+        let folds = stratified_kfold(&labels, 5, 7);
+        for fold in &folds {
+            let ones = fold.iter().filter(|&&i| labels[i] == 1).count();
+            assert_eq!(ones, 2, "stratification broken: {ones} ones");
+            assert_eq!(fold.len(), 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let labels: Vec<usize> = (0..30).map(|i| i % 2).collect();
+        assert_eq!(
+            stratified_kfold(&labels, 3, 9),
+            stratified_kfold(&labels, 3, 9)
+        );
+        assert_ne!(
+            stratified_kfold(&labels, 3, 9),
+            stratified_kfold(&labels, 3, 10)
+        );
+    }
+
+    #[test]
+    fn cross_validate_collects_fold_scores() {
+        let labels: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        // Score = fraction of even indices in the test fold (arbitrary but
+        // deterministic check that train/test are disjoint and complete).
+        let scores = cross_validate(&labels, 4, 3, |train, test| {
+            assert_eq!(train.len() + test.len(), 20);
+            let mut overlap = train.to_vec();
+            overlap.retain(|i| test.contains(i));
+            assert!(overlap.is_empty(), "train and test overlap");
+            test.iter().filter(|&&i| i % 2 == 0).count() as f64 / test.len() as f64
+        });
+        assert_eq!(scores.len(), 4);
+        // Stratified on i%2 labels: each fold of 5 holds 2 or 3 evens
+        // (counts can be off by one when 10 items are dealt into 4 folds).
+        for s in scores {
+            assert!((0.4..=0.6).contains(&s), "fold even-fraction {s}");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Binary logistic regression (SGD), used by the flat-feature baseline.
+
+use crate::multiclass::BinaryClassifier;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// L2-regularised binary logistic regression trained with SGD.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// L2 strength.
+    pub lambda: f64,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Epochs.
+    pub epochs: usize,
+    /// Seed for sample order.
+    pub seed: u64,
+    w: Vec<f64>,
+    b: f64,
+}
+
+impl LogisticRegression {
+    /// New untrained model.
+    pub fn new(lambda: f64, learning_rate: f64, epochs: usize, seed: u64) -> Self {
+        LogisticRegression { lambda, learning_rate, epochs, seed, w: Vec::new(), b: 0.0 }
+    }
+
+    fn sigmoid(z: f64) -> f64 {
+        if z >= 0.0 {
+            let e = (-z).exp();
+            1.0 / (1.0 + e)
+        } else {
+            let e = z.exp();
+            e / (1.0 + e)
+        }
+    }
+
+    /// Predicted probability of the positive class.
+    pub fn prob(&self, row: &[f64]) -> f64 {
+        Self::sigmoid(self.decision(row))
+    }
+}
+
+impl BinaryClassifier for LogisticRegression {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len());
+        let n = x.len();
+        if n == 0 {
+            return;
+        }
+        let dim = x[0].len();
+        self.w = vec![0.0; dim];
+        self.b = 0.0;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for epoch in 0..self.epochs {
+            let lr = self.learning_rate / (1.0 + epoch as f64 * 0.1);
+            for _ in 0..n {
+                let i = rng.random_range(0..n);
+                // Map ±1 labels to {0, 1}.
+                let target = if y[i] > 0.0 { 1.0 } else { 0.0 };
+                let p = self.prob(&x[i]);
+                let g = p - target;
+                for (w, v) in self.w.iter_mut().zip(&x[i]) {
+                    *w -= lr * (g * v + self.lambda * *w);
+                }
+                self.b -= lr * g;
+            }
+        }
+    }
+
+    fn decision(&self, row: &[f64]) -> f64 {
+        self.w.iter().zip(row).map(|(w, v)| w * v).sum::<f64>() + self.b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_threshold() {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<f64> =
+            (0..40).map(|i| if i >= 20 { 1.0 } else { -1.0 }).collect();
+        let mut lr = LogisticRegression::new(1e-4, 0.5, 60, 3);
+        lr.fit(&x, &y);
+        assert!(lr.prob(&[3.5]) > 0.8);
+        assert!(lr.prob(&[0.5]) < 0.2);
+        // Monotone in the feature.
+        assert!(lr.prob(&[4.0]) > lr.prob(&[2.1]));
+    }
+
+    #[test]
+    fn probabilities_are_probabilities() {
+        let x = vec![vec![1.0, -1.0], vec![-1.0, 1.0]];
+        let y = vec![1.0, -1.0];
+        let mut lr = LogisticRegression::new(0.0, 0.3, 50, 0);
+        lr.fit(&x, &y);
+        for row in &x {
+            let p = lr.prob(row);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Classification metrics.
+
+/// Fraction of agreeing positions. Panics on length mismatch.
+pub fn accuracy(predicted: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "accuracy: length mismatch");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let hits = predicted.iter().zip(truth).filter(|(p, t)| p == t).count();
+    hits as f64 / predicted.len() as f64
+}
+
+/// The most frequent label and its frequency — the paper's "baseline"
+/// (always predicting the most common class).
+pub fn majority_class(labels: &[usize]) -> (usize, f64) {
+    if labels.is_empty() {
+        return (0, 0.0);
+    }
+    let k = labels.iter().copied().max().unwrap_or(0) + 1;
+    let mut counts = vec![0usize; k];
+    for &l in labels {
+        counts[l] += 1;
+    }
+    let (best, &count) = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .expect("nonempty");
+    (best, count as f64 / labels.len() as f64)
+}
+
+/// Dense confusion matrix.
+#[derive(Debug, Clone)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    /// `counts[truth * classes + predicted]`.
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Build from predictions and ground truth.
+    pub fn new(predicted: &[usize], truth: &[usize], classes: usize) -> Self {
+        assert_eq!(predicted.len(), truth.len());
+        let mut counts = vec![0usize; classes * classes];
+        for (&p, &t) in predicted.iter().zip(truth) {
+            counts[t * classes + p] += 1;
+        }
+        ConfusionMatrix { classes, counts }
+    }
+
+    /// Count of (truth, predicted) pairs.
+    pub fn get(&self, truth: usize, predicted: usize) -> usize {
+        self.counts[truth * self.classes + predicted]
+    }
+
+    /// Per-class recall (None for absent classes).
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let total: usize =
+            (0..self.classes).map(|p| self.get(class, p)).sum();
+        if total == 0 {
+            None
+        } else {
+            Some(self.get(class, class) as f64 / total as f64)
+        }
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.classes).map(|c| self.get(c, c)).sum();
+        let total: usize = self.counts.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn majority() {
+        let (label, frac) = majority_class(&[0, 1, 1, 1, 2]);
+        assert_eq!(label, 1);
+        assert!((frac - 0.6).abs() < 1e-12);
+        assert_eq!(majority_class(&[]), (0, 0.0));
+    }
+
+    #[test]
+    fn confusion() {
+        let cm = ConfusionMatrix::new(&[0, 1, 1, 0], &[0, 1, 0, 0], 2);
+        assert_eq!(cm.get(0, 0), 2);
+        assert_eq!(cm.get(0, 1), 1);
+        assert_eq!(cm.get(1, 1), 1);
+        assert!((cm.accuracy() - 0.75).abs() < 1e-12);
+        assert!((cm.recall(0).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cm.recall(1).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! One-vs-rest reduction from binary to multiclass classification.
+
+/// A binary classifier trainable on ±1 labels.
+pub trait BinaryClassifier: Send + Sync {
+    /// Train on rows `x` with labels `y ∈ {−1, +1}`.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]);
+
+    /// Signed decision value for one row (positive ⇒ class `+1`).
+    fn decision(&self, row: &[f64]) -> f64;
+}
+
+/// One-vs-rest multiclass wrapper: one binary classifier per class,
+/// prediction by maximum decision value.
+pub struct OneVsRest<C: BinaryClassifier> {
+    classifiers: Vec<C>,
+}
+
+impl<C: BinaryClassifier> OneVsRest<C> {
+    /// Train `classes` binary problems, constructing each classifier with
+    /// `make` (called once per class).
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[usize],
+        classes: usize,
+        make: impl Fn() -> C,
+    ) -> Self {
+        assert!(classes >= 1, "need at least one class");
+        assert_eq!(x.len(), y.len());
+        let mut classifiers = Vec::with_capacity(classes);
+        for class in 0..classes {
+            let labels: Vec<f64> = y
+                .iter()
+                .map(|&yi| if yi == class { 1.0 } else { -1.0 })
+                .collect();
+            let mut clf = make();
+            clf.fit(x, &labels);
+            classifiers.push(clf);
+        }
+        OneVsRest { classifiers }
+    }
+
+    /// Predicted class for one row.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for (class, clf) in self.classifiers.iter().enumerate() {
+            let score = clf.decision(row);
+            if score > best_score {
+                best_score = score;
+                best = class;
+            }
+        }
+        best
+    }
+
+    /// Predict a batch.
+    pub fn predict_all(&self, x: &[Vec<f64>]) -> Vec<usize> {
+        x.iter().map(|row| self.predict(row)).collect()
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.classifiers.len()
+    }
+
+    /// Access the per-class binary classifiers.
+    pub fn classifiers(&self) -> &[C] {
+        &self.classifiers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Trivial nearest-centroid "binary classifier" for testing the wrapper.
+    #[derive(Default)]
+    struct Centroid {
+        pos: Vec<f64>,
+        neg: Vec<f64>,
+    }
+
+    impl BinaryClassifier for Centroid {
+        fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+            let dim = x[0].len();
+            let mut pos = vec![0.0; dim];
+            let mut neg = vec![0.0; dim];
+            let (mut np, mut nn) = (0.0_f64, 0.0_f64);
+            for (row, &label) in x.iter().zip(y) {
+                if label > 0.0 {
+                    for (p, v) in pos.iter_mut().zip(row) {
+                        *p += v;
+                    }
+                    np += 1.0;
+                } else {
+                    for (p, v) in neg.iter_mut().zip(row) {
+                        *p += v;
+                    }
+                    nn += 1.0;
+                }
+            }
+            for p in &mut pos {
+                *p /= np.max(1.0);
+            }
+            for p in &mut neg {
+                *p /= nn.max(1.0);
+            }
+            self.pos = pos;
+            self.neg = neg;
+        }
+
+        fn decision(&self, row: &[f64]) -> f64 {
+            let d = |c: &[f64]| -> f64 {
+                row.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum()
+            };
+            d(&self.neg) - d(&self.pos)
+        }
+    }
+
+    #[test]
+    fn three_well_separated_clusters() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            let jitter = i as f64 * 0.01;
+            x.push(vec![0.0 + jitter, 0.0]);
+            y.push(0);
+            x.push(vec![10.0 + jitter, 0.0]);
+            y.push(1);
+            x.push(vec![0.0 + jitter, 10.0]);
+            y.push(2);
+        }
+        let model = OneVsRest::fit(&x, &y, 3, Centroid::default);
+        assert_eq!(model.class_count(), 3);
+        let preds = model.predict_all(&x);
+        assert_eq!(preds, y);
+        assert_eq!(model.predict(&[9.5, 0.2]), 1);
+        assert_eq!(model.predict(&[0.1, 11.0]), 2);
+    }
+}

@@ -1,0 +1,103 @@
+//! Feature standardisation (zero mean, unit variance per column).
+
+/// Per-column standardiser. Columns with zero variance pass through
+/// unchanged (scale 1) so constant features cannot produce NaNs.
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    scales: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit to the rows of `x`.
+    pub fn fit(x: &[Vec<f64>]) -> Self {
+        let dim = x.first().map_or(0, |r| r.len());
+        let n = x.len().max(1) as f64;
+        let mut means = vec![0.0; dim];
+        for row in x {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; dim];
+        for row in x {
+            for ((var, v), m) in vars.iter_mut().zip(row).zip(&means) {
+                let d = v - m;
+                *var += d * d;
+            }
+        }
+        let scales = vars
+            .iter()
+            .map(|&v| {
+                let s = (v / n).sqrt();
+                if s > 1e-12 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        StandardScaler { means, scales }
+    }
+
+    /// Transform one row in place.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        for ((v, m), s) in row.iter_mut().zip(&self.means).zip(&self.scales) {
+            *v = (*v - m) / s;
+        }
+    }
+
+    /// Transform a copy of the dataset.
+    pub fn transform(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        x.iter()
+            .map(|row| {
+                let mut r = row.clone();
+                self.transform_row(&mut r);
+                r
+            })
+            .collect()
+    }
+
+    /// Fit and transform in one call.
+    pub fn fit_transform(x: &[Vec<f64>]) -> (Self, Vec<Vec<f64>>) {
+        let scaler = Self::fit(x);
+        let t = scaler.transform(x);
+        (scaler, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardises_columns() {
+        let x = vec![vec![1.0, 10.0], vec![3.0, 10.0], vec![5.0, 10.0]];
+        let (_, t) = StandardScaler::fit_transform(&x);
+        // Column 0: mean 3, population std sqrt(8/3).
+        let mean0: f64 = t.iter().map(|r| r[0]).sum::<f64>() / 3.0;
+        assert!(mean0.abs() < 1e-12);
+        let var0: f64 = t.iter().map(|r| r[0] * r[0]).sum::<f64>() / 3.0;
+        assert!((var0 - 1.0).abs() < 1e-12);
+        // Constant column passes through centred but unscaled.
+        assert!(t.iter().all(|r| r[1].abs() < 1e-12));
+    }
+
+    #[test]
+    fn transform_uses_training_statistics() {
+        let train = vec![vec![0.0], vec![2.0]];
+        let scaler = StandardScaler::fit(&train);
+        let test = scaler.transform(&[vec![4.0]]);
+        // mean 1, std 1 → (4-1)/1 = 3.
+        assert!((test[0][0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        let scaler = StandardScaler::fit(&[]);
+        assert!(scaler.transform(&[]).is_empty());
+    }
+}

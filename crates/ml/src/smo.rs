@@ -1,0 +1,304 @@
+//! RBF-kernel C-SVM trained with simplified SMO (Platt 1998, as popularised
+//! by the Stanford CS229 notes). This is the workspace's equivalent of
+//! scikit-learn's `SVC`, which the paper uses for all downstream tasks.
+
+use crate::multiclass::BinaryClassifier;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// SVM hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SvmParams {
+    /// Soft-margin penalty `C` (scikit-learn default: 1.0).
+    pub c: f64,
+    /// RBF width `γ`; `None` = scikit-learn's `gamma="scale"`:
+    /// `1 / (n_features · Var(X))`.
+    pub gamma: Option<f64>,
+    /// KKT tolerance.
+    pub tol: f64,
+    /// Number of full passes without any α update before stopping.
+    pub max_passes: usize,
+    /// Hard cap on optimisation sweeps.
+    pub max_iter: usize,
+    /// RNG seed for partner selection.
+    pub seed: u64,
+}
+
+impl Default for SvmParams {
+    fn default() -> Self {
+        SvmParams {
+            c: 1.0,
+            gamma: None,
+            tol: 1e-3,
+            max_passes: 3,
+            max_iter: 200,
+            seed: 0,
+        }
+    }
+}
+
+/// A trained binary RBF SVM (train via [`BinaryClassifier::fit`]).
+#[derive(Debug, Clone)]
+pub struct RbfSvm {
+    params: SvmParams,
+    gamma: f64,
+    alphas: Vec<f64>,
+    b: f64,
+    support_x: Vec<Vec<f64>>,
+    support_y: Vec<f64>,
+}
+
+impl RbfSvm {
+    /// New untrained model.
+    pub fn new(params: SvmParams) -> Self {
+        RbfSvm {
+            params,
+            gamma: 1.0,
+            alphas: Vec::new(),
+            b: 0.0,
+            support_x: Vec::new(),
+            support_y: Vec::new(),
+        }
+    }
+
+    /// Number of support vectors (α > 0) after training.
+    pub fn support_count(&self) -> usize {
+        self.alphas.iter().filter(|&&a| a > 1e-12).count()
+    }
+
+    /// The effective γ used (after `scale` resolution).
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    fn rbf(&self, a: &[f64], b: &[f64]) -> f64 {
+        let mut d = 0.0;
+        for (x, y) in a.iter().zip(b) {
+            let t = x - y;
+            d += t * t;
+        }
+        (-self.gamma * d).exp()
+    }
+
+    fn resolve_gamma(params: &SvmParams, x: &[Vec<f64>]) -> f64 {
+        if let Some(g) = params.gamma {
+            return g;
+        }
+        // gamma = 1 / (n_features * Var(X)) over all entries.
+        let dim = x.first().map_or(1, |r| r.len()).max(1);
+        let n: usize = x.len() * dim;
+        if n == 0 {
+            return 1.0;
+        }
+        let mean: f64 = x.iter().flatten().sum::<f64>() / n as f64;
+        let var: f64 =
+            x.iter().flatten().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        if var <= 1e-12 {
+            1.0
+        } else {
+            1.0 / (dim as f64 * var)
+        }
+    }
+}
+
+impl BinaryClassifier for RbfSvm {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len());
+        let n = x.len();
+        self.support_x = x.to_vec();
+        self.support_y = y.to_vec();
+        self.alphas = vec![0.0; n];
+        self.b = 0.0;
+        if n == 0 {
+            return;
+        }
+        self.gamma = Self::resolve_gamma(&self.params, x);
+
+        // Precompute the Gram matrix (n ≤ a few thousand in this workspace).
+        let mut gram = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let k = self.rbf(&x[i], &x[j]);
+                gram[i * n + j] = k;
+                gram[j * n + i] = k;
+            }
+        }
+        let k = |i: usize, j: usize| gram[i * n + j];
+        let f = |alphas: &[f64], b: f64, i: usize| -> f64 {
+            let mut acc = b;
+            for (j, &a) in alphas.iter().enumerate() {
+                if a != 0.0 {
+                    acc += a * y[j] * k(j, i);
+                }
+            }
+            acc
+        };
+
+        let (c, tol) = (self.params.c, self.params.tol);
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let mut passes = 0usize;
+        let mut iter = 0usize;
+        while passes < self.params.max_passes && iter < self.params.max_iter {
+            iter += 1;
+            let mut changed = 0usize;
+            for i in 0..n {
+                let ei = f(&self.alphas, self.b, i) - y[i];
+                let violates = (y[i] * ei < -tol && self.alphas[i] < c)
+                    || (y[i] * ei > tol && self.alphas[i] > 0.0);
+                if !violates {
+                    continue;
+                }
+                // Random partner j ≠ i.
+                let mut j = rng.random_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let ej = f(&self.alphas, self.b, j) - y[j];
+                let (ai_old, aj_old) = (self.alphas[i], self.alphas[j]);
+                let (lo, hi) = if (y[i] - y[j]).abs() > 1e-12 {
+                    ((aj_old - ai_old).max(0.0), (c + aj_old - ai_old).min(c))
+                } else {
+                    ((ai_old + aj_old - c).max(0.0), (ai_old + aj_old).min(c))
+                };
+                if (hi - lo).abs() < 1e-12 {
+                    continue;
+                }
+                let eta = 2.0 * k(i, j) - k(i, i) - k(j, j);
+                if eta >= 0.0 {
+                    continue;
+                }
+                let mut aj = aj_old - y[j] * (ei - ej) / eta;
+                aj = aj.clamp(lo, hi);
+                if (aj - aj_old).abs() < 1e-5 {
+                    continue;
+                }
+                let ai = ai_old + y[i] * y[j] * (aj_old - aj);
+                self.alphas[i] = ai;
+                self.alphas[j] = aj;
+                let b1 = self.b
+                    - ei
+                    - y[i] * (ai - ai_old) * k(i, i)
+                    - y[j] * (aj - aj_old) * k(i, j);
+                let b2 = self.b
+                    - ej
+                    - y[i] * (ai - ai_old) * k(i, j)
+                    - y[j] * (aj - aj_old) * k(j, j);
+                self.b = if ai > 0.0 && ai < c {
+                    b1
+                } else if aj > 0.0 && aj < c {
+                    b2
+                } else {
+                    0.5 * (b1 + b2)
+                };
+                changed += 1;
+            }
+            if changed == 0 {
+                passes += 1;
+            } else {
+                passes = 0;
+            }
+        }
+
+        // Compact: keep only support vectors.
+        let keep: Vec<usize> =
+            (0..n).filter(|&i| self.alphas[i] > 1e-12).collect();
+        self.support_x = keep.iter().map(|&i| x[i].clone()).collect();
+        self.support_y = keep.iter().map(|&i| y[i]).collect();
+        self.alphas = keep.iter().map(|&i| self.alphas[i]).collect();
+    }
+
+    fn decision(&self, row: &[f64]) -> f64 {
+        let mut acc = self.b;
+        for ((sx, sy), a) in self
+            .support_x
+            .iter()
+            .zip(&self.support_y)
+            .zip(&self.alphas)
+        {
+            acc += a * sy * self.rbf(sx, row);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_xor() {
+        // XOR is the canonical non-linear problem: linear models fail, RBF
+        // must succeed.
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![0.1, 0.1],
+            vec![0.9, 0.9],
+            vec![0.1, 0.9],
+            vec![0.9, 0.1],
+        ];
+        let y = vec![1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, -1.0];
+        let mut svm = RbfSvm::new(SvmParams {
+            c: 10.0,
+            gamma: Some(4.0),
+            ..SvmParams::default()
+        });
+        svm.fit(&x, &y);
+        for (row, &label) in x.iter().zip(&y) {
+            assert!(
+                svm.decision(row) * label > 0.0,
+                "XOR point {row:?} misclassified"
+            );
+        }
+    }
+
+    #[test]
+    fn separates_linear_data_too() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..15 {
+            let o = i as f64 * 0.05;
+            x.push(vec![1.0 + o, 1.0]);
+            y.push(1.0);
+            x.push(vec![-1.0 - o, -1.0]);
+            y.push(-1.0);
+        }
+        let mut svm = RbfSvm::new(SvmParams::default());
+        svm.fit(&x, &y);
+        let acc = x
+            .iter()
+            .zip(&y)
+            .filter(|(row, &label)| svm.decision(row) * label > 0.0)
+            .count() as f64
+            / x.len() as f64;
+        assert!(acc >= 0.95, "accuracy {acc}");
+        assert!(svm.support_count() > 0);
+        assert!(svm.support_count() < x.len(), "SMO must sparsify");
+    }
+
+    #[test]
+    fn gamma_scale_matches_sklearn_formula() {
+        let x = vec![vec![0.0, 0.0], vec![2.0, 2.0]];
+        let y = vec![1.0, -1.0];
+        let mut svm = RbfSvm::new(SvmParams::default());
+        svm.fit(&x, &y);
+        // Entries: 0,0,2,2 → mean 1, var 1 → gamma = 1/(2*1) = 0.5.
+        assert!((svm.gamma() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let x: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i % 7) as f64, (i % 5) as f64])
+            .collect();
+        let y: Vec<f64> = (0..30).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let train = |seed| {
+            let mut svm = RbfSvm::new(SvmParams { seed, ..SvmParams::default() });
+            svm.fit(&x, &y);
+            (0..30).map(|i| svm.decision(&x[i])).collect::<Vec<f64>>()
+        };
+        assert_eq!(train(3), train(3));
+    }
+}

@@ -1,0 +1,100 @@
+//! Node2Vec hyperparameters (paper Table II).
+
+use dbgraph::WalkConfig;
+
+/// Hyperparameters of the Node2Vec pipeline. Defaults are the paper's
+/// Table II values.
+#[derive(Debug, Clone)]
+pub struct Node2VecConfig {
+    /// Embedding dimension (paper: 100).
+    pub dim: usize,
+    /// Walks started per node (paper: 40).
+    pub walks_per_node: usize,
+    /// Steps per walk (paper: 30).
+    pub walk_length: usize,
+    /// Skip-gram context window (paper: 5).
+    pub window: usize,
+    /// Negative samples per positive pair (paper: 20).
+    pub negatives: usize,
+    /// SGD epochs over the pair stream (paper: 10).
+    pub epochs: usize,
+    /// Epochs for the dynamic continuation (paper: 5).
+    pub dynamic_epochs: usize,
+    /// Initial learning rate, linearly decayed to 1e-4 of itself.
+    pub learning_rate: f64,
+    /// Node2Vec return parameter `p`.
+    pub p: f64,
+    /// Node2Vec in-out parameter `q`.
+    pub q: f64,
+}
+
+impl Default for Node2VecConfig {
+    fn default() -> Self {
+        Node2VecConfig {
+            dim: 100,
+            walks_per_node: 40,
+            walk_length: 30,
+            window: 5,
+            negatives: 20,
+            epochs: 10,
+            dynamic_epochs: 5,
+            learning_rate: 0.025,
+            p: 1.0,
+            q: 1.0,
+        }
+    }
+}
+
+impl Node2VecConfig {
+    /// A scaled-down configuration for unit tests and small examples.
+    pub fn small() -> Self {
+        Node2VecConfig {
+            dim: 16,
+            walks_per_node: 10,
+            walk_length: 10,
+            window: 3,
+            negatives: 5,
+            epochs: 3,
+            dynamic_epochs: 2,
+            learning_rate: 0.05,
+            p: 1.0,
+            q: 1.0,
+        }
+    }
+
+    /// The walk-sampling slice of the configuration.
+    pub fn walk_config(&self) -> WalkConfig {
+        WalkConfig {
+            walks_per_node: self.walks_per_node,
+            walk_length: self.walk_length,
+            p: self.p,
+            q: self.q,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_2() {
+        let c = Node2VecConfig::default();
+        assert_eq!(c.dim, 100);
+        assert_eq!(c.walks_per_node, 40);
+        assert_eq!(c.walk_length, 30);
+        assert_eq!(c.window, 5);
+        assert_eq!(c.negatives, 20);
+        assert_eq!(c.epochs, 10);
+        assert_eq!(c.dynamic_epochs, 5);
+    }
+
+    #[test]
+    fn walk_config_projection() {
+        let c = Node2VecConfig { p: 0.5, q: 2.0, ..Node2VecConfig::small() };
+        let w = c.walk_config();
+        assert_eq!(w.walks_per_node, c.walks_per_node);
+        assert_eq!(w.p, 0.5);
+        assert_eq!(w.q, 2.0);
+    }
+}

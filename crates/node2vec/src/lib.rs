@@ -1,0 +1,23 @@
+//! # node2vec — skip-gram node embeddings with a stable dynamic extension
+//!
+//! Implements the Node2Vec training pipeline of the paper's §IV from
+//! scratch: biased random walks (provided by [`dbgraph`]) feed a
+//! **skip-gram with negative sampling** (SGNS) model trained by plain SGD
+//! with hand-derived gradients.
+//!
+//! The dynamic extension (paper §IV-A) follows the paper exactly: when new
+//! nodes appear, their vectors are randomly initialised, new walks are
+//! sampled **starting at the new nodes**, and training continues "while
+//! performing gradient descent only on the embeddings of new nodes" — the
+//! old vectors are *frozen* and provably bit-identical afterwards (see the
+//! `freeze` tests).
+
+pub mod config;
+pub mod model;
+pub mod negative;
+pub mod sgns;
+
+pub use config::Node2VecConfig;
+pub use model::Node2VecModel;
+pub use negative::NegativeTable;
+pub use sgns::SgnsModel;

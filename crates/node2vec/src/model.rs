@@ -1,0 +1,188 @@
+//! High-level Node2Vec model: walks + SGNS + dynamic continuation.
+
+use crate::{NegativeTable, Node2VecConfig, SgnsModel};
+use dbgraph::{Graph, NodeId, WalkCorpus, Walker};
+
+/// A trained Node2Vec model over a graph.
+///
+/// The model owns the embedding matrices but *not* the graph; the caller
+/// keeps the graph (and extends it via [`dbgraph::DbGraph::extend_with_fact`]
+/// before calling [`Node2VecModel::extend`]).
+#[derive(Debug, Clone)]
+pub struct Node2VecModel {
+    config: Node2VecConfig,
+    sgns: SgnsModel,
+    /// Node visit counts feeding the negative-sampling distribution; kept so
+    /// the dynamic phase can update them with the newly sampled walks.
+    counts: Vec<usize>,
+}
+
+impl Node2VecModel {
+    /// Static phase: sample a full walk corpus over `graph` and train SGNS
+    /// from scratch.
+    pub fn train(graph: &Graph, config: &Node2VecConfig, seed: u64) -> Self {
+        let mut walker = Walker::new(graph, config.walk_config(), seed);
+        let corpus = walker.corpus();
+        let mut counts = vec![0usize; graph.node_count()];
+        count_tokens(&corpus, &mut counts);
+        let table = NegativeTable::new(&counts);
+        let mut sgns = SgnsModel::new(graph.node_count(), config.dim, seed ^ 0x5eed);
+        sgns.train(
+            &corpus,
+            &table,
+            config.window,
+            config.negatives,
+            config.epochs,
+            config.learning_rate,
+            seed ^ TRAIN_SEED_SALT,
+        );
+        Node2VecModel { config: config.clone(), sgns, counts }
+    }
+
+    /// Dynamic phase (paper §IV-A): the graph has been extended with new
+    /// nodes (`graph.node_count() >= self.node_count()`); freeze every old
+    /// node, randomly initialise the new ones, sample walks **starting at
+    /// the new nodes**, and continue training — gradients flow only into the
+    /// new nodes' vectors.
+    pub fn extend(&mut self, graph: &Graph, new_nodes: &[NodeId], seed: u64) {
+        self.extend_with_starts(graph, new_nodes, new_nodes, seed);
+    }
+
+    /// Like [`Node2VecModel::extend`], but sampling the continuation walks
+    /// from an explicit start set. The paper's *all-at-once* setting
+    /// recomputes paths from **every** node (old walks may now traverse new
+    /// data) while still freezing old vectors; pass all node ids as
+    /// `walk_starts` for that behaviour.
+    pub fn extend_with_starts(
+        &mut self,
+        graph: &Graph,
+        new_nodes: &[NodeId],
+        walk_starts: &[NodeId],
+        seed: u64,
+    ) {
+        self.sgns.freeze_all();
+        self.sgns.grow(graph.node_count(), seed ^ 0x9e3779b97f4a7c15);
+        self.counts.resize(graph.node_count(), 0);
+        if new_nodes.is_empty() {
+            return;
+        }
+        let mut walker = Walker::new(graph, self.config.walk_config(), seed);
+        let corpus = walker.corpus_from(walk_starts);
+        count_tokens(&corpus, &mut self.counts);
+        let table = NegativeTable::new(&self.counts);
+        self.sgns.train(
+            &corpus,
+            &table,
+            self.config.window,
+            self.config.negatives,
+            self.config.dynamic_epochs,
+            self.config.learning_rate,
+            seed ^ 0xdead,
+        );
+    }
+
+    /// The embedding of a node.
+    pub fn embedding(&self, node: NodeId) -> &[f64] {
+        self.sgns.embedding(node)
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.sgns.dim()
+    }
+
+    /// Number of embedded nodes.
+    pub fn node_count(&self) -> usize {
+        self.sgns.node_count()
+    }
+
+    /// Whether a node's vector is frozen.
+    pub fn is_frozen(&self, node: NodeId) -> bool {
+        self.sgns.is_frozen(node)
+    }
+
+    /// The configuration the model was trained with.
+    pub fn config(&self) -> &Node2VecConfig {
+        &self.config
+    }
+}
+
+fn count_tokens(corpus: &WalkCorpus, counts: &mut [usize]) {
+    for walk in &corpus.walks {
+        for node in walk {
+            counts[node.index()] += 1;
+        }
+    }
+}
+
+/// Salt decorrelating the SGD shuffle stream from the walk-sampling stream.
+const TRAIN_SEED_SALT: u64 = 0x71a1_5eed;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbgraph::DbGraph;
+    use reldb::movies::movies_database_labeled;
+
+    fn small_cfg() -> Node2VecConfig {
+        Node2VecConfig::small()
+    }
+
+    #[test]
+    fn trains_on_movie_graph() {
+        let (db, _) = movies_database_labeled();
+        let g = DbGraph::build(&db);
+        let model = Node2VecModel::train(g.graph(), &small_cfg(), 42);
+        assert_eq!(model.node_count(), g.graph().node_count());
+        assert_eq!(model.dim(), 16);
+        // All embeddings finite.
+        for id in g.graph().node_ids() {
+            assert!(model.embedding(id).iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn dynamic_extension_freezes_old_and_trains_new() {
+        let (mut db, ids) = movies_database_labeled();
+        let journal = reldb::cascade_delete(&mut db, ids["c4"], false).unwrap();
+        let mut g = DbGraph::build(&db);
+        let mut model = Node2VecModel::train(g.graph(), &small_cfg(), 42);
+        let old_embeddings: Vec<Vec<f64>> = g
+            .graph()
+            .node_ids()
+            .map(|id| model.embedding(id).to_vec())
+            .collect();
+
+        reldb::restore_journal(&mut db, &journal).unwrap();
+        let new_nodes = g.extend_with_fact(&db, ids["c4"]);
+        model.extend(g.graph(), &new_nodes, 7);
+
+        // Stability: every old node's vector is bit-identical.
+        for (i, old) in old_embeddings.iter().enumerate() {
+            let id = NodeId(i as u32);
+            assert!(model.is_frozen(id));
+            assert_eq!(model.embedding(id), old.as_slice(), "node {i} drifted");
+        }
+        // The new fact node has a trained (non-initial…, at least finite and
+        // nonzero) vector.
+        let v_new = g.fact_node(ids["c4"]).unwrap();
+        assert!(!model.is_frozen(v_new));
+        assert!(model.embedding(v_new).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn extend_with_no_new_nodes_is_noop() {
+        let (db, _) = movies_database_labeled();
+        let g = DbGraph::build(&db);
+        let mut model = Node2VecModel::train(g.graph(), &small_cfg(), 1);
+        let before: Vec<Vec<f64>> = g
+            .graph()
+            .node_ids()
+            .map(|id| model.embedding(id).to_vec())
+            .collect();
+        model.extend(g.graph(), &[], 5);
+        for (i, old) in before.iter().enumerate() {
+            assert_eq!(model.embedding(NodeId(i as u32)), old.as_slice());
+        }
+    }
+}

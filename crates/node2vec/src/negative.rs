@@ -1,0 +1,83 @@
+//! Unigram^0.75 negative-sampling table (Mikolov et al. 2013).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Cumulative-distribution sampler over nodes, with the classic `count^0.75`
+/// smoothing that keeps frequent nodes from dominating the negatives.
+#[derive(Debug, Clone)]
+pub struct NegativeTable {
+    /// Cumulative (unnormalised) mass per node id.
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl NegativeTable {
+    /// Build from per-node occurrence counts (index = node id). Nodes with
+    /// zero count get zero mass and are never sampled.
+    pub fn new(counts: &[usize]) -> Self {
+        let mut cumulative = Vec::with_capacity(counts.len());
+        let mut acc = 0.0;
+        for &c in counts {
+            acc += (c as f64).powf(0.75);
+            cumulative.push(acc);
+        }
+        NegativeTable { cumulative, total: acc }
+    }
+
+    /// `true` iff no node has positive mass.
+    pub fn is_empty(&self) -> bool {
+        self.total <= 0.0
+    }
+
+    /// Sample one node id proportional to smoothed frequency.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        debug_assert!(!self.is_empty(), "sampling from an empty table");
+        let x = rng.random_range(0.0..self.total);
+        // First index whose cumulative mass exceeds x.
+        self.cumulative.partition_point(|&c| c <= x).min(self.cumulative.len() - 1)
+    }
+
+    /// Number of node slots (including zero-mass ones).
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn respects_frequencies_approximately() {
+        let counts = vec![0usize, 100, 100, 800];
+        let table = NegativeTable::new(&counts);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut hist = [0usize; 4];
+        for _ in 0..20_000 {
+            hist[table.sample(&mut rng)] += 1;
+        }
+        assert_eq!(hist[0], 0, "zero-count nodes are never sampled");
+        // With 0.75 smoothing: mass(3)/mass(1) = 800^.75/100^.75 = 8^.75 ≈ 4.76.
+        let ratio = hist[3] as f64 / hist[1] as f64;
+        assert!((3.5..6.5).contains(&ratio), "ratio {ratio} out of range");
+        assert!(hist[1] > 1000 && hist[2] > 1000);
+    }
+
+    #[test]
+    fn single_node_table() {
+        let table = NegativeTable::new(&[5]);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn empty_detection() {
+        assert!(NegativeTable::new(&[]).is_empty());
+        assert!(NegativeTable::new(&[0, 0]).is_empty());
+        assert!(!NegativeTable::new(&[0, 1]).is_empty());
+    }
+}

@@ -1,0 +1,397 @@
+//! Skip-gram with negative sampling, trained by SGD with hand-derived
+//! gradients and support for **freezing** node vectors.
+//!
+//! For a center node `c` and context node `o` with label `y ∈ {0,1}` the
+//! loss is the binary cross-entropy of `σ(in_c · out_o)`; the gradient of
+//! the logit is `g = σ(in_c · out_o) − y`, giving the classic updates
+//! `in_c ← in_c − η·g·out_o` and `out_o ← out_o − η·g·in_c`. Frozen nodes
+//! receive **no** updates on either vector — this implements the paper's
+//! "gradient descent only on the embeddings of new nodes".
+
+use crate::NegativeTable;
+use dbgraph::{NodeId, WalkCorpus};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Precomputed logistic table: σ(x) for x ∈ [−MAX_EXP, MAX_EXP] in
+/// `TABLE_SIZE` bins (word2vec's classic trick; exactness at the tails is
+/// irrelevant because the gradient saturates there anyway).
+const MAX_EXP: f64 = 6.0;
+const TABLE_SIZE: usize = 1024;
+
+fn build_sigmoid_table() -> Vec<f64> {
+    (0..TABLE_SIZE)
+        .map(|i| {
+            let x = (i as f64 / TABLE_SIZE as f64) * 2.0 * MAX_EXP - MAX_EXP;
+            1.0 / (1.0 + (-x).exp())
+        })
+        .collect()
+}
+
+/// The embedding matrices plus the freeze mask.
+#[derive(Debug, Clone)]
+pub struct SgnsModel {
+    dim: usize,
+    /// Input ("center") vectors, node-major.
+    in_vecs: Vec<f64>,
+    /// Output ("context") vectors, node-major.
+    out_vecs: Vec<f64>,
+    /// Frozen nodes receive no gradient updates.
+    frozen: Vec<bool>,
+    sigmoid: Vec<f64>,
+}
+
+/// Result of one training run.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainStats {
+    /// Number of (center, context, label) updates performed.
+    pub updates: usize,
+    /// Mean binary cross-entropy over the first epoch.
+    pub first_epoch_loss: f64,
+    /// Mean binary cross-entropy over the last epoch.
+    pub last_epoch_loss: f64,
+}
+
+impl SgnsModel {
+    /// Fresh model with `nodes` random vectors in `[-0.5/dim, 0.5/dim]`
+    /// (the word2vec initialisation).
+    pub fn new(nodes: usize, dim: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bound = 0.5 / dim as f64;
+        let in_vecs =
+            (0..nodes * dim).map(|_| rng.random_range(-bound..=bound)).collect();
+        // Out vectors start at zero, as in word2vec.
+        let out_vecs = vec![0.0; nodes * dim];
+        SgnsModel {
+            dim,
+            in_vecs,
+            out_vecs,
+            frozen: vec![false; nodes],
+            sigmoid: build_sigmoid_table(),
+        }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of nodes the model currently covers.
+    pub fn node_count(&self) -> usize {
+        self.frozen.len()
+    }
+
+    /// The (input) embedding of a node — this is the vector exposed to
+    /// downstream tasks.
+    pub fn embedding(&self, node: NodeId) -> &[f64] {
+        let i = node.index();
+        &self.in_vecs[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Freeze every node currently in the model (dynamic phase prologue).
+    pub fn freeze_all(&mut self) {
+        self.frozen.iter_mut().for_each(|f| *f = true);
+    }
+
+    /// Whether `node` is frozen.
+    pub fn is_frozen(&self, node: NodeId) -> bool {
+        self.frozen[node.index()]
+    }
+
+    /// Grow the model to cover `new_count` nodes; the added nodes get random
+    /// input vectors (seeded) and are unfrozen.
+    pub fn grow(&mut self, new_count: usize, seed: u64) {
+        assert!(new_count >= self.node_count(), "grow cannot shrink");
+        let added = new_count - self.node_count();
+        if added == 0 {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bound = 0.5 / self.dim as f64;
+        self.in_vecs
+            .extend((0..added * self.dim).map(|_| rng.random_range(-bound..=bound)));
+        self.out_vecs.extend(std::iter::repeat_n(0.0, added * self.dim));
+        self.frozen.extend(std::iter::repeat_n(false, added));
+    }
+
+    #[inline]
+    fn sigmoid(&self, x: f64) -> f64 {
+        if x >= MAX_EXP {
+            1.0
+        } else if x <= -MAX_EXP {
+            0.0
+        } else {
+            let idx = ((x + MAX_EXP) / (2.0 * MAX_EXP) * TABLE_SIZE as f64) as usize;
+            self.sigmoid[idx.min(TABLE_SIZE - 1)]
+        }
+    }
+
+    /// One SGD update for the pair `(center, context)` with `label`
+    /// (1 = observed, 0 = negative). Returns the BCE loss of the pair
+    /// *before* the update.
+    fn update_pair(&mut self, center: usize, context: usize, label: f64, lr: f64) -> f64 {
+        let dim = self.dim;
+        let (ci, oi) = (center * dim, context * dim);
+        let mut dot = 0.0;
+        for k in 0..dim {
+            dot += self.in_vecs[ci + k] * self.out_vecs[oi + k];
+        }
+        let pred = self.sigmoid(dot);
+        let g = (pred - label) * lr;
+        let center_frozen = self.frozen[center];
+        let context_frozen = self.frozen[context];
+        if !center_frozen && !context_frozen {
+            for k in 0..dim {
+                let in_v = self.in_vecs[ci + k];
+                let out_v = self.out_vecs[oi + k];
+                self.in_vecs[ci + k] = in_v - g * out_v;
+                self.out_vecs[oi + k] = out_v - g * in_v;
+            }
+        } else if !center_frozen {
+            for k in 0..dim {
+                self.in_vecs[ci + k] -= g * self.out_vecs[oi + k];
+            }
+        } else if !context_frozen {
+            for k in 0..dim {
+                self.out_vecs[oi + k] -= g * self.in_vecs[ci + k];
+            }
+        }
+        // BCE with clamping for the log.
+        let p = pred.clamp(1e-7, 1.0 - 1e-7);
+        if label > 0.5 {
+            -p.ln()
+        } else {
+            -(1.0 - p).ln()
+        }
+    }
+
+    /// Train over a walk corpus: for every walk position, every context
+    /// within `window`, one positive update plus `negatives` negative
+    /// updates sampled from `table`. The learning rate decays linearly over
+    /// the total update schedule.
+    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::needless_range_loop)] // window positions index the walk
+    pub fn train(
+        &mut self,
+        corpus: &WalkCorpus,
+        table: &NegativeTable,
+        window: usize,
+        negatives: usize,
+        epochs: usize,
+        lr0: f64,
+        seed: u64,
+    ) -> TrainStats {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stats = TrainStats { updates: 0, first_epoch_loss: 0.0, last_epoch_loss: 0.0 };
+        if corpus.is_empty() || table.is_empty() || epochs == 0 {
+            return stats;
+        }
+        // Total positive pairs (upper bound) for the lr schedule.
+        let pairs_per_epoch: usize = corpus
+            .walks
+            .iter()
+            .map(|w| w.len() * 2 * window.min(w.len()))
+            .sum::<usize>()
+            .max(1);
+        let total_updates = (pairs_per_epoch * epochs) as f64;
+        let mut done = 0usize;
+
+        let mut order: Vec<usize> = (0..corpus.walks.len()).collect();
+        for epoch in 0..epochs {
+            // Shuffle walk order per epoch (Fisher–Yates).
+            for i in (1..order.len()).rev() {
+                let j = rng.random_range(0..=i);
+                order.swap(i, j);
+            }
+            let mut epoch_loss = 0.0;
+            let mut epoch_pairs = 0usize;
+            for &wi in &order {
+                let walk = &corpus.walks[wi];
+                for (pos, &center) in walk.iter().enumerate() {
+                    // Dynamic window shrink, as in word2vec.
+                    let b = rng.random_range(1..=window);
+                    let lo = pos.saturating_sub(b);
+                    let hi = (pos + b).min(walk.len() - 1);
+                    for ctx_pos in lo..=hi {
+                        if ctx_pos == pos {
+                            continue;
+                        }
+                        let context = walk[ctx_pos];
+                        let lr = lr0 * (1.0 - done as f64 / total_updates).max(1e-4);
+                        epoch_loss += self.update_pair(
+                            center.index(),
+                            context.index(),
+                            1.0,
+                            lr,
+                        );
+                        for _ in 0..negatives {
+                            let neg = table.sample(&mut rng);
+                            if neg == context.index() {
+                                continue;
+                            }
+                            epoch_loss +=
+                                self.update_pair(center.index(), neg, 0.0, lr);
+                        }
+                        stats.updates += 1 + negatives;
+                        epoch_pairs += 1;
+                        done += 1;
+                    }
+                }
+            }
+            let mean = epoch_loss / (epoch_pairs.max(1) * (1 + negatives)) as f64;
+            if epoch == 0 {
+                stats.first_epoch_loss = mean;
+            }
+            stats.last_epoch_loss = mean;
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbgraph::{Graph, WalkConfig, Walker};
+
+    fn clique_pair_corpus(seed: u64) -> (Graph, WalkCorpus, Vec<usize>) {
+        // Two 5-cliques joined by one bridge edge.
+        let mut g = Graph::new();
+        let nodes: Vec<NodeId> = (0..10).map(|_| g.add_node()).collect();
+        for i in 0..5 {
+            for j in i + 1..5 {
+                g.add_edge(nodes[i], nodes[j]);
+                g.add_edge(nodes[i + 5], nodes[j + 5]);
+            }
+        }
+        g.add_edge(nodes[4], nodes[5]);
+        let cfg = WalkConfig { walks_per_node: 20, walk_length: 8, p: 1.0, q: 1.0 };
+        let corpus = Walker::new(&g, cfg, seed).corpus();
+        let mut counts = vec![0usize; g.node_count()];
+        for w in &corpus.walks {
+            for n in w {
+                counts[n.index()] += 1;
+            }
+        }
+        (g, corpus, counts)
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let (_, corpus, counts) = clique_pair_corpus(7);
+        let table = NegativeTable::new(&counts);
+        let mut model = SgnsModel::new(counts.len(), 16, 1);
+        let stats = model.train(&corpus, &table, 3, 5, 5, 0.05, 2);
+        assert!(stats.updates > 0);
+        assert!(
+            stats.last_epoch_loss < stats.first_epoch_loss,
+            "loss should drop: {} -> {}",
+            stats.first_epoch_loss,
+            stats.last_epoch_loss
+        );
+    }
+
+    #[test]
+    fn communities_separate_in_embedding_space() {
+        let (_, corpus, counts) = clique_pair_corpus(3);
+        let table = NegativeTable::new(&counts);
+        let mut model = SgnsModel::new(counts.len(), 16, 5);
+        model.train(&corpus, &table, 3, 5, 8, 0.05, 9);
+        let cos = |a: usize, b: usize| {
+            linalg_cosine(model.embedding(NodeId(a as u32)), model.embedding(NodeId(b as u32)))
+        };
+        // Mean intra-clique vs inter-clique similarity.
+        let mut intra = Vec::new();
+        let mut inter = Vec::new();
+        for i in 0..5usize {
+            for j in 0..5usize {
+                if i < j {
+                    intra.push(cos(i, j));
+                    intra.push(cos(i + 5, j + 5));
+                }
+                inter.push(cos(i, j + 5));
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&intra) > mean(&inter) + 0.1,
+            "intra {} must exceed inter {}",
+            mean(&intra),
+            mean(&inter)
+        );
+    }
+
+    fn linalg_cosine(a: &[f64], b: &[f64]) -> f64 {
+        let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+
+    #[test]
+    fn frozen_nodes_are_bit_identical_after_training() {
+        let (_, corpus, counts) = clique_pair_corpus(11);
+        let table = NegativeTable::new(&counts);
+        let mut model = SgnsModel::new(counts.len(), 8, 2);
+        model.train(&corpus, &table, 3, 5, 2, 0.05, 3);
+        // Freeze everything, then grow by two nodes and train again.
+        model.freeze_all();
+        let snapshot: Vec<Vec<f64>> = (0..model.node_count())
+            .map(|i| model.embedding(NodeId(i as u32)).to_vec())
+            .collect();
+        model.grow(counts.len() + 2, 77);
+        assert!(!model.is_frozen(NodeId(counts.len() as u32)));
+        let mut counts2 = counts.clone();
+        counts2.push(3);
+        counts2.push(3);
+        let table2 = NegativeTable::new(&counts2);
+        model.train(&corpus, &table2, 3, 5, 2, 0.05, 4);
+        for (i, old) in snapshot.iter().enumerate() {
+            assert_eq!(
+                model.embedding(NodeId(i as u32)),
+                old.as_slice(),
+                "frozen node {i} changed"
+            );
+        }
+    }
+
+    #[test]
+    fn grow_preserves_existing_vectors() {
+        let mut model = SgnsModel::new(3, 4, 0);
+        let before = model.embedding(NodeId(1)).to_vec();
+        model.grow(5, 9);
+        assert_eq!(model.node_count(), 5);
+        assert_eq!(model.embedding(NodeId(1)), before.as_slice());
+        // New vectors are non-zero with overwhelming probability.
+        assert!(model.embedding(NodeId(4)).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let (_, corpus, counts) = clique_pair_corpus(1);
+        let table = NegativeTable::new(&counts);
+        let mut m1 = SgnsModel::new(counts.len(), 8, 4);
+        let mut m2 = SgnsModel::new(counts.len(), 8, 4);
+        m1.train(&corpus, &table, 3, 4, 2, 0.05, 6);
+        m2.train(&corpus, &table, 3, 4, 2, 0.05, 6);
+        for i in 0..counts.len() {
+            assert_eq!(
+                m1.embedding(NodeId(i as u32)),
+                m2.embedding(NodeId(i as u32))
+            );
+        }
+    }
+
+    #[test]
+    fn empty_corpus_is_a_noop() {
+        let table = NegativeTable::new(&[1, 1]);
+        let mut model = SgnsModel::new(2, 4, 0);
+        let before = model.embedding(NodeId(0)).to_vec();
+        let stats = model.train(&WalkCorpus::default(), &table, 3, 4, 2, 0.05, 0);
+        assert_eq!(stats.updates, 0);
+        assert_eq!(model.embedding(NodeId(0)), before.as_slice());
+    }
+}

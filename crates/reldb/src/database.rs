@@ -1,0 +1,576 @@
+//! The in-memory database: fact storage, constraint enforcement, and the
+//! secondary indexes that power random walks.
+
+use crate::{
+    DbError, Fact, FactId, FkId, RelationId, Result, Schema, Value,
+};
+use std::collections::HashMap;
+
+/// Per-relation fact store.
+///
+/// Facts live in append-only slots; deletion leaves a tombstone (`None`) so
+/// that [`FactId`]s are never silently re-bound to different facts. The
+/// journal-replay path ([`Database::restore`]) may revive a tombstoned slot
+/// with **the same fact** it used to hold, which preserves identity across
+/// the dynamic experiment's delete/re-insert cycle.
+#[derive(Debug, Clone, Default)]
+struct RelationStore {
+    slots: Vec<Option<Fact>>,
+    live: usize,
+    /// key tuple → slot.
+    key_index: HashMap<Vec<Value>, u32>,
+    /// Per attribute: non-null value → slots holding it (unordered).
+    value_index: Vec<HashMap<Value, Vec<u32>>>,
+}
+
+/// A relational database over a fixed [`Schema`].
+///
+/// All mutating operations keep the key index, the per-attribute value
+/// index, and the per-FK reference index transactionally consistent: either
+/// the operation succeeds and all indexes reflect it, or it fails with a
+/// [`DbError`] and nothing changed.
+#[derive(Debug, Clone)]
+pub struct Database {
+    schema: Schema,
+    stores: Vec<RelationStore>,
+    /// Per FK: referenced key tuple → referencing slots in `fk.from_rel`.
+    fk_index: Vec<HashMap<Vec<Value>, Vec<u32>>>,
+    /// When true, `insert` skips FK existence checks (bulk loading of data
+    /// with cyclic or forward references); call [`Database::check_all_fks`]
+    /// afterwards.
+    defer_fk_checks: bool,
+}
+
+impl Database {
+    /// Empty database over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let stores = schema
+            .relations()
+            .iter()
+            .map(|r| RelationStore {
+                slots: Vec::new(),
+                live: 0,
+                key_index: HashMap::new(),
+                value_index: vec![HashMap::new(); r.arity()],
+            })
+            .collect();
+        let fk_index = vec![HashMap::new(); schema.foreign_keys().len()];
+        Database { schema, stores, fk_index, defer_fk_checks: false }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Enable/disable deferred FK checking. With deferral on, `insert`
+    /// validates everything *except* FK existence; run
+    /// [`Database::check_all_fks`] once loading completes.
+    pub fn set_defer_fk_checks(&mut self, defer: bool) {
+        self.defer_fk_checks = defer;
+    }
+
+    /// Number of live facts in `rel`.
+    pub fn live_count(&self, rel: RelationId) -> usize {
+        self.stores[rel.index()].live
+    }
+
+    /// Total number of live facts (Table I's "#Tuples").
+    pub fn total_facts(&self) -> usize {
+        self.stores.iter().map(|s| s.live).sum()
+    }
+
+    /// The live fact behind `id`, if any.
+    pub fn fact(&self, id: FactId) -> Option<&Fact> {
+        self.stores
+            .get(id.rel.index())?
+            .slots
+            .get(id.row as usize)?
+            .as_ref()
+    }
+
+    /// Like [`Database::fact`] but with a typed error.
+    pub fn fact_required(&self, id: FactId) -> Result<&Fact> {
+        self.fact(id).ok_or(DbError::UnknownFact)
+    }
+
+    /// Iterate over the live facts of `rel` in slot order.
+    pub fn facts(&self, rel: RelationId) -> impl Iterator<Item = (FactId, &Fact)> {
+        self.stores[rel.index()]
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(move |(row, slot)| {
+                slot.as_ref().map(|f| (FactId::new(rel, row as u32), f))
+            })
+    }
+
+    /// Collect the live fact ids of `rel`.
+    pub fn fact_ids(&self, rel: RelationId) -> Vec<FactId> {
+        self.facts(rel).map(|(id, _)| id).collect()
+    }
+
+    /// Find the fact of `rel` with the given key tuple.
+    pub fn lookup_key(&self, rel: RelationId, key: &[Value]) -> Option<FactId> {
+        self.stores[rel.index()]
+            .key_index
+            .get(key)
+            .map(|&row| FactId::new(rel, row))
+    }
+
+    /// Slots of facts in `rel` whose attribute `attr` equals `value`
+    /// (unordered). Nulls are never indexed.
+    pub fn facts_with_value(
+        &self,
+        rel: RelationId,
+        attr: usize,
+        value: &Value,
+    ) -> &[u32] {
+        self.stores[rel.index()].value_index[attr]
+            .get(value)
+            .map_or(&[], |v| v.as_slice())
+    }
+
+    /// The active domain `adom(A)`: distinct non-null values of `rel.attr`.
+    pub fn active_domain(
+        &self,
+        rel: RelationId,
+        attr: usize,
+    ) -> impl Iterator<Item = &Value> {
+        self.stores[rel.index()].value_index[attr].keys()
+    }
+
+    /// Facts of `fk.from_rel` whose FK tuple references the key tuple
+    /// `key` of `fk.to_rel` (the *backward* step of a walk scheme).
+    pub fn referencing_slots(&self, fk: FkId, key: &[Value]) -> &[u32] {
+        self.fk_index[fk.index()].get(key).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Facts referencing `target` via `fk`.
+    pub fn referencing_facts(&self, fk: FkId, target: FactId) -> Vec<FactId> {
+        let fk_def = self.schema.foreign_key(fk);
+        debug_assert_eq!(fk_def.to_rel, target.rel);
+        let Some(fact) = self.fact(target) else { return Vec::new() };
+        let key = fact.project(&fk_def.to_attrs);
+        self.referencing_slots(fk, &key)
+            .iter()
+            .map(|&row| FactId::new(fk_def.from_rel, row))
+            .collect()
+    }
+
+    /// Total number of live facts referencing `target` over all FKs into its
+    /// relation. Drives both dangling-reference protection and orphan
+    /// collection during cascade deletion.
+    pub fn reference_count(&self, target: FactId) -> usize {
+        self.schema
+            .fks_to(target.rel)
+            .iter()
+            .map(|&fk| {
+                let fk_def = self.schema.foreign_key(fk);
+                match self.fact(target) {
+                    Some(fact) => {
+                        let key = fact.project(&fk_def.to_attrs);
+                        self.referencing_slots(fk, &key).len()
+                    }
+                    None => 0,
+                }
+            })
+            .sum()
+    }
+
+    /// The fact referenced by `source` via `fk`, or `None` when any
+    /// referencing attribute is null (the FK is then ignored, per §II).
+    pub fn resolve_fk(&self, fk: FkId, source: FactId) -> Result<Option<FactId>> {
+        let fk_def = self.schema.foreign_key(fk);
+        if fk_def.from_rel != source.rel {
+            return Err(DbError::BadRelationId(source.rel));
+        }
+        let fact = self.fact_required(source)?;
+        if fact.any_null(&fk_def.from_attrs) {
+            return Ok(None);
+        }
+        let key = fact.project(&fk_def.from_attrs);
+        Ok(self.lookup_key(fk_def.to_rel, &key))
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation
+    // ------------------------------------------------------------------
+
+    /// Insert a fact into `rel`, enforcing arity, types, non-null unique
+    /// keys, NaN rejection, and (unless deferred) FK existence.
+    pub fn insert(&mut self, rel: RelationId, values: Vec<Value>) -> Result<FactId> {
+        let fact = Fact::new(values);
+        self.validate_fact(rel, &fact)?;
+        let row = self.stores[rel.index()].slots.len() as u32;
+        self.index_fact(rel, row, &fact);
+        self.stores[rel.index()].slots.push(Some(fact));
+        self.stores[rel.index()].live += 1;
+        Ok(FactId::new(rel, row))
+    }
+
+    /// Insert by relation name (convenience for examples and loaders).
+    pub fn insert_into(&mut self, rel_name: &str, values: Vec<Value>) -> Result<FactId> {
+        let rel = self
+            .schema
+            .relation_id(rel_name)
+            .ok_or_else(|| DbError::UnknownRelation(rel_name.to_string()))?;
+        self.insert(rel, values)
+    }
+
+    /// Re-insert `fact` into the tombstoned slot `id` (journal replay).
+    /// Validates the same constraints as [`Database::insert`].
+    pub fn restore(&mut self, id: FactId, fact: Fact) -> Result<()> {
+        let store = self
+            .stores
+            .get(id.rel.index())
+            .ok_or(DbError::BadRelationId(id.rel))?;
+        match store.slots.get(id.row as usize) {
+            Some(None) => {}
+            // Slot does not exist or is live: restoring would corrupt.
+            _ => return Err(DbError::UnknownFact),
+        }
+        self.validate_fact(id.rel, &fact)?;
+        self.index_fact(id.rel, id.row, &fact);
+        self.stores[id.rel.index()].slots[id.row as usize] = Some(fact);
+        self.stores[id.rel.index()].live += 1;
+        Ok(())
+    }
+
+    /// Delete a fact. Fails with [`DbError::WouldDangle`] when other live
+    /// facts still reference it — use [`crate::cascade`] for cascading
+    /// semantics. Returns the removed fact.
+    pub fn delete(&mut self, id: FactId) -> Result<Fact> {
+        let refs = self.reference_count(id);
+        if refs > 0 {
+            return Err(DbError::WouldDangle {
+                relation: self.schema.relation(id.rel).name.clone(),
+                referencing: refs,
+            });
+        }
+        self.delete_unchecked(id)
+    }
+
+    /// Delete without the dangling-reference check. `pub(crate)`: only the
+    /// cascade module may create temporary dangling states, and it repairs
+    /// them before returning.
+    pub(crate) fn delete_unchecked(&mut self, id: FactId) -> Result<Fact> {
+        let slot = self
+            .stores
+            .get_mut(id.rel.index())
+            .ok_or(DbError::BadRelationId(id.rel))?
+            .slots
+            .get_mut(id.row as usize)
+            .ok_or(DbError::UnknownFact)?;
+        let fact = slot.take().ok_or(DbError::UnknownFact)?;
+        self.stores[id.rel.index()].live -= 1;
+        self.unindex_fact(id.rel, id.row, &fact);
+        Ok(fact)
+    }
+
+    /// Check every FK of every live fact; first violation wins. Used after
+    /// bulk loading with deferred checks.
+    pub fn check_all_fks(&self) -> Result<()> {
+        for (fk_idx, fk) in self.schema.foreign_keys().iter().enumerate() {
+            let _ = fk_idx;
+            for (_, fact) in self.facts(fk.from_rel) {
+                if fact.any_null(&fk.from_attrs) {
+                    continue;
+                }
+                let key = fact.project(&fk.from_attrs);
+                if self.lookup_key(fk.to_rel, &key).is_none() {
+                    return Err(DbError::FkViolation {
+                        from: self.schema.relation(fk.from_rel).name.clone(),
+                        to: self.schema.relation(fk.to_rel).name.clone(),
+                        values: key,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn validate_fact(&self, rel: RelationId, fact: &Fact) -> Result<()> {
+        let rel_schema = self
+            .schema
+            .relations()
+            .get(rel.index())
+            .ok_or(DbError::BadRelationId(rel))?;
+        if fact.arity() != rel_schema.arity() {
+            return Err(DbError::Arity {
+                relation: rel_schema.name.clone(),
+                expected: rel_schema.arity(),
+                got: fact.arity(),
+            });
+        }
+        for (i, value) in fact.values().iter().enumerate() {
+            let attr = &rel_schema.attributes[i];
+            if value.is_nan() {
+                return Err(DbError::NanValue {
+                    relation: rel_schema.name.clone(),
+                    attribute: attr.name.clone(),
+                });
+            }
+            if !value.conforms_to(attr.ty) {
+                return Err(DbError::TypeMismatch {
+                    relation: rel_schema.name.clone(),
+                    attribute: attr.name.clone(),
+                    value: value.clone(),
+                });
+            }
+            if value.is_null() && rel_schema.is_key_attr(i) {
+                return Err(DbError::NullInKey {
+                    relation: rel_schema.name.clone(),
+                    attribute: attr.name.clone(),
+                });
+            }
+        }
+        let key = fact.project(&rel_schema.key);
+        if self.stores[rel.index()].key_index.contains_key(&key) {
+            return Err(DbError::DuplicateKey {
+                relation: rel_schema.name.clone(),
+                key,
+            });
+        }
+        if !self.defer_fk_checks {
+            for &fk_id in self.schema.fks_from(rel) {
+                let fk = self.schema.foreign_key(fk_id);
+                if fact.any_null(&fk.from_attrs) {
+                    continue;
+                }
+                let fk_key = fact.project(&fk.from_attrs);
+                if self.lookup_key(fk.to_rel, &fk_key).is_none() {
+                    return Err(DbError::FkViolation {
+                        from: rel_schema.name.clone(),
+                        to: self.schema.relation(fk.to_rel).name.clone(),
+                        values: fk_key,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn index_fact(&mut self, rel: RelationId, row: u32, fact: &Fact) {
+        let key = fact.project(&self.schema.relation(rel).key);
+        let store = &mut self.stores[rel.index()];
+        store.key_index.insert(key, row);
+        for (attr, value) in fact.values().iter().enumerate() {
+            if !value.is_null() {
+                store.value_index[attr].entry(value.clone()).or_default().push(row);
+            }
+        }
+        for &fk_id in self.schema.fks_from(rel) {
+            let fk = self.schema.foreign_key(fk_id);
+            if fact.any_null(&fk.from_attrs) {
+                continue;
+            }
+            let fk_key = fact.project(&fk.from_attrs);
+            self.fk_index[fk_id.index()].entry(fk_key).or_default().push(row);
+        }
+    }
+
+    fn unindex_fact(&mut self, rel: RelationId, row: u32, fact: &Fact) {
+        let key = fact.project(&self.schema.relation(rel).key);
+        let store = &mut self.stores[rel.index()];
+        store.key_index.remove(&key);
+        for (attr, value) in fact.values().iter().enumerate() {
+            if value.is_null() {
+                continue;
+            }
+            if let Some(rows) = store.value_index[attr].get_mut(value) {
+                if let Some(pos) = rows.iter().position(|&r| r == row) {
+                    rows.swap_remove(pos);
+                }
+                if rows.is_empty() {
+                    store.value_index[attr].remove(value);
+                }
+            }
+        }
+        for &fk_id in self.schema.fks_from(rel) {
+            let fk = self.schema.foreign_key(fk_id);
+            if fact.any_null(&fk.from_attrs) {
+                continue;
+            }
+            let fk_key = fact.project(&fk.from_attrs);
+            if let Some(rows) = self.fk_index[fk_id.index()].get_mut(&fk_key) {
+                if let Some(pos) = rows.iter().position(|&r| r == row) {
+                    rows.swap_remove(pos);
+                }
+                if rows.is_empty() {
+                    self.fk_index[fk_id.index()].remove(&fk_key);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SchemaBuilder, ValueType};
+
+    fn schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        b.relation("S")
+            .attr("sid", ValueType::Text)
+            .attr("name", ValueType::Text)
+            .key(&["sid"]);
+        b.relation("R")
+            .attr("rid", ValueType::Text)
+            .attr("s_ref", ValueType::Text)
+            .attr("payload", ValueType::Int)
+            .key(&["rid"]);
+        b.foreign_key("R", &["s_ref"], "S");
+        b.build().unwrap()
+    }
+
+    fn db_with_one_s() -> (Database, FactId) {
+        let mut db = Database::new(schema());
+        let s = db.insert_into("S", vec!["s1".into(), "Acme".into()]).unwrap();
+        (db, s)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let (mut db, s) = db_with_one_s();
+        let rel_r = db.schema().relation_id("R").unwrap();
+        let r = db
+            .insert(rel_r, vec!["r1".into(), "s1".into(), Value::Int(5)])
+            .unwrap();
+        assert_eq!(db.total_facts(), 2);
+        assert_eq!(db.fact(r).unwrap().get(2), &Value::Int(5));
+        assert_eq!(
+            db.lookup_key(rel_r, &["r1".into()]),
+            Some(r)
+        );
+        // FK resolution.
+        let fk = db.schema().fks_from(rel_r)[0];
+        assert_eq!(db.resolve_fk(fk, r).unwrap(), Some(s));
+        assert_eq!(db.referencing_facts(fk, s), vec![r]);
+        assert_eq!(db.reference_count(s), 1);
+    }
+
+    #[test]
+    fn rejects_arity_type_and_nan() {
+        let (mut db, _) = db_with_one_s();
+        let rel_r = db.schema().relation_id("R").unwrap();
+        assert!(matches!(
+            db.insert(rel_r, vec!["r1".into()]),
+            Err(DbError::Arity { .. })
+        ));
+        assert!(matches!(
+            db.insert(rel_r, vec!["r1".into(), "s1".into(), "oops".into()]),
+            Err(DbError::TypeMismatch { .. })
+        ));
+        let rel_s = db.schema().relation_id("S").unwrap();
+        let mut b = SchemaBuilder::new();
+        b.relation("F").attr("x", ValueType::Float).key(&["x"]);
+        let mut fdb = Database::new(b.build().unwrap());
+        let frel = fdb.schema().relation_id("F").unwrap();
+        assert!(matches!(
+            fdb.insert(frel, vec![Value::Float(f64::NAN)]),
+            Err(DbError::NanValue { .. })
+        ));
+        let _ = rel_s;
+    }
+
+    #[test]
+    fn rejects_null_key_and_duplicate_key() {
+        let (mut db, _) = db_with_one_s();
+        let rel_s = db.schema().relation_id("S").unwrap();
+        assert!(matches!(
+            db.insert(rel_s, vec![Value::Null, "X".into()]),
+            Err(DbError::NullInKey { .. })
+        ));
+        assert!(matches!(
+            db.insert(rel_s, vec!["s1".into(), "Other".into()]),
+            Err(DbError::DuplicateKey { .. })
+        ));
+        assert_eq!(db.total_facts(), 1);
+    }
+
+    #[test]
+    fn rejects_dangling_fk_but_allows_null_fk() {
+        let (mut db, _) = db_with_one_s();
+        let rel_r = db.schema().relation_id("R").unwrap();
+        assert!(matches!(
+            db.insert(rel_r, vec!["r1".into(), "zzz".into(), Value::Int(1)]),
+            Err(DbError::FkViolation { .. })
+        ));
+        // Null FK attribute: the FK is ignored.
+        let r = db
+            .insert(rel_r, vec!["r2".into(), Value::Null, Value::Int(1)])
+            .unwrap();
+        let fk = db.schema().fks_from(rel_r)[0];
+        assert_eq!(db.resolve_fk(fk, r).unwrap(), None);
+    }
+
+    #[test]
+    fn deferred_fk_checks() {
+        let mut db = Database::new(schema());
+        db.set_defer_fk_checks(true);
+        let rel_r = db.schema().relation_id("R").unwrap();
+        // Insert the referencing fact first.
+        db.insert(rel_r, vec!["r1".into(), "s1".into(), Value::Int(1)]).unwrap();
+        assert!(db.check_all_fks().is_err());
+        db.insert_into("S", vec!["s1".into(), "Acme".into()]).unwrap();
+        assert!(db.check_all_fks().is_ok());
+    }
+
+    #[test]
+    fn delete_protects_references_then_succeeds() {
+        let (mut db, s) = db_with_one_s();
+        let rel_r = db.schema().relation_id("R").unwrap();
+        let r = db
+            .insert(rel_r, vec!["r1".into(), "s1".into(), Value::Int(5)])
+            .unwrap();
+        assert!(matches!(db.delete(s), Err(DbError::WouldDangle { .. })));
+        db.delete(r).unwrap();
+        db.delete(s).unwrap();
+        assert_eq!(db.total_facts(), 0);
+        assert!(db.fact(r).is_none());
+        assert!(matches!(db.delete(r), Err(DbError::UnknownFact)));
+    }
+
+    #[test]
+    fn value_index_tracks_mutations() {
+        let (mut db, _) = db_with_one_s();
+        let rel_r = db.schema().relation_id("R").unwrap();
+        let r1 = db
+            .insert(rel_r, vec!["r1".into(), "s1".into(), Value::Int(5)])
+            .unwrap();
+        let _r2 = db
+            .insert(rel_r, vec!["r2".into(), "s1".into(), Value::Int(5)])
+            .unwrap();
+        assert_eq!(db.facts_with_value(rel_r, 2, &Value::Int(5)).len(), 2);
+        db.delete(r1).unwrap();
+        assert_eq!(db.facts_with_value(rel_r, 2, &Value::Int(5)).len(), 1);
+        assert_eq!(db.facts_with_value(rel_r, 2, &Value::Int(99)).len(), 0);
+        let adom: Vec<&Value> = db.active_domain(rel_r, 2).collect();
+        assert_eq!(adom, vec![&Value::Int(5)]);
+    }
+
+    #[test]
+    fn restore_revives_tombstone_with_same_id() {
+        let (mut db, s) = db_with_one_s();
+        let fact = db.delete(s).unwrap();
+        assert!(db.fact(s).is_none());
+        db.restore(s, fact.clone()).unwrap();
+        assert_eq!(db.fact(s), Some(&fact));
+        // Restoring a live slot fails.
+        assert!(db.restore(s, fact).is_err());
+    }
+
+    #[test]
+    fn fact_ids_are_not_reused_after_delete() {
+        let (mut db, s) = db_with_one_s();
+        db.delete(s).unwrap();
+        let s2 = db.insert_into("S", vec!["s1".into(), "Acme".into()]).unwrap();
+        assert_ne!(s, s2, "slots must not be silently reused by insert");
+    }
+}

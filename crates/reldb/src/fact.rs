@@ -1,0 +1,131 @@
+//! Facts (tuples) and stable fact identifiers.
+
+use crate::{RelationId, Value};
+use std::fmt;
+
+/// Stable identifier of a fact: relation plus slot index within that
+/// relation's store.
+///
+/// Slots are never reused within the lifetime of a `Database`, so a `FactId`
+/// remains valid (it either denotes the same live fact or a tombstone —
+/// never a *different* fact). The embedding structures key their vectors by
+/// `FactId`; slot stability is what makes the "frozen old embedding"
+/// guarantee of the paper meaningful across insertions and deletions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FactId {
+    /// Owning relation.
+    pub rel: RelationId,
+    /// Slot within the relation store.
+    pub row: u32,
+}
+
+impl FactId {
+    /// Construct from raw parts.
+    pub fn new(rel: RelationId, row: u32) -> Self {
+        FactId { rel, row }
+    }
+}
+
+impl fmt::Display for FactId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}#{}", self.rel.0, self.row)
+    }
+}
+
+/// A fact `R(a₁,…,a_k)`: the values in attribute order.
+///
+/// The owning relation is implied by context (facts live inside per-relation
+/// stores); pairing a `Fact` with its [`FactId`] recovers it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fact {
+    values: Box<[Value]>,
+}
+
+impl Fact {
+    /// Construct from a value vector.
+    pub fn new(values: Vec<Value>) -> Self {
+        Fact { values: values.into_boxed_slice() }
+    }
+
+    /// The values, in attribute order.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value at attribute position `i` — the paper's `f[Aᵢ]`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// Projection `f[B₁,…,B_ℓ]` as an owned vector.
+    pub fn project(&self, attrs: &[usize]) -> Vec<Value> {
+        attrs.iter().map(|&i| self.values[i].clone()).collect()
+    }
+
+    /// `true` iff any projected attribute is null — such an FK tuple is
+    /// ignored per the paper's convention.
+    pub fn any_null(&self, attrs: &[usize]) -> bool {
+        attrs.iter().any(|&i| self.values[i].is_null())
+    }
+
+    /// Arity of the fact.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fact() -> Fact {
+        Fact::new(vec![
+            Value::Text("m1".into()),
+            Value::Null,
+            Value::Int(200),
+        ])
+    }
+
+    #[test]
+    fn accessors() {
+        let f = fact();
+        assert_eq!(f.arity(), 3);
+        assert_eq!(f.get(0), &Value::Text("m1".into()));
+        assert!(f.get(1).is_null());
+    }
+
+    #[test]
+    fn projection_and_null_detection() {
+        let f = fact();
+        assert_eq!(
+            f.project(&[2, 0]),
+            vec![Value::Int(200), Value::Text("m1".into())]
+        );
+        assert!(f.any_null(&[0, 1]));
+        assert!(!f.any_null(&[0, 2]));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(fact().to_string(), "(m1, ⊥, 200)");
+        assert_eq!(
+            FactId::new(RelationId(2), 7).to_string(),
+            "r2#7"
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # reldb — relational database substrate
+//!
+//! A small in-memory relational database engine purpose-built for the
+//! stable-tuple-embedding workspace. It implements exactly the data model of
+//! the paper's §II ("Preliminaries"):
+//!
+//! * a **schema** is a collection of relation schemas `R(A₁,…,A_k)`, each
+//!   with a unique **key** `key(R) ⊆ {A₁,…,A_k}`,
+//! * **foreign-key constraints** `R[B₁,…,B_ℓ] ⊆ S[C₁,…,C_ℓ]` where
+//!   `{C₁,…,C_ℓ} = key(S)`,
+//! * a **database** is a finite set of **facts** `R(a₁,…,a_k)` whose values
+//!   may be the distinguished null `⊥`; key attributes must be non-null and
+//!   unique, and every fact with non-null FK attributes must reference an
+//!   existing fact (an FK with a null referencing attribute is ignored, as
+//!   in the paper).
+//!
+//! On top of that data model the engine maintains the secondary indexes the
+//! embedding algorithms need (value index `(R, A, a) → facts` for random
+//! walks, and reverse-reference indexes for backward FK steps), and
+//! implements the **on-delete-cascade** deletion with a replayable journal
+//! that the paper's dynamic experiment protocol (§VI-E) requires.
+
+pub mod cascade;
+pub mod database;
+pub mod error;
+pub mod fact;
+pub mod movies;
+pub mod schema;
+pub mod text;
+pub mod value;
+
+pub use cascade::{cascade_delete, restore_journal, DeletionJournal};
+pub use database::Database;
+pub use error::DbError;
+pub use fact::{Fact, FactId};
+pub use schema::{
+    Attribute, FkId, ForeignKey, RelationId, RelationSchema, Schema, SchemaBuilder,
+};
+pub use value::{Value, ValueType};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DbError>;

@@ -1,0 +1,172 @@
+//! The movie database of the paper's Figure 2.
+//!
+//! Used throughout the workspace as the canonical worked example: walk
+//! schemes (Figure 4), walk distributions (Example 5.3), cascade semantics
+//! (Example 6.1), and the quickstart example all run against this database.
+
+use crate::{Database, FactId, Schema, SchemaBuilder, Value, ValueType};
+use std::collections::HashMap;
+
+/// The schema of Figure 2: MOVIES, ACTORS, STUDIOS, COLLABORATIONS with the
+/// FKs printed under each relation.
+pub fn movies_schema() -> Schema {
+    let mut b = SchemaBuilder::new();
+    b.relation("MOVIES")
+        .attr("mid", ValueType::Text)
+        .attr("studio", ValueType::Text)
+        .attr("title", ValueType::Text)
+        .attr("genre", ValueType::Text)
+        .attr("budget", ValueType::Int)
+        .key(&["mid"]);
+    b.relation("ACTORS")
+        .attr("aid", ValueType::Text)
+        .attr("name", ValueType::Text)
+        .attr("worth", ValueType::Int)
+        .key(&["aid"]);
+    b.relation("STUDIOS")
+        .attr("sid", ValueType::Text)
+        .attr("name", ValueType::Text)
+        .attr("loc", ValueType::Text)
+        .key(&["sid"]);
+    b.relation("COLLABORATIONS")
+        .attr("actor1", ValueType::Text)
+        .attr("actor2", ValueType::Text)
+        .attr("movie", ValueType::Text)
+        .key(&["actor1", "actor2", "movie"]);
+    b.foreign_key("MOVIES", &["studio"], "STUDIOS");
+    b.foreign_key("COLLABORATIONS", &["actor1"], "ACTORS");
+    b.foreign_key("COLLABORATIONS", &["actor2"], "ACTORS");
+    b.foreign_key("COLLABORATIONS", &["movie"], "MOVIES");
+    b.build().expect("movies schema is valid by construction")
+}
+
+/// Budgets/worths are stored in millions (the paper prints e.g. "200M").
+fn millions(m: i64) -> Value {
+    Value::Int(m)
+}
+
+/// Build the full database of Figure 2 and return it together with a map
+/// from the paper's tuple labels (`m1`…`m6`, `a1`…`a5`, `s1`…`s3`,
+/// `c1`…`c4`) to [`FactId`]s.
+pub fn movies_database_labeled() -> (Database, HashMap<&'static str, FactId>) {
+    let mut db = Database::new(movies_schema());
+    let mut ids = HashMap::new();
+
+    // Studios first (referenced by movies).
+    let studios: [(&str, &str, &str, &str); 3] = [
+        ("s1", "s01", "Warner Bros.", "LA"),
+        ("s2", "s02", "Universal", "LA"),
+        ("s3", "s03", "Paramount", "LA"),
+    ];
+    for (label, sid, name, loc) in studios {
+        let id = db
+            .insert_into("STUDIOS", vec![sid.into(), name.into(), loc.into()])
+            .expect("studio insert");
+        ids.insert(label, id);
+    }
+
+    // Movies. m3's genre is ⊥ in the paper.
+    #[allow(clippy::type_complexity)]
+    let movies: [(&str, &str, &str, &str, Option<&str>, i64); 6] = [
+        ("m1", "m01", "s03", "Titanic", Some("Drama"), 200),
+        ("m2", "m02", "s01", "Inception", Some("SciFi"), 160),
+        ("m3", "m03", "s01", "Godzilla", None, 150),
+        ("m4", "m04", "s03", "Interstellar", Some("SciFi"), 160),
+        ("m5", "m05", "s02", "Tropic Thunder", Some("Action"), 90),
+        ("m6", "m06", "s01", "Wolf of Wall St.", Some("Bio"), 100),
+    ];
+    for (label, mid, studio, title, genre, budget) in movies {
+        let genre_val = genre.map_or(Value::Null, Value::from);
+        let id = db
+            .insert_into(
+                "MOVIES",
+                vec![mid.into(), studio.into(), title.into(), genre_val, millions(budget)],
+            )
+            .expect("movie insert");
+        ids.insert(label, id);
+    }
+
+    // Actors.
+    let actors: [(&str, &str, &str, i64); 5] = [
+        ("a1", "a01", "DiCaprio", 230),
+        ("a2", "a02", "Watanabe", 40),
+        ("a3", "a03", "Cruise", 600),
+        ("a4", "a04", "McConaughey", 140),
+        ("a5", "a05", "Damon", 170),
+    ];
+    for (label, aid, name, worth) in actors {
+        let id = db
+            .insert_into("ACTORS", vec![aid.into(), name.into(), millions(worth)])
+            .expect("actor insert");
+        ids.insert(label, id);
+    }
+
+    // Collaborations.
+    let collabs: [(&str, &str, &str, &str); 4] = [
+        ("c1", "a01", "a02", "m03"),
+        ("c2", "a04", "a05", "m04"),
+        ("c3", "a04", "a03", "m05"),
+        ("c4", "a01", "a04", "m06"),
+    ];
+    for (label, actor1, actor2, movie) in collabs {
+        let id = db
+            .insert_into(
+                "COLLABORATIONS",
+                vec![actor1.into(), actor2.into(), movie.into()],
+            )
+            .expect("collaboration insert");
+        ids.insert(label, id);
+    }
+
+    debug_assert_eq!(db.total_facts(), 18);
+    (db, ids)
+}
+
+/// The database of Figure 2 without the label map.
+pub fn movies_database() -> Database {
+    movies_database_labeled().0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn database_matches_figure_2() {
+        let (db, ids) = movies_database_labeled();
+        assert_eq!(db.total_facts(), 18);
+        assert_eq!(ids.len(), 18);
+        let movies = db.schema().relation_id("MOVIES").unwrap();
+        assert_eq!(db.live_count(movies), 6);
+        // m3's genre is null.
+        let m3 = db.fact(ids["m3"]).unwrap();
+        assert!(m3.get(3).is_null());
+        assert_eq!(m3.get(2), &Value::Text("Godzilla".into()));
+        db.check_all_fks().unwrap();
+    }
+
+    #[test]
+    fn fk_references_resolve_as_in_the_paper() {
+        let (db, ids) = movies_database_labeled();
+        let movies = db.schema().relation_id("MOVIES").unwrap();
+        // MOVIES[studio] ⊆ STUDIOS[sid]: m1 references s3 (Paramount).
+        let fk = db.schema().fks_from(movies)[0];
+        assert_eq!(db.resolve_fk(fk, ids["m1"]).unwrap(), Some(ids["s3"]));
+        // c4 references a1, a4 and m6 (Example 3.1).
+        let collabs = db.schema().relation_id("COLLABORATIONS").unwrap();
+        let fks = db.schema().fks_from(collabs);
+        assert_eq!(db.resolve_fk(fks[0], ids["c4"]).unwrap(), Some(ids["a1"]));
+        assert_eq!(db.resolve_fk(fks[1], ids["c4"]).unwrap(), Some(ids["a4"]));
+        assert_eq!(db.resolve_fk(fks[2], ids["c4"]).unwrap(), Some(ids["m6"]));
+    }
+
+    #[test]
+    fn schema_has_four_fks() {
+        let s = movies_schema();
+        assert_eq!(s.foreign_keys().len(), 4);
+        let collabs = s.relation_id("COLLABORATIONS").unwrap();
+        assert_eq!(s.fks_from(collabs).len(), 3);
+        let actors = s.relation_id("ACTORS").unwrap();
+        assert_eq!(s.fks_to(actors).len(), 2);
+    }
+}

@@ -1,0 +1,530 @@
+//! Database schemas: relation schemas, keys, and foreign-key constraints.
+
+use crate::{DbError, Result, ValueType};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a relation within a [`Schema`] (index into
+/// [`Schema::relations`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelationId(pub u32);
+
+impl RelationId {
+    /// As a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a foreign key within a [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FkId(pub u32);
+
+impl FkId {
+    /// As a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One attribute of a relation schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name, unique within its relation.
+    pub name: String,
+    /// Domain type.
+    pub ty: ValueType,
+}
+
+impl Attribute {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
+        Attribute { name: name.into(), ty }
+    }
+}
+
+/// A relation schema `R(A₁,…,A_k)` with key `key(R)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationSchema {
+    /// Relation name, unique within the schema.
+    pub name: String,
+    /// The attributes, in declaration order.
+    pub attributes: Vec<Attribute>,
+    /// Positions of the key attributes (sorted, non-empty).
+    pub key: Vec<usize>,
+}
+
+impl RelationSchema {
+    /// Number of attributes (the arity `k`).
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Position of the attribute with the given name.
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+
+    /// `true` iff attribute position `i` is part of the key.
+    pub fn is_key_attr(&self, i: usize) -> bool {
+        self.key.contains(&i)
+    }
+}
+
+/// A foreign-key constraint `R[B₁,…,B_ℓ] ⊆ S[C₁,…,C_ℓ]` where
+/// `{C₁,…,C_ℓ} = key(S)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// The referencing relation `R`.
+    pub from_rel: RelationId,
+    /// Positions of `B₁,…,B_ℓ` within `R`.
+    pub from_attrs: Vec<usize>,
+    /// The referenced relation `S`.
+    pub to_rel: RelationId,
+    /// Positions of `C₁,…,C_ℓ` within `S` (always `key(S)`, in the order
+    /// matching `from_attrs`).
+    pub to_attrs: Vec<usize>,
+}
+
+/// A validated database schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    relations: Vec<RelationSchema>,
+    fks: Vec<ForeignKey>,
+    by_name: HashMap<String, RelationId>,
+    /// FKs whose `from_rel` is the given relation.
+    fks_from: Vec<Vec<FkId>>,
+    /// FKs whose `to_rel` is the given relation.
+    fks_to: Vec<Vec<FkId>>,
+}
+
+impl Schema {
+    /// All relation schemas, indexable by [`RelationId`].
+    pub fn relations(&self) -> &[RelationSchema] {
+        &self.relations
+    }
+
+    /// Number of relations.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// The relation schema for `id`.
+    pub fn relation(&self, id: RelationId) -> &RelationSchema {
+        &self.relations[id.index()]
+    }
+
+    /// Look a relation up by name.
+    pub fn relation_id(&self, name: &str) -> Option<RelationId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterate over all relation ids.
+    pub fn relation_ids(&self) -> impl Iterator<Item = RelationId> + '_ {
+        (0..self.relations.len() as u32).map(RelationId)
+    }
+
+    /// All foreign keys, indexable by [`FkId`].
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.fks
+    }
+
+    /// The foreign key for `id`.
+    pub fn foreign_key(&self, id: FkId) -> &ForeignKey {
+        &self.fks[id.index()]
+    }
+
+    /// FKs *out of* a relation (the relation is the referencing side).
+    pub fn fks_from(&self, rel: RelationId) -> &[FkId] {
+        &self.fks_from[rel.index()]
+    }
+
+    /// FKs *into* a relation (the relation is the referenced side).
+    pub fn fks_to(&self, rel: RelationId) -> &[FkId] {
+        &self.fks_to[rel.index()]
+    }
+
+    /// Total number of attributes across all relations (Table I's
+    /// "#Attributes" column).
+    pub fn total_attributes(&self) -> usize {
+        self.relations.iter().map(|r| r.arity()).sum()
+    }
+
+    /// `true` iff attribute `attr` of `rel` participates in *any* FK, on
+    /// either side. FoRWaRD's target set `T(R, ℓmax)` only pairs schemes
+    /// with attributes **not** involved in FKs (paper §V-C): FK attributes
+    /// are meaningless identifiers whose similarity carries no signal.
+    pub fn attr_in_any_fk(&self, rel: RelationId, attr: usize) -> bool {
+        self.fks.iter().any(|fk| {
+            (fk.from_rel == rel && fk.from_attrs.contains(&attr))
+                || (fk.to_rel == rel && fk.to_attrs.contains(&attr))
+        })
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, rel) in self.relations.iter().enumerate() {
+            write!(f, "{}(", rel.name)?;
+            for (j, attr) in rel.attributes.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                if rel.is_key_attr(j) {
+                    write!(f, "_{}_: {}", attr.name, attr.ty)?;
+                } else {
+                    write!(f, "{}: {}", attr.name, attr.ty)?;
+                }
+            }
+            writeln!(f, ")")?;
+            for fk_id in &self.fks_from[i] {
+                let fk = &self.fks[fk_id.index()];
+                let from = &self.relations[fk.from_rel.index()];
+                let to = &self.relations[fk.to_rel.index()];
+                let bs: Vec<&str> =
+                    fk.from_attrs.iter().map(|&a| from.attributes[a].name.as_str()).collect();
+                let cs: Vec<&str> =
+                    fk.to_attrs.iter().map(|&a| to.attributes[a].name.as_str()).collect();
+                writeln!(
+                    f,
+                    "  {}[{}] ⊆ {}[{}]",
+                    from.name,
+                    bs.join(","),
+                    to.name,
+                    cs.join(",")
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Staged foreign key, named by relation/attribute strings until `build`.
+struct PendingFk {
+    from_rel: String,
+    from_attrs: Vec<String>,
+    to_rel: String,
+}
+
+/// Builder producing a validated [`Schema`].
+///
+/// ```
+/// use reldb::{SchemaBuilder, ValueType};
+///
+/// let mut b = SchemaBuilder::new();
+/// b.relation("STUDIOS")
+///     .attr("sid", ValueType::Text)
+///     .attr("name", ValueType::Text)
+///     .key(&["sid"]);
+/// b.relation("MOVIES")
+///     .attr("mid", ValueType::Text)
+///     .attr("studio", ValueType::Text)
+///     .key(&["mid"]);
+/// b.foreign_key("MOVIES", &["studio"], "STUDIOS");
+/// let schema = b.build().unwrap();
+/// assert_eq!(schema.relation_count(), 2);
+/// ```
+#[derive(Default)]
+pub struct SchemaBuilder {
+    relations: Vec<RelationSchema>,
+    pending_fks: Vec<PendingFk>,
+}
+
+/// Handle returned by [`SchemaBuilder::relation`] for fluent attribute/key
+/// declaration.
+pub struct RelationBuilder<'a> {
+    schema: &'a mut SchemaBuilder,
+    rel_index: usize,
+}
+
+impl SchemaBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start declaring a relation. Attributes and the key are added through
+    /// the returned handle.
+    pub fn relation(&mut self, name: impl Into<String>) -> RelationBuilder<'_> {
+        self.relations.push(RelationSchema {
+            name: name.into(),
+            attributes: Vec::new(),
+            key: Vec::new(),
+        });
+        let rel_index = self.relations.len() - 1;
+        RelationBuilder { schema: self, rel_index }
+    }
+
+    /// Declare a foreign key `from_rel[from_attrs] ⊆ to_rel[key(to_rel)]`.
+    /// Referenced attributes are implicit: they are always the key of
+    /// `to_rel`, in key order.
+    pub fn foreign_key(
+        &mut self,
+        from_rel: impl Into<String>,
+        from_attrs: &[&str],
+        to_rel: impl Into<String>,
+    ) {
+        self.pending_fks.push(PendingFk {
+            from_rel: from_rel.into(),
+            from_attrs: from_attrs.iter().map(|s| s.to_string()).collect(),
+            to_rel: to_rel.into(),
+        });
+    }
+
+    /// Validate and freeze the schema.
+    pub fn build(self) -> Result<Schema> {
+        let mut by_name = HashMap::new();
+        for (i, rel) in self.relations.iter().enumerate() {
+            if rel.attributes.is_empty() {
+                return Err(DbError::Schema(format!(
+                    "relation {} has no attributes",
+                    rel.name
+                )));
+            }
+            if rel.key.is_empty() {
+                return Err(DbError::Schema(format!(
+                    "relation {} has no key",
+                    rel.name
+                )));
+            }
+            let mut names: Vec<&str> =
+                rel.attributes.iter().map(|a| a.name.as_str()).collect();
+            names.sort_unstable();
+            names.dedup();
+            if names.len() != rel.attributes.len() {
+                return Err(DbError::Schema(format!(
+                    "relation {} has duplicate attribute names",
+                    rel.name
+                )));
+            }
+            if by_name.insert(rel.name.clone(), RelationId(i as u32)).is_some() {
+                return Err(DbError::Schema(format!(
+                    "duplicate relation name {}",
+                    rel.name
+                )));
+            }
+        }
+
+        let mut fks = Vec::new();
+        for pending in &self.pending_fks {
+            let from_rel = *by_name.get(&pending.from_rel).ok_or_else(|| {
+                DbError::Schema(format!(
+                    "FK references unknown relation {}",
+                    pending.from_rel
+                ))
+            })?;
+            let to_rel = *by_name.get(&pending.to_rel).ok_or_else(|| {
+                DbError::Schema(format!(
+                    "FK references unknown relation {}",
+                    pending.to_rel
+                ))
+            })?;
+            let from_schema = &self.relations[from_rel.index()];
+            let to_schema = &self.relations[to_rel.index()];
+            let mut from_attrs = Vec::with_capacity(pending.from_attrs.len());
+            for name in &pending.from_attrs {
+                let idx = from_schema.attr_index(name).ok_or_else(|| {
+                    DbError::Schema(format!(
+                        "FK attribute {}.{} does not exist",
+                        pending.from_rel, name
+                    ))
+                })?;
+                from_attrs.push(idx);
+            }
+            let to_attrs = to_schema.key.clone();
+            if from_attrs.len() != to_attrs.len() {
+                return Err(DbError::Schema(format!(
+                    "FK {}[{}] ⊆ {}: arity {} does not match key arity {}",
+                    pending.from_rel,
+                    pending.from_attrs.join(","),
+                    pending.to_rel,
+                    from_attrs.len(),
+                    to_attrs.len()
+                )));
+            }
+            // Type compatibility between referencing and referenced columns.
+            for (b, c) in from_attrs.iter().zip(to_attrs.iter()) {
+                let bt = from_schema.attributes[*b].ty;
+                let ct = to_schema.attributes[*c].ty;
+                if bt != ct {
+                    return Err(DbError::Schema(format!(
+                        "FK {}.{} has type {bt} but referenced key column {}.{} has type {ct}",
+                        pending.from_rel,
+                        from_schema.attributes[*b].name,
+                        pending.to_rel,
+                        to_schema.attributes[*c].name,
+                    )));
+                }
+            }
+            fks.push(ForeignKey { from_rel, from_attrs, to_rel, to_attrs });
+        }
+
+        let n = self.relations.len();
+        let mut fks_from = vec![Vec::new(); n];
+        let mut fks_to = vec![Vec::new(); n];
+        for (i, fk) in fks.iter().enumerate() {
+            fks_from[fk.from_rel.index()].push(FkId(i as u32));
+            fks_to[fk.to_rel.index()].push(FkId(i as u32));
+        }
+
+        Ok(Schema { relations: self.relations, fks, by_name, fks_from, fks_to })
+    }
+}
+
+impl RelationBuilder<'_> {
+    /// Add an attribute.
+    pub fn attr(self, name: impl Into<String>, ty: ValueType) -> Self {
+        let rel = &mut self.schema.relations[self.rel_index];
+        rel.attributes.push(Attribute::new(name, ty));
+        self
+    }
+
+    /// Declare the key by attribute names. Finishes the relation. Panics on
+    /// unknown attribute names (programmer error in schema literals; real
+    /// validation still happens in [`SchemaBuilder::build`]).
+    pub fn key(self, names: &[&str]) {
+        let rel = &mut self.schema.relations[self.rel_index];
+        let mut key: Vec<usize> = names
+            .iter()
+            .map(|n| {
+                rel.attr_index(n).unwrap_or_else(|| {
+                    panic!("key attribute {n} not declared on relation {}", rel.name)
+                })
+            })
+            .collect();
+        key.sort_unstable();
+        key.dedup();
+        rel.key = key;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_rel_schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        b.relation("S")
+            .attr("sid", ValueType::Text)
+            .attr("name", ValueType::Text)
+            .key(&["sid"]);
+        b.relation("R")
+            .attr("rid", ValueType::Text)
+            .attr("s_ref", ValueType::Text)
+            .attr("payload", ValueType::Int)
+            .key(&["rid"]);
+        b.foreign_key("R", &["s_ref"], "S");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_and_indexes() {
+        let s = two_rel_schema();
+        assert_eq!(s.relation_count(), 2);
+        let r = s.relation_id("R").unwrap();
+        let srel = s.relation_id("S").unwrap();
+        assert_eq!(s.relation(r).name, "R");
+        assert_eq!(s.fks_from(r).len(), 1);
+        assert_eq!(s.fks_to(srel).len(), 1);
+        assert!(s.fks_from(srel).is_empty());
+        let fk = s.foreign_key(s.fks_from(r)[0]);
+        assert_eq!(fk.from_attrs, vec![1]);
+        assert_eq!(fk.to_attrs, vec![0]);
+        assert_eq!(s.total_attributes(), 5);
+    }
+
+    #[test]
+    fn attr_in_any_fk_detects_both_sides() {
+        let s = two_rel_schema();
+        let r = s.relation_id("R").unwrap();
+        let srel = s.relation_id("S").unwrap();
+        assert!(s.attr_in_any_fk(r, 1)); // s_ref
+        assert!(!s.attr_in_any_fk(r, 2)); // payload
+        assert!(s.attr_in_any_fk(srel, 0)); // sid referenced
+        assert!(!s.attr_in_any_fk(srel, 1)); // name
+    }
+
+    #[test]
+    fn rejects_missing_key() {
+        let mut b = SchemaBuilder::new();
+        b.relation("X").attr("a", ValueType::Int).key(&[]);
+        assert!(matches!(b.build(), Err(DbError::Schema(_))));
+    }
+
+    #[test]
+    fn rejects_duplicate_relation_names() {
+        let mut b = SchemaBuilder::new();
+        b.relation("X").attr("a", ValueType::Int).key(&["a"]);
+        b.relation("X").attr("a", ValueType::Int).key(&["a"]);
+        assert!(matches!(b.build(), Err(DbError::Schema(_))));
+    }
+
+    #[test]
+    fn rejects_duplicate_attr_names() {
+        let mut b = SchemaBuilder::new();
+        b.relation("X")
+            .attr("a", ValueType::Int)
+            .attr("a", ValueType::Int)
+            .key(&["a"]);
+        assert!(matches!(b.build(), Err(DbError::Schema(_))));
+    }
+
+    #[test]
+    fn rejects_fk_to_unknown_relation() {
+        let mut b = SchemaBuilder::new();
+        b.relation("X").attr("a", ValueType::Int).key(&["a"]);
+        b.foreign_key("X", &["a"], "NOPE");
+        assert!(matches!(b.build(), Err(DbError::Schema(_))));
+    }
+
+    #[test]
+    fn rejects_fk_arity_mismatch() {
+        let mut b = SchemaBuilder::new();
+        b.relation("S")
+            .attr("c1", ValueType::Int)
+            .attr("c2", ValueType::Int)
+            .key(&["c1", "c2"]);
+        b.relation("R").attr("b", ValueType::Int).key(&["b"]);
+        b.foreign_key("R", &["b"], "S");
+        assert!(matches!(b.build(), Err(DbError::Schema(_))));
+    }
+
+    #[test]
+    fn rejects_fk_type_mismatch() {
+        let mut b = SchemaBuilder::new();
+        b.relation("S").attr("c", ValueType::Int).key(&["c"]);
+        b.relation("R").attr("b", ValueType::Text).key(&["b"]);
+        b.foreign_key("R", &["b"], "S");
+        assert!(matches!(b.build(), Err(DbError::Schema(_))));
+    }
+
+    #[test]
+    fn display_marks_keys_and_fks() {
+        let s = two_rel_schema();
+        let text = s.to_string();
+        assert!(text.contains("_sid_"));
+        assert!(text.contains("R[s_ref] ⊆ S[sid]"));
+    }
+
+    #[test]
+    fn composite_key_fk() {
+        let mut b = SchemaBuilder::new();
+        b.relation("S")
+            .attr("c1", ValueType::Int)
+            .attr("c2", ValueType::Text)
+            .attr("v", ValueType::Float)
+            .key(&["c1", "c2"]);
+        b.relation("R")
+            .attr("rid", ValueType::Int)
+            .attr("b1", ValueType::Int)
+            .attr("b2", ValueType::Text)
+            .key(&["rid"]);
+        b.foreign_key("R", &["b1", "b2"], "S");
+        let s = b.build().unwrap();
+        let fk = &s.foreign_keys()[0];
+        assert_eq!(fk.from_attrs, vec![1, 2]);
+        assert_eq!(fk.to_attrs, vec![0, 1]);
+    }
+}

@@ -1,0 +1,307 @@
+//! Typed attribute values with the distinguished null `⊥`.
+
+use std::fmt;
+
+/// The type of an attribute's domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// 64-bit signed integers.
+    Int,
+    /// 64-bit floats. `NaN` is rejected at insertion time so that values can
+    /// be hashed and compared reliably.
+    Float,
+    /// UTF-8 strings (categorical data, identifiers, free text).
+    Text,
+    /// Booleans.
+    Bool,
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueType::Int => write!(f, "int"),
+            ValueType::Float => write!(f, "float"),
+            ValueType::Text => write!(f, "text"),
+            ValueType::Bool => write!(f, "bool"),
+        }
+    }
+}
+
+/// A single attribute value.
+///
+/// `Null` is the distinguished `⊥` of the paper: it belongs to no attribute
+/// domain, is never equal to itself for FK purposes (an FK with a null
+/// referencing attribute is simply ignored), and walk destinations with null
+/// target values are conditioned away (paper §V-A).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The distinguished null `⊥`.
+    Null,
+    /// Integer value.
+    Int(i64),
+    /// Float value. Never `NaN` (enforced on insertion).
+    Float(f64),
+    /// String value.
+    Text(String),
+    /// Boolean value.
+    Bool(bool),
+}
+
+// Manual Eq: `Float` never holds NaN (checked at the insertion boundary), so
+// reflexivity holds and the impl is sound.
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Int(i) => {
+                1u8.hash(state);
+                i.hash(state);
+            }
+            Value::Float(x) => {
+                2u8.hash(state);
+                // Normalise -0.0 to 0.0 so that == values hash identically.
+                let bits = if *x == 0.0 { 0u64 } else { x.to_bits() };
+                bits.hash(state);
+            }
+            Value::Text(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+            Value::Bool(b) => {
+                4u8.hash(state);
+                b.hash(state);
+            }
+        }
+    }
+}
+
+impl Value {
+    /// `true` iff this value is `⊥`.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The runtime type, or `None` for null.
+    pub fn value_type(&self) -> Option<ValueType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(ValueType::Int),
+            Value::Float(_) => Some(ValueType::Float),
+            Value::Text(_) => Some(ValueType::Text),
+            Value::Bool(_) => Some(ValueType::Bool),
+        }
+    }
+
+    /// `true` iff the value is null or matches `ty`.
+    pub fn conforms_to(&self, ty: ValueType) -> bool {
+        match self.value_type() {
+            None => true,
+            Some(t) => t == ty,
+        }
+    }
+
+    /// Numeric view: `Int` and `Float` as `f64`, `Bool` as 0/1, otherwise
+    /// `None`. Used by the Gaussian kernel and the flat-feature baseline.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(x) => Some(*x),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Borrow the text payload if this is a `Text` value.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer payload, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload, if any.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// `true` iff the value is a `Float` holding `NaN` — rejected by
+    /// [`crate::Database::insert`].
+    pub fn is_nan(&self) -> bool {
+        matches!(self, Value::Float(x) if x.is_nan())
+    }
+
+    /// Parse a textual token into a value of the given type. The token `⊥`
+    /// (or an empty string) parses as null for any type.
+    pub fn parse(token: &str, ty: ValueType) -> Result<Value, String> {
+        let t = token.trim();
+        if t.is_empty() || t == "⊥" || t == "NULL" {
+            return Ok(Value::Null);
+        }
+        match ty {
+            ValueType::Int => t
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| format!("bad int {t:?}: {e}")),
+            ValueType::Float => {
+                let x = t
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad float {t:?}: {e}"))?;
+                if x.is_nan() {
+                    Err("NaN is not a valid float value".into())
+                } else {
+                    Ok(Value::Float(x))
+                }
+            }
+            ValueType::Text => Ok(Value::Text(t.to_string())),
+            ValueType::Bool => match t {
+                "true" | "1" => Ok(Value::Bool(true)),
+                "false" | "0" => Ok(Value::Bool(false)),
+                _ => Err(format!("bad bool {t:?}")),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "⊥"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn null_properties() {
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.value_type(), None);
+        assert!(Value::Null.conforms_to(ValueType::Int));
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn type_conformance() {
+        assert!(Value::Int(3).conforms_to(ValueType::Int));
+        assert!(!Value::Int(3).conforms_to(ValueType::Text));
+        assert!(Value::Text("x".into()).conforms_to(ValueType::Text));
+    }
+
+    #[test]
+    fn negative_zero_hashes_like_zero() {
+        assert_eq!(Value::Float(0.0), Value::Float(-0.0));
+        assert_eq!(hash_of(&Value::Float(0.0)), hash_of(&Value::Float(-0.0)));
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        let pairs = [
+            (Value::Int(42), Value::Int(42)),
+            (Value::Text("ab".into()), Value::Text("ab".into())),
+            (Value::Float(1.5), Value::Float(1.5)),
+            (Value::Bool(true), Value::Bool(true)),
+            (Value::Null, Value::Null),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(a, b);
+            assert_eq!(hash_of(&a), hash_of(&b));
+        }
+    }
+
+    #[test]
+    fn distinct_variants_are_unequal() {
+        assert_ne!(Value::Int(1), Value::Float(1.0));
+        assert_ne!(Value::Bool(true), Value::Int(1));
+        assert_ne!(Value::Null, Value::Int(0));
+    }
+
+    #[test]
+    fn parse_roundtrips() {
+        assert_eq!(Value::parse("7", ValueType::Int).unwrap(), Value::Int(7));
+        assert_eq!(
+            Value::parse("2.5", ValueType::Float).unwrap(),
+            Value::Float(2.5)
+        );
+        assert_eq!(
+            Value::parse("hi", ValueType::Text).unwrap(),
+            Value::Text("hi".into())
+        );
+        assert_eq!(
+            Value::parse("true", ValueType::Bool).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(Value::parse("⊥", ValueType::Int).unwrap(), Value::Null);
+        assert_eq!(Value::parse("", ValueType::Text).unwrap(), Value::Null);
+        assert!(Value::parse("x", ValueType::Int).is_err());
+        assert!(Value::parse("NaN", ValueType::Float).is_err());
+    }
+
+    #[test]
+    fn as_f64_views() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(1.25).as_f64(), Some(1.25));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Text("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "⊥");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Text("abc".into()).to_string(), "abc");
+    }
+}

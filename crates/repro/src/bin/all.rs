@@ -1,0 +1,24 @@
+//! Run every table and figure reproduction in sequence (quick mode by
+//! default; all flags of the individual binaries apply).
+//!
+//! Usage: `cargo run -p repro --release --bin all [--full] [--scale X] …`
+
+use repro::report::section;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    section("Reproducing every table and figure of the paper");
+    println!("(equivalent to running table1…table6 and fig5 in sequence)");
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in ["table1", "table2", "table3", "table4", "table5", "table6", "fig5"] {
+        let path = dir.join(bin);
+        let status = std::process::Command::new(&path)
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to run {bin}: {e}"));
+        assert!(status.success(), "{bin} exited with {status}");
+    }
+    section("Done");
+    println!("See EXPERIMENTS.md for the shape criteria each table must satisfy.");
+}

@@ -1,0 +1,60 @@
+//! Reproduce **Figure 5**: dynamic accuracy as a function of the ratio of
+//! new data (10%–90%), one-by-one extension, for Node2Vec, FoRWaRD and the
+//! majority baseline — one panel per dataset, printed as aligned series.
+//!
+//! Usage:
+//! `cargo run -p repro --release --bin fig5 [--full] [--dataset NAME]`
+
+use repro::baselines::majority_accuracy;
+use repro::report::{note, section};
+use repro::{dynamic_experiment, DynamicSetup, ExperimentConfig, Method};
+
+const DATASETS: [&str; 5] = ["Genes", "Hepatitis", "World", "Mondial", "Mutagenesis"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ExperimentConfig::from_args(&args);
+    let filter = ExperimentConfig::dataset_filter(&args);
+    let ratios: Vec<f64> = if args.iter().any(|a| a == "--dense") {
+        (1..=9).map(|r| r as f64 / 10.0).collect()
+    } else {
+        vec![0.1, 0.3, 0.5, 0.7, 0.9]
+    };
+
+    section("Figure 5 — dynamic accuracy vs ratio of new data (one-by-one)");
+    for name in DATASETS {
+        if let Some(f) = &filter {
+            if !name.eq_ignore_ascii_case(f) {
+                continue;
+            }
+        }
+        let ds = datasets::by_name(name, &cfg.data).expect("known dataset");
+        let baseline = majority_accuracy(&ds);
+        println!("\n({}) {}", name.to_ascii_lowercase(), name);
+        print!("{:<10}", "ratio");
+        for r in &ratios {
+            print!("{:>9.0}%", r * 100.0);
+        }
+        println!();
+        for method in Method::all() {
+            print!("{:<10}", method.name());
+            for &ratio in &ratios {
+                let out = dynamic_experiment(
+                    &ds,
+                    method,
+                    DynamicSetup { ratio, one_by_one: true },
+                    &cfg,
+                );
+                print!("{:>9.1}%", out.accuracy_mean * 100.0);
+            }
+            println!();
+        }
+        print!("{:<10}", "baseline");
+        for _ in &ratios {
+            print!("{:>9.1}%", baseline * 100.0);
+        }
+        println!();
+    }
+    note("shape expectations (paper Fig. 5): both methods stay well above the baseline;");
+    note("accuracy decays slowly and the drop only becomes pronounced beyond ~50% new data.");
+}

@@ -1,0 +1,50 @@
+//! Reproduce **Table V**: wall-clock seconds to compute the static
+//! embeddings.
+//!
+//! Usage: `cargo run -p repro --release --bin table5 [--full]`
+
+use repro::harness::static_training_time;
+use repro::report::{note, secs, section};
+use repro::{ExperimentConfig, Method};
+
+/// Paper Table V: (dataset, N2V seconds, FoRWaRD seconds).
+const PAPER: [(&str, f64, f64); 5] = [
+    ("Hepatitis", 189.0, 540.0),
+    ("Genes", 78.0, 204.0),
+    ("Mutagenesis", 166.0, 230.0),
+    ("World", 219.0, 440.0),
+    ("Mondial", 462.0, 810.0),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ExperimentConfig::from_args(&args);
+    let filter = ExperimentConfig::dataset_filter(&args);
+
+    section("Table V — static embedding wall-clock (ours vs paper, seconds)");
+    println!(
+        "{:<12} {:>12} {:>12} | {:>9} {:>9} | {:>6}",
+        "Task", "N2V (ours)", "FWD (ours)", "N2V-ppr", "FWD-ppr", "ratio"
+    );
+    for (name, n2v_paper, fwd_paper) in PAPER {
+        if let Some(f) = &filter {
+            if !name.eq_ignore_ascii_case(f) {
+                continue;
+            }
+        }
+        let ds = datasets::by_name(name, &cfg.data).expect("known dataset");
+        let t_n2v = static_training_time(&ds, Method::Node2Vec, &cfg, cfg.seed);
+        let t_fwd = static_training_time(&ds, Method::Forward, &cfg, cfg.seed);
+        println!(
+            "{:<12} {:>12} {:>12} | {:>8.0}s {:>8.0}s | {:>6.2}",
+            name,
+            secs(t_n2v),
+            secs(t_fwd),
+            n2v_paper,
+            fwd_paper,
+            t_fwd / t_n2v.max(1e-9)
+        );
+    }
+    note("shape expectation: ratio column ≈ the paper's FWD/N2V ratio (1.4–2.9);");
+    note("absolute seconds are incomparable (paper: RTX 2070 GPU; ours: CPU, scaled data).");
+}

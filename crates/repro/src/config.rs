@@ -1,0 +1,150 @@
+//! Experiment-scale presets.
+
+use datasets::DatasetParams;
+use node2vec::Node2VecConfig;
+use stembed_core::kd::KdOptions;
+use stembed_core::ForwardConfig;
+
+/// Everything an experiment run needs to know.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Dataset generation parameters (scale, seed, signal).
+    pub data: DatasetParams,
+    /// FoRWaRD hyperparameters.
+    pub fwd: ForwardConfig,
+    /// Node2Vec hyperparameters.
+    pub n2v: Node2VecConfig,
+    /// Cross-validation folds for the static experiment (paper: 10).
+    pub folds: usize,
+    /// Repetitions of each dynamic setting (paper: 10).
+    pub repetitions: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// CPU-budget preset: scaled-down datasets and model sizes. This is the
+    /// default for the repro binaries — the full-scale protocol is
+    /// identical, just bigger (pass `--full`).
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            data: DatasetParams { scale: 0.25, ..DatasetParams::default() },
+            fwd: ForwardConfig {
+                dim: 32,
+                max_walk_len: 2,
+                nsamples: 25, // per fact per target, as in the paper's §V-D
+                epochs: 20,
+                batch_size: 1, // pure SGD works best at this scale
+                learning_rate: 0.1,
+                nnew_samples: 12,
+                kd: KdOptions { exact_limit: 128, mc_pairs: 24, max_attempts: 6 },
+                ..ForwardConfig::small()
+            },
+            n2v: Node2VecConfig {
+                dim: 32,
+                walks_per_node: 8,
+                walk_length: 10,
+                window: 4,
+                negatives: 6,
+                epochs: 3,
+                dynamic_epochs: 2,
+                ..Node2VecConfig::default()
+            },
+            folds: 4,
+            repetitions: 3,
+            seed: 2023,
+        }
+    }
+
+    /// The paper's configuration (Table II): full-size datasets, d = 100,
+    /// 10 folds, 10 repetitions. Expect long CPU runtimes.
+    pub fn full() -> Self {
+        ExperimentConfig {
+            data: DatasetParams::default(),
+            fwd: ForwardConfig::paper(),
+            n2v: Node2VecConfig::default(),
+            folds: 10,
+            repetitions: 10,
+            seed: 2023,
+        }
+    }
+
+    /// Parse `--full` / `--seed N` / `--scale X` from CLI arguments.
+    pub fn from_args(args: &[String]) -> Self {
+        let mut cfg = if args.iter().any(|a| a == "--full") {
+            Self::full()
+        } else {
+            Self::quick()
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--seed" => {
+                    if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                        cfg.seed = v;
+                    }
+                }
+                "--scale" => {
+                    if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                        cfg.data.scale = v;
+                    }
+                }
+                "--folds" => {
+                    if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                        cfg.folds = v;
+                    }
+                }
+                "--reps" => {
+                    if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                        cfg.repetitions = v;
+                    }
+                }
+                _ => {}
+            }
+        }
+        cfg
+    }
+
+    /// The `--dataset NAME` filter, if present.
+    pub fn dataset_filter(args: &[String]) -> Option<String> {
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if a == "--dataset" {
+                return it.next().cloned();
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller_than_full() {
+        let q = ExperimentConfig::quick();
+        let f = ExperimentConfig::full();
+        assert!(q.data.scale < f.data.scale);
+        assert!(q.fwd.dim < f.fwd.dim);
+        assert!(q.folds <= f.folds);
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> =
+            ["--seed", "7", "--scale", "0.3", "--dataset", "genes"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let cfg = ExperimentConfig::from_args(&args);
+        assert_eq!(cfg.seed, 7);
+        assert!((cfg.data.scale - 0.3).abs() < 1e-12);
+        assert_eq!(
+            ExperimentConfig::dataset_filter(&args).as_deref(),
+            Some("genes")
+        );
+        let full = ExperimentConfig::from_args(&["--full".to_string()]);
+        assert_eq!(full.fwd.dim, 100);
+    }
+}

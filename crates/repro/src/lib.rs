@@ -1,0 +1,28 @@
+//! # repro — experiment harness regenerating the paper's tables and figures
+//!
+//! One binary per table/figure (see `src/bin/`); this library holds the
+//! shared machinery:
+//!
+//! * [`config`] — experiment-scale presets (`quick` for CPU-budget runs,
+//!   `full` for the paper's Table II settings),
+//! * [`embeddings`] — uniform access to the two embedding methods,
+//! * [`baselines`] — majority class and the flat-feature logistic baseline,
+//! * [`harness`] — the static 10-fold protocol (§VI-D) and the 5-step
+//!   dynamic protocol (§VI-E) including the stratified cascade partition,
+//! * [`timing`] — wall-clock measurements behind Tables V and VI,
+//! * [`report`] — paper-vs-measured table printing.
+//!
+//! Absolute numbers are **not** expected to match the paper (synthetic
+//! datasets, CPU instead of GPU, scaled-down configs in quick mode); the
+//! comparisons that must hold are the *shapes* listed in DESIGN.md §3.
+
+pub mod baselines;
+pub mod config;
+pub mod embeddings;
+pub mod harness;
+pub mod report;
+pub mod timing;
+
+pub use config::ExperimentConfig;
+pub use embeddings::{AnyEmbedder, Method};
+pub use harness::{dynamic_experiment, static_experiment, DynamicOutcome, DynamicSetup};

@@ -1,0 +1,46 @@
+//! Minimal table-printing helpers for the repro binaries.
+
+/// `84.20%`.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// `84.20% ± 4.94`.
+pub fn pm(mean: f64, std: f64) -> String {
+    format!("{:.2}% ± {:.2}", mean * 100.0, std * 100.0)
+}
+
+/// `0.620s`.
+pub fn secs(x: f64) -> String {
+    if x >= 10.0 {
+        format!("{x:.1}s")
+    } else {
+        format!("{x:.3}s")
+    }
+}
+
+/// Print a section header.
+pub fn section(title: &str) {
+    println!();
+    println!("{}", "=".repeat(title.len().max(8)));
+    println!("{title}");
+    println!("{}", "=".repeat(title.len().max(8)));
+}
+
+/// Print a note line.
+pub fn note(text: &str) {
+    println!("  note: {text}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats() {
+        assert_eq!(pct(0.842), "84.20%");
+        assert_eq!(pm(0.842, 0.0494), "84.20% ± 4.94");
+        assert_eq!(secs(0.62), "0.620s");
+        assert_eq!(secs(540.0), "540.0s");
+    }
+}

@@ -1,0 +1,83 @@
+//! Wall-clock measurement helpers (Tables V and VI).
+
+use std::time::Instant;
+
+/// Time a closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// Accumulates timing samples and reports simple statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Stopwatch {
+    samples: Vec<f64>,
+}
+
+impl Stopwatch {
+    /// Empty stopwatch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the runtime of a closure and return its result.
+    pub fn measure<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let (out, secs) = timed(f);
+        self.samples.push(secs);
+        out
+    }
+
+    /// Record a duration measured elsewhere.
+    pub fn push(&mut self, secs: f64) {
+        self.samples.push(secs);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` iff nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean seconds.
+    pub fn mean(&self) -> f64 {
+        linalg::mean(&self.samples)
+    }
+
+    /// Total seconds.
+    pub fn total(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_measures_something() {
+        let (value, secs) = timed(|| {
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(value > 0);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn stopwatch_accumulates() {
+        let mut sw = Stopwatch::new();
+        sw.measure(|| ());
+        sw.push(1.0);
+        assert_eq!(sw.len(), 2);
+        assert!(sw.total() >= 1.0);
+        assert!(sw.mean() >= 0.5);
+    }
+}

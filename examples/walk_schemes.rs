@@ -1,0 +1,63 @@
+//! Walk schemes and destination distributions (paper Figure 4 and
+//! Examples 5.1–5.3).
+//!
+//! Run with: `cargo run --release --example walk_schemes`
+
+use stembed::core::schemes::enumerate_schemes;
+use stembed::core::walkdist::{
+    destination_distribution, destination_value_distribution,
+};
+use stembed::reldb::movies::movies_database_labeled;
+
+fn main() {
+    let (db, ids) = movies_database_labeled();
+    let schema = db.schema();
+    let actors = schema.relation_id("ACTORS").unwrap();
+
+    // ---------------------------------------------------------------
+    // Figure 4: all walk schemes of length ≤ 3 starting from ACTORS.
+    // ---------------------------------------------------------------
+    println!("Walk schemes of length ≤ 3 from ACTORS (non-backtracking):");
+    let schemes = enumerate_schemes(schema, actors, 3, false);
+    for (i, s) in schemes.iter().enumerate() {
+        println!(
+            "  s{:<2} (len {}): {} → ends at {}",
+            i + 1,
+            s.len(),
+            s.display(schema),
+            schema.relation(s.end(schema)).name
+        );
+    }
+    println!(
+        "  ({} schemes; the paper's Figure 4 draws 9, merging the two symmetric STUDIOS branches)\n",
+        schemes.len()
+    );
+
+    // ---------------------------------------------------------------
+    // Example 5.2/5.3: the distribution of walks from a1 (DiCaprio)
+    // along aid—actor1, movie—mid.
+    // ---------------------------------------------------------------
+    let s5 = schemes
+        .iter()
+        .find(|s| {
+            s.display(schema).to_string()
+                == "ACTORS[aid]—COLLABORATIONS[actor1], COLLABORATIONS[movie]—MOVIES[mid]"
+        })
+        .expect("the Example 5.2 scheme exists");
+    println!("Example 5.2 — destinations of walks from a1 along\n  {}:", s5.display(schema));
+    let dist = destination_distribution(&db, s5, ids["a1"], 64).unwrap();
+    for (fact, p) in &dist.support {
+        let title = db.fact(*fact).unwrap().get(2);
+        println!("  Pr(destination = {title}) = {p}");
+    }
+
+    println!("\nExample 5.3 — destination value distributions:");
+    let budget = destination_value_distribution(&db, s5, 4, ids["a1"], 64).unwrap();
+    for (v, p) in &budget.support {
+        println!("  Pr(budget = {v}M) = {p}");
+    }
+    let genre = destination_value_distribution(&db, s5, 3, ids["a1"], 64).unwrap();
+    for (v, p) in &genre.support {
+        println!("  Pr(genre = {v}) = {p}   (Godzilla's ⊥ genre is conditioned away)");
+    }
+}

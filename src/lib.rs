@@ -1,0 +1,29 @@
+//! # stembed — Stable Tuple Embeddings for Dynamic Databases
+//!
+//! Umbrella crate re-exporting the whole workspace: a Rust reproduction of
+//! *"Stable Tuple Embeddings for Dynamic Databases"* (Toenshoff, Friedman,
+//! Grohe, Kimelfeld — ICDE 2023, arXiv:2103.06766).
+//!
+//! The two embedding algorithms of the paper live in [`core`]
+//! (`stembed-core`): the **FoRWaRD** algorithm (foreign-key random walk
+//! embeddings trained with SGD statically, extended to new tuples by solving
+//! a linear system) and a **dynamic Node2Vec** adaptation (skip-gram over a
+//! bipartite fact/value graph, continued with frozen old vectors).
+//!
+//! ```
+//! use stembed::reldb::movies::movies_database;
+//! use stembed::core::{ForwardConfig, ForwardEmbedding};
+//!
+//! let db = movies_database();
+//! let cfg = ForwardConfig { dim: 8, epochs: 3, ..ForwardConfig::small() };
+//! let emb = ForwardEmbedding::train(&db, db.schema().relation_id("MOVIES").unwrap(), &cfg, 7).unwrap();
+//! assert_eq!(emb.dim(), 8);
+//! ```
+
+pub use datasets;
+pub use dbgraph;
+pub use linalg;
+pub use ml;
+pub use node2vec;
+pub use reldb;
+pub use stembed_core as core;

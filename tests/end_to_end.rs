@@ -1,0 +1,128 @@
+//! End-to-end integration tests: the full static + dynamic pipeline of the
+//! paper on a generated benchmark database, through the public API only.
+
+use stembed::core::{
+    ForwardConfig, ForwardEmbedder, Node2VecEmbedder, TupleEmbedder,
+};
+use stembed::datasets::{self, DatasetParams};
+use stembed::node2vec::Node2VecConfig;
+use stembed::reldb::{cascade_delete, restore_journal, FactId};
+
+fn embedders(
+    ds: &stembed::datasets::Dataset,
+) -> Vec<Box<dyn TupleEmbedder>> {
+    let fwd_cfg = ForwardConfig { dim: 12, epochs: 6, nsamples: 15, ..ForwardConfig::small() };
+    let n2v_cfg = Node2VecConfig { dim: 12, epochs: 2, walks_per_node: 4, ..Node2VecConfig::small() };
+    vec![
+        Box::new(
+            ForwardEmbedder::train(&ds.db, ds.prediction_rel, &fwd_cfg, 3)
+                .expect("FoRWaRD trains"),
+        ),
+        Box::new(Node2VecEmbedder::train(&ds.db, &n2v_cfg, 3)),
+    ]
+}
+
+/// Both embedders embed every prediction fact of every generated dataset
+/// (tiny scale) with finite vectors.
+#[test]
+fn static_phase_covers_all_prediction_facts() {
+    for ds in datasets::all_datasets(&DatasetParams::tiny(1)) {
+        for emb in embedders(&ds) {
+            for (fact, _) in &ds.labels {
+                let v = emb
+                    .embedding(*fact)
+                    .unwrap_or_else(|| panic!("{}: {fact} not embedded", ds.name));
+                assert!(v.iter().all(|x| x.is_finite()), "{}: non-finite", ds.name);
+            }
+        }
+    }
+}
+
+/// The full dynamic loop on one dataset: delete → train → re-insert →
+/// extend → old vectors bit-identical, new facts embedded.
+#[test]
+fn dynamic_phase_is_stable_for_both_methods() {
+    let ds = datasets::mutagenesis::generate(&DatasetParams::tiny(5));
+    let mut db = ds.db.clone();
+    // Remove three molecules with cascade.
+    let victims: Vec<FactId> = ds.labels.iter().take(3).map(|(f, _)| *f).collect();
+    let mut journals = Vec::new();
+    for &v in &victims {
+        journals.push(cascade_delete(&mut db, v, true).expect("cascade"));
+    }
+
+    let fwd_cfg = ForwardConfig { dim: 12, epochs: 6, nsamples: 15, ..ForwardConfig::small() };
+    let n2v_cfg = Node2VecConfig { dim: 12, epochs: 2, walks_per_node: 4, ..Node2VecConfig::small() };
+    let mut embs: Vec<Box<dyn TupleEmbedder>> = vec![
+        Box::new(ForwardEmbedder::train(&db, ds.prediction_rel, &fwd_cfg, 3).unwrap()),
+        Box::new(Node2VecEmbedder::train(&db, &n2v_cfg, 3)),
+    ];
+
+    let old_facts: Vec<FactId> = ds
+        .labels
+        .iter()
+        .map(|(f, _)| *f)
+        .filter(|f| !victims.contains(f))
+        .collect();
+    let snapshots: Vec<Vec<Vec<f64>>> = embs
+        .iter()
+        .map(|e| old_facts.iter().map(|&f| e.embedding(f).unwrap().to_vec()).collect())
+        .collect();
+
+    // One-by-one re-insertion in inverse deletion order.
+    for journal in journals.iter().rev() {
+        let restored = restore_journal(&mut db, journal).expect("restore");
+        for emb in embs.iter_mut() {
+            emb.extend(&db, &restored, 17).expect("extend");
+        }
+    }
+
+    for (emb, snapshot) in embs.iter().zip(&snapshots) {
+        for (i, &f) in old_facts.iter().enumerate() {
+            assert_eq!(
+                emb.embedding(f).unwrap(),
+                snapshot[i].as_slice(),
+                "{}: old fact {f} drifted",
+                emb.name()
+            );
+        }
+        for &v in &victims {
+            assert!(
+                emb.embedding(v).is_some(),
+                "{}: new fact {v} not embedded",
+                emb.name()
+            );
+        }
+    }
+}
+
+/// Deleting a tuple drops its embedding (paper §VII) without touching the
+/// rest.
+#[test]
+fn deletion_forgets_only_the_deleted_tuple() {
+    let ds = datasets::world::generate(&DatasetParams::tiny(2));
+    let cfg = ForwardConfig { dim: 12, epochs: 5, nsamples: 15, ..ForwardConfig::small() };
+    let mut emb = stembed::core::ForwardEmbedding::train(
+        &ds.db,
+        ds.prediction_rel,
+        &cfg,
+        1,
+    )
+    .unwrap();
+    let victim = ds.labels[0].0;
+    let keeper = ds.labels[1].0;
+    let keeper_vec = emb.embedding(keeper).unwrap().to_vec();
+    assert!(emb.forget(victim));
+    assert!(emb.embedding(victim).is_none());
+    assert_eq!(emb.embedding(keeper).unwrap(), keeper_vec.as_slice());
+}
+
+/// The generated datasets survive a full serialisation round trip.
+#[test]
+fn datasets_roundtrip_through_text_format() {
+    let ds = datasets::genes::generate(&DatasetParams::tiny(3));
+    let text = stembed::reldb::text::to_text(&ds.db);
+    let db2 = stembed::reldb::text::from_text(&text).expect("reparse");
+    assert_eq!(db2.total_facts(), ds.db.total_facts());
+    assert_eq!(stembed::reldb::text::to_text(&db2), text);
+}

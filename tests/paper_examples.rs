@@ -1,0 +1,142 @@
+//! Integration tests pinning the paper's worked examples, end to end
+//! through the public API of the umbrella crate.
+
+use stembed::core::schemes::{enumerate_schemes, target_pairs};
+use stembed::core::walkdist::{
+    destination_distribution, destination_value_distribution,
+};
+use stembed::dbgraph::DbGraph;
+use stembed::reldb::movies::{movies_database_labeled, movies_schema};
+use stembed::reldb::{cascade_delete, Value};
+
+/// Example 2.1: the database of Figure 2 satisfies its constraints; m3's
+/// genre is ⊥; the FK MOVIES[studio] ⊆ STUDIOS[sid] resolves s03 → s3.
+#[test]
+fn example_2_1_database_and_constraints() {
+    let (db, ids) = movies_database_labeled();
+    db.check_all_fks().expect("Figure 2 satisfies all constraints");
+    assert!(db.fact(ids["m3"]).unwrap().get(3).is_null());
+    let movies = db.schema().relation_id("MOVIES").unwrap();
+    let fk = db.schema().fks_from(movies)[0];
+    assert_eq!(db.resolve_fk(fk, ids["m1"]).unwrap(), Some(ids["s3"]));
+    // Key uniqueness: inserting a second fact with mid=m01 must fail.
+    let mut db2 = db.clone();
+    assert!(db2
+        .insert_into(
+            "MOVIES",
+            vec!["m01".into(), "s01".into(), "Clone".into(), Value::Null, Value::Int(1)],
+        )
+        .is_err());
+}
+
+/// Example 3.1: inserting c4 into D \ {c4} touches only the new fact; the
+/// references a1, a4, m6 are resolvable from the new fact.
+#[test]
+fn example_3_1_insertion_scenario() {
+    let (mut db, ids) = movies_database_labeled();
+    let journal = cascade_delete(&mut db, ids["c4"], false).unwrap();
+    assert_eq!(journal.len(), 1, "c4 has no referencing facts");
+    stembed::reldb::restore_journal(&mut db, &journal).unwrap();
+    let collabs = db.schema().relation_id("COLLABORATIONS").unwrap();
+    let fks = db.schema().fks_from(collabs);
+    assert_eq!(db.resolve_fk(fks[0], ids["c4"]).unwrap(), Some(ids["a1"]));
+    assert_eq!(db.resolve_fk(fks[1], ids["c4"]).unwrap(), Some(ids["a4"]));
+    assert_eq!(db.resolve_fk(fks[2], ids["c4"]).unwrap(), Some(ids["m6"]));
+}
+
+/// Example 5.1 / Figure 4: scheme enumeration from ACTORS.
+#[test]
+fn example_5_1_scheme_enumeration() {
+    let schema = movies_schema();
+    let actors = schema.relation_id("ACTORS").unwrap();
+    let schemes = enumerate_schemes(&schema, actors, 3, false);
+    // 1 trivial + 2 + 4 + 4 (the paper's figure draws 9; see the module
+    // docs of stembed::core::schemes for the discrepancy analysis).
+    assert_eq!(schemes.len(), 11);
+    // Every non-trivial scheme starts from ACTORS and follows valid FK
+    // steps.
+    for s in &schemes {
+        assert_eq!(s.start, actors);
+        let mut cur = actors;
+        for step in &s.steps {
+            assert_eq!(step.source(&schema), cur);
+            cur = step.destination(&schema);
+        }
+        assert_eq!(cur, s.end(&schema));
+    }
+}
+
+/// Examples 5.2 and 5.3: exact walk and value distributions (with the
+/// actor1/actor2 typo in the paper's s5 corrected — the stated walks
+/// `(a1,c1,m3)`, `(a1,c4,m6)` require the actor1 scheme).
+#[test]
+fn examples_5_2_and_5_3_distributions() {
+    let (db, ids) = movies_database_labeled();
+    let schema = db.schema();
+    let actors = schema.relation_id("ACTORS").unwrap();
+    let s5 = enumerate_schemes(schema, actors, 2, false)
+        .into_iter()
+        .find(|s| {
+            s.display(schema).to_string()
+                == "ACTORS[aid]—COLLABORATIONS[actor1], COLLABORATIONS[movie]—MOVIES[mid]"
+        })
+        .unwrap();
+    let d = destination_distribution(&db, &s5, ids["a1"], 64).unwrap();
+    assert_eq!(d.support.len(), 2);
+    for (f, p) in &d.support {
+        assert!(*f == ids["m3"] || *f == ids["m6"]);
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+    let budget = destination_value_distribution(&db, &s5, 4, ids["a1"], 64).unwrap();
+    assert!((budget.prob(&Value::Int(150)) - 0.5).abs() < 1e-12);
+    assert!((budget.prob(&Value::Int(100)) - 0.5).abs() < 1e-12);
+    let genre = destination_value_distribution(&db, &s5, 3, ids["a1"], 64).unwrap();
+    assert!((genre.prob(&Value::Text("Bio".into())) - 1.0) < 1e-12);
+    assert_eq!(genre.support.len(), 1);
+}
+
+/// Example 6.1 (with its m4-vs-m3 typo corrected): cascade deletion of c1
+/// collects Watanabe and Godzilla but spares DiCaprio.
+#[test]
+fn example_6_1_cascade() {
+    let (mut db, ids) = movies_database_labeled();
+    let journal = cascade_delete(&mut db, ids["c1"], true).unwrap();
+    let removed: Vec<_> = journal.ids().collect();
+    assert!(removed.contains(&ids["c1"]));
+    assert!(removed.contains(&ids["a2"]));
+    assert!(removed.contains(&ids["m3"]));
+    assert!(db.fact(ids["a1"]).is_some());
+    db.check_all_fks().unwrap();
+}
+
+/// The target set `T(R, ℓmax)` pairs schemes only with FK-free attributes
+/// (paper §V-C).
+#[test]
+fn target_pairs_exclude_fk_attributes() {
+    let schema = movies_schema();
+    let actors = schema.relation_id("ACTORS").unwrap();
+    for t in target_pairs(&schema, actors, 3) {
+        let end = t.scheme.end(&schema);
+        assert!(!schema.attr_in_any_fk(end, t.attr));
+    }
+}
+
+/// Figure 3: the bipartite graph of the movie database has the edges the
+/// figure draws, and the FK identification merges exactly the right nodes.
+#[test]
+fn figure_3_graph_fragment() {
+    let (db, ids) = movies_database_labeled();
+    let g = DbGraph::build(&db);
+    let schema = db.schema();
+    let movies = schema.relation_id("MOVIES").unwrap();
+    let studios = schema.relation_id("STUDIOS").unwrap();
+    // Identified node: s03 via MOVIES.studio == s03 via STUDIOS.sid.
+    assert_eq!(
+        g.value_node(movies, 1, &Value::Text("s03".into())),
+        g.value_node(studios, 0, &Value::Text("s03".into()))
+    );
+    // v(m4) — u(…budget…160) — v(m2): shared numeric value in one column.
+    let budget = g.value_node(movies, 4, &Value::Int(160)).unwrap();
+    assert!(g.graph().has_edge(g.fact_node(ids["m4"]).unwrap(), budget));
+    assert!(g.graph().has_edge(g.fact_node(ids["m2"]).unwrap(), budget));
+}

@@ -1,0 +1,128 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use proptest::prelude::*;
+use stembed::linalg::{pinv, Matrix};
+use stembed::reldb::{
+    cascade_delete, restore_journal, Database, SchemaBuilder, Value, ValueType,
+};
+
+/// Build a two-relation parent/child database from generated data. `links`
+/// maps each child to a parent index.
+fn build_db(parent_count: usize, links: &[usize]) -> (Database, Vec<stembed::reldb::FactId>) {
+    let mut b = SchemaBuilder::new();
+    b.relation("P")
+        .attr("pid", ValueType::Int)
+        .attr("payload", ValueType::Int)
+        .key(&["pid"]);
+    b.relation("C")
+        .attr("cid", ValueType::Int)
+        .attr("parent", ValueType::Int)
+        .key(&["cid"]);
+    b.foreign_key("C", &["parent"], "P");
+    let mut db = Database::new(b.build().unwrap());
+    let mut parents = Vec::new();
+    for i in 0..parent_count {
+        parents.push(
+            db.insert_into("P", vec![Value::Int(i as i64), Value::Int(i as i64 * 7)])
+                .unwrap(),
+        );
+    }
+    for (c, &p) in links.iter().enumerate() {
+        db.insert_into(
+            "C",
+            vec![Value::Int(c as i64), Value::Int((p % parent_count) as i64)],
+        )
+        .unwrap();
+    }
+    (db, parents)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cascade deletion + journal restore is the identity on the database,
+    /// regardless of reference topology and deletion target.
+    #[test]
+    fn cascade_then_restore_is_identity(
+        parent_count in 1usize..8,
+        links in prop::collection::vec(0usize..8, 0..20),
+        victim in 0usize..8,
+        orphans in any::<bool>(),
+    ) {
+        let (mut db, parents) = build_db(parent_count, &links);
+        let before = stembed::reldb::text::to_text(&db);
+        let victim = parents[victim % parent_count];
+        let journal = cascade_delete(&mut db, victim, orphans).unwrap();
+        // All constraints hold in the intermediate state.
+        db.check_all_fks().unwrap();
+        prop_assert!(db.fact(victim).is_none());
+        restore_journal(&mut db, &journal).unwrap();
+        prop_assert_eq!(stembed::reldb::text::to_text(&db), before);
+    }
+
+    /// After any cascade deletion the database satisfies every FK.
+    #[test]
+    fn cascade_never_dangles(
+        parent_count in 1usize..6,
+        links in prop::collection::vec(0usize..6, 0..25),
+        victim in 0usize..6,
+    ) {
+        let (mut db, parents) = build_db(parent_count, &links);
+        cascade_delete(&mut db, parents[victim % parent_count], true).unwrap();
+        db.check_all_fks().unwrap();
+    }
+
+    /// Penrose condition 1 for the pseudoinverse on arbitrary matrices:
+    /// A·A⁺·A = A.
+    #[test]
+    fn pinv_penrose_one(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        data in prop::collection::vec(-10.0f64..10.0, 36),
+    ) {
+        let a = Matrix::from_vec(rows, cols, data[..rows * cols].to_vec());
+        let ap = pinv(&a).unwrap();
+        let back = a.matmul(&ap).unwrap().matmul(&a).unwrap();
+        for (x, y) in back.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-6, "A A+ A != A: {x} vs {y}");
+        }
+    }
+
+    /// Value parsing round-trips through Display for non-null values.
+    #[test]
+    fn value_display_parse_roundtrip(i in any::<i64>(), t in "[a-z]{1,12}") {
+        let v = Value::Int(i);
+        prop_assert_eq!(
+            Value::parse(&v.to_string(), ValueType::Int).unwrap(), v
+        );
+        let v = Value::Text(t);
+        let parsed = Value::parse(&v.to_string(), ValueType::Text).unwrap();
+        prop_assert_eq!(parsed, v);
+    }
+
+    /// Random walks over any generated graph only traverse real edges, and
+    /// node2vec corpora cover exactly the requested starts.
+    #[test]
+    fn walks_follow_edges(
+        edges in prop::collection::vec((0u32..12, 0u32..12), 1..40),
+        seed in any::<u64>(),
+    ) {
+        use stembed::dbgraph::{Graph, WalkConfig, Walker};
+        let mut g = Graph::new();
+        for _ in 0..12 {
+            g.add_node();
+        }
+        for (a, b) in edges {
+            if a != b {
+                g.add_edge(stembed::dbgraph::NodeId(a), stembed::dbgraph::NodeId(b));
+            }
+        }
+        let cfg = WalkConfig { walks_per_node: 2, walk_length: 6, p: 0.5, q: 2.0 };
+        let corpus = Walker::new(&g, cfg, seed).corpus();
+        for walk in &corpus.walks {
+            for pair in walk.windows(2) {
+                prop_assert!(g.has_edge(pair[0], pair[1]));
+            }
+        }
+    }
+}

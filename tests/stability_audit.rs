@@ -1,0 +1,70 @@
+//! A focused audit of the paper's central guarantee across a *sequence* of
+//! dynamic events: repeated insert/extend rounds must never move any vector
+//! that existed before the round, for either method, and embeddings must
+//! remain usable in between.
+
+use stembed::core::{
+    ForwardConfig, ForwardEmbedder, Node2VecEmbedder, TupleEmbedder,
+};
+use stembed::datasets::{self, DatasetParams};
+use stembed::node2vec::Node2VecConfig;
+use stembed::reldb::{cascade_delete, restore_journal, DeletionJournal, FactId};
+use std::collections::HashMap;
+
+/// Run four rounds of {re-insert a tuple group, extend} and after each
+/// round check bit-stability of everything that predated the round.
+fn audit(mk: impl FnOnce(&stembed::reldb::Database) -> Box<dyn TupleEmbedder>) {
+    let ds = datasets::hepatitis::generate(&DatasetParams::tiny(21));
+    let mut db = ds.db.clone();
+
+    // Remove four patients up front; they will arrive over four rounds.
+    let victims: Vec<FactId> = ds.labels.iter().take(4).map(|(f, _)| *f).collect();
+    let mut journals: Vec<(FactId, DeletionJournal)> = Vec::new();
+    for &v in &victims {
+        journals.push((v, cascade_delete(&mut db, v, true).expect("cascade")));
+    }
+    let mut emb = mk(&db);
+
+    // Everything embedded so far, with its vector.
+    let mut ledger: HashMap<FactId, Vec<f64>> = ds
+        .labels
+        .iter()
+        .map(|(f, _)| *f)
+        .filter(|f| !victims.contains(f))
+        .filter_map(|f| emb.embedding(f).map(|v| (f, v.to_vec())))
+        .collect();
+
+    for (round, (newcomer, journal)) in journals.iter().enumerate().rev() {
+        let restored = restore_journal(&mut db, journal).expect("restore");
+        emb.extend(&db, &restored, 100 + round as u64).expect("extend");
+        // Stability of the whole ledger, including tuples added in earlier
+        // rounds of this very loop.
+        for (f, vec) in &ledger {
+            assert_eq!(
+                emb.embedding(*f).expect("still embedded"),
+                vec.as_slice(),
+                "round {round}: {f} moved"
+            );
+        }
+        // The newly arrived prediction tuple joins the ledger.
+        let v = emb.embedding(*newcomer).expect("newcomer embedded").to_vec();
+        assert!(v.iter().all(|x| x.is_finite()));
+        ledger.insert(*newcomer, v);
+    }
+    assert_eq!(ledger.len(), ds.sample_count());
+}
+
+#[test]
+fn forward_is_stable_across_many_rounds() {
+    let cfg = ForwardConfig { dim: 10, epochs: 5, nsamples: 12, ..ForwardConfig::small() };
+    audit(move |db| {
+        let rel = db.schema().relation_id("DISPAT").expect("DISPAT");
+        Box::new(ForwardEmbedder::train(db, rel, &cfg, 9).expect("train"))
+    });
+}
+
+#[test]
+fn node2vec_is_stable_across_many_rounds() {
+    let cfg = Node2VecConfig { dim: 10, epochs: 2, walks_per_node: 4, ..Node2VecConfig::small() };
+    audit(move |db| Box::new(Node2VecEmbedder::train(db, &cfg, 9)));
+}
