@@ -9,16 +9,19 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datasets::DatasetParams;
-use rand::SeedableRng;
 use std::hint::black_box;
 use stembed_core::kd::{kd_exact, kd_monte_carlo, KdOptions};
 use stembed_core::kernel::KernelAssignment;
 use stembed_core::schemes::enumerate_schemes;
 use stembed_core::walkdist::destination_value_distribution;
 use stembed_core::{ForwardConfig, ForwardEmbedding};
+use stembed_runtime::rng::DetRng;
 
 fn tiny_ds() -> datasets::Dataset {
-    datasets::hepatitis::generate(&DatasetParams { scale: 0.06, ..Default::default() })
+    datasets::hepatitis::generate(&DatasetParams {
+        scale: 0.06,
+        ..Default::default()
+    })
 }
 
 fn bench_walk_length(c: &mut Criterion) {
@@ -35,8 +38,7 @@ fn bench_walk_length(c: &mut Criterion) {
         };
         group.bench_with_input(BenchmarkId::new("train", lmax), &lmax, |b, _| {
             b.iter(|| {
-                let emb =
-                    ForwardEmbedding::train(&ds.db, ds.prediction_rel, &cfg, 3).unwrap();
+                let emb = ForwardEmbedding::train(&ds.db, ds.prediction_rel, &cfg, 3).unwrap();
                 black_box(emb.targets().len())
             })
         });
@@ -58,8 +60,7 @@ fn bench_dimension(c: &mut Criterion) {
         };
         group.bench_with_input(BenchmarkId::new("train", dim), &dim, |b, _| {
             b.iter(|| {
-                let emb =
-                    ForwardEmbedding::train(&ds.db, ds.prediction_rel, &cfg, 3).unwrap();
+                let emb = ForwardEmbedding::train(&ds.db, ds.prediction_rel, &cfg, 3).unwrap();
                 black_box(emb.dim())
             })
         });
@@ -87,15 +88,15 @@ fn bench_kd(c: &mut Criterion) {
 
     group.bench_function("kd_exact_bfs", |b| {
         b.iter(|| {
-            let p = destination_value_distribution(&ds.db, &scheme, attr, f1, 4096)
-                .expect("exists");
-            let q = destination_value_distribution(&ds.db, &scheme, attr, f2, 4096)
-                .expect("exists");
+            let p =
+                destination_value_distribution(&ds.db, &scheme, attr, f1, 4096).expect("exists");
+            let q =
+                destination_value_distribution(&ds.db, &scheme, attr, f2, 4096).expect("exists");
             black_box(kd_exact(&kernels, end, attr, &p, &q))
         })
     });
     group.bench_function("kd_monte_carlo_48", |b| {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         b.iter(|| {
             black_box(
                 kd_monte_carlo(&ds.db, &kernels, &scheme, attr, f1, f2, &opts, &mut rng)
@@ -113,7 +114,12 @@ fn bench_nnew_samples(c: &mut Criterion) {
     let mut db = ds.db.clone();
     let victim = ds.labels[0].0;
     let journal = reldb::cascade_delete(&mut db, victim, true).unwrap();
-    let cfg = ForwardConfig { dim: 16, epochs: 3, nsamples: 10, ..ForwardConfig::small() };
+    let cfg = ForwardConfig {
+        dim: 16,
+        epochs: 3,
+        nsamples: 10,
+        ..ForwardConfig::small()
+    };
     let trained = ForwardEmbedding::train(&db, ds.prediction_rel, &cfg, 3).unwrap();
     reldb::restore_journal(&mut db, &journal).unwrap();
     for nnew in [4usize, 16, 64] {
@@ -121,8 +127,9 @@ fn bench_nnew_samples(c: &mut Criterion) {
             b.iter_batched(
                 || trained.clone(),
                 |mut emb| {
-                    let opts =
-                        stembed_core::ExtendOptions { nnew_samples: Some(nnew) };
+                    let opts = stembed_core::ExtendOptions {
+                        nnew_samples: Some(nnew),
+                    };
                     emb.extend_with(&db, victim, 5, opts).unwrap();
                     black_box(emb.embedding(victim).map(|v| v[0]))
                 },
@@ -133,5 +140,11 @@ fn bench_nnew_samples(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_walk_length, bench_dimension, bench_kd, bench_nnew_samples);
+criterion_group!(
+    benches,
+    bench_walk_length,
+    bench_dimension,
+    bench_kd,
+    bench_nnew_samples
+);
 criterion_main!(benches);

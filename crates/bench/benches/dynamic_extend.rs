@@ -7,8 +7,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datasets::DatasetParams;
-use repro::{AnyEmbedder, ExperimentConfig, Method};
 use reldb::cascade_delete;
+use repro::{AnyEmbedder, ExperimentConfig, Method};
 use std::hint::black_box;
 use stembed_core::embedder::ExtendMode;
 
@@ -19,7 +19,10 @@ fn bench_extend(c: &mut Criterion) {
     cfg.data.scale = 0.08;
     cfg.fwd.epochs = 4;
     cfg.n2v.epochs = 2;
-    let params = DatasetParams { scale: 0.08, ..DatasetParams::default() };
+    let params = DatasetParams {
+        scale: 0.08,
+        ..DatasetParams::default()
+    };
 
     for name in ["hepatitis", "genes"] {
         for method in Method::all() {
@@ -30,26 +33,20 @@ fn bench_extend(c: &mut Criterion) {
             let mut db = ds.db.clone();
             let victim = ds.labels[0].0;
             let journal = cascade_delete(&mut db, victim, true).expect("cascade");
-            let trained =
-                AnyEmbedder::train(method, &db, &ds, &cfg, 3, ExtendMode::OneByOne)
-                    .expect("training");
-            let restored =
-                reldb::restore_journal(&mut db, &journal).expect("restore");
+            let trained = AnyEmbedder::train(method, &db, &ds, &cfg, 3, ExtendMode::OneByOne)
+                .expect("training");
+            let restored = reldb::restore_journal(&mut db, &journal).expect("restore");
 
-            group.bench_with_input(
-                BenchmarkId::new(method.name(), name),
-                &method,
-                |b, _| {
-                    b.iter_batched(
-                        || trained.clone(),
-                        |mut emb| {
-                            emb.extend(&db, &restored, 9).expect("extend");
-                            black_box(emb.embedding(victim).map(|v| v[0]))
-                        },
-                        criterion::BatchSize::LargeInput,
-                    )
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(method.name(), name), &method, |b, _| {
+                b.iter_batched(
+                    || trained.clone(),
+                    |mut emb| {
+                        emb.extend(&db, &restored, 9).expect("extend");
+                        black_box(emb.embedding(victim).map(|v| v[0]))
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            });
         }
     }
     group.finish();

@@ -2,12 +2,18 @@
 //! methods. The paper's observation to reproduce: Node2Vec trains faster
 //! than FoRWaRD on every dataset (ratios 1.2–2.9×).
 //!
+//! Plus the runtime-scaling group `forward_shards`: FoRWaRD training at
+//! 1/2/4/8 shards — same seed, bit-identical output, only wall-clock moves.
+//! `scripts/bench.sh` tracks the 4-shard speedup from its JSON report.
+//!
 //! Run with: `cargo bench -p bench --bench static_embed`
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use repro::{AnyEmbedder, ExperimentConfig, Method};
 use std::hint::black_box;
 use stembed_core::embedder::ExtendMode;
+use stembed_core::{ForwardConfig, ForwardEmbedding};
+use stembed_runtime::Runtime;
 
 fn bench_static(c: &mut Criterion) {
     let mut group = c.benchmark_group("static_embed");
@@ -26,15 +32,9 @@ fn bench_static(c: &mut Criterion) {
                 &method,
                 |b, &method| {
                     b.iter(|| {
-                        let emb = AnyEmbedder::train(
-                            method,
-                            &ds.db,
-                            &ds,
-                            &cfg,
-                            7,
-                            ExtendMode::OneByOne,
-                        )
-                        .expect("training");
+                        let emb =
+                            AnyEmbedder::train(method, &ds.db, &ds, &cfg, 7, ExtendMode::OneByOne)
+                                .expect("training");
                         black_box(emb.embedding(ds.labels[0].0).map(|v| v[0]))
                     })
                 },
@@ -44,5 +44,43 @@ fn bench_static(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_static);
+/// FoRWaRD static training across shard counts. The embedding is
+/// bit-identical at every shard count (see `tests/determinism.rs`); this
+/// group records how wall-clock scales with the same workload.
+fn bench_shards(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward_shards");
+    group.sample_size(10);
+    let params = datasets::DatasetParams {
+        scale: 0.12,
+        ..Default::default()
+    };
+    let ds = datasets::hepatitis::generate(&params);
+    let cfg = ForwardConfig {
+        dim: 24,
+        max_walk_len: 2,
+        nsamples: 20,
+        epochs: 3,
+        batch_size: 4096,
+        learning_rate: 0.6,
+        ..ForwardConfig::small()
+    };
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("train", shards), &shards, |b, &s| {
+            b.iter(|| {
+                let emb = ForwardEmbedding::train_with_runtime(
+                    &ds.db,
+                    ds.prediction_rel,
+                    &cfg,
+                    7,
+                    Runtime::new(s),
+                )
+                .expect("training");
+                black_box(emb.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_static, bench_shards);
 criterion_main!(benches);

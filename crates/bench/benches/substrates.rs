@@ -6,33 +6,25 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dbgraph::{DbGraph, WalkConfig, Walker};
 use linalg::{lstsq, LstsqMethod, Matrix};
-use rand::SeedableRng;
 use std::hint::black_box;
+use stembed_runtime::rng::DetRng;
 
 fn bench_linalg(c: &mut Criterion) {
     let mut group = c.benchmark_group("linalg");
     // The FoRWaRD dynamic solve: overdetermined k×d systems.
     for (rows, cols) in [(128usize, 32usize), (512, 64), (1024, 100)] {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let a = Matrix::random_uniform(rows, cols, 1.0, &mut rng);
         let b: Vec<f64> = (0..rows).map(|i| (i % 7) as f64 * 0.1).collect();
         group.bench_with_input(
             BenchmarkId::new("pinv_solve", format!("{rows}x{cols}")),
             &(rows, cols),
-            |bench, _| {
-                bench.iter(|| {
-                    black_box(lstsq(&a, &b, LstsqMethod::PseudoInverse).unwrap())
-                })
-            },
+            |bench, _| bench.iter(|| black_box(lstsq(&a, &b, LstsqMethod::PseudoInverse).unwrap())),
         );
         group.bench_with_input(
             BenchmarkId::new("ridge_solve", format!("{rows}x{cols}")),
             &(rows, cols),
-            |bench, _| {
-                bench.iter(|| {
-                    black_box(lstsq(&a, &b, LstsqMethod::Ridge(1e-6)).unwrap())
-                })
-            },
+            |bench, _| bench.iter(|| black_box(lstsq(&a, &b, LstsqMethod::Ridge(1e-6)).unwrap())),
         );
     }
     group.finish();
@@ -40,7 +32,10 @@ fn bench_linalg(c: &mut Criterion) {
 
 fn bench_graph(c: &mut Criterion) {
     let mut group = c.benchmark_group("graph");
-    let params = datasets::DatasetParams { scale: 0.15, ..Default::default() };
+    let params = datasets::DatasetParams {
+        scale: 0.15,
+        ..Default::default()
+    };
     let ds = datasets::hepatitis::generate(&params);
     group.bench_function("build_bipartite_graph", |b| {
         b.iter(|| black_box(DbGraph::build(&ds.db).graph().node_count()))
@@ -48,7 +43,12 @@ fn bench_graph(c: &mut Criterion) {
     let graph = DbGraph::build(&ds.db);
     group.bench_function("walk_corpus_2x10", |b| {
         b.iter(|| {
-            let cfg = WalkConfig { walks_per_node: 2, walk_length: 10, p: 1.0, q: 1.0 };
+            let cfg = WalkConfig {
+                walks_per_node: 2,
+                walk_length: 10,
+                p: 1.0,
+                q: 1.0,
+            };
             let corpus = Walker::new(graph.graph(), cfg, 3).corpus();
             black_box(corpus.total_tokens())
         })
@@ -58,7 +58,10 @@ fn bench_graph(c: &mut Criterion) {
 
 fn bench_db(c: &mut Criterion) {
     let mut group = c.benchmark_group("reldb");
-    let params = datasets::DatasetParams { scale: 0.15, ..Default::default() };
+    let params = datasets::DatasetParams {
+        scale: 0.15,
+        ..Default::default()
+    };
     let ds = datasets::hepatitis::generate(&params);
     group.bench_function("cascade_delete_and_restore", |b| {
         b.iter_batched(
@@ -83,11 +86,20 @@ fn bench_svm(c: &mut Criterion) {
         .map(|i| vec![(i % 17) as f64 * 0.2, ((i * 7) % 13) as f64 * 0.3])
         .collect();
     let y: Vec<f64> = (0..n)
-        .map(|i| if (i % 17) + ((i * 7) % 13) > 14 { 1.0 } else { -1.0 })
+        .map(|i| {
+            if (i % 17) + ((i * 7) % 13) > 14 {
+                1.0
+            } else {
+                -1.0
+            }
+        })
         .collect();
     group.bench_function("rbf_svm_fit_200", |b| {
         b.iter(|| {
-            let mut svm = RbfSvm::new(SvmParams { c: 10.0, ..SvmParams::default() });
+            let mut svm = RbfSvm::new(SvmParams {
+                c: 10.0,
+                ..SvmParams::default()
+            });
             svm.fit(&x, &y);
             black_box(svm.support_count())
         })

@@ -24,9 +24,8 @@ use crate::kd::kd;
 use crate::train::ForwardEmbedding;
 use crate::CoreError;
 use linalg::{lstsq, LstsqMethod, Matrix};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use reldb::{Database, FactId};
+use stembed_runtime::stream_rng;
 
 /// Options controlling the dynamic extension.
 #[derive(Debug, Clone, Copy, Default)]
@@ -39,12 +38,7 @@ pub struct ExtendOptions {
 impl ForwardEmbedding {
     /// Extend the embedding to one newly inserted fact. Old embeddings are
     /// untouched; returns the new vector's L2 norm (diagnostics).
-    pub fn extend(
-        &mut self,
-        db: &Database,
-        new_fact: FactId,
-        seed: u64,
-    ) -> Result<f64, CoreError> {
+    pub fn extend(&mut self, db: &Database, new_fact: FactId, seed: u64) -> Result<f64, CoreError> {
         self.extend_with(db, new_fact, seed, ExtendOptions::default())
     }
 
@@ -77,17 +71,18 @@ impl ForwardEmbedding {
         seed: u64,
     ) -> Result<(), CoreError> {
         for (i, &f) in new_facts.iter().enumerate() {
-            self.extend_with(
-                db,
-                f,
-                seed.wrapping_add(i as u64),
-                ExtendOptions::default(),
-            )?;
+            self.extend_with(db, f, seed.wrapping_add(i as u64), ExtendOptions::default())?;
         }
         Ok(())
     }
 
     /// Assemble and solve the linear system for `ϕ(f_new)`.
+    ///
+    /// Row assembly is sharded **per target** on the embedding's runtime:
+    /// target `t` shuffles its candidate pool and draws its KD values from
+    /// the derived stream `stream_rng(seed, t)`, and the per-target row
+    /// blocks are stacked in target order — so the system `C·ϕ = b`, and
+    /// with it the solved vector, is bit-identical at every shard count.
     fn solve_new_vector(
         &self,
         db: &Database,
@@ -95,7 +90,6 @@ impl ForwardEmbedding {
         seed: u64,
         options: ExtendOptions,
     ) -> Result<Vec<f64>, CoreError> {
-        let mut rng = StdRng::seed_from_u64(seed);
         let config = self.config().clone();
         let per_target = options.nnew_samples.unwrap_or(config.nnew_samples);
 
@@ -108,44 +102,54 @@ impl ForwardEmbedding {
         }
         candidates.sort_unstable(); // determinism independent of HashMap order
 
+        let assembled = self
+            .runtime()
+            .par_map_ordered(self.targets(), |t_idx, target| {
+                let mut rng = stream_rng(seed, t_idx as u64);
+                // Distinct f_old per target: shuffle a copy, take a prefix.
+                let mut pool = candidates.clone();
+                for i in (1..pool.len()).rev() {
+                    let j = rng.random_range(0..=i);
+                    pool.swap(i, j);
+                }
+                let mut rows: Vec<Vec<f64>> = Vec::new();
+                let mut ys: Vec<f64> = Vec::new();
+                for &f_old in &pool {
+                    if rows.len() >= per_target {
+                        break;
+                    }
+                    // Dead f_old (deleted since training) can't contribute.
+                    if db.fact(f_old).is_none() {
+                        continue;
+                    }
+                    let Some(y) = kd(
+                        db,
+                        self.kernels(),
+                        &target.scheme,
+                        target.attr,
+                        f_old,
+                        new_fact,
+                        &config.kd,
+                        &mut rng,
+                    ) else {
+                        continue;
+                    };
+                    let phi_old = self
+                        .embedding(f_old)
+                        .expect("candidate comes from embedded_facts");
+                    let row = self.psi(t_idx).matvec(phi_old).expect("dims agree");
+                    rows.push(row);
+                    ys.push(y);
+                }
+                (rows, ys)
+            });
         let mut c = Matrix::zeros(0, 0);
         let mut b = Vec::new();
-        for (t_idx, target) in self.targets().iter().enumerate() {
-            // Distinct f_old per target: shuffle a copy, take a prefix.
-            let mut pool = candidates.clone();
-            for i in (1..pool.len()).rev() {
-                let j = rng.random_range(0..=i);
-                pool.swap(i, j);
+        for (rows, ys) in assembled {
+            for row in &rows {
+                c.push_row(row);
             }
-            let mut taken = 0usize;
-            for &f_old in &pool {
-                if taken >= per_target {
-                    break;
-                }
-                // Dead f_old (deleted since training) can't contribute.
-                if db.fact(f_old).is_none() {
-                    continue;
-                }
-                let Some(y) = kd(
-                    db,
-                    self.kernels(),
-                    &target.scheme,
-                    target.attr,
-                    f_old,
-                    new_fact,
-                    &config.kd,
-                    &mut rng,
-                ) else {
-                    continue;
-                };
-                let phi_old = self
-                    .embedding(f_old)
-                    .expect("candidate comes from embedded_facts");
-                let row = self.psi(t_idx).matvec(phi_old).expect("dims agree");
-                c.push_row(&row);
-                b.push(y);
-                taken += 1;
-            }
+            b.extend(ys);
         }
         if c.rows() == 0 {
             // No KD equation could be built — the new fact is disconnected
@@ -176,16 +180,26 @@ mod tests {
     use crate::config::ForwardConfig;
     use reldb::movies::movies_database_labeled;
     use reldb::{cascade_delete, restore_journal};
+    use stembed_runtime::rng::DetRng;
+    use stembed_runtime::Runtime;
 
     fn cfg() -> ForwardConfig {
-        ForwardConfig { dim: 8, epochs: 5, nsamples: 30, ..ForwardConfig::small() }
+        ForwardConfig {
+            dim: 8,
+            epochs: 5,
+            nsamples: 30,
+            ..ForwardConfig::small()
+        }
     }
 
     /// Shared scenario: cascade-delete actor a5 (which takes collaboration
     /// c2 with it), train a static embedding of ACTORS on the remainder,
     /// then restore and extend.
-    fn scenario() -> (reldb::Database, std::collections::HashMap<&'static str, FactId>, reldb::DeletionJournal)
-    {
+    fn scenario() -> (
+        reldb::Database,
+        std::collections::HashMap<&'static str, FactId>,
+        reldb::DeletionJournal,
+    ) {
         let (mut db, ids) = movies_database_labeled();
         let journal = cascade_delete(&mut db, ids["a5"], false).unwrap();
         (db, ids, journal)
@@ -225,10 +239,12 @@ mod tests {
         restore_journal(&mut db, &journal).unwrap();
         emb.extend(&db, ids["a5"], 3).unwrap();
 
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = DetRng::seed_from_u64(11);
         let mut resid_solved = 0.0;
         let mut resid_random = 0.0;
-        let random: Vec<f64> = (0..emb.dim()).map(|_| rng.random_range(-0.3..0.3)).collect();
+        let random: Vec<f64> = (0..emb.dim())
+            .map(|_| rng.random_range(-0.3..0.3))
+            .collect();
         let mut n = 0usize;
         for (t_idx, target) in emb.targets().iter().enumerate() {
             for old_label in ["a1", "a2", "a3", "a4"] {
@@ -245,9 +261,11 @@ mod tests {
                 ) else {
                     continue;
                 };
-                let c = emb.psi(t_idx).matvec(emb.embedding(f_old).unwrap()).unwrap();
-                let pred =
-                    linalg::vector::dot(emb.embedding(ids["a5"]).unwrap(), &c);
+                let c = emb
+                    .psi(t_idx)
+                    .matvec(emb.embedding(f_old).unwrap())
+                    .unwrap();
+                let pred = linalg::vector::dot(emb.embedding(ids["a5"]).unwrap(), &c);
                 let pred_rand = linalg::vector::dot(&random, &c);
                 resid_solved += (pred - y) * (pred - y);
                 resid_random += (pred_rand - y) * (pred_rand - y);
@@ -277,10 +295,32 @@ mod tests {
     }
 
     #[test]
+    fn extension_is_shard_invariant() {
+        let (db, ids, journal) = scenario();
+        let actors = db.schema().relation_id("ACTORS").unwrap();
+        let run = |shards: usize| {
+            let mut emb =
+                ForwardEmbedding::train_with_runtime(&db, actors, &cfg(), 42, Runtime::new(shards))
+                    .unwrap();
+            let mut db2 = db.clone();
+            restore_journal(&mut db2, &journal).unwrap();
+            emb.extend(&db2, ids["a5"], 7).unwrap();
+            emb.embedding(ids["a5"]).unwrap().to_vec()
+        };
+        let base = run(1);
+        for shards in [2usize, 8] {
+            assert_eq!(run(shards), base, "shards={shards}: ϕ(a5) diverged");
+        }
+    }
+
+    #[test]
     fn ridge_option_also_works() {
         let (mut db, ids, journal) = scenario();
         let actors = db.schema().relation_id("ACTORS").unwrap();
-        let config = ForwardConfig { ridge: Some(1e-3), ..cfg() };
+        let config = ForwardConfig {
+            ridge: Some(1e-3),
+            ..cfg()
+        };
         let mut emb = ForwardEmbedding::train(&db, actors, &config, 21).unwrap();
         restore_journal(&mut db, &journal).unwrap();
         emb.extend(&db, ids["a5"], 2).unwrap();

@@ -38,12 +38,7 @@ pub trait TupleEmbedder {
 
     /// Extend the embedding to `new_facts`, which must already be inserted
     /// into `db`. MUST NOT change any existing embedding.
-    fn extend(
-        &mut self,
-        db: &Database,
-        new_facts: &[FactId],
-        seed: u64,
-    ) -> Result<(), CoreError>;
+    fn extend(&mut self, db: &Database, new_facts: &[FactId], seed: u64) -> Result<(), CoreError>;
 
     /// Short display name ("FoRWaRD" / "Node2Vec").
     fn name(&self) -> &'static str;
@@ -66,7 +61,23 @@ impl ForwardEmbedder {
         config: &ForwardConfig,
         seed: u64,
     ) -> Result<Self, CoreError> {
-        Ok(ForwardEmbedder { inner: ForwardEmbedding::train(db, rel, config, seed)? })
+        Ok(ForwardEmbedder {
+            inner: ForwardEmbedding::train(db, rel, config, seed)?,
+        })
+    }
+
+    /// Static phase on an explicit execution runtime (the trained result is
+    /// the same for every shard count; only wall-clock changes).
+    pub fn train_with_runtime(
+        db: &Database,
+        rel: RelationId,
+        config: &ForwardConfig,
+        seed: u64,
+        runtime: stembed_runtime::Runtime,
+    ) -> Result<Self, CoreError> {
+        Ok(ForwardEmbedder {
+            inner: ForwardEmbedding::train_with_runtime(db, rel, config, seed, runtime)?,
+        })
     }
 
     /// The underlying embedding.
@@ -89,15 +100,9 @@ impl TupleEmbedder for ForwardEmbedder {
         self.inner.embedding(fact)
     }
 
-    fn extend(
-        &mut self,
-        db: &Database,
-        new_facts: &[FactId],
-        seed: u64,
-    ) -> Result<(), CoreError> {
+    fn extend(&mut self, db: &Database, new_facts: &[FactId], seed: u64) -> Result<(), CoreError> {
         let rel = self.inner.relation();
-        let mine: Vec<FactId> =
-            new_facts.iter().copied().filter(|f| f.rel == rel).collect();
+        let mine: Vec<FactId> = new_facts.iter().copied().filter(|f| f.rel == rel).collect();
         self.inner.extend_batch(db, &mine, seed)
     }
 
@@ -122,7 +127,27 @@ impl Node2VecEmbedder {
     pub fn train(db: &Database, config: &Node2VecConfig, seed: u64) -> Self {
         let graph = DbGraph::build(db);
         let model = Node2VecModel::train(graph.graph(), config, seed);
-        Node2VecEmbedder { graph, model, mode: ExtendMode::OneByOne }
+        Node2VecEmbedder {
+            graph,
+            model,
+            mode: ExtendMode::OneByOne,
+        }
+    }
+
+    /// Static phase on an explicit execution runtime.
+    pub fn train_with_runtime(
+        db: &Database,
+        config: &Node2VecConfig,
+        seed: u64,
+        runtime: stembed_runtime::Runtime,
+    ) -> Self {
+        let graph = DbGraph::build(db);
+        let model = Node2VecModel::train_with_runtime(graph.graph(), config, seed, runtime);
+        Node2VecEmbedder {
+            graph,
+            model,
+            mode: ExtendMode::OneByOne,
+        }
     }
 
     /// Select the dynamic-phase walk-resampling mode.
@@ -152,12 +177,7 @@ impl TupleEmbedder for Node2VecEmbedder {
         Some(self.model.embedding(node))
     }
 
-    fn extend(
-        &mut self,
-        db: &Database,
-        new_facts: &[FactId],
-        seed: u64,
-    ) -> Result<(), CoreError> {
+    fn extend(&mut self, db: &Database, new_facts: &[FactId], seed: u64) -> Result<(), CoreError> {
         let mut new_nodes = Vec::new();
         for &f in new_facts {
             if db.fact(f).is_none() {
@@ -181,7 +201,8 @@ impl TupleEmbedder for Node2VecEmbedder {
                 let all: Vec<_> = self.graph.graph().node_ids().collect();
                 // `extend` freezes old nodes first, so passing every node as
                 // a walk start is safe: gradients cannot reach frozen ones.
-                self.model.extend_with_starts(self.graph.graph(), &new_nodes, &all, seed);
+                self.model
+                    .extend_with_starts(self.graph.graph(), &new_nodes, &all, seed);
             }
         }
         Ok(())
@@ -200,7 +221,12 @@ mod tests {
     use reldb::{cascade_delete, restore_journal};
 
     fn fwd_cfg() -> ForwardConfig {
-        ForwardConfig { dim: 8, epochs: 4, nsamples: 30, ..ForwardConfig::small() }
+        ForwardConfig {
+            dim: 8,
+            epochs: 4,
+            nsamples: 30,
+            ..ForwardConfig::small()
+        }
     }
 
     #[test]
@@ -212,8 +238,7 @@ mod tests {
         let mut fwd = ForwardEmbedder::train(&db, actors, &fwd_cfg(), 3).unwrap();
         let mut n2v = Node2VecEmbedder::train(&db, &Node2VecConfig::small(), 3);
 
-        let actor_facts: Vec<FactId> =
-            db.fact_ids(actors).into_iter().collect();
+        let actor_facts: Vec<FactId> = db.fact_ids(actors).into_iter().collect();
         let fwd_before: Vec<Vec<f64>> = actor_facts
             .iter()
             .map(|&f| fwd.embedding(f).unwrap().to_vec())

@@ -9,11 +9,9 @@
 
 use crate::kernel::KernelAssignment;
 use crate::schemes::WalkScheme;
-use crate::walkdist::{
-    destination_value_distribution, DestinationSampler, ValueDistribution,
-};
-use rand::rngs::StdRng;
+use crate::walkdist::{destination_value_distribution, DestinationSampler, ValueDistribution};
 use reldb::{Database, FactId, RelationId};
+use stembed_runtime::rng::DetRng;
 
 /// How `KD` values are computed.
 #[derive(Debug, Clone, Copy)]
@@ -28,7 +26,11 @@ pub struct KdOptions {
 
 impl Default for KdOptions {
     fn default() -> Self {
-        KdOptions { exact_limit: 256, mc_pairs: 48, max_attempts: 8 }
+        KdOptions {
+            exact_limit: 256,
+            mc_pairs: 48,
+            max_attempts: 8,
+        }
     }
 }
 
@@ -61,7 +63,7 @@ pub fn kd_monte_carlo(
     f1: FactId,
     f2: FactId,
     opts: &KdOptions,
-    rng: &mut StdRng,
+    rng: &mut DetRng,
 ) -> Option<f64> {
     let sampler = DestinationSampler::new(db);
     let end_rel = scheme.end(db.schema());
@@ -92,7 +94,7 @@ pub fn kd(
     f1: FactId,
     f2: FactId,
     opts: &KdOptions,
-    rng: &mut StdRng,
+    rng: &mut DetRng,
 ) -> Option<f64> {
     let end_rel = scheme.end(db.schema());
     let p = destination_value_distribution(db, scheme, attr, f1, opts.exact_limit);
@@ -109,9 +111,9 @@ pub fn kd(
 mod tests {
     use super::*;
     use crate::schemes::enumerate_schemes;
-    use rand::SeedableRng;
     use reldb::movies::movies_database_labeled;
     use reldb::Value;
+    use stembed_runtime::rng::DetRng;
 
     fn scheme_named(db: &Database, text: &str) -> WalkScheme {
         let schema = db.schema();
@@ -130,12 +132,16 @@ mod tests {
         let trivial = WalkScheme::trivial(actors);
         // name is an equality-kernel attribute; d is a point mass per fact.
         let opts = KdOptions::default();
-        let mut rng = StdRng::seed_from_u64(1);
-        let same = kd(&db, &kernels, &trivial, 1, ids["a1"], ids["a1"], &opts, &mut rng)
-            .unwrap();
+        let mut rng = DetRng::seed_from_u64(1);
+        let same = kd(
+            &db, &kernels, &trivial, 1, ids["a1"], ids["a1"], &opts, &mut rng,
+        )
+        .unwrap();
         assert!((same - 1.0).abs() < 1e-12);
-        let diff = kd(&db, &kernels, &trivial, 1, ids["a1"], ids["a2"], &opts, &mut rng)
-            .unwrap();
+        let diff = kd(
+            &db, &kernels, &trivial, 1, ids["a1"], ids["a2"], &opts, &mut rng,
+        )
+        .unwrap();
         assert!(diff.abs() < 1e-12);
     }
 
@@ -165,7 +171,7 @@ mod tests {
             acc
         };
         let opts = KdOptions::default();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         let got = kd(&db, &kernels, &s5, 4, ids["a1"], ids["a1"], &opts, &mut rng).unwrap();
         assert!((got - expect).abs() < 1e-12);
         // Sanity: mixture of equal and unequal pairs keeps KD in (κ_min, 1).
@@ -180,12 +186,15 @@ mod tests {
             &db,
             "ACTORS[aid]—COLLABORATIONS[actor1], COLLABORATIONS[movie]—MOVIES[mid]",
         );
-        let opts = KdOptions { exact_limit: 256, mc_pairs: 3000, max_attempts: 8 };
-        let mut rng = StdRng::seed_from_u64(5);
-        let exact = kd(&db, &kernels, &s5, 4, ids["a1"], ids["a1"], &opts, &mut rng)
-            .unwrap();
-        let mc = kd_monte_carlo(&db, &kernels, &s5, 4, ids["a1"], ids["a1"], &opts, &mut rng)
-            .unwrap();
+        let opts = KdOptions {
+            exact_limit: 256,
+            mc_pairs: 3000,
+            max_attempts: 8,
+        };
+        let mut rng = DetRng::seed_from_u64(5);
+        let exact = kd(&db, &kernels, &s5, 4, ids["a1"], ids["a1"], &opts, &mut rng).unwrap();
+        let mc =
+            kd_monte_carlo(&db, &kernels, &s5, 4, ids["a1"], ids["a1"], &opts, &mut rng).unwrap();
         assert!((mc - exact).abs() < 0.05, "MC {mc} vs exact {exact}");
     }
 
@@ -197,18 +206,8 @@ mod tests {
         // COLLABORATIONS has only FK attributes; pick attr 0 anyway — from
         // a3 there are no walks at all, so KD must be None.
         let opts = KdOptions::default();
-        let mut rng = StdRng::seed_from_u64(7);
-        assert!(kd(
-            &db,
-            &kernels,
-            &s1_actor1,
-            0,
-            ids["a3"],
-            ids["a1"],
-            &opts,
-            &mut rng
-        )
-        .is_none());
+        let mut rng = DetRng::seed_from_u64(7);
+        assert!(kd(&db, &kernels, &s1_actor1, 0, ids["a3"], ids["a1"], &opts, &mut rng).is_none());
     }
 
     #[test]
@@ -220,7 +219,7 @@ mod tests {
             "ACTORS[aid]—COLLABORATIONS[actor1], COLLABORATIONS[movie]—MOVIES[mid]",
         );
         let opts = KdOptions::default();
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = DetRng::seed_from_u64(11);
         // a1 and a4 both have s5-walks (a4 is actor1 of c2/c3).
         let ab = kd(&db, &kernels, &s5, 4, ids["a1"], ids["a4"], &opts, &mut rng);
         let ba = kd(&db, &kernels, &s5, 4, ids["a4"], ids["a1"], &opts, &mut rng);

@@ -71,7 +71,9 @@ impl GaussianKernel {
     /// Kernel with explicit variance; `υ` is clamped to a small positive
     /// minimum so degenerate attributes cannot divide by zero.
     pub fn new(variance: f64) -> Self {
-        GaussianKernel { variance: variance.max(1e-9) }
+        GaussianKernel {
+            variance: variance.max(1e-9),
+        }
     }
 
     /// Variance fitted to the active domain of `rel.attr`: the empirical
@@ -88,8 +90,8 @@ impl GaussianKernel {
             return GaussianKernel::new(1.0);
         }
         let mean = values.iter().sum::<f64>() / values.len() as f64;
-        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-            / (values.len() - 1) as f64;
+        let var =
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (values.len() - 1) as f64;
         if var <= 0.0 {
             GaussianKernel::new(1.0)
         } else {
@@ -135,7 +137,9 @@ pub struct EditDistanceKernel {
 impl EditDistanceKernel {
     /// Kernel with the given length scale.
     pub fn new(scale: f64) -> Self {
-        EditDistanceKernel { scale: scale.max(1e-9) }
+        EditDistanceKernel {
+            scale: scale.max(1e-9),
+        }
     }
 }
 
@@ -165,9 +169,7 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
 impl Kernel for EditDistanceKernel {
     fn eval(&self, a: &Value, b: &Value) -> f64 {
         match (a.as_text(), b.as_text()) {
-            (Some(x), Some(y)) => {
-                (-(levenshtein(x, y) as f64) / self.scale).exp()
-            }
+            (Some(x), Some(y)) => (-(levenshtein(x, y) as f64) / self.scale).exp(),
             _ => {
                 if a == b {
                     1.0
@@ -274,8 +276,8 @@ mod tests {
         let db = movies_database();
         let movies = db.schema().relation_id("MOVIES").unwrap();
         let k = GaussianKernel::fitted(&db, movies, 4); // budget
-        // Budgets are 90..200 (millions): fitted variance must be large, so
-        // 160 vs 150 are fairly similar.
+                                                        // Budgets are 90..200 (millions): fitted variance must be large, so
+                                                        // 160 vs 150 are fairly similar.
         let sim = k.eval(&Value::Int(160), &Value::Int(150));
         assert!(sim > 0.9, "sim = {sim}, variance = {}", k.variance);
         let dissim = k.eval(&Value::Int(200), &Value::Int(90));
@@ -295,9 +297,18 @@ mod tests {
     #[test]
     fn edit_distance_kernel_smooths_typos() {
         let k = EditDistanceKernel::new(2.0);
-        let exact = k.eval(&Value::Text("Titanic".into()), &Value::Text("Titanic".into()));
-        let typo = k.eval(&Value::Text("Titanic".into()), &Value::Text("Titanik".into()));
-        let other = k.eval(&Value::Text("Titanic".into()), &Value::Text("Godzilla".into()));
+        let exact = k.eval(
+            &Value::Text("Titanic".into()),
+            &Value::Text("Titanic".into()),
+        );
+        let typo = k.eval(
+            &Value::Text("Titanic".into()),
+            &Value::Text("Titanik".into()),
+        );
+        let other = k.eval(
+            &Value::Text("Titanic".into()),
+            &Value::Text("Godzilla".into()),
+        );
         assert!((exact - 1.0).abs() < 1e-12);
         assert!(typo > 0.5);
         assert!(other < typo);

@@ -1,6 +1,9 @@
 //! # stembed-core — stable tuple embeddings (FoRWaRD + dynamic Node2Vec)
 //!
-//! The paper's primary contribution, implemented from scratch:
+//! The primary contribution of *"Stable Tuple Embeddings for Dynamic
+//! Databases"* (Tönshoff, Friedman, Grohe, Kimelfeld — ICDE 2023,
+//! [arXiv:2103.06766](https://arxiv.org/abs/2103.06766)), implemented from
+//! scratch:
 //!
 //! * **Walk schemes** (§V-A): sequences of forward/backward foreign-key
 //!   steps, enumerated from the schema up to a maximum length

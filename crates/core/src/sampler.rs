@@ -6,13 +6,18 @@
 //! `κ(g[A], g′[A])` serves as the stochastic estimate of
 //! `KD(d_{s,f}[A], d_{s,f′}[A])`. We materialise each tuple as a
 //! [`TrainingSample`] carrying the precomputed kernel value `y`.
+//!
+//! Both probing and generation are sharded over the
+//! [`stembed_runtime::Runtime`]: eligibility probes parallelise over facts
+//! (per-fact streams inside each target), sample generation parallelises
+//! over targets (one derived stream per target). All streams are keyed by
+//! logical indices, so the output is bit-identical at every shard count.
 
 use crate::kernel::KernelAssignment;
 use crate::schemes::Target;
 use crate::walkdist::DestinationSampler;
-use rand::rngs::StdRng;
-use rand::RngExt;
 use reldb::{Database, FactId};
+use stembed_runtime::{derive_seed, stream_rng, Runtime};
 
 /// One SGD sample: predict `ϕ(f)ᵀ ψ_t ϕ(f′) ≈ y`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,26 +47,38 @@ impl EligibilityIndex {
     /// A fact is eligible for a target when at least one of
     /// `probe_attempts` sampled walks completes with a non-null target
     /// value. (For the trivial scheme this is exact; for longer schemes a
-    /// false negative merely drops a sample source.)
+    /// false negative merely drops a sample source.) Target `t` probes its
+    /// facts under master stream `derive_seed(master_seed, t)`, facts in
+    /// parallel via [`DestinationSampler::sample_values_batch`].
     pub fn probe(
         db: &Database,
         facts: &[FactId],
         targets: &[Target],
         probe_attempts: usize,
-        rng: &mut StdRng,
+        master_seed: u64,
+        runtime: &Runtime,
     ) -> Self {
         let sampler = DestinationSampler::new(db);
-        let mut eligible = vec![Vec::new(); targets.len()];
-        for (t_idx, target) in targets.iter().enumerate() {
-            for &f in facts {
-                if sampler
-                    .sample_value(&target.scheme, target.attr, f, probe_attempts, rng)
-                    .is_some()
-                {
-                    eligible[t_idx].push(f);
-                }
-            }
-        }
+        let eligible = targets
+            .iter()
+            .enumerate()
+            .map(|(t_idx, target)| {
+                let values = sampler.sample_values_batch(
+                    runtime,
+                    &target.scheme,
+                    target.attr,
+                    facts,
+                    probe_attempts,
+                    derive_seed(master_seed, t_idx as u64),
+                );
+                facts
+                    .iter()
+                    .zip(&values)
+                    .filter(|(_, v)| v.is_some())
+                    .map(|(&f, _)| f)
+                    .collect()
+            })
+            .collect();
         EligibilityIndex { eligible }
     }
 }
@@ -71,6 +88,10 @@ impl EligibilityIndex {
 /// §V-D ("for each R-fact f and each (s,A) … we uniformly sample nsamples
 /// of the form (f, f′, s, A, g, g′)"). Keeping the per-fact budget constant
 /// is what makes training quality independent of the relation's size.
+///
+/// Targets are generated in parallel, each on its own derived stream; the
+/// flattened output is ordered by target and deterministic for any shard
+/// count.
 #[allow(clippy::too_many_arguments)]
 pub fn generate_samples(
     db: &Database,
@@ -79,16 +100,18 @@ pub fn generate_samples(
     kernels: &KernelAssignment,
     nsamples_per_fact: usize,
     max_attempts: usize,
-    rng: &mut StdRng,
+    master_seed: u64,
+    runtime: &Runtime,
 ) -> Vec<TrainingSample> {
     let sampler = DestinationSampler::new(db);
     let schema = db.schema();
-    let mut out = Vec::new();
-    for (t_idx, target) in targets.iter().enumerate() {
+    let per_target = runtime.par_map_ordered(targets, |t_idx, target| {
         let eligible = &index.eligible[t_idx];
+        let mut out = Vec::new();
         if eligible.len() < 2 {
-            continue;
+            return out;
         }
+        let mut rng = stream_rng(master_seed, t_idx as u64);
         let end_rel = target.scheme.end(schema);
         for _ in 0..nsamples_per_fact * eligible.len() {
             let f = eligible[rng.random_range(0..eligible.len())];
@@ -105,31 +128,32 @@ pub fn generate_samples(
                 continue;
             }
             let Some(g) =
-                sampler.sample_value(&target.scheme, target.attr, f, max_attempts, rng)
+                sampler.sample_value(&target.scheme, target.attr, f, max_attempts, &mut rng)
             else {
                 continue;
             };
-            let Some(g_prime) = sampler.sample_value(
-                &target.scheme,
-                target.attr,
-                f_prime,
-                max_attempts,
-                rng,
-            ) else {
+            let Some(g_prime) =
+                sampler.sample_value(&target.scheme, target.attr, f_prime, max_attempts, &mut rng)
+            else {
                 continue;
             };
             let y = kernels.eval(end_rel, target.attr, &g, &g_prime);
-            out.push(TrainingSample { f, f_prime, target: t_idx, y });
+            out.push(TrainingSample {
+                f,
+                f_prime,
+                target: t_idx,
+                y,
+            });
         }
-    }
-    out
+        out
+    });
+    per_target.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::schemes::target_pairs;
-    use rand::SeedableRng;
     use reldb::movies::movies_database_labeled;
 
     #[test]
@@ -138,8 +162,8 @@ mod tests {
         let actors = db.schema().relation_id("ACTORS").unwrap();
         let facts = db.fact_ids(actors);
         let targets = target_pairs(db.schema(), actors, 3);
-        let mut rng = StdRng::seed_from_u64(1);
-        let index = EligibilityIndex::probe(&db, &facts, &targets, 16, &mut rng);
+        let rt = Runtime::from_env();
+        let index = EligibilityIndex::probe(&db, &facts, &targets, 16, 1, &rt);
         // Trivial-scheme targets: every actor is eligible (name and worth
         // are never null in Figure 2).
         for (t_idx, t) in targets.iter().enumerate() {
@@ -155,8 +179,7 @@ mod tests {
                 let first = t.scheme.steps[0];
                 let arrive = first.arrive_attrs(schema);
                 let collabs = schema.relation_id("COLLABORATIONS").unwrap();
-                let actor1_pos =
-                    schema.relation(collabs).attr_index("actor1").unwrap();
+                let actor1_pos = schema.relation(collabs).attr_index("actor1").unwrap();
                 if arrive == [actor1_pos] {
                     assert!(
                         !index.eligible[t_idx].contains(&ids["a3"]),
@@ -174,10 +197,9 @@ mod tests {
         let facts = db.fact_ids(actors);
         let targets = target_pairs(db.schema(), actors, 3);
         let kernels = KernelAssignment::defaults(&db);
-        let mut rng = StdRng::seed_from_u64(3);
-        let index = EligibilityIndex::probe(&db, &facts, &targets, 16, &mut rng);
-        let samples =
-            generate_samples(&db, &targets, &index, &kernels, 25, 8, &mut rng);
+        let rt = Runtime::from_env();
+        let index = EligibilityIndex::probe(&db, &facts, &targets, 16, 3, &rt);
+        let samples = generate_samples(&db, &targets, &index, &kernels, 25, 8, 3, &rt);
         assert!(!samples.is_empty());
         for s in &samples {
             assert_ne!(s.f, s.f_prime);
@@ -191,8 +213,7 @@ mod tests {
         for (t_idx, t) in targets.iter().enumerate() {
             if t.scheme.is_empty() {
                 let schema = db.schema();
-                let name_attr =
-                    schema.relation(actors).attr_index("name").unwrap();
+                let name_attr = schema.relation(actors).attr_index("name").unwrap();
                 if t.attr == name_attr {
                     for s in samples.iter().filter(|s| s.target == t_idx) {
                         assert_eq!(s.y, 0.0);
@@ -203,17 +224,19 @@ mod tests {
     }
 
     #[test]
-    fn deterministic_with_seed() {
+    fn deterministic_with_seed_and_shard_invariant() {
         let (db, _) = movies_database_labeled();
         let actors = db.schema().relation_id("ACTORS").unwrap();
         let facts = db.fact_ids(actors);
         let targets = target_pairs(db.schema(), actors, 2);
         let kernels = KernelAssignment::defaults(&db);
-        let run = |seed: u64| {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let index = EligibilityIndex::probe(&db, &facts, &targets, 8, &mut rng);
-            generate_samples(&db, &targets, &index, &kernels, 10, 8, &mut rng)
+        let run = |seed: u64, shards: usize| {
+            let rt = Runtime::new(shards);
+            let index = EligibilityIndex::probe(&db, &facts, &targets, 8, seed, &rt);
+            generate_samples(&db, &targets, &index, &kernels, 10, 8, seed, &rt)
         };
-        assert_eq!(run(7), run(7));
+        assert_eq!(run(7, 1), run(7, 1));
+        assert_eq!(run(7, 1), run(7, 4), "shard count changed the samples");
+        assert_ne!(run(7, 1), run(8, 1), "seed must matter");
     }
 }

@@ -94,7 +94,10 @@ pub struct WalkScheme {
 impl WalkScheme {
     /// The length-0 scheme on `rel` (walks `(f₀)` ending at the start fact).
     pub fn trivial(rel: RelationId) -> Self {
-        WalkScheme { start: rel, steps: Vec::new() }
+        WalkScheme {
+            start: rel,
+            steps: Vec::new(),
+        }
     }
 
     /// Scheme length `ℓ`.
@@ -117,7 +120,10 @@ impl WalkScheme {
     /// Paper notation, e.g.
     /// `ACTORS[aid]—COLLABORATIONS[actor2], COLLABORATIONS[movie]—MOVIES[mid]`.
     pub fn display<'s>(&'s self, schema: &'s Schema) -> SchemeDisplay<'s> {
-        SchemeDisplay { scheme: self, schema }
+        SchemeDisplay {
+            scheme: self,
+            schema,
+        }
     }
 }
 
@@ -235,7 +241,10 @@ pub fn target_pairs(schema: &Schema, rel: RelationId, max_len: usize) -> Vec<Tar
         let end = scheme.end(schema);
         for attr in 0..schema.relation(end).arity() {
             if !schema.attr_in_any_fk(end, attr) {
-                out.push(Target { scheme: scheme.clone(), attr });
+                out.push(Target {
+                    scheme: scheme.clone(),
+                    attr,
+                });
             }
         }
     }
@@ -286,7 +295,9 @@ mod tests {
         let schemes = enumerate_schemes(&schema, actors, 3, false);
         let wanted = "ACTORS[aid]—COLLABORATIONS[actor2], COLLABORATIONS[movie]—MOVIES[mid]";
         assert!(
-            schemes.iter().any(|s| s.display(&schema).to_string() == wanted),
+            schemes
+                .iter()
+                .any(|s| s.display(&schema).to_string() == wanted),
             "scheme s5 of Example 5.1 must be enumerated"
         );
         // s1: length 1 ending with COLLABORATIONS.
@@ -342,8 +353,7 @@ mod tests {
         // Trivial scheme contributes ACTORS.name and ACTORS.worth (aid is a
         // referenced key); COLLABORATIONS has *no* non-FK attribute, so
         // length-1 schemes contribute nothing.
-        let trivial_targets =
-            targets.iter().filter(|t| t.scheme.is_empty()).count();
+        let trivial_targets = targets.iter().filter(|t| t.scheme.is_empty()).count();
         assert_eq!(trivial_targets, 2);
         let len1_targets = targets.iter().filter(|t| t.scheme.len() == 1).count();
         assert_eq!(len1_targets, 0);

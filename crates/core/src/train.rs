@@ -7,7 +7,7 @@
 //! L = ½ |ϕ(f)ᵀ ψ(s,A) ϕ(f′) − κ(g[A], g′[A])|²
 //! ```
 //!
-//! by per-sample SGD with hand-derived gradients. With the prediction error
+//! by minibatch SGD with hand-derived gradients. With the prediction error
 //! `e = ϕ(f)ᵀ Ψ ϕ(f′) − y` and symmetric `Ψ`:
 //!
 //! * `∂L/∂ϕ(f)  = e · Ψ ϕ(f′)`
@@ -16,6 +16,18 @@
 //!
 //! The symmetrised `Ψ` update keeps every `ψ(s,A)` exactly symmetric
 //! throughout training (an invariant the tests assert).
+//!
+//! ## Parallel execution, deterministically
+//!
+//! Each minibatch's gradients are computed against the pre-batch snapshot
+//! of `ϕ`/`ψ`, so per-sample contributions are independent and can be
+//! sharded. The batch is split into **fixed-size** chunks
+//! ([`GRAD_CHUNK`] samples — a constant of the algorithm, never derived
+//! from the shard count); chunk-local accumulators are merged **in chunk
+//! order** and applied once. Fixed boundaries + ordered merge make the
+//! floating-point sums, and therefore the trained embedding, bit-identical
+//! for any shard count — `tests/determinism.rs` in the workspace root
+//! asserts this end to end.
 
 use crate::config::ForwardConfig;
 use crate::kernel::KernelAssignment;
@@ -23,10 +35,16 @@ use crate::sampler::{generate_samples, EligibilityIndex, TrainingSample};
 use crate::schemes::{target_pairs, Target};
 use crate::CoreError;
 use linalg::{vector, Matrix};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use reldb::{Database, FactId, RelationId};
 use std::collections::HashMap;
+use stembed_runtime::rng::DetRng;
+use stembed_runtime::{derive_seed, Runtime};
+
+/// Samples per parallel gradient chunk. A constant of the algorithm: chunk
+/// boundaries must not depend on the shard count, or the merge order of
+/// floating-point partial sums (and with it the learned embedding) would
+/// change with the machine.
+const GRAD_CHUNK: usize = 512;
 
 /// A trained FoRWaRD embedding of one relation.
 #[derive(Debug, Clone)]
@@ -38,17 +56,32 @@ pub struct ForwardEmbedding {
     psi: Vec<Matrix>,
     kernels: KernelAssignment,
     config: ForwardConfig,
+    runtime: Runtime,
     /// Mean squared error per epoch of the last training run.
     epoch_losses: Vec<f64>,
 }
 
 impl ForwardEmbedding {
-    /// Static phase: train an embedding of relation `rel` over `db`.
+    /// Static phase: train an embedding of relation `rel` over `db`, using
+    /// the default runtime (`STEMBED_SHARDS` / available parallelism). The
+    /// result depends only on `(db, rel, config, seed)` — never on the
+    /// shard count.
     pub fn train(
         db: &Database,
         rel: RelationId,
         config: &ForwardConfig,
         seed: u64,
+    ) -> Result<Self, CoreError> {
+        Self::train_with_runtime(db, rel, config, seed, Runtime::from_env())
+    }
+
+    /// [`ForwardEmbedding::train`] on an explicit execution runtime.
+    pub fn train_with_runtime(
+        db: &Database,
+        rel: RelationId,
+        config: &ForwardConfig,
+        seed: u64,
+        runtime: Runtime,
     ) -> Result<Self, CoreError> {
         let facts = db.fact_ids(rel);
         if facts.len() < 2 {
@@ -64,7 +97,7 @@ impl ForwardEmbedding {
             });
         }
         let kernels = KernelAssignment::defaults(db);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
 
         // Random initialisation of ϕ and ψ (paper §V-D).
         let mut phi = HashMap::with_capacity(facts.len());
@@ -76,8 +109,7 @@ impl ForwardEmbedding {
         }
         let mut psi = Vec::with_capacity(targets.len());
         for _ in 0..targets.len() {
-            let mut m =
-                Matrix::random_uniform(config.dim, config.dim, config.init_bound, &mut rng);
+            let mut m = Matrix::random_uniform(config.dim, config.dim, config.init_bound, &mut rng);
             m.symmetrize();
             psi.push(m);
         }
@@ -90,6 +122,7 @@ impl ForwardEmbedding {
             psi,
             kernels,
             config: config.clone(),
+            runtime,
             epoch_losses: Vec::new(),
         };
         this.run_sgd(db, &facts, seed ^ 0x5a5a, &mut rng)?;
@@ -101,15 +134,16 @@ impl ForwardEmbedding {
         db: &Database,
         facts: &[FactId],
         sample_seed: u64,
-        rng: &mut StdRng,
+        rng: &mut DetRng,
     ) -> Result<(), CoreError> {
-        let mut sample_rng = StdRng::seed_from_u64(sample_seed);
+        let runtime = self.runtime;
         let index = EligibilityIndex::probe(
             db,
             facts,
             &self.targets,
             self.config.kd.max_attempts,
-            &mut sample_rng,
+            derive_seed(sample_seed, 0),
+            &runtime,
         );
         if index.eligible.iter().all(|e| e.len() < 2) {
             return Err(CoreError::NoTargets {
@@ -119,7 +153,8 @@ impl ForwardEmbedding {
         self.epoch_losses.clear();
         for epoch in 0..self.config.epochs {
             // Fresh samples every epoch — this is what makes the per-sample
-            // kernel value an unbiased estimate of KD (paper §V-D).
+            // kernel value an unbiased estimate of KD (paper §V-D). Epoch
+            // `e` draws from the derived stream family `sample_seed ⊕ e+1`.
             let mut samples = generate_samples(
                 db,
                 &self.targets,
@@ -127,9 +162,11 @@ impl ForwardEmbedding {
                 &self.kernels,
                 self.config.nsamples,
                 self.config.kd.max_attempts,
-                &mut sample_rng,
+                derive_seed(sample_seed, 1 + epoch as u64),
+                &runtime,
             );
-            // Shuffle across targets.
+            // Shuffle across targets (sequential Fisher–Yates on the master
+            // stream — cheap, and keeps the schedule seed-determined).
             for i in (1..samples.len()).rev() {
                 let j = rng.random_range(0..=i);
                 samples.swap(i, j);
@@ -154,15 +191,50 @@ impl ForwardEmbedding {
     /// gradients whose variance would otherwise randomly diffuse `ϕ` and
     /// drown the signal targets.
     ///
+    /// Gradients are computed against the pre-batch snapshot in parallel
+    /// fixed-size chunks and merged in chunk order (see module docs).
     /// Returns the summed squared error of the batch (pre-update).
     fn minibatch_step(&mut self, batch: &[TrainingSample], lr: f64) -> f64 {
         let dim = self.dim;
         let inv_b = 1.0 / batch.len() as f64;
-        // Sparse gradient accumulators.
+        // Fast path for batches within one chunk (e.g. the pure-SGD
+        // configs with batch_size 1): the single chunk's accumulators *are*
+        // the merge result, bit for bit — skip the runtime and the re-merge.
+        let merged = if batch.len() <= GRAD_CHUNK {
+            self.chunk_gradients(batch)
+        } else {
+            let partials = self
+                .runtime
+                .par_chunks_map(batch, GRAD_CHUNK, |_c, chunk| self.chunk_gradients(chunk));
+            merge_chunk_gradients(partials)
+        };
+        let ChunkGradients {
+            loss,
+            phi_grad,
+            psi_grad,
+        } = merged;
+        for (f, grad) in phi_grad {
+            let v = self.phi.get_mut(&f).expect("accumulated facts exist");
+            debug_assert_eq!(grad.len(), dim);
+            vector::axpy(-lr * inv_b, &grad, v);
+        }
+        for (t, grad) in psi_grad {
+            self.psi[t]
+                .add_scaled(-lr * inv_b, &grad)
+                .expect("gradient shape matches ψ");
+        }
+        loss
+    }
+
+    /// Gradient accumulators of one fixed-size sample chunk, evaluated
+    /// against the current (pre-batch) `ϕ`/`ψ` snapshot. Pure read access —
+    /// safe to run on any shard.
+    fn chunk_gradients(&self, chunk: &[TrainingSample]) -> ChunkGradients {
+        let dim = self.dim;
         let mut phi_grad: HashMap<FactId, Vec<f64>> = HashMap::new();
         let mut psi_grad: HashMap<usize, Matrix> = HashMap::new();
         let mut loss = 0.0;
-        for s in batch {
+        for s in chunk {
             let psi = &self.psi[s.target];
             let phi_f = &self.phi[&s.f];
             let phi_fp = &self.phi[&s.f_prime];
@@ -188,16 +260,11 @@ impl ForwardEmbedding {
             g.rank_one_update(e * 0.5, phi_f, phi_fp);
             g.rank_one_update(e * 0.5, phi_fp, phi_f);
         }
-        for (f, grad) in phi_grad {
-            let v = self.phi.get_mut(&f).expect("accumulated facts exist");
-            vector::axpy(-lr * inv_b, &grad, v);
+        ChunkGradients {
+            loss,
+            phi_grad,
+            psi_grad,
         }
-        for (t, grad) in psi_grad {
-            self.psi[t]
-                .add_scaled(-lr * inv_b, &grad)
-                .expect("gradient shape matches ψ");
-        }
-        loss
     }
 
     /// The embedded relation.
@@ -208,6 +275,11 @@ impl ForwardEmbedding {
     /// Embedding dimension `d`.
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// The execution runtime used by training and dynamic extension.
+    pub fn runtime(&self) -> Runtime {
+        self.runtime
     }
 
     /// The embedding `ϕ(f)`, if `f` belongs to the embedded relation and
@@ -276,13 +348,62 @@ impl ForwardEmbedding {
     }
 }
 
+/// Chunk-local gradient accumulators (see [`ForwardEmbedding::chunk_gradients`]).
+struct ChunkGradients {
+    loss: f64,
+    phi_grad: HashMap<FactId, Vec<f64>>,
+    psi_grad: HashMap<usize, Matrix>,
+}
+
+/// Ordered merge of per-chunk accumulators: every fact/target slot receives
+/// one contribution per chunk, in ascending chunk order — float sums are
+/// fixed regardless of which shard computed which chunk.
+fn merge_chunk_gradients(partials: Vec<ChunkGradients>) -> ChunkGradients {
+    let mut merged = ChunkGradients {
+        loss: 0.0,
+        phi_grad: HashMap::new(),
+        psi_grad: HashMap::new(),
+    };
+    for part in partials {
+        merged.loss += part.loss;
+        for (f, grad) in part.phi_grad {
+            match merged.phi_grad.entry(f) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    vector::axpy(1.0, &grad, e.get_mut());
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(grad);
+                }
+            }
+        }
+        for (t, grad) in part.psi_grad {
+            match merged.psi_grad.entry(t) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut()
+                        .add_scaled(1.0, &grad)
+                        .expect("chunk gradients share ψ shape");
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(grad);
+                }
+            }
+        }
+    }
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use reldb::movies::movies_database_labeled;
 
     fn cfg() -> ForwardConfig {
-        ForwardConfig { dim: 8, epochs: 6, nsamples: 40, ..ForwardConfig::small() }
+        ForwardConfig {
+            dim: 8,
+            epochs: 6,
+            nsamples: 40,
+            ..ForwardConfig::small()
+        }
     }
 
     #[test]
@@ -367,6 +488,33 @@ mod tests {
         let e2 = ForwardEmbedding::train(&db, actors, &cfg(), 5).unwrap();
         assert_eq!(e1.embedding(ids["a1"]), e2.embedding(ids["a1"]));
         assert_eq!(e1.embedding(ids["a5"]), e2.embedding(ids["a5"]));
+    }
+
+    #[test]
+    fn shard_count_does_not_change_the_embedding() {
+        let (db, _) = movies_database_labeled();
+        let actors = db.schema().relation_id("ACTORS").unwrap();
+        let config = cfg();
+        let base =
+            ForwardEmbedding::train_with_runtime(&db, actors, &config, 13, Runtime::single())
+                .unwrap();
+        for shards in [2usize, 8] {
+            let emb = ForwardEmbedding::train_with_runtime(
+                &db,
+                actors,
+                &config,
+                13,
+                Runtime::new(shards),
+            )
+            .unwrap();
+            for f in db.fact_ids(actors) {
+                assert_eq!(
+                    emb.embedding(f).unwrap(),
+                    base.embedding(f).unwrap(),
+                    "shards={shards}: ϕ({f}) diverged"
+                );
+            }
+        }
     }
 
     #[test]

@@ -13,10 +13,10 @@
 //!   and during training-sample generation.
 
 use crate::schemes::{Step, WalkScheme};
-use rand::rngs::StdRng;
-use rand::RngExt;
 use reldb::{Database, FactId, Value};
 use std::collections::HashMap;
+use stembed_runtime::rng::DetRng;
+use stembed_runtime::{stream_rng, Runtime};
 
 /// Exact distribution over destination facts. Probabilities sum to 1
 /// (walks that dead-end before completing the scheme are conditioned away).
@@ -56,7 +56,9 @@ impl ValueDistribution {
 pub fn step_successors(db: &Database, step: &Step, cur: FactId) -> Vec<FactId> {
     let schema = db.schema();
     let fk = schema.foreign_key(step.fk);
-    let Some(fact) = db.fact(cur) else { return Vec::new() };
+    let Some(fact) = db.fact(cur) else {
+        return Vec::new();
+    };
     if step.forward {
         if fact.any_null(&fk.from_attrs) {
             return Vec::new();
@@ -171,7 +173,7 @@ impl<'db> DestinationSampler<'db> {
         &self,
         scheme: &WalkScheme,
         start: FactId,
-        rng: &mut StdRng,
+        rng: &mut DetRng,
     ) -> Option<FactId> {
         let mut cur = start;
         for step in &scheme.steps {
@@ -193,7 +195,7 @@ impl<'db> DestinationSampler<'db> {
         attr: usize,
         start: FactId,
         max_attempts: usize,
-        rng: &mut StdRng,
+        rng: &mut DetRng,
     ) -> Option<Value> {
         for _ in 0..max_attempts {
             if let Some(dest) = self.sample_destination(scheme, start, rng) {
@@ -206,6 +208,26 @@ impl<'db> DestinationSampler<'db> {
         None
     }
 
+    /// Monte-Carlo batch: one [`DestinationSampler::sample_value`] per
+    /// start fact, sharded over the runtime. Start `i` of the list owns the
+    /// derived stream `stream_rng(master_seed, i)`, so the result vector is
+    /// bit-identical at every shard count. This is the parallel substrate
+    /// under eligibility probing and per-epoch sample generation.
+    pub fn sample_values_batch(
+        &self,
+        runtime: &Runtime,
+        scheme: &WalkScheme,
+        attr: usize,
+        starts: &[FactId],
+        max_attempts: usize,
+        master_seed: u64,
+    ) -> Vec<Option<Value>> {
+        runtime.par_map_ordered(starts, |i, &start| {
+            let mut rng = stream_rng(master_seed, i as u64);
+            self.sample_value(scheme, attr, start, max_attempts, &mut rng)
+        })
+    }
+
     /// The database this sampler walks over.
     pub fn database(&self) -> &'db Database {
         self.db
@@ -216,8 +238,8 @@ impl<'db> DestinationSampler<'db> {
 mod tests {
     use super::*;
     use crate::schemes::enumerate_schemes;
-    use rand::SeedableRng;
     use reldb::movies::{movies_database_labeled, movies_schema};
+    use stembed_runtime::rng::DetRng;
 
     /// The scheme of Example 5.2/5.3. The paper prints s5 with `actor2`,
     /// but its own walks `(a1,c1,m3)` and `(a1,c4,m6)` satisfy
@@ -244,8 +266,12 @@ mod tests {
         let mut support = dist.support.clone();
         support.sort_by_key(|(f, _)| *f);
         assert_eq!(support.len(), 2);
-        assert!(support.iter().any(|(f, p)| *f == ids["m3"] && (*p - 0.5).abs() < 1e-12));
-        assert!(support.iter().any(|(f, p)| *f == ids["m6"] && (*p - 0.5).abs() < 1e-12));
+        assert!(support
+            .iter()
+            .any(|(f, p)| *f == ids["m3"] && (*p - 0.5).abs() < 1e-12));
+        assert!(support
+            .iter()
+            .any(|(f, p)| *f == ids["m6"] && (*p - 0.5).abs() < 1e-12));
     }
 
     #[test]
@@ -286,14 +312,13 @@ mod tests {
             .into_iter()
             .find(|s| {
                 s.len() == 1
-                    && s.display(schema).to_string()
-                        == "ACTORS[aid]—COLLABORATIONS[actor1]"
+                    && s.display(schema).to_string() == "ACTORS[aid]—COLLABORATIONS[actor1]"
             })
             .unwrap();
         assert!(destination_distribution(&db, &s1_actor1, ids["a3"], 16).is_none());
         // And the sampler agrees.
         let sampler = DestinationSampler::new(&db);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         assert!(sampler
             .sample_value(&s1_actor1, 0, ids["a3"], 32, &mut rng)
             .is_none());
@@ -304,7 +329,7 @@ mod tests {
         let (db, ids) = movies_database_labeled();
         let s5 = scheme_s5(&db);
         let sampler = DestinationSampler::new(&db);
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = DetRng::seed_from_u64(99);
         let mut m3 = 0usize;
         let mut m6 = 0usize;
         let n = 4000;
@@ -319,6 +344,21 @@ mod tests {
         let frac = m3 as f64 / n as f64;
         assert!((frac - 0.5).abs() < 0.05, "empirical Pr(m3) = {frac}");
         assert_eq!(m3 + m6, n);
+    }
+
+    #[test]
+    fn batch_sampling_is_shard_invariant() {
+        let (db, _) = movies_database_labeled();
+        let s5 = scheme_s5(&db);
+        let sampler = DestinationSampler::new(&db);
+        let actors = db.schema().relation_id("ACTORS").unwrap();
+        let starts = db.fact_ids(actors);
+        let base = sampler.sample_values_batch(&Runtime::single(), &s5, 4, &starts, 8, 42);
+        assert_eq!(base.len(), starts.len());
+        for shards in [2usize, 8] {
+            let got = sampler.sample_values_batch(&Runtime::new(shards), &s5, 4, &starts, 8, 42);
+            assert_eq!(got, base, "shards={shards} diverged");
+        }
     }
 
     #[test]

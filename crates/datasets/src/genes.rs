@@ -191,7 +191,14 @@ mod tests {
             .labels
             .iter()
             .map(|(f, c)| {
-                let gid = ds.db.fact(*f).unwrap().get(0).as_text().unwrap().to_string();
+                let gid = ds
+                    .db
+                    .fact(*f)
+                    .unwrap()
+                    .get(0)
+                    .as_text()
+                    .unwrap()
+                    .to_string();
                 (gid, *c)
             })
             .collect();

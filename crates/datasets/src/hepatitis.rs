@@ -109,7 +109,14 @@ pub fn generate(params: &DatasetParams) -> Dataset {
         let (alb, tbil) = (ctx.maybe_null(alb), ctx.maybe_null(tbil));
         db.insert_into(
             "INDIS",
-            vec![Value::Text(format!("in{i:05}")), Value::Text(pid), got, gpt, alb, tbil],
+            vec![
+                Value::Text(format!("in{i:05}")),
+                Value::Text(pid),
+                got,
+                gpt,
+                alb,
+                tbil,
+            ],
         )
         .expect("indis insert");
     }
@@ -120,7 +127,11 @@ pub fn generate(params: &DatasetParams) -> Dataset {
         let che = ctx.class_float(class, 180.0, -45.0, 40.0);
         db.insert_into(
             "INHOSP",
-            vec![Value::Text(format!("ho{i:05}")), Value::Text(pid), ctx.maybe_null(che)],
+            vec![
+                Value::Text(format!("ho{i:05}")),
+                Value::Text(pid),
+                ctx.maybe_null(che),
+            ],
         )
         .expect("inhosp insert");
     }
@@ -148,7 +159,11 @@ pub fn generate(params: &DatasetParams) -> Dataset {
         let dose = ctx.class_float(class, 6.0, 1.0, 2.5);
         db.insert_into(
             "INTERFERON",
-            vec![Value::Text(format!("if{i:05}")), Value::Text(pid), ctx.maybe_null(dose)],
+            vec![
+                Value::Text(format!("if{i:05}")),
+                Value::Text(pid),
+                ctx.maybe_null(dose),
+            ],
         )
         .expect("interferon insert");
     }
@@ -159,7 +174,11 @@ pub fn generate(params: &DatasetParams) -> Dataset {
         let marker = ctx.class_token("mk", class, 6);
         db.insert_into(
             "REL11",
-            vec![Value::Text(format!("ra{i:05}")), Value::Text(pid), ctx.maybe_null(marker)],
+            vec![
+                Value::Text(format!("ra{i:05}")),
+                Value::Text(pid),
+                ctx.maybe_null(marker),
+            ],
         )
         .expect("rel11 insert");
     }
@@ -170,7 +189,11 @@ pub fn generate(params: &DatasetParams) -> Dataset {
         let measure = Value::Float(ctx.float_in(0.0, 100.0));
         db.insert_into(
             "REL12",
-            vec![Value::Text(format!("rb{i:05}")), Value::Text(pid), ctx.maybe_null(measure)],
+            vec![
+                Value::Text(format!("rb{i:05}")),
+                Value::Text(pid),
+                ctx.maybe_null(measure),
+            ],
         )
         .expect("rel12 insert");
     }

@@ -65,7 +65,10 @@ impl Dataset {
 
     /// The label of one prediction fact, if it is labelled.
     pub fn label_of(&self, fact: FactId) -> Option<usize> {
-        self.labels.iter().find(|(f, _)| *f == fact).map(|(_, c)| *c)
+        self.labels
+            .iter()
+            .find(|(f, _)| *f == fact)
+            .map(|(_, c)| *c)
     }
 
     /// Class distribution (counts per class id).

@@ -128,12 +128,10 @@ pub fn generate(params: &DatasetParams) -> Dataset {
     // Tuple budget: 21,497 total − 2·countries for TARGET/COUNTRY.
     let full_satellite_budget = 21_497 - 2 * 206;
     let signal_rows_full = 500usize; // per signal relation
-    let noise_rows_full =
-        (full_satellite_budget - 3 * signal_rows_full) / (SATELLITES.len() - 3);
+    let noise_rows_full = (full_satellite_budget - 3 * signal_rows_full) / (SATELLITES.len() - 3);
     // Remainder rows land in the last satellite so full scale is exact.
-    let remainder_full = full_satellite_budget
-        - 3 * signal_rows_full
-        - noise_rows_full * (SATELLITES.len() - 3);
+    let remainder_full =
+        full_satellite_budget - 3 * signal_rows_full - noise_rows_full * (SATELLITES.len() - 3);
 
     for (idx, (name, payload)) in SATELLITES.iter().enumerate() {
         let is_signal = idx < 3;

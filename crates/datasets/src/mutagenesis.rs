@@ -79,11 +79,18 @@ pub fn generate(params: &DatasetParams) -> Dataset {
     // molecule has atoms; per-molecule atom lists drive bond generation.
     let mut atoms_of: Vec<Vec<String>> = vec![Vec::new(); n_molecules];
     for i in 0..n_atoms {
-        let m_idx = if i < n_molecules { i } else { ctx.index(n_molecules) };
+        let m_idx = if i < n_molecules {
+            i
+        } else {
+            ctx.index(n_molecules)
+        };
         let (mid, class) = molecules[m_idx].clone();
         let element = if ctx.chance(params.signal) {
             // Class-conditional element frequencies.
-            let pools: [&[&str]; 2] = [&["c", "c", "c", "h", "h", "cl"], &["c", "c", "n", "o", "o", "h"]];
+            let pools: [&[&str]; 2] = [
+                &["c", "c", "c", "h", "h", "cl"],
+                &["c", "c", "n", "o", "o", "h"],
+            ];
             let pool = pools[class];
             Value::Text(pool[ctx.index(pool.len())].to_string())
         } else {

@@ -1,8 +1,7 @@
 //! Shared machinery for the synthetic dataset generators.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use reldb::Value;
+use stembed_runtime::rng::DetRng;
 
 /// Generation parameters shared by all five datasets.
 #[derive(Debug, Clone, Copy)]
@@ -25,7 +24,12 @@ pub struct DatasetParams {
 
 impl Default for DatasetParams {
     fn default() -> Self {
-        DatasetParams { seed: 2023, scale: 1.0, signal: 0.85, p_null: 0.02 }
+        DatasetParams {
+            seed: 2023,
+            scale: 1.0,
+            signal: 0.85,
+            p_null: 0.02,
+        }
     }
 }
 
@@ -37,13 +41,18 @@ impl DatasetParams {
 
     /// A small-scale preset for tests and quick runs.
     pub fn tiny(seed: u64) -> Self {
-        DatasetParams { seed, scale: 0.08, signal: 0.9, p_null: 0.02 }
+        DatasetParams {
+            seed,
+            scale: 0.08,
+            signal: 0.9,
+            p_null: 0.02,
+        }
     }
 }
 
 /// RNG + sampling helpers used by every generator.
 pub struct SynthCtx {
-    rng: StdRng,
+    rng: DetRng,
     params: DatasetParams,
 }
 
@@ -52,7 +61,7 @@ impl SynthCtx {
     /// shared seed.
     pub fn new(params: &DatasetParams, salt: u64) -> Self {
         SynthCtx {
-            rng: StdRng::seed_from_u64(params.seed.wrapping_mul(0x9e37).wrapping_add(salt)),
+            rng: DetRng::seed_from_u64(params.seed.wrapping_mul(0x9e37).wrapping_add(salt)),
             params: *params,
         }
     }
@@ -94,12 +103,7 @@ impl SynthCtx {
     /// probability `signal` the token comes from the class's own pool of
     /// `pool` tokens, otherwise from a shared pool — this is how class
     /// signal is planted in satellite relations.
-    pub fn class_token(
-        &mut self,
-        prefix: &str,
-        class: usize,
-        pool: usize,
-    ) -> Value {
+    pub fn class_token(&mut self, prefix: &str, class: usize, pool: usize) -> Value {
         let signal = self.params.signal;
         if self.chance(signal) {
             Value::Text(format!("{prefix}_c{class}_{}", self.index(pool)))
@@ -114,13 +118,7 @@ impl SynthCtx {
     }
 
     /// Class-conditional numeric: `base + class·step·signal + σ·N(0,1)`.
-    pub fn class_float(
-        &mut self,
-        class: usize,
-        base: f64,
-        step: f64,
-        sigma: f64,
-    ) -> Value {
+    pub fn class_float(&mut self, class: usize, base: f64, step: f64, sigma: f64) -> Value {
         let mean = base + class as f64 * step * self.params.signal;
         Value::Float(mean + sigma * self.gaussian())
     }
@@ -162,7 +160,10 @@ mod tests {
 
     #[test]
     fn scaled_has_floor() {
-        let p = DatasetParams { scale: 0.01, ..Default::default() };
+        let p = DatasetParams {
+            scale: 0.01,
+            ..Default::default()
+        };
         assert_eq!(p.scaled(1000, 25), 25);
         let p1 = DatasetParams::default();
         assert_eq!(p1.scaled(1000, 25), 1000);
@@ -173,15 +174,17 @@ mod tests {
         let mut ctx = SynthCtx::new(&DatasetParams::default(), 1);
         let xs: Vec<f64> = (0..20_000).map(|_| ctx.gaussian()).collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.08, "var {var}");
     }
 
     #[test]
     fn class_tokens_carry_signal() {
-        let params = DatasetParams { signal: 0.9, ..Default::default() };
+        let params = DatasetParams {
+            signal: 0.9,
+            ..Default::default()
+        };
         let mut ctx = SynthCtx::new(&params, 2);
         let mut class_specific = 0;
         for _ in 0..1000 {

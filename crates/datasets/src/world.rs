@@ -11,7 +11,6 @@ use crate::synth::{DatasetParams, SynthCtx};
 use crate::Dataset;
 use reldb::{Database, Schema, SchemaBuilder, Value, ValueType};
 
-
 fn schema() -> Schema {
     let mut b = SchemaBuilder::new();
     b.relation("COUNTRY")

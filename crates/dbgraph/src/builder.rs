@@ -116,7 +116,9 @@ impl DbGraph {
         self.fact_nodes.insert(fact_id, v);
         new_nodes.push(v);
 
-        let fact = db.fact(fact_id).expect("fact must be live when added to the graph");
+        let fact = db
+            .fact(fact_id)
+            .expect("fact must be live when added to the graph");
         let classes = &self.column_class[fact_id.rel.index()];
         for (attr, value) in fact.values().iter().enumerate() {
             if value.is_null() {
@@ -284,7 +286,10 @@ mod tests {
         let name_node = g
             .value_node(studios, 1, &Value::Text("Universal".into()))
             .unwrap();
-        assert_ne!(title_node, name_node, "identification must respect FKs only");
+        assert_ne!(
+            title_node, name_node,
+            "identification must respect FKs only"
+        );
         assert!(g.fact_node(m7).is_some());
     }
 
@@ -313,7 +318,9 @@ mod tests {
         // Budget 160 is shared between m2 and m4 (same column → same node).
         let budget160 = g.value_node(movies, 4, &Value::Int(160)).unwrap();
         assert!(g.graph().has_edge(v_m4, budget160));
-        assert!(g.graph().has_edge(g.fact_node(ids["m2"]).unwrap(), budget160));
+        assert!(g
+            .graph()
+            .has_edge(g.fact_node(ids["m2"]).unwrap(), budget160));
     }
 
     #[test]
@@ -343,7 +350,9 @@ mod tests {
         let v = g.fact_node(ids["m1"]).unwrap();
         assert!(g.describe(db.schema(), v).starts_with("v("));
         let movies = db.schema().relation_id("MOVIES").unwrap();
-        let u = g.value_node(movies, 2, &Value::Text("Titanic".into())).unwrap();
+        let u = g
+            .value_node(movies, 2, &Value::Text("Titanic".into()))
+            .unwrap();
         assert_eq!(g.describe(db.schema(), u), "u(MOVIES, title, Titanic)");
     }
 }

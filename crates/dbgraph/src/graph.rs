@@ -38,7 +38,10 @@ impl Graph {
     /// the neighbour more transition weight); self-loops are rejected as a
     /// programmer error.
     pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
-        assert_ne!(a, b, "self-loops are not meaningful in the bipartite DB graph");
+        assert_ne!(
+            a, b,
+            "self-loops are not meaningful in the bipartite DB graph"
+        );
         // Insert keeping the lists sorted.
         let insert_sorted = |list: &mut Vec<NodeId>, v: NodeId| {
             let pos = list.partition_point(|&x| x <= v);

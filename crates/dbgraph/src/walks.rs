@@ -13,10 +13,18 @@
 //! every start node, exactly the sampling regime of Table II (40 walks × 30
 //! steps), and the dynamic phase re-samples walks **only from the new
 //! nodes** (paper §IV-A).
+//!
+//! Corpus generation is sharded over start nodes through
+//! [`stembed_runtime::Runtime`]: start node `i` of the start list owns the
+//! derived RNG stream `stream_rng(seed, i)` and emits its `walks_per_node`
+//! walks consecutively. Streams are keyed by the start's position, not by
+//! the executing thread, so the corpus is **bit-identical at every shard
+//! count** — and idempotent: two `corpus()` calls on the same walker return
+//! the same walks.
 
 use crate::{Graph, NodeId};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use stembed_runtime::rng::DetRng;
+use stembed_runtime::{stream_rng, Runtime};
 
 /// Walk sampling hyperparameters.
 #[derive(Debug, Clone)]
@@ -33,12 +41,17 @@ pub struct WalkConfig {
 
 impl Default for WalkConfig {
     fn default() -> Self {
-        WalkConfig { walks_per_node: 40, walk_length: 30, p: 1.0, q: 1.0 }
+        WalkConfig {
+            walks_per_node: 40,
+            walk_length: 30,
+            p: 1.0,
+            q: 1.0,
+        }
     }
 }
 
 /// A corpus of random walks: each walk is a node sequence whose first entry
-/// is the start node.
+/// is the start node. Walks are grouped by start node, in start-list order.
 #[derive(Debug, Clone, Default)]
 pub struct WalkCorpus {
     /// The walks.
@@ -66,47 +79,81 @@ impl WalkCorpus {
 pub struct Walker<'g> {
     graph: &'g Graph,
     config: WalkConfig,
-    rng: StdRng,
+    seed: u64,
+    /// Stream for the sequential [`Walker::walk_from`] API only; corpus
+    /// generation derives an independent stream per start node.
+    rng: DetRng,
+    runtime: Runtime,
 }
 
 impl<'g> Walker<'g> {
-    /// Create a walker with a deterministic seed.
+    /// Create a walker with a deterministic seed and the default runtime
+    /// (shard count from `STEMBED_SHARDS` / available parallelism).
     pub fn new(graph: &'g Graph, config: WalkConfig, seed: u64) -> Self {
-        Walker { graph, config, rng: StdRng::seed_from_u64(seed) }
+        Self::with_runtime(graph, config, seed, Runtime::from_env())
+    }
+
+    /// Create a walker with an explicit execution runtime.
+    pub fn with_runtime(graph: &'g Graph, config: WalkConfig, seed: u64, runtime: Runtime) -> Self {
+        Walker {
+            graph,
+            config,
+            seed,
+            rng: DetRng::seed_from_u64(seed),
+            runtime,
+        }
+    }
+
+    /// The execution runtime in use.
+    pub fn runtime(&self) -> Runtime {
+        self.runtime
     }
 
     /// Generate the full corpus: `walks_per_node` walks from every node of
     /// the graph.
-    pub fn corpus(&mut self) -> WalkCorpus {
+    pub fn corpus(&self) -> WalkCorpus {
         let starts: Vec<NodeId> = self.graph.node_ids().collect();
         self.corpus_from(&starts)
     }
 
     /// Generate `walks_per_node` walks from each given start node only —
-    /// the dynamic-phase sampling.
-    pub fn corpus_from(&mut self, starts: &[NodeId]) -> WalkCorpus {
-        let mut walks =
-            Vec::with_capacity(starts.len() * self.config.walks_per_node);
-        for _ in 0..self.config.walks_per_node {
-            for &start in starts {
-                let w = self.walk_from(start);
+    /// the dynamic-phase sampling. Walks come back grouped by start node in
+    /// `starts` order; length-1 walks (isolated starts) are dropped.
+    pub fn corpus_from(&self, starts: &[NodeId]) -> WalkCorpus {
+        let per_start = self.runtime.par_map_ordered(starts, |i, &start| {
+            let mut rng = stream_rng(self.seed, i as u64);
+            let mut walks = Vec::with_capacity(self.config.walks_per_node);
+            for _ in 0..self.config.walks_per_node {
+                let w = self.walk_with(&mut rng, start);
                 if w.len() > 1 {
                     walks.push(w);
                 }
             }
+            walks
+        });
+        WalkCorpus {
+            walks: per_start.into_iter().flatten().collect(),
         }
-        WalkCorpus { walks }
     }
 
-    /// One truncated biased walk from `start`.
+    /// One truncated biased walk from `start`, drawing from the walker's
+    /// own sequential stream.
     pub fn walk_from(&mut self, start: NodeId) -> Vec<NodeId> {
+        let mut rng = self.rng.clone();
+        let walk = self.walk_with(&mut rng, start);
+        self.rng = rng;
+        walk
+    }
+
+    /// One truncated biased walk from `start` using the given stream.
+    fn walk_with(&self, rng: &mut DetRng, start: NodeId) -> Vec<NodeId> {
         let mut walk = Vec::with_capacity(self.config.walk_length + 1);
         walk.push(start);
         if self.graph.degree(start) == 0 {
             return walk;
         }
         // First step: uniform.
-        let first = self.uniform_neighbor(start);
+        let first = self.uniform_neighbor(rng, start);
         walk.push(first);
         while walk.len() <= self.config.walk_length {
             let cur = walk[walk.len() - 1];
@@ -114,32 +161,32 @@ impl<'g> Walker<'g> {
             if self.graph.degree(cur) == 0 {
                 break;
             }
-            let next = self.biased_step(prev, cur);
+            let next = self.biased_step(rng, prev, cur);
             walk.push(next);
         }
         walk
     }
 
-    fn uniform_neighbor(&mut self, v: NodeId) -> NodeId {
+    fn uniform_neighbor(&self, rng: &mut DetRng, v: NodeId) -> NodeId {
         let neigh = self.graph.neighbors(v);
-        neigh[self.rng.random_range(0..neigh.len())]
+        neigh[rng.random_range(0..neigh.len())]
     }
 
     /// Second-order step with rejection sampling (Knightking-style): avoids
     /// materialising the weight vector. Upper bound of weights is
     /// `max(1/p, 1, 1/q)`.
-    fn biased_step(&mut self, prev: NodeId, cur: NodeId) -> NodeId {
+    fn biased_step(&self, rng: &mut DetRng, prev: NodeId, cur: NodeId) -> NodeId {
         let (p, q) = (self.config.p, self.config.q);
         // Fast path: uniform walk.
         if (p - 1.0).abs() < 1e-12 && (q - 1.0).abs() < 1e-12 {
-            return self.uniform_neighbor(cur);
+            return self.uniform_neighbor(rng, cur);
         }
         let w_return = 1.0 / p;
         let w_common = 1.0;
         let w_far = 1.0 / q;
         let w_max = w_return.max(w_common).max(w_far);
         loop {
-            let cand = self.uniform_neighbor(cur);
+            let cand = self.uniform_neighbor(rng, cur);
             let w = if cand == prev {
                 w_return
             } else if self.graph.has_edge(cand, prev) {
@@ -147,7 +194,7 @@ impl<'g> Walker<'g> {
             } else {
                 w_far
             };
-            if self.rng.random_range(0.0..w_max) < w {
+            if rng.random_range(0.0..w_max) < w {
                 return cand;
             }
         }
@@ -176,8 +223,13 @@ mod tests {
     #[test]
     fn walks_are_valid_paths() {
         let (g, _) = two_triangles();
-        let cfg = WalkConfig { walks_per_node: 5, walk_length: 12, p: 0.5, q: 2.0 };
-        let mut walker = Walker::new(&g, cfg, 11);
+        let cfg = WalkConfig {
+            walks_per_node: 5,
+            walk_length: 12,
+            p: 0.5,
+            q: 2.0,
+        };
+        let walker = Walker::new(&g, cfg, 11);
         let corpus = walker.corpus();
         assert!(!corpus.is_empty());
         for walk in &corpus.walks {
@@ -192,8 +244,12 @@ mod tests {
     #[test]
     fn corpus_covers_all_start_nodes() {
         let (g, n) = two_triangles();
-        let cfg = WalkConfig { walks_per_node: 3, walk_length: 4, ..Default::default() };
-        let mut walker = Walker::new(&g, cfg, 1);
+        let cfg = WalkConfig {
+            walks_per_node: 3,
+            walk_length: 4,
+            ..Default::default()
+        };
+        let walker = Walker::new(&g, cfg, 1);
         let corpus = walker.corpus();
         for &node in &n {
             let count = corpus.walks.iter().filter(|w| w[0] == node).count();
@@ -204,8 +260,12 @@ mod tests {
     #[test]
     fn corpus_from_restricts_starts() {
         let (g, n) = two_triangles();
-        let cfg = WalkConfig { walks_per_node: 4, walk_length: 4, ..Default::default() };
-        let mut walker = Walker::new(&g, cfg, 2);
+        let cfg = WalkConfig {
+            walks_per_node: 4,
+            walk_length: 4,
+            ..Default::default()
+        };
+        let walker = Walker::new(&g, cfg, 2);
         let corpus = walker.corpus_from(&[n[0]]);
         assert_eq!(corpus.len(), 4);
         assert!(corpus.walks.iter().all(|w| w[0] == n[0]));
@@ -221,10 +281,26 @@ mod tests {
     }
 
     #[test]
+    fn shard_count_does_not_change_the_corpus() {
+        let (g, _) = two_triangles();
+        let cfg = WalkConfig::default();
+        let base = Walker::with_runtime(&g, cfg.clone(), 7, Runtime::single()).corpus();
+        for shards in [2usize, 4, 8] {
+            let c = Walker::with_runtime(&g, cfg.clone(), 7, Runtime::new(shards)).corpus();
+            assert_eq!(c.walks, base.walks, "shards={shards} diverged");
+        }
+    }
+
+    #[test]
     fn low_p_increases_backtracking() {
         let (g, _) = two_triangles();
         let count_backtracks = |p: f64, q: f64, seed: u64| -> f64 {
-            let cfg = WalkConfig { walks_per_node: 50, walk_length: 20, p, q };
+            let cfg = WalkConfig {
+                walks_per_node: 50,
+                walk_length: 20,
+                p,
+                q,
+            };
             let corpus = Walker::new(&g, cfg, seed).corpus();
             let mut back = 0usize;
             let mut total = 0usize;

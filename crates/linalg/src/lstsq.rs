@@ -63,10 +63,10 @@ pub fn ridge_solve(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use stembed_runtime::rng::DetRng;
 
     fn well_conditioned() -> (Matrix, Vec<f64>, Vec<f64>) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = DetRng::seed_from_u64(5);
         let a = Matrix::random_uniform(20, 4, 1.0, &mut rng);
         let x_true = vec![0.5, -1.0, 2.0, 0.25];
         let b = a.matvec(&x_true).unwrap();
@@ -100,11 +100,7 @@ mod tests {
 
     #[test]
     fn pinv_handles_rank_deficiency_where_qr_fails() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 1.0],
-            vec![2.0, 2.0],
-            vec![3.0, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
         let b = vec![2.0, 4.0, 6.0];
         assert_eq!(
             lstsq(&a, &b, LstsqMethod::Qr).unwrap_err(),

@@ -2,7 +2,7 @@
 
 use crate::vector;
 use crate::{LinalgError, Result};
-use rand::{Rng, RngExt};
+use stembed_runtime::rng::Rng;
 
 /// A dense, row-major `rows × cols` matrix of `f64`.
 ///
@@ -36,7 +36,11 @@ impl std::fmt::Debug for Matrix {
 impl Matrix {
     /// All-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -70,7 +74,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "Matrix::from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Matrix with i.i.d. entries drawn uniformly from `[-bound, bound]`.
@@ -153,7 +161,9 @@ impl Matrix {
                 x.len()
             )));
         }
-        Ok((0..self.rows).map(|r| vector::dot(self.row(r), x)).collect())
+        Ok((0..self.rows)
+            .map(|r| vector::dot(self.row(r), x))
+            .collect())
     }
 
     /// Transposed matrix–vector product `Aᵀ·x`.
@@ -383,10 +393,7 @@ mod tests {
     fn matvec_known() {
         let m = sample();
         assert_eq!(m.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0, 11.0]);
-        assert_eq!(
-            m.matvec_t(&[1.0, 1.0, 1.0]).unwrap(),
-            vec![9.0, 12.0]
-        );
+        assert_eq!(m.matvec_t(&[1.0, 1.0, 1.0]).unwrap(), vec![9.0, 12.0]);
         assert!(m.matvec(&[1.0]).is_err());
     }
 
@@ -404,10 +411,7 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
         let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
         let ab = a.matmul(&b).unwrap();
-        assert_eq!(
-            ab,
-            Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]])
-        );
+        assert_eq!(ab, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
     }
 
     #[test]
@@ -437,10 +441,7 @@ mod tests {
     fn rank_one_update_known() {
         let mut a = Matrix::zeros(2, 2);
         a.rank_one_update(2.0, &[1.0, 2.0], &[3.0, 4.0]);
-        assert_eq!(
-            a,
-            Matrix::from_rows(&[vec![6.0, 8.0], vec![12.0, 16.0]])
-        );
+        assert_eq!(a, Matrix::from_rows(&[vec![6.0, 8.0], vec![12.0, 16.0]]));
     }
 
     #[test]
@@ -463,8 +464,8 @@ mod tests {
 
     #[test]
     fn random_uniform_within_bounds() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        use stembed_runtime::rng::DetRng;
+        let mut rng = DetRng::seed_from_u64(7);
         let m = Matrix::random_uniform(10, 10, 0.5, &mut rng);
         assert!(m.as_slice().iter().all(|v| v.abs() <= 0.5));
         // Not all identical (sanity that the RNG is actually used).

@@ -27,7 +27,11 @@ impl Svd {
     pub fn decompose(a: &Matrix) -> Result<Svd> {
         if a.rows() < a.cols() {
             let t = Svd::decompose(&a.transpose())?;
-            return Ok(Svd { u: t.v, sigma: t.sigma, v: t.u });
+            return Ok(Svd {
+                u: t.v,
+                sigma: t.sigma,
+                v: t.u,
+            });
         }
         let m = a.rows();
         let n = a.cols();
@@ -87,8 +91,11 @@ impl Svd {
         // t = Uᵀ b  (r)
         let t = self.u.matvec_t(b)?;
         // t ← Σ⁺ t
-        let scaled: Vec<f64> =
-            t.iter().zip(self.sigma.iter()).map(|(ti, si)| ti / si).collect();
+        let scaled: Vec<f64> = t
+            .iter()
+            .zip(self.sigma.iter())
+            .map(|(ti, si)| ti / si)
+            .collect();
         // x = V · scaled  (n)
         self.v.matvec(&scaled)
     }
@@ -121,10 +128,10 @@ pub fn pinv_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use stembed_runtime::rng::DetRng;
 
     fn random_matrix(m: usize, n: usize, seed: u64) -> Matrix {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         Matrix::random_uniform(m, n, 1.0, &mut rng)
     }
 
@@ -172,11 +179,7 @@ mod tests {
     #[test]
     fn rank_deficient_matrix() {
         // Two identical columns => rank 1.
-        let a = Matrix::from_rows(&[
-            vec![1.0, 1.0],
-            vec![2.0, 2.0],
-            vec![3.0, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
         let svd = Svd::decompose(&a).unwrap();
         assert_eq!(svd.rank(), 1);
         // Penrose condition 1 still holds on the rank-deficient input.

@@ -154,11 +154,7 @@ mod tests {
     #[test]
     fn least_squares_minimizes_residual() {
         // Inconsistent system: check the solution beats nearby candidates.
-        let a = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]]);
         let b = [0.0, 2.0, 3.0];
         let qr = QrDecomposition::decompose(&a).unwrap();
         let x = qr.solve(&b).unwrap();
@@ -166,21 +162,19 @@ mod tests {
         assert!((x[0] - 1.0).abs() < 1e-10);
         assert!((x[1] - 3.0).abs() < 1e-10);
         let r_opt = QrDecomposition::residual_norm(&a, &x, &b).unwrap();
-        let r_other =
-            QrDecomposition::residual_norm(&a, &[1.1, 3.0], &b).unwrap();
+        let r_other = QrDecomposition::residual_norm(&a, &[1.1, 3.0], &b).unwrap();
         assert!(r_opt <= r_other);
     }
 
     #[test]
     fn detects_rank_deficiency() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![2.0, 4.0],
-            vec![3.0, 6.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]);
         let qr = QrDecomposition::decompose(&a).unwrap();
         assert!(!qr.is_full_rank());
-        assert_eq!(qr.solve(&[1.0, 2.0, 3.0]).unwrap_err(), LinalgError::Singular);
+        assert_eq!(
+            qr.solve(&[1.0, 2.0, 3.0]).unwrap_err(),
+            LinalgError::Singular
+        );
     }
 
     #[test]

@@ -15,8 +15,7 @@ pub fn std_dev(xs: &[f64]) -> f64 {
         return 0.0;
     }
     let m = mean(xs);
-    let var =
-        xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
     var.sqrt()
 }
 

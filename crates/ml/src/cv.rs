@@ -1,14 +1,14 @@
 //! Stratified k-fold cross-validation (the paper's evaluation protocol:
 //! k = 10 folds, class-stratified splits, accuracy ± std).
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use stembed_runtime::rng::DetRng;
+use stembed_runtime::Runtime;
 
 /// Partition `0..labels.len()` into `k` folds with (approximately) equal
 /// class proportions in every fold. Deterministic given `seed`.
 pub fn stratified_kfold(labels: &[usize], k: usize, seed: u64) -> Vec<Vec<usize>> {
     assert!(k >= 2, "need at least two folds");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let classes = labels.iter().copied().max().map_or(0, |m| m + 1);
     // Indices per class, shuffled.
     let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); classes];
@@ -34,10 +34,12 @@ pub fn stratified_kfold(labels: &[usize], k: usize, seed: u64) -> Vec<Vec<usize>
 }
 
 /// Run k-fold cross-validation: `eval(train_indices, test_indices)` returns
-/// the fold's accuracy; the result collects all fold accuracies.
+/// the fold's accuracy; the result collects all fold accuracies in fold
+/// order.
 ///
-/// Folds run in parallel on scoped threads (the classifier trainers in this
-/// workspace are CPU-bound and independent per fold).
+/// Folds run in parallel on the shared execution runtime (the classifier
+/// trainers in this workspace are CPU-bound and independent per fold);
+/// results are ordered, so the output is shard-count invariant.
 pub fn cross_validate<F>(labels: &[usize], k: usize, seed: u64, eval: F) -> Vec<f64>
 where
     F: Fn(&[usize], &[usize]) -> f64 + Sync,
@@ -56,19 +58,7 @@ where
         })
         .collect();
 
-    let mut results = vec![0.0; k];
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(k);
-        for (train, test) in &jobs {
-            let eval = &eval;
-            handles.push(scope.spawn(move |_| eval(train, test)));
-        }
-        for (i, h) in handles.into_iter().enumerate() {
-            results[i] = h.join().expect("fold thread panicked");
-        }
-    })
-    .expect("crossbeam scope");
-    results
+    Runtime::from_env().par_map_ordered(&jobs, |_, (train, test)| eval(train, test))
 }
 
 #[cfg(test)]

@@ -3,8 +3,7 @@
 //! regularised hinge loss with step size `1/(λt)`.
 
 use crate::multiclass::BinaryClassifier;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use stembed_runtime::rng::DetRng;
 
 /// Binary linear SVM.
 #[derive(Debug, Clone)]
@@ -22,7 +21,13 @@ pub struct LinearSvm {
 impl LinearSvm {
     /// New untrained model.
     pub fn new(lambda: f64, epochs: usize, seed: u64) -> Self {
-        LinearSvm { lambda, epochs, seed, w: Vec::new(), b: 0.0 }
+        LinearSvm {
+            lambda,
+            epochs,
+            seed,
+            w: Vec::new(),
+            b: 0.0,
+        }
     }
 
     /// The learned weight vector (empty before `fit`).
@@ -46,16 +51,15 @@ impl BinaryClassifier for LinearSvm {
         let dim = x[0].len();
         self.w = vec![0.0; dim];
         self.b = 0.0;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = DetRng::seed_from_u64(self.seed);
         let mut t = 0usize;
         for _ in 0..self.epochs {
             for _ in 0..n {
                 t += 1;
                 let i = rng.random_range(0..n);
                 let eta = 1.0 / (self.lambda * t as f64);
-                let margin = y[i]
-                    * (self.w.iter().zip(&x[i]).map(|(w, v)| w * v).sum::<f64>()
-                        + self.b);
+                let margin =
+                    y[i] * (self.w.iter().zip(&x[i]).map(|(w, v)| w * v).sum::<f64>() + self.b);
                 // w ← (1 − ηλ)w [+ η y x when the margin is violated].
                 let shrink = 1.0 - eta * self.lambda;
                 for w in &mut self.w {

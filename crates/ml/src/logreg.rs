@@ -1,8 +1,7 @@
 //! Binary logistic regression (SGD), used by the flat-feature baseline.
 
 use crate::multiclass::BinaryClassifier;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use stembed_runtime::rng::DetRng;
 
 /// L2-regularised binary logistic regression trained with SGD.
 #[derive(Debug, Clone)]
@@ -22,7 +21,14 @@ pub struct LogisticRegression {
 impl LogisticRegression {
     /// New untrained model.
     pub fn new(lambda: f64, learning_rate: f64, epochs: usize, seed: u64) -> Self {
-        LogisticRegression { lambda, learning_rate, epochs, seed, w: Vec::new(), b: 0.0 }
+        LogisticRegression {
+            lambda,
+            learning_rate,
+            epochs,
+            seed,
+            w: Vec::new(),
+            b: 0.0,
+        }
     }
 
     fn sigmoid(z: f64) -> f64 {
@@ -51,7 +57,7 @@ impl BinaryClassifier for LogisticRegression {
         let dim = x[0].len();
         self.w = vec![0.0; dim];
         self.b = 0.0;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = DetRng::seed_from_u64(self.seed);
         for epoch in 0..self.epochs {
             let lr = self.learning_rate / (1.0 + epoch as f64 * 0.1);
             for _ in 0..n {
@@ -80,8 +86,7 @@ mod tests {
     #[test]
     fn learns_a_threshold() {
         let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 10.0]).collect();
-        let y: Vec<f64> =
-            (0..40).map(|i| if i >= 20 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = (0..40).map(|i| if i >= 20 { 1.0 } else { -1.0 }).collect();
         let mut lr = LogisticRegression::new(1e-4, 0.5, 60, 3);
         lr.fit(&x, &y);
         assert!(lr.prob(&[3.5]) > 0.8);

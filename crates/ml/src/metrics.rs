@@ -55,8 +55,7 @@ impl ConfusionMatrix {
 
     /// Per-class recall (None for absent classes).
     pub fn recall(&self, class: usize) -> Option<f64> {
-        let total: usize =
-            (0..self.classes).map(|p| self.get(class, p)).sum();
+        let total: usize = (0..self.classes).map(|p| self.get(class, p)).sum();
         if total == 0 {
             None
         } else {

@@ -18,12 +18,7 @@ pub struct OneVsRest<C: BinaryClassifier> {
 impl<C: BinaryClassifier> OneVsRest<C> {
     /// Train `classes` binary problems, constructing each classifier with
     /// `make` (called once per class).
-    pub fn fit(
-        x: &[Vec<f64>],
-        y: &[usize],
-        classes: usize,
-        make: impl Fn() -> C,
-    ) -> Self {
+    pub fn fit(x: &[Vec<f64>], y: &[usize], classes: usize, make: impl Fn() -> C) -> Self {
         assert!(classes >= 1, "need at least one class");
         assert_eq!(x.len(), y.len());
         let mut classifiers = Vec::with_capacity(classes);
@@ -110,9 +105,7 @@ mod tests {
         }
 
         fn decision(&self, row: &[f64]) -> f64 {
-            let d = |c: &[f64]| -> f64 {
-                row.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum()
-            };
+            let d = |c: &[f64]| -> f64 { row.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum() };
             d(&self.neg) - d(&self.pos)
         }
     }

@@ -3,8 +3,7 @@
 //! scikit-learn's `SVC`, which the paper uses for all downstream tasks.
 
 use crate::multiclass::BinaryClassifier;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use stembed_runtime::rng::DetRng;
 
 /// SVM hyperparameters.
 #[derive(Debug, Clone, Copy)]
@@ -91,8 +90,12 @@ impl RbfSvm {
             return 1.0;
         }
         let mean: f64 = x.iter().flatten().sum::<f64>() / n as f64;
-        let var: f64 =
-            x.iter().flatten().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        let var: f64 = x
+            .iter()
+            .flatten()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / n as f64;
         if var <= 1e-12 {
             1.0
         } else {
@@ -135,7 +138,7 @@ impl BinaryClassifier for RbfSvm {
         };
 
         let (c, tol) = (self.params.c, self.params.tol);
-        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let mut rng = DetRng::seed_from_u64(self.params.seed);
         let mut passes = 0usize;
         let mut iter = 0usize;
         while passes < self.params.max_passes && iter < self.params.max_iter {
@@ -175,14 +178,10 @@ impl BinaryClassifier for RbfSvm {
                 let ai = ai_old + y[i] * y[j] * (aj_old - aj);
                 self.alphas[i] = ai;
                 self.alphas[j] = aj;
-                let b1 = self.b
-                    - ei
-                    - y[i] * (ai - ai_old) * k(i, i)
-                    - y[j] * (aj - aj_old) * k(i, j);
-                let b2 = self.b
-                    - ej
-                    - y[i] * (ai - ai_old) * k(i, j)
-                    - y[j] * (aj - aj_old) * k(j, j);
+                let b1 =
+                    self.b - ei - y[i] * (ai - ai_old) * k(i, i) - y[j] * (aj - aj_old) * k(i, j);
+                let b2 =
+                    self.b - ej - y[i] * (ai - ai_old) * k(i, j) - y[j] * (aj - aj_old) * k(j, j);
                 self.b = if ai > 0.0 && ai < c {
                     b1
                 } else if aj > 0.0 && aj < c {
@@ -200,8 +199,7 @@ impl BinaryClassifier for RbfSvm {
         }
 
         // Compact: keep only support vectors.
-        let keep: Vec<usize> =
-            (0..n).filter(|&i| self.alphas[i] > 1e-12).collect();
+        let keep: Vec<usize> = (0..n).filter(|&i| self.alphas[i] > 1e-12).collect();
         self.support_x = keep.iter().map(|&i| x[i].clone()).collect();
         self.support_y = keep.iter().map(|&i| y[i]).collect();
         self.alphas = keep.iter().map(|&i| self.alphas[i]).collect();
@@ -209,12 +207,7 @@ impl BinaryClassifier for RbfSvm {
 
     fn decision(&self, row: &[f64]) -> f64 {
         let mut acc = self.b;
-        for ((sx, sy), a) in self
-            .support_x
-            .iter()
-            .zip(&self.support_y)
-            .zip(&self.alphas)
-        {
+        for ((sx, sy), a) in self.support_x.iter().zip(&self.support_y).zip(&self.alphas) {
             acc += a * sy * self.rbf(sx, row);
         }
         acc
@@ -293,9 +286,14 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..30)
             .map(|i| vec![(i % 7) as f64, (i % 5) as f64])
             .collect();
-        let y: Vec<f64> = (0..30).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = (0..30)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let train = |seed| {
-            let mut svm = RbfSvm::new(SvmParams { seed, ..SvmParams::default() });
+            let mut svm = RbfSvm::new(SvmParams {
+                seed,
+                ..SvmParams::default()
+            });
             svm.fit(&x, &y);
             (0..30).map(|i| svm.decision(&x[i])).collect::<Vec<f64>>()
         };

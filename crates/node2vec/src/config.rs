@@ -91,7 +91,11 @@ mod tests {
 
     #[test]
     fn walk_config_projection() {
-        let c = Node2VecConfig { p: 0.5, q: 2.0, ..Node2VecConfig::small() };
+        let c = Node2VecConfig {
+            p: 0.5,
+            q: 2.0,
+            ..Node2VecConfig::small()
+        };
         let w = c.walk_config();
         assert_eq!(w.walks_per_node, c.walks_per_node);
         assert_eq!(w.p, 0.5);

@@ -1,7 +1,14 @@
 //! High-level Node2Vec model: walks + SGNS + dynamic continuation.
+//!
+//! Walk corpora are sampled in parallel on the shared execution runtime
+//! (one derived RNG stream per start node — see [`dbgraph::Walker`]); the
+//! SGNS update loop itself is a sequential in-place SGD whose every update
+//! reads the previous one, so it stays single-threaded by design. The
+//! trained model is therefore bit-identical at every shard count.
 
 use crate::{NegativeTable, Node2VecConfig, SgnsModel};
 use dbgraph::{Graph, NodeId, WalkCorpus, Walker};
+use stembed_runtime::Runtime;
 
 /// A trained Node2Vec model over a graph.
 ///
@@ -15,13 +22,26 @@ pub struct Node2VecModel {
     /// Node visit counts feeding the negative-sampling distribution; kept so
     /// the dynamic phase can update them with the newly sampled walks.
     counts: Vec<usize>,
+    /// Execution runtime for walk sampling (static and dynamic phases).
+    runtime: Runtime,
 }
 
 impl Node2VecModel {
     /// Static phase: sample a full walk corpus over `graph` and train SGNS
-    /// from scratch.
+    /// from scratch, on the default runtime (`STEMBED_SHARDS` / available
+    /// parallelism). The result depends only on `(graph, config, seed)`.
     pub fn train(graph: &Graph, config: &Node2VecConfig, seed: u64) -> Self {
-        let mut walker = Walker::new(graph, config.walk_config(), seed);
+        Self::train_with_runtime(graph, config, seed, Runtime::from_env())
+    }
+
+    /// [`Node2VecModel::train`] on an explicit execution runtime.
+    pub fn train_with_runtime(
+        graph: &Graph,
+        config: &Node2VecConfig,
+        seed: u64,
+        runtime: Runtime,
+    ) -> Self {
+        let walker = Walker::with_runtime(graph, config.walk_config(), seed, runtime);
         let corpus = walker.corpus();
         let mut counts = vec![0usize; graph.node_count()];
         count_tokens(&corpus, &mut counts);
@@ -36,7 +56,12 @@ impl Node2VecModel {
             config.learning_rate,
             seed ^ TRAIN_SEED_SALT,
         );
-        Node2VecModel { config: config.clone(), sgns, counts }
+        Node2VecModel {
+            config: config.clone(),
+            sgns,
+            counts,
+            runtime,
+        }
     }
 
     /// Dynamic phase (paper §IV-A): the graph has been extended with new
@@ -61,12 +86,13 @@ impl Node2VecModel {
         seed: u64,
     ) {
         self.sgns.freeze_all();
-        self.sgns.grow(graph.node_count(), seed ^ 0x9e3779b97f4a7c15);
+        self.sgns
+            .grow(graph.node_count(), seed ^ 0x9e3779b97f4a7c15);
         self.counts.resize(graph.node_count(), 0);
         if new_nodes.is_empty() {
             return;
         }
-        let mut walker = Walker::new(graph, self.config.walk_config(), seed);
+        let walker = Walker::with_runtime(graph, self.config.walk_config(), seed, self.runtime);
         let corpus = walker.corpus_from(walk_starts);
         count_tokens(&corpus, &mut self.counts);
         let table = NegativeTable::new(&self.counts);
@@ -104,6 +130,11 @@ impl Node2VecModel {
     /// The configuration the model was trained with.
     pub fn config(&self) -> &Node2VecConfig {
         &self.config
+    }
+
+    /// The execution runtime used for walk sampling.
+    pub fn runtime(&self) -> Runtime {
+        self.runtime
     }
 }
 

@@ -1,7 +1,6 @@
 //! Unigram^0.75 negative-sampling table (Mikolov et al. 2013).
 
-use rand::rngs::StdRng;
-use rand::RngExt;
+use stembed_runtime::rng::DetRng;
 
 /// Cumulative-distribution sampler over nodes, with the classic `count^0.75`
 /// smoothing that keeps frequent nodes from dominating the negatives.
@@ -22,7 +21,10 @@ impl NegativeTable {
             acc += (c as f64).powf(0.75);
             cumulative.push(acc);
         }
-        NegativeTable { cumulative, total: acc }
+        NegativeTable {
+            cumulative,
+            total: acc,
+        }
     }
 
     /// `true` iff no node has positive mass.
@@ -31,11 +33,13 @@ impl NegativeTable {
     }
 
     /// Sample one node id proportional to smoothed frequency.
-    pub fn sample(&self, rng: &mut StdRng) -> usize {
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
         debug_assert!(!self.is_empty(), "sampling from an empty table");
         let x = rng.random_range(0.0..self.total);
         // First index whose cumulative mass exceeds x.
-        self.cumulative.partition_point(|&c| c <= x).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c <= x)
+            .min(self.cumulative.len() - 1)
     }
 
     /// Number of node slots (including zero-mass ones).
@@ -47,13 +51,13 @@ impl NegativeTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use stembed_runtime::rng::DetRng;
 
     #[test]
     fn respects_frequencies_approximately() {
         let counts = vec![0usize, 100, 100, 800];
         let table = NegativeTable::new(&counts);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         let mut hist = [0usize; 4];
         for _ in 0..20_000 {
             hist[table.sample(&mut rng)] += 1;
@@ -68,7 +72,7 @@ mod tests {
     #[test]
     fn single_node_table() {
         let table = NegativeTable::new(&[5]);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = DetRng::seed_from_u64(0);
         for _ in 0..10 {
             assert_eq!(table.sample(&mut rng), 0);
         }

@@ -10,8 +10,7 @@
 
 use crate::NegativeTable;
 use dbgraph::{NodeId, WalkCorpus};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use stembed_runtime::rng::DetRng;
 
 /// Precomputed logistic table: σ(x) for x ∈ [−MAX_EXP, MAX_EXP] in
 /// `TABLE_SIZE` bins (word2vec's classic trick; exactness at the tails is
@@ -56,10 +55,11 @@ impl SgnsModel {
     /// Fresh model with `nodes` random vectors in `[-0.5/dim, 0.5/dim]`
     /// (the word2vec initialisation).
     pub fn new(nodes: usize, dim: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         let bound = 0.5 / dim as f64;
-        let in_vecs =
-            (0..nodes * dim).map(|_| rng.random_range(-bound..=bound)).collect();
+        let in_vecs = (0..nodes * dim)
+            .map(|_| rng.random_range(-bound..=bound))
+            .collect();
         // Out vectors start at zero, as in word2vec.
         let out_vecs = vec![0.0; nodes * dim];
         SgnsModel {
@@ -106,11 +106,12 @@ impl SgnsModel {
         if added == 0 {
             return;
         }
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         let bound = 0.5 / self.dim as f64;
         self.in_vecs
             .extend((0..added * self.dim).map(|_| rng.random_range(-bound..=bound)));
-        self.out_vecs.extend(std::iter::repeat_n(0.0, added * self.dim));
+        self.out_vecs
+            .extend(std::iter::repeat_n(0.0, added * self.dim));
         self.frozen.extend(std::iter::repeat_n(false, added));
     }
 
@@ -181,8 +182,12 @@ impl SgnsModel {
         lr0: f64,
         seed: u64,
     ) -> TrainStats {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut stats = TrainStats { updates: 0, first_epoch_loss: 0.0, last_epoch_loss: 0.0 };
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut stats = TrainStats {
+            updates: 0,
+            first_epoch_loss: 0.0,
+            last_epoch_loss: 0.0,
+        };
         if corpus.is_empty() || table.is_empty() || epochs == 0 {
             return stats;
         }
@@ -218,19 +223,13 @@ impl SgnsModel {
                         }
                         let context = walk[ctx_pos];
                         let lr = lr0 * (1.0 - done as f64 / total_updates).max(1e-4);
-                        epoch_loss += self.update_pair(
-                            center.index(),
-                            context.index(),
-                            1.0,
-                            lr,
-                        );
+                        epoch_loss += self.update_pair(center.index(), context.index(), 1.0, lr);
                         for _ in 0..negatives {
                             let neg = table.sample(&mut rng);
                             if neg == context.index() {
                                 continue;
                             }
-                            epoch_loss +=
-                                self.update_pair(center.index(), neg, 0.0, lr);
+                            epoch_loss += self.update_pair(center.index(), neg, 0.0, lr);
                         }
                         stats.updates += 1 + negatives;
                         epoch_pairs += 1;
@@ -264,7 +263,12 @@ mod tests {
             }
         }
         g.add_edge(nodes[4], nodes[5]);
-        let cfg = WalkConfig { walks_per_node: 20, walk_length: 8, p: 1.0, q: 1.0 };
+        let cfg = WalkConfig {
+            walks_per_node: 20,
+            walk_length: 8,
+            p: 1.0,
+            q: 1.0,
+        };
         let corpus = Walker::new(&g, cfg, seed).corpus();
         let mut counts = vec![0usize; g.node_count()];
         for w in &corpus.walks {
@@ -297,7 +301,10 @@ mod tests {
         let mut model = SgnsModel::new(counts.len(), 16, 5);
         model.train(&corpus, &table, 3, 5, 8, 0.05, 9);
         let cos = |a: usize, b: usize| {
-            linalg_cosine(model.embedding(NodeId(a as u32)), model.embedding(NodeId(b as u32)))
+            linalg_cosine(
+                model.embedding(NodeId(a as u32)),
+                model.embedding(NodeId(b as u32)),
+            )
         };
         // Mean intra-clique vs inter-clique similarity.
         let mut intra = Vec::new();

@@ -182,7 +182,10 @@ mod tests {
         assert!(removed.contains(&ids["a2"]), "Watanabe must be collected");
         assert!(removed.contains(&ids["m3"]), "Godzilla must be collected");
         assert!(db.fact(ids["a1"]).is_some(), "DiCaprio must survive");
-        assert!(db.fact(ids["m6"]).is_some(), "Wolf of Wall St. must survive");
+        assert!(
+            db.fact(ids["m6"]).is_some(),
+            "Wolf of Wall St. must survive"
+        );
         // c1 removed first (root has no children), orphans after.
         assert_eq!(journal.entries[0].id, ids["c1"]);
     }
@@ -218,7 +221,10 @@ mod tests {
                 "{label} should be collected, removed = {removed:?}"
             );
         }
-        assert!(db.fact(ids["a1"]).is_some(), "DiCaprio still referenced by c1");
+        assert!(
+            db.fact(ids["a1"]).is_some(),
+            "DiCaprio still referenced by c1"
+        );
         assert!(db.fact(ids["s3"]).is_some(), "s3 still referenced by m1");
         assert!(db.fact(ids["s1"]).is_some(), "s1 still referenced by m2/m3");
         assert!(db.fact(ids["m1"]).is_some());

@@ -1,9 +1,7 @@
 //! The in-memory database: fact storage, constraint enforcement, and the
 //! secondary indexes that power random walks.
 
-use crate::{
-    DbError, Fact, FactId, FkId, RelationId, Result, Schema, Value,
-};
+use crate::{DbError, Fact, FactId, FkId, RelationId, Result, Schema, Value};
 use std::collections::HashMap;
 
 /// Per-relation fact store.
@@ -55,7 +53,12 @@ impl Database {
             })
             .collect();
         let fk_index = vec![HashMap::new(); schema.foreign_keys().len()];
-        Database { schema, stores, fk_index, defer_fk_checks: false }
+        Database {
+            schema,
+            stores,
+            fk_index,
+            defer_fk_checks: false,
+        }
     }
 
     /// The schema.
@@ -100,9 +103,7 @@ impl Database {
             .slots
             .iter()
             .enumerate()
-            .filter_map(move |(row, slot)| {
-                slot.as_ref().map(|f| (FactId::new(rel, row as u32), f))
-            })
+            .filter_map(move |(row, slot)| slot.as_ref().map(|f| (FactId::new(rel, row as u32), f)))
     }
 
     /// Collect the live fact ids of `rel`.
@@ -120,37 +121,32 @@ impl Database {
 
     /// Slots of facts in `rel` whose attribute `attr` equals `value`
     /// (unordered). Nulls are never indexed.
-    pub fn facts_with_value(
-        &self,
-        rel: RelationId,
-        attr: usize,
-        value: &Value,
-    ) -> &[u32] {
+    pub fn facts_with_value(&self, rel: RelationId, attr: usize, value: &Value) -> &[u32] {
         self.stores[rel.index()].value_index[attr]
             .get(value)
             .map_or(&[], |v| v.as_slice())
     }
 
     /// The active domain `adom(A)`: distinct non-null values of `rel.attr`.
-    pub fn active_domain(
-        &self,
-        rel: RelationId,
-        attr: usize,
-    ) -> impl Iterator<Item = &Value> {
+    pub fn active_domain(&self, rel: RelationId, attr: usize) -> impl Iterator<Item = &Value> {
         self.stores[rel.index()].value_index[attr].keys()
     }
 
     /// Facts of `fk.from_rel` whose FK tuple references the key tuple
     /// `key` of `fk.to_rel` (the *backward* step of a walk scheme).
     pub fn referencing_slots(&self, fk: FkId, key: &[Value]) -> &[u32] {
-        self.fk_index[fk.index()].get(key).map_or(&[], |v| v.as_slice())
+        self.fk_index[fk.index()]
+            .get(key)
+            .map_or(&[], |v| v.as_slice())
     }
 
     /// Facts referencing `target` via `fk`.
     pub fn referencing_facts(&self, fk: FkId, target: FactId) -> Vec<FactId> {
         let fk_def = self.schema.foreign_key(fk);
         debug_assert_eq!(fk_def.to_rel, target.rel);
-        let Some(fact) = self.fact(target) else { return Vec::new() };
+        let Some(fact) = self.fact(target) else {
+            return Vec::new();
+        };
         let key = fact.project(&fk_def.to_attrs);
         self.referencing_slots(fk, &key)
             .iter()
@@ -361,7 +357,10 @@ impl Database {
         store.key_index.insert(key, row);
         for (attr, value) in fact.values().iter().enumerate() {
             if !value.is_null() {
-                store.value_index[attr].entry(value.clone()).or_default().push(row);
+                store.value_index[attr]
+                    .entry(value.clone())
+                    .or_default()
+                    .push(row);
             }
         }
         for &fk_id in self.schema.fks_from(rel) {
@@ -370,7 +369,10 @@ impl Database {
                 continue;
             }
             let fk_key = fact.project(&fk.from_attrs);
-            self.fk_index[fk_id.index()].entry(fk_key).or_default().push(row);
+            self.fk_index[fk_id.index()]
+                .entry(fk_key)
+                .or_default()
+                .push(row);
         }
     }
 
@@ -431,7 +433,9 @@ mod tests {
 
     fn db_with_one_s() -> (Database, FactId) {
         let mut db = Database::new(schema());
-        let s = db.insert_into("S", vec!["s1".into(), "Acme".into()]).unwrap();
+        let s = db
+            .insert_into("S", vec!["s1".into(), "Acme".into()])
+            .unwrap();
         (db, s)
     }
 
@@ -444,10 +448,7 @@ mod tests {
             .unwrap();
         assert_eq!(db.total_facts(), 2);
         assert_eq!(db.fact(r).unwrap().get(2), &Value::Int(5));
-        assert_eq!(
-            db.lookup_key(rel_r, &["r1".into()]),
-            Some(r)
-        );
+        assert_eq!(db.lookup_key(rel_r, &["r1".into()]), Some(r));
         // FK resolution.
         let fk = db.schema().fks_from(rel_r)[0];
         assert_eq!(db.resolve_fk(fk, r).unwrap(), Some(s));
@@ -516,9 +517,11 @@ mod tests {
         db.set_defer_fk_checks(true);
         let rel_r = db.schema().relation_id("R").unwrap();
         // Insert the referencing fact first.
-        db.insert(rel_r, vec!["r1".into(), "s1".into(), Value::Int(1)]).unwrap();
+        db.insert(rel_r, vec!["r1".into(), "s1".into(), Value::Int(1)])
+            .unwrap();
         assert!(db.check_all_fks().is_err());
-        db.insert_into("S", vec!["s1".into(), "Acme".into()]).unwrap();
+        db.insert_into("S", vec!["s1".into(), "Acme".into()])
+            .unwrap();
         assert!(db.check_all_fks().is_ok());
     }
 
@@ -570,7 +573,9 @@ mod tests {
     fn fact_ids_are_not_reused_after_delete() {
         let (mut db, s) = db_with_one_s();
         db.delete(s).unwrap();
-        let s2 = db.insert_into("S", vec!["s1".into(), "Acme".into()]).unwrap();
+        let s2 = db
+            .insert_into("S", vec!["s1".into(), "Acme".into()])
+            .unwrap();
         assert_ne!(s, s2, "slots must not be silently reused by insert");
     }
 }

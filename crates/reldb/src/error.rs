@@ -129,7 +129,11 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = DbError::Arity { relation: "R".into(), expected: 3, got: 2 };
+        let e = DbError::Arity {
+            relation: "R".into(),
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains("expected 3"));
         let e = DbError::DuplicateKey {
             relation: "R".into(),

@@ -44,7 +44,9 @@ pub struct Fact {
 impl Fact {
     /// Construct from a value vector.
     pub fn new(values: Vec<Value>) -> Self {
-        Fact { values: values.into_boxed_slice() }
+        Fact {
+            values: values.into_boxed_slice(),
+        }
     }
 
     /// The values, in attribute order.
@@ -94,11 +96,7 @@ mod tests {
     use super::*;
 
     fn fact() -> Fact {
-        Fact::new(vec![
-            Value::Text("m1".into()),
-            Value::Null,
-            Value::Int(200),
-        ])
+        Fact::new(vec![Value::Text("m1".into()), Value::Null, Value::Int(200)])
     }
 
     #[test]
@@ -123,9 +121,6 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(fact().to_string(), "(m1, ⊥, 200)");
-        assert_eq!(
-            FactId::new(RelationId(2), 7).to_string(),
-            "r2#7"
-        );
+        assert_eq!(FactId::new(RelationId(2), 7).to_string(), "r2#7");
     }
 }

@@ -33,9 +33,7 @@ pub use cascade::{cascade_delete, restore_journal, DeletionJournal};
 pub use database::Database;
 pub use error::DbError;
 pub use fact::{Fact, FactId};
-pub use schema::{
-    Attribute, FkId, ForeignKey, RelationId, RelationSchema, Schema, SchemaBuilder,
-};
+pub use schema::{Attribute, FkId, ForeignKey, RelationId, RelationSchema, Schema, SchemaBuilder};
 pub use value::{Value, ValueType};
 
 /// Crate-wide result alias.

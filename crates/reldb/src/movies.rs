@@ -80,7 +80,13 @@ pub fn movies_database_labeled() -> (Database, HashMap<&'static str, FactId>) {
         let id = db
             .insert_into(
                 "MOVIES",
-                vec![mid.into(), studio.into(), title.into(), genre_val, millions(budget)],
+                vec![
+                    mid.into(),
+                    studio.into(),
+                    title.into(),
+                    genre_val,
+                    millions(budget),
+                ],
             )
             .expect("movie insert");
         ids.insert(label, id);

@@ -41,7 +41,10 @@ pub struct Attribute {
 impl Attribute {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
-        Attribute { name: name.into(), ty }
+        Attribute {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -183,10 +186,16 @@ impl fmt::Display for Schema {
                 let fk = &self.fks[fk_id.index()];
                 let from = &self.relations[fk.from_rel.index()];
                 let to = &self.relations[fk.to_rel.index()];
-                let bs: Vec<&str> =
-                    fk.from_attrs.iter().map(|&a| from.attributes[a].name.as_str()).collect();
-                let cs: Vec<&str> =
-                    fk.to_attrs.iter().map(|&a| to.attributes[a].name.as_str()).collect();
+                let bs: Vec<&str> = fk
+                    .from_attrs
+                    .iter()
+                    .map(|&a| from.attributes[a].name.as_str())
+                    .collect();
+                let cs: Vec<&str> = fk
+                    .to_attrs
+                    .iter()
+                    .map(|&a| to.attributes[a].name.as_str())
+                    .collect();
                 writeln!(
                     f,
                     "  {}[{}] ⊆ {}[{}]",
@@ -254,7 +263,10 @@ impl SchemaBuilder {
             key: Vec::new(),
         });
         let rel_index = self.relations.len() - 1;
-        RelationBuilder { schema: self, rel_index }
+        RelationBuilder {
+            schema: self,
+            rel_index,
+        }
     }
 
     /// Declare a foreign key `from_rel[from_attrs] ⊆ to_rel[key(to_rel)]`.
@@ -284,13 +296,9 @@ impl SchemaBuilder {
                 )));
             }
             if rel.key.is_empty() {
-                return Err(DbError::Schema(format!(
-                    "relation {} has no key",
-                    rel.name
-                )));
+                return Err(DbError::Schema(format!("relation {} has no key", rel.name)));
             }
-            let mut names: Vec<&str> =
-                rel.attributes.iter().map(|a| a.name.as_str()).collect();
+            let mut names: Vec<&str> = rel.attributes.iter().map(|a| a.name.as_str()).collect();
             names.sort_unstable();
             names.dedup();
             if names.len() != rel.attributes.len() {
@@ -299,7 +307,10 @@ impl SchemaBuilder {
                     rel.name
                 )));
             }
-            if by_name.insert(rel.name.clone(), RelationId(i as u32)).is_some() {
+            if by_name
+                .insert(rel.name.clone(), RelationId(i as u32))
+                .is_some()
+            {
                 return Err(DbError::Schema(format!(
                     "duplicate relation name {}",
                     rel.name
@@ -316,10 +327,7 @@ impl SchemaBuilder {
                 ))
             })?;
             let to_rel = *by_name.get(&pending.to_rel).ok_or_else(|| {
-                DbError::Schema(format!(
-                    "FK references unknown relation {}",
-                    pending.to_rel
-                ))
+                DbError::Schema(format!("FK references unknown relation {}", pending.to_rel))
             })?;
             let from_schema = &self.relations[from_rel.index()];
             let to_schema = &self.relations[to_rel.index()];
@@ -358,7 +366,12 @@ impl SchemaBuilder {
                     )));
                 }
             }
-            fks.push(ForeignKey { from_rel, from_attrs, to_rel, to_attrs });
+            fks.push(ForeignKey {
+                from_rel,
+                from_attrs,
+                to_rel,
+                to_attrs,
+            });
         }
 
         let n = self.relations.len();
@@ -369,7 +382,13 @@ impl SchemaBuilder {
             fks_to[fk.to_rel.index()].push(FkId(i as u32));
         }
 
-        Ok(Schema { relations: self.relations, fks, by_name, fks_from, fks_to })
+        Ok(Schema {
+            relations: self.relations,
+            fks,
+            by_name,
+            fks_from,
+            fks_to,
+        })
     }
 }
 

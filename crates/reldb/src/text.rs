@@ -44,8 +44,7 @@ pub fn to_text(db: &Database) -> String {
             .unwrap();
         }
         for (_, fact) in db.facts(rel_id) {
-            let fields: Vec<String> =
-                fact.values().iter().map(|v| v.to_string()).collect();
+            let fields: Vec<String> = fact.values().iter().map(|v| v.to_string()).collect();
             writeln!(out, "{}", fields.join("\t")).unwrap();
         }
         writeln!(out, "@end").unwrap();
@@ -120,21 +119,20 @@ fn parse_schema(text: &str) -> Result<Schema> {
     let mut current: Option<PendingRelation> = None;
     let mut fks: Vec<(String, Vec<String>, String)> = Vec::new();
 
-    let flush =
-        |b: &mut SchemaBuilder, rel: Option<PendingRelation>| -> Result<()> {
-            if let Some((name, attrs, key)) = rel {
-                let mut rb = b.relation(name);
-                for (attr_name, ty) in &attrs {
-                    rb = rb.attr(attr_name.clone(), *ty);
-                }
-                let key_refs: Vec<&str> = key.iter().map(|s| s.as_str()).collect();
-                if key_refs.is_empty() {
-                    return Err(DbError::Parse("relation without key".into()));
-                }
-                rb.key(&key_refs);
+    let flush = |b: &mut SchemaBuilder, rel: Option<PendingRelation>| -> Result<()> {
+        if let Some((name, attrs, key)) = rel {
+            let mut rb = b.relation(name);
+            for (attr_name, ty) in &attrs {
+                rb = rb.attr(attr_name.clone(), *ty);
             }
-            Ok(())
-        };
+            let key_refs: Vec<&str> = key.iter().map(|s| s.as_str()).collect();
+            if key_refs.is_empty() {
+                return Err(DbError::Parse("relation without key".into()));
+            }
+            rb.key(&key_refs);
+        }
+        Ok(())
+    };
 
     for (line_no, line) in text.lines().enumerate() {
         let line = line.trim_end();
@@ -180,8 +178,11 @@ fn parse_schema(text: &str) -> Result<Schema> {
                     line_no + 1
                 )));
             }
-            let from_attrs: Vec<String> =
-                parts[0].trim().split(',').map(|s| s.trim().to_string()).collect();
+            let from_attrs: Vec<String> = parts[0]
+                .trim()
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .collect();
             fks.push((name.clone(), from_attrs, parts[1].trim().to_string()));
         } else if line == "@end" {
             flush(&mut b, current.take())?;

@@ -2,8 +2,7 @@
 
 use datasets::Dataset;
 use ml::{
-    accuracy, cross_validate, BinaryClassifier, LogisticRegression, OneVsRest,
-    StandardScaler,
+    accuracy, cross_validate, BinaryClassifier, LogisticRegression, OneVsRest, StandardScaler,
 };
 use reldb::Value;
 use std::collections::hash_map::DefaultHasher;
@@ -91,8 +90,7 @@ mod tests {
         let ds = datasets::mondial::generate(&DatasetParams::tiny(1));
         let acc = majority_accuracy(&ds);
         let dist = ds.class_distribution();
-        let expect =
-            *dist.iter().max().unwrap() as f64 / ds.sample_count() as f64;
+        let expect = *dist.iter().max().unwrap() as f64 / ds.sample_count() as f64;
         assert!((acc - expect).abs() < 1e-12);
     }
 

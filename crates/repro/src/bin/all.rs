@@ -11,7 +11,9 @@ fn main() {
     println!("(equivalent to running table1…table6 and fig5 in sequence)");
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
-    for bin in ["table1", "table2", "table3", "table4", "table5", "table6", "fig5"] {
+    for bin in [
+        "table1", "table2", "table3", "table4", "table5", "table6", "fig5",
+    ] {
         let path = dir.join(bin);
         let status = std::process::Command::new(&path)
             .args(&args)

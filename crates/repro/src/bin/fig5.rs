@@ -42,7 +42,10 @@ fn main() {
                 let out = dynamic_experiment(
                     &ds,
                     method,
-                    DynamicSetup { ratio, one_by_one: true },
+                    DynamicSetup {
+                        ratio,
+                        one_by_one: true,
+                    },
                     &cfg,
                 );
                 print!("{:>9.1}%", out.accuracy_mean * 100.0);

@@ -13,7 +13,13 @@ fn main() {
     section("Table I — dataset structure (paper vs generated)");
     println!(
         "{:<12} {:<15} {:<13} {:>8} {:>10} {:>8} {:>11}",
-        "Dataset", "Prediction Rel.", "Pred. Attr.", "#Samples", "#Relations", "#Tuples", "#Attributes"
+        "Dataset",
+        "Prediction Rel.",
+        "Pred. Attr.",
+        "#Samples",
+        "#Relations",
+        "#Tuples",
+        "#Attributes"
     );
     let paper = datasets::stats::paper_table_one();
     for row in &paper {

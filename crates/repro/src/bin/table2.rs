@@ -18,20 +18,59 @@ fn main() {
     section("Table II — hyperparameters (paper defaults vs this run)");
     println!("FoRWaRD");
     println!("  {:<22} {:>10} {:>10}", "parameter", "paper", "this-run");
-    println!("  {:<22} {:>10} {:>10}", "embedding dim (d)", paper_fwd.dim, quick.fwd.dim);
-    println!("  {:<22} {:>10} {:>10}", "#samples (nsamples)", paper_fwd.nsamples, quick.fwd.nsamples);
-    println!("  {:<22} {:>10} {:>10}", "batch size", paper_fwd.batch_size, quick.fwd.batch_size);
-    println!("  {:<22} {:>10} {:>10}", "max walk len (lmax)", paper_fwd.max_walk_len, quick.fwd.max_walk_len);
-    println!("  {:<22} {:>10} {:>10}", "#epochs", paper_fwd.epochs, quick.fwd.epochs);
-    println!("  {:<22} {:>10} {:>10}", "nnew_samples", paper_fwd.nnew_samples, quick.fwd.nnew_samples);
+    println!(
+        "  {:<22} {:>10} {:>10}",
+        "embedding dim (d)", paper_fwd.dim, quick.fwd.dim
+    );
+    println!(
+        "  {:<22} {:>10} {:>10}",
+        "#samples (nsamples)", paper_fwd.nsamples, quick.fwd.nsamples
+    );
+    println!(
+        "  {:<22} {:>10} {:>10}",
+        "batch size", paper_fwd.batch_size, quick.fwd.batch_size
+    );
+    println!(
+        "  {:<22} {:>10} {:>10}",
+        "max walk len (lmax)", paper_fwd.max_walk_len, quick.fwd.max_walk_len
+    );
+    println!(
+        "  {:<22} {:>10} {:>10}",
+        "#epochs", paper_fwd.epochs, quick.fwd.epochs
+    );
+    println!(
+        "  {:<22} {:>10} {:>10}",
+        "nnew_samples", paper_fwd.nnew_samples, quick.fwd.nnew_samples
+    );
     println!("Node2Vec");
-    println!("  {:<22} {:>10} {:>10}", "embedding dim", paper_n2v.dim, quick.n2v.dim);
-    println!("  {:<22} {:>10} {:>10}", "#walks per node", paper_n2v.walks_per_node, quick.n2v.walks_per_node);
-    println!("  {:<22} {:>10} {:>10}", "#steps per walk", paper_n2v.walk_length, quick.n2v.walk_length);
-    println!("  {:<22} {:>10} {:>10}", "context window", paper_n2v.window, quick.n2v.window);
-    println!("  {:<22} {:>10} {:>10}", "#neg/#pos samples", paper_n2v.negatives, quick.n2v.negatives);
-    println!("  {:<22} {:>10} {:>10}", "#epochs", paper_n2v.epochs, quick.n2v.epochs);
-    println!("  {:<22} {:>10} {:>10}", "dynamic #epochs", paper_n2v.dynamic_epochs, quick.n2v.dynamic_epochs);
+    println!(
+        "  {:<22} {:>10} {:>10}",
+        "embedding dim", paper_n2v.dim, quick.n2v.dim
+    );
+    println!(
+        "  {:<22} {:>10} {:>10}",
+        "#walks per node", paper_n2v.walks_per_node, quick.n2v.walks_per_node
+    );
+    println!(
+        "  {:<22} {:>10} {:>10}",
+        "#steps per walk", paper_n2v.walk_length, quick.n2v.walk_length
+    );
+    println!(
+        "  {:<22} {:>10} {:>10}",
+        "context window", paper_n2v.window, quick.n2v.window
+    );
+    println!(
+        "  {:<22} {:>10} {:>10}",
+        "#neg/#pos samples", paper_n2v.negatives, quick.n2v.negatives
+    );
+    println!(
+        "  {:<22} {:>10} {:>10}",
+        "#epochs", paper_n2v.epochs, quick.n2v.epochs
+    );
+    println!(
+        "  {:<22} {:>10} {:>10}",
+        "dynamic #epochs", paper_n2v.dynamic_epochs, quick.n2v.dynamic_epochs
+    );
     note("Genes uses nsamples 1,000 / batch 10,000 / 10 epochs in the paper (ForwardConfig::paper_genes)");
     note("kernels: Gaussian (fitted variance) for numeric attributes, equality otherwise — paper §VI-C");
 }

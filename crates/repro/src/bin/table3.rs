@@ -29,7 +29,14 @@ fn main() {
     section("Table III — static classification accuracy");
     println!(
         "{:<12} {:>18} {:>18} | {:>8} {:>8} {:>8} | {:>9} {:>9}",
-        "Task", "FoRWaRD (ours)", "N2V (ours)", "FWD-ppr", "N2V-ppr", "SoA-ppr", "majority", "flat-LR"
+        "Task",
+        "FoRWaRD (ours)",
+        "N2V (ours)",
+        "FWD-ppr",
+        "N2V-ppr",
+        "SoA-ppr",
+        "majority",
+        "flat-LR"
     );
     for (name, fwd_paper, n2v_paper, soa_paper) in PAPER {
         if let Some(f) = &filter {
@@ -54,6 +61,8 @@ fn main() {
             flat * 100.0
         );
     }
-    note("shape expectations: both methods well above majority and flat baselines on every dataset;");
+    note(
+        "shape expectations: both methods well above majority and flat baselines on every dataset;",
+    );
     note("absolute values differ from the paper (synthetic datasets, CPU-scale configs).");
 }

@@ -38,7 +38,10 @@ fn main() {
             dynamic_experiment(
                 &ds,
                 method,
-                DynamicSetup { ratio: 0.10, one_by_one },
+                DynamicSetup {
+                    ratio: 0.10,
+                    one_by_one,
+                },
                 &cfg,
             )
         };

@@ -28,7 +28,10 @@ impl ExperimentConfig {
     /// identical, just bigger (pass `--full`).
     pub fn quick() -> Self {
         ExperimentConfig {
-            data: DatasetParams { scale: 0.25, ..DatasetParams::default() },
+            data: DatasetParams {
+                scale: 0.25,
+                ..DatasetParams::default()
+            },
             fwd: ForwardConfig {
                 dim: 32,
                 max_walk_len: 2,
@@ -37,7 +40,11 @@ impl ExperimentConfig {
                 batch_size: 1, // pure SGD works best at this scale
                 learning_rate: 0.1,
                 nnew_samples: 12,
-                kd: KdOptions { exact_limit: 128, mc_pairs: 24, max_attempts: 6 },
+                kd: KdOptions {
+                    exact_limit: 128,
+                    mc_pairs: 24,
+                    max_attempts: 6,
+                },
                 ..ForwardConfig::small()
             },
             n2v: Node2VecConfig {
@@ -132,11 +139,10 @@ mod tests {
 
     #[test]
     fn arg_parsing() {
-        let args: Vec<String> =
-            ["--seed", "7", "--scale", "0.3", "--dataset", "genes"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+        let args: Vec<String> = ["--seed", "7", "--scale", "0.3", "--dataset", "genes"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let cfg = ExperimentConfig::from_args(&args);
         assert_eq!(cfg.seed, 7);
         assert!((cfg.data.scale - 0.3).abs() < 1e-12);

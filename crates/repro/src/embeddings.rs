@@ -4,8 +4,7 @@ use crate::ExperimentConfig;
 use datasets::Dataset;
 use reldb::{Database, FactId};
 use stembed_core::{
-    CoreError, ForwardEmbedder, Node2VecEmbedder, TupleEmbedder,
-    embedder::ExtendMode,
+    embedder::ExtendMode, CoreError, ForwardEmbedder, Node2VecEmbedder, TupleEmbedder,
 };
 
 /// Which embedding algorithm to run.
@@ -52,9 +51,12 @@ impl AnyEmbedder {
         mode: ExtendMode,
     ) -> Result<Self, CoreError> {
         match method {
-            Method::Forward => Ok(AnyEmbedder::Forward(Box::new(
-                ForwardEmbedder::train(db, ds.prediction_rel, &cfg.fwd, seed)?,
-            ))),
+            Method::Forward => Ok(AnyEmbedder::Forward(Box::new(ForwardEmbedder::train(
+                db,
+                ds.prediction_rel,
+                &cfg.fwd,
+                seed,
+            )?))),
             Method::Node2Vec => Ok(AnyEmbedder::Node2Vec(Box::new(
                 Node2VecEmbedder::train(db, &cfg.n2v, seed).with_mode(mode),
             ))),
@@ -108,15 +110,8 @@ mod tests {
         let ds = datasets::world::generate(&DatasetParams::tiny(3));
         let cfg = ExperimentConfig::quick();
         for method in Method::all() {
-            let emb = AnyEmbedder::train(
-                method,
-                &ds.db,
-                &ds,
-                &cfg,
-                1,
-                ExtendMode::OneByOne,
-            )
-            .unwrap();
+            let emb =
+                AnyEmbedder::train(method, &ds.db, &ds, &cfg, 1, ExtendMode::OneByOne).unwrap();
             let facts: Vec<FactId> = ds.labels.iter().map(|(f, _)| *f).collect();
             let x = emb.features(&facts);
             assert_eq!(x.len(), ds.sample_count());

@@ -24,13 +24,18 @@ use ml::{accuracy, cross_validate, OneVsRest, RbfSvm, StandardScaler, SvmParams}
 /// dual to convergence; simplified SMO stops earlier). The comparison
 /// between embedding methods is unaffected — both use the same classifier.
 fn svm_params(seed: u64) -> SvmParams {
-    SvmParams { c: 10.0, max_passes: 5, max_iter: 400, seed, ..SvmParams::default() }
+    SvmParams {
+        c: 10.0,
+        max_passes: 5,
+        max_iter: 400,
+        seed,
+        ..SvmParams::default()
+    }
 }
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use reldb::{cascade_delete, restore_journal, DeletionJournal, FactId};
-use stembed_core::embedder::ExtendMode;
 use std::time::Instant;
+use stembed_core::embedder::ExtendMode;
+use stembed_runtime::rng::DetRng;
 
 /// Train an RBF-SVM (one-vs-rest) and return test accuracy.
 fn svm_fold(
@@ -43,9 +48,7 @@ fn svm_fold(
 ) -> f64 {
     let xt: Vec<Vec<f64>> = train.iter().map(|&i| x[i].clone()).collect();
     let yt: Vec<usize> = train.iter().map(|&i| y[i]).collect();
-    let model = OneVsRest::fit(&xt, &yt, classes, || {
-        RbfSvm::new(svm_params(seed))
-    });
+    let model = OneVsRest::fit(&xt, &yt, classes, || RbfSvm::new(svm_params(seed)));
     let preds: Vec<usize> = test.iter().map(|&i| model.predict(&x[i])).collect();
     let truth: Vec<usize> = test.iter().map(|&i| y[i]).collect();
     accuracy(&preds, &truth)
@@ -130,7 +133,7 @@ fn stratified_new_set(
     labels: &[(FactId, usize)],
     classes: usize,
     ratio: f64,
-    rng: &mut StdRng,
+    rng: &mut DetRng,
 ) -> Vec<FactId> {
     let mut per_class: Vec<Vec<FactId>> = vec![Vec::new(); classes];
     for (f, c) in labels {
@@ -187,7 +190,7 @@ fn dynamic_once(
     seed: u64,
 ) -> (f64, f64, f64) {
     let mut db = ds.db.clone();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
 
     // Step 1: stratified partition + cascading removal (random order).
     let mut new_facts = stratified_new_set(&ds.labels, ds.class_count(), setup.ratio, &mut rng);
@@ -202,7 +205,11 @@ fn dynamic_once(
     }
 
     // Step 2: static embedding of the reduced database.
-    let mode = if setup.one_by_one { ExtendMode::OneByOne } else { ExtendMode::AllAtOnce };
+    let mode = if setup.one_by_one {
+        ExtendMode::OneByOne
+    } else {
+        ExtendMode::AllAtOnce
+    };
     let t0 = Instant::now();
     let mut emb = AnyEmbedder::train(method, &db, ds, cfg, seed, mode)
         .expect("static training on the old partition");
@@ -238,7 +245,8 @@ fn dynamic_once(
             all_restored.extend(restore_journal(&mut db, journal).expect("restore"));
         }
         let t = Instant::now();
-        emb.extend(&db, &all_restored, seed ^ 0xd1a).expect("extend");
+        emb.extend(&db, &all_restored, seed ^ 0xd1a)
+            .expect("extend");
         extend_time += t.elapsed().as_secs_f64();
     }
 
@@ -320,7 +328,10 @@ mod tests {
                 let out = dynamic_experiment(
                     &ds,
                     method,
-                    DynamicSetup { ratio: 0.2, one_by_one },
+                    DynamicSetup {
+                        ratio: 0.2,
+                        one_by_one,
+                    },
                     &cfg,
                 );
                 assert!(
@@ -336,9 +347,8 @@ mod tests {
     #[test]
     fn stratified_new_set_respects_ratio_and_classes() {
         let ds = datasets::hepatitis::generate(&DatasetParams::tiny(3));
-        let mut rng = StdRng::seed_from_u64(1);
-        let new_set =
-            stratified_new_set(&ds.labels, ds.class_count(), 0.3, &mut rng);
+        let mut rng = DetRng::seed_from_u64(1);
+        let new_set = stratified_new_set(&ds.labels, ds.class_count(), 0.3, &mut rng);
         let frac = new_set.len() as f64 / ds.sample_count() as f64;
         assert!((0.2..0.4).contains(&frac), "fraction {frac}");
         // Every class retains at least one old tuple.

@@ -1,0 +1,245 @@
+//! Shard-based deterministic parallel maps on a persistent worker pool.
+//!
+//! The runtime never hands code a "thread id": work is expressed as a map
+//! over items (or fixed-size chunks of items), results come back **in item
+//! order**, and any shard count produces the same output. Threads only
+//! decide *when* a chunk runs, never *what* it computes — combined with
+//! [`crate::seed::stream_rng`] keyed on item indices, this is what makes
+//! every parallel layer of the workspace bit-reproducible.
+//!
+//! Execution runs on the process-wide [`crate::pool`]: workers are spawned
+//! once and parked between jobs, and the calling thread always participates
+//! in the work, so small parallel regions cost microseconds (not the tens
+//! of microseconds per worker that per-call `std::thread::scope` spawning
+//! would) and sequential fallback is automatic whenever the pool is busy.
+
+use crate::pool::Pool;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Environment variable overriding the default shard count.
+pub const SHARDS_ENV: &str = "STEMBED_SHARDS";
+
+/// A parallel execution context with a fixed shard count.
+///
+/// Cheap to copy; holds no threads of its own. Work executes on the
+/// process-wide persistent pool (plus the calling thread), with borrowed
+/// closures joined before each call returns — so borrowing local data in
+/// the map closure works naturally and no pool lifecycle management is
+/// needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Runtime {
+    shards: usize,
+}
+
+impl Runtime {
+    /// Runtime with exactly `shards` workers (clamped to at least 1).
+    pub fn new(shards: usize) -> Self {
+        Runtime {
+            shards: shards.clamp(1, 1024),
+        }
+    }
+
+    /// Sequential runtime (one shard). Handy for baselines and bisection.
+    pub fn single() -> Self {
+        Runtime::new(1)
+    }
+
+    /// Shard count from `STEMBED_SHARDS`, else the machine's available
+    /// parallelism, else 1. A numeric `STEMBED_SHARDS` is clamped exactly
+    /// like [`Runtime::new`] (so `0` means sequential, not "auto");
+    /// non-numeric values fall back to the machine default.
+    pub fn from_env() -> Self {
+        let shards = std::env::var(SHARDS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Runtime::new(shards)
+    }
+
+    /// Number of shards this runtime schedules over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Threads that actually execute: requested shards, capped by the
+    /// machine's parallelism — extra workers on an oversubscribed box only
+    /// thrash. Output never depends on this (streams are keyed by item, not
+    /// by thread), so the cap is a pure scheduling decision.
+    fn effective_workers(&self, n_chunks: usize) -> usize {
+        static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        let cores = *CORES.get_or_init(|| {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        self.shards.min(cores).min(n_chunks.max(1))
+    }
+
+    /// Parallel map over `items`, returning per-item results **in item
+    /// order**. `f` receives the item index and the item; it must depend
+    /// only on those (derive RNG streams from the index), which makes the
+    /// output independent of the shard count.
+    pub fn par_map_ordered<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.effective_workers(n);
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        // Small chunks give the atomic-counter scheduler room to balance
+        // skewed item costs; per-item results make the chunking invisible.
+        let chunk = n.div_ceil(workers * 4).max(1);
+        let per_chunk = self.run_chunked(n, chunk, workers, |lo, hi| {
+            (lo..hi).map(|i| f(i, &items[i])).collect::<Vec<R>>()
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+
+    /// Parallel map over **fixed-size** chunks of `items`: `f` receives the
+    /// chunk index and the chunk slice, results come back in chunk order.
+    ///
+    /// Use this (with a `chunk_size` that is a constant of the algorithm,
+    /// *not* derived from the shard count) when per-chunk results are merged
+    /// by a non-associative reduction such as floating-point accumulation:
+    /// fixed boundaries + ordered merge ⇒ bit-identical totals at any shard
+    /// count.
+    pub fn par_chunks_map<T, R, F>(&self, items: &[T], chunk_size: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        let n = items.len();
+        let chunk = chunk_size.max(1);
+        let n_chunks = n.div_ceil(chunk);
+        let workers = self.effective_workers(n_chunks);
+        if workers <= 1 {
+            return (0..n_chunks)
+                .map(|c| f(c, &items[c * chunk..((c + 1) * chunk).min(n)]))
+                .collect();
+        }
+        self.run_chunked(n, chunk, workers, |lo, hi| f(lo / chunk, &items[lo..hi]))
+    }
+
+    /// Shared scheduler: splits `0..n` into `chunk`-sized ranges, lets the
+    /// calling thread plus `workers - 1` pool helpers claim ranges from an
+    /// atomic counter, and returns the per-range results sorted back into
+    /// range order.
+    fn run_chunked<R, F>(&self, n: usize, chunk: usize, workers: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, usize) -> R + Sync,
+    {
+        let n_chunks = n.div_ceil(chunk);
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n_chunks));
+        let work = || loop {
+            let c = next.fetch_add(1, Ordering::Relaxed);
+            if c >= n_chunks {
+                break;
+            }
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(n);
+            let out = f(lo, hi);
+            results.lock().expect("result sink poisoned").push((c, out));
+        };
+        Pool::global().run(workers - 1, &work);
+        let mut results = results.into_inner().expect("result sink poisoned");
+        results.sort_unstable_by_key(|(c, _)| *c);
+        results.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Runtime::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seed::stream_rng;
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let rt = Runtime::new(8);
+        let out = rt.par_map_ordered(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shard_count_does_not_change_output() {
+        let items: Vec<u64> = (0..500).collect();
+        let run = |shards: usize| {
+            Runtime::new(shards).par_map_ordered(&items, |i, _| {
+                let mut rng = stream_rng(99, i as u64);
+                rng.next_u64()
+            })
+        };
+        let base = run(1);
+        for shards in [2, 3, 8, 16] {
+            assert_eq!(run(shards), base, "shards={shards} diverged");
+        }
+    }
+
+    #[test]
+    fn chunked_map_has_fixed_boundaries() {
+        let items: Vec<f64> = (0..1003).map(|i| (i as f64).sin()).collect();
+        let run = |shards: usize| -> Vec<f64> {
+            Runtime::new(shards).par_chunks_map(&items, 64, |_c, chunk| chunk.iter().sum::<f64>())
+        };
+        let base = run(1);
+        for shards in [2, 4, 8] {
+            let got = run(shards);
+            assert_eq!(got.len(), base.len());
+            // Bit-identical partial sums: same chunks, same order.
+            for (a, b) in got.iter().zip(&base) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let rt = Runtime::new(8);
+        let empty: Vec<u32> = Vec::new();
+        assert!(rt.par_map_ordered(&empty, |_, &x| x).is_empty());
+        assert_eq!(rt.par_map_ordered(&[7u32], |_, &x| x + 1), vec![8]);
+        assert!(rt.par_chunks_map(&empty, 16, |_, c| c.len()).is_empty());
+    }
+
+    #[test]
+    fn single_runtime_is_sequential() {
+        assert_eq!(Runtime::single().shards(), 1);
+        assert_eq!(Runtime::new(0).shards(), 1, "clamped to 1");
+    }
+
+    #[test]
+    fn pooled_scheduler_is_exercised_regardless_of_core_count() {
+        // `effective_workers` caps at the machine's parallelism, so on a
+        // 1-core box the public API never reaches the pool. Drive the
+        // scheduler directly with forced workers to keep the pooled path
+        // covered everywhere.
+        let rt = Runtime::new(4);
+        let got = rt.run_chunked(100, 7, 4, |lo, hi| (lo, hi));
+        let want: Vec<(usize, usize)> = (0..100usize.div_ceil(7))
+            .map(|c| (c * 7, (c * 7 + 7).min(100)))
+            .collect();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,279 @@
+//! The persistent worker pool behind [`crate::Runtime`].
+//!
+//! Spawning OS threads per parallel call (`std::thread::scope`) costs tens
+//! of microseconds per worker — more than many of the workspace's
+//! fine-grained parallel regions (an eligibility probe over a small
+//! relation, one minibatch's gradient chunks). The pool spawns workers
+//! once, parks them on a condvar, and hands them type-erased jobs.
+//!
+//! Scheduling model, chosen so the *caller always makes progress*:
+//!
+//! 1. The submitting thread publishes a job asking for `helpers` assistants
+//!    and then **runs the work closure itself**. The closure drains a shared
+//!    chunk queue, so the caller alone can finish the whole job.
+//! 2. Parked workers claim helper slots and run the same closure
+//!    concurrently.
+//! 3. When the caller's own run returns, it revokes all *unclaimed* helper
+//!    slots and waits only for helpers that actually started. No worker
+//!    availability is ever required for completion — nested parallel calls
+//!    and a fully-busy pool degrade to sequential execution instead of
+//!    deadlocking.
+//!
+//! Safety: the job holds a `&'static`-transmuted reference to the caller's
+//! stack closure. The submitting thread does not return from
+//! [`Pool::run`] until every claimed helper has finished (`active == 0`)
+//! and the job is unpublished, so no worker can observe the reference after
+//! the borrow ends — the same guarantee `std::thread::scope` provides,
+//! amortised over one long-lived pool.
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread;
+
+type Work<'a> = dyn Fn() + Sync + 'a;
+
+struct Job {
+    /// Lifetime-erased pointer to the caller's work closure; valid until
+    /// the job is removed from the queue (enforced by `Pool::run`).
+    work: &'static Work<'static>,
+    /// Helper slots still up for grabs.
+    unclaimed: usize,
+    /// Helpers currently inside `work`.
+    active: usize,
+    /// A helper's `work` invocation panicked.
+    poisoned: bool,
+}
+
+#[derive(Default)]
+struct State {
+    /// Live jobs by id. Multiple jobs coexist when several threads (or
+    /// nested regions) submit concurrently.
+    jobs: HashMap<u64, Job>,
+    next_id: u64,
+    /// Worker threads spawned so far.
+    workers: usize,
+    /// Workers currently parked on `work_cv`. New threads are spawned only
+    /// when a job asks for more helpers than are parked, so the pool stops
+    /// growing once it matches the steady-state demand.
+    idle: usize,
+}
+
+/// Process-wide persistent worker pool.
+pub(crate) struct Pool {
+    state: Mutex<State>,
+    /// Wakes parked workers when a job arrives.
+    work_cv: Condvar,
+    /// Wakes submitters when one of their helpers finishes.
+    done_cv: Condvar,
+}
+
+/// Hard cap on pool threads; shard counts beyond this only affect chunk
+/// scheduling, not worker count.
+const MAX_WORKERS: usize = 256;
+
+impl Pool {
+    /// The process-wide pool.
+    pub(crate) fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| Pool {
+            state: Mutex::new(State::default()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        })
+    }
+
+    /// Run `work` on the calling thread plus up to `helpers` pool workers;
+    /// returns after every participant has finished. `work` must be safe to
+    /// execute concurrently from several threads (it drains a shared queue).
+    ///
+    /// Panic behaviour matches `std::thread::scope`: if the caller's own
+    /// `work` run panics, helpers are still joined before the unwind leaves
+    /// this frame; if a helper panics, this function panics after joining.
+    pub(crate) fn run<'a>(&'static self, helpers: usize, work: &'a Work<'a>) {
+        if helpers == 0 {
+            work();
+            return;
+        }
+        // SAFETY: the reference is only dereferenced by helpers between
+        // claim and completion, and `JoinGuard` (even on unwind) does not
+        // let this frame die until `active == 0` with the job unpublished.
+        // The closure therefore outlives every use, exactly as under
+        // `std::thread::scope`.
+        let work_static: &'static Work<'static> = unsafe { std::mem::transmute(work) };
+        let id;
+        {
+            let mut st = self.state.lock().expect("pool state");
+            id = st.next_id;
+            st.next_id += 1;
+            st.jobs.insert(
+                id,
+                Job {
+                    work: work_static,
+                    unclaimed: helpers,
+                    active: 0,
+                    poisoned: false,
+                },
+            );
+            // Reuse parked workers first; only spawn for the shortfall.
+            let deficit = helpers
+                .saturating_sub(st.idle)
+                .min(MAX_WORKERS.saturating_sub(st.workers));
+            for _ in 0..deficit {
+                st.workers += 1;
+                thread::Builder::new()
+                    .name("stembed-runtime-worker".into())
+                    .spawn(move || Pool::global().worker_loop())
+                    .expect("spawn pool worker");
+            }
+            let wake = helpers.min(st.idle);
+            drop(st);
+            // Wake only as many parked workers as this job can seat —
+            // notify_all would stampede the whole pool at every submission.
+            for _ in 0..wake {
+                self.work_cv.notify_one();
+            }
+        }
+
+        let guard = JoinGuard { pool: self, id };
+        // The caller works too — completion never depends on pool capacity.
+        work();
+        drop(guard); // joins helpers; re-raises a helper panic
+    }
+
+    /// Revoke unclaimed helper slots, wait for active helpers, unpublish
+    /// the job. Returns whether any helper panicked.
+    fn finish(&self, id: u64) -> bool {
+        let mut st = self.state.lock().expect("pool state");
+        // Revoke helper slots nobody claimed: the queue is drained, late
+        // arrivals would find nothing to do.
+        if let Some(job) = st.jobs.get_mut(&id) {
+            job.unclaimed = 0;
+        }
+        loop {
+            let done = st.jobs.get(&id).is_none_or(|job| job.active == 0);
+            if done {
+                return st.jobs.remove(&id).map(|job| job.poisoned).unwrap_or(false);
+            }
+            st = self.done_cv.wait(st).expect("pool state");
+        }
+    }
+
+    fn worker_loop(&'static self) {
+        let mut st = self.state.lock().expect("pool state");
+        loop {
+            if let Some((&id, job)) = st.jobs.iter_mut().find(|(_, job)| job.unclaimed > 0) {
+                job.unclaimed -= 1;
+                job.active += 1;
+                let work = job.work;
+                drop(st);
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(work));
+                st = self.state.lock().expect("pool state");
+                if let Some(job) = st.jobs.get_mut(&id) {
+                    job.active -= 1;
+                    if outcome.is_err() {
+                        job.poisoned = true;
+                    }
+                    if job.active == 0 && job.unclaimed == 0 {
+                        self.done_cv.notify_all();
+                    }
+                }
+            } else {
+                st.idle += 1;
+                st = self.work_cv.wait(st).expect("pool state");
+                st.idle -= 1;
+            }
+        }
+    }
+}
+
+/// Joins a job's helpers when dropped — on the normal path and on unwind.
+struct JoinGuard {
+    pool: &'static Pool,
+    id: u64,
+}
+
+impl Drop for JoinGuard {
+    fn drop(&mut self) {
+        let poisoned = self.pool.finish(self.id);
+        if poisoned && !thread::panicking() {
+            panic!("stembed-runtime pool worker panicked");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn caller_completes_even_with_zero_helpers() {
+        let counter = AtomicUsize::new(0);
+        Pool::global().run(0, &|| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn helpers_share_a_chunk_queue() {
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let work = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= 1000 {
+                break;
+            }
+            done.fetch_add(1, Ordering::Relaxed);
+        };
+        Pool::global().run(3, &work);
+        assert_eq!(done.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn concurrent_submitters_do_not_interfere() {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                thread::spawn(|| {
+                    let next = AtomicUsize::new(0);
+                    let sum = AtomicUsize::new(0);
+                    let work = || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= 100 {
+                            break;
+                        }
+                        sum.fetch_add(i, Ordering::Relaxed);
+                    };
+                    Pool::global().run(2, &work);
+                    sum.load(Ordering::Relaxed)
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 99 * 100 / 2);
+        }
+    }
+
+    #[test]
+    fn nested_runs_make_progress() {
+        let total = AtomicUsize::new(0);
+        let outer_next = AtomicUsize::new(0);
+        let outer = || loop {
+            let i = outer_next.fetch_add(1, Ordering::Relaxed);
+            if i >= 4 {
+                break;
+            }
+            let inner_next = AtomicUsize::new(0);
+            let inner = || loop {
+                let j = inner_next.fetch_add(1, Ordering::Relaxed);
+                if j >= 10 {
+                    break;
+                }
+                total.fetch_add(1, Ordering::Relaxed);
+            };
+            Pool::global().run(2, &inner);
+        };
+        Pool::global().run(2, &outer);
+        assert_eq!(total.load(Ordering::Relaxed), 40);
+    }
+}

@@ -4,20 +4,20 @@
 //!
 //! Run with: `cargo run --release --example column_prediction`
 
-use rand::SeedableRng;
 use stembed::core::{ForwardConfig, ForwardEmbedder, Node2VecEmbedder, TupleEmbedder};
 use stembed::datasets::{self, DatasetParams};
 use stembed::ml::{
-    accuracy, majority_class, stratified_kfold, OneVsRest, RbfSvm, StandardScaler,
-    SvmParams,
+    accuracy, majority_class, stratified_kfold, OneVsRest, RbfSvm, StandardScaler, SvmParams,
 };
 use stembed::node2vec::Node2VecConfig;
 
 fn main() {
-    let _rng = rand::rngs::StdRng::seed_from_u64(0);
     // A small Hepatitis-like database: predict the hepatitis type of a
     // patient from examinations stored in *other* relations.
-    let params = DatasetParams { scale: 0.15, ..DatasetParams::default() };
+    let params = DatasetParams {
+        scale: 0.15,
+        ..DatasetParams::default()
+    };
     let ds = datasets::hepatitis::generate(&params);
     println!(
         "Hepatitis-like database: {} tuples over {} relations; predicting {} classes for {} patients",
@@ -35,7 +35,11 @@ fn main() {
     let fwd = ForwardEmbedder::train(
         &ds.db,
         ds.prediction_rel,
-        &ForwardConfig { dim: 24, epochs: 12, ..ForwardConfig::small() },
+        &ForwardConfig {
+            dim: 24,
+            epochs: 12,
+            ..ForwardConfig::small()
+        },
         7,
     )
     .expect("FoRWaRD training");
@@ -49,15 +53,16 @@ fn main() {
         let folds = stratified_kfold(&labels, 5, 3);
         let mut scores = Vec::new();
         for test in &folds {
-            let train: Vec<usize> =
-                (0..labels.len()).filter(|i| !test.contains(i)).collect();
+            let train: Vec<usize> = (0..labels.len()).filter(|i| !test.contains(i)).collect();
             let xt: Vec<Vec<f64>> = train.iter().map(|&i| x[i].clone()).collect();
             let yt: Vec<usize> = train.iter().map(|&i| labels[i]).collect();
             let model = OneVsRest::fit(&xt, &yt, ds.class_count(), || {
-                RbfSvm::new(SvmParams { c: 10.0, ..SvmParams::default() })
+                RbfSvm::new(SvmParams {
+                    c: 10.0,
+                    ..SvmParams::default()
+                })
             });
-            let preds: Vec<usize> =
-                test.iter().map(|&i| model.predict(&x[i])).collect();
+            let preds: Vec<usize> = test.iter().map(|&i| model.predict(&x[i])).collect();
             let truth: Vec<usize> = test.iter().map(|&i| labels[i]).collect();
             scores.push(accuracy(&preds, &truth));
         }
@@ -72,6 +77,10 @@ fn main() {
 fn collect(emb: &dyn TupleEmbedder, ds: &stembed::datasets::Dataset) -> Vec<Vec<f64>> {
     ds.labels
         .iter()
-        .map(|(f, _)| emb.embedding(*f).expect("labelled facts are embedded").to_vec())
+        .map(|(f, _)| {
+            emb.embedding(*f)
+                .expect("labelled facts are embedded")
+                .to_vec()
+        })
         .collect()
 }

@@ -6,18 +6,20 @@
 //!
 //! Run with: `cargo run --release --example dynamic_stability`
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use stembed::core::{ForwardConfig, ForwardEmbedder, TupleEmbedder};
 use stembed::datasets::{self, DatasetParams};
 use stembed::ml::{accuracy, OneVsRest, RbfSvm, StandardScaler, SvmParams};
 use stembed::reldb::{cascade_delete, restore_journal};
+use stembed_runtime::rng::DetRng;
 
 fn main() {
-    let params = DatasetParams { scale: 0.15, ..DatasetParams::default() };
+    let params = DatasetParams {
+        scale: 0.15,
+        ..DatasetParams::default()
+    };
     let ds = datasets::mutagenesis::generate(&params);
     let mut db = ds.db.clone();
-    let mut rng = StdRng::seed_from_u64(11);
+    let mut rng = DetRng::seed_from_u64(11);
 
     // Remove 30% of the molecules with On-Delete-Cascade (atoms and bonds
     // go with them), journalling every removal.
@@ -39,25 +41,35 @@ fn main() {
     );
 
     // Static phase + classifier on the old tuples.
-    let cfg = ForwardConfig { dim: 24, epochs: 12, ..ForwardConfig::small() };
-    let mut emb = ForwardEmbedder::train(&db, ds.prediction_rel, &cfg, 3)
-        .expect("static training");
+    let cfg = ForwardConfig {
+        dim: 24,
+        epochs: 12,
+        ..ForwardConfig::small()
+    };
+    let mut emb = ForwardEmbedder::train(&db, ds.prediction_rel, &cfg, 3).expect("static training");
     let old: Vec<_> = ds
         .labels
         .iter()
         .filter(|(f, _)| new_tuples.iter().all(|(g, _)| g != f))
         .cloned()
         .collect();
-    let x_old: Vec<Vec<f64>> =
-        old.iter().map(|(f, _)| emb.embedding(*f).unwrap().to_vec()).collect();
+    let x_old: Vec<Vec<f64>> = old
+        .iter()
+        .map(|(f, _)| emb.embedding(*f).unwrap().to_vec())
+        .collect();
     let y_old: Vec<usize> = old.iter().map(|(_, c)| *c).collect();
     let (scaler, x_old) = StandardScaler::fit_transform(&x_old);
     let model = OneVsRest::fit(&x_old, &y_old, ds.class_count(), || {
-        RbfSvm::new(SvmParams { c: 10.0, ..SvmParams::default() })
+        RbfSvm::new(SvmParams {
+            c: 10.0,
+            ..SvmParams::default()
+        })
     });
 
-    let snapshot: Vec<(_, Vec<f64>)> =
-        old.iter().map(|(f, _)| (*f, emb.embedding(*f).unwrap().to_vec())).collect();
+    let snapshot: Vec<(_, Vec<f64>)> = old
+        .iter()
+        .map(|(f, _)| (*f, emb.embedding(*f).unwrap().to_vec()))
+        .collect();
 
     // Dynamic phase: one-by-one re-insertion in inverse deletion order.
     for journal in journals.iter().rev() {
@@ -70,7 +82,10 @@ fn main() {
     for (f, before) in &snapshot {
         assert_eq!(emb.embedding(*f).unwrap(), before.as_slice());
     }
-    println!("Stability: all {} old vectors bit-identical ✓", snapshot.len());
+    println!(
+        "Stability: all {} old vectors bit-identical ✓",
+        snapshot.len()
+    );
 
     // (b) Quality on the new tuples.
     let preds: Vec<usize> = new_tuples

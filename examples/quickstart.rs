@@ -16,13 +16,21 @@ fn main() {
     // Static phase.
     // ---------------------------------------------------------------
     let (mut db, ids) = movies_database_labeled();
-    println!("Movie database (Figure 2): {} facts over {} relations\n", db.total_facts(), db.schema().relation_count());
+    println!(
+        "Movie database (Figure 2): {} facts over {} relations\n",
+        db.total_facts(),
+        db.schema().relation_count()
+    );
     println!("{}", db.schema());
 
     let actors = db.schema().relation_id("ACTORS").expect("ACTORS exists");
-    let config = ForwardConfig { dim: 16, epochs: 8, nsamples: 40, ..ForwardConfig::small() };
-    let mut embedding =
-        ForwardEmbedding::train(&db, actors, &config, 42).expect("static training");
+    let config = ForwardConfig {
+        dim: 16,
+        epochs: 8,
+        nsamples: 40,
+        ..ForwardConfig::small()
+    };
+    let mut embedding = ForwardEmbedding::train(&db, actors, &config, 42).expect("static training");
     println!(
         "Trained FoRWaRD embedding: {} actors → R^{}, {} walk-scheme targets, final loss {:.4}",
         embedding.len(),
@@ -38,7 +46,10 @@ fn main() {
     // referencing them (the paper's batch-arrival scenario).
     // ---------------------------------------------------------------
     let new_actor = db
-        .insert_into("ACTORS", vec!["a06".into(), "Robbie".into(), Value::Int(60)])
+        .insert_into(
+            "ACTORS",
+            vec!["a06".into(), "Robbie".into(), Value::Int(60)],
+        )
         .expect("insert actor");
     db.insert_into(
         "COLLABORATIONS",
@@ -47,7 +58,9 @@ fn main() {
     .expect("insert collaboration");
     println!("\nInserted new actor a06 (Robbie) and collaboration (a01, a06, m06).");
 
-    let norm = embedding.extend(&db, new_actor, 7).expect("dynamic extension");
+    let norm = embedding
+        .extend(&db, new_actor, 7)
+        .expect("dynamic extension");
     println!("Extended the embedding by solving C·ϕ(f_new) = b (‖ϕ‖ = {norm:.3}).");
 
     // ---------------------------------------------------------------

@@ -4,9 +4,7 @@
 //! Run with: `cargo run --release --example walk_schemes`
 
 use stembed::core::schemes::enumerate_schemes;
-use stembed::core::walkdist::{
-    destination_distribution, destination_value_distribution,
-};
+use stembed::core::walkdist::{destination_distribution, destination_value_distribution};
 use stembed::reldb::movies::movies_database_labeled;
 
 fn main() {
@@ -44,7 +42,10 @@ fn main() {
                 == "ACTORS[aid]—COLLABORATIONS[actor1], COLLABORATIONS[movie]—MOVIES[mid]"
         })
         .expect("the Example 5.2 scheme exists");
-    println!("Example 5.2 — destinations of walks from a1 along\n  {}:", s5.display(schema));
+    println!(
+        "Example 5.2 — destinations of walks from a1 along\n  {}:",
+        s5.display(schema)
+    );
     let dist = destination_distribution(&db, s5, ids["a1"], 64).unwrap();
     for (fact, p) in &dist.support {
         let title = db.fact(*fact).unwrap().get(2);

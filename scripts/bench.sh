@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Record the static-embedding benchmark (Table V + runtime shard scaling)
+# into BENCH_static_embed.json at the repo root, so the perf trajectory of
+# the workspace is tracked across PRs.
+#
+# Usage: scripts/bench.sh [extra cargo-bench args]
+#
+# The `forward_shards` group trains the same FoRWaRD embedding at 1/2/4/8
+# shards; outputs are bit-identical (tests/determinism.rs), only wall-clock
+# may move. NOTE: the observable speedup is bounded by the machine —
+# `nproc` cores cap the effective worker count, so a 1-core container
+# reports a ratio of ~1.0 by construction.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_static_embed.json}"
+case "$OUT" in
+  /*) ABS_OUT="$OUT" ;;
+  *) ABS_OUT="$PWD/$OUT" ;;
+esac
+
+echo "machine: $(nproc) core(s)"
+STEMBED_BENCH_JSON="$ABS_OUT" cargo bench -p bench --bench static_embed "$@"
+
+python3 - "$ABS_OUT" <<'EOF'
+import json, os, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    results = json.load(f)
+
+# Append machine context so the JSON is self-describing across runs.
+report = {
+    "bench": "static_embed",
+    "cores": os.cpu_count(),
+    "results": results,
+}
+with open(path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+
+shard = {
+    r["id"].split("/")[-1]: r["median_ns"]
+    for r in results
+    if r["group"] == "forward_shards"
+}
+if "1" in shard and "4" in shard:
+    ratio = shard["1"] / shard["4"]
+    print(f"\nforward_shards: 4-shard speedup over 1 shard = {ratio:.2f}x "
+          f"(on {os.cpu_count()} core(s); >=2x expected from 4+ cores)")
+print(f"wrote {path}")
+EOF

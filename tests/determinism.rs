@@ -1,0 +1,182 @@
+//! Thread-count invariance: the same master seed must produce
+//! **bit-identical** results at 1, 2, and 8 runtime shards, for every
+//! randomised pipeline in the workspace. This is the contract that makes
+//! the parallel runtime safe to scale: the shard count is a pure
+//! performance knob, never a semantics knob.
+//!
+//! The mechanism under test (see `stembed-runtime`): RNG streams are
+//! derived per logical item (start node, target, chunk), parallel maps
+//! return results in item order, and floating-point reductions merge
+//! fixed-size chunks in chunk order.
+
+use stembed::core::{ForwardConfig, ForwardEmbedding};
+use stembed::dbgraph::{DbGraph, NodeId, WalkConfig, Walker};
+use stembed::node2vec::{Node2VecConfig, Node2VecModel};
+use stembed::reldb::{cascade_delete, restore_journal};
+use stembed::runtime::Runtime;
+
+const SHARDS: [usize; 3] = [1, 2, 8];
+
+fn movies() -> (
+    stembed::reldb::Database,
+    std::collections::HashMap<&'static str, stembed::reldb::FactId>,
+) {
+    stembed::reldb::movies::movies_database_labeled()
+}
+
+#[test]
+fn walk_corpus_is_bit_identical_across_shard_counts() {
+    let (db, _) = movies();
+    let g = DbGraph::build(&db);
+    let cfg = WalkConfig {
+        walks_per_node: 12,
+        walk_length: 10,
+        p: 0.7,
+        q: 1.4,
+    };
+    let corpora: Vec<_> = SHARDS
+        .iter()
+        .map(|&s| Walker::with_runtime(g.graph(), cfg.clone(), 2023, Runtime::new(s)).corpus())
+        .collect();
+    assert!(!corpora[0].is_empty());
+    for (i, c) in corpora.iter().enumerate().skip(1) {
+        assert_eq!(c.walks, corpora[0].walks, "shards={} diverged", SHARDS[i]);
+    }
+}
+
+#[test]
+fn forward_training_is_bit_identical_across_shard_counts() {
+    let (db, _) = movies();
+    let actors = db.schema().relation_id("ACTORS").unwrap();
+    let cfg = ForwardConfig {
+        dim: 12,
+        epochs: 5,
+        nsamples: 30,
+        batch_size: 8, // exercise the parallel minibatch reduction
+        ..ForwardConfig::small()
+    };
+    let embeddings: Vec<ForwardEmbedding> = SHARDS
+        .iter()
+        .map(|&s| {
+            ForwardEmbedding::train_with_runtime(&db, actors, &cfg, 7, Runtime::new(s)).unwrap()
+        })
+        .collect();
+    for (i, emb) in embeddings.iter().enumerate().skip(1) {
+        for f in db.fact_ids(actors) {
+            let a = embeddings[0].embedding(f).unwrap();
+            let b = emb.embedding(f).unwrap();
+            // Bit-level comparison: f64 equality would already fail on any
+            // reordered float sum, but make the intent explicit.
+            let a_bits: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+            let b_bits: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a_bits, b_bits, "shards={}: ϕ({f}) diverged", SHARDS[i]);
+        }
+        // Training diagnostics must agree too (same samples, same order).
+        assert_eq!(emb.epoch_losses(), embeddings[0].epoch_losses());
+    }
+}
+
+#[test]
+fn dynamic_extension_is_bit_identical_across_shard_counts() {
+    let (db0, ids) = movies();
+    let mut db = db0.clone();
+    let journal = cascade_delete(&mut db, ids["a5"], false).unwrap();
+    let actors = db.schema().relation_id("ACTORS").unwrap();
+    let cfg = ForwardConfig {
+        dim: 8,
+        epochs: 4,
+        nsamples: 25,
+        ..ForwardConfig::small()
+    };
+
+    let vectors: Vec<Vec<u64>> = SHARDS
+        .iter()
+        .map(|&s| {
+            let mut emb =
+                ForwardEmbedding::train_with_runtime(&db, actors, &cfg, 5, Runtime::new(s))
+                    .unwrap();
+            let mut db2 = db.clone();
+            restore_journal(&mut db2, &journal).unwrap();
+            emb.extend(&db2, ids["a5"], 11).unwrap();
+            emb.embedding(ids["a5"])
+                .unwrap()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        })
+        .collect();
+    for (i, v) in vectors.iter().enumerate().skip(1) {
+        assert_eq!(v, &vectors[0], "shards={}: extension diverged", SHARDS[i]);
+    }
+}
+
+#[test]
+fn node2vec_sgns_is_bit_identical_across_shard_counts() {
+    let (db, _) = movies();
+    let g = DbGraph::build(&db);
+    let cfg = Node2VecConfig::small();
+    let models: Vec<Node2VecModel> = SHARDS
+        .iter()
+        .map(|&s| Node2VecModel::train_with_runtime(g.graph(), &cfg, 42, Runtime::new(s)))
+        .collect();
+    for (i, m) in models.iter().enumerate().skip(1) {
+        for node in g.graph().node_ids() {
+            let a: Vec<u64> = models[0]
+                .embedding(node)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let b: Vec<u64> = m.embedding(node).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "shards={}: node {node:?} diverged", SHARDS[i]);
+        }
+    }
+}
+
+#[test]
+fn node2vec_dynamic_extension_is_bit_identical_across_shard_counts() {
+    let (db0, ids) = movies();
+    let mut db = db0.clone();
+    let journal = cascade_delete(&mut db, ids["c4"], false).unwrap();
+    let results: Vec<Vec<u64>> = SHARDS
+        .iter()
+        .map(|&s| {
+            let mut g = DbGraph::build(&db);
+            let mut model = Node2VecModel::train_with_runtime(
+                g.graph(),
+                &Node2VecConfig::small(),
+                9,
+                Runtime::new(s),
+            );
+            let mut db2 = db.clone();
+            restore_journal(&mut db2, &journal).unwrap();
+            let new_nodes = g.extend_with_fact(&db2, ids["c4"]);
+            model.extend(g.graph(), &new_nodes, 3);
+            let node = g.fact_node(ids["c4"]).unwrap();
+            model.embedding(node).iter().map(|v| v.to_bits()).collect()
+        })
+        .collect();
+    for (i, v) in results.iter().enumerate().skip(1) {
+        assert_eq!(
+            v, &results[0],
+            "shards={}: n2v extension diverged",
+            SHARDS[i]
+        );
+    }
+}
+
+#[test]
+fn walk_corpus_differs_across_seeds() {
+    // Guard against the degenerate "determinism because nothing is random"
+    // failure mode: different seeds must produce different corpora.
+    let (db, _) = movies();
+    let g = DbGraph::build(&db);
+    let cfg = WalkConfig {
+        walks_per_node: 12,
+        walk_length: 10,
+        ..Default::default()
+    };
+    let c1 = Walker::with_runtime(g.graph(), cfg.clone(), 1, Runtime::new(4)).corpus();
+    let c2 = Walker::with_runtime(g.graph(), cfg, 2, Runtime::new(4)).corpus();
+    assert_ne!(c1.walks, c2.walks);
+    let _ = NodeId(0);
+}

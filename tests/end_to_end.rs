@@ -1,22 +1,27 @@
 //! End-to-end integration tests: the full static + dynamic pipeline of the
 //! paper on a generated benchmark database, through the public API only.
 
-use stembed::core::{
-    ForwardConfig, ForwardEmbedder, Node2VecEmbedder, TupleEmbedder,
-};
+use stembed::core::{ForwardConfig, ForwardEmbedder, Node2VecEmbedder, TupleEmbedder};
 use stembed::datasets::{self, DatasetParams};
 use stembed::node2vec::Node2VecConfig;
 use stembed::reldb::{cascade_delete, restore_journal, FactId};
 
-fn embedders(
-    ds: &stembed::datasets::Dataset,
-) -> Vec<Box<dyn TupleEmbedder>> {
-    let fwd_cfg = ForwardConfig { dim: 12, epochs: 6, nsamples: 15, ..ForwardConfig::small() };
-    let n2v_cfg = Node2VecConfig { dim: 12, epochs: 2, walks_per_node: 4, ..Node2VecConfig::small() };
+fn embedders(ds: &stembed::datasets::Dataset) -> Vec<Box<dyn TupleEmbedder>> {
+    let fwd_cfg = ForwardConfig {
+        dim: 12,
+        epochs: 6,
+        nsamples: 15,
+        ..ForwardConfig::small()
+    };
+    let n2v_cfg = Node2VecConfig {
+        dim: 12,
+        epochs: 2,
+        walks_per_node: 4,
+        ..Node2VecConfig::small()
+    };
     vec![
         Box::new(
-            ForwardEmbedder::train(&ds.db, ds.prediction_rel, &fwd_cfg, 3)
-                .expect("FoRWaRD trains"),
+            ForwardEmbedder::train(&ds.db, ds.prediction_rel, &fwd_cfg, 3).expect("FoRWaRD trains"),
         ),
         Box::new(Node2VecEmbedder::train(&ds.db, &n2v_cfg, 3)),
     ]
@@ -51,8 +56,18 @@ fn dynamic_phase_is_stable_for_both_methods() {
         journals.push(cascade_delete(&mut db, v, true).expect("cascade"));
     }
 
-    let fwd_cfg = ForwardConfig { dim: 12, epochs: 6, nsamples: 15, ..ForwardConfig::small() };
-    let n2v_cfg = Node2VecConfig { dim: 12, epochs: 2, walks_per_node: 4, ..Node2VecConfig::small() };
+    let fwd_cfg = ForwardConfig {
+        dim: 12,
+        epochs: 6,
+        nsamples: 15,
+        ..ForwardConfig::small()
+    };
+    let n2v_cfg = Node2VecConfig {
+        dim: 12,
+        epochs: 2,
+        walks_per_node: 4,
+        ..Node2VecConfig::small()
+    };
     let mut embs: Vec<Box<dyn TupleEmbedder>> = vec![
         Box::new(ForwardEmbedder::train(&db, ds.prediction_rel, &fwd_cfg, 3).unwrap()),
         Box::new(Node2VecEmbedder::train(&db, &n2v_cfg, 3)),
@@ -66,7 +81,12 @@ fn dynamic_phase_is_stable_for_both_methods() {
         .collect();
     let snapshots: Vec<Vec<Vec<f64>>> = embs
         .iter()
-        .map(|e| old_facts.iter().map(|&f| e.embedding(f).unwrap().to_vec()).collect())
+        .map(|e| {
+            old_facts
+                .iter()
+                .map(|&f| e.embedding(f).unwrap().to_vec())
+                .collect()
+        })
         .collect();
 
     // One-by-one re-insertion in inverse deletion order.
@@ -101,14 +121,14 @@ fn dynamic_phase_is_stable_for_both_methods() {
 #[test]
 fn deletion_forgets_only_the_deleted_tuple() {
     let ds = datasets::world::generate(&DatasetParams::tiny(2));
-    let cfg = ForwardConfig { dim: 12, epochs: 5, nsamples: 15, ..ForwardConfig::small() };
-    let mut emb = stembed::core::ForwardEmbedding::train(
-        &ds.db,
-        ds.prediction_rel,
-        &cfg,
-        1,
-    )
-    .unwrap();
+    let cfg = ForwardConfig {
+        dim: 12,
+        epochs: 5,
+        nsamples: 15,
+        ..ForwardConfig::small()
+    };
+    let mut emb =
+        stembed::core::ForwardEmbedding::train(&ds.db, ds.prediction_rel, &cfg, 1).unwrap();
     let victim = ds.labels[0].0;
     let keeper = ds.labels[1].0;
     let keeper_vec = emb.embedding(keeper).unwrap().to_vec();

@@ -2,9 +2,7 @@
 //! through the public API of the umbrella crate.
 
 use stembed::core::schemes::{enumerate_schemes, target_pairs};
-use stembed::core::walkdist::{
-    destination_distribution, destination_value_distribution,
-};
+use stembed::core::walkdist::{destination_distribution, destination_value_distribution};
 use stembed::dbgraph::DbGraph;
 use stembed::reldb::movies::{movies_database_labeled, movies_schema};
 use stembed::reldb::{cascade_delete, Value};
@@ -14,7 +12,8 @@ use stembed::reldb::{cascade_delete, Value};
 #[test]
 fn example_2_1_database_and_constraints() {
     let (db, ids) = movies_database_labeled();
-    db.check_all_fks().expect("Figure 2 satisfies all constraints");
+    db.check_all_fks()
+        .expect("Figure 2 satisfies all constraints");
     assert!(db.fact(ids["m3"]).unwrap().get(3).is_null());
     let movies = db.schema().relation_id("MOVIES").unwrap();
     let fk = db.schema().fks_from(movies)[0];
@@ -24,7 +23,13 @@ fn example_2_1_database_and_constraints() {
     assert!(db2
         .insert_into(
             "MOVIES",
-            vec!["m01".into(), "s01".into(), "Clone".into(), Value::Null, Value::Int(1)],
+            vec![
+                "m01".into(),
+                "s01".into(),
+                "Clone".into(),
+                Value::Null,
+                Value::Int(1)
+            ],
         )
         .is_err());
 }

@@ -1,10 +1,15 @@
 //! Property-based tests over the core invariants, spanning crates.
+//!
+//! The offline build cannot fetch `proptest`, so cases are generated with
+//! the workspace's own deterministic RNG: every property runs against 64
+//! seeded random instances. Failures print the case seed, which fully
+//! reproduces the instance.
 
-use proptest::prelude::*;
 use stembed::linalg::{pinv, Matrix};
-use stembed::reldb::{
-    cascade_delete, restore_journal, Database, SchemaBuilder, Value, ValueType,
-};
+use stembed::reldb::{cascade_delete, restore_journal, Database, SchemaBuilder, Value, ValueType};
+use stembed_runtime::stream_rng;
+
+const CASES: u64 = 64;
 
 /// Build a two-relation parent/child database from generated data. `links`
 /// maps each child to a parent index.
@@ -37,91 +42,116 @@ fn build_db(parent_count: usize, links: &[usize]) -> (Database, Vec<stembed::rel
     (db, parents)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Cascade deletion + journal restore is the identity on the database,
+/// regardless of reference topology and deletion target.
+#[test]
+fn cascade_then_restore_is_identity() {
+    for case in 0..CASES {
+        let mut rng = stream_rng(0x6a51, case);
+        let parent_count = rng.random_range(1..8usize);
+        let links: Vec<usize> = (0..rng.random_range(0..20usize))
+            .map(|_| rng.random_range(0..8usize))
+            .collect();
+        let victim = rng.random_range(0..8usize);
+        let orphans = rng.random_range(0..2usize) == 1;
 
-    /// Cascade deletion + journal restore is the identity on the database,
-    /// regardless of reference topology and deletion target.
-    #[test]
-    fn cascade_then_restore_is_identity(
-        parent_count in 1usize..8,
-        links in prop::collection::vec(0usize..8, 0..20),
-        victim in 0usize..8,
-        orphans in any::<bool>(),
-    ) {
         let (mut db, parents) = build_db(parent_count, &links);
         let before = stembed::reldb::text::to_text(&db);
         let victim = parents[victim % parent_count];
         let journal = cascade_delete(&mut db, victim, orphans).unwrap();
         // All constraints hold in the intermediate state.
         db.check_all_fks().unwrap();
-        prop_assert!(db.fact(victim).is_none());
+        assert!(db.fact(victim).is_none(), "case {case}");
         restore_journal(&mut db, &journal).unwrap();
-        prop_assert_eq!(stembed::reldb::text::to_text(&db), before);
+        assert_eq!(stembed::reldb::text::to_text(&db), before, "case {case}");
     }
+}
 
-    /// After any cascade deletion the database satisfies every FK.
-    #[test]
-    fn cascade_never_dangles(
-        parent_count in 1usize..6,
-        links in prop::collection::vec(0usize..6, 0..25),
-        victim in 0usize..6,
-    ) {
+/// After any cascade deletion the database satisfies every FK.
+#[test]
+fn cascade_never_dangles() {
+    for case in 0..CASES {
+        let mut rng = stream_rng(0xda17, case);
+        let parent_count = rng.random_range(1..6usize);
+        let links: Vec<usize> = (0..rng.random_range(0..25usize))
+            .map(|_| rng.random_range(0..6usize))
+            .collect();
+        let victim = rng.random_range(0..6usize);
+
         let (mut db, parents) = build_db(parent_count, &links);
         cascade_delete(&mut db, parents[victim % parent_count], true).unwrap();
         db.check_all_fks().unwrap();
     }
+}
 
-    /// Penrose condition 1 for the pseudoinverse on arbitrary matrices:
-    /// A·A⁺·A = A.
-    #[test]
-    fn pinv_penrose_one(
-        rows in 1usize..6,
-        cols in 1usize..6,
-        data in prop::collection::vec(-10.0f64..10.0, 36),
-    ) {
-        let a = Matrix::from_vec(rows, cols, data[..rows * cols].to_vec());
+/// Penrose condition 1 for the pseudoinverse on arbitrary matrices:
+/// A·A⁺·A = A.
+#[test]
+fn pinv_penrose_one() {
+    for case in 0..CASES {
+        let mut rng = stream_rng(0x9137, case);
+        let rows = rng.random_range(1..6usize);
+        let cols = rng.random_range(1..6usize);
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|_| rng.random_range(-10.0..10.0f64))
+            .collect();
+
+        let a = Matrix::from_vec(rows, cols, data);
         let ap = pinv(&a).unwrap();
         let back = a.matmul(&ap).unwrap().matmul(&a).unwrap();
         for (x, y) in back.as_slice().iter().zip(a.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-6, "A A+ A != A: {x} vs {y}");
+            assert!((x - y).abs() < 1e-6, "case {case}: A A+ A != A: {x} vs {y}");
         }
     }
+}
 
-    /// Value parsing round-trips through Display for non-null values.
-    #[test]
-    fn value_display_parse_roundtrip(i in any::<i64>(), t in "[a-z]{1,12}") {
+/// Value parsing round-trips through Display for non-null values.
+#[test]
+fn value_display_parse_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = stream_rng(0x0a1f, case);
+        let i = rng.next_u64() as i64;
+        let len = rng.random_range(1..=12usize);
+        let t: String = (0..len)
+            .map(|_| (b'a' + rng.random_range(0..26usize) as u8) as char)
+            .collect();
+
         let v = Value::Int(i);
-        prop_assert_eq!(
-            Value::parse(&v.to_string(), ValueType::Int).unwrap(), v
-        );
+        assert_eq!(Value::parse(&v.to_string(), ValueType::Int).unwrap(), v);
         let v = Value::Text(t);
         let parsed = Value::parse(&v.to_string(), ValueType::Text).unwrap();
-        prop_assert_eq!(parsed, v);
+        assert_eq!(parsed, v, "case {case}");
     }
+}
 
-    /// Random walks over any generated graph only traverse real edges, and
-    /// node2vec corpora cover exactly the requested starts.
-    #[test]
-    fn walks_follow_edges(
-        edges in prop::collection::vec((0u32..12, 0u32..12), 1..40),
-        seed in any::<u64>(),
-    ) {
-        use stembed::dbgraph::{Graph, WalkConfig, Walker};
+/// Random walks over any generated graph only traverse real edges.
+#[test]
+fn walks_follow_edges() {
+    use stembed::dbgraph::{Graph, NodeId, WalkConfig, Walker};
+    for case in 0..CASES {
+        let mut rng = stream_rng(0xed6e, case);
         let mut g = Graph::new();
         for _ in 0..12 {
             g.add_node();
         }
-        for (a, b) in edges {
+        for _ in 0..rng.random_range(1..40usize) {
+            let a = rng.random_range(0..12usize) as u32;
+            let b = rng.random_range(0..12usize) as u32;
             if a != b {
-                g.add_edge(stembed::dbgraph::NodeId(a), stembed::dbgraph::NodeId(b));
+                g.add_edge(NodeId(a), NodeId(b));
             }
         }
-        let cfg = WalkConfig { walks_per_node: 2, walk_length: 6, p: 0.5, q: 2.0 };
+        let seed = rng.next_u64();
+        let cfg = WalkConfig {
+            walks_per_node: 2,
+            walk_length: 6,
+            p: 0.5,
+            q: 2.0,
+        };
         let corpus = Walker::new(&g, cfg, seed).corpus();
         for walk in &corpus.walks {
             for pair in walk.windows(2) {
-                prop_assert!(g.has_edge(pair[0], pair[1]));
+                assert!(g.has_edge(pair[0], pair[1]), "case {case}: non-edge");
             }
         }
     }

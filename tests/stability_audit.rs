@@ -3,13 +3,11 @@
 //! that existed before the round, for either method, and embeddings must
 //! remain usable in between.
 
-use stembed::core::{
-    ForwardConfig, ForwardEmbedder, Node2VecEmbedder, TupleEmbedder,
-};
+use std::collections::HashMap;
+use stembed::core::{ForwardConfig, ForwardEmbedder, Node2VecEmbedder, TupleEmbedder};
 use stembed::datasets::{self, DatasetParams};
 use stembed::node2vec::Node2VecConfig;
 use stembed::reldb::{cascade_delete, restore_journal, DeletionJournal, FactId};
-use std::collections::HashMap;
 
 /// Run four rounds of {re-insert a tuple group, extend} and after each
 /// round check bit-stability of everything that predated the round.
@@ -36,7 +34,8 @@ fn audit(mk: impl FnOnce(&stembed::reldb::Database) -> Box<dyn TupleEmbedder>) {
 
     for (round, (newcomer, journal)) in journals.iter().enumerate().rev() {
         let restored = restore_journal(&mut db, journal).expect("restore");
-        emb.extend(&db, &restored, 100 + round as u64).expect("extend");
+        emb.extend(&db, &restored, 100 + round as u64)
+            .expect("extend");
         // Stability of the whole ledger, including tuples added in earlier
         // rounds of this very loop.
         for (f, vec) in &ledger {
@@ -47,7 +46,10 @@ fn audit(mk: impl FnOnce(&stembed::reldb::Database) -> Box<dyn TupleEmbedder>) {
             );
         }
         // The newly arrived prediction tuple joins the ledger.
-        let v = emb.embedding(*newcomer).expect("newcomer embedded").to_vec();
+        let v = emb
+            .embedding(*newcomer)
+            .expect("newcomer embedded")
+            .to_vec();
         assert!(v.iter().all(|x| x.is_finite()));
         ledger.insert(*newcomer, v);
     }
@@ -56,7 +58,12 @@ fn audit(mk: impl FnOnce(&stembed::reldb::Database) -> Box<dyn TupleEmbedder>) {
 
 #[test]
 fn forward_is_stable_across_many_rounds() {
-    let cfg = ForwardConfig { dim: 10, epochs: 5, nsamples: 12, ..ForwardConfig::small() };
+    let cfg = ForwardConfig {
+        dim: 10,
+        epochs: 5,
+        nsamples: 12,
+        ..ForwardConfig::small()
+    };
     audit(move |db| {
         let rel = db.schema().relation_id("DISPAT").expect("DISPAT");
         Box::new(ForwardEmbedder::train(db, rel, &cfg, 9).expect("train"))
@@ -65,6 +72,11 @@ fn forward_is_stable_across_many_rounds() {
 
 #[test]
 fn node2vec_is_stable_across_many_rounds() {
-    let cfg = Node2VecConfig { dim: 10, epochs: 2, walks_per_node: 4, ..Node2VecConfig::small() };
+    let cfg = Node2VecConfig {
+        dim: 10,
+        epochs: 2,
+        walks_per_node: 4,
+        ..Node2VecConfig::small()
+    };
     audit(move |db| Box::new(Node2VecEmbedder::train(db, &cfg, 9)));
 }
