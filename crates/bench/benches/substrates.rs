@@ -56,6 +56,37 @@ fn bench_graph(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sampling(c: &mut Criterion) {
+    use stembed_runtime::AliasTable;
+    let mut group = c.benchmark_group("sampling");
+    // Distribution shaped like a node-visit histogram (Zipf-ish).
+    let n = 4096usize;
+    let weights: Vec<f64> = (0..n).map(|i| 1.0 + 100_000.0 / (i + 1) as f64).collect();
+    // The O(1) alias path (what NegativeTable uses) vs the O(log n) CDF
+    // binary search it replaced.
+    let alias = AliasTable::new(&weights);
+    let cumulative: Vec<f64> = weights
+        .iter()
+        .scan(0.0, |acc, w| {
+            *acc += w;
+            Some(*acc)
+        })
+        .collect();
+    let total = *cumulative.last().unwrap();
+    group.bench_function("alias_sample_4096", |b| {
+        let mut rng = DetRng::seed_from_u64(1);
+        b.iter(|| black_box(alias.sample(&mut rng)))
+    });
+    group.bench_function("cdf_sample_4096", |b| {
+        let mut rng = DetRng::seed_from_u64(2);
+        b.iter(|| {
+            let x = rng.random_range(0.0..total);
+            black_box(cumulative.partition_point(|&c| c <= x).min(n - 1))
+        })
+    });
+    group.finish();
+}
+
 fn bench_db(c: &mut Criterion) {
     let mut group = c.benchmark_group("reldb");
     let params = datasets::DatasetParams {
@@ -107,5 +138,12 @@ fn bench_svm(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_linalg, bench_graph, bench_db, bench_svm);
+criterion_group!(
+    benches,
+    bench_linalg,
+    bench_graph,
+    bench_sampling,
+    bench_db,
+    bench_svm
+);
 criterion_main!(benches);

@@ -178,16 +178,20 @@ impl TupleEmbedder for Node2VecEmbedder {
     }
 
     fn extend(&mut self, db: &Database, new_facts: &[FactId], seed: u64) -> Result<(), CoreError> {
-        let mut new_nodes = Vec::new();
+        // Validate and dedup first, then grow the graph in one batch so the
+        // CSR merge runs once per `extend` call, not once per fact.
+        let mut to_add: Vec<FactId> = Vec::new();
+        let mut queued: std::collections::HashSet<FactId> = std::collections::HashSet::new();
         for &f in new_facts {
             if db.fact(f).is_none() {
                 return Err(CoreError::UnknownFact(f));
             }
-            if self.graph.fact_node(f).is_some() {
-                continue; // idempotence: already embedded
+            if self.graph.fact_node(f).is_some() || !queued.insert(f) {
+                continue; // idempotence: already embedded (or queued)
             }
-            new_nodes.extend(self.graph.extend_with_fact(db, f));
+            to_add.push(f);
         }
+        let new_nodes = self.graph.extend_with_facts(db, &to_add);
         if new_nodes.is_empty() {
             return Ok(());
         }

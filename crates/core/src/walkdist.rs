@@ -169,19 +169,38 @@ impl<'db> DestinationSampler<'db> {
 
     /// Sample one walk with `scheme` from `start`; `None` when it
     /// dead-ends.
+    ///
+    /// Unlike the exact path (which materialises successor sets), each step
+    /// here picks its continuation **without allocating**: forward steps
+    /// resolve the unique referenced fact, backward steps draw a uniform
+    /// index into the database's referencing-slot slice. This is the inner
+    /// loop of eligibility probing, sample generation, and Monte-Carlo KD.
     pub fn sample_destination(
         &self,
         scheme: &WalkScheme,
         start: FactId,
         rng: &mut DetRng,
     ) -> Option<FactId> {
+        let schema = self.db.schema();
         let mut cur = start;
         for step in &scheme.steps {
-            let succ = step_successors(self.db, step, cur);
-            if succ.is_empty() {
-                return None;
-            }
-            cur = succ[rng.random_range(0..succ.len())];
+            let fk = schema.foreign_key(step.fk);
+            let fact = self.db.fact(cur)?;
+            cur = if step.forward {
+                if fact.any_null(&fk.from_attrs) {
+                    return None;
+                }
+                let key = fact.project(&fk.from_attrs);
+                self.db.lookup_key(fk.to_rel, &key)?
+            } else {
+                let key = fact.project(&fk.to_attrs);
+                let slots = self.db.referencing_slots(step.fk, &key);
+                if slots.is_empty() {
+                    return None;
+                }
+                let row = slots[rng.random_range(0..slots.len())];
+                FactId::new(fk.from_rel, row)
+            };
         }
         Some(cur)
     }

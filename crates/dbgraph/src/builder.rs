@@ -94,6 +94,9 @@ impl DbGraph {
                 this.add_fact_node(db, fact_id);
             }
         }
+        // One finalize pass merges the whole buffered edge batch into the
+        // CSR arrays: O(E log E) total instead of O(E·deg) sorted inserts.
+        this.graph.finalize();
         this
     }
 
@@ -101,8 +104,26 @@ impl DbGraph {
     /// the **new** node ids: the fact node `v(f)` first, followed by value
     /// nodes for values not present before. Pre-existing value nodes gain
     /// edges but are not reported (their embeddings stay frozen).
+    ///
+    /// For a batch of facts prefer [`DbGraph::extend_with_facts`], which
+    /// pays the CSR merge once instead of per fact.
     pub fn extend_with_fact(&mut self, db: &Database, fact_id: FactId) -> Vec<NodeId> {
-        self.add_fact_node(db, fact_id)
+        let new_nodes = self.add_fact_node(db, fact_id);
+        self.graph.finalize();
+        new_nodes
+    }
+
+    /// Extend the graph with a batch of newly inserted facts, buffering all
+    /// their edges and merging them into the CSR arrays in **one** finalize
+    /// pass. Returns the new node ids in insertion order (per fact: the
+    /// fact node first, then any fresh value nodes).
+    pub fn extend_with_facts(&mut self, db: &Database, fact_ids: &[FactId]) -> Vec<NodeId> {
+        let mut new_nodes = Vec::new();
+        for &fact_id in fact_ids {
+            new_nodes.extend(self.add_fact_node(db, fact_id));
+        }
+        self.graph.finalize();
+        new_nodes
     }
 
     fn add_fact_node(&mut self, db: &Database, fact_id: FactId) -> Vec<NodeId> {

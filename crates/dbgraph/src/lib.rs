@@ -18,6 +18,12 @@
 //! The crate also provides the **biased second-order random walks** of
 //! Node2Vec (Grover & Leskovec 2016, return parameter `p`, in-out parameter
 //! `q`) and the incremental graph extension used by the dynamic phase.
+//!
+//! Both substrates are laid out for the walk hot path: the graph stores
+//! adjacency in **CSR form** (one flat neighbour array + row offsets,
+//! built from buffered edge batches in O(E log E) — see [`graph`]), and
+//! walk corpora are **flat token arenas** iterated as contiguous slices
+//! (see [`walks`]).
 
 pub mod builder;
 pub mod graph;

@@ -1,4 +1,5 @@
-//! Biased second-order random walks (Node2Vec, Grover & Leskovec 2016).
+//! Biased second-order random walks (Node2Vec, Grover & Leskovec 2016)
+//! over the CSR graph, collected into a **flat token arena**.
 //!
 //! A walk step from `cur` (having arrived from `prev`) picks the next node
 //! `x` among `cur`'s neighbours with unnormalised weight
@@ -8,11 +9,25 @@
 //! * `1/q` otherwise (DFS-ish).
 //!
 //! With `p = q = 1` this degenerates to a first-order uniform walk — the
-//! setting the paper uses for its database graphs. The corpus generator
-//! produces `walks_per_node` truncated walks of `walk_length` steps from
-//! every start node, exactly the sampling regime of Table II (40 walks × 30
-//! steps), and the dynamic phase re-samples walks **only from the new
-//! nodes** (paper §IV-A).
+//! setting the paper uses for its database graphs. Transition complexity:
+//!
+//! * **first-order (`p = q = 1`)**: O(1) — one uniform index draw into the
+//!   node's contiguous CSR row. This *is* the alias-table draw for the
+//!   uniform multiset distribution (every column's acceptance probability
+//!   is 1, so the table is elided; the generic
+//!   [`stembed_runtime::AliasTable`] serves the non-uniform distributions,
+//!   e.g. negative sampling).
+//! * **second-order (`p ≠ 1` or `q ≠ 1`)**: O(1) expected rejection
+//!   sampling against the weight bound `max(1/p, 1, 1/q)` — the fallback
+//!   for the prev-dependent weights that no per-node table can precompute
+//!   without O(Σ deg²) memory.
+//!
+//! The corpus generator produces `walks_per_node` truncated walks of
+//! `walk_length` steps from every start node, exactly the sampling regime
+//! of Table II (40 walks × 30 steps), and the dynamic phase re-samples
+//! walks **only from the new nodes** (paper §IV-A). Walks are written
+//! straight into a per-shard [`WalkCorpus`] arena — zero per-walk
+//! allocations — and shard arenas are concatenated in start order.
 //!
 //! Corpus generation is sharded over start nodes through
 //! [`stembed_runtime::Runtime`]: start node `i` of the start list owns the
@@ -50,28 +65,94 @@ impl Default for WalkConfig {
     }
 }
 
-/// A corpus of random walks: each walk is a node sequence whose first entry
-/// is the start node. Walks are grouped by start node, in start-list order.
-#[derive(Debug, Clone, Default)]
+/// A corpus of random walks in **flat CSR-style layout**: all node visits
+/// live in one contiguous `tokens` arena, and `offsets[i]..offsets[i+1]`
+/// delimits walk `i`. Each walk's first entry is its start node; walks are
+/// grouped by start node, in start-list order.
+///
+/// Consumers iterate contiguous memory (SGNS window generation touches no
+/// per-walk heap cells), and building the corpus performs no per-walk
+/// allocation — only the arena itself grows.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WalkCorpus {
-    /// The walks.
-    pub walks: Vec<Vec<NodeId>>,
+    /// All walk tokens, back to back.
+    tokens: Vec<NodeId>,
+    /// Walk boundaries; `offsets.len() == len() + 1`, `offsets[0] == 0`.
+    offsets: Vec<u32>,
+}
+
+impl Default for WalkCorpus {
+    fn default() -> Self {
+        WalkCorpus {
+            tokens: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+}
+
+/// Offset-safe conversion: the corpus addresses tokens through `u32`.
+#[inline]
+fn token_offset(len: usize) -> u32 {
+    u32::try_from(len).expect("walk corpus exceeds u32 token capacity")
 }
 
 impl WalkCorpus {
     /// Number of walks.
     pub fn len(&self) -> usize {
-        self.walks.len()
+        self.offsets.len() - 1
     }
 
     /// `true` iff no walks were generated.
     pub fn is_empty(&self) -> bool {
-        self.walks.is_empty()
+        self.offsets.len() == 1
     }
 
     /// Total number of node visits across all walks.
     pub fn total_tokens(&self) -> usize {
-        self.walks.iter().map(|w| w.len()).sum()
+        self.tokens.len()
+    }
+
+    /// The flat token arena (walk `i` occupies
+    /// `tokens()[offsets[i]..offsets[i+1]]`).
+    pub fn tokens(&self) -> &[NodeId] {
+        &self.tokens
+    }
+
+    /// Walk `i` as a contiguous slice.
+    #[inline]
+    pub fn walk(&self, i: usize) -> &[NodeId] {
+        &self.tokens[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Iterate over all walks as contiguous slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[NodeId]> {
+        self.offsets
+            .windows(2)
+            .map(move |w| &self.tokens[w[0] as usize..w[1] as usize])
+    }
+
+    /// Append one walk to the arena.
+    pub fn push_walk(&mut self, walk: &[NodeId]) {
+        self.tokens.extend_from_slice(walk);
+        self.offsets.push(token_offset(self.tokens.len()));
+    }
+
+    /// Build a flat corpus from nested walks (tests and interop).
+    pub fn from_nested(walks: &[Vec<NodeId>]) -> Self {
+        let mut corpus = WalkCorpus::default();
+        for w in walks {
+            corpus.push_walk(w);
+        }
+        corpus
+    }
+
+    /// Append all walks of `other`, renumbering its offsets into this arena.
+    fn append(&mut self, other: &WalkCorpus) {
+        let base = token_offset(self.tokens.len());
+        self.tokens.extend_from_slice(&other.tokens);
+        token_offset(self.tokens.len()); // fail loudly before offsets wrap
+        self.offsets
+            .extend(other.offsets[1..].iter().map(|&o| base + o));
     }
 }
 
@@ -80,6 +161,8 @@ pub struct Walker<'g> {
     graph: &'g Graph,
     config: WalkConfig,
     seed: u64,
+    /// `p = q = 1`: every transition is one uniform draw into the CSR row.
+    first_order: bool,
     /// Stream for the sequential [`Walker::walk_from`] API only; corpus
     /// generation derives an independent stream per start node.
     rng: DetRng,
@@ -95,10 +178,12 @@ impl<'g> Walker<'g> {
 
     /// Create a walker with an explicit execution runtime.
     pub fn with_runtime(graph: &'g Graph, config: WalkConfig, seed: u64, runtime: Runtime) -> Self {
+        let first_order = (config.p - 1.0).abs() < 1e-12 && (config.q - 1.0).abs() < 1e-12;
         Walker {
             graph,
             config,
             seed,
+            first_order,
             rng: DetRng::seed_from_u64(seed),
             runtime,
         }
@@ -122,71 +207,87 @@ impl<'g> Walker<'g> {
     pub fn corpus_from(&self, starts: &[NodeId]) -> WalkCorpus {
         let per_start = self.runtime.par_map_ordered(starts, |i, &start| {
             let mut rng = stream_rng(self.seed, i as u64);
-            let mut walks = Vec::with_capacity(self.config.walks_per_node);
+            let mut shard = WalkCorpus {
+                tokens: Vec::with_capacity(
+                    self.config.walks_per_node * (self.config.walk_length + 1),
+                ),
+                offsets: Vec::with_capacity(self.config.walks_per_node + 1),
+            };
+            shard.offsets.push(0);
             for _ in 0..self.config.walks_per_node {
-                let w = self.walk_with(&mut rng, start);
-                if w.len() > 1 {
-                    walks.push(w);
+                let begin = shard.tokens.len();
+                self.walk_into(&mut rng, start, &mut shard.tokens);
+                if shard.tokens.len() - begin > 1 {
+                    shard.offsets.push(token_offset(shard.tokens.len()));
+                } else {
+                    // Isolated start: drop the trivial walk.
+                    shard.tokens.truncate(begin);
                 }
             }
-            walks
+            shard
         });
-        WalkCorpus {
-            walks: per_start.into_iter().flatten().collect(),
+        let mut corpus = WalkCorpus {
+            tokens: Vec::with_capacity(per_start.iter().map(|s| s.tokens.len()).sum()),
+            offsets: Vec::with_capacity(per_start.iter().map(|s| s.len()).sum::<usize>() + 1),
+        };
+        corpus.offsets.push(0);
+        for shard in &per_start {
+            corpus.append(shard);
         }
+        corpus
     }
 
     /// One truncated biased walk from `start`, drawing from the walker's
     /// own sequential stream.
     pub fn walk_from(&mut self, start: NodeId) -> Vec<NodeId> {
         let mut rng = self.rng.clone();
-        let walk = self.walk_with(&mut rng, start);
+        let mut walk = Vec::with_capacity(self.config.walk_length + 1);
+        self.walk_into(&mut rng, start, &mut walk);
         self.rng = rng;
         walk
     }
 
-    /// One truncated biased walk from `start` using the given stream.
-    fn walk_with(&self, rng: &mut DetRng, start: NodeId) -> Vec<NodeId> {
-        let mut walk = Vec::with_capacity(self.config.walk_length + 1);
-        walk.push(start);
-        if self.graph.degree(start) == 0 {
-            return walk;
+    /// Append one truncated biased walk from `start` to `out` (always at
+    /// least the start token).
+    fn walk_into(&self, rng: &mut DetRng, start: NodeId, out: &mut Vec<NodeId>) {
+        out.push(start);
+        let neigh = self.graph.neighbors(start);
+        if neigh.is_empty() {
+            return;
         }
         // First step: uniform.
-        let first = self.uniform_neighbor(rng, start);
-        walk.push(first);
-        while walk.len() <= self.config.walk_length {
-            let cur = walk[walk.len() - 1];
-            let prev = walk[walk.len() - 2];
-            if self.graph.degree(cur) == 0 {
+        let mut prev = start;
+        let mut cur = neigh[rng.random_range(0..neigh.len())];
+        out.push(cur);
+        for _ in 1..self.config.walk_length {
+            let neigh = self.graph.neighbors(cur);
+            if neigh.is_empty() {
                 break;
             }
-            let next = self.biased_step(rng, prev, cur);
-            walk.push(next);
+            let next = if self.first_order {
+                // O(1): uniform over the contiguous CSR row (the degenerate
+                // alias draw — parallel edges are duplicate row entries).
+                neigh[rng.random_range(0..neigh.len())]
+            } else {
+                self.biased_step(rng, prev, neigh)
+            };
+            out.push(next);
+            prev = cur;
+            cur = next;
         }
-        walk
-    }
-
-    fn uniform_neighbor(&self, rng: &mut DetRng, v: NodeId) -> NodeId {
-        let neigh = self.graph.neighbors(v);
-        neigh[rng.random_range(0..neigh.len())]
     }
 
     /// Second-order step with rejection sampling (Knightking-style): avoids
     /// materialising the weight vector. Upper bound of weights is
-    /// `max(1/p, 1, 1/q)`.
-    fn biased_step(&self, rng: &mut DetRng, prev: NodeId, cur: NodeId) -> NodeId {
+    /// `max(1/p, 1, 1/q)`; expected draws per accepted step are O(1).
+    fn biased_step(&self, rng: &mut DetRng, prev: NodeId, neigh: &[NodeId]) -> NodeId {
         let (p, q) = (self.config.p, self.config.q);
-        // Fast path: uniform walk.
-        if (p - 1.0).abs() < 1e-12 && (q - 1.0).abs() < 1e-12 {
-            return self.uniform_neighbor(rng, cur);
-        }
         let w_return = 1.0 / p;
         let w_common = 1.0;
         let w_far = 1.0 / q;
         let w_max = w_return.max(w_common).max(w_far);
         loop {
-            let cand = self.uniform_neighbor(rng, cur);
+            let cand = neigh[rng.random_range(0..neigh.len())];
             let w = if cand == prev {
                 w_return
             } else if self.graph.has_edge(cand, prev) {
@@ -217,6 +318,7 @@ mod tests {
         g.add_edge(n[4], n[5]);
         g.add_edge(n[3], n[5]);
         g.add_edge(n[2], n[3]);
+        g.finalize();
         (g, n)
     }
 
@@ -232,7 +334,7 @@ mod tests {
         let walker = Walker::new(&g, cfg, 11);
         let corpus = walker.corpus();
         assert!(!corpus.is_empty());
-        for walk in &corpus.walks {
+        for walk in corpus.iter() {
             assert!(walk.len() >= 2);
             assert!(walk.len() <= 13);
             for pair in walk.windows(2) {
@@ -252,7 +354,7 @@ mod tests {
         let walker = Walker::new(&g, cfg, 1);
         let corpus = walker.corpus();
         for &node in &n {
-            let count = corpus.walks.iter().filter(|w| w[0] == node).count();
+            let count = corpus.iter().filter(|w| w[0] == node).count();
             assert_eq!(count, 3, "every node starts walks_per_node walks");
         }
     }
@@ -268,7 +370,7 @@ mod tests {
         let walker = Walker::new(&g, cfg, 2);
         let corpus = walker.corpus_from(&[n[0]]);
         assert_eq!(corpus.len(), 4);
-        assert!(corpus.walks.iter().all(|w| w[0] == n[0]));
+        assert!(corpus.iter().all(|w| w[0] == n[0]));
     }
 
     #[test]
@@ -277,7 +379,7 @@ mod tests {
         let cfg = WalkConfig::default();
         let c1 = Walker::new(&g, cfg.clone(), 99).corpus();
         let c2 = Walker::new(&g, cfg, 99).corpus();
-        assert_eq!(c1.walks, c2.walks);
+        assert_eq!(c1, c2);
     }
 
     #[test]
@@ -287,8 +389,30 @@ mod tests {
         let base = Walker::with_runtime(&g, cfg.clone(), 7, Runtime::single()).corpus();
         for shards in [2usize, 4, 8] {
             let c = Walker::with_runtime(&g, cfg.clone(), 7, Runtime::new(shards)).corpus();
-            assert_eq!(c.walks, base.walks, "shards={shards} diverged");
+            assert_eq!(c, base, "shards={shards} diverged");
         }
+    }
+
+    #[test]
+    fn flat_layout_is_consistent() {
+        let (g, _) = two_triangles();
+        let cfg = WalkConfig {
+            walks_per_node: 4,
+            walk_length: 6,
+            ..Default::default()
+        };
+        let corpus = Walker::new(&g, cfg, 5).corpus();
+        // offsets delimit exactly the token arena…
+        assert_eq!(corpus.total_tokens(), corpus.tokens().len());
+        let summed: usize = corpus.iter().map(|w| w.len()).sum();
+        assert_eq!(summed, corpus.total_tokens());
+        // …and indexed access agrees with iteration.
+        for (i, w) in corpus.iter().enumerate() {
+            assert_eq!(w, corpus.walk(i));
+        }
+        // Round-trip through the nested representation.
+        let nested: Vec<Vec<NodeId>> = corpus.iter().map(|w| w.to_vec()).collect();
+        assert_eq!(WalkCorpus::from_nested(&nested), corpus);
     }
 
     #[test]
@@ -304,7 +428,7 @@ mod tests {
             let corpus = Walker::new(&g, cfg, seed).corpus();
             let mut back = 0usize;
             let mut total = 0usize;
-            for w in &corpus.walks {
+            for w in corpus.iter() {
                 for win in w.windows(3) {
                     total += 1;
                     if win[0] == win[2] {

@@ -11,6 +11,12 @@
 //! performing gradient descent only on the embeddings of new nodes" — the
 //! old vectors are *frozen* and provably bit-identical afterwards (see the
 //! `freeze` tests).
+//!
+//! The whole pipeline runs on cache-friendly, O(1)-sampling substrates:
+//! walks arrive as a flat token arena ([`dbgraph::WalkCorpus`]), negatives
+//! come from an alias-method [`NegativeTable`] (O(1) per draw), and the
+//! SGNS inner loop works on contiguous embedding rows with a preallocated
+//! center-gradient scratch buffer.
 
 pub mod config;
 pub mod model;

@@ -139,10 +139,9 @@ impl Node2VecModel {
 }
 
 fn count_tokens(corpus: &WalkCorpus, counts: &mut [usize]) {
-    for walk in &corpus.walks {
-        for node in walk {
-            counts[node.index()] += 1;
-        }
+    // One pass over the contiguous token arena — no per-walk indirection.
+    for node in corpus.tokens() {
+        counts[node.index()] += 1;
     }
 }
 

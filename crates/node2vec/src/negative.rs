@@ -1,50 +1,84 @@
-//! Unigram^0.75 negative-sampling table (Mikolov et al. 2013).
+//! Unigram^0.75 negative-sampling table (Mikolov et al. 2013) on the
+//! **alias method**.
+//!
+//! The table is built once per training run from per-node occurrence
+//! counts with the classic `count^0.75` smoothing, then sampled once per
+//! negative — the single hottest sampling site of the SGNS pipeline
+//! (`negatives` draws per positive pair). The alias layout
+//! ([`stembed_runtime::AliasTable`], Walker 1977) answers each draw in
+//! **O(1)** (two array reads) instead of the O(log n) cache-missing binary
+//! search of a cumulative table; construction stays O(n).
+//!
+//! The CDF sampler this replaced is kept under `#[cfg(test)]` as the
+//! reference implementation for the distribution-equivalence test below.
 
 use stembed_runtime::rng::DetRng;
+use stembed_runtime::AliasTable;
 
-/// Cumulative-distribution sampler over nodes, with the classic `count^0.75`
-/// smoothing that keeps frequent nodes from dominating the negatives.
+/// O(1) sampler over nodes, with the classic `count^0.75` smoothing that
+/// keeps frequent nodes from dominating the negatives.
 #[derive(Debug, Clone)]
 pub struct NegativeTable {
-    /// Cumulative (unnormalised) mass per node id.
-    cumulative: Vec<f64>,
-    total: f64,
+    alias: AliasTable,
 }
 
 impl NegativeTable {
     /// Build from per-node occurrence counts (index = node id). Nodes with
     /// zero count get zero mass and are never sampled.
     pub fn new(counts: &[usize]) -> Self {
+        let weights: Vec<f64> = counts.iter().map(|&c| (c as f64).powf(0.75)).collect();
+        NegativeTable {
+            alias: AliasTable::new(&weights),
+        }
+    }
+
+    /// `true` iff no node has positive mass.
+    pub fn is_empty(&self) -> bool {
+        self.alias.is_empty()
+    }
+
+    /// Sample one node id proportional to smoothed frequency, in O(1).
+    #[inline]
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        debug_assert!(!self.is_empty(), "sampling from an empty table");
+        self.alias.sample(rng)
+    }
+
+    /// Number of node slots (including zero-mass ones).
+    pub fn len(&self) -> usize {
+        self.alias.len()
+    }
+}
+
+/// The original cumulative-distribution sampler, retained as the reference
+/// for the alias-equivalence test: same smoothing, O(log n) per draw.
+#[cfg(test)]
+#[derive(Debug, Clone)]
+pub(crate) struct CdfNegativeTable {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+#[cfg(test)]
+impl CdfNegativeTable {
+    pub(crate) fn new(counts: &[usize]) -> Self {
         let mut cumulative = Vec::with_capacity(counts.len());
         let mut acc = 0.0;
         for &c in counts {
             acc += (c as f64).powf(0.75);
             cumulative.push(acc);
         }
-        NegativeTable {
+        CdfNegativeTable {
             cumulative,
             total: acc,
         }
     }
 
-    /// `true` iff no node has positive mass.
-    pub fn is_empty(&self) -> bool {
-        self.total <= 0.0
-    }
-
-    /// Sample one node id proportional to smoothed frequency.
-    pub fn sample(&self, rng: &mut DetRng) -> usize {
-        debug_assert!(!self.is_empty(), "sampling from an empty table");
+    pub(crate) fn sample(&self, rng: &mut DetRng) -> usize {
         let x = rng.random_range(0.0..self.total);
-        // First index whose cumulative mass exceeds x.
         self.cumulative
             .partition_point(|&c| c <= x)
             .min(self.cumulative.len() - 1)
-    }
-
-    /// Number of node slots (including zero-mass ones).
-    pub fn len(&self) -> usize {
-        self.cumulative.len()
     }
 }
 
@@ -52,6 +86,7 @@ impl NegativeTable {
 mod tests {
     use super::*;
     use stembed_runtime::rng::DetRng;
+    use stembed_runtime::stream_rng;
 
     #[test]
     fn respects_frequencies_approximately() {
@@ -83,5 +118,70 @@ mod tests {
         assert!(NegativeTable::new(&[]).is_empty());
         assert!(NegativeTable::new(&[0, 0]).is_empty());
         assert!(!NegativeTable::new(&[0, 1]).is_empty());
+    }
+
+    /// Property-style equivalence: on seeded random count vectors, the
+    /// alias sampler and the reference CDF sampler draw from the same
+    /// distribution, judged by a chi-square statistic of the alias
+    /// histogram against the CDF sampler's expected (smoothed) masses.
+    #[test]
+    fn alias_matches_cdf_distribution_chi_square() {
+        const CASES: u64 = 12;
+        const DRAWS: usize = 30_000;
+        for case in 0..CASES {
+            let mut rng = stream_rng(0xa11a5, case);
+            let n = rng.random_range(2..24usize);
+            let counts: Vec<usize> = (0..n)
+                .map(|_| {
+                    if rng.random_range(0..4usize) == 0 {
+                        0 // exercise zero-mass slots
+                    } else {
+                        rng.random_range(1..500usize)
+                    }
+                })
+                .collect();
+            if counts.iter().all(|&c| c == 0) {
+                continue;
+            }
+            let alias = NegativeTable::new(&counts);
+            let cdf = CdfNegativeTable::new(&counts);
+
+            let mut alias_hist = vec![0usize; n];
+            let mut cdf_hist = vec![0usize; n];
+            let mut draw_rng = stream_rng(0xd4a3, case);
+            for _ in 0..DRAWS {
+                alias_hist[alias.sample(&mut draw_rng)] += 1;
+                cdf_hist[cdf.sample(&mut draw_rng)] += 1;
+            }
+
+            // Expected masses under the shared smoothing.
+            let weights: Vec<f64> = counts.iter().map(|&c| (c as f64).powf(0.75)).collect();
+            let total: f64 = weights.iter().sum();
+            let mut chi_alias = 0.0;
+            let mut chi_cdf = 0.0;
+            let mut dof = 0usize;
+            for i in 0..n {
+                let expect = DRAWS as f64 * weights[i] / total;
+                if expect == 0.0 {
+                    assert_eq!(alias_hist[i], 0, "case {case}: zero-mass slot {i} sampled");
+                    assert_eq!(cdf_hist[i], 0);
+                    continue;
+                }
+                chi_alias += (alias_hist[i] as f64 - expect).powi(2) / expect;
+                chi_cdf += (cdf_hist[i] as f64 - expect).powi(2) / expect;
+                dof += 1;
+            }
+            // Generous bound: chi-square mean is dof-1, std ~ sqrt(2 dof);
+            // both samplers must sit inside the same envelope.
+            let bound = (dof as f64 - 1.0) + 6.0 * (2.0 * dof as f64).sqrt() + 6.0;
+            assert!(
+                chi_alias < bound,
+                "case {case}: alias chi-square {chi_alias:.1} over bound {bound:.1}"
+            );
+            assert!(
+                chi_cdf < bound,
+                "case {case}: cdf chi-square {chi_cdf:.1} over bound {bound:.1}"
+            );
+        }
     }
 }

@@ -7,6 +7,15 @@
 //! `in_c ← in_c − η·g·out_o` and `out_o ← out_o − η·g·in_c`. Frozen nodes
 //! receive **no** updates on either vector — this implements the paper's
 //! "gradient descent only on the embeddings of new nodes".
+//!
+//! The inner loop is laid out for throughput: the walk corpus is a flat
+//! token arena ([`WalkCorpus`]) iterated as contiguous slices, each
+//! (positive + negatives) group accumulates the center-row gradient in a
+//! **preallocated scratch buffer** and writes the center row once per group
+//! (the word2vec formulation), and the per-pair work is a fused
+//! dot-product / gradient / axpy pass over two contiguous rows — no
+//! bounds checks in the hot path, no per-pair allocation, O(1) negative
+//! draws via the alias-method [`NegativeTable`].
 
 use crate::NegativeTable;
 use dbgraph::{NodeId, WalkCorpus};
@@ -17,6 +26,11 @@ use stembed_runtime::rng::DetRng;
 /// irrelevant because the gradient saturates there anyway).
 const MAX_EXP: f64 = 6.0;
 const TABLE_SIZE: usize = 1024;
+/// Bins per unit of logit: turns the table lookup into one multiply
+/// instead of an f64 division in the hot loop.
+const SIGMOID_SCALE: f64 = TABLE_SIZE as f64 / (2.0 * MAX_EXP);
+/// Probability clamp for the BCE log (word2vec's epsilon).
+const LOSS_EPS: f64 = 1e-7;
 
 fn build_sigmoid_table() -> Vec<f64> {
     (0..TABLE_SIZE)
@@ -25,6 +39,54 @@ fn build_sigmoid_table() -> Vec<f64> {
             1.0 / (1.0 + (-x).exp())
         })
         .collect()
+}
+
+/// Per-bin BCE losses, precomputed so the training loop never calls `ln`:
+/// `pos_loss[i] = −ln(clamp(σᵢ))` (label 1) and
+/// `neg_loss[i] = −ln(1 − clamp(σᵢ))` (label 0). Identical values to
+/// computing the logs inline — the prediction is already table-quantised.
+fn build_loss_tables(sigmoid: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let pos = sigmoid
+        .iter()
+        .map(|&s| -s.clamp(LOSS_EPS, 1.0 - LOSS_EPS).ln())
+        .collect();
+    let neg = sigmoid
+        .iter()
+        .map(|&s| -(1.0 - s.clamp(LOSS_EPS, 1.0 - LOSS_EPS)).ln())
+        .collect();
+    (pos, neg)
+}
+
+/// Fused dot product over two contiguous rows, unrolled into four
+/// independent accumulators: a naive `zip().sum()` over `f64` is a serial
+/// dependency chain the compiler may not reassociate, so the unroll is
+/// what lets the lanes execute in parallel.
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let ac = a.chunks_exact(4);
+    let bc = b.chunks_exact(4);
+    let mut tail = 0.0;
+    for (x, y) in ac.remainder().iter().zip(bc.remainder()) {
+        tail += x * y;
+    }
+    let mut acc = [0.0f64; 4];
+    for (ca, cb) in ac.zip(bc) {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// `y ← y + a·x` over contiguous rows.
+#[inline]
+fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yk, xk) in y.iter_mut().zip(x) {
+        *yk += a * xk;
+    }
 }
 
 /// The embedding matrices plus the freeze mask.
@@ -38,6 +100,14 @@ pub struct SgnsModel {
     /// Frozen nodes receive no gradient updates.
     frozen: Vec<bool>,
     sigmoid: Vec<f64>,
+    /// `−ln(clamp(σᵢ))` per sigmoid bin (positive-pair BCE).
+    pos_loss: Vec<f64>,
+    /// `−ln(1 − clamp(σᵢ))` per sigmoid bin (negative-pair BCE).
+    neg_loss: Vec<f64>,
+    /// BCE of a saturated *correct* prediction: `−ln(1 − LOSS_EPS)`.
+    sat_small: f64,
+    /// BCE of a saturated *wrong* prediction: `−ln(LOSS_EPS)`.
+    sat_large: f64,
 }
 
 /// Result of one training run.
@@ -62,12 +132,18 @@ impl SgnsModel {
             .collect();
         // Out vectors start at zero, as in word2vec.
         let out_vecs = vec![0.0; nodes * dim];
+        let sigmoid = build_sigmoid_table();
+        let (pos_loss, neg_loss) = build_loss_tables(&sigmoid);
         SgnsModel {
             dim,
             in_vecs,
             out_vecs,
             frozen: vec![false; nodes],
-            sigmoid: build_sigmoid_table(),
+            sigmoid,
+            pos_loss,
+            neg_loss,
+            sat_small: -(1.0 - LOSS_EPS).ln(),
+            sat_large: -LOSS_EPS.ln(),
         }
     }
 
@@ -115,55 +191,123 @@ impl SgnsModel {
         self.frozen.extend(std::iter::repeat_n(false, added));
     }
 
+    /// One pair inside a (center, contexts) group: fused
+    /// dot → σ → gradient pass over the two rows. Accumulates the center
+    /// gradient into `cgrad` when `learn_center` (applied once per group by
+    /// the caller) and updates the context row in place unless it is
+    /// frozen. Returns the pair's BCE loss *before* the update.
     #[inline]
-    fn sigmoid(&self, x: f64) -> f64 {
-        if x >= MAX_EXP {
-            1.0
+    fn pair_grad(
+        &mut self,
+        center: usize,
+        context: usize,
+        label: f64,
+        lr: f64,
+        learn_center: bool,
+        cgrad: &mut [f64],
+    ) -> f64 {
+        let dim = self.dim;
+        let x = dot(
+            &self.in_vecs[center * dim..center * dim + dim],
+            &self.out_vecs[context * dim..context * dim + dim],
+        );
+        // Prediction and BCE loss from the shared bin — no `ln` in the loop
+        // (the saturated losses are precomputed in `new`).
+        let positive = label > 0.5;
+        let (pred, loss) = if x >= MAX_EXP {
+            (
+                1.0,
+                if positive {
+                    self.sat_small
+                } else {
+                    self.sat_large
+                },
+            )
         } else if x <= -MAX_EXP {
-            0.0
+            (
+                0.0,
+                if positive {
+                    self.sat_large
+                } else {
+                    self.sat_small
+                },
+            )
         } else {
-            let idx = ((x + MAX_EXP) / (2.0 * MAX_EXP) * TABLE_SIZE as f64) as usize;
-            self.sigmoid[idx.min(TABLE_SIZE - 1)]
+            let idx = (((x + MAX_EXP) * SIGMOID_SCALE) as usize).min(TABLE_SIZE - 1);
+            let loss = if positive {
+                self.pos_loss[idx]
+            } else {
+                self.neg_loss[idx]
+            };
+            (self.sigmoid[idx], loss)
+        };
+        let in_row = &self.in_vecs[center * dim..center * dim + dim];
+        let out_row = &mut self.out_vecs[context * dim..context * dim + dim];
+        let g = (pred - label) * lr;
+        match (self.frozen[context], learn_center) {
+            (true, false) => {} // both ends frozen: loss only
+            (true, true) => {
+                // Context row untouched; the center still learns from it.
+                axpy(g, out_row, cgrad);
+            }
+            (false, false) => {
+                // Frozen center: only the context row moves.
+                axpy(-g, in_row, out_row);
+            }
+            (false, true) => {
+                // Fused elementwise pass with compiler-visible equal
+                // lengths: cgrad += g·out (pre-update value), out -= g·in.
+                let cgrad = &mut cgrad[..dim];
+                let out_row = &mut out_row[..dim];
+                let in_row = &in_row[..dim];
+                for k in 0..dim {
+                    let o = out_row[k];
+                    cgrad[k] += g * o;
+                    out_row[k] -= g * in_row[k];
+                }
+            }
         }
+        loss
     }
 
-    /// One SGD update for the pair `(center, context)` with `label`
-    /// (1 = observed, 0 = negative). Returns the BCE loss of the pair
-    /// *before* the update.
-    fn update_pair(&mut self, center: usize, context: usize, label: f64, lr: f64) -> f64 {
-        let dim = self.dim;
-        let (ci, oi) = (center * dim, context * dim);
-        let mut dot = 0.0;
-        for k in 0..dim {
-            dot += self.in_vecs[ci + k] * self.out_vecs[oi + k];
+    /// One (center, positive-context) group: the positive pair plus
+    /// `negatives` alias-sampled negative pairs, all against the center's
+    /// pre-group row. The accumulated center gradient is applied once at
+    /// the end (skipped entirely for frozen centers). Returns the group's
+    /// summed BCE loss.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn train_group(
+        &mut self,
+        center: usize,
+        context: usize,
+        negatives: usize,
+        table: &NegativeTable,
+        rng: &mut DetRng,
+        lr: f64,
+        cgrad: &mut [f64],
+    ) -> f64 {
+        let learn_center = !self.frozen[center];
+        if learn_center {
+            cgrad.fill(0.0);
         }
-        let pred = self.sigmoid(dot);
-        let g = (pred - label) * lr;
-        let center_frozen = self.frozen[center];
-        let context_frozen = self.frozen[context];
-        if !center_frozen && !context_frozen {
-            for k in 0..dim {
-                let in_v = self.in_vecs[ci + k];
-                let out_v = self.out_vecs[oi + k];
-                self.in_vecs[ci + k] = in_v - g * out_v;
-                self.out_vecs[oi + k] = out_v - g * in_v;
+        let mut loss = self.pair_grad(center, context, 1.0, lr, learn_center, cgrad);
+        for _ in 0..negatives {
+            let neg = table.sample(rng);
+            if neg == context {
+                continue;
             }
-        } else if !center_frozen {
-            for k in 0..dim {
-                self.in_vecs[ci + k] -= g * self.out_vecs[oi + k];
-            }
-        } else if !context_frozen {
-            for k in 0..dim {
-                self.out_vecs[oi + k] -= g * self.in_vecs[ci + k];
-            }
+            loss += self.pair_grad(center, neg, 0.0, lr, learn_center, cgrad);
         }
-        // BCE with clamping for the log.
-        let p = pred.clamp(1e-7, 1.0 - 1e-7);
-        if label > 0.5 {
-            -p.ln()
-        } else {
-            -(1.0 - p).ln()
+        if learn_center {
+            let dim = self.dim;
+            axpy(
+                -1.0,
+                cgrad,
+                &mut self.in_vecs[center * dim..center * dim + dim],
+            );
         }
+        loss
     }
 
     /// Train over a walk corpus: for every walk position, every context
@@ -193,15 +337,16 @@ impl SgnsModel {
         }
         // Total positive pairs (upper bound) for the lr schedule.
         let pairs_per_epoch: usize = corpus
-            .walks
             .iter()
             .map(|w| w.len() * 2 * window.min(w.len()))
             .sum::<usize>()
             .max(1);
-        let total_updates = (pairs_per_epoch * epochs) as f64;
+        let inv_total_updates = 1.0 / (pairs_per_epoch * epochs) as f64;
         let mut done = 0usize;
+        // Scratch for the per-group center gradient, allocated once.
+        let mut cgrad = vec![0.0; self.dim];
 
-        let mut order: Vec<usize> = (0..corpus.walks.len()).collect();
+        let mut order: Vec<usize> = (0..corpus.len()).collect();
         for epoch in 0..epochs {
             // Shuffle walk order per epoch (Fisher–Yates).
             for i in (1..order.len()).rev() {
@@ -211,7 +356,7 @@ impl SgnsModel {
             let mut epoch_loss = 0.0;
             let mut epoch_pairs = 0usize;
             for &wi in &order {
-                let walk = &corpus.walks[wi];
+                let walk = corpus.walk(wi);
                 for (pos, &center) in walk.iter().enumerate() {
                     // Dynamic window shrink, as in word2vec.
                     let b = rng.random_range(1..=window);
@@ -222,15 +367,16 @@ impl SgnsModel {
                             continue;
                         }
                         let context = walk[ctx_pos];
-                        let lr = lr0 * (1.0 - done as f64 / total_updates).max(1e-4);
-                        epoch_loss += self.update_pair(center.index(), context.index(), 1.0, lr);
-                        for _ in 0..negatives {
-                            let neg = table.sample(&mut rng);
-                            if neg == context.index() {
-                                continue;
-                            }
-                            epoch_loss += self.update_pair(center.index(), neg, 0.0, lr);
-                        }
+                        let lr = lr0 * (1.0 - done as f64 * inv_total_updates).max(1e-4);
+                        epoch_loss += self.train_group(
+                            center.index(),
+                            context.index(),
+                            negatives,
+                            table,
+                            &mut rng,
+                            lr,
+                            &mut cgrad,
+                        );
                         stats.updates += 1 + negatives;
                         epoch_pairs += 1;
                         done += 1;
@@ -263,6 +409,7 @@ mod tests {
             }
         }
         g.add_edge(nodes[4], nodes[5]);
+        g.finalize();
         let cfg = WalkConfig {
             walks_per_node: 20,
             walk_length: 8,
@@ -271,10 +418,8 @@ mod tests {
         };
         let corpus = Walker::new(&g, cfg, seed).corpus();
         let mut counts = vec![0usize; g.node_count()];
-        for w in &corpus.walks {
-            for n in w {
-                counts[n.index()] += 1;
-            }
+        for n in corpus.tokens() {
+            counts[n.index()] += 1;
         }
         (g, corpus, counts)
     }
@@ -400,5 +545,23 @@ mod tests {
         let stats = model.train(&WalkCorpus::default(), &table, 3, 4, 2, 0.05, 0);
         assert_eq!(stats.updates, 0);
         assert_eq!(model.embedding(NodeId(0)), before.as_slice());
+    }
+
+    #[test]
+    fn frozen_context_rows_still_teach_the_center() {
+        // A frozen context must contribute gradient to an unfrozen center
+        // without its own row moving.
+        let counts = vec![5usize, 5];
+        let table = NegativeTable::new(&counts);
+        let mut model = SgnsModel::new(2, 4, 1);
+        // Nudge out vectors away from zero so the center gradient is nonzero.
+        let corpus = WalkCorpus::from_nested(&[vec![NodeId(0), NodeId(1)]]);
+        model.train(&corpus, &table, 1, 1, 2, 0.1, 2);
+        model.frozen[1] = true;
+        let frozen_in = model.embedding(NodeId(1)).to_vec();
+        let center_before = model.embedding(NodeId(0)).to_vec();
+        model.train(&corpus, &table, 1, 1, 3, 0.1, 3);
+        assert_eq!(model.embedding(NodeId(1)), frozen_in.as_slice());
+        assert_ne!(model.embedding(NodeId(0)), center_before.as_slice());
     }
 }

@@ -1,0 +1,221 @@
+//! Walker's alias method (Walker 1977, Vose 1991): O(1) sampling from any
+//! fixed discrete distribution.
+//!
+//! Construction is O(n): the weights are normalised to mean 1 and split
+//! into "small" (< 1) and "large" (≥ 1) columns; each small column is
+//! topped up to exactly 1 by an alias pointing at a large one. A sample is
+//! then one uniform column draw plus one uniform float: return the column
+//! itself with probability `prob[i]`, its alias otherwise. Compare the
+//! O(log n) binary search of a CDF table — on hot paths (negative sampling
+//! draws per SGNS pair) the alias table replaces a pointer-chasing search
+//! with two array reads.
+//!
+//! Construction is fully deterministic (index-ordered worklists), so a
+//! table built from the same weights is always byte-identical — a
+//! prerequisite for the workspace's bit-reproducibility guarantee.
+
+use crate::rng::Rng;
+
+/// A prepared alias table over `weights.len()` outcomes.
+///
+/// Acceptance thresholds are stored as fixed-point `u64` fractions of
+/// 2⁶⁴, which lets [`AliasTable::sample`] spend **one** RNG draw per
+/// sample: the high bits of the Lemire product select the column and the
+/// low bits are reused as the (conditionally uniform) acceptance
+/// fraction, whose within-column granularity is `n`/2⁶⁴ — far under any
+/// statistical resolution for realistic `n`.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance threshold per column: `round(prob · 2⁶⁴)`, saturated.
+    thresh: Vec<u64>,
+    /// Fallback outcome per column.
+    alias: Vec<u32>,
+    /// Total (unnormalised) input mass; zero means "nothing to sample".
+    total: f64,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights. Outcomes with zero weight are never
+    /// sampled (as long as any weight is positive). Panics on negative or
+    /// non-finite weights.
+    pub fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        let mut total = 0.0;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0");
+            total += w;
+        }
+        let mut prob = vec![1.0; n];
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        if total <= 0.0 || n == 0 {
+            // Degenerate: keep an identity table; `total` records emptiness.
+            return AliasTable {
+                thresh: vec![u64::MAX; n],
+                alias,
+                total,
+            };
+        }
+        // Normalise to mean 1 and split into worklists, in index order for
+        // determinism.
+        let scale = n as f64 / total;
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            let (s, l) = (s as usize, l as usize);
+            prob[s] = scaled[s];
+            alias[s] = l as u32;
+            // Move the donated mass out of the large column.
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l as u32);
+            }
+        }
+        // Leftovers (rounding drift) saturate to probability 1. A column
+        // with exactly zero input weight can never be left over: while it
+        // sits in `small`, the remaining mean stays above 1, so `large`
+        // cannot drain first.
+        for &l in &large {
+            prob[l as usize] = 1.0;
+        }
+        for &s in &small {
+            prob[s as usize] = 1.0;
+        }
+        // Fixed-point thresholds; prob 1.0 saturates to u64::MAX, whose
+        // 2⁻⁶⁴ alias branch is safe (the alias is the column itself unless
+        // it was explicitly paired).
+        let thresh = prob
+            .iter()
+            .map(|&p| {
+                if p >= 1.0 {
+                    u64::MAX
+                } else {
+                    (p * (u64::MAX as f64)) as u64
+                }
+            })
+            .collect();
+        AliasTable {
+            thresh,
+            alias,
+            total,
+        }
+    }
+
+    /// Number of outcomes (including zero-weight ones).
+    pub fn len(&self) -> usize {
+        self.thresh.len()
+    }
+
+    /// `true` iff the table has no outcome with positive mass.
+    pub fn is_empty(&self) -> bool {
+        self.total <= 0.0
+    }
+
+    /// Total input mass the table was built from.
+    pub fn total_weight(&self) -> f64 {
+        self.total
+    }
+
+    /// Sample one outcome index in O(1) with a **single** RNG draw: the
+    /// Lemire product's high bits pick the column, its low bits (uniform
+    /// within the column up to n/2⁶⁴) decide column vs alias.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        debug_assert!(!self.is_empty(), "sampling from an empty alias table");
+        let n = self.thresh.len() as u64;
+        let m = (rng.next_u64() as u128) * (n as u128);
+        let i = (m >> 64) as usize;
+        if (m as u64) < self.thresh[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DetRng;
+
+    fn histogram(table: &AliasTable, draws: usize, seed: u64) -> Vec<usize> {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut hist = vec![0usize; table.len()];
+        for _ in 0..draws {
+            hist[table.sample(&mut rng)] += 1;
+        }
+        hist
+    }
+
+    #[test]
+    fn matches_weights_within_tolerance() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let table = AliasTable::new(&weights);
+        let hist = histogram(&table, 40_000, 1);
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = 40_000.0 * w / total;
+            let got = hist[i] as f64;
+            assert!(
+                (got - expect).abs() < expect * 0.1 + 30.0,
+                "outcome {i}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_sampled() {
+        let table = AliasTable::new(&[0.0, 5.0, 0.0, 1.0, 0.0]);
+        let hist = histogram(&table, 20_000, 2);
+        assert_eq!(hist[0], 0);
+        assert_eq!(hist[2], 0);
+        assert_eq!(hist[4], 0);
+        assert!(hist[1] > hist[3]);
+    }
+
+    #[test]
+    fn single_and_empty_tables() {
+        let one = AliasTable::new(&[3.5]);
+        let mut rng = DetRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(one.sample(&mut rng), 0);
+        }
+        assert!(AliasTable::new(&[]).is_empty());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_empty());
+        assert!(!AliasTable::new(&[0.0, 0.1]).is_empty());
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let w = [0.3, 0.0, 2.0, 1.0, 0.7];
+        let a = AliasTable::new(&w);
+        let b = AliasTable::new(&w);
+        assert_eq!(a.thresh, b.thresh);
+        assert_eq!(a.alias, b.alias);
+    }
+
+    #[test]
+    fn extreme_skew_keeps_all_positive_outcomes_reachable() {
+        let table = AliasTable::new(&[1e-9, 1e9]);
+        let hist = histogram(&table, 50_000, 3);
+        // The heavy outcome dominates; the light one just must not panic
+        // and the probabilities must stay normalised.
+        assert!(hist[1] > 49_000);
+        assert_eq!(hist[0] + hist[1], 50_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_weights() {
+        let _ = AliasTable::new(&[1.0, f64::NAN]);
+    }
+}

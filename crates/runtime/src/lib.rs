@@ -21,12 +21,20 @@
 //! The shard count defaults to the machine's available parallelism and can
 //! be pinned with the `STEMBED_SHARDS` environment variable (or explicitly
 //! via [`Runtime::new`]).
+//!
+//! The crate also hosts the shared **O(1) discrete sampler**
+//! ([`alias::AliasTable`], Walker 1977): any compute layer that repeatedly
+//! draws from a fixed weighted distribution (negative sampling, weighted
+//! transitions) builds one table up front and pays two array reads per
+//! draw instead of a binary search.
 
+pub mod alias;
 pub mod par;
 mod pool;
 pub mod rng;
 pub mod seed;
 
+pub use alias::AliasTable;
 pub use par::Runtime;
 pub use rng::{DetRng, Rng, SplitMix64};
 pub use seed::{derive_seed, stream_rng};

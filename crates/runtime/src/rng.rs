@@ -138,16 +138,26 @@ impl SampleRange<f64> for RangeInclusive<f64> {
 
 /// Unbiased uniform draw from `[0, span)` (Lemire's multiply-shift with
 /// rejection). `span` must be non-zero.
+///
+/// The expensive `% span` that defines the rejection threshold is only
+/// computed when the low half of the product falls below `span` — the
+/// branch taken with probability `span / 2^64` — so the common path is one
+/// multiply. The accepted set and mapping are identical to the always-
+/// compute-threshold formulation (threshold < span), so the output stream
+/// is unchanged.
+#[inline]
 fn uniform_u64<G: Rng + ?Sized>(rng: &mut G, span: u64) -> u64 {
     debug_assert!(span > 0);
-    let threshold = span.wrapping_neg() % span;
-    loop {
-        let x = rng.next_u64();
-        let m = (x as u128) * (span as u128);
-        if (m as u64) >= threshold {
-            return (m >> 64) as u64;
+    let x = rng.next_u64();
+    let mut m = (x as u128) * (span as u128);
+    if (m as u64) < span {
+        let threshold = span.wrapping_neg() % span;
+        while (m as u64) < threshold {
+            let x = rng.next_u64();
+            m = (x as u128) * (span as u128);
         }
     }
+    (m >> 64) as u64
 }
 
 /// The workspace's deterministic generator: xoshiro256++.

@@ -3,7 +3,11 @@
 # into BENCH_static_embed.json at the repo root, so the perf trajectory of
 # the workspace is tracked across PRs.
 #
-# Usage: scripts/bench.sh [extra cargo-bench args]
+# Usage: scripts/bench.sh [--compare BASELINE.json] [extra cargo-bench args]
+#
+# With --compare, per-benchmark speedups against the baseline JSON (e.g.
+# the committed BENCH_static_embed.json) are printed after the run:
+# speedup = baseline median / new median, so >1.0 means faster.
 #
 # The `forward_shards` group trains the same FoRWaRD embedding at 1/2/4/8
 # shards; outputs are bit-identical (tests/determinism.rs), only wall-clock
@@ -14,19 +18,36 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+BASELINE=""
+if [[ "${1:-}" == "--compare" ]]; then
+  BASELINE="${2:?--compare needs a baseline JSON path}"
+  shift 2
+fi
+
 OUT="${BENCH_OUT:-BENCH_static_embed.json}"
 case "$OUT" in
   /*) ABS_OUT="$OUT" ;;
   *) ABS_OUT="$PWD/$OUT" ;;
 esac
+if [[ -n "$BASELINE" ]]; then
+  case "$BASELINE" in
+    /*) ;;
+    *) BASELINE="$PWD/$BASELINE" ;;
+  esac
+  # Snapshot now: OUT may be the baseline file itself.
+  BASELINE_COPY="$(mktemp)"
+  trap 'rm -f "$BASELINE_COPY"' EXIT
+  cp "$BASELINE" "$BASELINE_COPY"
+fi
 
 echo "machine: $(nproc) core(s)"
 STEMBED_BENCH_JSON="$ABS_OUT" cargo bench -p bench --bench static_embed "$@"
 
-python3 - "$ABS_OUT" <<'EOF'
+python3 - "$ABS_OUT" "${BASELINE_COPY:-}" <<'EOF'
 import json, os, sys
 
 path = sys.argv[1]
+baseline_path = sys.argv[2] if len(sys.argv) > 2 and sys.argv[2] else None
 with open(path) as f:
     results = json.load(f)
 
@@ -50,4 +71,27 @@ if "1" in shard and "4" in shard:
     print(f"\nforward_shards: 4-shard speedup over 1 shard = {ratio:.2f}x "
           f"(on {os.cpu_count()} core(s); >=2x expected from 4+ cores)")
 print(f"wrote {path}")
+
+if baseline_path:
+    with open(baseline_path) as f:
+        base = json.load(f)
+    base_results = base["results"] if isinstance(base, dict) else base
+    base_by_key = {(r["group"], r["id"]): r["median_ns"] for r in base_results}
+    print(f"\nspeedup vs baseline (baseline median / new median):")
+    print(f"  {'benchmark':<28} {'baseline':>12} {'new':>12} {'speedup':>8}")
+    worst = None
+    for r in results:
+        key = (r["group"], r["id"])
+        if key not in base_by_key:
+            print(f"  {r['group'] + '/' + r['id']:<28} {'—':>12} "
+                  f"{r['median_ns'] / 1e6:>10.1f}ms {'new':>8}")
+            continue
+        ratio = base_by_key[key] / r["median_ns"]
+        print(f"  {r['group'] + '/' + r['id']:<28} "
+              f"{base_by_key[key] / 1e6:>10.1f}ms {r['median_ns'] / 1e6:>10.1f}ms "
+              f"{ratio:>7.2f}x")
+        if worst is None or ratio < worst[1]:
+            worst = (r["id"], ratio)
+    if worst:
+        print(f"  worst speedup: {worst[0]} at {worst[1]:.2f}x")
 EOF

@@ -124,24 +124,31 @@ fn value_display_parse_roundtrip() {
     }
 }
 
+/// Build a seeded random graph for the walk properties.
+fn random_graph(case: u64, salt: u64) -> (stembed::dbgraph::Graph, u64) {
+    use stembed::dbgraph::{Graph, NodeId};
+    let mut rng = stream_rng(salt, case);
+    let mut g = Graph::new();
+    for _ in 0..12 {
+        g.add_node();
+    }
+    for _ in 0..rng.random_range(1..40usize) {
+        let a = rng.random_range(0..12usize) as u32;
+        let b = rng.random_range(0..12usize) as u32;
+        if a != b {
+            g.add_edge(NodeId(a), NodeId(b));
+        }
+    }
+    g.finalize();
+    (g, rng.next_u64())
+}
+
 /// Random walks over any generated graph only traverse real edges.
 #[test]
 fn walks_follow_edges() {
-    use stembed::dbgraph::{Graph, NodeId, WalkConfig, Walker};
+    use stembed::dbgraph::{WalkConfig, Walker};
     for case in 0..CASES {
-        let mut rng = stream_rng(0xed6e, case);
-        let mut g = Graph::new();
-        for _ in 0..12 {
-            g.add_node();
-        }
-        for _ in 0..rng.random_range(1..40usize) {
-            let a = rng.random_range(0..12usize) as u32;
-            let b = rng.random_range(0..12usize) as u32;
-            if a != b {
-                g.add_edge(NodeId(a), NodeId(b));
-            }
-        }
-        let seed = rng.next_u64();
+        let (g, seed) = random_graph(case, 0xed6e);
         let cfg = WalkConfig {
             walks_per_node: 2,
             walk_length: 6,
@@ -149,10 +156,96 @@ fn walks_follow_edges() {
             q: 2.0,
         };
         let corpus = Walker::new(&g, cfg, seed).corpus();
-        for walk in &corpus.walks {
+        for walk in corpus.iter() {
             for pair in walk.windows(2) {
                 assert!(g.has_edge(pair[0], pair[1]), "case {case}: non-edge");
             }
         }
+    }
+}
+
+/// The flat token-arena corpus yields exactly the same (center, context)
+/// pair stream as the equivalent nested `Vec<Vec<NodeId>>` corpus, for a
+/// fixed context window, on seeded random graphs.
+#[test]
+fn flat_corpus_pair_stream_matches_nested() {
+    use stembed::dbgraph::{NodeId, WalkConfig, Walker};
+    const WINDOW: usize = 3;
+    for case in 0..CASES {
+        let (g, seed) = random_graph(case, 0xf1a7);
+        let cfg = WalkConfig {
+            walks_per_node: 3,
+            walk_length: 8,
+            ..Default::default()
+        };
+        let corpus = Walker::new(&g, cfg, seed).corpus();
+        let nested: Vec<Vec<NodeId>> = corpus.iter().map(|w| w.to_vec()).collect();
+
+        let pairs_of = |walks: &mut dyn Iterator<Item = &[NodeId]>| -> Vec<(NodeId, NodeId)> {
+            let mut pairs = Vec::new();
+            for walk in walks {
+                for (pos, &center) in walk.iter().enumerate() {
+                    let lo = pos.saturating_sub(WINDOW);
+                    let hi = (pos + WINDOW).min(walk.len() - 1);
+                    for (ctx_pos, &context) in walk.iter().enumerate().take(hi + 1).skip(lo) {
+                        if ctx_pos != pos {
+                            pairs.push((center, context));
+                        }
+                    }
+                }
+            }
+            pairs
+        };
+        let flat_pairs = pairs_of(&mut corpus.iter());
+        let nested_pairs = pairs_of(&mut nested.iter().map(|w| w.as_slice()));
+        assert!(!flat_pairs.is_empty() || corpus.is_empty(), "case {case}");
+        assert_eq!(flat_pairs, nested_pairs, "case {case}: pair streams differ");
+        // And the flat corpus round-trips through the nested form.
+        assert_eq!(
+            stembed::dbgraph::WalkCorpus::from_nested(&nested),
+            corpus,
+            "case {case}"
+        );
+    }
+}
+
+/// Alias-method negative sampling draws from the smoothed unigram
+/// distribution: chi-square of the empirical histogram against the exact
+/// `count^0.75` masses stays within a generous envelope on seeded cases.
+#[test]
+fn negative_table_matches_smoothed_frequencies() {
+    use stembed::node2vec::NegativeTable;
+    const DRAWS: usize = 20_000;
+    for case in 0..16 {
+        let mut rng = stream_rng(0xa1ce, case);
+        let n = rng.random_range(2..20usize);
+        let counts: Vec<usize> = (0..n).map(|_| rng.random_range(0..300usize)).collect();
+        if counts.iter().all(|&c| c == 0) {
+            continue;
+        }
+        let table = NegativeTable::new(&counts);
+        let mut hist = vec![0usize; n];
+        let mut draw_rng = stream_rng(0xd0d0, case);
+        for _ in 0..DRAWS {
+            hist[table.sample(&mut draw_rng)] += 1;
+        }
+        let weights: Vec<f64> = counts.iter().map(|&c| (c as f64).powf(0.75)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut chi = 0.0;
+        let mut dof = 0usize;
+        for i in 0..n {
+            let expect = DRAWS as f64 * weights[i] / total;
+            if expect == 0.0 {
+                assert_eq!(hist[i], 0, "case {case}: zero-mass slot {i} sampled");
+                continue;
+            }
+            chi += (hist[i] as f64 - expect).powi(2) / expect;
+            dof += 1;
+        }
+        let bound = (dof as f64 - 1.0) + 6.0 * (2.0 * dof as f64).sqrt() + 6.0;
+        assert!(
+            chi < bound,
+            "case {case}: chi-square {chi:.1} over {bound:.1}"
+        );
     }
 }
