@@ -129,6 +129,7 @@ fn bench_nnew_samples(c: &mut Criterion) {
                 |mut emb| {
                     let opts = stembed_core::ExtendOptions {
                         nnew_samples: Some(nnew),
+                        ..Default::default()
                     };
                     emb.extend_with(&db, victim, 5, opts).unwrap();
                     black_box(emb.embedding(victim).map(|v| v[0]))

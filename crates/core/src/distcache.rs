@@ -1,0 +1,489 @@
+//! Walk-distribution cache for the KD/dynamic stack.
+//!
+//! The dynamic phase (paper §V-E) prices one equation `cᵀ ϕ(f_new) = y`
+//! per `(f_old, s, A)` triple, and every `y` is a `KD` value whose exact
+//! path needs two destination distributions. Uncached, `solve_new_vector`
+//! used to re-run the **same** probability-propagating BFS
+//! ([`destination_distribution`]) once per equation for the `f_new` side
+//! (`per_target × targets` times per insert) and once per attribute for
+//! targets sharing a scheme. Both are pure functions of
+//! `(database, scheme, start)` — this module memoises them.
+//!
+//! ## Keys and invalidation
+//!
+//! * [`FactDistribution`] is keyed by `(scheme, start)`;
+//! * [`ValueDistribution`] by `(scheme, attr, start)`;
+//! * both are valid only for one `(db_id, epoch, support_limit)` triple.
+//!
+//! `reldb::Database` carries a **mutation epoch** (bumped by every insert,
+//! restore, and delete) and a process-unique **lineage id** (fresh per
+//! constructor *and per clone*). [`DistCache::revalidate`] compares the
+//! cache's binding against the database about to be read and clears
+//! everything on any mismatch — so inserts/deletes invalidate correctly,
+//! and a cache can never serve entries computed against a different
+//! database object that happens to share an epoch number.
+//!
+//! ## Determinism contract
+//!
+//! Cached and recomputed lookups are interchangeable **bit for bit**: the
+//! distributions are deterministic in their key (supports are canonically
+//! ordered — see [`FactDistribution::support`]), and no RNG is ever
+//! consumed on the exact path, so a cache hit cannot shift any random
+//! stream. Sharded callers take a read-only [`DistCache::view`] per work
+//! item, record misses in a private [`DistCacheDelta`], and
+//! [`DistCache::absorb`] the deltas **in item order** after the parallel
+//! section — the shard count decides only *when* a miss is computed, never
+//! *what* any caller observes.
+
+use crate::schemes::WalkScheme;
+use crate::walkdist::{
+    destination_distribution_status, value_distribution, DistStatus, FactDistribution,
+    ValueDistribution,
+};
+use reldb::{Database, FactId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cached fact-level entry: the distribution behind an [`Arc`], or the
+/// exact reason there is none ([`DistStatus::TooLarge`] /
+/// [`DistStatus::Nonexistent`] are cached as negative entries).
+pub type CachedFactDist = DistStatus<Arc<FactDistribution>>;
+/// Cached value-level entry (see [`CachedFactDist`]).
+pub type CachedValueDist = DistStatus<Arc<ValueDistribution>>;
+
+// Two-level maps, outer-keyed by scheme: lookups hash the (cheap) borrowed
+// scheme once and the inner key is `Copy` — the flat
+// `(WalkScheme, FactId)`-keyed alternative would clone the scheme's step
+// vector on every probe just to build a key.
+type FactMap = HashMap<WalkScheme, HashMap<FactId, CachedFactDist>>;
+type ValueMap = HashMap<WalkScheme, HashMap<(usize, FactId), CachedValueDist>>;
+
+fn map_len<K, K2, V>(map: &HashMap<K, HashMap<K2, V>>) -> usize {
+    map.values().map(|inner| inner.len()).sum()
+}
+
+fn put<K2: std::hash::Hash + Eq, V>(
+    map: &mut HashMap<WalkScheme, HashMap<K2, V>>,
+    scheme: &WalkScheme,
+    key: K2,
+    value: V,
+) {
+    match map.get_mut(scheme) {
+        Some(inner) => {
+            inner.insert(key, value);
+        }
+        None => {
+            // Only the first entry of a scheme pays for cloning it.
+            map.entry(scheme.clone()).or_default().insert(key, value);
+        }
+    }
+}
+
+/// Hit/miss counters of a [`DistCache`] (diagnostics and tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (including negative entries).
+    pub hits: u64,
+    /// Lookups that had to compute (and then stored) their result.
+    pub misses: u64,
+    /// Times the whole cache was dropped because the database moved on
+    /// (epoch or lineage change) or the support limit changed.
+    pub invalidations: u64,
+}
+
+/// Memo table for exact walk distributions, bound to one
+/// `(db_id, epoch, support_limit)` snapshot at a time.
+///
+/// Negative results are cached too — with their exact reason: a
+/// [`DistStatus::Nonexistent`] entry lets `KD` skip Monte-Carlo sampling
+/// entirely (the value is exactly `None`), while [`DistStatus::TooLarge`]
+/// routes to the sampling fallback. Both are as expensive to rediscover as
+/// a real distribution.
+#[derive(Debug, Clone, Default)]
+pub struct DistCache {
+    /// Lineage of the database the entries were computed against
+    /// (`0` = not yet bound).
+    db_id: u64,
+    epoch: u64,
+    support_limit: usize,
+    facts: FactMap,
+    values: ValueMap,
+    stats: CacheStats,
+}
+
+impl DistCache {
+    /// Empty, unbound cache. The first [`DistCache::revalidate`] binds it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` when the cache is bound to `db`'s current state and `limit`.
+    fn current_for(&self, db: &Database, limit: usize) -> bool {
+        self.db_id == db.db_id() && self.epoch == db.epoch() && self.support_limit == limit
+    }
+
+    /// Bind the cache to `db`'s current `(db_id, epoch)` under the exact
+    /// support cap `limit`, dropping every entry if any of the three
+    /// changed. Call before a batch of lookups; a no-op while the database
+    /// is unmutated.
+    pub fn revalidate(&mut self, db: &Database, limit: usize) {
+        if self.current_for(db, limit) {
+            return;
+        }
+        if !(self.facts.is_empty() && self.values.is_empty()) {
+            self.stats.invalidations += 1;
+            self.facts.clear();
+            self.values.clear();
+        }
+        self.db_id = db.db_id();
+        self.epoch = db.epoch();
+        self.support_limit = limit;
+    }
+
+    /// Memoised [`destination_distribution_status`] of `(scheme, start)`.
+    ///
+    /// The cache must be [revalidated](DistCache::revalidate) against `db`
+    /// first (debug-asserted).
+    pub fn fact_distribution(
+        &mut self,
+        db: &Database,
+        scheme: &WalkScheme,
+        start: FactId,
+    ) -> CachedFactDist {
+        debug_assert!(
+            self.current_for(db, self.support_limit),
+            "DistCache used without revalidate()"
+        );
+        if let Some(hit) = self.facts.get(scheme).and_then(|m| m.get(&start)) {
+            self.stats.hits += 1;
+            return hit.clone();
+        }
+        self.stats.misses += 1;
+        let computed =
+            destination_distribution_status(db, scheme, start, self.support_limit).map(Arc::new);
+        put(&mut self.facts, scheme, start, computed.clone());
+        computed
+    }
+
+    /// Memoised `d_{start,scheme}[attr]` (via the fact-level entry, which
+    /// is shared by all attributes of the same scheme).
+    pub fn value_distribution(
+        &mut self,
+        db: &Database,
+        scheme: &WalkScheme,
+        attr: usize,
+        start: FactId,
+    ) -> CachedValueDist {
+        debug_assert!(
+            self.current_for(db, self.support_limit),
+            "DistCache used without revalidate()"
+        );
+        if let Some(hit) = self.values.get(scheme).and_then(|m| m.get(&(attr, start))) {
+            self.stats.hits += 1;
+            return hit.clone();
+        }
+        // A value-level miss is its own miss (the marginalisation work),
+        // on top of whatever the fact-level lookup below records.
+        self.stats.misses += 1;
+        let computed = marginalise(db, self.fact_distribution(db, scheme, start), attr);
+        put(&mut self.values, scheme, (attr, start), computed.clone());
+        computed
+    }
+
+    /// Read-only snapshot handle for one work item of a sharded section.
+    /// Requires the cache to be revalidated against the database the view
+    /// will read (debug-asserted at lookup time).
+    pub fn view(&self) -> DistCacheView<'_> {
+        DistCacheView {
+            base: self,
+            delta: DistCacheDelta::default(),
+        }
+    }
+
+    /// Merge a view's privately computed entries back. Call once per work
+    /// item, **in item order** — with that discipline the cache contents
+    /// after a sharded section are independent of the shard count (entry
+    /// values are pure in their key, so collisions carry equal data and
+    /// "first item wins" is well defined).
+    pub fn absorb(&mut self, delta: DistCacheDelta) {
+        for (scheme, inner) in delta.facts {
+            let target = self.facts.entry(scheme).or_default();
+            for (k, v) in inner {
+                target.entry(k).or_insert(v);
+            }
+        }
+        for (scheme, inner) in delta.values {
+            let target = self.values.entry(scheme).or_default();
+            for (k, v) in inner {
+                target.entry(k).or_insert(v);
+            }
+        }
+        self.stats.hits += delta.hits;
+        self.stats.misses += delta.misses;
+    }
+
+    /// Lifetime hit/miss/invalidation counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of memoised entries (fact-level + value-level).
+    pub fn len(&self) -> usize {
+        map_len(&self.facts) + map_len(&self.values)
+    }
+
+    /// `true` when nothing is memoised.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty() && self.values.is_empty()
+    }
+}
+
+/// Marginalise a cached fact-level entry to `attr` ("all destinations
+/// null/dead" is exact [`DistStatus::Nonexistent`] knowledge, like an
+/// empty walk set).
+fn marginalise(db: &Database, facts: CachedFactDist, attr: usize) -> CachedValueDist {
+    match facts {
+        DistStatus::Exists(fd) => match value_distribution(db, &fd, attr) {
+            Some(values) => DistStatus::Exists(Arc::new(values)),
+            None => DistStatus::Nonexistent,
+        },
+        DistStatus::TooLarge => DistStatus::TooLarge,
+        DistStatus::Nonexistent => DistStatus::Nonexistent,
+    }
+}
+
+/// Per-work-item overlay over a shared [`DistCache`] snapshot: reads hit
+/// the base first, misses are computed into a private delta. Safe to use
+/// from any shard because the base is never written.
+pub struct DistCacheView<'a> {
+    base: &'a DistCache,
+    delta: DistCacheDelta,
+}
+
+/// The privately computed entries of one [`DistCacheView`], to be
+/// [absorbed](DistCache::absorb) in item order.
+#[derive(Debug, Default)]
+pub struct DistCacheDelta {
+    facts: FactMap,
+    values: ValueMap,
+    hits: u64,
+    misses: u64,
+}
+
+impl DistCacheView<'_> {
+    /// [`DistCache::fact_distribution`] against base-then-delta.
+    pub fn fact_distribution(
+        &mut self,
+        db: &Database,
+        scheme: &WalkScheme,
+        start: FactId,
+    ) -> CachedFactDist {
+        debug_assert!(
+            self.base.current_for(db, self.base.support_limit),
+            "DistCacheView used against a database the base was not revalidated for"
+        );
+        if let Some(hit) = self
+            .base
+            .facts
+            .get(scheme)
+            .and_then(|m| m.get(&start))
+            .or_else(|| self.delta.facts.get(scheme).and_then(|m| m.get(&start)))
+        {
+            self.delta.hits += 1;
+            return hit.clone();
+        }
+        self.delta.misses += 1;
+        let computed = destination_distribution_status(db, scheme, start, self.base.support_limit)
+            .map(Arc::new);
+        put(&mut self.delta.facts, scheme, start, computed.clone());
+        computed
+    }
+
+    /// [`DistCache::value_distribution`] against base-then-delta.
+    pub fn value_distribution(
+        &mut self,
+        db: &Database,
+        scheme: &WalkScheme,
+        attr: usize,
+        start: FactId,
+    ) -> CachedValueDist {
+        debug_assert!(
+            self.base.current_for(db, self.base.support_limit),
+            "DistCacheView used against a database the base was not revalidated for"
+        );
+        if let Some(hit) = self
+            .base
+            .values
+            .get(scheme)
+            .and_then(|m| m.get(&(attr, start)))
+            .or_else(|| {
+                self.delta
+                    .values
+                    .get(scheme)
+                    .and_then(|m| m.get(&(attr, start)))
+            })
+        {
+            self.delta.hits += 1;
+            return hit.clone();
+        }
+        // Own value-level miss, on top of the fact-level lookup's count.
+        self.delta.misses += 1;
+        let computed = marginalise(db, self.fact_distribution(db, scheme, start), attr);
+        put(
+            &mut self.delta.values,
+            scheme,
+            (attr, start),
+            computed.clone(),
+        );
+        computed
+    }
+
+    /// Finish the view, handing its private entries to the caller for an
+    /// in-order [`DistCache::absorb`].
+    pub fn into_delta(self) -> DistCacheDelta {
+        self.delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::enumerate_schemes;
+    use reldb::movies::movies_database_labeled;
+    use reldb::{cascade_delete, restore_journal};
+
+    fn s5(db: &Database) -> WalkScheme {
+        let schema = db.schema();
+        let actors = schema.relation_id("ACTORS").unwrap();
+        enumerate_schemes(schema, actors, 3, false)
+            .into_iter()
+            .find(|s| {
+                s.display(schema).to_string()
+                    == "ACTORS[aid]—COLLABORATIONS[actor1], COLLABORATIONS[movie]—MOVIES[mid]"
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn caches_and_counts_hits() {
+        let (db, ids) = movies_database_labeled();
+        let scheme = s5(&db);
+        let mut cache = DistCache::new();
+        cache.revalidate(&db, 256);
+        let a = cache.value_distribution(&db, &scheme, 4, ids["a1"]);
+        let misses = cache.stats().misses;
+        let b = cache.value_distribution(&db, &scheme, 4, ids["a1"]);
+        let (a, b) = (a.exists().unwrap(), b.exists().unwrap());
+        assert!(Arc::ptr_eq(a, b), "second lookup must be the same Arc");
+        assert_eq!(cache.stats().misses, misses, "no new miss on a hit");
+        assert!(cache.stats().hits >= 1);
+        // A second attribute of the same scheme reuses the fact-level BFS.
+        let fact_entries = map_len(&cache.facts);
+        cache.value_distribution(&db, &scheme, 3, ids["a1"]);
+        assert_eq!(
+            map_len(&cache.facts),
+            fact_entries,
+            "fact BFS shared across attrs"
+        );
+    }
+
+    #[test]
+    fn negative_results_are_cached() {
+        let (db, ids) = movies_database_labeled();
+        let schema = db.schema();
+        let actors = schema.relation_id("ACTORS").unwrap();
+        let s1 = enumerate_schemes(schema, actors, 1, false)
+            .into_iter()
+            .find(|s| s.display(schema).to_string() == "ACTORS[aid]—COLLABORATIONS[actor1]")
+            .unwrap();
+        let mut cache = DistCache::new();
+        cache.revalidate(&db, 256);
+        // a3 has no actor1 walks: a (cached) exact negative entry.
+        assert!(cache
+            .fact_distribution(&db, &s1, ids["a3"])
+            .is_nonexistent());
+        let misses = cache.stats().misses;
+        assert!(cache
+            .fact_distribution(&db, &s1, ids["a3"])
+            .is_nonexistent());
+        assert_eq!(cache.stats().misses, misses);
+    }
+
+    #[test]
+    fn mutation_epoch_invalidates() {
+        let (mut db, ids) = movies_database_labeled();
+        let scheme = s5(&db);
+        let mut cache = DistCache::new();
+        cache.revalidate(&db, 256);
+        let before = cache.value_distribution(&db, &scheme, 4, ids["a1"]);
+        let before = before.exists().unwrap().clone();
+        assert_eq!(before.support.len(), 2);
+
+        // Delete m6 (+ its collaboration): a1's budget marginal collapses.
+        let journal = cascade_delete(&mut db, ids["m6"], false).unwrap();
+        cache.revalidate(&db, 256);
+        assert!(cache.is_empty(), "epoch change must clear the cache");
+        assert_eq!(cache.stats().invalidations, 1);
+        let during = cache.value_distribution(&db, &scheme, 4, ids["a1"]);
+        assert_eq!(during.exists().unwrap().support.len(), 1);
+
+        // Restore: a new epoch again; the original distribution comes back.
+        restore_journal(&mut db, &journal).unwrap();
+        cache.revalidate(&db, 256);
+        let after = cache.value_distribution(&db, &scheme, 4, ids["a1"]);
+        assert_eq!(after.exists().unwrap().support, before.support);
+    }
+
+    #[test]
+    fn clone_lineage_and_limit_changes_invalidate() {
+        let (db, ids) = movies_database_labeled();
+        let scheme = s5(&db);
+        let mut cache = DistCache::new();
+        cache.revalidate(&db, 256);
+        cache.value_distribution(&db, &scheme, 4, ids["a1"]);
+        assert!(!cache.is_empty());
+        // Same content, but a clone is a different lineage.
+        let clone = db.clone();
+        cache.revalidate(&clone, 256);
+        assert!(cache.is_empty());
+        cache.value_distribution(&clone, &scheme, 4, ids["a1"]);
+        // A different support limit changes what "over the cap" means.
+        cache.revalidate(&clone, 1);
+        assert!(cache.is_empty());
+        assert_eq!(
+            cache.fact_distribution(&clone, &scheme, ids["a1"]),
+            DistStatus::TooLarge
+        );
+    }
+
+    #[test]
+    fn views_overlay_and_absorb_in_order() {
+        let (db, ids) = movies_database_labeled();
+        let scheme = s5(&db);
+        let mut cache = DistCache::new();
+        cache.revalidate(&db, 256);
+        cache.value_distribution(&db, &scheme, 4, ids["a1"]);
+
+        let deltas: Vec<DistCacheDelta> = (0..2)
+            .map(|i| {
+                let mut view = cache.view();
+                // Base hit for a1, private miss for a4.
+                assert!(view
+                    .value_distribution(&db, &scheme, 4, ids["a1"])
+                    .exists()
+                    .is_some());
+                view.value_distribution(&db, &scheme, 4 - i, ids["a4"]);
+                view.into_delta()
+            })
+            .collect();
+        let before = cache.len();
+        for d in deltas {
+            cache.absorb(d);
+        }
+        assert!(cache.len() > before);
+        // The absorbed entries now serve as base hits.
+        let misses = cache.stats().misses;
+        cache.value_distribution(&db, &scheme, 4, ids["a4"]);
+        assert_eq!(cache.stats().misses, misses);
+    }
+}

@@ -20,19 +20,39 @@
 //! one new vector. This is the stability guarantee of the paper's problem
 //! statement, and the test below asserts bit-identity of every old vector.
 
-use crate::kd::kd;
+use crate::distcache::DistCache;
+use crate::kd::kd_cached;
+use crate::schemes::WalkScheme;
 use crate::train::ForwardEmbedding;
 use crate::CoreError;
 use linalg::{lstsq, LstsqMethod, Matrix};
 use reldb::{Database, FactId};
-use stembed_runtime::stream_rng;
+use std::collections::HashSet;
+use stembed_runtime::{derive_seed, stream_rng};
 
 /// Options controlling the dynamic extension.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct ExtendOptions {
     /// Override the per-target equation budget (`None`: use the trained
     /// config's `nnew_samples`).
     pub nnew_samples: Option<usize>,
+    /// Reuse (and keep warming) the embedding's persistent
+    /// [`DistCache`] across `extend` calls — the default. `false` solves
+    /// against a throwaway cache instead: nothing read before the call,
+    /// nothing kept after. Results are bit-identical either way (the cache
+    /// memoises pure functions and never touches the RNG); the switch
+    /// exists as the reference path for exactly that assertion in
+    /// `tests/determinism.rs`.
+    pub reuse_cache: bool,
+}
+
+impl Default for ExtendOptions {
+    fn default() -> Self {
+        ExtendOptions {
+            nnew_samples: None,
+            reuse_cache: true,
+        }
+    }
 }
 
 impl ForwardEmbedding {
@@ -56,14 +76,33 @@ impl ForwardEmbedding {
         if db.fact(new_fact).is_none() {
             return Err(CoreError::UnknownFact(new_fact));
         }
-        let phi_new = self.solve_new_vector(db, new_fact, seed, options)?;
+        // The persistent cache is taken out of `self` for the solve (which
+        // borrows `self` shared) and put back afterwards; with
+        // `reuse_cache = false` a throwaway cache stands in.
+        let mut cache = if options.reuse_cache {
+            self.take_dist_cache()
+        } else {
+            DistCache::new()
+        };
+        let solved = self.solve_new_vector(db, new_fact, seed, options, &mut cache);
+        if options.reuse_cache {
+            self.put_back_dist_cache(cache);
+        }
+        let phi_new = solved?;
         let norm = linalg::vector::norm2(&phi_new);
         self.insert_phi(new_fact, phi_new);
         Ok(norm)
     }
 
     /// Extend to a batch of new facts, one linear solve each, in order.
-    /// Earlier-extended facts become usable as `f_old` for later ones.
+    /// Earlier-extended facts become usable as `f_old` for later ones, and
+    /// the persistent [`DistCache`] carries across the inserts — the
+    /// database does not change during the batch, so every distribution
+    /// computed for one fact's equations is a hit for the next.
+    ///
+    /// Fact `i` draws from the independent stream family
+    /// `derive_seed(seed, i)`. (It used to be `seed + i`, which made fact
+    /// `i`'s family overlap fact `i+1`'s base seed.)
     pub fn extend_batch(
         &mut self,
         db: &Database,
@@ -71,7 +110,7 @@ impl ForwardEmbedding {
         seed: u64,
     ) -> Result<(), CoreError> {
         for (i, &f) in new_facts.iter().enumerate() {
-            self.extend_with(db, f, seed.wrapping_add(i as u64), ExtendOptions::default())?;
+            self.extend_with(db, f, derive_seed(seed, i as u64), ExtendOptions::default())?;
         }
         Ok(())
     }
@@ -83,12 +122,21 @@ impl ForwardEmbedding {
     /// the derived stream `stream_rng(seed, t)`, and the per-target row
     /// blocks are stacked in target order — so the system `C·ϕ = b`, and
     /// with it the solved vector, is bit-identical at every shard count.
+    ///
+    /// Distribution lookups go through `cache` (revalidated against `db`
+    /// first, so stale entries from before a mutation can never leak in):
+    /// the `f_new`-side distribution is resolved **once per target** rather
+    /// than once per equation, the fact-level BFS of `f_new` is pre-warmed
+    /// once per distinct scheme, and each target works against a read-only
+    /// cache view whose privately computed entries are merged back in
+    /// target order — keeping the result independent of the shard count.
     fn solve_new_vector(
         &self,
         db: &Database,
         new_fact: FactId,
         seed: u64,
         options: ExtendOptions,
+        cache: &mut DistCache,
     ) -> Result<Vec<f64>, CoreError> {
         let config = self.config().clone();
         let per_target = options.nnew_samples.unwrap_or(config.nnew_samples);
@@ -102,6 +150,19 @@ impl ForwardEmbedding {
         }
         candidates.sort_unstable(); // determinism independent of HashMap order
 
+        cache.revalidate(db, config.kd.exact_limit);
+        // Pre-warm the new fact's fact-level BFS once per distinct scheme:
+        // all targets sharing that scheme marginalise the same distribution
+        // to their attribute, so it belongs in the shared snapshot before
+        // the sharded section starts.
+        let mut seen: HashSet<&WalkScheme> = HashSet::new();
+        for target in self.targets() {
+            if seen.insert(&target.scheme) {
+                cache.fact_distribution(db, &target.scheme, new_fact);
+            }
+        }
+
+        let snapshot: &DistCache = cache;
         let assembled = self
             .runtime()
             .par_map_ordered(self.targets(), |t_idx, target| {
@@ -112,25 +173,36 @@ impl ForwardEmbedding {
                     let j = rng.random_range(0..=i);
                     pool.swap(i, j);
                 }
+                let mut view = snapshot.view();
+                // The f_new side of every equation of this target is the
+                // same distribution: resolve it once, not per equation.
+                let q_new = view.value_distribution(db, &target.scheme, target.attr, new_fact);
                 let mut rows: Vec<Vec<f64>> = Vec::new();
                 let mut ys: Vec<f64> = Vec::new();
                 for &f_old in &pool {
                     if rows.len() >= per_target {
                         break;
                     }
+                    // A target whose f_new-side distribution provably does
+                    // not exist can never yield an equation.
+                    if q_new.is_nonexistent() {
+                        break;
+                    }
                     // Dead f_old (deleted since training) can't contribute.
                     if db.fact(f_old).is_none() {
                         continue;
                     }
-                    let Some(y) = kd(
+                    let Some(y) = kd_cached(
                         db,
                         self.kernels(),
                         &target.scheme,
                         target.attr,
                         f_old,
                         new_fact,
+                        &q_new,
                         &config.kd,
                         &mut rng,
+                        &mut view,
                     ) else {
                         continue;
                     };
@@ -141,15 +213,17 @@ impl ForwardEmbedding {
                     rows.push(row);
                     ys.push(y);
                 }
-                (rows, ys)
+                (rows, ys, view.into_delta())
             });
         let mut c = Matrix::zeros(0, 0);
         let mut b = Vec::new();
-        for (rows, ys) in assembled {
+        for (rows, ys, delta) in assembled {
             for row in &rows {
                 c.push_row(row);
             }
             b.extend(ys);
+            // Per-target caches merge in target order (shard-independent).
+            cache.absorb(delta);
         }
         if c.rows() == 0 {
             // No KD equation could be built — the new fact is disconnected
@@ -178,6 +252,7 @@ impl ForwardEmbedding {
 mod tests {
     use super::*;
     use crate::config::ForwardConfig;
+    use crate::kd::kd;
     use reldb::movies::movies_database_labeled;
     use reldb::{cascade_delete, restore_journal};
     use stembed_runtime::rng::DetRng;
@@ -292,6 +367,103 @@ mod tests {
         assert!(emb.embedding(ids["a3"]).is_some());
         assert!(emb.embedding(ids["a5"]).is_some());
         assert_eq!(emb.len(), 5);
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn stale_cache_is_invalidated_by_database_mutations() {
+        // Delete→mutate→restore cycle: the warm cache must never leak
+        // entries computed against an older epoch.
+        let (mut db, ids, journal) = scenario();
+        let actors = db.schema().relation_id("ACTORS").unwrap();
+        let emb0 = ForwardEmbedding::train(&db, actors, &cfg(), 42).unwrap();
+        restore_journal(&mut db, &journal).unwrap();
+
+        let mut emb_warm = emb0.clone();
+        emb_warm.extend(&db, ids["a5"], 7).unwrap();
+        let v1 = emb_warm.embedding(ids["a5"]).unwrap().to_vec();
+        assert!(emb_warm.dist_cache().stats().misses > 0, "cache unused");
+
+        // Mutate the database: cascade-delete m6 (changes the walk
+        // distributions of several embedded actors).
+        let j_m6 = reldb::cascade_delete(&mut db, ids["m6"], false).unwrap();
+        emb_warm.forget(ids["a5"]);
+        emb_warm.extend(&db, ids["a5"], 7).unwrap();
+        let v2_warm = emb_warm.embedding(ids["a5"]).unwrap().to_vec();
+        assert!(
+            emb_warm.dist_cache().stats().invalidations >= 1,
+            "epoch change must drop the warm cache"
+        );
+        // Cold-cache reference on the same mutated database.
+        let mut emb_cold = emb0.clone();
+        emb_cold.extend(&db, ids["a5"], 7).unwrap();
+        let v2_cold = emb_cold.embedding(ids["a5"]).unwrap().to_vec();
+        assert_eq!(bits(&v2_warm), bits(&v2_cold), "stale cache entries leaked");
+        assert_ne!(
+            bits(&v1),
+            bits(&v2_warm),
+            "the deletion must change the solved vector — if it does not, \
+             this test cannot detect stale reuse"
+        );
+
+        // Restore: database content is back to the v1 state (new epoch);
+        // the re-solved vector must be exactly v1 again.
+        restore_journal(&mut db, &j_m6).unwrap();
+        emb_warm.forget(ids["a5"]);
+        emb_warm.extend(&db, ids["a5"], 7).unwrap();
+        assert_eq!(bits(emb_warm.embedding(ids["a5"]).unwrap()), bits(&v1));
+    }
+
+    #[test]
+    fn batch_extension_reuses_the_cache_and_matches_uncached() {
+        let (mut db, ids) = movies_database_labeled();
+        let j1 = cascade_delete(&mut db, ids["a5"], false).unwrap();
+        let j2 = cascade_delete(&mut db, ids["a3"], false).unwrap();
+        let actors = db.schema().relation_id("ACTORS").unwrap();
+        let emb0 = ForwardEmbedding::train(&db, actors, &cfg(), 9).unwrap();
+        restore_journal(&mut db, &j2).unwrap();
+        restore_journal(&mut db, &j1).unwrap();
+
+        let mut cached = emb0.clone();
+        cached
+            .extend_batch(&db, &[ids["a3"], ids["a5"]], 13)
+            .unwrap();
+        let stats = cached.dist_cache().stats();
+        assert!(stats.hits > 0, "the batch must reuse cached distributions");
+        assert_eq!(
+            stats.invalidations, 0,
+            "the database does not change during a batch"
+        );
+
+        // Reference: same seeds, but every solve on a throwaway cache.
+        let mut uncached = emb0.clone();
+        for (i, f) in [ids["a3"], ids["a5"]].into_iter().enumerate() {
+            uncached
+                .extend_with(
+                    &db,
+                    f,
+                    derive_seed(13, i as u64),
+                    ExtendOptions {
+                        nnew_samples: None,
+                        reuse_cache: false,
+                    },
+                )
+                .unwrap();
+        }
+        assert!(
+            uncached.dist_cache().is_empty(),
+            "throwaway caches persisted"
+        );
+        for f in [ids["a3"], ids["a5"]] {
+            assert_eq!(
+                bits(cached.embedding(f).unwrap()),
+                bits(uncached.embedding(f).unwrap()),
+                "cached and uncached extension diverged for {f}"
+            );
+        }
     }
 
     #[test]

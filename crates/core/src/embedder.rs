@@ -48,6 +48,13 @@ pub trait TupleEmbedder {
 /// (paper §VI-C: "we embed only the relation that contains the tuples that
 /// we wish to classify"); `extend` ignores facts of other relations — their
 /// contents still influence the embedding through the walk distributions.
+///
+/// `extend` runs on the embedding's persistent walk-distribution cache
+/// (see [`crate::distcache::DistCache`]): all facts of one call share
+/// every exact distribution, and the cache stays warm across calls until
+/// the database mutates (tracked by its epoch counter). The experiment
+/// harness's one-by-one dynamic protocol therefore pays the BFS cost once
+/// per insertion round, not once per equation.
 #[derive(Debug, Clone)]
 pub struct ForwardEmbedder {
     inner: ForwardEmbedding,
@@ -88,6 +95,12 @@ impl ForwardEmbedder {
     /// The embedded relation.
     pub fn relation(&self) -> RelationId {
         self.inner.relation()
+    }
+
+    /// Hit/miss/invalidation counters of the persistent walk-distribution
+    /// cache driving `extend` (diagnostics).
+    pub fn dist_cache_stats(&self) -> crate::distcache::CacheStats {
+        self.inner.dist_cache().stats()
     }
 }
 

@@ -7,9 +7,12 @@
 //! right-hand side `b` of the linear system (Eq. 8) and computes it either
 //! exactly (small supports) or by Monte-Carlo averaging.
 
+use crate::distcache::{CachedValueDist, DistCacheView};
 use crate::kernel::KernelAssignment;
 use crate::schemes::WalkScheme;
-use crate::walkdist::{destination_value_distribution, DestinationSampler, ValueDistribution};
+use crate::walkdist::{
+    destination_value_distribution_status, DestinationSampler, DistStatus, ValueDistribution,
+};
 use reldb::{Database, FactId, RelationId};
 use stembed_runtime::rng::DetRng;
 
@@ -51,9 +54,16 @@ pub fn kd_exact(
     acc
 }
 
-/// Monte-Carlo `E[κ(X,Y)]` with `pairs` independent draws; `None` when
-/// either variable turns out to be nonexistent (all attempted walks dead-end
-/// or land on nulls).
+/// Monte-Carlo `E[κ(X,Y)]` with up to `pairs` independent draws; `None`
+/// only when **no** pair completes — i.e. either variable is (very likely)
+/// nonexistent for its start fact.
+///
+/// A pair whose `sample_value` exhausts its retry budget is **skipped**,
+/// not fatal: a reachable-but-sparse distribution (many dead-ending walk
+/// prefixes or null destinations) intermittently loses individual samples,
+/// and aborting on the first loss used to discard every accumulated pair
+/// and bias such distributions toward `None`. The estimate simply averages
+/// over the pairs that did complete.
 #[allow(clippy::too_many_arguments)]
 pub fn kd_monte_carlo(
     db: &Database,
@@ -70,8 +80,12 @@ pub fn kd_monte_carlo(
     let mut acc = 0.0;
     let mut n = 0usize;
     for _ in 0..opts.mc_pairs {
-        let x = sampler.sample_value(scheme, attr, f1, opts.max_attempts, rng)?;
-        let y = sampler.sample_value(scheme, attr, f2, opts.max_attempts, rng)?;
+        let Some(x) = sampler.sample_value(scheme, attr, f1, opts.max_attempts, rng) else {
+            continue;
+        };
+        let Some(y) = sampler.sample_value(scheme, attr, f2, opts.max_attempts, rng) else {
+            continue;
+        };
         acc += kernels.eval(end_rel, attr, &x, &y);
         n += 1;
     }
@@ -83,8 +97,11 @@ pub fn kd_monte_carlo(
 }
 
 /// `KD(d_{s,f1}[A], d_{s,f2}[A])`: exact when both supports fit under
-/// `opts.exact_limit`, Monte-Carlo otherwise; `None` when either
-/// distribution does not exist.
+/// `opts.exact_limit`; `None` without touching the RNG when either side is
+/// **exactly** known not to exist (the BFS proves there is no complete
+/// walk, or every destination is null — sampling could only rediscover
+/// that, at full pair-budget cost); Monte-Carlo only when a support is too
+/// large to compute exactly.
 #[allow(clippy::too_many_arguments)]
 pub fn kd(
     db: &Database,
@@ -97,12 +114,50 @@ pub fn kd(
     rng: &mut DetRng,
 ) -> Option<f64> {
     let end_rel = scheme.end(db.schema());
-    let p = destination_value_distribution(db, scheme, attr, f1, opts.exact_limit);
-    let q = destination_value_distribution(db, scheme, attr, f2, opts.exact_limit);
+    let p = destination_value_distribution_status(db, scheme, attr, f1, opts.exact_limit);
+    let q = destination_value_distribution_status(db, scheme, attr, f2, opts.exact_limit);
     match (p, q) {
-        (Some(p), Some(q)) => Some(kd_exact(kernels, end_rel, attr, &p, &q)),
-        // At least one support is too large (or nonexistent): decide by
-        // sampling, which also returns None for genuinely nonexistent ones.
+        (DistStatus::Exists(p), DistStatus::Exists(q)) => {
+            Some(kd_exact(kernels, end_rel, attr, &p, &q))
+        }
+        (p, q) if p.is_nonexistent() || q.is_nonexistent() => None,
+        // A support too large for the exact path (but not nonexistent):
+        // estimate by sampling.
+        _ => kd_monte_carlo(db, kernels, scheme, attr, f1, f2, opts, rng),
+    }
+}
+
+/// [`kd`] with memoised exact distributions: the `f1` side is resolved
+/// through a [`DistCacheView`], the `f2` side is handed in precomputed
+/// (`q2`, typically hoisted once per target for a shared `f2 = f_new`).
+///
+/// Bit-identical to [`kd`] by construction — cached distributions equal
+/// recomputed ones (canonical support order), the `Nonexistent` short
+/// circuit fires under exactly the same conditions, and the Monte-Carlo
+/// fallback consumes the RNG exactly as the uncached path does; no RNG is
+/// touched outside of it.
+#[allow(clippy::too_many_arguments)]
+pub fn kd_cached(
+    db: &Database,
+    kernels: &KernelAssignment,
+    scheme: &WalkScheme,
+    attr: usize,
+    f1: FactId,
+    f2: FactId,
+    q2: &CachedValueDist,
+    opts: &KdOptions,
+    rng: &mut DetRng,
+    view: &mut DistCacheView<'_>,
+) -> Option<f64> {
+    if q2.is_nonexistent() {
+        return None; // no point even resolving the f1 side
+    }
+    let p1 = view.value_distribution(db, scheme, attr, f1);
+    match (p1, q2) {
+        (DistStatus::Exists(p), DistStatus::Exists(q)) => {
+            Some(kd_exact(kernels, scheme.end(db.schema()), attr, &p, q))
+        }
+        (p1, _) if p1.is_nonexistent() => None,
         _ => kd_monte_carlo(db, kernels, scheme, attr, f1, f2, opts, rng),
     }
 }
@@ -111,6 +166,7 @@ pub fn kd(
 mod tests {
     use super::*;
     use crate::schemes::enumerate_schemes;
+    use crate::walkdist::destination_value_distribution;
     use reldb::movies::movies_database_labeled;
     use reldb::Value;
     use stembed_runtime::rng::DetRng;
@@ -196,6 +252,59 @@ mod tests {
         let mc =
             kd_monte_carlo(&db, &kernels, &s5, 4, ids["a1"], ids["a1"], &opts, &mut rng).unwrap();
         assert!((mc - exact).abs() < 0.05, "MC {mc} vs exact {exact}");
+    }
+
+    #[test]
+    fn monte_carlo_skips_failed_pairs_instead_of_aborting() {
+        // Regression: a single exhausted retry budget used to abort the
+        // whole estimate via `?`, discarding every accumulated pair — a
+        // reachable-but-sparse distribution intermittently came back `None`.
+        //
+        // Build A(aid) ← S(sid, a_ref, v) where half the S-rows carry a
+        // null `v`: the backward walk A—S from a1 dead-ends (lands on ⊥)
+        // about 50% of the time, so with `max_attempts = 1` individual
+        // samples routinely fail even though the distribution exists.
+        use crate::schemes::Step;
+        use reldb::{SchemaBuilder, ValueType};
+        let mut b = SchemaBuilder::new();
+        b.relation("A").attr("aid", ValueType::Text).key(&["aid"]);
+        b.relation("S")
+            .attr("sid", ValueType::Text)
+            .attr("a_ref", ValueType::Text)
+            .attr("v", ValueType::Int)
+            .key(&["sid"]);
+        b.foreign_key("S", &["a_ref"], "A");
+        let mut db = Database::new(b.build().unwrap());
+        let a1 = db.insert_into("A", vec!["a1".into()]).unwrap();
+        for i in 0..8 {
+            let v = if i % 2 == 0 {
+                Value::Int(7)
+            } else {
+                Value::Null
+            };
+            db.insert_into("S", vec![format!("s{i}").into(), "a1".into(), v])
+                .unwrap();
+        }
+        let rel_a = db.schema().relation_id("A").unwrap();
+        let fk = db.schema().fks_to(rel_a)[0];
+        let scheme = WalkScheme {
+            start: rel_a,
+            steps: vec![Step { fk, forward: false }],
+        };
+        let kernels = KernelAssignment::defaults(&db);
+        let opts = KdOptions {
+            exact_limit: 1, // support of 8 facts > 1 ⇒ kd() must fall to MC
+            mc_pairs: 48,
+            max_attempts: 1,
+        };
+        let mut rng = DetRng::seed_from_u64(2024);
+        let mc = kd_monte_carlo(&db, &kernels, &scheme, 2, a1, a1, &opts, &mut rng)
+            .expect("sparse-but-reachable distribution must yield an estimate");
+        // Every completed pair compares Int(7) with itself: κ = 1 exactly.
+        assert!((mc - 1.0).abs() < 1e-12, "estimate {mc}");
+        // And kd() (forced onto the MC path by the tiny exact limit) agrees.
+        let via_kd = kd(&db, &kernels, &scheme, 2, a1, a1, &opts, &mut rng).unwrap();
+        assert!((via_kd - 1.0).abs() < 1e-12);
     }
 
     #[test]

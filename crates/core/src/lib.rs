@@ -22,11 +22,32 @@
 //! * **FoRWaRD dynamic extension** (§V-E): embedding a newly inserted fact
 //!   by solving the overdetermined linear system `C·ϕ(f_new) = b` of Eq. 9
 //!   with the SVD pseudoinverse ([`dynamic`]).
+//! * A **walk-distribution cache** under the KD/dynamic stack
+//!   ([`distcache`]): exact distributions are memoised by
+//!   `(scheme, start)` / `(scheme, attr, start)` and invalidated through
+//!   `reldb`'s mutation-epoch counter, so one insert costs one linear
+//!   solve — not thousands of repeated BFS runs. The cache is **invisible
+//!   semantically**: results are bit-identical with and without it, at any
+//!   shard count (`tests/determinism.rs` asserts both).
 //! * A unified [`TupleEmbedder`] trait implemented by both FoRWaRD and the
 //!   Node2Vec adaptation, which the experiment harness trains and extends
 //!   interchangeably ([`embedder`]).
+//!
+//! ## Cache + epoch invalidation contract
+//!
+//! Exact walk distributions are pure functions of
+//! `(database content, scheme, start, support_limit)`, and their supports
+//! are kept in a canonical order — so caching them can never change a
+//! result, only skip recomputation. Validity is tracked through
+//! [`reldb::Database::db_id`] (process-unique lineage, fresh per clone)
+//! and [`reldb::Database::epoch`] (bumped by every insert/restore/delete):
+//! a [`DistCache`] revalidates against the database before every batch of
+//! lookups and drops all entries on any mismatch. Monte-Carlo estimates
+//! are never cached — they consume seeded RNG streams, and caching them
+//! would make results depend on cache history.
 
 pub mod config;
+pub mod distcache;
 pub mod dynamic;
 pub mod embedder;
 pub mod kd;
@@ -37,6 +58,7 @@ pub mod train;
 pub mod walkdist;
 
 pub use config::ForwardConfig;
+pub use distcache::{CacheStats, DistCache};
 pub use dynamic::ExtendOptions;
 pub use embedder::{ForwardEmbedder, Node2VecEmbedder, TupleEmbedder};
 pub use kernel::{EditDistanceKernel, EqualityKernel, GaussianKernel, Kernel, KernelAssignment};

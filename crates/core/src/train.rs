@@ -30,6 +30,7 @@
 //! asserts this end to end.
 
 use crate::config::ForwardConfig;
+use crate::distcache::DistCache;
 use crate::kernel::KernelAssignment;
 use crate::sampler::{generate_samples, EligibilityIndex, TrainingSample};
 use crate::schemes::{target_pairs, Target};
@@ -59,6 +60,10 @@ pub struct ForwardEmbedding {
     runtime: Runtime,
     /// Mean squared error per epoch of the last training run.
     epoch_losses: Vec<f64>,
+    /// Persistent walk-distribution cache for the dynamic phase. Warmed by
+    /// `extend`/`extend_batch`, invalidated automatically whenever the
+    /// database mutates (see [`DistCache`]).
+    dist_cache: DistCache,
 }
 
 impl ForwardEmbedding {
@@ -124,6 +129,7 @@ impl ForwardEmbedding {
             config: config.clone(),
             runtime,
             epoch_losses: Vec::new(),
+            dist_cache: DistCache::new(),
         };
         this.run_sgd(db, &facts, seed ^ 0x5a5a, &mut rng)?;
         Ok(this)
@@ -345,6 +351,24 @@ impl ForwardEmbedding {
     pub(crate) fn insert_phi(&mut self, f: FactId, v: Vec<f64>) {
         debug_assert_eq!(v.len(), self.dim);
         self.phi.insert(f, v);
+    }
+
+    /// The persistent walk-distribution cache (diagnostics: hit/miss/
+    /// invalidation counters via [`DistCache::stats`]).
+    pub fn dist_cache(&self) -> &DistCache {
+        &self.dist_cache
+    }
+
+    /// Move the cache out for a solve that also borrows `self` shared
+    /// (see `extend_with`); pair with [`Self::put_back_dist_cache`].
+    pub(crate) fn take_dist_cache(&mut self) -> DistCache {
+        std::mem::take(&mut self.dist_cache)
+    }
+
+    /// Return the (possibly warmed) cache taken by
+    /// [`Self::take_dist_cache`].
+    pub(crate) fn put_back_dist_cache(&mut self, cache: DistCache) {
+        self.dist_cache = cache;
     }
 }
 

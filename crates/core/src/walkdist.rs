@@ -14,7 +14,6 @@
 
 use crate::schemes::{Step, WalkScheme};
 use reldb::{Database, FactId, Value};
-use std::collections::HashMap;
 use stembed_runtime::rng::DetRng;
 use stembed_runtime::{stream_rng, Runtime};
 
@@ -22,14 +21,22 @@ use stembed_runtime::{stream_rng, Runtime};
 /// (walks that dead-end before completing the scheme are conditioned away).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FactDistribution {
-    /// `(destination, probability)` pairs; unordered, no duplicates.
+    /// `(destination, probability)` pairs; sorted by fact id, no duplicates.
+    ///
+    /// The canonical order makes every float reduction over the support
+    /// (`KD` sums, renormalisation) reproducible bit for bit — recomputing
+    /// the distribution and reading it from a cache must be
+    /// indistinguishable, and `HashMap` iteration order is not stable
+    /// across instances.
     pub support: Vec<(FactId, f64)>,
 }
 
 /// Exact distribution over non-null destination attribute values.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ValueDistribution {
-    /// `(value, probability)` pairs; unordered, no duplicates.
+    /// `(value, probability)` pairs; sorted by [`Value::canonical_cmp`], no
+    /// duplicates. Canonical for the same reason as
+    /// [`FactDistribution::support`].
     pub support: Vec<(Value, f64)>,
 }
 
@@ -45,6 +52,49 @@ impl ValueDistribution {
     /// Total probability mass (≈ 1 up to rounding; exposed for tests).
     pub fn total_mass(&self) -> f64 {
         self.support.iter().map(|(_, p)| p).sum()
+    }
+}
+
+/// Three-way result of an exact distribution computation.
+///
+/// The BFS knows *why* it cannot hand back a distribution, and the KD layer
+/// needs that reason: `Nonexistent` is **exact** knowledge ("no complete
+/// walk exists", or "every destination is null in the queried attribute"),
+/// so `KD` is undefined and Monte-Carlo sampling would only burn its whole
+/// pair budget rediscovering the fact. `TooLarge` means the distribution
+/// exists but an intermediate frontier exceeded the support cap — sampling
+/// is the designated fallback.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistStatus<T> {
+    /// The distribution exists and fits under the support cap.
+    Exists(T),
+    /// An intermediate frontier exceeded the cap; fall back to sampling.
+    TooLarge,
+    /// Exactly known not to exist.
+    Nonexistent,
+}
+
+impl<T> DistStatus<T> {
+    /// The distribution, if it exists.
+    pub fn exists(&self) -> Option<&T> {
+        match self {
+            DistStatus::Exists(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// `true` iff exactly known not to exist.
+    pub fn is_nonexistent(&self) -> bool {
+        matches!(self, DistStatus::Nonexistent)
+    }
+
+    /// Map the payload, preserving the status.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> DistStatus<U> {
+        match self {
+            DistStatus::Exists(t) => DistStatus::Exists(f(t)),
+            DistStatus::TooLarge => DistStatus::TooLarge,
+            DistStatus::Nonexistent => DistStatus::Nonexistent,
+        }
     }
 }
 
@@ -74,76 +124,164 @@ pub fn step_successors(db: &Database, step: &Step, cur: FactId) -> Vec<FactId> {
     }
 }
 
-/// Exactly compute `d_{f,s}` by probability propagation.
-///
-/// Returns `None` when no complete walk exists or when any intermediate
+/// Exactly compute `d_{f,s}` by probability propagation, reporting *why*
+/// when it cannot: [`DistStatus::Nonexistent`] when no complete walk
+/// exists (exact knowledge), [`DistStatus::TooLarge`] when an intermediate
 /// support exceeds `support_limit` (callers then fall back to sampling).
+pub fn destination_distribution_status(
+    db: &Database,
+    scheme: &WalkScheme,
+    start: FactId,
+    support_limit: usize,
+) -> DistStatus<FactDistribution> {
+    debug_assert_eq!(start.rel, scheme.start);
+    if db.fact(start).is_none() {
+        return DistStatus::Nonexistent;
+    }
+    let schema = db.schema();
+    // The frontier is a sorted `(fact, probability)` vector, deduplicated
+    // by a sort-and-merge after each step: at walk-scheme frontier sizes a
+    // contiguous sort beats per-fact hashing, and it keeps the support in
+    // canonical fact order at every stage (see the support docs).
+    let mut frontier: Vec<(FactId, f64)> = vec![(start, 1.0)];
+    let mut next: Vec<(FactId, f64)> = Vec::new();
+    let mut key: Vec<Value> = Vec::new();
+    for step in &scheme.steps {
+        next.clear();
+        let fk = schema.foreign_key(step.fk);
+        for &(fact_id, prob) in &frontier {
+            let fact = db.fact(fact_id).expect("frontier facts are live");
+            if step.forward {
+                if fact.any_null(&fk.from_attrs) {
+                    continue; // null FK: this walk prefix dead-ends
+                }
+                fact.project_into(&fk.from_attrs, &mut key);
+                if let Some(dest) = db.lookup_key(fk.to_rel, &key) {
+                    next.push((dest, prob));
+                }
+            } else {
+                fact.project_into(&fk.to_attrs, &mut key);
+                let slots = db.referencing_slots(step.fk, &key);
+                if slots.is_empty() {
+                    continue;
+                }
+                let share = prob / slots.len() as f64;
+                next.extend(
+                    slots
+                        .iter()
+                        .map(|&row| (FactId::new(fk.from_rel, row), share)),
+                );
+            }
+        }
+        if next.is_empty() {
+            return DistStatus::Nonexistent;
+        }
+        // Merge duplicate destinations (masses add in fact order).
+        next.sort_unstable_by_key(|(f, _)| *f);
+        frontier.clear();
+        for &(f, p) in &next {
+            match frontier.last_mut() {
+                Some((last, mass)) if *last == f => *mass += p,
+                _ => frontier.push((f, p)),
+            }
+        }
+        if frontier.len() > support_limit {
+            return DistStatus::TooLarge;
+        }
+    }
+    // Renormalise: the remaining mass conditions on walk completion.
+    let mut support = frontier;
+    let total: f64 = support.iter().map(|(_, p)| p).sum();
+    if total <= 0.0 {
+        return DistStatus::Nonexistent;
+    }
+    for (_, p) in &mut support {
+        *p /= total;
+    }
+    DistStatus::Exists(FactDistribution { support })
+}
+
+/// [`destination_distribution_status`] flattened to an `Option` for callers
+/// that do not need the failure reason.
 pub fn destination_distribution(
     db: &Database,
     scheme: &WalkScheme,
     start: FactId,
     support_limit: usize,
 ) -> Option<FactDistribution> {
-    debug_assert_eq!(start.rel, scheme.start);
-    db.fact(start)?;
-    let mut frontier: HashMap<FactId, f64> = HashMap::new();
-    frontier.insert(start, 1.0);
-    for step in &scheme.steps {
-        let mut next: HashMap<FactId, f64> = HashMap::new();
-        for (fact, prob) in frontier {
-            let succ = step_successors(db, step, fact);
-            if succ.is_empty() {
-                continue; // this walk prefix dead-ends; mass is lost
-            }
-            let share = prob / succ.len() as f64;
-            for s in succ {
-                *next.entry(s).or_insert(0.0) += share;
-            }
-        }
-        if next.is_empty() {
-            return None;
-        }
-        if next.len() > support_limit {
-            return None;
-        }
-        frontier = next;
+    match destination_distribution_status(db, scheme, start, support_limit) {
+        DistStatus::Exists(d) => Some(d),
+        _ => None,
     }
-    // Renormalise: the remaining mass conditions on walk completion.
-    let total: f64 = frontier.values().sum();
-    if total <= 0.0 {
-        return None;
-    }
-    Some(FactDistribution {
-        support: frontier.into_iter().map(|(f, p)| (f, p / total)).collect(),
-    })
 }
 
 /// Marginalise a fact distribution to attribute `attr` of the destination
 /// relation, conditioning on non-null. `None` when all destinations are null
 /// in `attr` — then `d_{f,s}[A]` "does not exist" per the paper.
+///
+/// Support facts that have been deleted since `dist` was computed (a stale
+/// distribution over a mutated database) are **skipped and their mass
+/// renormalised away**, exactly like null values: "this support entry
+/// carries no value any more" must not be conflated with "the distribution
+/// does not exist". Only when *no* live, non-null destination remains does
+/// the marginal not exist.
 pub fn value_distribution(
     db: &Database,
     dist: &FactDistribution,
     attr: usize,
 ) -> Option<ValueDistribution> {
-    let mut acc: HashMap<Value, f64> = HashMap::new();
+    // Borrow values first and sort into canonical order (stable, so equal
+    // values merge their masses in fact order — see the support docs);
+    // only the distinct survivors are cloned.
+    let mut pairs: Vec<(&Value, f64)> = Vec::with_capacity(dist.support.len());
     for (fact_id, prob) in &dist.support {
-        let fact = db.fact(*fact_id)?;
+        let Some(fact) = db.fact(*fact_id) else {
+            continue; // stale support entry: fact deleted since the BFS
+        };
         let value = fact.get(attr);
         if !value.is_null() {
-            *acc.entry(value.clone()).or_insert(0.0) += prob;
+            pairs.push((value, *prob));
         }
     }
-    let total: f64 = acc.values().sum();
+    pairs.sort_by(|(a, _), (b, _)| a.canonical_cmp(b));
+    let mut support: Vec<(Value, f64)> = Vec::new();
+    for (value, prob) in pairs {
+        match support.last_mut() {
+            Some((last, mass)) if last == value => *mass += prob,
+            _ => support.push((value.clone(), prob)),
+        }
+    }
+    let total: f64 = support.iter().map(|(_, p)| p).sum();
     if total <= 0.0 {
         return None;
     }
-    Some(ValueDistribution {
-        support: acc.into_iter().map(|(v, p)| (v, p / total)).collect(),
-    })
+    for (_, p) in &mut support {
+        *p /= total;
+    }
+    Some(ValueDistribution { support })
 }
 
-/// Convenience: exact `d_{f,s}[A]`.
+/// Exact `d_{f,s}[A]` with the failure reason: marginalising an existing
+/// fact distribution whose destinations are all null (or dead) is
+/// [`DistStatus::Nonexistent`] — exact knowledge, like an empty walk set.
+pub fn destination_value_distribution_status(
+    db: &Database,
+    scheme: &WalkScheme,
+    attr: usize,
+    start: FactId,
+    support_limit: usize,
+) -> DistStatus<ValueDistribution> {
+    match destination_distribution_status(db, scheme, start, support_limit) {
+        DistStatus::Exists(facts) => match value_distribution(db, &facts, attr) {
+            Some(values) => DistStatus::Exists(values),
+            None => DistStatus::Nonexistent,
+        },
+        DistStatus::TooLarge => DistStatus::TooLarge,
+        DistStatus::Nonexistent => DistStatus::Nonexistent,
+    }
+}
+
+/// Convenience: exact `d_{f,s}[A]`, flattened to an `Option`.
 pub fn destination_value_distribution(
     db: &Database,
     scheme: &WalkScheme,
@@ -151,8 +289,10 @@ pub fn destination_value_distribution(
     start: FactId,
     support_limit: usize,
 ) -> Option<ValueDistribution> {
-    let facts = destination_distribution(db, scheme, start, support_limit)?;
-    value_distribution(db, &facts, attr)
+    match destination_value_distribution_status(db, scheme, attr, start, support_limit) {
+        DistStatus::Exists(d) => Some(d),
+        _ => None,
+    }
 }
 
 /// Monte-Carlo walk sampler bound to a database.
@@ -341,6 +481,48 @@ mod tests {
         assert!(sampler
             .sample_value(&s1_actor1, 0, ids["a3"], 32, &mut rng)
             .is_none());
+    }
+
+    #[test]
+    fn stale_support_is_skipped_and_renormalised_after_cascade_delete() {
+        // Regression: a deleted support fact used to make the *whole*
+        // marginal `None` (the `?` on `db.fact`), conflating "stale support
+        // entry" with "nonexistent distribution".
+        let (mut db, ids) = movies_database_labeled();
+        let s5 = scheme_s5(&db);
+        // d_{a1,s5} = {m3: ½, m6: ½}, computed before the deletion.
+        let dist = destination_distribution(&db, &s5, ids["a1"], 1024).unwrap();
+        // Cascade-delete m6 (takes collaboration c4 with it).
+        let journal = reldb::cascade_delete(&mut db, ids["m6"], false).unwrap();
+        assert!(journal.len() >= 2, "cascade must remove m6 and c4");
+        // budget: m6's mass is renormalised onto m3 → a point mass.
+        let budget = value_distribution(&db, &dist, 4).unwrap();
+        assert_eq!(budget.support.len(), 1);
+        assert!((budget.total_mass() - 1.0).abs() < 1e-12);
+        assert!((budget.prob(&db.fact(ids["m3"]).unwrap().get(4).clone()) - 1.0).abs() < 1e-12);
+        // genre: m3's genre is ⊥ and m6 (the only non-null carrier) is
+        // gone — now the marginal genuinely does not exist.
+        assert!(value_distribution(&db, &dist, 3).is_none());
+        // Restoring brings the original marginal back.
+        reldb::restore_journal(&mut db, &journal).unwrap();
+        let genre = value_distribution(&db, &dist, 3).unwrap();
+        assert!((genre.prob(&Value::Text("Bio".into())) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn supports_come_back_in_canonical_order() {
+        // The canonical order is what makes cached and recomputed
+        // distributions interchangeable bit for bit (float sums over the
+        // support happen in a fixed order).
+        let (db, ids) = movies_database_labeled();
+        let s5 = scheme_s5(&db);
+        let dist = destination_distribution(&db, &s5, ids["a1"], 1024).unwrap();
+        assert!(dist.support.windows(2).all(|w| w[0].0 < w[1].0));
+        let vals = value_distribution(&db, &dist, 4).unwrap();
+        assert!(vals
+            .support
+            .windows(2)
+            .all(|w| w[0].0.canonical_cmp(&w[1].0) == std::cmp::Ordering::Less));
     }
 
     #[test]

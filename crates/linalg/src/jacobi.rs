@@ -73,26 +73,13 @@ impl SymmetricEigen {
                     let c = 1.0 / (1.0 + t * t).sqrt();
                     let s = t * c;
 
-                    // Apply the rotation on rows/cols p and q of `m`.
-                    for k in 0..n {
-                        let mkp = m[(k, p)];
-                        let mkq = m[(k, q)];
-                        m[(k, p)] = c * mkp - s * mkq;
-                        m[(k, q)] = s * mkp + c * mkq;
-                    }
-                    for k in 0..n {
-                        let mpk = m[(p, k)];
-                        let mqk = m[(q, k)];
-                        m[(p, k)] = c * mpk - s * mqk;
-                        m[(q, k)] = s * mpk + c * mqk;
-                    }
+                    // Apply the rotation on rows/cols p and q of `m`
+                    // (streaming slice passes — same arithmetic and order
+                    // as the classic element-indexed loops, bit for bit).
+                    m.rotate_cols(p, q, c, s);
+                    m.rotate_rows(p, q, c, s);
                     // Accumulate the eigenvector rotation.
-                    for k in 0..n {
-                        let vkp = v[(k, p)];
-                        let vkq = v[(k, q)];
-                        v[(k, p)] = c * vkp - s * vkq;
-                        v[(k, q)] = s * vkp + c * vkq;
-                    }
+                    v.rotate_cols(p, q, c, s);
                 }
             }
         }

@@ -31,7 +31,7 @@ pub use cholesky::Cholesky;
 pub use jacobi::SymmetricEigen;
 pub use lstsq::{lstsq, ridge_solve, LstsqMethod};
 pub use matrix::Matrix;
-pub use pinv::{pinv, pinv_solve, Svd};
+pub use pinv::{pinv, pinv_solve, pinv_solve_gram, Svd};
 pub use qr::QrDecomposition;
 pub use stats::{mean, mean_std, std_dev};
 

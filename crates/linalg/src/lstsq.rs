@@ -6,7 +6,7 @@
 //! ridge-regularised Cholesky path (useful as an ablation: the bench crate
 //! compares quality/runtime of both).
 
-use crate::{pinv::Svd, Cholesky, LinalgError, Matrix, QrDecomposition, Result};
+use crate::{pinv::pinv_solve_gram, Cholesky, LinalgError, Matrix, QrDecomposition, Result};
 
 /// Strategy used by [`lstsq`].
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -33,7 +33,7 @@ pub fn lstsq(a: &Matrix, b: &[f64], method: LstsqMethod) -> Result<Vec<f64>> {
         )));
     }
     match method {
-        LstsqMethod::PseudoInverse => Svd::decompose(a)?.solve(b),
+        LstsqMethod::PseudoInverse => pinv_solve_gram(a, b),
         LstsqMethod::Qr => QrDecomposition::decompose(a)?.solve(b),
         LstsqMethod::Ridge(lambda) => ridge_solve(a, b, lambda),
     }
@@ -55,7 +55,7 @@ pub fn ridge_solve(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>> {
         Ok(ch) => ch.solve(&rhs),
         // λ = 0 with a singular Gram matrix: fall back to the pseudoinverse
         // so the caller still gets the minimum-norm answer.
-        Err(LinalgError::NotPositiveDefinite) => Svd::decompose(a)?.solve(b),
+        Err(LinalgError::NotPositiveDefinite) => pinv_solve_gram(a, b),
         Err(e) => Err(e),
     }
 }

@@ -130,6 +130,39 @@ impl Matrix {
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
+    /// Apply a Givens rotation to **columns** `p` and `q` in place: for
+    /// every row `k`,
+    /// `(a[k,p], a[k,q]) ← (c·a[k,p] − s·a[k,q], s·a[k,p] + c·a[k,q])`.
+    ///
+    /// One streaming pass over the row-major buffer — this is the inner
+    /// loop of the Jacobi eigensolver, where per-element `(r, c)` indexing
+    /// would pay an offset multiply and a bounds check per access.
+    pub fn rotate_cols(&mut self, p: usize, q: usize, c: f64, s: f64) {
+        debug_assert!(p < self.cols && q < self.cols && p != q);
+        for row in self.data.chunks_exact_mut(self.cols) {
+            let a = row[p];
+            let b = row[q];
+            row[p] = c * a - s * b;
+            row[q] = s * a + c * b;
+        }
+    }
+
+    /// Apply a Givens rotation to **rows** `p < q` in place: for every
+    /// column `k`,
+    /// `(a[p,k], a[q,k]) ← (c·a[p,k] − s·a[q,k], s·a[p,k] + c·a[q,k])`.
+    pub fn rotate_rows(&mut self, p: usize, q: usize, c: f64, s: f64) {
+        debug_assert!(p < q && q < self.rows);
+        let cols = self.cols;
+        let (head, tail) = self.data.split_at_mut(q * cols);
+        let rp = &mut head[p * cols..(p + 1) * cols];
+        let rq = &mut tail[..cols];
+        for (a, b) in rp.iter_mut().zip(rq.iter_mut()) {
+            let (x, y) = (*a, *b);
+            *a = c * x - s * y;
+            *b = s * x + c * y;
+        }
+    }
+
     /// The raw row-major buffer.
     pub fn as_slice(&self) -> &[f64] {
         &self.data

@@ -3,6 +3,14 @@
 
 use crate::{DbError, Fact, FactId, FkId, RelationId, Result, Schema, Value};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide source of database identities (see [`Database::db_id`]).
+static NEXT_DB_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_db_id() -> u64 {
+    NEXT_DB_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Per-relation fact store.
 ///
@@ -27,7 +35,7 @@ struct RelationStore {
 /// index, and the per-FK reference index transactionally consistent: either
 /// the operation succeeds and all indexes reflect it, or it fails with a
 /// [`DbError`] and nothing changed.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Database {
     schema: Schema,
     stores: Vec<RelationStore>,
@@ -37,6 +45,29 @@ pub struct Database {
     /// with cyclic or forward references); call [`Database::check_all_fks`]
     /// afterwards.
     defer_fk_checks: bool,
+    /// Process-unique lineage id (see [`Database::db_id`]).
+    db_id: u64,
+    /// Mutation epoch (see [`Database::epoch`]).
+    epoch: u64,
+}
+
+impl Clone for Database {
+    /// Cloning starts a **new lineage**: the clone gets a fresh [`db_id`]
+    /// (its epoch counter restarts at 0), so caches keyed to the original's
+    /// `(db_id, epoch)` can never be mistaken for valid against the clone —
+    /// the two copies mutate independently from here on.
+    ///
+    /// [`db_id`]: Database::db_id
+    fn clone(&self) -> Self {
+        Database {
+            schema: self.schema.clone(),
+            stores: self.stores.clone(),
+            fk_index: self.fk_index.clone(),
+            defer_fk_checks: self.defer_fk_checks,
+            db_id: fresh_db_id(),
+            epoch: 0,
+        }
+    }
 }
 
 impl Database {
@@ -58,12 +89,31 @@ impl Database {
             stores,
             fk_index,
             defer_fk_checks: false,
+            db_id: fresh_db_id(),
+            epoch: 0,
         }
     }
 
     /// The schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// Process-unique identity of this database value. Every
+    /// [`Database::new`] *and every clone* gets a fresh id, so a
+    /// `(db_id, epoch)` pair names one immutable snapshot of one database
+    /// lineage — the key derived caches (e.g. `stembed-core`'s walk
+    /// distribution cache) validate against.
+    pub fn db_id(&self) -> u64 {
+        self.db_id
+    }
+
+    /// Mutation epoch: incremented by every successful [`Database::insert`],
+    /// [`Database::restore`], and deletion (including cascades). Two equal
+    /// `(db_id, epoch)` observations therefore guarantee the database
+    /// content is unchanged between them.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Enable/disable deferred FK checking. With deferral on, `insert`
@@ -202,6 +252,7 @@ impl Database {
         self.index_fact(rel, row, &fact);
         self.stores[rel.index()].slots.push(Some(fact));
         self.stores[rel.index()].live += 1;
+        self.epoch += 1;
         Ok(FactId::new(rel, row))
     }
 
@@ -230,6 +281,7 @@ impl Database {
         self.index_fact(id.rel, id.row, &fact);
         self.stores[id.rel.index()].slots[id.row as usize] = Some(fact);
         self.stores[id.rel.index()].live += 1;
+        self.epoch += 1;
         Ok(())
     }
 
@@ -261,6 +313,7 @@ impl Database {
         let fact = slot.take().ok_or(DbError::UnknownFact)?;
         self.stores[id.rel.index()].live -= 1;
         self.unindex_fact(id.rel, id.row, &fact);
+        self.epoch += 1;
         Ok(fact)
     }
 
@@ -567,6 +620,26 @@ mod tests {
         assert_eq!(db.fact(s), Some(&fact));
         // Restoring a live slot fails.
         assert!(db.restore(s, fact).is_err());
+    }
+
+    #[test]
+    fn epoch_counts_mutations_and_clones_start_a_new_lineage() {
+        let (mut db, s) = db_with_one_s();
+        let e0 = db.epoch();
+        let clone = db.clone();
+        assert_ne!(db.db_id(), clone.db_id(), "clone must get a fresh db_id");
+        assert_eq!(clone.epoch(), 0, "clone restarts its epoch counter");
+        let fact = db.delete(s).unwrap();
+        assert_eq!(db.epoch(), e0 + 1);
+        db.restore(s, fact).unwrap();
+        assert_eq!(db.epoch(), e0 + 2);
+        // Failed mutations must not bump the epoch.
+        assert!(db
+            .insert_into("S", vec!["s1".into(), "dup".into()])
+            .is_err());
+        assert_eq!(db.epoch(), e0 + 2);
+        // The clone mutates independently.
+        assert_eq!(clone.epoch(), 0);
     }
 
     #[test]

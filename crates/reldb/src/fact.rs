@@ -66,6 +66,14 @@ impl Fact {
         attrs.iter().map(|&i| self.values[i].clone()).collect()
     }
 
+    /// [`Fact::project`] into a caller-provided buffer (cleared first).
+    /// Hot loops that probe an index once per frontier fact reuse one
+    /// buffer instead of allocating a key vector per probe.
+    pub fn project_into(&self, attrs: &[usize], out: &mut Vec<Value>) {
+        out.clear();
+        out.extend(attrs.iter().map(|&i| self.values[i].clone()));
+    }
+
     /// `true` iff any projected attribute is null — such an FK tuple is
     /// ignored per the paper's convention.
     pub fn any_null(&self, attrs: &[usize]) -> bool {

@@ -144,6 +144,32 @@ impl Value {
         matches!(self, Value::Float(x) if x.is_nan())
     }
 
+    /// A total order over values: by variant (`Null < Int < Float < Text <
+    /// Bool`), then within the variant (floats via `total_cmp`; `NaN` never
+    /// occurs past the insertion boundary). Used to put value-distribution
+    /// supports into a canonical order so that floating-point sums over them
+    /// are reproducible — `HashMap` iteration order is not.
+    pub fn canonical_cmp(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Int(_) => 1,
+                Value::Float(_) => 2,
+                Value::Text(_) => 3,
+                Value::Bool(_) => 4,
+            }
+        }
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
     /// Parse a textual token into a value of the given type. The token `⊥`
     /// (or an empty string) parses as null for any type.
     pub fn parse(token: &str, ty: ValueType) -> Result<Value, String> {
@@ -288,6 +314,30 @@ mod tests {
         assert_eq!(Value::parse("", ValueType::Text).unwrap(), Value::Null);
         assert!(Value::parse("x", ValueType::Int).is_err());
         assert!(Value::parse("NaN", ValueType::Float).is_err());
+    }
+
+    #[test]
+    fn canonical_cmp_is_a_total_order() {
+        use std::cmp::Ordering;
+        let vals = [
+            Value::Null,
+            Value::Int(-3),
+            Value::Int(5),
+            Value::Float(-0.5),
+            Value::Float(2.25),
+            Value::Text("a".into()),
+            Value::Text("b".into()),
+            Value::Bool(false),
+            Value::Bool(true),
+        ];
+        // The listing above is already canonically sorted.
+        for w in vals.windows(2) {
+            assert_eq!(w[0].canonical_cmp(&w[1]), Ordering::Less);
+            assert_eq!(w[1].canonical_cmp(&w[0]), Ordering::Greater);
+        }
+        for v in &vals {
+            assert_eq!(v.canonical_cmp(v), Ordering::Equal);
+        }
     }
 
     #[test]

@@ -230,13 +230,25 @@ fn dynamic_once(
         RbfSvm::new(svm_params(seed))
     });
 
-    // Step 4: re-insert in inverse deletion order and extend.
+    // Step 4: re-insert in inverse deletion order and extend. FoRWaRD's
+    // `extend` runs on the embedding's persistent walk-distribution cache:
+    // within one insertion round (one journal = prediction tuple + cascade
+    // group) every exact distribution is computed once, and the round's
+    // restores bump the database epoch so the next round starts from a
+    // correctly invalidated cache. Round `i` gets its own derived seed —
+    // reusing one seed for every round would overlap the per-fact stream
+    // families across rounds.
     let mut extend_time = 0.0;
     if setup.one_by_one {
-        for (_, journal) in journals.iter().rev() {
+        for (round, (_, journal)) in journals.iter().rev().enumerate() {
             let restored = restore_journal(&mut db, journal).expect("restore");
             let t = Instant::now();
-            emb.extend(&db, &restored, seed ^ 0xd1a).expect("extend");
+            emb.extend(
+                &db,
+                &restored,
+                stembed_runtime::derive_seed(seed ^ 0xd1a, round as u64),
+            )
+            .expect("extend");
             extend_time += t.elapsed().as_secs_f64();
         }
     } else {

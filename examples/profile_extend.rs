@@ -1,0 +1,74 @@
+//! Profile the FoRWaRD dynamic-extension hot path and its
+//! walk-distribution cache (mirrors `benches/dynamic_extend.rs`).
+//!
+//! Run with `cargo run --release --example profile_extend`. Environment
+//! knobs: `EXACT_LIMIT` (exact-KD support cap, default 128) and `MC_PAIRS`
+//! (Monte-Carlo pair budget, default 24).
+
+use reldb::cascade_delete;
+use std::time::Instant;
+
+fn main() {
+    let params = datasets::DatasetParams {
+        scale: 0.08,
+        ..datasets::DatasetParams::default()
+    };
+    for name in ["hepatitis", "genes"] {
+        let ds = datasets::by_name(name, &params).expect("dataset");
+        let mut db = ds.db.clone();
+        let victim = ds.labels[0].0;
+        let journal = cascade_delete(&mut db, victim, true).expect("cascade");
+        // Mirror benches/dynamic_extend.rs: ExperimentConfig::quick() fwd
+        // settings with epochs = 4.
+        let cfg = stembed_core::ForwardConfig {
+            dim: 32,
+            max_walk_len: 2,
+            nsamples: 25,
+            epochs: 4,
+            batch_size: 1,
+            learning_rate: 0.1,
+            nnew_samples: 12,
+            kd: stembed_core::kd::KdOptions {
+                exact_limit: std::env::var("EXACT_LIMIT")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(128),
+                mc_pairs: std::env::var("MC_PAIRS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(24),
+                max_attempts: 6,
+            },
+            ..stembed_core::ForwardConfig::small()
+        };
+        let emb = stembed_core::ForwardEmbedding::train(&db, ds.prediction_rel, &cfg, 3)
+            .expect("training");
+        let restored = reldb::restore_journal(&mut db, &journal).expect("restore");
+        println!(
+            "{name}: targets={} embedded={} restored={} nnew={}",
+            emb.targets().len(),
+            emb.len(),
+            restored.len(),
+            cfg.nnew_samples
+        );
+        let mine: Vec<_> = restored
+            .iter()
+            .copied()
+            .filter(|f| f.rel == ds.prediction_rel)
+            .collect();
+        for round in 0..3 {
+            let mut e = emb.clone();
+            let t = Instant::now();
+            e.extend_batch(&db, &mine, 9).unwrap();
+            let dt = t.elapsed().as_secs_f64() * 1e3;
+            let s = e.dist_cache().stats();
+            println!(
+                "  round {round}: {dt:.2} ms  cache hits={} misses={} inval={} entries={}",
+                s.hits,
+                s.misses,
+                s.invalidations,
+                e.dist_cache().len()
+            );
+        }
+    }
+}

@@ -1,59 +1,96 @@
 #!/usr/bin/env bash
-# Record the static-embedding benchmark (Table V + runtime shard scaling)
-# into BENCH_static_embed.json at the repo root, so the perf trajectory of
-# the workspace is tracked across PRs.
+# Record benchmark JSON reports at the repo root (BENCH_<name>.json), so the
+# perf trajectory of the workspace is tracked across PRs.
 #
-# Usage: scripts/bench.sh [--compare BASELINE.json] [extra cargo-bench args]
+# Usage: scripts/bench.sh [--bench NAME]... [--compare [BASELINE.json]]
+#                         [extra cargo-bench args]
 #
-# With --compare, per-benchmark speedups against the baseline JSON (e.g.
-# the committed BENCH_static_embed.json) are printed after the run:
-# speedup = baseline median / new median, so >1.0 means faster.
+#   --bench NAME  benchmark target to run and record (repeatable). Default:
+#                 static_embed and dynamic_extend — the two tracked reports
+#                 (Table V static training, Table VI one-tuple extension).
+#   --compare     after each run, print per-benchmark speedups against the
+#                 previously committed BENCH_<name>.json (speedup =
+#                 baseline median / new median, so >1.0 means faster). An
+#                 explicit baseline path may follow, but only with exactly
+#                 one --bench.
 #
-# The `forward_shards` group trains the same FoRWaRD embedding at 1/2/4/8
-# shards; outputs are bit-identical (tests/determinism.rs), only wall-clock
-# may move. NOTE: the observable speedup is bounded by the machine —
-# `nproc` cores cap the effective worker count, so a 1-core container
-# reports a ratio of ~1.0 by construction.
+# The static report's `forward_shards` group trains the same FoRWaRD
+# embedding at 1/2/4/8 shards; outputs are bit-identical
+# (tests/determinism.rs), only wall-clock may move. NOTE: the observable
+# shard speedup is bounded by the machine — `nproc` cores cap the effective
+# worker count, so a 1-core container reports a ratio of ~1.0 by
+# construction.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+BENCHES=()
+COMPARE=0
 BASELINE=""
-if [[ "${1:-}" == "--compare" ]]; then
-  BASELINE="${2:?--compare needs a baseline JSON path}"
-  shift 2
-fi
-
-OUT="${BENCH_OUT:-BENCH_static_embed.json}"
-case "$OUT" in
-  /*) ABS_OUT="$OUT" ;;
-  *) ABS_OUT="$PWD/$OUT" ;;
-esac
-if [[ -n "$BASELINE" ]]; then
-  case "$BASELINE" in
-    /*) ;;
-    *) BASELINE="$PWD/$BASELINE" ;;
+EXTRA=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --bench)
+      BENCHES+=("${2:?--bench needs a benchmark name}")
+      shift 2
+      ;;
+    --compare)
+      COMPARE=1
+      if [[ "${2:-}" == *.json ]]; then
+        BASELINE="$2"
+        shift
+      fi
+      shift
+      ;;
+    *)
+      EXTRA+=("$1")
+      shift
+      ;;
   esac
-  # Snapshot now: OUT may be the baseline file itself.
-  BASELINE_COPY="$(mktemp)"
-  trap 'rm -f "$BASELINE_COPY"' EXIT
-  cp "$BASELINE" "$BASELINE_COPY"
+done
+if [[ ${#BENCHES[@]} -eq 0 ]]; then
+  BENCHES=(static_embed dynamic_extend)
+fi
+if [[ -n "$BASELINE" && ${#BENCHES[@]} -ne 1 ]]; then
+  echo "error: an explicit --compare baseline needs exactly one --bench" >&2
+  exit 2
 fi
 
 echo "machine: $(nproc) core(s)"
-STEMBED_BENCH_JSON="$ABS_OUT" cargo bench -p bench --bench static_embed "$@"
+for bench in "${BENCHES[@]}"; do
+  OUT="$PWD/BENCH_${bench}.json"
+  BASELINE_COPY=""
+  if [[ "$COMPARE" == 1 ]]; then
+    base="${BASELINE:-$OUT}"
+    case "$base" in
+      /*) ;;
+      *) base="$PWD/$base" ;;
+    esac
+    if [[ -f "$base" ]]; then
+      # Snapshot now: the run overwrites OUT, which is the default baseline.
+      BASELINE_COPY="$(mktemp)"
+      cp "$base" "$BASELINE_COPY"
+    else
+      echo "note: no baseline $base for $bench; skipping comparison"
+    fi
+  fi
 
-python3 - "$ABS_OUT" "${BASELINE_COPY:-}" <<'EOF'
+  echo
+  echo "== $bench =="
+  STEMBED_BENCH_JSON="$OUT" cargo bench -p bench --bench "$bench" \
+    ${EXTRA[@]+"${EXTRA[@]}"}
+
+  python3 - "$bench" "$OUT" "${BASELINE_COPY:-}" <<'EOF'
 import json, os, sys
 
-path = sys.argv[1]
-baseline_path = sys.argv[2] if len(sys.argv) > 2 and sys.argv[2] else None
+bench, path = sys.argv[1], sys.argv[2]
+baseline_path = sys.argv[3] if len(sys.argv) > 3 and sys.argv[3] else None
 with open(path) as f:
     results = json.load(f)
 
 # Append machine context so the JSON is self-describing across runs.
 report = {
-    "bench": "static_embed",
+    "bench": bench,
     "cores": os.cpu_count(),
     "results": results,
 }
@@ -77,17 +114,17 @@ if baseline_path:
         base = json.load(f)
     base_results = base["results"] if isinstance(base, dict) else base
     base_by_key = {(r["group"], r["id"]): r["median_ns"] for r in base_results}
-    print(f"\nspeedup vs baseline (baseline median / new median):")
-    print(f"  {'benchmark':<28} {'baseline':>12} {'new':>12} {'speedup':>8}")
+    print(f"\n{bench}: speedup vs baseline (baseline median / new median):")
+    print(f"  {'benchmark':<36} {'baseline':>12} {'new':>12} {'speedup':>8}")
     worst = None
     for r in results:
         key = (r["group"], r["id"])
         if key not in base_by_key:
-            print(f"  {r['group'] + '/' + r['id']:<28} {'—':>12} "
+            print(f"  {r['group'] + '/' + r['id']:<36} {'—':>12} "
                   f"{r['median_ns'] / 1e6:>10.1f}ms {'new':>8}")
             continue
         ratio = base_by_key[key] / r["median_ns"]
-        print(f"  {r['group'] + '/' + r['id']:<28} "
+        print(f"  {r['group'] + '/' + r['id']:<36} "
               f"{base_by_key[key] / 1e6:>10.1f}ms {r['median_ns'] / 1e6:>10.1f}ms "
               f"{ratio:>7.2f}x")
         if worst is None or ratio < worst[1]:
@@ -95,3 +132,7 @@ if baseline_path:
     if worst:
         print(f"  worst speedup: {worst[0]} at {worst[1]:.2f}x")
 EOF
+  if [[ -n "$BASELINE_COPY" ]]; then
+    rm -f "$BASELINE_COPY"
+  fi
+done

@@ -111,6 +111,138 @@ fn dynamic_extension_is_bit_identical_across_shard_counts() {
 }
 
 #[test]
+fn cached_and_uncached_extension_are_bit_identical_across_shard_counts() {
+    // Property (over several master seeds): the walk-distribution cache is
+    // semantically invisible. A batch extension on the persistent cache
+    // (warm from the first fact onwards) and per-fact solves on throwaway
+    // caches produce bit-identical ϕ(f_new), at 1, 2, and 8 shards.
+    use stembed::core::ExtendOptions;
+    use stembed::runtime::derive_seed;
+
+    let (db0, ids) = movies();
+    let mut db = db0.clone();
+    let j_a5 = cascade_delete(&mut db, ids["a5"], false).unwrap();
+    let j_a3 = cascade_delete(&mut db, ids["a3"], false).unwrap();
+    let actors = db.schema().relation_id("ACTORS").unwrap();
+    let cfg = ForwardConfig {
+        dim: 8,
+        epochs: 4,
+        nsamples: 25,
+        ..ForwardConfig::small()
+    };
+    let new_facts = [ids["a3"], ids["a5"]];
+
+    for master_seed in [3u64, 17, 99] {
+        let run = |shards: usize, cached: bool| -> Vec<Vec<u64>> {
+            let mut emb = ForwardEmbedding::train_with_runtime(
+                &db,
+                actors,
+                &cfg,
+                master_seed,
+                Runtime::new(shards),
+            )
+            .unwrap();
+            let mut db2 = db.clone();
+            restore_journal(&mut db2, &j_a3).unwrap();
+            restore_journal(&mut db2, &j_a5).unwrap();
+            if cached {
+                emb.extend_batch(&db2, &new_facts, master_seed ^ 0xbeef)
+                    .unwrap();
+                assert!(
+                    emb.dist_cache().stats().hits > 0,
+                    "the cached path must actually hit"
+                );
+            } else {
+                for (i, &f) in new_facts.iter().enumerate() {
+                    emb.extend_with(
+                        &db2,
+                        f,
+                        derive_seed(master_seed ^ 0xbeef, i as u64),
+                        ExtendOptions {
+                            nnew_samples: None,
+                            reuse_cache: false,
+                        },
+                    )
+                    .unwrap();
+                }
+                assert!(emb.dist_cache().is_empty(), "uncached path kept entries");
+            }
+            new_facts
+                .iter()
+                .map(|&f| {
+                    emb.embedding(f)
+                        .unwrap()
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect()
+                })
+                .collect()
+        };
+        let base = run(1, true);
+        for &shards in &SHARDS {
+            for cached in [true, false] {
+                if shards == 1 && cached {
+                    continue; // that configuration *is* the baseline
+                }
+                assert_eq!(
+                    run(shards, cached),
+                    base,
+                    "seed={master_seed} shards={shards} cached={cached} diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cache_survives_a_delete_restore_cycle_without_changing_results() {
+    // Invalidation property: mutating the database between extensions
+    // (delete → restore of an unrelated fact) must leave the final vector
+    // exactly what a cold-cache solve computes.
+    let (db0, ids) = movies();
+    let mut db = db0.clone();
+    let journal = cascade_delete(&mut db, ids["a5"], false).unwrap();
+    let actors = db.schema().relation_id("ACTORS").unwrap();
+    let cfg = ForwardConfig {
+        dim: 8,
+        epochs: 4,
+        nsamples: 25,
+        ..ForwardConfig::small()
+    };
+    let emb0 = ForwardEmbedding::train(&db, actors, &cfg, 5).unwrap();
+    restore_journal(&mut db, &journal).unwrap();
+
+    // Warm the cache, then run the db through a delete→restore cycle.
+    let mut warm = emb0.clone();
+    warm.extend(&db, ids["a5"], 11).unwrap();
+    let j_m6 = cascade_delete(&mut db, ids["m6"], false).unwrap();
+    restore_journal(&mut db, &j_m6).unwrap();
+    warm.forget(ids["a5"]);
+    warm.extend(&db, ids["a5"], 11).unwrap();
+
+    let mut cold = emb0.clone();
+    cold.extend(&db, ids["a5"], 11).unwrap();
+
+    let a: Vec<u64> = warm
+        .embedding(ids["a5"])
+        .unwrap()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    let b: Vec<u64> = cold
+        .embedding(ids["a5"])
+        .unwrap()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    assert_eq!(a, b, "cycled warm cache diverged from cold solve");
+    assert!(
+        warm.dist_cache().stats().invalidations >= 1,
+        "the cycle must have invalidated the cache"
+    );
+}
+
+#[test]
 fn node2vec_sgns_is_bit_identical_across_shard_counts() {
     let (db, _) = movies();
     let g = DbGraph::build(&db);
