@@ -1,30 +1,51 @@
-//! Benchmarks behind **Table VI**: time to embed a single newly inserted
-//! tuple. The paper's headline to reproduce: in the one-by-one regime,
-//! FoRWaRD (one linear solve) beats Node2Vec (SGD continuation) on every
-//! dataset.
+//! Benchmarks behind **Table VI**: time to embed newly inserted tuples.
+//! The paper's headline to reproduce: in the one-by-one regime, FoRWaRD
+//! (one linear solve) beats Node2Vec (SGD continuation) on every dataset.
+//!
+//! Two groups:
+//!
+//! * `extend_one_tuple` — one cascade group re-inserted, one `extend` call,
+//!   per method × dataset (the all-at-once per-tuple cost).
+//! * `one_by_one_rounds` — the paper's flagship protocol (§VI-E): several
+//!   prediction tuples cascade-deleted, then re-inserted **one by one**,
+//!   extending after every round. `FoRWaRD-warm` carries the persistent
+//!   walk-distribution cache across rounds (journal-replay invalidation
+//!   keeps FK-unreachable entries alive); `FoRWaRD-cold` solves every
+//!   round on a throwaway cache. The two produce bit-identical vectors
+//!   (`tests/determinism.rs`); the gap between them is pure cache warmth.
 //!
 //! Run with: `cargo bench -p bench --bench dynamic_extend`
+//! (`STEMBED_BENCH_SCALE` overrides the dataset scale; see scripts/bench.sh
+//! `--full`.)
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datasets::DatasetParams;
-use reldb::cascade_delete;
-use repro::{AnyEmbedder, ExperimentConfig, Method};
+use reldb::{cascade_delete, DeletionJournal};
+use repro::{one_by_one_round, AnyEmbedder, ExperimentConfig, Method};
 use std::hint::black_box;
 use stembed_core::embedder::ExtendMode;
+use stembed_core::ForwardEmbedding;
+
+const DATASETS: [&str; 4] = ["hepatitis", "genes", "mutagenesis", "mondial"];
+
+fn quick_cfg() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick();
+    cfg.data.scale = bench::bench_scale(0.08);
+    cfg.fwd.epochs = 4;
+    cfg.n2v.epochs = 2;
+    cfg
+}
 
 fn bench_extend(c: &mut Criterion) {
     let mut group = c.benchmark_group("extend_one_tuple");
     group.sample_size(10);
-    let mut cfg = ExperimentConfig::quick();
-    cfg.data.scale = 0.08;
-    cfg.fwd.epochs = 4;
-    cfg.n2v.epochs = 2;
+    let cfg = quick_cfg();
     let params = DatasetParams {
-        scale: 0.08,
+        scale: cfg.data.scale,
         ..DatasetParams::default()
     };
 
-    for name in ["hepatitis", "genes"] {
+    for name in DATASETS {
         for method in Method::all() {
             // Setup outside the measured loop: remove one tuple, train,
             // re-insert. The measured operation is `extend` alone, on a
@@ -52,5 +73,58 @@ fn bench_extend(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_extend);
+/// The one-by-one insertion protocol, warm vs cold cache. Each iteration
+/// replays all rounds: restore one cascade group, extend the restored
+/// prediction tuples, repeat — against a database clone so the journal/
+/// epoch machinery runs exactly as in the harness.
+fn bench_one_by_one(c: &mut Criterion) {
+    /// Prediction tuples removed (and re-inserted round by round).
+    const ROUNDS: usize = 4;
+
+    let mut group = c.benchmark_group("one_by_one_rounds");
+    group.sample_size(10);
+    let cfg = quick_cfg();
+    let params = DatasetParams {
+        scale: cfg.data.scale,
+        ..DatasetParams::default()
+    };
+
+    for name in DATASETS {
+        let ds = datasets::by_name(name, &params).expect("dataset");
+        let mut db = ds.db.clone();
+        let mut journals: Vec<DeletionJournal> = Vec::with_capacity(ROUNDS);
+        for i in 0..ROUNDS {
+            let victim = ds.labels[i].0;
+            journals.push(cascade_delete(&mut db, victim, true).expect("cascade"));
+        }
+        let trained =
+            ForwardEmbedding::train(&db, ds.prediction_rel, &cfg.fwd, 3).expect("training");
+
+        for (label, warm) in [("FoRWaRD-warm", true), ("FoRWaRD-cold", false)] {
+            group.bench_with_input(BenchmarkId::new(label, name), &warm, |b, &warm| {
+                b.iter_batched(
+                    || (trained.clone(), db.clone()),
+                    |(mut emb, mut db)| {
+                        for (round, journal) in journals.iter().rev().enumerate() {
+                            one_by_one_round(
+                                &mut emb,
+                                &mut db,
+                                ds.prediction_rel,
+                                journal,
+                                9,
+                                round as u64,
+                                warm,
+                            );
+                        }
+                        black_box(emb.len())
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extend, bench_one_by_one);
 criterion_main!(benches);

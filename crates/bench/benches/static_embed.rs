@@ -19,8 +19,9 @@ fn bench_static(c: &mut Criterion) {
     let mut group = c.benchmark_group("static_embed");
     group.sample_size(10);
     let mut cfg = ExperimentConfig::quick();
-    // Keep the benchmark itself snappy; relative method cost is the point.
-    cfg.data.scale = 0.08;
+    // Keep the benchmark itself snappy; relative method cost is the point
+    // (STEMBED_BENCH_SCALE overrides — see scripts/bench.sh --full).
+    cfg.data.scale = bench::bench_scale(0.08);
     cfg.fwd.epochs = 5;
     cfg.n2v.epochs = 2;
 
@@ -51,7 +52,7 @@ fn bench_shards(c: &mut Criterion) {
     let mut group = c.benchmark_group("forward_shards");
     group.sample_size(10);
     let params = datasets::DatasetParams {
-        scale: 0.12,
+        scale: bench::bench_scale(0.12),
         ..Default::default()
     };
     let ds = datasets::hepatitis::generate(&params);

@@ -1,1 +1,34 @@
 //! Criterion benchmarks (see benches/).
+
+/// Dataset scale used by the tracked benchmark reports. Defaults to the
+/// CI-sized `default`, overridable through `STEMBED_BENCH_SCALE` — the
+/// `--full` profile of `scripts/bench.sh` sets it to 0.5 so the committed
+/// JSONs can be compared against a large-scale manual run.
+pub fn bench_scale(default: f64) -> f64 {
+    scale_from(
+        std::env::var("STEMBED_BENCH_SCALE").ok().as_deref(),
+        default,
+    )
+}
+
+/// Pure core of [`bench_scale`]: parse an override, falling back to
+/// `default` when absent, unparsable, or non-positive.
+fn scale_from(var: Option<&str>, default: f64) -> f64 {
+    var.and_then(|v| v.parse::<f64>().ok())
+        .filter(|s| *s > 0.0)
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_from_prefers_valid_overrides_and_rejects_junk() {
+        assert_eq!(scale_from(None, 0.08), 0.08);
+        assert_eq!(scale_from(Some("0.5"), 0.08), 0.5);
+        assert_eq!(scale_from(Some("bogus"), 0.08), 0.08);
+        assert_eq!(scale_from(Some("-1"), 0.08), 0.08);
+        assert_eq!(scale_from(Some("0"), 0.08), 0.08);
+    }
+}

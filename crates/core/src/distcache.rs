@@ -16,12 +16,28 @@
 //! * both are valid only for one `(db_id, epoch, support_limit)` triple.
 //!
 //! `reldb::Database` carries a **mutation epoch** (bumped by every insert,
-//! restore, and delete) and a process-unique **lineage id** (fresh per
-//! constructor *and per clone*). [`DistCache::revalidate`] compares the
-//! cache's binding against the database about to be read and clears
-//! everything on any mismatch — so inserts/deletes invalidate correctly,
-//! and a cache can never serve entries computed against a different
-//! database object that happens to share an epoch number.
+//! restore, and delete), a process-unique **lineage id** (fresh per
+//! constructor *and per clone*), and a bounded **mutation journal**
+//! recording what each epoch bump did. [`DistCache::ensure_bound`]
+//! compares the cache's binding against the database about to be read:
+//!
+//! * same lineage, same epoch — nothing to do;
+//! * same lineage, newer epoch — **replay** the journal records the cache
+//!   missed and evict only the entries those mutations can reach. Each
+//!   cached scheme carries a precomputed [`SchemeReach`]: a mutation in a
+//!   relation the scheme never visits evicts nothing, one in the scheme's
+//!   (non-re-entered) start relation evicts exactly the mutated fact's
+//!   entry, and one in an interior relation evicts the scheme wholesale —
+//!   the only sound scope, since that fact can lie on a walk from any
+//!   start. This is what keeps the cache warm across the paper's
+//!   one-by-one insertion protocol (§VI-E), where every round mutates a
+//!   handful of relations and leaves most schemes untouched;
+//! * different lineage, changed support limit, or a journal that has
+//!   wrapped (the cache fell behind by more than the ring holds) — **full
+//!   clear**, the pre-journal behaviour and the unconditional fallback.
+//!
+//! Either way a bound cache can never serve entries computed against a
+//! different database object that happens to share an epoch number.
 //!
 //! ## Determinism contract
 //!
@@ -35,12 +51,12 @@
 //! section — the shard count decides only *when* a miss is computed, never
 //! *what* any caller observes.
 
-use crate::schemes::WalkScheme;
+use crate::schemes::{ReachScope, SchemeReach, WalkScheme};
 use crate::walkdist::{
-    destination_distribution_status, value_distribution, DistStatus, FactDistribution,
-    ValueDistribution,
+    destination_distribution_status, step_predecessors, value_distribution, DistStatus,
+    FactDistribution, ValueDistribution,
 };
-use reldb::{Database, FactId};
+use reldb::{Database, FactId, MutationKind, MutationRecord};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -79,17 +95,37 @@ fn put<K2: std::hash::Hash + Eq, V>(
     }
 }
 
-/// Hit/miss counters of a [`DistCache`] (diagnostics and tests).
+/// Hit/miss/eviction counters of a [`DistCache`] (diagnostics and tests).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CacheStats {
+pub struct DistCacheStats {
     /// Lookups answered from the cache (including negative entries).
     pub hits: u64,
     /// Lookups that had to compute (and then stored) their result.
     pub misses: u64,
-    /// Times the whole cache was dropped because the database moved on
-    /// (epoch or lineage change) or the support limit changed.
+    /// Times the whole cache was dropped: lineage change, support-limit
+    /// change, or a wrapped journal (fell too far behind to replay).
     pub invalidations: u64,
+    /// Journal replays applied (fine-grained catch-ups instead of clears).
+    pub replays: u64,
+    /// Entries evicted by journal replays (full clears are counted in
+    /// `invalidations`, not here).
+    pub evicted: u64,
 }
+
+impl DistCacheStats {
+    /// Fraction of lookups served from the cache (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Former name of [`DistCacheStats`].
+pub type CacheStats = DistCacheStats;
 
 /// Memo table for exact walk distributions, bound to one
 /// `(db_id, epoch, support_limit)` snapshot at a time.
@@ -108,11 +144,15 @@ pub struct DistCache {
     support_limit: usize,
     facts: FactMap,
     values: ValueMap,
-    stats: CacheStats,
+    /// Per-scheme FK-reachability, computed once per scheme (the schema is
+    /// immutable within a lineage) and consulted by every journal replay.
+    scopes: HashMap<WalkScheme, SchemeReach>,
+    stats: DistCacheStats,
 }
 
 impl DistCache {
-    /// Empty, unbound cache. The first [`DistCache::revalidate`] binds it.
+    /// Empty, unbound cache. The first [`DistCache::ensure_bound`] binds
+    /// it.
     pub fn new() -> Self {
         Self::default()
     }
@@ -123,26 +163,152 @@ impl DistCache {
     }
 
     /// Bind the cache to `db`'s current `(db_id, epoch)` under the exact
-    /// support cap `limit`, dropping every entry if any of the three
-    /// changed. Call before a batch of lookups; a no-op while the database
-    /// is unmutated.
-    pub fn revalidate(&mut self, db: &Database, limit: usize) {
-        if self.current_for(db, limit) {
-            return;
+    /// support cap `limit`. Call before a batch of lookups; a no-op while
+    /// the database is unmutated.
+    ///
+    /// When the database has mutated within the same lineage and the
+    /// mutation journal still covers the gap, the missed records are
+    /// **replayed**: only entries whose scheme can reach a mutated fact
+    /// (see [`SchemeReach`]) are evicted, everything else stays warm.
+    /// A lineage change, a support-limit change, or a wrapped journal
+    /// drops every entry (the journal is an optimisation channel, never a
+    /// correctness requirement).
+    pub fn ensure_bound(&mut self, db: &Database, limit: usize) {
+        if self.db_id == db.db_id() && self.support_limit == limit {
+            if self.epoch == db.epoch() {
+                return;
+            }
+            let missed: Option<Vec<MutationRecord>> = db
+                .journal_since(self.epoch)
+                .map(|records| records.copied().collect());
+            if let Some(records) = missed {
+                self.replay(db, &records);
+                self.epoch = db.epoch();
+                return;
+            }
         }
         if !(self.facts.is_empty() && self.values.is_empty()) {
             self.stats.invalidations += 1;
             self.facts.clear();
             self.values.clear();
         }
+        // Scopes are schema-derived; a different lineage may carry a
+        // different schema, so they go too (cheap to recompute).
+        self.scopes.clear();
         self.db_id = db.db_id();
         self.epoch = db.epoch();
         self.support_limit = limit;
     }
 
+    /// Apply missed journal records: per cached scheme, work out which
+    /// `(scheme, start)` entries the records can influence and evict
+    /// exactly those.
+    ///
+    /// Per record and scheme, three precision tiers:
+    ///
+    /// * relation unreachable for the scheme — nothing;
+    /// * relation is the (non-re-entered) start — the mutated fact's own
+    ///   entry;
+    /// * relation interior — for **inserts/restores**, walk the scheme
+    ///   backwards from the mutated fact ([`step_predecessors`]) to
+    ///   enumerate the start facts that can reach it; only their entries
+    ///   go. Sound against the *current* database because additions are
+    ///   monotone: any start whose walks the batch connected to the new
+    ///   fact still reaches it now (a connecting fact deleted again within
+    ///   the batch is its own, coarser record). **Deletes** evict the
+    ///   scheme wholesale — the tombstoned fact cannot be traversed
+    ///   backwards, so the affected start set is unknowable after the
+    ///   fact. The reverse frontier is capped; overflow also falls back
+    ///   to wholesale eviction.
+    fn replay(&mut self, db: &Database, records: &[MutationRecord]) {
+        self.stats.replays += 1;
+        if records.is_empty() || (self.facts.is_empty() && self.values.is_empty()) {
+            return;
+        }
+        let schema = db.schema();
+        let schemes: Vec<WalkScheme> = {
+            let mut seen: Vec<&WalkScheme> = self.facts.keys().collect();
+            for s in self.values.keys() {
+                if !seen.contains(&s) {
+                    seen.push(s);
+                }
+            }
+            seen.into_iter().cloned().collect()
+        };
+        // Reverse frontiers larger than this fall back to wholesale
+        // eviction (a hub fact touches "everything" anyway). The forward
+        // support cap is the natural yardstick.
+        let reverse_cap = self.support_limit.max(64);
+        for scheme in schemes {
+            let reach = self
+                .scopes
+                .entry(scheme.clone())
+                .or_insert_with(|| SchemeReach::of(schema, &scheme));
+            let mut wholesale = false;
+            // Start facts whose entries the records touch.
+            let mut starts: Vec<FactId> = Vec::new();
+            'records: for record in records {
+                match reach.scope(record.rel) {
+                    ReachScope::AllStarts => match record.kind {
+                        MutationKind::Delete => {
+                            wholesale = true;
+                            break 'records;
+                        }
+                        MutationKind::Insert | MutationKind::Restore => {
+                            if record.rel == scheme.start {
+                                // The scheme re-enters its start relation:
+                                // position 0 is affected for this fact …
+                                starts.push(record.fact);
+                            }
+                            // … and interior positions via reverse walks.
+                            if !reverse_reachable_starts(
+                                db,
+                                &scheme,
+                                record.fact,
+                                reverse_cap,
+                                &mut starts,
+                            ) {
+                                wholesale = true;
+                                break 'records;
+                            }
+                        }
+                    },
+                    ReachScope::StartOnly => starts.push(record.fact),
+                    ReachScope::Unreachable => {}
+                }
+            }
+            if wholesale {
+                if let Some(inner) = self.facts.remove(&scheme) {
+                    self.stats.evicted += inner.len() as u64;
+                }
+                if let Some(inner) = self.values.remove(&scheme) {
+                    self.stats.evicted += inner.len() as u64;
+                }
+            } else if !starts.is_empty() {
+                // Records and reverse walks routinely rediscover the same
+                // start; dedup once so the evictions below are
+                // O(starts + entries·log(starts)), not O(entries·starts).
+                starts.sort_unstable();
+                starts.dedup();
+                if let Some(inner) = self.facts.get_mut(&scheme) {
+                    for f in &starts {
+                        if inner.remove(f).is_some() {
+                            self.stats.evicted += 1;
+                        }
+                    }
+                }
+                if let Some(inner) = self.values.get_mut(&scheme) {
+                    let before = inner.len();
+                    inner.retain(|(_, start), _| starts.binary_search(start).is_err());
+                    self.stats.evicted += (before - inner.len()) as u64;
+                }
+            }
+        }
+    }
+
     /// Memoised [`destination_distribution_status`] of `(scheme, start)`.
     ///
-    /// The cache must be [revalidated](DistCache::revalidate) against `db`
+    /// The cache must be [bound](DistCache::ensure_bound) against `db`
     /// first (debug-asserted).
     pub fn fact_distribution(
         &mut self,
@@ -152,7 +318,7 @@ impl DistCache {
     ) -> CachedFactDist {
         debug_assert!(
             self.current_for(db, self.support_limit),
-            "DistCache used without revalidate()"
+            "DistCache used without ensure_bound()"
         );
         if let Some(hit) = self.facts.get(scheme).and_then(|m| m.get(&start)) {
             self.stats.hits += 1;
@@ -176,7 +342,7 @@ impl DistCache {
     ) -> CachedValueDist {
         debug_assert!(
             self.current_for(db, self.support_limit),
-            "DistCache used without revalidate()"
+            "DistCache used without ensure_bound()"
         );
         if let Some(hit) = self.values.get(scheme).and_then(|m| m.get(&(attr, start))) {
             self.stats.hits += 1;
@@ -191,8 +357,8 @@ impl DistCache {
     }
 
     /// Read-only snapshot handle for one work item of a sharded section.
-    /// Requires the cache to be revalidated against the database the view
-    /// will read (debug-asserted at lookup time).
+    /// Requires the cache to be bound against the database the view will
+    /// read (debug-asserted at lookup time).
     pub fn view(&self) -> DistCacheView<'_> {
         DistCacheView {
             base: self,
@@ -222,8 +388,8 @@ impl DistCache {
         self.stats.misses += delta.misses;
     }
 
-    /// Lifetime hit/miss/invalidation counters.
-    pub fn stats(&self) -> CacheStats {
+    /// Lifetime hit/miss/eviction/invalidation counters.
+    pub fn stats(&self) -> DistCacheStats {
         self.stats
     }
 
@@ -236,6 +402,46 @@ impl DistCache {
     pub fn is_empty(&self) -> bool {
         self.facts.is_empty() && self.values.is_empty()
     }
+}
+
+/// Collect into `out` every start fact of `scheme` from which a walk can
+/// reach `fact` at one of the scheme's interior positions, by walking the
+/// steps backwards over the database's current content. Returns `false`
+/// when a reverse frontier exceeds `cap` — the caller then treats the
+/// mutation as touching every start.
+fn reverse_reachable_starts(
+    db: &Database,
+    scheme: &WalkScheme,
+    fact: FactId,
+    cap: usize,
+    out: &mut Vec<FactId>,
+) -> bool {
+    let schema = db.schema();
+    for j in 1..=scheme.len() {
+        if scheme.steps[j - 1].destination(schema) != fact.rel {
+            continue;
+        }
+        // Walk back from position j to position 0.
+        let mut frontier = vec![fact];
+        let mut next: Vec<FactId> = Vec::new();
+        for step in scheme.steps[..j].iter().rev() {
+            next.clear();
+            for &g in &frontier {
+                next.extend(step_predecessors(db, step, g));
+            }
+            next.sort_unstable();
+            next.dedup();
+            if next.len() > cap {
+                return false;
+            }
+            std::mem::swap(&mut frontier, &mut next);
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        out.extend(frontier);
+    }
+    true
 }
 
 /// Marginalise a cached fact-level entry to `attr` ("all destinations
@@ -280,7 +486,7 @@ impl DistCacheView<'_> {
     ) -> CachedFactDist {
         debug_assert!(
             self.base.current_for(db, self.base.support_limit),
-            "DistCacheView used against a database the base was not revalidated for"
+            "DistCacheView used against a database the base was not bound for"
         );
         if let Some(hit) = self
             .base
@@ -309,7 +515,7 @@ impl DistCacheView<'_> {
     ) -> CachedValueDist {
         debug_assert!(
             self.base.current_for(db, self.base.support_limit),
-            "DistCacheView used against a database the base was not revalidated for"
+            "DistCacheView used against a database the base was not bound for"
         );
         if let Some(hit) = self
             .base
@@ -350,7 +556,7 @@ mod tests {
     use super::*;
     use crate::schemes::enumerate_schemes;
     use reldb::movies::movies_database_labeled;
-    use reldb::{cascade_delete, restore_journal};
+    use reldb::{cascade_delete, restore_journal, Value};
 
     fn s5(db: &Database) -> WalkScheme {
         let schema = db.schema();
@@ -369,7 +575,7 @@ mod tests {
         let (db, ids) = movies_database_labeled();
         let scheme = s5(&db);
         let mut cache = DistCache::new();
-        cache.revalidate(&db, 256);
+        cache.ensure_bound(&db, 256);
         let a = cache.value_distribution(&db, &scheme, 4, ids["a1"]);
         let misses = cache.stats().misses;
         let b = cache.value_distribution(&db, &scheme, 4, ids["a1"]);
@@ -397,7 +603,7 @@ mod tests {
             .find(|s| s.display(schema).to_string() == "ACTORS[aid]—COLLABORATIONS[actor1]")
             .unwrap();
         let mut cache = DistCache::new();
-        cache.revalidate(&db, 256);
+        cache.ensure_bound(&db, 256);
         // a3 has no actor1 walks: a (cached) exact negative entry.
         assert!(cache
             .fact_distribution(&db, &s1, ids["a3"])
@@ -414,24 +620,179 @@ mod tests {
         let (mut db, ids) = movies_database_labeled();
         let scheme = s5(&db);
         let mut cache = DistCache::new();
-        cache.revalidate(&db, 256);
+        cache.ensure_bound(&db, 256);
         let before = cache.value_distribution(&db, &scheme, 4, ids["a1"]);
         let before = before.exists().unwrap().clone();
         assert_eq!(before.support.len(), 2);
 
-        // Delete m6 (+ its collaboration): a1's budget marginal collapses.
+        // Delete m6 (+ its collaboration): both mutations hit s5's interior
+        // relations, so the journal replay evicts the scheme wholesale —
+        // a1's budget marginal collapses and must not be served stale.
         let journal = cascade_delete(&mut db, ids["m6"], false).unwrap();
-        cache.revalidate(&db, 256);
-        assert!(cache.is_empty(), "epoch change must clear the cache");
-        assert_eq!(cache.stats().invalidations, 1);
+        cache.ensure_bound(&db, 256);
+        assert!(
+            cache.is_empty(),
+            "an interior mutation must evict the affected scheme"
+        );
+        assert_eq!(cache.stats().replays, 1, "fine-grained path, not a clear");
+        assert_eq!(cache.stats().invalidations, 0);
+        assert!(cache.stats().evicted >= 2, "fact + value entries evicted");
         let during = cache.value_distribution(&db, &scheme, 4, ids["a1"]);
         assert_eq!(during.exists().unwrap().support.len(), 1);
 
         // Restore: a new epoch again; the original distribution comes back.
         restore_journal(&mut db, &journal).unwrap();
-        cache.revalidate(&db, 256);
+        cache.ensure_bound(&db, 256);
         let after = cache.value_distribution(&db, &scheme, 4, ids["a1"]);
         assert_eq!(after.exists().unwrap().support, before.support);
+    }
+
+    #[test]
+    fn replay_keeps_unreachable_schemes_warm() {
+        let (mut db, ids) = movies_database_labeled();
+        let schema = db.schema();
+        let actors = schema.relation_id("ACTORS").unwrap();
+        let s5 = s5(&db);
+        // A length-3 scheme reaching STUDIOS: …—MOVIES[mid], MOVIES[studio]—STUDIOS[sid].
+        let studios = schema.relation_id("STUDIOS").unwrap();
+        let to_studios = enumerate_schemes(schema, actors, 3, false)
+            .into_iter()
+            .find(|s| s.len() == 3 && s.end(schema) == studios)
+            .unwrap();
+        let mut cache = DistCache::new();
+        cache.ensure_bound(&db, 256);
+        let s5_arc = cache.value_distribution(&db, &s5, 4, ids["a1"]);
+        cache.fact_distribution(&db, &to_studios, ids["a1"]);
+        let len_before = cache.len();
+
+        // Insert a brand-new studio. STUDIOS is interior to the studio
+        // scheme, but the new fact is referenced by no movie: the reverse
+        // walk finds no start that can reach it, so *nothing* is evicted —
+        // not even the studio scheme's entries.
+        db.insert_into("STUDIOS", vec!["s99".into(), "A24".into(), "NY".into()])
+            .unwrap();
+        cache.ensure_bound(&db, 256);
+        assert_eq!(cache.stats().invalidations, 0);
+        assert_eq!(cache.stats().replays, 1);
+        assert_eq!(cache.stats().evicted, 0, "nobody reaches the new studio");
+        assert_eq!(cache.len(), len_before);
+        // The s5 entry survived — same Arc, no recompute.
+        let misses = cache.stats().misses;
+        let again = cache.value_distribution(&db, &s5, 4, ids["a1"]);
+        assert_eq!(cache.stats().misses, misses, "must be a warm hit");
+        assert!(Arc::ptr_eq(
+            s5_arc.exists().unwrap(),
+            again.exists().unwrap()
+        ));
+
+        // A *delete* in an interior relation is coarse by design (the
+        // tombstone cannot be walked backwards): deleting the loose studio
+        // evicts the studio scheme wholesale but leaves s5 untouched.
+        let s99 = db.lookup_key(studios, &["s99".into()]).unwrap();
+        db.delete(s99).unwrap();
+        cache.ensure_bound(&db, 256);
+        assert!(cache.stats().evicted >= 1, "studio scheme must be evicted");
+        let misses = cache.stats().misses;
+        cache.value_distribution(&db, &s5, 4, ids["a1"]);
+        assert_eq!(cache.stats().misses, misses, "s5 still warm");
+        cache.fact_distribution(&db, &to_studios, ids["a1"]);
+        assert_eq!(cache.stats().misses, misses + 1, "studio entry recomputes");
+    }
+
+    #[test]
+    fn replay_scopes_interior_inserts_by_reverse_reachability() {
+        let (mut db, ids) = movies_database_labeled();
+        let s5 = s5(&db);
+        let mut cache = DistCache::new();
+        cache.ensure_bound(&db, 256);
+        let a1_before = cache.fact_distribution(&db, &s5, ids["a1"]);
+        cache.fact_distribution(&db, &s5, ids["a4"]);
+
+        // A new collaboration with actor1 = a4: walking s5 backwards from
+        // it reaches exactly a4 — a4's entry goes, a1's survives (its
+        // walks pass only through actor1 = a1 collaborations).
+        db.insert_into(
+            "COLLABORATIONS",
+            vec!["a04".into(), "a03".into(), "m01".into()],
+        )
+        .unwrap();
+        cache.ensure_bound(&db, 256);
+        assert_eq!(cache.stats().invalidations, 0);
+        assert!(cache.stats().evicted >= 1, "a4's entry must be evicted");
+        let misses = cache.stats().misses;
+        let a1_after = cache.fact_distribution(&db, &s5, ids["a1"]);
+        assert_eq!(cache.stats().misses, misses, "a1 must stay warm");
+        assert!(Arc::ptr_eq(
+            a1_before.exists().unwrap(),
+            a1_after.exists().unwrap()
+        ));
+        // a4 recomputes — and now includes m1 as a destination.
+        let a4 = cache.fact_distribution(&db, &s5, ids["a4"]);
+        assert_eq!(cache.stats().misses, misses + 1);
+        assert!(a4
+            .exists()
+            .unwrap()
+            .support
+            .iter()
+            .any(|(f, _)| *f == ids["m1"]));
+    }
+
+    #[test]
+    fn replay_scopes_start_relation_mutations_to_the_mutated_fact() {
+        let (mut db, ids) = movies_database_labeled();
+        let s5 = s5(&db);
+        let mut cache = DistCache::new();
+        cache.ensure_bound(&db, 256);
+        cache.value_distribution(&db, &s5, 4, ids["a1"]);
+
+        // A new actor with no collaborations: ACTORS is s5's start relation
+        // and never re-entered, so only the new fact's (nonexistent) entry
+        // could be affected — a1's entries stay warm.
+        let loner = db
+            .insert_into("ACTORS", vec!["a99".into(), "Riva".into(), Value::Int(5)])
+            .unwrap();
+        cache.ensure_bound(&db, 256);
+        assert_eq!(cache.stats().invalidations, 0);
+        let misses = cache.stats().misses;
+        cache.value_distribution(&db, &s5, 4, ids["a1"]);
+        assert_eq!(cache.stats().misses, misses, "a1 must stay warm");
+
+        // Cache the loner's entry (exactly Nonexistent: no walks), then
+        // delete the loner: replay must evict precisely that entry …
+        assert!(cache.fact_distribution(&db, &s5, loner).is_nonexistent());
+        let evicted_before = cache.stats().evicted;
+        db.delete(loner).unwrap();
+        cache.ensure_bound(&db, 256);
+        assert_eq!(cache.stats().evicted, evicted_before + 1);
+        // … while a1 is still served from the cache.
+        let misses = cache.stats().misses;
+        cache.value_distribution(&db, &s5, 4, ids["a1"]);
+        assert_eq!(cache.stats().misses, misses);
+    }
+
+    #[test]
+    fn wrapped_journal_falls_back_to_a_full_clear() {
+        let (mut db, ids) = movies_database_labeled();
+        let s5 = s5(&db);
+        let mut cache = DistCache::new();
+        cache.ensure_bound(&db, 256);
+        cache.value_distribution(&db, &s5, 4, ids["a1"]);
+        assert!(!cache.is_empty());
+
+        // More mutations than the ring holds: the records the cache missed
+        // are gone, so ensure_bound must drop everything.
+        db.set_journal_capacity(2);
+        for i in 0..3 {
+            db.insert_into(
+                "STUDIOS",
+                vec![format!("sx{i}").into(), "X".into(), "LA".into()],
+            )
+            .unwrap();
+        }
+        cache.ensure_bound(&db, 256);
+        assert!(cache.is_empty(), "wrap must clear the cache");
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.stats().replays, 0);
     }
 
     #[test]
@@ -439,16 +800,16 @@ mod tests {
         let (db, ids) = movies_database_labeled();
         let scheme = s5(&db);
         let mut cache = DistCache::new();
-        cache.revalidate(&db, 256);
+        cache.ensure_bound(&db, 256);
         cache.value_distribution(&db, &scheme, 4, ids["a1"]);
         assert!(!cache.is_empty());
         // Same content, but a clone is a different lineage.
         let clone = db.clone();
-        cache.revalidate(&clone, 256);
+        cache.ensure_bound(&clone, 256);
         assert!(cache.is_empty());
         cache.value_distribution(&clone, &scheme, 4, ids["a1"]);
         // A different support limit changes what "over the cap" means.
-        cache.revalidate(&clone, 1);
+        cache.ensure_bound(&clone, 1);
         assert!(cache.is_empty());
         assert_eq!(
             cache.fact_distribution(&clone, &scheme, ids["a1"]),
@@ -461,7 +822,7 @@ mod tests {
         let (db, ids) = movies_database_labeled();
         let scheme = s5(&db);
         let mut cache = DistCache::new();
-        cache.revalidate(&db, 256);
+        cache.ensure_bound(&db, 256);
         cache.value_distribution(&db, &scheme, 4, ids["a1"]);
 
         let deltas: Vec<DistCacheDelta> = (0..2)

@@ -123,8 +123,11 @@ impl ForwardEmbedding {
     /// blocks are stacked in target order — so the system `C·ϕ = b`, and
     /// with it the solved vector, is bit-identical at every shard count.
     ///
-    /// Distribution lookups go through `cache` (revalidated against `db`
-    /// first, so stale entries from before a mutation can never leak in):
+    /// Distribution lookups go through `cache` (bound against `db` first
+    /// via [`DistCache::ensure_bound`], which replays the database's
+    /// mutation journal and evicts exactly the entries the missed
+    /// mutations can reach — so stale entries can never leak in, and
+    /// entries untouched by the mutations stay warm across inserts):
     /// the `f_new`-side distribution is resolved **once per target** rather
     /// than once per equation, the fact-level BFS of `f_new` is pre-warmed
     /// once per distinct scheme, and each target works against a read-only
@@ -150,7 +153,7 @@ impl ForwardEmbedding {
         }
         candidates.sort_unstable(); // determinism independent of HashMap order
 
-        cache.revalidate(db, config.kd.exact_limit);
+        cache.ensure_bound(db, config.kd.exact_limit);
         // Pre-warm the new fact's fact-level BFS once per distinct scheme:
         // all targets sharing that scheme marginalise the same distribution
         // to their attribute, so it belongs in the shared snapshot before
@@ -394,8 +397,12 @@ mod tests {
         emb_warm.extend(&db, ids["a5"], 7).unwrap();
         let v2_warm = emb_warm.embedding(ids["a5"]).unwrap().to_vec();
         assert!(
-            emb_warm.dist_cache().stats().invalidations >= 1,
-            "epoch change must drop the warm cache"
+            emb_warm.dist_cache().stats().replays >= 1,
+            "epoch change must be caught up via journal replay"
+        );
+        assert!(
+            emb_warm.dist_cache().stats().evicted >= 1,
+            "the m6 cascade touches walk-scheme interiors; entries must go"
         );
         // Cold-cache reference on the same mutated database.
         let mut emb_cold = emb0.clone();

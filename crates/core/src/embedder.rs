@@ -51,10 +51,13 @@ pub trait TupleEmbedder {
 ///
 /// `extend` runs on the embedding's persistent walk-distribution cache
 /// (see [`crate::distcache::DistCache`]): all facts of one call share
-/// every exact distribution, and the cache stays warm across calls until
-/// the database mutates (tracked by its epoch counter). The experiment
-/// harness's one-by-one dynamic protocol therefore pays the BFS cost once
-/// per insertion round, not once per equation.
+/// every exact distribution, and the cache stays warm **across calls and
+/// across database mutations** — each solve replays the database's
+/// mutation journal and evicts only the entries the missed mutations can
+/// reach through the FK structure of the cached walk schemes. The
+/// experiment harness's one-by-one dynamic protocol therefore carries a
+/// progressively warmer cache from round to round instead of starting
+/// each insertion round cold.
 #[derive(Debug, Clone)]
 pub struct ForwardEmbedder {
     inner: ForwardEmbedding,

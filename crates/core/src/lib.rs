@@ -25,26 +25,33 @@
 //! * A **walk-distribution cache** under the KD/dynamic stack
 //!   ([`distcache`]): exact distributions are memoised by
 //!   `(scheme, start)` / `(scheme, attr, start)` and invalidated through
-//!   `reldb`'s mutation-epoch counter, so one insert costs one linear
-//!   solve — not thousands of repeated BFS runs. The cache is **invisible
+//!   `reldb`'s mutation journal, scoped by each scheme's FK-reachability
+//!   ([`schemes::SchemeReach`]) — a mutation evicts only the entries it
+//!   can actually influence, so the cache stays warm across the one-by-one
+//!   insertion protocol and one insert costs one linear solve, not
+//!   thousands of repeated BFS runs. The cache is **invisible
 //!   semantically**: results are bit-identical with and without it, at any
 //!   shard count (`tests/determinism.rs` asserts both).
 //! * A unified [`TupleEmbedder`] trait implemented by both FoRWaRD and the
 //!   Node2Vec adaptation, which the experiment harness trains and extends
 //!   interchangeably ([`embedder`]).
 //!
-//! ## Cache + epoch invalidation contract
+//! ## Cache + journal invalidation contract
 //!
 //! Exact walk distributions are pure functions of
 //! `(database content, scheme, start, support_limit)`, and their supports
 //! are kept in a canonical order — so caching them can never change a
 //! result, only skip recomputation. Validity is tracked through
-//! [`reldb::Database::db_id`] (process-unique lineage, fresh per clone)
-//! and [`reldb::Database::epoch`] (bumped by every insert/restore/delete):
-//! a [`DistCache`] revalidates against the database before every batch of
-//! lookups and drops all entries on any mismatch. Monte-Carlo estimates
-//! are never cached — they consume seeded RNG streams, and caching them
-//! would make results depend on cache history.
+//! [`reldb::Database::db_id`] (process-unique lineage, fresh per clone),
+//! [`reldb::Database::epoch`] (bumped by every insert/restore/delete), and
+//! [`reldb::Database::journal_since`] (the bounded ring of what each
+//! epoch bump did): a [`DistCache`] binds against the database before
+//! every batch of lookups, replays the mutations it missed, and evicts
+//! only the entries those mutations can reach through the FK structure of
+//! the cached walk schemes — falling back to a full clear when the
+//! lineage changed or the journal wrapped. Monte-Carlo estimates are
+//! never cached — they consume seeded RNG streams, and caching them would
+//! make results depend on cache history.
 
 pub mod config;
 pub mod distcache;
@@ -58,11 +65,13 @@ pub mod train;
 pub mod walkdist;
 
 pub use config::ForwardConfig;
-pub use distcache::{CacheStats, DistCache};
+pub use distcache::{CacheStats, DistCache, DistCacheStats};
 pub use dynamic::ExtendOptions;
 pub use embedder::{ForwardEmbedder, Node2VecEmbedder, TupleEmbedder};
 pub use kernel::{EditDistanceKernel, EqualityKernel, GaussianKernel, Kernel, KernelAssignment};
-pub use schemes::{enumerate_schemes, target_pairs, Step, Target, WalkScheme};
+pub use schemes::{
+    enumerate_schemes, target_pairs, ReachScope, SchemeReach, Step, Target, WalkScheme,
+};
 pub use train::ForwardEmbedding;
 pub use walkdist::{DestinationSampler, ValueDistribution};
 

@@ -168,6 +168,66 @@ impl fmt::Display for SchemeDisplay<'_> {
     }
 }
 
+/// How far a mutation in one relation can reach into the cached walk
+/// distributions of one scheme (see [`SchemeReach::scope`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReachScope {
+    /// The relation is never visited: no `(scheme, start)` entry changes.
+    Unreachable,
+    /// The relation is the scheme's start and is never re-entered: only
+    /// the entry whose start *is* the mutated fact changes (a walk from
+    /// any other start fact never reads it).
+    StartOnly,
+    /// The relation is visited after the start: the mutated fact may sit
+    /// on (or open/close) a walk from **any** start fact.
+    AllStarts,
+}
+
+/// FK-reachability of one walk scheme, precomputed from the schema alone:
+/// for every relation, which cached `(scheme, start)` destination
+/// distributions a mutation there can influence.
+///
+/// The exact BFS ([`crate::walkdist::destination_distribution_status`])
+/// reads only facts along the scheme's relation sequence `R₀, R₁, …, R_ℓ`:
+/// the start fact itself at position 0, key lookups / referencing-slot
+/// scans in `R₁..R_ℓ`, and (for the value marginal) attribute values of
+/// the end relation `R_ℓ` — which is on the sequence. A mutation anywhere
+/// else is therefore provably invisible to every entry of the scheme, and
+/// a mutation in a start-only relation is visible exactly to the entry
+/// keyed by the mutated fact. This is the index behind the distribution
+/// cache's journal-replay invalidation.
+#[derive(Debug, Clone)]
+pub struct SchemeReach {
+    start: RelationId,
+    /// `interior[r]` ⇔ relation `r` is visited at some step position ≥ 1.
+    interior: Vec<bool>,
+}
+
+impl SchemeReach {
+    /// Precompute the reachability of `scheme` under `schema`.
+    pub fn of(schema: &Schema, scheme: &WalkScheme) -> Self {
+        let mut interior = vec![false; schema.relations().len()];
+        for step in &scheme.steps {
+            interior[step.destination(schema).index()] = true;
+        }
+        SchemeReach {
+            start: scheme.start,
+            interior,
+        }
+    }
+
+    /// The invalidation scope of a mutation in `rel` for this scheme.
+    pub fn scope(&self, rel: RelationId) -> ReachScope {
+        if self.interior.get(rel.index()).copied().unwrap_or(false) {
+            ReachScope::AllStarts
+        } else if rel == self.start {
+            ReachScope::StartOnly
+        } else {
+            ReachScope::Unreachable
+        }
+    }
+}
+
 /// A training target: a walk scheme paired with an attribute of its end
 /// relation that is not involved in any foreign key — the `(s, A)` pairs of
 /// `T(R, ℓmax)` (paper §V-C).
@@ -366,6 +426,46 @@ mod tests {
         let len3_targets = targets.iter().filter(|t| t.scheme.len() == 3).count();
         assert_eq!(len3_targets, 4);
         assert_eq!(targets.len(), 16);
+    }
+
+    #[test]
+    fn scheme_reach_classifies_relations() {
+        let schema = movies_schema();
+        let actors = schema.relation_id("ACTORS").unwrap();
+        let collabs = schema.relation_id("COLLABORATIONS").unwrap();
+        let movies = schema.relation_id("MOVIES").unwrap();
+        let studios = schema.relation_id("STUDIOS").unwrap();
+        let schemes = enumerate_schemes(&schema, actors, 3, false);
+
+        // Trivial scheme: only the start fact itself matters.
+        let trivial = SchemeReach::of(&schema, &WalkScheme::trivial(actors));
+        assert_eq!(trivial.scope(actors), ReachScope::StartOnly);
+        assert_eq!(trivial.scope(collabs), ReachScope::Unreachable);
+
+        // s5 (ACTORS—COLLAB—MOVIES): interior = {COLLAB, MOVIES}; STUDIOS
+        // is unreachable, other actors cannot influence a1's walks.
+        let s5 = schemes
+            .iter()
+            .find(|s| {
+                s.display(&schema).to_string()
+                    == "ACTORS[aid]—COLLABORATIONS[actor1], COLLABORATIONS[movie]—MOVIES[mid]"
+            })
+            .unwrap();
+        let reach = SchemeReach::of(&schema, s5);
+        assert_eq!(reach.scope(actors), ReachScope::StartOnly);
+        assert_eq!(reach.scope(collabs), ReachScope::AllStarts);
+        assert_eq!(reach.scope(movies), ReachScope::AllStarts);
+        assert_eq!(reach.scope(studios), ReachScope::Unreachable);
+
+        // A scheme re-entering ACTORS (ACTORS—COLLAB[actor1],
+        // COLLAB[actor2]—ACTORS) puts the start relation in the interior:
+        // any actor mutation can now change any start's distribution.
+        let reentrant = schemes
+            .iter()
+            .find(|s| s.len() == 2 && s.end(&schema) == actors)
+            .unwrap();
+        let reach = SchemeReach::of(&schema, reentrant);
+        assert_eq!(reach.scope(actors), ReachScope::AllStarts);
     }
 
     #[test]

@@ -124,6 +124,40 @@ pub fn step_successors(db: &Database, step: &Step, cur: FactId) -> Vec<FactId> {
     }
 }
 
+/// The facts one step can lead *from*: predecessors of `cur` under `step`
+/// — the exact reverse of [`step_successors`].
+///
+/// A forward step (depart by FK, arrive at the referenced key) is reversed
+/// through the reference index: every fact whose FK tuple matches `cur`'s
+/// key could have stepped here. A backward step (depart by key, arrive at
+/// a referencing fact) is reversed by resolving the FK `cur` itself
+/// carries. This powers the distribution cache's reachability-scoped
+/// invalidation: walking a scheme backwards from a newly inserted fact
+/// enumerates precisely the start facts whose destination distributions
+/// that insertion can influence.
+pub fn step_predecessors(db: &Database, step: &Step, cur: FactId) -> Vec<FactId> {
+    let schema = db.schema();
+    let fk = schema.foreign_key(step.fk);
+    let Some(fact) = db.fact(cur) else {
+        return Vec::new();
+    };
+    if step.forward {
+        // `cur` is the referenced fact; predecessors reference its key.
+        let key = fact.project(&fk.to_attrs);
+        db.referencing_slots(step.fk, &key)
+            .iter()
+            .map(|&row| FactId::new(fk.from_rel, row))
+            .collect()
+    } else {
+        // `cur` arrived by referencing its (unique) predecessor.
+        if fact.any_null(&fk.from_attrs) {
+            return Vec::new();
+        }
+        let key = fact.project(&fk.from_attrs);
+        db.lookup_key(fk.to_rel, &key).into_iter().collect()
+    }
+}
+
 /// Exactly compute `d_{f,s}` by probability propagation, reporting *why*
 /// when it cannot: [`DistStatus::Nonexistent`] when no complete walk
 /// exists (exact knowledge), [`DistStatus::TooLarge`] when an intermediate
@@ -523,6 +557,35 @@ mod tests {
             .support
             .windows(2)
             .all(|w| w[0].0.canonical_cmp(&w[1].0) == std::cmp::Ordering::Less));
+    }
+
+    #[test]
+    fn step_predecessors_inverts_step_successors() {
+        // For every step of s5 and every live fact pair (g, h):
+        // h ∈ successors(g) ⇔ g ∈ predecessors(h).
+        let (db, _) = movies_database_labeled();
+        let s5 = scheme_s5(&db);
+        let schema = db.schema();
+        for step in &s5.steps {
+            let src = step.source(schema);
+            let dst = step.destination(schema);
+            for g in db.fact_ids(src) {
+                for h in step_successors(&db, step, g) {
+                    assert!(
+                        step_predecessors(&db, step, h).contains(&g),
+                        "missing reverse edge {g} -> {h}"
+                    );
+                }
+            }
+            for h in db.fact_ids(dst) {
+                for g in step_predecessors(&db, step, h) {
+                    assert!(
+                        step_successors(&db, step, g).contains(&h),
+                        "spurious reverse edge {g} -> {h}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

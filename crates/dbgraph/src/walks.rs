@@ -205,6 +205,17 @@ impl<'g> Walker<'g> {
     /// the dynamic-phase sampling. Walks come back grouped by start node in
     /// `starts` order; length-1 walks (isolated starts) are dropped.
     pub fn corpus_from(&self, starts: &[NodeId]) -> WalkCorpus {
+        let mut corpus = WalkCorpus::default();
+        self.corpus_from_into(starts, &mut corpus);
+        corpus
+    }
+
+    /// [`Walker::corpus_from`] into a caller-owned arena: `corpus` is
+    /// cleared and refilled, reusing its token/offset allocations. The
+    /// dynamic phase hands the same buffer back every insertion round, so
+    /// the (small) per-round corpus costs no arena growth after the first
+    /// round.
+    pub fn corpus_from_into(&self, starts: &[NodeId], corpus: &mut WalkCorpus) {
         let per_start = self.runtime.par_map_ordered(starts, |i, &start| {
             let mut rng = stream_rng(self.seed, i as u64);
             let mut shard = WalkCorpus {
@@ -226,15 +237,18 @@ impl<'g> Walker<'g> {
             }
             shard
         });
-        let mut corpus = WalkCorpus {
-            tokens: Vec::with_capacity(per_start.iter().map(|s| s.tokens.len()).sum()),
-            offsets: Vec::with_capacity(per_start.iter().map(|s| s.len()).sum::<usize>() + 1),
-        };
+        corpus.tokens.clear();
+        corpus.offsets.clear();
+        corpus
+            .tokens
+            .reserve(per_start.iter().map(|s| s.tokens.len()).sum());
+        corpus
+            .offsets
+            .reserve(per_start.iter().map(|s| s.len()).sum::<usize>() + 1);
         corpus.offsets.push(0);
         for shard in &per_start {
             corpus.append(shard);
         }
-        corpus
     }
 
     /// One truncated biased walk from `start`, drawing from the walker's

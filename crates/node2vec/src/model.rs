@@ -22,6 +22,14 @@ pub struct Node2VecModel {
     /// Node visit counts feeding the negative-sampling distribution; kept so
     /// the dynamic phase can update them with the newly sampled walks.
     counts: Vec<usize>,
+    /// The negative-sampling table, kept alive across `extend` calls and
+    /// [rebuilt](NegativeTable::rebuild) in place from the updated counts —
+    /// per-round construction reuses the alias arrays and worklists
+    /// instead of reallocating them.
+    negatives: NegativeTable,
+    /// Reusable walk-corpus arena for the dynamic phase's continuation
+    /// walks (cleared and refilled each `extend` call).
+    walk_buf: WalkCorpus,
     /// Execution runtime for walk sampling (static and dynamic phases).
     runtime: Runtime,
 }
@@ -60,6 +68,8 @@ impl Node2VecModel {
             config: config.clone(),
             sgns,
             counts,
+            negatives: table,
+            walk_buf: WalkCorpus::default(),
             runtime,
         }
     }
@@ -92,19 +102,26 @@ impl Node2VecModel {
         if new_nodes.is_empty() {
             return;
         }
+        // Per-round structures are *reused*, not rebuilt: the walk corpus
+        // refills the model's arena, and the negative table rebuilds its
+        // alias structure in place from the updated counts — both
+        // byte-identical to fresh construction, so the continuation
+        // training consumes exactly the same random streams.
         let walker = Walker::with_runtime(graph, self.config.walk_config(), seed, self.runtime);
-        let corpus = walker.corpus_from(walk_starts);
+        let mut corpus = std::mem::take(&mut self.walk_buf);
+        walker.corpus_from_into(walk_starts, &mut corpus);
         count_tokens(&corpus, &mut self.counts);
-        let table = NegativeTable::new(&self.counts);
+        self.negatives.rebuild(&self.counts);
         self.sgns.train(
             &corpus,
-            &table,
+            &self.negatives,
             self.config.window,
             self.config.negatives,
             self.config.dynamic_epochs,
             self.config.learning_rate,
             seed ^ 0xdead,
         );
+        self.walk_buf = corpus;
     }
 
     /// The embedding of a node.

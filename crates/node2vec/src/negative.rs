@@ -13,23 +13,45 @@
 //! reference implementation for the distribution-equivalence test below.
 
 use stembed_runtime::rng::DetRng;
-use stembed_runtime::AliasTable;
+use stembed_runtime::{AliasScratch, AliasTable};
 
 /// O(1) sampler over nodes, with the classic `count^0.75` smoothing that
 /// keeps frequent nodes from dominating the negatives.
+///
+/// The table owns its construction workspace, so a long-lived instance
+/// (e.g. the one `Node2VecModel` keeps across dynamic extension rounds)
+/// can be [rebuilt](NegativeTable::rebuild) from fresh counts without
+/// reallocating the weight column, the worklists, or the alias arrays.
 #[derive(Debug, Clone)]
 pub struct NegativeTable {
     alias: AliasTable,
+    /// Smoothed-weight column, reused across rebuilds.
+    weights: Vec<f64>,
+    /// Alias construction worklists, reused across rebuilds.
+    scratch: AliasScratch,
 }
 
 impl NegativeTable {
     /// Build from per-node occurrence counts (index = node id). Nodes with
     /// zero count get zero mass and are never sampled.
     pub fn new(counts: &[usize]) -> Self {
-        let weights: Vec<f64> = counts.iter().map(|&c| (c as f64).powf(0.75)).collect();
-        NegativeTable {
-            alias: AliasTable::new(&weights),
-        }
+        let mut table = NegativeTable {
+            alias: AliasTable::new(&[]),
+            weights: Vec::new(),
+            scratch: AliasScratch::default(),
+        };
+        table.rebuild(counts);
+        table
+    }
+
+    /// Rebuild in place from new counts (the dynamic phase's per-round
+    /// refresh), reusing all internal storage. Byte-identical to
+    /// [`NegativeTable::new`] over the same counts.
+    pub fn rebuild(&mut self, counts: &[usize]) {
+        self.weights.clear();
+        self.weights
+            .extend(counts.iter().map(|&c| (c as f64).powf(0.75)));
+        self.alias.rebuild_in(&self.weights, &mut self.scratch);
     }
 
     /// `true` iff no node has positive mass.
@@ -118,6 +140,24 @@ mod tests {
         assert!(NegativeTable::new(&[]).is_empty());
         assert!(NegativeTable::new(&[0, 0]).is_empty());
         assert!(!NegativeTable::new(&[0, 1]).is_empty());
+    }
+
+    #[test]
+    fn rebuild_draws_exactly_like_a_fresh_table() {
+        // In-place rebuilds (growing counts across rounds, as the dynamic
+        // phase does) must consume the RNG identically to fresh tables.
+        let mut table = NegativeTable::new(&[1, 1]);
+        let rounds: [&[usize]; 3] = [&[5, 3, 0, 9], &[5, 4, 1, 9, 2, 2], &[0, 0, 7]];
+        for counts in rounds {
+            table.rebuild(counts);
+            let fresh = NegativeTable::new(counts);
+            assert_eq!(table.len(), fresh.len());
+            let mut a = DetRng::seed_from_u64(17);
+            let mut b = DetRng::seed_from_u64(17);
+            for _ in 0..2000 {
+                assert_eq!(table.sample(&mut a), fresh.sample(&mut b));
+            }
+        }
     }
 
     /// Property-style equivalence: on seeded random count vectors, the

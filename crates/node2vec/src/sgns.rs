@@ -108,6 +108,10 @@ pub struct SgnsModel {
     sat_small: f64,
     /// BCE of a saturated *wrong* prediction: `−ln(LOSS_EPS)`.
     sat_large: f64,
+    /// Per-group center-gradient scratch, kept across [`SgnsModel::train`]
+    /// calls so the dynamic phase's per-round continuation training
+    /// allocates nothing.
+    scratch: Vec<f64>,
 }
 
 /// Result of one training run.
@@ -144,6 +148,7 @@ impl SgnsModel {
             neg_loss,
             sat_small: -(1.0 - LOSS_EPS).ln(),
             sat_large: -LOSS_EPS.ln(),
+            scratch: Vec::new(),
         }
     }
 
@@ -343,8 +348,13 @@ impl SgnsModel {
             .max(1);
         let inv_total_updates = 1.0 / (pairs_per_epoch * epochs) as f64;
         let mut done = 0usize;
-        // Scratch for the per-group center gradient, allocated once.
-        let mut cgrad = vec![0.0; self.dim];
+        // Per-group center-gradient scratch: taken out of the model for the
+        // duration of the loop (it is passed as a second &mut alongside
+        // &mut self) and put back at the end, so repeated train calls reuse
+        // one allocation.
+        let mut cgrad = std::mem::take(&mut self.scratch);
+        cgrad.clear();
+        cgrad.resize(self.dim, 0.0);
 
         let mut order: Vec<usize> = (0..corpus.len()).collect();
         for epoch in 0..epochs {
@@ -389,6 +399,7 @@ impl SgnsModel {
             }
             stats.last_epoch_loss = mean;
         }
+        self.scratch = cgrad;
         stats
     }
 }

@@ -1,8 +1,23 @@
-//! The in-memory database: fact storage, constraint enforcement, and the
-//! secondary indexes that power random walks.
+//! The in-memory database: fact storage, constraint enforcement, the
+//! secondary indexes that power random walks, and the **mutation journal**
+//! that lets derived caches invalidate themselves fine-grained.
+//!
+//! ## The mutation journal
+//!
+//! Every successful mutation ([`Database::insert`], [`Database::restore`],
+//! every deletion including cascades) bumps the [epoch](Database::epoch)
+//! counter **and** appends a [`MutationRecord`] to a bounded ring. A
+//! consumer that remembers the epoch it last observed can later ask
+//! [`Database::journal_since`] for exactly the mutations it missed and
+//! invalidate only what those mutations can reach — instead of dropping
+//! all derived state on any epoch change. The ring is bounded
+//! ([`Database::journal_capacity`]): when a consumer has fallen further
+//! behind than the ring remembers, `journal_since` returns `None` and the
+//! consumer falls back to a full rebuild — the journal is an optimisation
+//! channel, never a correctness requirement.
 
 use crate::{DbError, Fact, FactId, FkId, RelationId, Result, Schema, Value};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Process-wide source of database identities (see [`Database::db_id`]).
@@ -10,6 +25,67 @@ static NEXT_DB_ID: AtomicU64 = AtomicU64::new(1);
 
 fn fresh_db_id() -> u64 {
     NEXT_DB_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// What a [`MutationRecord`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationKind {
+    /// A fresh fact entered a new slot ([`Database::insert`]).
+    Insert,
+    /// A live fact was tombstoned ([`Database::delete`] or a cascade).
+    Delete,
+    /// A tombstoned slot was revived with its original fact
+    /// ([`Database::restore`]).
+    Restore,
+}
+
+/// One entry of the mutation journal: which fact of which relation was
+/// touched, how, and at which epoch. `record.epoch` is the value
+/// [`Database::epoch`] reached *by* this mutation — records of one lineage
+/// carry consecutive epochs, which is what makes "replay everything after
+/// epoch `e`" well defined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutationRecord {
+    /// What happened.
+    pub kind: MutationKind,
+    /// The touched fact's stable id (slot identity survives tombstoning).
+    pub fact: FactId,
+    /// The touched fact's relation (redundant with `fact.rel`, kept so
+    /// consumers scoping by relation never reach into `fact`).
+    pub rel: RelationId,
+    /// The epoch this mutation produced.
+    pub epoch: u64,
+}
+
+/// Default bound of the mutation ring: comfortably above one dynamic-
+/// experiment insertion round (a prediction tuple plus its cascade group),
+/// small enough that a wrapped consumer's full rebuild is cheaper than
+/// replaying the backlog would have been.
+const DEFAULT_JOURNAL_CAPACITY: usize = 1024;
+
+/// Bounded ring of the most recent [`MutationRecord`]s.
+#[derive(Debug, Clone)]
+struct MutationJournal {
+    records: VecDeque<MutationRecord>,
+    capacity: usize,
+}
+
+impl MutationJournal {
+    fn new(capacity: usize) -> Self {
+        MutationJournal {
+            records: VecDeque::with_capacity(capacity.min(DEFAULT_JOURNAL_CAPACITY)),
+            capacity,
+        }
+    }
+
+    fn push(&mut self, record: MutationRecord) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        if self.capacity > 0 {
+            self.records.push_back(record);
+        }
+    }
 }
 
 /// Per-relation fact store.
@@ -49,6 +125,8 @@ pub struct Database {
     db_id: u64,
     /// Mutation epoch (see [`Database::epoch`]).
     epoch: u64,
+    /// Ring of the most recent mutations (see the module docs).
+    journal: MutationJournal,
 }
 
 impl Clone for Database {
@@ -66,6 +144,10 @@ impl Clone for Database {
             defer_fk_checks: self.defer_fk_checks,
             db_id: fresh_db_id(),
             epoch: 0,
+            // A fresh lineage starts with an empty journal: its records
+            // would describe the *original*'s history, and epoch 0 of the
+            // clone names the cloned content, not an empty database.
+            journal: MutationJournal::new(self.journal.capacity),
         }
     }
 }
@@ -91,6 +173,7 @@ impl Database {
             defer_fk_checks: false,
             db_id: fresh_db_id(),
             epoch: 0,
+            journal: MutationJournal::new(DEFAULT_JOURNAL_CAPACITY),
         }
     }
 
@@ -114,6 +197,58 @@ impl Database {
     /// content is unchanged between them.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The mutations that happened *after* epoch `since`, oldest first —
+    /// exactly the records a consumer bound to `(db_id, since)` missed.
+    ///
+    /// Returns `None` when the bounded ring no longer holds all of them
+    /// (the consumer fell behind by more than
+    /// [`Database::journal_capacity`] mutations, or `since` lies in the
+    /// future of this lineage); the caller must then fall back to a full
+    /// rebuild of whatever it derived.
+    pub fn journal_since(&self, since: u64) -> Option<impl Iterator<Item = &MutationRecord> + '_> {
+        if since > self.epoch {
+            return None;
+        }
+        // Compare the gap in u64: `as usize` truncation on 32-bit targets
+        // could otherwise alias a huge gap onto a small one and serve a
+        // partial journal as if it were complete.
+        let missed = self.epoch - since;
+        if missed > self.journal.records.len() as u64 {
+            return None; // wrapped: records since `since` were discarded
+        }
+        let skip = self.journal.records.len() - missed as usize;
+        Some(self.journal.records.iter().skip(skip))
+    }
+
+    /// Bound of the mutation ring (records retained before the oldest is
+    /// discarded).
+    pub fn journal_capacity(&self) -> usize {
+        self.journal.capacity
+    }
+
+    /// Change the mutation-ring bound. Shrinking discards the oldest
+    /// records immediately. A capacity of 0 disables journalling —
+    /// [`Database::journal_since`] then answers only the trivial
+    /// "nothing missed" query.
+    pub fn set_journal_capacity(&mut self, capacity: usize) {
+        while self.journal.records.len() > capacity {
+            self.journal.records.pop_front();
+        }
+        self.journal.capacity = capacity;
+    }
+
+    /// Bump the epoch and journal the mutation that caused it. Called by
+    /// every successful mutation, after the stores and indexes are updated.
+    fn record_mutation(&mut self, kind: MutationKind, fact: FactId) {
+        self.epoch += 1;
+        self.journal.push(MutationRecord {
+            kind,
+            fact,
+            rel: fact.rel,
+            epoch: self.epoch,
+        });
     }
 
     /// Enable/disable deferred FK checking. With deferral on, `insert`
@@ -252,8 +387,9 @@ impl Database {
         self.index_fact(rel, row, &fact);
         self.stores[rel.index()].slots.push(Some(fact));
         self.stores[rel.index()].live += 1;
-        self.epoch += 1;
-        Ok(FactId::new(rel, row))
+        let id = FactId::new(rel, row);
+        self.record_mutation(MutationKind::Insert, id);
+        Ok(id)
     }
 
     /// Insert by relation name (convenience for examples and loaders).
@@ -281,7 +417,7 @@ impl Database {
         self.index_fact(id.rel, id.row, &fact);
         self.stores[id.rel.index()].slots[id.row as usize] = Some(fact);
         self.stores[id.rel.index()].live += 1;
-        self.epoch += 1;
+        self.record_mutation(MutationKind::Restore, id);
         Ok(())
     }
 
@@ -313,7 +449,7 @@ impl Database {
         let fact = slot.take().ok_or(DbError::UnknownFact)?;
         self.stores[id.rel.index()].live -= 1;
         self.unindex_fact(id.rel, id.row, &fact);
-        self.epoch += 1;
+        self.record_mutation(MutationKind::Delete, id);
         Ok(fact)
     }
 
@@ -640,6 +776,73 @@ mod tests {
         assert_eq!(db.epoch(), e0 + 2);
         // The clone mutates independently.
         assert_eq!(clone.epoch(), 0);
+    }
+
+    #[test]
+    fn journal_records_every_mutation_kind_in_order() {
+        let (mut db, s) = db_with_one_s();
+        let e0 = db.epoch();
+        let fact = db.delete(s).unwrap();
+        db.restore(s, fact).unwrap();
+        let r = db
+            .insert_into("R", vec!["r1".into(), "s1".into(), Value::Int(1)])
+            .unwrap();
+        let records: Vec<MutationRecord> = db.journal_since(e0).unwrap().copied().collect();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].kind, MutationKind::Delete);
+        assert_eq!(records[0].fact, s);
+        assert_eq!(records[0].rel, s.rel);
+        assert_eq!(records[0].epoch, e0 + 1);
+        assert_eq!(records[1].kind, MutationKind::Restore);
+        assert_eq!(records[1].fact, s);
+        assert_eq!(records[2].kind, MutationKind::Insert);
+        assert_eq!(records[2].fact, r);
+        assert_eq!(records[2].epoch, db.epoch());
+        // A consumer already at the head misses nothing.
+        assert_eq!(db.journal_since(db.epoch()).unwrap().count(), 0);
+        // Partial replays start mid-stream.
+        assert_eq!(db.journal_since(e0 + 2).unwrap().count(), 1);
+        // Failed mutations leave no record.
+        assert!(db
+            .insert_into("S", vec!["s1".into(), "dup".into()])
+            .is_err());
+        assert_eq!(db.journal_since(e0).unwrap().count(), 3);
+    }
+
+    #[test]
+    fn journal_wraps_at_capacity_and_reports_it() {
+        let (mut db, s) = db_with_one_s();
+        db.set_journal_capacity(4);
+        assert_eq!(db.journal_capacity(), 4);
+        let e0 = db.epoch();
+        let fact = db.delete(s).unwrap();
+        db.restore(s, fact.clone()).unwrap();
+        // Both records since e0 still in the ring: replayable.
+        assert!(db.journal_since(e0).is_some());
+        db.delete(s).unwrap();
+        db.restore(s, fact.clone()).unwrap();
+        db.delete(s).unwrap();
+        // Five mutations since e0 exceed the ring: wrapped.
+        assert!(db.journal_since(e0).is_none());
+        // The most recent four are still there.
+        assert_eq!(db.journal_since(e0 + 1).unwrap().count(), 4);
+        // A future epoch (wrong lineage bookkeeping) is also a miss.
+        assert!(db.journal_since(db.epoch() + 1).is_none());
+        // Capacity 0 disables journalling entirely.
+        db.set_journal_capacity(0);
+        db.restore(s, fact).unwrap();
+        assert!(db.journal_since(db.epoch() - 1).is_none());
+        assert_eq!(db.journal_since(db.epoch()).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn clones_start_with_an_empty_journal() {
+        let (mut db, s) = db_with_one_s();
+        db.delete(s).unwrap();
+        let clone = db.clone();
+        assert_eq!(clone.epoch(), 0);
+        assert_eq!(clone.journal_since(0).unwrap().count(), 0);
+        assert_eq!(clone.journal_capacity(), db.journal_capacity());
     }
 
     #[test]

@@ -19,6 +19,25 @@
 //! walks, and reverse-reference indexes for backward FK steps), and
 //! implements the **on-delete-cascade** deletion with a replayable journal
 //! that the paper's dynamic experiment protocol (§VI-E) requires.
+//!
+//! ## Change tracking for derived caches
+//!
+//! Two complementary mechanisms let consumers keep derived state (walk
+//! distribution caches, graph views) consistent with a mutating database:
+//!
+//! * the **epoch counter** ([`Database::epoch`]) plus the process-unique
+//!   **lineage id** ([`Database::db_id`]) name an immutable content
+//!   snapshot — equal pairs guarantee unchanged content;
+//! * the **mutation journal** ([`Database::journal_since`]) records *what*
+//!   changed between two epochs of one lineage, as a bounded ring of
+//!   [`MutationRecord`]s (`Insert`/`Delete`/`Restore`, per fact). A cache
+//!   that fell behind replays the records it missed and evicts only the
+//!   entries those mutations can reach; when the ring has wrapped, the
+//!   journal says so and the cache falls back to a full rebuild.
+//!
+//! `stembed-core`'s `DistCache` is the canonical consumer: it scopes each
+//! record by FK-reachability of the walk schemes it caches, which is what
+//! keeps it warm across the one-by-one insertion protocol.
 
 pub mod cascade;
 pub mod database;
@@ -30,7 +49,7 @@ pub mod text;
 pub mod value;
 
 pub use cascade::{cascade_delete, restore_journal, DeletionJournal};
-pub use database::Database;
+pub use database::{Database, MutationKind, MutationRecord};
 pub use error::DbError;
 pub use fact::{Fact, FactId};
 pub use schema::{Attribute, FkId, ForeignKey, RelationId, RelationSchema, Schema, SchemaBuilder};

@@ -234,10 +234,13 @@ fn dynamic_once(
     // `extend` runs on the embedding's persistent walk-distribution cache:
     // within one insertion round (one journal = prediction tuple + cascade
     // group) every exact distribution is computed once, and the round's
-    // restores bump the database epoch so the next round starts from a
-    // correctly invalidated cache. Round `i` gets its own derived seed —
-    // reusing one seed for every round would overlap the per-fact stream
-    // families across rounds.
+    // restores are caught up through the database's mutation journal —
+    // the cache evicts only the entries the restored facts can reach
+    // through the FK graph, so the next round starts *warm*, not cold
+    // (the flagship win of the paper's one-by-one protocol; see
+    // `one_by_one_rounds` in benches/dynamic_extend.rs). Round `i` gets
+    // its own derived seed — reusing one seed for every round would
+    // overlap the per-fact stream families across rounds.
     let mut extend_time = 0.0;
     if setup.one_by_one {
         for (round, (_, journal)) in journals.iter().rev().enumerate() {
@@ -279,6 +282,46 @@ fn dynamic_once(
     let acc = accuracy(&preds, &new_y);
     let per_tuple = extend_time / new_facts.len().max(1) as f64;
     (acc, t_static, per_tuple)
+}
+
+/// One round of the FoRWaRD one-by-one re-insertion protocol, shared by
+/// `benches/dynamic_extend.rs` and `examples/profile_extend.rs` so the
+/// two always measure the *same* workload: restore one cascade journal
+/// into `db`, then extend every restored fact of `prediction_rel`, fact
+/// `i` of round `round` drawing from the derived stream family
+/// `derive_seed(derive_seed(base_seed, round), i)`. Callers iterate the
+/// recorded journals in inverse deletion order (`journals.iter().rev()`).
+/// `reuse_cache = false` is the throwaway-cache reference path of
+/// [`stembed_core::ExtendOptions`]. Returns the number of facts extended.
+pub fn one_by_one_round(
+    emb: &mut stembed_core::ForwardEmbedding,
+    db: &mut reldb::Database,
+    prediction_rel: reldb::RelationId,
+    journal: &DeletionJournal,
+    base_seed: u64,
+    round: u64,
+    reuse_cache: bool,
+) -> usize {
+    let restored = restore_journal(db, journal).expect("restore");
+    let mut extended = 0;
+    for (i, f) in restored
+        .into_iter()
+        .filter(|f| f.rel == prediction_rel)
+        .enumerate()
+    {
+        emb.extend_with(
+            db,
+            f,
+            stembed_runtime::derive_seed(stembed_runtime::derive_seed(base_seed, round), i as u64),
+            stembed_core::ExtendOptions {
+                nnew_samples: None,
+                reuse_cache,
+            },
+        )
+        .expect("extend");
+        extended += 1;
+    }
+    extended
 }
 
 /// Static CV accuracy over precomputed features — shared by baseline

@@ -25,4 +25,6 @@ pub mod timing;
 
 pub use config::ExperimentConfig;
 pub use embeddings::{AnyEmbedder, Method};
-pub use harness::{dynamic_experiment, static_experiment, DynamicOutcome, DynamicSetup};
+pub use harness::{
+    dynamic_experiment, one_by_one_round, static_experiment, DynamicOutcome, DynamicSetup,
+};

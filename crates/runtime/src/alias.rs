@@ -16,6 +16,18 @@
 
 use crate::rng::Rng;
 
+/// Reusable construction workspace for [`AliasTable::rebuild_in`]: the
+/// normalised weight column and the small/large worklists. Callers that
+/// rebuild a table repeatedly (e.g. negative sampling across dynamic
+/// extension rounds) keep one of these alive so construction allocates
+/// nothing after the first round.
+#[derive(Debug, Clone, Default)]
+pub struct AliasScratch {
+    scaled: Vec<f64>,
+    small: Vec<u32>,
+    large: Vec<u32>,
+}
+
 /// A prepared alias table over `weights.len()` outcomes.
 ///
 /// Acceptance thresholds are stored as fixed-point `u64` fractions of
@@ -39,75 +51,71 @@ impl AliasTable {
     /// sampled (as long as any weight is positive). Panics on negative or
     /// non-finite weights.
     pub fn new(weights: &[f64]) -> Self {
+        let mut table = AliasTable {
+            thresh: Vec::new(),
+            alias: Vec::new(),
+            total: 0.0,
+        };
+        table.rebuild_in(weights, &mut AliasScratch::default());
+        table
+    }
+
+    /// Rebuild this table in place from new weights, reusing its own
+    /// storage and the caller's [`AliasScratch`]. Byte-identical to
+    /// [`AliasTable::new`] over the same weights (construction is fully
+    /// deterministic); after the first build of a given size no
+    /// allocation happens.
+    pub fn rebuild_in(&mut self, weights: &[f64], scratch: &mut AliasScratch) {
         let n = weights.len();
         let mut total = 0.0;
         for &w in weights {
             assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0");
             total += w;
         }
-        let mut prob = vec![1.0; n];
-        let mut alias: Vec<u32> = (0..n as u32).collect();
+        self.total = total;
+        self.alias.clear();
+        self.alias.extend(0..n as u32);
+        self.thresh.clear();
+        // Saturated acceptance is the default; only explicitly paired small
+        // columns overwrite it below. The u64::MAX threshold's 2⁻⁶⁴ alias
+        // branch is safe (the alias is the column itself unless paired).
+        self.thresh.resize(n, u64::MAX);
         if total <= 0.0 || n == 0 {
-            // Degenerate: keep an identity table; `total` records emptiness.
-            return AliasTable {
-                thresh: vec![u64::MAX; n],
-                alias,
-                total,
-            };
+            // Degenerate: identity table; `total` records emptiness.
+            return;
         }
         // Normalise to mean 1 and split into worklists, in index order for
         // determinism.
         let scale = n as f64 / total;
-        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
-        let mut small: Vec<u32> = Vec::new();
-        let mut large: Vec<u32> = Vec::new();
-        for (i, &s) in scaled.iter().enumerate() {
+        scratch.scaled.clear();
+        scratch.scaled.extend(weights.iter().map(|&w| w * scale));
+        scratch.small.clear();
+        scratch.large.clear();
+        for (i, &s) in scratch.scaled.iter().enumerate() {
             if s < 1.0 {
-                small.push(i as u32);
+                scratch.small.push(i as u32);
             } else {
-                large.push(i as u32);
+                scratch.large.push(i as u32);
             }
         }
-        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
-            small.pop();
+        while let (Some(&s), Some(&l)) = (scratch.small.last(), scratch.large.last()) {
+            scratch.small.pop();
             let (s, l) = (s as usize, l as usize);
-            prob[s] = scaled[s];
-            alias[s] = l as u32;
+            // Fixed-point acceptance threshold of the paired small column
+            // (scaled[s] < 1.0 here by construction).
+            self.thresh[s] = (scratch.scaled[s] * (u64::MAX as f64)) as u64;
+            self.alias[s] = l as u32;
             // Move the donated mass out of the large column.
-            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
-            if scaled[l] < 1.0 {
-                large.pop();
-                small.push(l as u32);
+            scratch.scaled[l] = (scratch.scaled[l] + scratch.scaled[s]) - 1.0;
+            if scratch.scaled[l] < 1.0 {
+                scratch.large.pop();
+                scratch.small.push(l as u32);
             }
         }
-        // Leftovers (rounding drift) saturate to probability 1. A column
+        // Leftovers (rounding drift) keep the saturated default. A column
         // with exactly zero input weight can never be left over: while it
         // sits in `small`, the remaining mean stays above 1, so `large`
         // cannot drain first.
-        for &l in &large {
-            prob[l as usize] = 1.0;
-        }
-        for &s in &small {
-            prob[s as usize] = 1.0;
-        }
-        // Fixed-point thresholds; prob 1.0 saturates to u64::MAX, whose
-        // 2⁻⁶⁴ alias branch is safe (the alias is the column itself unless
-        // it was explicitly paired).
-        let thresh = prob
-            .iter()
-            .map(|&p| {
-                if p >= 1.0 {
-                    u64::MAX
-                } else {
-                    (p * (u64::MAX as f64)) as u64
-                }
-            })
-            .collect();
-        AliasTable {
-            thresh,
-            alias,
-            total,
-        }
     }
 
     /// Number of outcomes (including zero-weight ones).
@@ -201,6 +209,30 @@ mod tests {
         let b = AliasTable::new(&w);
         assert_eq!(a.thresh, b.thresh);
         assert_eq!(a.alias, b.alias);
+    }
+
+    #[test]
+    fn rebuild_in_matches_fresh_construction() {
+        // A table rebuilt in place (including across size changes and
+        // through degenerate all-zero rounds) must be byte-identical to a
+        // fresh one over the same weights.
+        let rounds: [&[f64]; 5] = [
+            &[1.0, 2.0, 3.0, 4.0],
+            &[0.0, 5.0, 0.0, 1.0, 0.0],
+            &[0.0, 0.0],
+            &[2.5],
+            &[0.3, 0.0, 2.0, 1.0, 0.7, 9.0, 0.25],
+        ];
+        let mut table = AliasTable::new(&[1.0]);
+        let mut scratch = AliasScratch::default();
+        for weights in rounds {
+            table.rebuild_in(weights, &mut scratch);
+            let fresh = AliasTable::new(weights);
+            assert_eq!(table.thresh, fresh.thresh);
+            assert_eq!(table.alias, fresh.alias);
+            assert_eq!(table.total.to_bits(), fresh.total.to_bits());
+            assert_eq!(table.is_empty(), fresh.is_empty());
+        }
     }
 
     #[test]

@@ -34,7 +34,7 @@ mod pool;
 pub mod rng;
 pub mod seed;
 
-pub use alias::AliasTable;
+pub use alias::{AliasScratch, AliasTable};
 pub use par::Runtime;
 pub use rng::{DetRng, Rng, SplitMix64};
 pub use seed::{derive_seed, stream_rng};

@@ -1,23 +1,39 @@
 //! Profile the FoRWaRD dynamic-extension hot path and its
 //! walk-distribution cache (mirrors `benches/dynamic_extend.rs`).
 //!
+//! Runs the paper's one-by-one insertion protocol (§VI-E): several
+//! prediction tuples are cascade-deleted, the embedding trains on the
+//! remainder, and the tuples come back round by round — extending after
+//! every round on the **persistent** cache, whose journal-replay
+//! invalidation keeps FK-unreachable entries warm across rounds. Per
+//! round it prints the wall-clock (restore + extends, via the same
+//! `repro::one_by_one_round` the bench measures) plus the cache's
+//! hit/miss/evicted deltas, so a warm-rate regression is visible at a
+//! glance; a throwaway-cache pass of the same rounds prints last for
+//! comparison.
+//!
 //! Run with `cargo run --release --example profile_extend`. Environment
 //! knobs: `EXACT_LIMIT` (exact-KD support cap, default 128) and `MC_PAIRS`
 //! (Monte-Carlo pair budget, default 24).
 
 use reldb::cascade_delete;
+use repro::one_by_one_round;
 use std::time::Instant;
+
+const ROUNDS: usize = 4;
 
 fn main() {
     let params = datasets::DatasetParams {
         scale: 0.08,
         ..datasets::DatasetParams::default()
     };
-    for name in ["hepatitis", "genes"] {
+    for name in ["hepatitis", "genes", "mutagenesis", "mondial"] {
         let ds = datasets::by_name(name, &params).expect("dataset");
         let mut db = ds.db.clone();
-        let victim = ds.labels[0].0;
-        let journal = cascade_delete(&mut db, victim, true).expect("cascade");
+        let mut journals = Vec::with_capacity(ROUNDS);
+        for i in 0..ROUNDS {
+            journals.push(cascade_delete(&mut db, ds.labels[i].0, true).expect("cascade"));
+        }
         // Mirror benches/dynamic_extend.rs: ExperimentConfig::quick() fwd
         // settings with epochs = 4.
         let cfg = stembed_core::ForwardConfig {
@@ -43,31 +59,58 @@ fn main() {
         };
         let emb = stembed_core::ForwardEmbedding::train(&db, ds.prediction_rel, &cfg, 3)
             .expect("training");
-        let restored = reldb::restore_journal(&mut db, &journal).expect("restore");
         println!(
-            "{name}: targets={} embedded={} restored={} nnew={}",
+            "{name}: targets={} embedded={} rounds={ROUNDS} nnew={}",
             emb.targets().len(),
             emb.len(),
-            restored.len(),
             cfg.nnew_samples
         );
-        let mine: Vec<_> = restored
-            .iter()
-            .copied()
-            .filter(|f| f.rel == ds.prediction_rel)
-            .collect();
-        for round in 0..3 {
+
+        for warm in [true, false] {
+            let mut db = db.clone();
             let mut e = emb.clone();
-            let t = Instant::now();
-            e.extend_batch(&db, &mine, 9).unwrap();
-            let dt = t.elapsed().as_secs_f64() * 1e3;
-            let s = e.dist_cache().stats();
+            let mut prev = e.dist_cache().stats();
+            let mut total = 0.0;
+            for (round, journal) in journals.iter().rev().enumerate() {
+                let t = Instant::now();
+                one_by_one_round(
+                    &mut e,
+                    &mut db,
+                    ds.prediction_rel,
+                    journal,
+                    9,
+                    round as u64,
+                    warm,
+                );
+                let dt = t.elapsed().as_secs_f64() * 1e3;
+                total += dt;
+                let s = e.dist_cache().stats();
+                if warm {
+                    let round_stats = stembed_core::DistCacheStats {
+                        hits: s.hits - prev.hits,
+                        misses: s.misses - prev.misses,
+                        evicted: s.evicted - prev.evicted,
+                        ..Default::default()
+                    };
+                    println!(
+                        "  round {round}: {dt:6.2} ms  hits={:<5} misses={:<5} \
+                         evicted={:<4} hit-rate={:4.0}%  entries={}",
+                        round_stats.hits,
+                        round_stats.misses,
+                        round_stats.evicted,
+                        100.0 * round_stats.hit_rate(),
+                        e.dist_cache().len()
+                    );
+                }
+                prev = s;
+            }
             println!(
-                "  round {round}: {dt:.2} ms  cache hits={} misses={} inval={} entries={}",
-                s.hits,
-                s.misses,
-                s.invalidations,
-                e.dist_cache().len()
+                "  {} total: {total:.2} ms",
+                if warm {
+                    "warm (persistent cache)"
+                } else {
+                    "cold (throwaway caches)"
+                }
             );
         }
     }

@@ -3,7 +3,7 @@
 # perf trajectory of the workspace is tracked across PRs.
 #
 # Usage: scripts/bench.sh [--bench NAME]... [--compare [BASELINE.json]]
-#                         [extra cargo-bench args]
+#                         [--full] [extra cargo-bench args]
 #
 #   --bench NAME  benchmark target to run and record (repeatable). Default:
 #                 static_embed and dynamic_extend — the two tracked reports
@@ -13,6 +13,13 @@
 #                 baseline median / new median, so >1.0 means faster). An
 #                 explicit baseline path may follow, but only with exactly
 #                 one --bench.
+#   --full        large-scale profile: datasets generated at scale 0.5
+#                 (vs the 0.08–0.12 CI defaults) via STEMBED_BENCH_SCALE.
+#                 Meant for the manual `bench-full` CI job or a beefy dev
+#                 box — expect a multi-hour wall-clock on one core. Note
+#                 that --compare against a committed CI-scale baseline
+#                 compares different workloads; the ratios then measure
+#                 scale, not regressions.
 #
 # The static report's `forward_shards` group trains the same FoRWaRD
 # embedding at 1/2/4/8 shards; outputs are bit-identical
@@ -40,6 +47,12 @@ while [[ $# -gt 0 ]]; do
         BASELINE="$2"
         shift
       fi
+      shift
+      ;;
+    --full)
+      # Large-scale profile; an explicit STEMBED_BENCH_SCALE still wins so
+      # the manual CI job can parameterise it.
+      export STEMBED_BENCH_SCALE="${STEMBED_BENCH_SCALE:-0.5}"
       shift
       ;;
     *)

@@ -236,10 +236,162 @@ fn cache_survives_a_delete_restore_cycle_without_changing_results() {
         .map(|v| v.to_bits())
         .collect();
     assert_eq!(a, b, "cycled warm cache diverged from cold solve");
+    let stats = warm.dist_cache().stats();
     assert!(
-        warm.dist_cache().stats().invalidations >= 1,
-        "the cycle must have invalidated the cache"
+        stats.replays >= 1 || stats.invalidations >= 1,
+        "the cycle must have been caught up (replay) or cleared"
     );
+}
+
+#[test]
+fn fine_grained_invalidation_is_bit_identical_to_cold_caches() {
+    // Property: across a whole insert/delete/restore *sequence*, a single
+    // retained cache — caught up after every mutation by journal replay,
+    // evicting only FK-reachable entries — produces bit-identical vectors
+    // to throwaway caches (nothing read before a solve, nothing kept
+    // after), at 1, 2, and 8 shards.
+    use stembed::core::ExtendOptions;
+
+    let (db0, ids) = movies();
+    let mut base = db0.clone();
+    let j_a5 = cascade_delete(&mut base, ids["a5"], false).unwrap();
+    let j_a3 = cascade_delete(&mut base, ids["a3"], false).unwrap();
+    let actors = base.schema().relation_id("ACTORS").unwrap();
+    let cfg = ForwardConfig {
+        dim: 8,
+        epochs: 4,
+        nsamples: 25,
+        ..ForwardConfig::small()
+    };
+
+    // One run = the full mutation/extension sequence; returns the solved
+    // vector bits after every extension step.
+    let run = |shards: usize, retained: bool| -> Vec<Vec<u64>> {
+        let mut emb =
+            ForwardEmbedding::train_with_runtime(&base, actors, &cfg, 23, Runtime::new(shards))
+                .unwrap();
+        let mut db = base.clone();
+        let mut out: Vec<Vec<u64>> = Vec::new();
+        let mut step = 0u64;
+        let mut extend = |emb: &mut ForwardEmbedding, db: &stembed::reldb::Database, f| {
+            step += 1;
+            if retained {
+                emb.extend(db, f, step).unwrap();
+            } else {
+                emb.extend_with(
+                    db,
+                    f,
+                    step,
+                    ExtendOptions {
+                        nnew_samples: None,
+                        reuse_cache: false,
+                    },
+                )
+                .unwrap();
+            }
+            out.push(
+                emb.embedding(f)
+                    .unwrap()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect(),
+            );
+        };
+
+        // Insert round 1: a3 comes back (restore mutations), extend it.
+        restore_journal(&mut db, &j_a3).unwrap();
+        extend(&mut emb, &db, ids["a3"]);
+        // Insert round 2: a5 comes back, extend it (a3's entries warm).
+        restore_journal(&mut db, &j_a5).unwrap();
+        extend(&mut emb, &db, ids["a5"]);
+        // A mutation most schemes cannot reach: a brand-new studio.
+        db.insert_into("STUDIOS", vec!["s9".into(), "A24".into(), "NY".into()])
+            .unwrap();
+        emb.forget(ids["a3"]);
+        extend(&mut emb, &db, ids["a3"]);
+        // A mutation hitting walk-scheme interiors: cascade-delete m6.
+        let j_m6 = cascade_delete(&mut db, ids["m6"], false).unwrap();
+        emb.forget(ids["a5"]);
+        extend(&mut emb, &db, ids["a5"]);
+        // And the matching restore.
+        restore_journal(&mut db, &j_m6).unwrap();
+        emb.forget(ids["a3"]);
+        extend(&mut emb, &db, ids["a3"]);
+
+        let stats = emb.dist_cache().stats();
+        if retained {
+            assert!(stats.hits > 0, "retained cache must actually serve hits");
+            assert!(stats.replays >= 3, "mutations must be caught up by replay");
+            assert_eq!(
+                stats.invalidations, 0,
+                "nothing in this sequence may force a full clear"
+            );
+        } else {
+            assert!(emb.dist_cache().is_empty(), "throwaway caches persisted");
+        }
+        out
+    };
+
+    let baseline = run(1, true);
+    assert_eq!(baseline.len(), 5);
+    for &shards in &SHARDS {
+        for retained in [true, false] {
+            if shards == 1 && retained {
+                continue; // that configuration *is* the baseline
+            }
+            assert_eq!(
+                run(shards, retained),
+                baseline,
+                "shards={shards} retained={retained} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn wrapped_journal_falls_back_without_changing_results() {
+    // With the journal disabled (capacity 0) every mutation is a forced
+    // full clear — slower, but the solved vectors must not move a bit.
+    let (db0, ids) = movies();
+    let mut base = db0.clone();
+    let j_a5 = cascade_delete(&mut base, ids["a5"], false).unwrap();
+    let actors = base.schema().relation_id("ACTORS").unwrap();
+    let cfg = ForwardConfig {
+        dim: 8,
+        epochs: 4,
+        nsamples: 25,
+        ..ForwardConfig::small()
+    };
+    let emb0 = ForwardEmbedding::train(&base, actors, &cfg, 31).unwrap();
+
+    let run = |journal_capacity: Option<usize>| -> (Vec<u64>, stembed::core::DistCacheStats) {
+        let mut db = base.clone();
+        if let Some(cap) = journal_capacity {
+            db.set_journal_capacity(cap);
+        }
+        let mut emb = emb0.clone();
+        restore_journal(&mut db, &j_a5).unwrap();
+        emb.extend(&db, ids["a5"], 7).unwrap();
+        // Mutate (unreachable relation) and re-solve on the retained cache.
+        db.insert_into("STUDIOS", vec!["s9".into(), "A24".into(), "NY".into()])
+            .unwrap();
+        emb.forget(ids["a5"]);
+        emb.extend(&db, ids["a5"], 7).unwrap();
+        let bits = emb
+            .embedding(ids["a5"])
+            .unwrap()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        (bits, emb.dist_cache().stats())
+    };
+
+    let (with_journal, stats_journal) = run(None);
+    let (without_journal, stats_cleared) = run(Some(0));
+    assert_eq!(with_journal, without_journal, "fallback changed the result");
+    // The two runs must have taken the two different paths.
+    assert!(stats_journal.replays >= 1 && stats_journal.invalidations == 0);
+    assert!(stats_cleared.invalidations >= 1 && stats_cleared.replays == 0);
 }
 
 #[test]
