@@ -27,11 +27,15 @@
 //!   cached scheme carries a precomputed [`SchemeReach`]: a mutation in a
 //!   relation the scheme never visits evicts nothing, one in the scheme's
 //!   (non-re-entered) start relation evicts exactly the mutated fact's
-//!   entry, and one in an interior relation evicts the scheme wholesale —
-//!   the only sound scope, since that fact can lie on a walk from any
-//!   start. This is what keeps the cache warm across the paper's
-//!   one-by-one insertion protocol (§VI-E), where every round mutates a
-//!   handful of relations and leaves most schemes untouched;
+//!   entry, and one in an interior relation evicts the `(scheme, start)`
+//!   entries found by walking the scheme **backwards** from the mutated
+//!   fact — inserts/restores from the live fact, deletes from the
+//!   journalled payload ([`reldb::MutationRecord::removed`]) that stands
+//!   in for the tombstone. This is what keeps the cache warm across the
+//!   paper's one-by-one insertion protocol (§VI-E), where every round
+//!   mutates a handful of relations and leaves most schemes untouched —
+//!   and now also across workloads that interleave deletes with the
+//!   insert stream;
 //! * different lineage, changed support limit, or a journal that has
 //!   wrapped (the cache fell behind by more than the ring holds) — **full
 //!   clear**, the pre-journal behaviour and the unconditional fallback.
@@ -53,10 +57,10 @@
 
 use crate::schemes::{ReachScope, SchemeReach, WalkScheme};
 use crate::walkdist::{
-    destination_distribution_status, step_predecessors, value_distribution, DistStatus,
-    FactDistribution, ValueDistribution,
+    destination_distribution_status, step_predecessors, step_predecessors_of, value_distribution,
+    DistStatus, FactDistribution, ValueDistribution,
 };
-use reldb::{Database, FactId, MutationKind, MutationRecord};
+use reldb::{Database, Fact, FactId, MutationKind, MutationRecord};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -180,7 +184,7 @@ impl DistCache {
             }
             let missed: Option<Vec<MutationRecord>> = db
                 .journal_since(self.epoch)
-                .map(|records| records.copied().collect());
+                .map(|records| records.cloned().collect());
             if let Some(records) = missed {
                 self.replay(db, &records);
                 self.epoch = db.epoch();
@@ -209,17 +213,27 @@ impl DistCache {
     /// * relation unreachable for the scheme — nothing;
     /// * relation is the (non-re-entered) start — the mutated fact's own
     ///   entry;
-    /// * relation interior — for **inserts/restores**, walk the scheme
-    ///   backwards from the mutated fact ([`step_predecessors`]) to
-    ///   enumerate the start facts that can reach it; only their entries
-    ///   go. Sound against the *current* database because additions are
-    ///   monotone: any start whose walks the batch connected to the new
-    ///   fact still reaches it now (a connecting fact deleted again within
-    ///   the batch is its own, coarser record). **Deletes** evict the
-    ///   scheme wholesale — the tombstoned fact cannot be traversed
-    ///   backwards, so the affected start set is unknowable after the
-    ///   fact. The reverse frontier is capped; overflow also falls back
-    ///   to wholesale eviction.
+    /// * relation interior — walk the scheme backwards from the mutated
+    ///   fact ([`step_predecessors`]) to enumerate the start facts that
+    ///   can reach it; only their entries go. For **inserts/restores**
+    ///   the fact is live and read from the database; for **deletes** the
+    ///   record's journalled payload ([`MutationRecord::removed`]) stands
+    ///   in for the tombstoned fact — the indexes behind the first reverse
+    ///   step live on the predecessor side, so they answer for a dead
+    ///   arrival fact exactly as for a live one.
+    ///
+    /// Soundness against the *current* (post-batch) database: for any
+    /// start `s` whose cached entry a batch mutation can influence, there
+    /// was a walk `s → f₁ → … → f_j = mutated fact` valid at the
+    /// mutation's epoch. Let `f_i` be the walk's first fact that a later
+    /// record of the same batch deleted (possibly none). Every fact before
+    /// `f_i` is live now, and `f_i`'s own delete record carries its
+    /// values — so the reverse walk from *that* record reaches `s` over
+    /// live facts. Every record of the gap is replayed (a wrapped journal
+    /// falls back to a full clear), so no affected start escapes. A delete
+    /// record without payload (not produced by this `reldb`, but the type
+    /// permits it) and a reverse frontier exceeding the cap fall back to
+    /// wholesale eviction of the scheme.
     fn replay(&mut self, db: &Database, records: &[MutationRecord]) {
         self.stats.replays += 1;
         if records.is_empty() || (self.facts.is_empty() && self.values.is_empty()) {
@@ -249,30 +263,38 @@ impl DistCache {
             let mut starts: Vec<FactId> = Vec::new();
             'records: for record in records {
                 match reach.scope(record.rel) {
-                    ReachScope::AllStarts => match record.kind {
-                        MutationKind::Delete => {
+                    ReachScope::AllStarts => {
+                        // A delete's reverse walk runs from the journalled
+                        // payload (the slot is a tombstone); a payload-less
+                        // delete record cannot be scoped and goes coarse.
+                        let removed = match record.kind {
+                            MutationKind::Insert | MutationKind::Restore => None,
+                            MutationKind::Delete => match &record.removed {
+                                Some(fact) => Some(fact.as_ref()),
+                                None => {
+                                    wholesale = true;
+                                    break 'records;
+                                }
+                            },
+                        };
+                        if record.rel == scheme.start {
+                            // The scheme re-enters its start relation:
+                            // position 0 is affected for this fact …
+                            starts.push(record.fact);
+                        }
+                        // … and interior positions via reverse walks.
+                        if !reverse_reachable_starts(
+                            db,
+                            &scheme,
+                            record.fact,
+                            removed,
+                            reverse_cap,
+                            &mut starts,
+                        ) {
                             wholesale = true;
                             break 'records;
                         }
-                        MutationKind::Insert | MutationKind::Restore => {
-                            if record.rel == scheme.start {
-                                // The scheme re-enters its start relation:
-                                // position 0 is affected for this fact …
-                                starts.push(record.fact);
-                            }
-                            // … and interior positions via reverse walks.
-                            if !reverse_reachable_starts(
-                                db,
-                                &scheme,
-                                record.fact,
-                                reverse_cap,
-                                &mut starts,
-                            ) {
-                                wholesale = true;
-                                break 'records;
-                            }
-                        }
-                    },
+                    }
                     ReachScope::StartOnly => starts.push(record.fact),
                     ReachScope::Unreachable => {}
                 }
@@ -296,11 +318,17 @@ impl DistCache {
                             self.stats.evicted += 1;
                         }
                     }
+                    if inner.is_empty() {
+                        self.facts.remove(&scheme);
+                    }
                 }
                 if let Some(inner) = self.values.get_mut(&scheme) {
                     let before = inner.len();
                     inner.retain(|(_, start), _| starts.binary_search(start).is_err());
                     self.stats.evicted += (before - inner.len()) as u64;
+                    if inner.is_empty() {
+                        self.values.remove(&scheme);
+                    }
                 }
             }
         }
@@ -406,13 +434,16 @@ impl DistCache {
 
 /// Collect into `out` every start fact of `scheme` from which a walk can
 /// reach `fact` at one of the scheme's interior positions, by walking the
-/// steps backwards over the database's current content. Returns `false`
-/// when a reverse frontier exceeds `cap` — the caller then treats the
-/// mutation as touching every start.
+/// steps backwards over the database's current content. When `removed` is
+/// given, the fact is a tombstone and the first reverse step runs from
+/// those recorded values instead of the (dead) slot; everything further
+/// back is live. Returns `false` when a reverse frontier exceeds `cap` —
+/// the caller then treats the mutation as touching every start.
 fn reverse_reachable_starts(
     db: &Database,
     scheme: &WalkScheme,
     fact: FactId,
+    removed: Option<&Fact>,
     cap: usize,
     out: &mut Vec<FactId>,
 ) -> bool {
@@ -422,9 +453,24 @@ fn reverse_reachable_starts(
             continue;
         }
         // Walk back from position j to position 0.
-        let mut frontier = vec![fact];
+        let (mut frontier, walked) = match removed {
+            None => (vec![fact], 0),
+            Some(values) => {
+                // First step from the recorded payload, then live facts.
+                let mut first = step_predecessors_of(db, &scheme.steps[j - 1], values);
+                first.sort_unstable();
+                first.dedup();
+                if first.len() > cap {
+                    return false;
+                }
+                (first, 1)
+            }
+        };
         let mut next: Vec<FactId> = Vec::new();
-        for step in scheme.steps[..j].iter().rev() {
+        for step in scheme.steps[..j - walked].iter().rev() {
+            if frontier.is_empty() {
+                break;
+            }
             next.clear();
             for &g in &frontier {
                 next.extend(step_predecessors(db, step, g));
@@ -435,9 +481,6 @@ fn reverse_reachable_starts(
                 return false;
             }
             std::mem::swap(&mut frontier, &mut next);
-            if frontier.is_empty() {
-                break;
-            }
         }
         out.extend(frontier);
     }
@@ -625,9 +668,10 @@ mod tests {
         let before = before.exists().unwrap().clone();
         assert_eq!(before.support.len(), 2);
 
-        // Delete m6 (+ its collaboration): both mutations hit s5's interior
-        // relations, so the journal replay evicts the scheme wholesale —
-        // a1's budget marginal collapses and must not be served stale.
+        // Delete m6 (+ its collaboration c4): both mutations hit s5's
+        // interior relations, and the reverse walk from c4's journalled
+        // payload reaches exactly a1 — whose budget marginal collapses and
+        // must not be served stale.
         let journal = cascade_delete(&mut db, ids["m6"], false).unwrap();
         cache.ensure_bound(&db, 256);
         assert!(
@@ -685,18 +729,104 @@ mod tests {
             again.exists().unwrap()
         ));
 
-        // A *delete* in an interior relation is coarse by design (the
-        // tombstone cannot be walked backwards): deleting the loose studio
-        // evicts the studio scheme wholesale but leaves s5 untouched.
+        // A *delete* in an interior relation is scoped the same way, via
+        // the record's journalled payload: the loose studio was reachable
+        // from no start, so deleting it evicts nothing either — both
+        // schemes stay fully warm.
         let s99 = db.lookup_key(studios, &["s99".into()]).unwrap();
         db.delete(s99).unwrap();
         cache.ensure_bound(&db, 256);
-        assert!(cache.stats().evicted >= 1, "studio scheme must be evicted");
+        assert_eq!(cache.stats().invalidations, 0);
+        assert_eq!(cache.stats().evicted, 0, "nobody reached the studio");
         let misses = cache.stats().misses;
         cache.value_distribution(&db, &s5, 4, ids["a1"]);
-        assert_eq!(cache.stats().misses, misses, "s5 still warm");
         cache.fact_distribution(&db, &to_studios, ids["a1"]);
-        assert_eq!(cache.stats().misses, misses + 1, "studio entry recomputes");
+        assert_eq!(cache.stats().misses, misses, "both schemes still warm");
+    }
+
+    #[test]
+    fn replay_scopes_interior_deletes_by_reverse_reachability() {
+        // Deleting collaboration c3 (actor1 = a4) can only change walk
+        // distributions of starts that reached it — the reverse walk runs
+        // from the delete record's journalled payload, since the slot is a
+        // tombstone by replay time. a4's entry goes, a1's stays warm.
+        let (mut db, ids) = movies_database_labeled();
+        let s5 = s5(&db);
+        let mut cache = DistCache::new();
+        cache.ensure_bound(&db, 256);
+        let a1_before = cache.fact_distribution(&db, &s5, ids["a1"]);
+        let a4_before = cache.fact_distribution(&db, &s5, ids["a4"]);
+        assert_eq!(a4_before.exists().unwrap().support.len(), 2, "m4 and m5");
+
+        db.delete(ids["c3"]).unwrap();
+        cache.ensure_bound(&db, 256);
+        assert_eq!(cache.stats().invalidations, 0, "replay, not a clear");
+        assert_eq!(cache.stats().replays, 1);
+        assert_eq!(cache.stats().evicted, 1, "exactly a4's fact entry");
+        let misses = cache.stats().misses;
+        let a1_after = cache.fact_distribution(&db, &s5, ids["a1"]);
+        assert_eq!(cache.stats().misses, misses, "a1 must stay warm");
+        assert!(Arc::ptr_eq(
+            a1_before.exists().unwrap(),
+            a1_after.exists().unwrap()
+        ));
+        // a4 recomputes — m5 is gone from its support.
+        let a4 = cache.fact_distribution(&db, &s5, ids["a4"]);
+        assert_eq!(cache.stats().misses, misses + 1);
+        let support = &a4.exists().unwrap().support;
+        assert_eq!(support.len(), 1);
+        assert_eq!(support[0].0, ids["m4"]);
+    }
+
+    #[test]
+    fn interleaved_insert_delete_restore_stays_scoped() {
+        // A batch that mixes all three mutation kinds between two binds:
+        // every record is replayed fine-grained (no full clear), only the
+        // FK-reachable start entries go, and the recomputed values match
+        // the database's final state.
+        let (mut db, ids) = movies_database_labeled();
+        let s5 = s5(&db);
+        let mut cache = DistCache::new();
+        cache.ensure_bound(&db, 256);
+        let a1_arc = cache.fact_distribution(&db, &s5, ids["a1"]);
+        cache.fact_distribution(&db, &s5, ids["a4"]);
+        let a4_supp_before = cache
+            .fact_distribution(&db, &s5, ids["a4"])
+            .exists()
+            .unwrap()
+            .support
+            .clone();
+
+        // One gap, three kinds: delete c3 (touches a4), restore it
+        // (touches a4 again), insert a brand-new collaboration for a4,
+        // and a delete+restore cycle of m6's cascade group (touches a1
+        // through the deleted collaboration's payload and the restores).
+        let c3_fact = db.delete(ids["c3"]).unwrap();
+        db.restore(ids["c3"], c3_fact).unwrap();
+        db.insert_into(
+            "COLLABORATIONS",
+            vec!["a04".into(), "a03".into(), "m01".into()],
+        )
+        .unwrap();
+        let j_m6 = cascade_delete(&mut db, ids["m6"], false).unwrap();
+        restore_journal(&mut db, &j_m6).unwrap();
+
+        cache.ensure_bound(&db, 256);
+        assert_eq!(cache.stats().invalidations, 0, "no wholesale clear");
+        assert_eq!(cache.stats().replays, 1);
+        assert!(cache.stats().evicted >= 2, "a1 and a4 entries evicted");
+        // Both recompute against the final state: a4 gained m1, a1 is
+        // back to its original distribution (delete+restore cancelled).
+        let a4 = cache.fact_distribution(&db, &s5, ids["a4"]);
+        let a4_supp = &a4.exists().unwrap().support;
+        assert_eq!(a4_supp.len(), a4_supp_before.len() + 1);
+        assert!(a4_supp.iter().any(|(f, _)| *f == ids["m1"]));
+        let a1 = cache.fact_distribution(&db, &s5, ids["a1"]);
+        assert_eq!(
+            a1.exists().unwrap().support,
+            a1_arc.exists().unwrap().support,
+            "a1's distribution must round-trip through the delete/restore"
+        );
     }
 
     #[test]

@@ -107,6 +107,16 @@ impl ForwardEmbedder {
     }
 }
 
+impl From<ForwardEmbedding> for ForwardEmbedder {
+    /// Wrap an already-trained embedding — callers that train one
+    /// `ForwardEmbedding` and reuse it across harness entry points (the
+    /// benches' shared-training setup) lift it into the trait object
+    /// without retraining.
+    fn from(inner: ForwardEmbedding) -> Self {
+        ForwardEmbedder { inner }
+    }
+}
+
 impl TupleEmbedder for ForwardEmbedder {
     fn dim(&self) -> usize {
         self.inner.dim()
@@ -208,21 +218,26 @@ impl TupleEmbedder for Node2VecEmbedder {
             to_add.push(f);
         }
         let new_nodes = self.graph.extend_with_facts(db, &to_add);
-        if new_nodes.is_empty() {
-            return Ok(());
-        }
         match self.mode {
             ExtendMode::OneByOne => {
+                // Continuation walks start at the new nodes; with none
+                // there is nothing to walk from (idempotent no-op).
+                if new_nodes.is_empty() {
+                    return Ok(());
+                }
                 self.model.extend(self.graph.graph(), &new_nodes, seed);
             }
             ExtendMode::AllAtOnce => {
                 // Recompute paths from *all* nodes; training still only
-                // updates the (unfrozen) new nodes.
+                // updates the (unfrozen) new nodes. This runs even when no
+                // node is new — a delete-only round must still refresh the
+                // surviving walks and the negative-sampling counts.
                 let all: Vec<_> = self.graph.graph().node_ids().collect();
-                // `extend` freezes old nodes first, so passing every node as
-                // a walk start is safe: gradients cannot reach frozen ones.
+                // `extend_with_starts` freezes old nodes first, so passing
+                // every node as a walk start is safe: gradients cannot
+                // reach frozen ones.
                 self.model
-                    .extend_with_starts(self.graph.graph(), &new_nodes, &all, seed);
+                    .extend_with_starts(self.graph.graph(), &all, seed);
             }
         }
         Ok(())

@@ -136,20 +136,31 @@ pub fn step_successors(db: &Database, step: &Step, cur: FactId) -> Vec<FactId> {
 /// enumerates precisely the start facts whose destination distributions
 /// that insertion can influence.
 pub fn step_predecessors(db: &Database, step: &Step, cur: FactId) -> Vec<FactId> {
+    match db.fact(cur) {
+        Some(fact) => step_predecessors_of(db, step, fact),
+        None => Vec::new(),
+    }
+}
+
+/// [`step_predecessors`] given the arrival fact's **values** instead of a
+/// live id — the variant that still works when the fact has been deleted.
+/// The key/FK indexes consulted here live on the *predecessor* side, so
+/// they answer for a tombstoned arrival fact exactly as they did while it
+/// was live; this is what lets the distribution cache walk a walk scheme
+/// backwards from a journalled **delete** record (whose payload preserves
+/// the removed values) just like from an insert.
+pub fn step_predecessors_of(db: &Database, step: &Step, fact: &reldb::Fact) -> Vec<FactId> {
     let schema = db.schema();
     let fk = schema.foreign_key(step.fk);
-    let Some(fact) = db.fact(cur) else {
-        return Vec::new();
-    };
     if step.forward {
-        // `cur` is the referenced fact; predecessors reference its key.
+        // The fact is the referenced one; predecessors reference its key.
         let key = fact.project(&fk.to_attrs);
         db.referencing_slots(step.fk, &key)
             .iter()
             .map(|&row| FactId::new(fk.from_rel, row))
             .collect()
     } else {
-        // `cur` arrived by referencing its (unique) predecessor.
+        // The fact arrived by referencing its (unique) predecessor.
         if fact.any_null(&fk.from_attrs) {
             return Vec::new();
         }

@@ -14,8 +14,10 @@
 //!
 //! The whole pipeline runs on cache-friendly, O(1)-sampling substrates:
 //! walks arrive as a flat token arena ([`dbgraph::WalkCorpus`]), negatives
-//! come from an alias-method [`NegativeTable`] (O(1) per draw), and the
-//! SGNS inner loop works on contiguous embedding rows with a preallocated
+//! come from a bucketed-alias [`NegativeTable`] (O(1) per draw, and
+//! **sub-linear maintenance**: a dynamic-extension round refreshes only
+//! the buckets of nodes its continuation walks visited), and the SGNS
+//! inner loop works on contiguous embedding rows with a preallocated
 //! center-gradient scratch buffer.
 
 pub mod config;
@@ -25,5 +27,5 @@ pub mod sgns;
 
 pub use config::Node2VecConfig;
 pub use model::Node2VecModel;
-pub use negative::NegativeTable;
+pub use negative::{NegativeTable, NegativeTableStats};
 pub use sgns::SgnsModel;

@@ -6,6 +6,7 @@
 //! reads the previous one, so it stays single-threaded by design. The
 //! trained model is therefore bit-identical at every shard count.
 
+use crate::negative::NegativeTableStats;
 use crate::{NegativeTable, Node2VecConfig, SgnsModel};
 use dbgraph::{Graph, NodeId, WalkCorpus, Walker};
 use stembed_runtime::Runtime;
@@ -23,13 +24,17 @@ pub struct Node2VecModel {
     /// the dynamic phase can update them with the newly sampled walks.
     counts: Vec<usize>,
     /// The negative-sampling table, kept alive across `extend` calls and
-    /// [rebuilt](NegativeTable::rebuild) in place from the updated counts —
-    /// per-round construction reuses the alias arrays and worklists
-    /// instead of reallocating them.
+    /// caught up **incrementally** ([`NegativeTable::update`]): each round's
+    /// continuation walks change the counts of only the nodes they visit,
+    /// and only those nodes' buckets (plus the top-level bucket-mass table)
+    /// are rebuilt — sub-linear in the node count, byte-identical to a
+    /// fresh table.
     negatives: NegativeTable,
     /// Reusable walk-corpus arena for the dynamic phase's continuation
     /// walks (cleared and refilled each `extend` call).
     walk_buf: WalkCorpus,
+    /// Reusable dirty-node worklist for the incremental table update.
+    dirty_buf: Vec<usize>,
     /// Execution runtime for walk sampling (static and dynamic phases).
     runtime: Runtime,
 }
@@ -70,6 +75,7 @@ impl Node2VecModel {
             counts,
             negatives: table,
             walk_buf: WalkCorpus::default(),
+            dirty_buf: Vec::new(),
             runtime,
         }
     }
@@ -80,38 +86,43 @@ impl Node2VecModel {
     /// the new nodes**, and continue training — gradients flow only into the
     /// new nodes' vectors.
     pub fn extend(&mut self, graph: &Graph, new_nodes: &[NodeId], seed: u64) {
-        self.extend_with_starts(graph, new_nodes, new_nodes, seed);
+        self.extend_with_starts(graph, new_nodes, seed);
     }
 
     /// Like [`Node2VecModel::extend`], but sampling the continuation walks
-    /// from an explicit start set. The paper's *all-at-once* setting
+    /// from an explicit start set (the nodes the graph gained are implied
+    /// by `graph.node_count()`). The paper's *all-at-once* setting
     /// recomputes paths from **every** node (old walks may now traverse new
     /// data) while still freezing old vectors; pass all node ids as
-    /// `walk_starts` for that behaviour.
-    pub fn extend_with_starts(
-        &mut self,
-        graph: &Graph,
-        new_nodes: &[NodeId],
-        walk_starts: &[NodeId],
-        seed: u64,
-    ) {
+    /// `walk_starts` for that behaviour — including for **delete-only**
+    /// rounds, where no node is new but the surviving walks (and with them
+    /// the negative-sampling counts) must still be refreshed.
+    pub fn extend_with_starts(&mut self, graph: &Graph, walk_starts: &[NodeId], seed: u64) {
         self.sgns.freeze_all();
         self.sgns
             .grow(graph.node_count(), seed ^ 0x9e3779b97f4a7c15);
         self.counts.resize(graph.node_count(), 0);
-        if new_nodes.is_empty() {
+        // Gate on the *walk starts*, not the new-node set: a delete-only
+        // all-at-once round has no new nodes but must still re-walk from
+        // every surviving start so the visit counts (and with them the
+        // negative-sampling distribution) reflect the removal.
+        if walk_starts.is_empty() {
             return;
         }
         // Per-round structures are *reused*, not rebuilt: the walk corpus
-        // refills the model's arena, and the negative table rebuilds its
-        // alias structure in place from the updated counts — both
+        // refills the model's arena, and the negative table is caught up
+        // incrementally — the continuation walks touch only a few nodes'
+        // counts, and `NegativeTable::update` rebuilds exactly those
+        // nodes' buckets (sub-linear in the node count). Both are
         // byte-identical to fresh construction, so the continuation
         // training consumes exactly the same random streams.
         let walker = Walker::with_runtime(graph, self.config.walk_config(), seed, self.runtime);
         let mut corpus = std::mem::take(&mut self.walk_buf);
         walker.corpus_from_into(walk_starts, &mut corpus);
-        count_tokens(&corpus, &mut self.counts);
-        self.negatives.rebuild(&self.counts);
+        let mut dirty = std::mem::take(&mut self.dirty_buf);
+        count_tokens_dirty(&corpus, &mut self.counts, &mut dirty);
+        self.negatives.update(&dirty, &self.counts);
+        self.dirty_buf = dirty;
         self.sgns.train(
             &corpus,
             &self.negatives,
@@ -144,6 +155,26 @@ impl Node2VecModel {
         self.sgns.is_frozen(node)
     }
 
+    /// How many walk tokens have visited `node` across the static corpus
+    /// and every dynamic continuation — the raw count feeding the
+    /// negative-sampling distribution.
+    pub fn visit_count(&self, node: NodeId) -> usize {
+        self.counts.get(node.index()).copied().unwrap_or(0)
+    }
+
+    /// Maintenance counters of the negative-sampling table (rebuilds vs
+    /// incremental updates, dirty nodes, buckets rebuilt).
+    pub fn negative_stats(&self) -> NegativeTableStats {
+        self.negatives.stats()
+    }
+
+    /// Number of buckets backing the negative-sampling table (the
+    /// denominator for judging `buckets_rebuilt` in
+    /// [`Node2VecModel::negative_stats`]).
+    pub fn negative_bucket_count(&self) -> usize {
+        self.negatives.bucket_count()
+    }
+
     /// The configuration the model was trained with.
     pub fn config(&self) -> &Node2VecConfig {
         &self.config
@@ -160,6 +191,19 @@ fn count_tokens(corpus: &WalkCorpus, counts: &mut [usize]) {
     for node in corpus.tokens() {
         counts[node.index()] += 1;
     }
+}
+
+/// [`count_tokens`] that also collects the **dirty set**: the sorted,
+/// deduplicated indices of every node the corpus visited — exactly the
+/// counts the incremental [`NegativeTable::update`] must refresh.
+fn count_tokens_dirty(corpus: &WalkCorpus, counts: &mut [usize], dirty: &mut Vec<usize>) {
+    dirty.clear();
+    for node in corpus.tokens() {
+        counts[node.index()] += 1;
+        dirty.push(node.index());
+    }
+    dirty.sort_unstable();
+    dirty.dedup();
 }
 
 /// Salt decorrelating the SGD shuffle stream from the walk-sampling stream.
@@ -215,6 +259,103 @@ mod tests {
         let v_new = g.fact_node(ids["c4"]).unwrap();
         assert!(!model.is_frozen(v_new));
         assert!(model.embedding(v_new).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn delete_only_round_still_rewalks_from_explicit_starts() {
+        // Regression: `extend_with_starts` used to early-return whenever
+        // `new_nodes` was empty, silently skipping the paper's all-at-once
+        // re-walk for delete-only rounds. With no new nodes every vector is
+        // frozen (nothing may move), but the re-walk must still refresh the
+        // visit counts feeding the negative-sampling distribution.
+        let (db, _) = movies_database_labeled();
+        let g = DbGraph::build(&db);
+        let mut model = Node2VecModel::train(g.graph(), &small_cfg(), 4);
+        let before: Vec<Vec<f64>> = g
+            .graph()
+            .node_ids()
+            .map(|id| model.embedding(id).to_vec())
+            .collect();
+        let total_before: usize = g.graph().node_ids().map(|n| model.visit_count(n)).sum();
+        let all: Vec<NodeId> = g.graph().node_ids().collect();
+        model.extend_with_starts(g.graph(), &all, 9);
+        for (i, old) in before.iter().enumerate() {
+            let id = NodeId(i as u32);
+            assert!(model.is_frozen(id));
+            assert_eq!(model.embedding(id), old.as_slice(), "node {i} moved");
+        }
+        let total_after: usize = g.graph().node_ids().map(|n| model.visit_count(n)).sum();
+        assert!(
+            total_after > total_before,
+            "the delete-only re-walk must refresh visit counts \
+             ({total_before} -> {total_after})"
+        );
+        assert_eq!(
+            model.negative_stats().updates,
+            1,
+            "table caught up incrementally"
+        );
+    }
+
+    /// Retained ≡ fresh across ≥3 extend rounds: a model whose negative
+    /// table and walk arena are maintained incrementally must produce
+    /// bit-identical embeddings to one that builds a fresh corpus and a
+    /// fresh `NegativeTable::new` every round.
+    #[test]
+    fn retained_model_matches_fresh_structures_across_extend_rounds() {
+        fn extend_fresh(model: &mut Node2VecModel, graph: &Graph, new_nodes: &[NodeId], seed: u64) {
+            model.sgns.freeze_all();
+            model
+                .sgns
+                .grow(graph.node_count(), seed ^ 0x9e3779b97f4a7c15);
+            model.counts.resize(graph.node_count(), 0);
+            if new_nodes.is_empty() {
+                return;
+            }
+            let walker =
+                Walker::with_runtime(graph, model.config.walk_config(), seed, model.runtime);
+            let corpus = walker.corpus_from(new_nodes);
+            count_tokens(&corpus, &mut model.counts);
+            let table = NegativeTable::new(&model.counts);
+            model.sgns.train(
+                &corpus,
+                &table,
+                model.config.window,
+                model.config.negatives,
+                model.config.dynamic_epochs,
+                model.config.learning_rate,
+                seed ^ 0xdead,
+            );
+        }
+
+        let (mut db, ids) = movies_database_labeled();
+        // Three cascade groups, restored round by round in inverse order.
+        let victims = ["c4", "c1", "c2"];
+        let journals: Vec<_> = victims
+            .iter()
+            .map(|v| reldb::cascade_delete(&mut db, ids[v], false).unwrap())
+            .collect();
+        let mut g = DbGraph::build(&db);
+        let retained0 = Node2VecModel::train(g.graph(), &small_cfg(), 21);
+        let mut retained = retained0.clone();
+        let mut fresh = retained0;
+
+        for (round, journal) in journals.iter().rev().enumerate() {
+            reldb::restore_journal(&mut db, journal).unwrap();
+            let victim = ids[victims[victims.len() - 1 - round]];
+            let new_nodes = g.extend_with_fact(&db, victim);
+            assert!(!new_nodes.is_empty(), "round {round} restored nothing");
+            retained.extend(g.graph(), &new_nodes, 100 + round as u64);
+            extend_fresh(&mut fresh, g.graph(), &new_nodes, 100 + round as u64);
+            for id in g.graph().node_ids() {
+                let a: Vec<u64> = retained.embedding(id).iter().map(|v| v.to_bits()).collect();
+                let b: Vec<u64> = fresh.embedding(id).iter().map(|v| v.to_bits()).collect();
+                assert_eq!(a, b, "round {round}: node {id:?} diverged");
+            }
+        }
+        let stats = retained.negative_stats();
+        assert_eq!(stats.rebuilds, 1, "only the static phase fully rebuilds");
+        assert_eq!(stats.updates, 3, "each round catches up incrementally");
     }
 
     #[test]

@@ -1,34 +1,67 @@
-//! Unigram^0.75 negative-sampling table (Mikolov et al. 2013) on the
-//! **alias method**.
+//! Unigram^0.75 negative-sampling table (Mikolov et al. 2013) on a
+//! **two-level bucketed alias** sampler.
 //!
 //! The table is built once per training run from per-node occurrence
 //! counts with the classic `count^0.75` smoothing, then sampled once per
 //! negative — the single hottest sampling site of the SGNS pipeline
-//! (`negatives` draws per positive pair). The alias layout
-//! ([`stembed_runtime::AliasTable`], Walker 1977) answers each draw in
-//! **O(1)** (two array reads) instead of the O(log n) cache-missing binary
-//! search of a cumulative table; construction stays O(n).
+//! (`negatives` draws per positive pair). Draws stay **O(1)** (the alias
+//! method, [`stembed_runtime::BucketAlias`]); what the bucketed layout
+//! buys over the flat [`stembed_runtime::AliasTable`] of earlier
+//! revisions is **sub-linear maintenance**: the dynamic extension's
+//! continuation walks change the counts of only the nodes they visit, and
+//! [`NegativeTable::update`] rebuilds exactly those nodes' buckets plus
+//! the top-level table over bucket masses — O(dirty·B + n/B) instead of
+//! re-smoothing and re-building all `n` nodes per extend.
 //!
-//! The CDF sampler this replaced is kept under `#[cfg(test)]` as the
-//! reference implementation for the distribution-equivalence test below.
+//! A table maintained through any `update` sequence is byte-identical to
+//! a fresh [`NegativeTable::new`] over the same counts (the bucket
+//! sampler's determinism contract), so the incrementally-maintained
+//! dynamic path consumes exactly the random streams of the from-scratch
+//! reference.
+//!
+//! The original CDF sampler is kept under `#[cfg(test)]` as the reference
+//! implementation for the distribution-equivalence tests below.
 
 use stembed_runtime::rng::DetRng;
-use stembed_runtime::{AliasScratch, AliasTable};
+use stembed_runtime::BucketAlias;
+
+/// Maintenance counters of a [`NegativeTable`] (diagnostics and the
+/// `profile_extend` example's sampler-regression smoke check).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NegativeTableStats {
+    /// Full rebuilds ([`NegativeTable::new`] / [`NegativeTable::rebuild`]).
+    pub rebuilds: u64,
+    /// Incremental catch-ups ([`NegativeTable::update`]).
+    pub updates: u64,
+    /// Dirty node indices across all updates.
+    pub dirty_nodes: u64,
+    /// Buckets rebuilt across all updates (the sub-linearity evidence:
+    /// stays far below `updates × bucket_count` when dirty sets are
+    /// sparse).
+    pub buckets_rebuilt: u64,
+}
 
 /// O(1) sampler over nodes, with the classic `count^0.75` smoothing that
 /// keeps frequent nodes from dominating the negatives.
 ///
 /// The table owns its construction workspace, so a long-lived instance
 /// (e.g. the one `Node2VecModel` keeps across dynamic extension rounds)
-/// can be [rebuilt](NegativeTable::rebuild) from fresh counts without
-/// reallocating the weight column, the worklists, or the alias arrays.
+/// can be caught up with fresh counts by [`NegativeTable::update`]
+/// (sub-linear: only dirty buckets) or fully re-made by
+/// [`NegativeTable::rebuild`] — both without reallocating the weight
+/// column, the worklists, or the alias arrays.
 #[derive(Debug, Clone)]
 pub struct NegativeTable {
-    alias: AliasTable,
-    /// Smoothed-weight column, reused across rebuilds.
+    sampler: BucketAlias,
+    /// Smoothed-weight column, updated in place across rounds.
     weights: Vec<f64>,
-    /// Alias construction worklists, reused across rebuilds.
-    scratch: AliasScratch,
+    stats: NegativeTableStats,
+}
+
+/// The shared smoothing: `count^0.75`.
+#[inline]
+fn smooth(count: usize) -> f64 {
+    (count as f64).powf(0.75)
 }
 
 impl NegativeTable {
@@ -36,44 +69,99 @@ impl NegativeTable {
     /// zero count get zero mass and are never sampled.
     pub fn new(counts: &[usize]) -> Self {
         let mut table = NegativeTable {
-            alias: AliasTable::new(&[]),
+            sampler: BucketAlias::new(&[]),
             weights: Vec::new(),
-            scratch: AliasScratch::default(),
+            stats: NegativeTableStats::default(),
         };
         table.rebuild(counts);
         table
     }
 
-    /// Rebuild in place from new counts (the dynamic phase's per-round
-    /// refresh), reusing all internal storage. Byte-identical to
-    /// [`NegativeTable::new`] over the same counts.
+    /// Full rebuild in place from new counts, reusing all internal
+    /// storage. Byte-identical to [`NegativeTable::new`] over the same
+    /// counts. O(n) — the dynamic phase uses [`NegativeTable::update`]
+    /// instead.
     pub fn rebuild(&mut self, counts: &[usize]) {
         self.weights.clear();
+        self.weights.extend(counts.iter().map(|&c| smooth(c)));
+        self.sampler.rebuild(&self.weights);
+        self.stats.rebuilds += 1;
+    }
+
+    /// Incrementally catch the table up with `counts`, of which only the
+    /// indices in `dirty` changed since the last rebuild/update; `counts`
+    /// may also have **grown** (appended nodes need not appear in
+    /// `dirty`). Cost is sub-linear in the node count: only the dirty
+    /// nodes' smoothed weights are recomputed and only their buckets (plus
+    /// the top-level bucket-mass table) are rebuilt.
+    ///
+    /// Byte-identical to [`NegativeTable::new`] over the same counts —
+    /// callers may freely mix `update` and `rebuild` without perturbing
+    /// any sample stream.
+    pub fn update(&mut self, dirty: &[usize], counts: &[usize]) {
+        let old_len = self.weights.len();
+        assert!(
+            counts.len() >= old_len,
+            "NegativeTable::update cannot shrink ({} -> {})",
+            old_len,
+            counts.len()
+        );
         self.weights
-            .extend(counts.iter().map(|&c| (c as f64).powf(0.75)));
-        self.alias.rebuild_in(&self.weights, &mut self.scratch);
+            .extend(counts[old_len..].iter().map(|&c| smooth(c)));
+        for &i in dirty {
+            if i < old_len {
+                self.weights[i] = smooth(counts[i]);
+            }
+            // i >= old_len: already smoothed by the append above.
+        }
+        let rebuilt = self.sampler.update(&self.weights, dirty);
+        self.stats.updates += 1;
+        self.stats.dirty_nodes += dirty.len() as u64;
+        self.stats.buckets_rebuilt += rebuilt as u64;
     }
 
     /// `true` iff no node has positive mass.
     pub fn is_empty(&self) -> bool {
-        self.alias.is_empty()
+        self.sampler.is_empty()
     }
 
-    /// Sample one node id proportional to smoothed frequency, in O(1).
+    /// Sample one node id proportional to smoothed frequency, in O(1)
+    /// (one bucket draw + one in-bucket draw).
     #[inline]
     pub fn sample(&self, rng: &mut DetRng) -> usize {
         debug_assert!(!self.is_empty(), "sampling from an empty table");
-        self.alias.sample(rng)
+        self.sampler.sample(rng)
     }
 
     /// Number of node slots (including zero-mass ones).
     pub fn len(&self) -> usize {
-        self.alias.len()
+        self.sampler.len()
+    }
+
+    /// The smoothed weight of node `i` (0 beyond the table).
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights.get(i).copied().unwrap_or(0.0)
+    }
+
+    /// Total smoothed mass over all nodes.
+    pub fn total_weight(&self) -> f64 {
+        self.sampler.total_weight()
+    }
+
+    /// Number of buckets backing the sampler.
+    pub fn bucket_count(&self) -> usize {
+        self.sampler.bucket_count()
+    }
+
+    /// Lifetime maintenance counters.
+    pub fn stats(&self) -> NegativeTableStats {
+        self.stats
     }
 }
 
 /// The original cumulative-distribution sampler, retained as the reference
-/// for the alias-equivalence test: same smoothing, O(log n) per draw.
+/// for the distribution-equivalence tests: same smoothing, O(log n) per
+/// draw.
 #[cfg(test)]
 #[derive(Debug, Clone)]
 pub(crate) struct CdfNegativeTable {
@@ -87,7 +175,7 @@ impl CdfNegativeTable {
         let mut cumulative = Vec::with_capacity(counts.len());
         let mut acc = 0.0;
         for &c in counts {
-            acc += (c as f64).powf(0.75);
+            acc += smooth(c);
             cumulative.push(acc);
         }
         CdfNegativeTable {
@@ -109,6 +197,29 @@ mod tests {
     use super::*;
     use stembed_runtime::rng::DetRng;
     use stembed_runtime::stream_rng;
+
+    /// Chi-square of a sampler's histogram against the smoothed expected
+    /// masses; asserts zero-mass slots were never drawn. Returns
+    /// `(statistic, bound)` with the generous envelope the equivalence
+    /// tests share.
+    fn chi_square_vs_expected(hist: &[usize], counts: &[usize], draws: usize) -> (f64, f64) {
+        let weights: Vec<f64> = counts.iter().map(|&c| smooth(c)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut chi = 0.0;
+        let mut dof = 0usize;
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = draws as f64 * w / total;
+            if expect == 0.0 {
+                assert_eq!(hist[i], 0, "zero-mass slot {i} sampled");
+                continue;
+            }
+            chi += (hist[i] as f64 - expect).powi(2) / expect;
+            dof += 1;
+        }
+        // Chi-square mean is dof-1, std ~ sqrt(2 dof).
+        let bound = (dof as f64 - 1.0) + 6.0 * (2.0 * dof as f64).sqrt() + 6.0;
+        (chi, bound)
+    }
 
     #[test]
     fn respects_frequencies_approximately() {
@@ -144,8 +255,8 @@ mod tests {
 
     #[test]
     fn rebuild_draws_exactly_like_a_fresh_table() {
-        // In-place rebuilds (growing counts across rounds, as the dynamic
-        // phase does) must consume the RNG identically to fresh tables.
+        // In-place rebuilds must consume the RNG identically to fresh
+        // tables (rebuild may shrink, unlike update).
         let mut table = NegativeTable::new(&[1, 1]);
         let rounds: [&[usize]; 3] = [&[5, 3, 0, 9], &[5, 4, 1, 9, 2, 2], &[0, 0, 7]];
         for counts in rounds {
@@ -160,10 +271,70 @@ mod tests {
         }
     }
 
+    /// The tentpole property: across randomized sequences of count growth
+    /// (new nodes appended, visited nodes bumped — the dynamic extension's
+    /// update shape), a table maintained by `update` draws the exact same
+    /// stream as a fresh table *and* its histogram passes a chi-square
+    /// test against the smoothed expected masses.
+    #[test]
+    fn update_matches_fresh_table_streams_and_chi_square() {
+        const CASES: u64 = 6;
+        const ROUNDS: usize = 4;
+        const DRAWS: usize = 30_000;
+        for case in 0..CASES {
+            let mut rng = stream_rng(0x17c4e5e, case);
+            let n0 = rng.random_range(2..16usize);
+            let mut counts: Vec<usize> = (0..n0).map(|_| rng.random_range(0..40usize)).collect();
+            let mut table = NegativeTable::new(&counts);
+            for round in 0..ROUNDS {
+                // Bump a random subset of existing nodes …
+                let mut dirty = Vec::new();
+                for _ in 0..rng.random_range(1..5usize) {
+                    let i = rng.random_range(0..counts.len());
+                    counts[i] += rng.random_range(1..30usize);
+                    dirty.push(i);
+                }
+                dirty.sort_unstable();
+                dirty.dedup();
+                // … and sometimes append new nodes (not in `dirty`).
+                for _ in 0..rng.random_range(0..4usize) {
+                    counts.push(rng.random_range(0..20usize));
+                }
+                table.update(&dirty, &counts);
+                let fresh = NegativeTable::new(&counts);
+                assert_eq!(table.len(), fresh.len());
+
+                // Exact stream equivalence …
+                let mut a = stream_rng(0x5eed ^ case, round as u64);
+                let mut b = stream_rng(0x5eed ^ case, round as u64);
+                for _ in 0..2000 {
+                    assert_eq!(
+                        table.sample(&mut a),
+                        fresh.sample(&mut b),
+                        "case {case} round {round}: streams diverged"
+                    );
+                }
+                // … and statistical equivalence to the smoothed masses.
+                let mut hist = vec![0usize; counts.len()];
+                let mut draw_rng = stream_rng(0xc41 ^ case, round as u64);
+                for _ in 0..DRAWS {
+                    hist[table.sample(&mut draw_rng)] += 1;
+                }
+                let (chi, bound) = chi_square_vs_expected(&hist, &counts, DRAWS);
+                assert!(
+                    chi < bound,
+                    "case {case} round {round}: chi-square {chi:.1} over bound {bound:.1}"
+                );
+            }
+            assert_eq!(table.stats().updates, ROUNDS as u64);
+            assert!(table.stats().dirty_nodes >= ROUNDS as u64);
+        }
+    }
+
     /// Property-style equivalence: on seeded random count vectors, the
-    /// alias sampler and the reference CDF sampler draw from the same
-    /// distribution, judged by a chi-square statistic of the alias
-    /// histogram against the CDF sampler's expected (smoothed) masses.
+    /// bucketed alias sampler and the reference CDF sampler draw from the
+    /// same distribution, judged by chi-square against the smoothed
+    /// masses.
     #[test]
     fn alias_matches_cdf_distribution_chi_square() {
         const CASES: u64 = 12;
@@ -194,26 +365,8 @@ mod tests {
                 cdf_hist[cdf.sample(&mut draw_rng)] += 1;
             }
 
-            // Expected masses under the shared smoothing.
-            let weights: Vec<f64> = counts.iter().map(|&c| (c as f64).powf(0.75)).collect();
-            let total: f64 = weights.iter().sum();
-            let mut chi_alias = 0.0;
-            let mut chi_cdf = 0.0;
-            let mut dof = 0usize;
-            for i in 0..n {
-                let expect = DRAWS as f64 * weights[i] / total;
-                if expect == 0.0 {
-                    assert_eq!(alias_hist[i], 0, "case {case}: zero-mass slot {i} sampled");
-                    assert_eq!(cdf_hist[i], 0);
-                    continue;
-                }
-                chi_alias += (alias_hist[i] as f64 - expect).powi(2) / expect;
-                chi_cdf += (cdf_hist[i] as f64 - expect).powi(2) / expect;
-                dof += 1;
-            }
-            // Generous bound: chi-square mean is dof-1, std ~ sqrt(2 dof);
-            // both samplers must sit inside the same envelope.
-            let bound = (dof as f64 - 1.0) + 6.0 * (2.0 * dof as f64).sqrt() + 6.0;
+            let (chi_alias, bound) = chi_square_vs_expected(&alias_hist, &counts, DRAWS);
+            let (chi_cdf, _) = chi_square_vs_expected(&cdf_hist, &counts, DRAWS);
             assert!(
                 chi_alias < bound,
                 "case {case}: alias chi-square {chi_alias:.1} over bound {bound:.1}"

@@ -15,11 +15,13 @@
 //! (the word2vec formulation), and the per-pair work is a fused
 //! dot-product / gradient / axpy pass over two contiguous rows — no
 //! bounds checks in the hot path, no per-pair allocation, O(1) negative
-//! draws via the alias-method [`NegativeTable`].
+//! draws via the bucketed-alias [`NegativeTable`] (whose two-level layout
+//! also gives the dynamic phase sub-linear table maintenance).
 
 use crate::NegativeTable;
 use dbgraph::{NodeId, WalkCorpus};
 use stembed_runtime::rng::DetRng;
+use stembed_runtime::AliasTable;
 
 /// Precomputed logistic table: σ(x) for x ∈ [−MAX_EXP, MAX_EXP] in
 /// `TABLE_SIZE` bins (word2vec's classic trick; exactness at the tails is
@@ -112,6 +114,85 @@ pub struct SgnsModel {
     /// calls so the dynamic phase's per-round continuation training
     /// allocates nothing.
     scratch: Vec<f64>,
+}
+
+/// Thinned negative sampling for **frozen centers** (dynamic phase).
+///
+/// A negative pair updates a parameter only when an endpoint is
+/// unfrozen. For a frozen center, each of the `negatives` independent
+/// table draws hits an unfrozen node with probability
+/// `p = unfrozen_mass / total_mass` — so the *number* of effective
+/// negatives is `Binomial(negatives, p)` and, given the count, each hit
+/// is distributed over the unfrozen nodes proportional to their smoothed
+/// weights. Sampling that thinned process directly (one uniform against
+/// the precomputed binomial CDF, then `k` draws from a small
+/// unfrozen-only alias table) produces **exactly** the same distribution
+/// of parameter updates as drawing all `negatives` from the full table
+/// and discarding frozen hits — at ~`1 + negatives·p` draws per group
+/// instead of `negatives`. With `p` in the percent range (continuation
+/// walks visit mostly old nodes), that removes the dominant cost of the
+/// continuation SGD.
+struct ThinnedNegatives {
+    /// `cum[k] = P(K ≤ k)` for `K ~ Binomial(negatives, p)`.
+    cum: Vec<f64>,
+    /// Unfrozen node ids with positive mass.
+    ids: Vec<u32>,
+    /// Alias table over those nodes' smoothed weights.
+    table: AliasTable,
+}
+
+impl ThinnedNegatives {
+    /// Precompute for the current freeze mask (one O(node_count) scan per
+    /// `train` call — the *per-draw* work is what this buys down).
+    fn build(frozen: &[bool], table: &NegativeTable, negatives: usize) -> Self {
+        let mut ids = Vec::new();
+        let mut weights = Vec::new();
+        for (i, &fz) in frozen.iter().enumerate() {
+            if !fz {
+                let w = table.weight(i);
+                if w > 0.0 {
+                    ids.push(i as u32);
+                    weights.push(w);
+                }
+            }
+        }
+        let sub = AliasTable::new(&weights);
+        let total = table.total_weight();
+        let p = if total > 0.0 {
+            sub.total_weight() / total
+        } else {
+            0.0
+        };
+        // Binomial pmf by the usual ratio recurrence, accumulated.
+        let q = 1.0 - p;
+        let mut pmf = q.powi(negatives as i32);
+        let mut acc = pmf;
+        let mut cum = Vec::with_capacity(negatives + 1);
+        cum.push(acc);
+        for k in 0..negatives {
+            pmf *= ((negatives - k) as f64 / (k + 1) as f64) * (p / q.max(f64::MIN_POSITIVE));
+            acc += pmf;
+            cum.push(acc.min(1.0));
+        }
+        // Guard the tail against rounding: the last entry must catch
+        // every uniform draw.
+        if let Some(last) = cum.last_mut() {
+            *last = 1.0;
+        }
+        ThinnedNegatives {
+            cum,
+            ids,
+            table: sub,
+        }
+    }
+
+    /// Number of effective negative hits for one group: one uniform draw
+    /// against the binomial CDF.
+    #[inline]
+    fn draw_count(&self, rng: &mut DetRng) -> usize {
+        let u = rng.random_range(0.0..1.0);
+        self.cum.partition_point(|&c| c <= u)
+    }
 }
 
 /// Result of one training run.
@@ -280,6 +361,15 @@ impl SgnsModel {
     /// pre-group row. The accumulated center gradient is applied once at
     /// the end (skipped entirely for frozen centers). Returns the group's
     /// summed BCE loss.
+    ///
+    /// Pairs whose **both** endpoints are frozen update nothing, and for a
+    /// frozen center the negatives that *can* matter are sampled directly
+    /// via the thinned process ([`ThinnedNegatives`]): same distribution
+    /// of parameter updates as full-table sampling, a small fraction of
+    /// the draws and none of the frozen-frozen dot/σ/axpy work — the
+    /// dominant saving of the dynamic continuation, where walks from new
+    /// nodes traverse mostly frozen old nodes. Loss *diagnostics*
+    /// ([`TrainStats`]) only cover the pairs actually computed.
     #[allow(clippy::too_many_arguments)]
     #[inline]
     fn train_group(
@@ -288,6 +378,7 @@ impl SgnsModel {
         context: usize,
         negatives: usize,
         table: &NegativeTable,
+        thinned: Option<&ThinnedNegatives>,
         rng: &mut DetRng,
         lr: f64,
         cgrad: &mut [f64],
@@ -296,13 +387,33 @@ impl SgnsModel {
         if learn_center {
             cgrad.fill(0.0);
         }
-        let mut loss = self.pair_grad(center, context, 1.0, lr, learn_center, cgrad);
-        for _ in 0..negatives {
-            let neg = table.sample(rng);
-            if neg == context {
-                continue;
+        let mut loss = 0.0;
+        if learn_center || !self.frozen[context] {
+            loss += self.pair_grad(center, context, 1.0, lr, learn_center, cgrad);
+        }
+        match (learn_center, thinned) {
+            (false, Some(thin)) => {
+                // Frozen center: only unfrozen negatives update anything.
+                let hits = thin.draw_count(rng);
+                for _ in 0..hits {
+                    let neg = thin.ids[thin.table.sample(rng)] as usize;
+                    if neg == context {
+                        continue;
+                    }
+                    loss += self.pair_grad(center, neg, 0.0, lr, false, cgrad);
+                }
             }
-            loss += self.pair_grad(center, neg, 0.0, lr, learn_center, cgrad);
+            _ => {
+                for _ in 0..negatives {
+                    let neg = table.sample(rng);
+                    if neg == context {
+                        continue;
+                    }
+                    if learn_center || !self.frozen[neg] {
+                        loss += self.pair_grad(center, neg, 0.0, lr, learn_center, cgrad);
+                    }
+                }
+            }
         }
         if learn_center {
             let dim = self.dim;
@@ -348,6 +459,13 @@ impl SgnsModel {
             .max(1);
         let inv_total_updates = 1.0 / (pairs_per_epoch * epochs) as f64;
         let mut done = 0usize;
+        // Dynamic phase (any frozen node): precompute the thinned
+        // frozen-center negative process once per call.
+        let thinned = if self.frozen.iter().any(|&f| f) {
+            Some(ThinnedNegatives::build(&self.frozen, table, negatives))
+        } else {
+            None
+        };
         // Per-group center-gradient scratch: taken out of the model for the
         // duration of the loop (it is passed as a second &mut alongside
         // &mut self) and put back at the end, so repeated train calls reuse
@@ -383,6 +501,7 @@ impl SgnsModel {
                             context.index(),
                             negatives,
                             table,
+                            thinned.as_ref(),
                             &mut rng,
                             lr,
                             &mut cgrad,
@@ -556,6 +675,78 @@ mod tests {
         let stats = model.train(&WalkCorpus::default(), &table, 3, 4, 2, 0.05, 0);
         assert_eq!(stats.updates, 0);
         assert_eq!(model.embedding(NodeId(0)), before.as_slice());
+    }
+
+    /// The thinned frozen-center process must hit unfrozen negatives at
+    /// the same rate (per node) as full-table sampling would: each of the
+    /// `negatives` trials hits node `j` with probability `w_j / total`.
+    #[test]
+    fn thinned_negatives_match_full_table_hit_rates() {
+        use stembed_runtime::stream_rng;
+        let counts = vec![40usize, 0, 7, 120, 3, 60, 11, 90];
+        let table = NegativeTable::new(&counts);
+        // Freeze everything except nodes 2, 4, 6.
+        let mut frozen = vec![true; counts.len()];
+        for i in [2usize, 4, 6] {
+            frozen[i] = false;
+        }
+        let negatives = 6;
+        let thin = ThinnedNegatives::build(&frozen, &table, negatives);
+        assert_eq!(thin.ids, vec![2, 4, 6]);
+
+        const GROUPS: usize = 60_000;
+        let mut hits = vec![0usize; counts.len()];
+        let mut rng = stream_rng(0x7417, 0);
+        for _ in 0..GROUPS {
+            let k = thin.draw_count(&mut rng);
+            assert!(k <= negatives);
+            for _ in 0..k {
+                hits[thin.ids[thin.table.sample(&mut rng)] as usize] += 1;
+            }
+        }
+        let total: f64 = counts.iter().map(|&c| (c as f64).powf(0.75)).sum();
+        let mut chi = 0.0;
+        for (i, &h) in hits.iter().enumerate() {
+            if frozen[i] {
+                assert_eq!(h, 0, "frozen node {i} hit by the thinned process");
+                continue;
+            }
+            let expect = (GROUPS * negatives) as f64 * (counts[i] as f64).powf(0.75) / total;
+            chi += (h as f64 - expect).powi(2) / expect;
+        }
+        // 3 unfrozen cells; generous envelope.
+        assert!(chi < 20.0, "thinned hit rates off: chi-square {chi:.1}");
+    }
+
+    #[test]
+    fn frozen_center_still_trains_unfrozen_negative_rows() {
+        // With a frozen center, an unfrozen node's out-row must still
+        // receive negative-sample gradient through the thinned path.
+        let counts = vec![50usize, 50, 50];
+        let table = NegativeTable::new(&counts);
+        let mut model = SgnsModel::new(3, 4, 1);
+        // Give out vectors some mass first so gradients are nonzero.
+        let warm = WalkCorpus::from_nested(&[vec![NodeId(0), NodeId(1), NodeId(2)]]);
+        model.train(&warm, &table, 2, 2, 3, 0.1, 2);
+        model.frozen[0] = true;
+        model.frozen[1] = true; // node 2 stays unfrozen
+        let out_before: Vec<f64> = model.out_vecs.clone();
+        // Corpus of frozen nodes only: every group has a frozen center and
+        // frozen context; only thinned negative hits on node 2 can move
+        // anything, and with 50/150 of the mass they will.
+        let corpus = WalkCorpus::from_nested(&[vec![NodeId(0), NodeId(1)]]);
+        model.train(&corpus, &table, 1, 8, 20, 0.1, 3);
+        let dim = model.dim;
+        assert_eq!(
+            &model.out_vecs[..2 * dim],
+            &out_before[..2 * dim],
+            "frozen out-rows moved"
+        );
+        assert_ne!(
+            &model.out_vecs[2 * dim..],
+            &out_before[2 * dim..],
+            "unfrozen out-row must learn from thinned negatives"
+        );
     }
 
     #[test]

@@ -44,7 +44,15 @@ pub enum MutationKind {
 /// [`Database::epoch`] reached *by* this mutation — records of one lineage
 /// carry consecutive epochs, which is what makes "replay everything after
 /// epoch `e`" well defined.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// **Delete** records additionally carry the removed fact's values
+/// ([`MutationRecord::removed`], behind an [`Arc`] so records stay cheap
+/// to clone). Insert/restore consumers can read the mutated fact from the
+/// database, but a delete leaves only a tombstone — without the payload, a
+/// consumer that scopes invalidation by walking foreign keys *from* the
+/// mutated fact (key values, FK tuples) would have to treat every delete
+/// as touching everything.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MutationRecord {
     /// What happened.
     pub kind: MutationKind,
@@ -55,6 +63,10 @@ pub struct MutationRecord {
     pub rel: RelationId,
     /// The epoch this mutation produced.
     pub epoch: u64,
+    /// For [`MutationKind::Delete`]: the removed fact's values (its key
+    /// and FK tuples, as they were when it was live). `None` for inserts
+    /// and restores, whose facts are live in the database.
+    pub removed: Option<std::sync::Arc<Fact>>,
 }
 
 /// Default bound of the mutation ring: comfortably above one dynamic-
@@ -240,14 +252,21 @@ impl Database {
     }
 
     /// Bump the epoch and journal the mutation that caused it. Called by
-    /// every successful mutation, after the stores and indexes are updated.
-    fn record_mutation(&mut self, kind: MutationKind, fact: FactId) {
+    /// every successful mutation, after the stores and indexes are updated;
+    /// deletes pass the removed fact's values along.
+    fn record_mutation(
+        &mut self,
+        kind: MutationKind,
+        fact: FactId,
+        removed: Option<std::sync::Arc<Fact>>,
+    ) {
         self.epoch += 1;
         self.journal.push(MutationRecord {
             kind,
             fact,
             rel: fact.rel,
             epoch: self.epoch,
+            removed,
         });
     }
 
@@ -388,7 +407,7 @@ impl Database {
         self.stores[rel.index()].slots.push(Some(fact));
         self.stores[rel.index()].live += 1;
         let id = FactId::new(rel, row);
-        self.record_mutation(MutationKind::Insert, id);
+        self.record_mutation(MutationKind::Insert, id, None);
         Ok(id)
     }
 
@@ -417,7 +436,7 @@ impl Database {
         self.index_fact(id.rel, id.row, &fact);
         self.stores[id.rel.index()].slots[id.row as usize] = Some(fact);
         self.stores[id.rel.index()].live += 1;
-        self.record_mutation(MutationKind::Restore, id);
+        self.record_mutation(MutationKind::Restore, id, None);
         Ok(())
     }
 
@@ -449,7 +468,17 @@ impl Database {
         let fact = slot.take().ok_or(DbError::UnknownFact)?;
         self.stores[id.rel.index()].live -= 1;
         self.unindex_fact(id.rel, id.row, &fact);
-        self.record_mutation(MutationKind::Delete, id);
+        // Journal the removed values: the slot is a tombstone from here
+        // on, and fine-grained invalidation needs the fact's key/FK
+        // tuples to scope what the delete could reach. With journalling
+        // disabled (capacity 0) the record is dropped on push, so skip
+        // the clone.
+        let removed = if self.journal.capacity > 0 {
+            Some(std::sync::Arc::new(fact.clone()))
+        } else {
+            None
+        };
+        self.record_mutation(MutationKind::Delete, id, removed);
         Ok(fact)
     }
 
@@ -787,16 +816,22 @@ mod tests {
         let r = db
             .insert_into("R", vec!["r1".into(), "s1".into(), Value::Int(1)])
             .unwrap();
-        let records: Vec<MutationRecord> = db.journal_since(e0).unwrap().copied().collect();
+        let records: Vec<MutationRecord> = db.journal_since(e0).unwrap().cloned().collect();
         assert_eq!(records.len(), 3);
         assert_eq!(records[0].kind, MutationKind::Delete);
         assert_eq!(records[0].fact, s);
         assert_eq!(records[0].rel, s.rel);
         assert_eq!(records[0].epoch, e0 + 1);
+        // Delete records carry the removed fact's values; the slot itself
+        // is a tombstone by now.
+        let removed = records[0].removed.as_ref().expect("delete payload");
+        assert_eq!(removed.get(0), &Value::Text("s1".into()));
         assert_eq!(records[1].kind, MutationKind::Restore);
         assert_eq!(records[1].fact, s);
+        assert!(records[1].removed.is_none());
         assert_eq!(records[2].kind, MutationKind::Insert);
         assert_eq!(records[2].fact, r);
+        assert!(records[2].removed.is_none());
         assert_eq!(records[2].epoch, db.epoch());
         // A consumer already at the head misses nothing.
         assert_eq!(db.journal_since(db.epoch()).unwrap().count(), 0);

@@ -1,0 +1,407 @@
+//! Two-level **bucketed** alias sampler: O(1) draws like a flat
+//! [`AliasTable`], but with *incremental* maintenance — updating `k` of
+//! `n` weights rebuilds only the buckets those weights live in plus one
+//! top-level table over bucket masses, instead of the flat table's O(n)
+//! reconstruction.
+//!
+//! Layout: the `n` outcomes are partitioned into buckets of `B`
+//! consecutive indices (`B` a power of two; the last bucket is padded
+//! with zero-weight outcomes, which the alias construction provably never
+//! returns). Every bucket's acceptance/alias columns live in **two flat
+//! arrays** shared by all buckets — no per-bucket allocation, no pointer
+//! chasing on the sample path — and a small top-level table spans the
+//! buckets' total masses. A sample costs **one** RNG draw, like the flat
+//! table: the draw's low 32 bits drive a Lemire pick (+ acceptance) over
+//! the buckets, its high 32 bits pick the in-bucket column (a shift,
+//! thanks to the power-of-two padding) and decide column-vs-alias
+//! against the column's threshold. Thresholds are stored as 32-bit
+//! fixed-point fractions — acceptance granularity `2^log₂B`/2³², far
+//! below statistical resolution, and half the cache footprint of the
+//! flat table's 64-bit column. Alias entries are stored as *global*
+//! column indices, so the miss branch is one array read.
+//!
+//! ## Determinism contract
+//!
+//! Every bucket's columns are a pure function of its (padded) weight
+//! slice and the top table a pure function of the bucket masses (each
+//! mass summed in index order by the bucket's own construction), so a
+//! table maintained through any sequence of [`BucketAlias::update`] calls
+//! is **byte-identical** to one built fresh from the final weights — the
+//! property that lets a dynamically-extended model keep its
+//! negative-sampling table warm without ever drifting from the
+//! from-scratch reference.
+
+use crate::alias::{AliasScratch, AliasTable};
+use crate::rng::Rng;
+
+/// Default outcomes per bucket, balancing the two update terms
+/// (`dirty_buckets · B` bucket rebuilds vs `n / B` top-level rebuild).
+/// Dirty sets of dynamic negative sampling are typically a few hundred
+/// nodes scattered over the id space — the worst case for index-bucketing
+/// — so a small bucket keeps the scattered-dirty cost near `dirty · B`
+/// while the top table stays a sixty-fourth of `n`.
+pub const DEFAULT_BUCKET_SIZE: usize = 64;
+
+/// A two-level alias table over `len` outcomes with sub-linear updates.
+#[derive(Debug, Clone)]
+pub struct BucketAlias {
+    /// Bucket size is `1 << log_bucket` (≥ 2 so the sample-path shifts
+    /// stay in range).
+    log_bucket: u32,
+    len: usize,
+    /// 32-bit acceptance thresholds, all buckets back to back (padded to
+    /// a multiple of the bucket size).
+    thresh: Vec<u32>,
+    /// Alias fallback per column, as a **global** column index.
+    alias: Vec<u32>,
+    /// Total input mass per bucket.
+    masses: Vec<f64>,
+    /// 32-bit acceptance threshold per bucket (top level).
+    top_thresh: Vec<u32>,
+    /// Alias fallback per bucket (top level).
+    top_alias: Vec<u32>,
+    /// Top-level construction table over `masses`, downconverted into
+    /// `top_thresh`/`top_alias` after every (re)build.
+    top: AliasTable,
+    /// Per-bucket construction table, reused across rebuilds.
+    bucket_table: AliasTable,
+    /// Padded per-bucket weight buffer for `bucket_table`.
+    bucket_weights: Vec<f64>,
+    /// Construction workspace shared by all (re)builds.
+    scratch: AliasScratch,
+    /// Reusable dirty-bucket worklist for [`BucketAlias::update`].
+    dirty_buckets: Vec<usize>,
+}
+
+impl BucketAlias {
+    /// Build from non-negative weights with the
+    /// [default bucket size](DEFAULT_BUCKET_SIZE).
+    pub fn new(weights: &[f64]) -> Self {
+        Self::with_bucket_size(weights, DEFAULT_BUCKET_SIZE)
+    }
+
+    /// Build with an explicit bucket size (rounded up to a power of two,
+    /// minimum 2; tests exercise tiny buckets).
+    pub fn with_bucket_size(weights: &[f64], bucket_size: usize) -> Self {
+        let size = bucket_size.next_power_of_two().max(2);
+        let mut table = BucketAlias {
+            log_bucket: size.trailing_zeros(),
+            len: 0,
+            thresh: Vec::new(),
+            alias: Vec::new(),
+            masses: Vec::new(),
+            top_thresh: Vec::new(),
+            top_alias: Vec::new(),
+            top: AliasTable::new(&[]),
+            bucket_table: AliasTable::new(&[]),
+            bucket_weights: Vec::new(),
+            scratch: AliasScratch::default(),
+            dirty_buckets: Vec::new(),
+        };
+        table.rebuild(weights);
+        table
+    }
+
+    fn bucket_size(&self) -> usize {
+        1 << self.log_bucket
+    }
+
+    /// Full rebuild from scratch (the static-training path). Reuses all
+    /// internal storage; byte-identical to a fresh construction.
+    pub fn rebuild(&mut self, weights: &[f64]) {
+        self.len = weights.len();
+        let nb = weights.len().div_ceil(self.bucket_size());
+        self.resize_storage(nb);
+        for b in 0..nb {
+            self.rebuild_bucket(b, weights);
+        }
+        self.rebuild_top();
+    }
+
+    /// Rebuild the top-level columns from the bucket masses, storing the
+    /// 32-bit downconversion the sample path reads.
+    fn rebuild_top(&mut self) {
+        self.top.rebuild_in(&self.masses, &mut self.scratch);
+        self.top_thresh.clear();
+        self.top_thresh
+            .extend(self.top.thresh_column().iter().map(|&t| (t >> 32) as u32));
+        self.top_alias.clear();
+        self.top_alias.extend_from_slice(self.top.alias_column());
+    }
+
+    /// Incrementally catch the table up with `weights`, of which only the
+    /// indices in `dirty` changed since the last (re)build or update —
+    /// plus any *appended* tail (`weights.len()` may have grown; shrinking
+    /// is not supported). Only the dirty indices' buckets, the buckets
+    /// covering the appended range, and the top-level table are rebuilt:
+    /// O(dirty·B + n/B), sub-linear in `n` for small dirty sets.
+    ///
+    /// Returns the number of bucket rebuilds performed (diagnostics).
+    /// The result is byte-identical to [`BucketAlias::rebuild`] over the
+    /// same weights.
+    pub fn update(&mut self, weights: &[f64], dirty: &[usize]) -> usize {
+        let old_len = self.len;
+        assert!(
+            weights.len() >= old_len,
+            "BucketAlias::update cannot shrink ({} -> {})",
+            old_len,
+            weights.len()
+        );
+        self.len = weights.len();
+        let nb = weights.len().div_ceil(self.bucket_size());
+        self.resize_storage(nb);
+        let mut worklist = std::mem::take(&mut self.dirty_buckets);
+        worklist.clear();
+        for &i in dirty {
+            debug_assert!(i < weights.len(), "dirty index {i} out of bounds");
+            worklist.push(i >> self.log_bucket);
+        }
+        // Appended tail: every bucket gaining outcomes is dirty too.
+        if weights.len() > old_len {
+            worklist.extend(old_len >> self.log_bucket..nb);
+        }
+        worklist.sort_unstable();
+        worklist.dedup();
+        let rebuilt = worklist.len();
+        for &b in &worklist {
+            self.rebuild_bucket(b, weights);
+        }
+        if rebuilt > 0 {
+            self.rebuild_top();
+        }
+        self.dirty_buckets = worklist;
+        rebuilt
+    }
+
+    /// Size the flat columns and mass vector for `nb` buckets (grows for
+    /// updates, truncates stale tail buckets when a full `rebuild`
+    /// shrinks the table).
+    fn resize_storage(&mut self, nb: usize) {
+        let cols = nb * self.bucket_size();
+        self.thresh.resize(cols, 0);
+        self.alias.resize(cols, 0);
+        self.masses.resize(nb, 0.0);
+    }
+
+    /// Rebuild bucket `b`'s columns from `weights`, padding the slice to
+    /// the bucket size with zero weights (columns the alias construction
+    /// never returns while any real weight is positive).
+    fn rebuild_bucket(&mut self, b: usize, weights: &[f64]) {
+        let size = self.bucket_size();
+        let lo = b * size;
+        let hi = ((b + 1) * size).min(weights.len());
+        self.bucket_weights.clear();
+        self.bucket_weights.extend_from_slice(&weights[lo..hi]);
+        self.bucket_weights.resize(size, 0.0);
+        self.bucket_table
+            .rebuild_in(&self.bucket_weights, &mut self.scratch);
+        self.masses[b] = self.bucket_table.total_weight();
+        for (out, &t) in self.thresh[lo..lo + size]
+            .iter_mut()
+            .zip(self.bucket_table.thresh_column())
+        {
+            *out = (t >> 32) as u32;
+        }
+        for (out, &local) in self.alias[lo..lo + size]
+            .iter_mut()
+            .zip(self.bucket_table.alias_column())
+        {
+            *out = (lo as u32) + local;
+        }
+    }
+
+    /// Number of outcomes (excluding the zero-weight padding).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff no outcome has positive mass.
+    pub fn is_empty(&self) -> bool {
+        self.top.is_empty()
+    }
+
+    /// Number of buckets currently backing the table.
+    pub fn bucket_count(&self) -> usize {
+        self.masses.len()
+    }
+
+    /// Total input mass (sum of bucket masses).
+    pub fn total_weight(&self) -> f64 {
+        self.top.total_weight()
+    }
+
+    /// Sample one outcome index proportional to weight, in O(1) with a
+    /// **single** RNG draw (like the flat [`AliasTable`]): the draw's low
+    /// 32 bits pick the bucket — a 32-bit Lemire product whose high bits
+    /// select the top column and whose low bits are the (conditionally
+    /// uniform) top acceptance fraction; a zero-mass bucket is never
+    /// selected — and its high 32 bits pick the in-bucket column (top
+    /// `log₂ B` bits, a shift) and decide column vs alias (the remaining
+    /// bits against the column's 32-bit threshold).
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        debug_assert!(!self.is_empty(), "sampling from an empty bucket table");
+        let r = rng.next_u64();
+        let nb = self.masses.len() as u64;
+        let m1 = (r & 0xffff_ffff) * nb;
+        let b0 = (m1 >> 32) as usize;
+        let b = if (m1 as u32) < self.top_thresh[b0] {
+            b0
+        } else {
+            self.top_alias[b0] as usize
+        };
+        let hi = (r >> 32) as u32;
+        let i = (hi >> (32 - self.log_bucket)) as usize;
+        let col = (b << self.log_bucket) + i;
+        if (hi << self.log_bucket) < self.thresh[col] {
+            col
+        } else {
+            self.alias[col] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DetRng;
+    use crate::seed::stream_rng;
+
+    fn stream(table: &BucketAlias, draws: usize, seed: u64) -> Vec<usize> {
+        let mut rng = DetRng::seed_from_u64(seed);
+        (0..draws).map(|_| table.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn matches_weights_within_tolerance() {
+        let weights: Vec<f64> = (0..40).map(|i| (i % 5) as f64).collect();
+        let table = BucketAlias::with_bucket_size(&weights, 8);
+        let mut hist = vec![0usize; weights.len()];
+        for i in stream(&table, 60_000, 1) {
+            hist[i] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = 60_000.0 * w / total;
+            if w == 0.0 {
+                assert_eq!(hist[i], 0, "zero-weight outcome {i} sampled");
+            } else {
+                assert!(
+                    (hist[i] as f64 - expect).abs() < expect * 0.15 + 40.0,
+                    "outcome {i}: {} vs {expect}",
+                    hist[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn padding_columns_are_never_sampled() {
+        // 5 outcomes in buckets of 4: the last bucket is 3/4 padding.
+        let weights = [1.0, 1.0, 1.0, 1.0, 1.0];
+        let table = BucketAlias::with_bucket_size(&weights, 4);
+        for i in stream(&table, 40_000, 2) {
+            assert!(i < weights.len(), "padding column {i} sampled");
+        }
+    }
+
+    #[test]
+    fn update_is_byte_identical_to_fresh_rebuild() {
+        // Randomized sequences of point updates and appends: the updated
+        // table must draw the exact same stream as a fresh one.
+        for case in 0..8u64 {
+            let mut rng = stream_rng(0xb0c4e7, case);
+            let bucket_size = 1usize << rng.random_range(1..4usize);
+            let n0 = rng.random_range(0..30usize);
+            let mut weights: Vec<f64> = (0..n0)
+                .map(|_| rng.random_range(0..6usize) as f64)
+                .collect();
+            let mut table = BucketAlias::with_bucket_size(&weights, bucket_size);
+            for round in 0..6 {
+                // Mutate a few indices and sometimes append.
+                let mut dirty = Vec::new();
+                for _ in 0..rng.random_range(0..5usize) {
+                    if weights.is_empty() {
+                        break;
+                    }
+                    let i = rng.random_range(0..weights.len());
+                    weights[i] = rng.random_range(0..6usize) as f64;
+                    dirty.push(i);
+                }
+                for _ in 0..rng.random_range(0..4usize) {
+                    weights.push(rng.random_range(0..6usize) as f64);
+                }
+                table.update(&weights, &dirty);
+                let fresh = BucketAlias::with_bucket_size(&weights, bucket_size);
+                assert_eq!(table.len(), fresh.len());
+                assert_eq!(table.bucket_count(), fresh.bucket_count());
+                assert_eq!(table.thresh, fresh.thresh, "case {case} round {round}");
+                assert_eq!(table.alias, fresh.alias, "case {case} round {round}");
+                assert_eq!(
+                    table.total_weight().to_bits(),
+                    fresh.total_weight().to_bits(),
+                    "case {case} round {round}: masses diverged"
+                );
+                assert_eq!(table.is_empty(), fresh.is_empty());
+                if !table.is_empty() {
+                    assert_eq!(
+                        stream(&table, 500, case ^ round),
+                        stream(&fresh, 500, case ^ round),
+                        "case {case} round {round}: streams diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn update_touches_only_dirty_buckets() {
+        let weights: Vec<f64> = vec![1.0; 64];
+        let mut table = BucketAlias::with_bucket_size(&weights, 8);
+        assert_eq!(table.bucket_count(), 8);
+        let mut w2 = weights.clone();
+        w2[3] = 5.0;
+        w2[5] = 0.0;
+        // Both dirty indices share bucket 0: exactly one bucket rebuild.
+        assert_eq!(table.update(&w2, &[3, 5]), 1);
+        // No-op update rebuilds nothing.
+        assert_eq!(table.update(&w2, &[]), 0);
+        // Appending 3 outcomes dirties only the new tail bucket.
+        let mut w3 = w2.clone();
+        w3.extend([2.0, 2.0, 2.0]);
+        assert_eq!(table.update(&w3, &[]), 1);
+        assert_eq!(table.bucket_count(), 9);
+    }
+
+    #[test]
+    fn growth_from_empty_and_degenerate_masses() {
+        let mut table = BucketAlias::with_bucket_size(&[], 4);
+        assert!(table.is_empty());
+        assert_eq!(table.len(), 0);
+        table.update(&[0.0, 0.0], &[]);
+        assert!(table.is_empty(), "all-zero table stays empty");
+        table.update(&[0.0, 3.0, 0.0], &[]);
+        assert!(!table.is_empty());
+        let mut rng = DetRng::seed_from_u64(9);
+        for _ in 0..50 {
+            assert_eq!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn zero_mass_buckets_are_never_selected() {
+        // Bucket 1 (indices 4..8) is all-zero; every draw must avoid it.
+        let weights = [1.0, 2.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 3.0];
+        let table = BucketAlias::with_bucket_size(&weights, 4);
+        for i in stream(&table, 20_000, 5) {
+            assert!(weights[i] > 0.0, "zero-weight outcome {i} sampled");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn update_rejects_shrinking() {
+        let mut table = BucketAlias::with_bucket_size(&[1.0, 2.0, 3.0], 2);
+        table.update(&[1.0], &[]);
+    }
+}

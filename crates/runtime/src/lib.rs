@@ -22,19 +22,24 @@
 //! be pinned with the `STEMBED_SHARDS` environment variable (or explicitly
 //! via [`Runtime::new`]).
 //!
-//! The crate also hosts the shared **O(1) discrete sampler**
-//! ([`alias::AliasTable`], Walker 1977): any compute layer that repeatedly
-//! draws from a fixed weighted distribution (negative sampling, weighted
-//! transitions) builds one table up front and pays two array reads per
-//! draw instead of a binary search.
+//! The crate also hosts the shared **O(1) discrete samplers**: the flat
+//! [`alias::AliasTable`] (Walker 1977) for fixed distributions — one table
+//! built up front, two array reads per draw instead of a binary search —
+//! and the two-level [`bucket::BucketAlias`] for distributions that
+//! *change* incrementally (dynamic negative sampling): same O(1) draws,
+//! but updating `k` of `n` weights rebuilds only the affected fixed-size
+//! buckets plus a top-level table over bucket masses, never the whole
+//! structure.
 
 pub mod alias;
+pub mod bucket;
 pub mod par;
 mod pool;
 pub mod rng;
 pub mod seed;
 
 pub use alias::{AliasScratch, AliasTable};
+pub use bucket::BucketAlias;
 pub use par::Runtime;
 pub use rng::{DetRng, Rng, SplitMix64};
 pub use seed::{derive_seed, stream_rng};

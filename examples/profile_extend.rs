@@ -1,37 +1,61 @@
-//! Profile the FoRWaRD dynamic-extension hot path and its
-//! walk-distribution cache (mirrors `benches/dynamic_extend.rs`).
+//! Profile the dynamic-extension hot paths: FoRWaRD's walk-distribution
+//! cache and Node2Vec's incrementally-maintained negative-sampling table
+//! (mirrors `benches/dynamic_extend.rs`).
 //!
 //! Runs the paper's one-by-one insertion protocol (§VI-E): several
-//! prediction tuples are cascade-deleted, the embedding trains on the
-//! remainder, and the tuples come back round by round — extending after
-//! every round on the **persistent** cache, whose journal-replay
-//! invalidation keeps FK-unreachable entries warm across rounds. Per
-//! round it prints the wall-clock (restore + extends, via the same
-//! `repro::one_by_one_round` the bench measures) plus the cache's
-//! hit/miss/evicted deltas, so a warm-rate regression is visible at a
-//! glance; a throwaway-cache pass of the same rounds prints last for
-//! comparison.
+//! prediction tuples are cascade-deleted, the embeddings train on the
+//! remainder, and the tuples come back round by round.
+//!
+//! * **FoRWaRD** extends on the **persistent** cache, whose journal-replay
+//!   invalidation keeps FK-unreachable entries warm across rounds (deletes
+//!   included, via the journalled fact payloads). Per round it prints the
+//!   wall-clock (restore + extends, via the same `repro::one_by_one_round`
+//!   the bench measures) plus the cache's hit/miss/evicted deltas; a
+//!   throwaway-cache pass of the same rounds prints last for comparison.
+//! * **Node2Vec** extends with the bucketed negative table: per round it
+//!   prints how many nodes the continuation walks dirtied and how many
+//!   sampler buckets were rebuilt out of the total — the sub-linearity
+//!   evidence at a glance.
 //!
 //! Run with `cargo run --release --example profile_extend`. Environment
-//! knobs: `EXACT_LIMIT` (exact-KD support cap, default 128) and `MC_PAIRS`
+//! knobs: `PROFILE_SCALE` (dataset scale, default 0.08), `PROFILE_ASSERT`
+//! (when `1`, fail on cache/sampler stat regressions — the CI smoke mode),
+//! `EXACT_LIMIT` (exact-KD support cap, default 128) and `MC_PAIRS`
 //! (Monte-Carlo pair budget, default 24).
 
-use reldb::cascade_delete;
+use reldb::{cascade_delete, restore_journal};
 use repro::one_by_one_round;
 use std::time::Instant;
+use stembed_core::TupleEmbedder;
 
 const ROUNDS: usize = 4;
 
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 fn main() {
+    let assert_mode = std::env::var("PROFILE_ASSERT").is_ok_and(|v| v == "1");
     let params = datasets::DatasetParams {
-        scale: 0.08,
+        scale: env_f64("PROFILE_SCALE", 0.08),
         ..datasets::DatasetParams::default()
     };
     for name in ["hepatitis", "genes", "mutagenesis", "mondial"] {
         let ds = datasets::by_name(name, &params).expect("dataset");
+        let rounds = ROUNDS.min(ds.labels.len().saturating_sub(1));
         let mut db = ds.db.clone();
-        let mut journals = Vec::with_capacity(ROUNDS);
-        for i in 0..ROUNDS {
+        let mut journals = Vec::with_capacity(rounds);
+        for i in 0..rounds {
             journals.push(cascade_delete(&mut db, ds.labels[i].0, true).expect("cascade"));
         }
         // Mirror benches/dynamic_extend.rs: ExperimentConfig::quick() fwd
@@ -45,14 +69,8 @@ fn main() {
             learning_rate: 0.1,
             nnew_samples: 12,
             kd: stembed_core::kd::KdOptions {
-                exact_limit: std::env::var("EXACT_LIMIT")
-                    .ok()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(128),
-                mc_pairs: std::env::var("MC_PAIRS")
-                    .ok()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(24),
+                exact_limit: env_usize("EXACT_LIMIT", 128),
+                mc_pairs: env_usize("MC_PAIRS", 24),
                 max_attempts: 6,
             },
             ..stembed_core::ForwardConfig::small()
@@ -60,7 +78,7 @@ fn main() {
         let emb = stembed_core::ForwardEmbedding::train(&db, ds.prediction_rel, &cfg, 3)
             .expect("training");
         println!(
-            "{name}: targets={} embedded={} rounds={ROUNDS} nnew={}",
+            "{name}: targets={} embedded={} rounds={rounds} nnew={}",
             emb.targets().len(),
             emb.len(),
             cfg.nnew_samples
@@ -112,6 +130,59 @@ fn main() {
                     "cold (throwaway caches)"
                 }
             );
+            if warm && assert_mode {
+                let s = e.dist_cache().stats();
+                assert!(s.hits > 0, "{name}: warm cache never hit");
+                assert_eq!(
+                    s.invalidations, 0,
+                    "{name}: the restore-only protocol forced a full clear"
+                );
+                assert!(s.replays > 0, "{name}: no journal replay happened");
+            }
+        }
+
+        // Node2Vec: the same rounds on the incrementally-maintained
+        // negative-sampling table (sub-linear: only dirty buckets rebuilt).
+        let mut cfg = repro::ExperimentConfig::quick();
+        cfg.n2v.epochs = 2;
+        let mut db_n = db.clone();
+        let mut n2v = stembed_core::Node2VecEmbedder::train(&db_n, &cfg.n2v, 3);
+        let mut prev = n2v.model().negative_stats();
+        let mut total = 0.0;
+        for (round, journal) in journals.iter().rev().enumerate() {
+            let restored = restore_journal(&mut db_n, journal).expect("restore");
+            let t = Instant::now();
+            n2v.extend(&db_n, &restored, 9 + round as u64)
+                .expect("extend");
+            let dt = t.elapsed().as_secs_f64() * 1e3;
+            total += dt;
+            let s = n2v.model().negative_stats();
+            println!(
+                "  n2v round {round}: {dt:6.2} ms  dirty-nodes={:<5} \
+                 buckets-rebuilt={}/{} (of {} nodes)",
+                s.dirty_nodes - prev.dirty_nodes,
+                s.buckets_rebuilt - prev.buckets_rebuilt,
+                n2v.model().negative_bucket_count(),
+                n2v.model().node_count(),
+            );
+            prev = s;
+        }
+        println!("  n2v total: {total:.2} ms");
+        if assert_mode {
+            let s = n2v.model().negative_stats();
+            // The regression this guards: the extend path silently going
+            // back to full O(n) table rebuilds. (A bucket-count bound is
+            // deliberately NOT asserted — at smoke scale the dirty nodes
+            // scatter across the whole id space and legitimately touch
+            // every bucket; the sub-linear win there is skipping the
+            // per-node re-smoothing, which `updates`/`rebuilds` witness.)
+            assert_eq!(s.rebuilds, 1, "{name}: only the static phase rebuilds");
+            assert_eq!(
+                s.updates,
+                journals.len() as u64,
+                "{name}: every round must catch up incrementally"
+            );
+            assert!(s.dirty_nodes > 0, "{name}: updates recorded no dirty nodes");
         }
     }
 }

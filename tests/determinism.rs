@@ -418,10 +418,17 @@ fn node2vec_sgns_is_bit_identical_across_shard_counts() {
 
 #[test]
 fn node2vec_dynamic_extension_is_bit_identical_across_shard_counts() {
+    // Three retained extend rounds: the model's incrementally-maintained
+    // negative-sampling table and walk arena must stay bit-identical at
+    // every shard count after every round, for every embedded node.
     let (db0, ids) = movies();
     let mut db = db0.clone();
-    let journal = cascade_delete(&mut db, ids["c4"], false).unwrap();
-    let results: Vec<Vec<u64>> = SHARDS
+    let victims = ["c4", "c1", "c2"];
+    let journals: Vec<_> = victims
+        .iter()
+        .map(|v| cascade_delete(&mut db, ids[v], false).unwrap())
+        .collect();
+    let results: Vec<Vec<Vec<u64>>> = SHARDS
         .iter()
         .map(|&s| {
             let mut g = DbGraph::build(&db);
@@ -432,11 +439,20 @@ fn node2vec_dynamic_extension_is_bit_identical_across_shard_counts() {
                 Runtime::new(s),
             );
             let mut db2 = db.clone();
-            restore_journal(&mut db2, &journal).unwrap();
-            let new_nodes = g.extend_with_fact(&db2, ids["c4"]);
-            model.extend(g.graph(), &new_nodes, 3);
-            let node = g.fact_node(ids["c4"]).unwrap();
-            model.embedding(node).iter().map(|v| v.to_bits()).collect()
+            let mut per_round = Vec::new();
+            for (round, journal) in journals.iter().rev().enumerate() {
+                restore_journal(&mut db2, journal).unwrap();
+                let victim = ids[victims[victims.len() - 1 - round]];
+                let new_nodes = g.extend_with_fact(&db2, victim);
+                model.extend(g.graph(), &new_nodes, 3 + round as u64);
+                per_round.push(
+                    g.graph()
+                        .node_ids()
+                        .flat_map(|n| model.embedding(n).iter().map(|v| v.to_bits()))
+                        .collect::<Vec<u64>>(),
+                );
+            }
+            per_round
         })
         .collect();
     for (i, v) in results.iter().enumerate().skip(1) {
