@@ -82,7 +82,8 @@ fn prepare(cfg: &ExperimentConfig) -> Vec<Prepared> {
             }
             let fwd =
                 ForwardEmbedding::train(&db, ds.prediction_rel, &cfg.fwd, 3).expect("training");
-            let n2v = Node2VecEmbedder::train(&db, &cfg.n2v, 3).with_mode(ExtendMode::OneByOne);
+            let n2v = Node2VecEmbedder::train_localized(&db, ds.prediction_rel, &cfg.n2v, 3)
+                .with_mode(ExtendMode::OneByOne);
             Prepared {
                 name,
                 db,

@@ -30,6 +30,36 @@ fn bench_linalg(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_kernel(c: &mut Criterion) {
+    use stembed_runtime::kernel;
+    let mut group = c.benchmark_group("kernel");
+    // SGNS rows at the paper's dim=100.
+    let d = 100usize;
+    let mut rng = DetRng::seed_from_u64(7);
+    let xf: Vec<f32> = (0..d).map(|_| rng.random_range(-1.0..1.0) as f32).collect();
+    let yf: Vec<f32> = (0..d).map(|_| rng.random_range(-1.0..1.0) as f32).collect();
+    // f32 rows, f64 accumulation — the mixed-precision hot ops.
+    group.bench_function("dot_f32_d64", |b| {
+        b.iter(|| black_box(kernel::dot_f32(black_box(&xf), black_box(&yf))))
+    });
+    group.bench_function("axpy_f32_d64", |b| {
+        let mut out = yf.clone();
+        b.iter(|| {
+            kernel::axpy_f32(black_box(0.01), black_box(&xf), &mut out);
+            black_box(out[0])
+        })
+    });
+    group.bench_function("sgns_pair_step", |b| {
+        let mut out = yf.clone();
+        let mut cgrad = vec![0.0f64; d];
+        b.iter(|| {
+            kernel::sgns_pair_step(black_box(0.01), black_box(&xf), &mut out, &mut cgrad);
+            black_box(cgrad[0])
+        })
+    });
+    group.finish();
+}
+
 fn bench_graph(c: &mut Criterion) {
     let mut group = c.benchmark_group("graph");
     let params = datasets::DatasetParams {
@@ -149,6 +179,7 @@ fn bench_svm(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_linalg,
+    bench_kernel,
     bench_graph,
     bench_sampling,
     bench_db,

@@ -34,7 +34,12 @@ pub trait TupleEmbedder {
     fn dim(&self) -> usize;
 
     /// The vector of `fact`, if embedded.
-    fn embedding(&self, fact: FactId) -> Option<&[f64]>;
+    ///
+    /// Returned by value: FoRWaRD stores `f64` rows, but the Node2Vec
+    /// arenas store `f32` (see `PRECISION.md`), so a borrowed `&[f64]`
+    /// is no longer a common denominator. The widening copy is
+    /// `dim`-sized and only taken on the read path.
+    fn embedding(&self, fact: FactId) -> Option<Vec<f64>>;
 
     /// Extend the embedding to `new_facts`, which must already be inserted
     /// into `db`. MUST NOT change any existing embedding.
@@ -122,8 +127,8 @@ impl TupleEmbedder for ForwardEmbedder {
         self.inner.dim()
     }
 
-    fn embedding(&self, fact: FactId) -> Option<&[f64]> {
-        self.inner.embedding(fact)
+    fn embedding(&self, fact: FactId) -> Option<Vec<f64>> {
+        self.inner.embedding(fact).map(|v| v.to_vec())
     }
 
     fn extend(&mut self, db: &Database, new_facts: &[FactId], seed: u64) -> Result<(), CoreError> {
@@ -176,6 +181,50 @@ impl Node2VecEmbedder {
         }
     }
 
+    /// Static phase with **access-locality node ids**: like
+    /// [`Node2VecEmbedder::train`], but the graph is built via
+    /// [`DbGraph::build_localized`], relabelling nodes in BFS order from
+    /// `rel`'s fact nodes before the CSR arrays (and hence the embedding
+    /// arenas and the `BucketAlias` negative table) are laid out. The
+    /// dynamic phase's continuation walks then touch clustered ids —
+    /// fewer negative-table bucket rebuilds and better arena locality.
+    ///
+    /// Fact-level results are identical in distribution but not
+    /// bitwise-equal to [`Node2VecEmbedder::train`] (walk RNG streams are
+    /// keyed per node id); both are individually deterministic.
+    pub fn train_localized(
+        db: &Database,
+        rel: RelationId,
+        config: &Node2VecConfig,
+        seed: u64,
+    ) -> Self {
+        let graph = DbGraph::build_localized(db, rel);
+        let model = Node2VecModel::train(graph.graph(), config, seed);
+        Node2VecEmbedder {
+            graph,
+            model,
+            mode: ExtendMode::OneByOne,
+        }
+    }
+
+    /// [`Node2VecEmbedder::train_localized`] on an explicit execution
+    /// runtime.
+    pub fn train_localized_with_runtime(
+        db: &Database,
+        rel: RelationId,
+        config: &Node2VecConfig,
+        seed: u64,
+        runtime: stembed_runtime::Runtime,
+    ) -> Self {
+        let graph = DbGraph::build_localized(db, rel);
+        let model = Node2VecModel::train_with_runtime(graph.graph(), config, seed, runtime);
+        Node2VecEmbedder {
+            graph,
+            model,
+            mode: ExtendMode::OneByOne,
+        }
+    }
+
     /// Select the dynamic-phase walk-resampling mode.
     pub fn with_mode(mut self, mode: ExtendMode) -> Self {
         self.mode = mode;
@@ -198,9 +247,15 @@ impl TupleEmbedder for Node2VecEmbedder {
         self.model.dim()
     }
 
-    fn embedding(&self, fact: FactId) -> Option<&[f64]> {
+    fn embedding(&self, fact: FactId) -> Option<Vec<f64>> {
         let node = self.graph.fact_node(fact)?;
-        Some(self.model.embedding(node))
+        Some(
+            self.model
+                .embedding(node)
+                .iter()
+                .map(|&v| f64::from(v))
+                .collect(),
+        )
     }
 
     fn extend(&mut self, db: &Database, new_facts: &[FactId], seed: u64) -> Result<(), CoreError> {
@@ -276,11 +331,11 @@ mod tests {
         let actor_facts: Vec<FactId> = db.fact_ids(actors).into_iter().collect();
         let fwd_before: Vec<Vec<f64>> = actor_facts
             .iter()
-            .map(|&f| fwd.embedding(f).unwrap().to_vec())
+            .map(|&f| fwd.embedding(f).unwrap())
             .collect();
         let n2v_before: Vec<Vec<f64>> = actor_facts
             .iter()
-            .map(|&f| n2v.embedding(f).unwrap().to_vec())
+            .map(|&f| n2v.embedding(f).unwrap())
             .collect();
 
         let restored = restore_journal(&mut db, &journal).unwrap();
@@ -310,7 +365,7 @@ mod tests {
         let before: Vec<(FactId, Vec<f64>)> = db
             .fact_ids(actors)
             .into_iter()
-            .map(|f| (f, n2v.embedding(f).unwrap().to_vec()))
+            .map(|f| (f, n2v.embedding(f).unwrap()))
             .collect();
         let restored = restore_journal(&mut db, &journal).unwrap();
         n2v.extend(&db, &restored, 1).unwrap();
@@ -324,7 +379,7 @@ mod tests {
     fn extend_is_idempotent_for_known_facts() {
         let (db, ids) = movies_database_labeled();
         let mut n2v = Node2VecEmbedder::train(&db, &Node2VecConfig::small(), 2);
-        let before = n2v.embedding(ids["a1"]).unwrap().to_vec();
+        let before = n2v.embedding(ids["a1"]).unwrap();
         // Extending with an already-embedded fact is a no-op.
         n2v.extend(&db, &[ids["a1"]], 9).unwrap();
         assert_eq!(n2v.embedding(ids["a1"]).unwrap(), before.as_slice());

@@ -3,25 +3,29 @@
 //! These are the hot kernels of both embedding trainers: every SGD step of
 //! FoRWaRD and every skip-gram update of Node2Vec bottoms out in dot
 //! products and axpy updates on embedding vectors.
+//!
+//! `dot` and `axpy` are thin forwarding wrappers over the shared
+//! vectorised kernels in [`stembed_runtime::kernel`] (fixed-lane f64
+//! accumulation, runtime-dispatched wide/scalar paths), so every solver
+//! caller — matvec, QR, Cholesky, the FoRWaRD minibatch step — picks up
+//! the vectorised path without touching its call sites. Note the lane
+//! split reassociates the reduction relative to the old serial chain:
+//! results changed at the last-ulp level when this landed (see
+//! PRECISION.md), deterministically.
 
-/// Dot product `xᵀy`. Panics if the lengths differ (programmer error).
+use stembed_runtime::kernel;
+
+/// Dot product `xᵀy`, on the shared fixed-lane kernel. Lengths must
+/// match (programmer error otherwise).
 #[inline]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
-    debug_assert_eq!(x.len(), y.len(), "dot: length mismatch");
-    let mut acc = 0.0;
-    for (a, b) in x.iter().zip(y.iter()) {
-        acc += a * b;
-    }
-    acc
+    kernel::dot(x, y)
 }
 
-/// `y ← y + alpha * x` (BLAS `axpy`).
+/// `y ← y + alpha * x` (BLAS `axpy`), on the shared kernel.
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x.iter()) {
-        *yi += alpha * xi;
-    }
+    kernel::axpy(alpha, x, y)
 }
 
 /// `x ← alpha * x`.

@@ -20,6 +20,13 @@ pub struct Node2VecConfig {
     pub epochs: usize,
     /// Epochs for the dynamic continuation (paper: 5).
     pub dynamic_epochs: usize,
+    /// Cap on continuation-SGD work per `extend`, in **trained tokens**
+    /// (corpus tokens × epochs). The effective epoch count is
+    /// `clamp(budget / corpus_tokens, 1, dynamic_epochs)` — proportional
+    /// to the continuation-corpus size, so a one-tuple extension keeps
+    /// all `dynamic_epochs` passes while a full all-at-once re-walk
+    /// cannot cost more than the budget. `0` disables the cap.
+    pub dynamic_token_budget: usize,
     /// Initial learning rate, linearly decayed to 1e-4 of itself.
     pub learning_rate: f64,
     /// Node2Vec return parameter `p`.
@@ -38,6 +45,11 @@ impl Default for Node2VecConfig {
             negatives: 20,
             epochs: 10,
             dynamic_epochs: 5,
+            // At the default 40 walks × 30 steps, a one-by-one cascade
+            // group of up to ~300 new nodes still trains all 5 epochs;
+            // only corpus-scale continuations (all-at-once re-walks over
+            // large graphs) are throttled.
+            dynamic_token_budget: 2_000_000,
             learning_rate: 0.025,
             p: 1.0,
             q: 1.0,
@@ -56,10 +68,25 @@ impl Node2VecConfig {
             negatives: 5,
             epochs: 3,
             dynamic_epochs: 2,
+            // Generous at unit-test graph sizes: the cap exists but does
+            // not bind (dedicated tests exercise the binding case).
+            dynamic_token_budget: 1_000_000,
             learning_rate: 0.05,
             p: 1.0,
             q: 1.0,
         }
+    }
+
+    /// Effective continuation epochs for a corpus of `tokens` walk
+    /// tokens: `dynamic_epochs`, throttled so `epochs × tokens` stays
+    /// within [`Node2VecConfig::dynamic_token_budget`] (never below one
+    /// epoch). Shared by the production extend path and the
+    /// retained≡fresh test mirror — both must budget identically.
+    pub fn dynamic_epochs_for(&self, tokens: usize) -> usize {
+        if self.dynamic_token_budget == 0 || tokens == 0 {
+            return self.dynamic_epochs;
+        }
+        (self.dynamic_token_budget / tokens).clamp(1, self.dynamic_epochs)
     }
 
     /// The walk-sampling slice of the configuration.
@@ -87,6 +114,32 @@ mod tests {
         assert_eq!(c.negatives, 20);
         assert_eq!(c.epochs, 10);
         assert_eq!(c.dynamic_epochs, 5);
+    }
+
+    #[test]
+    fn dynamic_epoch_budget_is_proportional_and_clamped() {
+        let c = Node2VecConfig {
+            dynamic_epochs: 5,
+            dynamic_token_budget: 1_000,
+            ..Node2VecConfig::small()
+        };
+        // Small continuation corpora keep every epoch.
+        assert_eq!(c.dynamic_epochs_for(100), 5);
+        assert_eq!(c.dynamic_epochs_for(200), 5);
+        // Larger corpora are throttled proportionally…
+        assert_eq!(c.dynamic_epochs_for(400), 2);
+        // …but never below one full pass.
+        assert_eq!(c.dynamic_epochs_for(5_000), 1);
+        // Degenerate inputs: no corpus / no budget → the configured count.
+        assert_eq!(c.dynamic_epochs_for(0), 5);
+        let uncapped = Node2VecConfig {
+            dynamic_token_budget: 0,
+            ..c
+        };
+        assert_eq!(
+            uncapped.dynamic_epochs_for(usize::MAX),
+            uncapped.dynamic_epochs
+        );
     }
 
     #[test]

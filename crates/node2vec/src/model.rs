@@ -37,6 +37,46 @@ pub struct Node2VecModel {
     dirty_buf: Vec<usize>,
     /// Execution runtime for walk sampling (static and dynamic phases).
     runtime: Runtime,
+    /// Wall-clock split of the most recent [`Node2VecModel::extend`]
+    /// (diagnostics only — never feeds back into any computation).
+    last_timing: ExtendTiming,
+}
+
+/// Wall-clock split of one `extend` call, for profiling: how much of the
+/// round went to walk sampling, to the incremental negative-table
+/// update, and to the SGNS continuation (the gradient-kernel hot loop).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExtendTiming {
+    /// Seconds sampling the continuation walk corpus.
+    pub walk_secs: f64,
+    /// Seconds catching up the negative-sampling table.
+    pub table_secs: f64,
+    /// Seconds in the SGNS continuation SGD (the mixed-precision
+    /// kernel path).
+    pub train_secs: f64,
+    /// Tokens in the continuation walk corpus the SGD consumed.
+    pub corpus_tokens: usize,
+    /// Effective epochs after the per-extend token budget
+    /// ([`crate::Node2VecConfig::dynamic_epochs_for`]).
+    pub epochs: usize,
+}
+
+impl ExtendTiming {
+    /// Total seconds across the three phases.
+    pub fn total_secs(&self) -> f64 {
+        self.walk_secs + self.table_secs + self.train_secs
+    }
+
+    /// Fraction of the round spent in the SGNS gradient kernels
+    /// (0 when nothing was timed).
+    pub fn kernel_share(&self) -> f64 {
+        let total = self.total_secs();
+        if total > 0.0 {
+            self.train_secs / total
+        } else {
+            0.0
+        }
+    }
 }
 
 impl Node2VecModel {
@@ -77,6 +117,7 @@ impl Node2VecModel {
             walk_buf: WalkCorpus::default(),
             dirty_buf: Vec::new(),
             runtime,
+            last_timing: ExtendTiming::default(),
         }
     }
 
@@ -116,28 +157,49 @@ impl Node2VecModel {
         // nodes' buckets (sub-linear in the node count). Both are
         // byte-identical to fresh construction, so the continuation
         // training consumes exactly the same random streams.
+        let t0 = std::time::Instant::now();
         let walker = Walker::with_runtime(graph, self.config.walk_config(), seed, self.runtime);
         let mut corpus = std::mem::take(&mut self.walk_buf);
         walker.corpus_from_into(walk_starts, &mut corpus);
+        let t1 = std::time::Instant::now();
         let mut dirty = std::mem::take(&mut self.dirty_buf);
         count_tokens_dirty(&corpus, &mut self.counts, &mut dirty);
         self.negatives.update(&dirty, &self.counts);
         self.dirty_buf = dirty;
+        let t2 = std::time::Instant::now();
+        // Per-extend epoch budget: continuation work scales with the
+        // corpus, capped by `dynamic_token_budget` (tokens × epochs).
+        let epochs = self.config.dynamic_epochs_for(corpus.total_tokens());
         self.sgns.train(
             &corpus,
             &self.negatives,
             self.config.window,
             self.config.negatives,
-            self.config.dynamic_epochs,
+            epochs,
             self.config.learning_rate,
             seed ^ 0xdead,
         );
+        let t3 = std::time::Instant::now();
+        self.last_timing = ExtendTiming {
+            walk_secs: (t1 - t0).as_secs_f64(),
+            table_secs: (t2 - t1).as_secs_f64(),
+            train_secs: (t3 - t2).as_secs_f64(),
+            corpus_tokens: corpus.total_tokens(),
+            epochs,
+        };
         self.walk_buf = corpus;
     }
 
-    /// The embedding of a node.
-    pub fn embedding(&self, node: NodeId) -> &[f64] {
+    /// The embedding of a node (f32 storage; widen per element where a
+    /// downstream task needs f64 features).
+    pub fn embedding(&self, node: NodeId) -> &[f32] {
         self.sgns.embedding(node)
+    }
+
+    /// Wall-clock split of the most recent `extend` call (all zeros
+    /// before the first extension).
+    pub fn last_extend_timing(&self) -> ExtendTiming {
+        self.last_timing
     }
 
     /// Embedding dimension.
@@ -238,7 +300,7 @@ mod tests {
         let journal = reldb::cascade_delete(&mut db, ids["c4"], false).unwrap();
         let mut g = DbGraph::build(&db);
         let mut model = Node2VecModel::train(g.graph(), &small_cfg(), 42);
-        let old_embeddings: Vec<Vec<f64>> = g
+        let old_embeddings: Vec<Vec<f32>> = g
             .graph()
             .node_ids()
             .map(|id| model.embedding(id).to_vec())
@@ -271,7 +333,7 @@ mod tests {
         let (db, _) = movies_database_labeled();
         let g = DbGraph::build(&db);
         let mut model = Node2VecModel::train(g.graph(), &small_cfg(), 4);
-        let before: Vec<Vec<f64>> = g
+        let before: Vec<Vec<f32>> = g
             .graph()
             .node_ids()
             .map(|id| model.embedding(id).to_vec())
@@ -317,12 +379,14 @@ mod tests {
             let corpus = walker.corpus_from(new_nodes);
             count_tokens(&corpus, &mut model.counts);
             let table = NegativeTable::new(&model.counts);
+            // Same per-extend epoch budget as the production path.
+            let epochs = model.config.dynamic_epochs_for(corpus.total_tokens());
             model.sgns.train(
                 &corpus,
                 &table,
                 model.config.window,
                 model.config.negatives,
-                model.config.dynamic_epochs,
+                epochs,
                 model.config.learning_rate,
                 seed ^ 0xdead,
             );
@@ -348,8 +412,8 @@ mod tests {
             retained.extend(g.graph(), &new_nodes, 100 + round as u64);
             extend_fresh(&mut fresh, g.graph(), &new_nodes, 100 + round as u64);
             for id in g.graph().node_ids() {
-                let a: Vec<u64> = retained.embedding(id).iter().map(|v| v.to_bits()).collect();
-                let b: Vec<u64> = fresh.embedding(id).iter().map(|v| v.to_bits()).collect();
+                let a: Vec<u32> = retained.embedding(id).iter().map(|v| v.to_bits()).collect();
+                let b: Vec<u32> = fresh.embedding(id).iter().map(|v| v.to_bits()).collect();
                 assert_eq!(a, b, "round {round}: node {id:?} diverged");
             }
         }
@@ -363,7 +427,7 @@ mod tests {
         let (db, _) = movies_database_labeled();
         let g = DbGraph::build(&db);
         let mut model = Node2VecModel::train(g.graph(), &small_cfg(), 1);
-        let before: Vec<Vec<f64>> = g
+        let before: Vec<Vec<f32>> = g
             .graph()
             .node_ids()
             .map(|id| model.embedding(id).to_vec())

@@ -17,9 +17,19 @@
 //! bounds checks in the hot path, no per-pair allocation, O(1) negative
 //! draws via the bucketed-alias [`NegativeTable`] (whose two-level layout
 //! also gives the dynamic phase sub-linear table maintenance).
+//!
+//! The embedding arenas are stored **f32** and every gradient runs
+//! through the shared mixed-precision kernels
+//! ([`stembed_runtime::kernel`]): dots and the per-group center gradient
+//! accumulate in f64, elementwise row updates stay f32. Half the
+//! memory traffic of the former f64 arenas, twice the SIMD lanes, and —
+//! because the kernels use a fixed-lane, fixed-order schedule — the same
+//! determinism contract (seed / shard-count / retained≡fresh
+//! bit-identity; see PRECISION.md).
 
 use crate::NegativeTable;
 use dbgraph::{NodeId, WalkCorpus};
+use stembed_runtime::kernel;
 use stembed_runtime::rng::DetRng;
 use stembed_runtime::AliasTable;
 
@@ -34,86 +44,65 @@ const SIGMOID_SCALE: f64 = TABLE_SIZE as f64 / (2.0 * MAX_EXP);
 /// Probability clamp for the BCE log (word2vec's epsilon).
 const LOSS_EPS: f64 = 1e-7;
 
-fn build_sigmoid_table() -> Vec<f64> {
+/// One sigmoid bin: the prediction plus both precomputed BCE losses,
+/// **interleaved** so the hot loop's lookup touches one cache line
+/// (three separate 8 KiB tables cost up to three lines per pair and
+/// compete with the embedding rows for L1).
+#[derive(Debug, Clone, Copy)]
+struct SigmoidBin {
+    /// σ(x) at the bin's center.
+    sigmoid: f64,
+    /// `−ln(clamp(σᵢ))` — BCE of a positive pair landing in this bin.
+    pos_loss: f64,
+    /// `−ln(1 − clamp(σᵢ))` — BCE of a negative pair in this bin.
+    neg_loss: f64,
+}
+
+/// Precompute the interleaved sigmoid/loss table so the training loop
+/// never calls `exp` or `ln`. Loss values are identical to computing the
+/// logs inline — the prediction is already table-quantised.
+fn build_sigmoid_bins() -> Vec<SigmoidBin> {
     (0..TABLE_SIZE)
         .map(|i| {
             let x = (i as f64 / TABLE_SIZE as f64) * 2.0 * MAX_EXP - MAX_EXP;
-            1.0 / (1.0 + (-x).exp())
+            let s = 1.0 / (1.0 + (-x).exp());
+            let c = s.clamp(LOSS_EPS, 1.0 - LOSS_EPS);
+            SigmoidBin {
+                sigmoid: s,
+                pos_loss: -c.ln(),
+                neg_loss: -(1.0 - c).ln(),
+            }
         })
         .collect()
 }
 
-/// Per-bin BCE losses, precomputed so the training loop never calls `ln`:
-/// `pos_loss[i] = −ln(clamp(σᵢ))` (label 1) and
-/// `neg_loss[i] = −ln(1 − clamp(σᵢ))` (label 0). Identical values to
-/// computing the logs inline — the prediction is already table-quantised.
-fn build_loss_tables(sigmoid: &[f64]) -> (Vec<f64>, Vec<f64>) {
-    let pos = sigmoid
-        .iter()
-        .map(|&s| -s.clamp(LOSS_EPS, 1.0 - LOSS_EPS).ln())
-        .collect();
-    let neg = sigmoid
-        .iter()
-        .map(|&s| -(1.0 - s.clamp(LOSS_EPS, 1.0 - LOSS_EPS)).ln())
-        .collect();
-    (pos, neg)
-}
-
-/// Fused dot product over two contiguous rows, unrolled into four
-/// independent accumulators: a naive `zip().sum()` over `f64` is a serial
-/// dependency chain the compiler may not reassociate, so the unroll is
-/// what lets the lanes execute in parallel.
-#[inline]
-fn dot(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    let ac = a.chunks_exact(4);
-    let bc = b.chunks_exact(4);
-    let mut tail = 0.0;
-    for (x, y) in ac.remainder().iter().zip(bc.remainder()) {
-        tail += x * y;
-    }
-    let mut acc = [0.0f64; 4];
-    for (ca, cb) in ac.zip(bc) {
-        acc[0] += ca[0] * cb[0];
-        acc[1] += ca[1] * cb[1];
-        acc[2] += ca[2] * cb[2];
-        acc[3] += ca[3] * cb[3];
-    }
-    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
-}
-
-/// `y ← y + a·x` over contiguous rows.
-#[inline]
-fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
-    debug_assert_eq!(x.len(), y.len());
-    for (yk, xk) in y.iter_mut().zip(x) {
-        *yk += a * xk;
-    }
-}
-
-/// The embedding matrices plus the freeze mask.
+/// The embedding matrices plus the freeze mask. Rows are stored `f32`;
+/// all row arithmetic goes through the fixed-lane mixed-precision
+/// kernels (the former hand-unrolled local `dot`/`axpy` were deduped
+/// into [`stembed_runtime::kernel`]).
 #[derive(Debug, Clone)]
 pub struct SgnsModel {
     dim: usize,
-    /// Input ("center") vectors, node-major.
-    in_vecs: Vec<f64>,
-    /// Output ("context") vectors, node-major.
-    out_vecs: Vec<f64>,
+    /// Input ("center") vectors, node-major, f32 storage.
+    in_vecs: Vec<f32>,
+    /// Output ("context") vectors, node-major, f32 storage.
+    out_vecs: Vec<f32>,
     /// Frozen nodes receive no gradient updates.
     frozen: Vec<bool>,
-    sigmoid: Vec<f64>,
-    /// `−ln(clamp(σᵢ))` per sigmoid bin (positive-pair BCE).
-    pos_loss: Vec<f64>,
-    /// `−ln(1 − clamp(σᵢ))` per sigmoid bin (negative-pair BCE).
-    neg_loss: Vec<f64>,
+    /// Interleaved σ / BCE-loss bins (one cache line per lookup).
+    bins: Vec<SigmoidBin>,
     /// BCE of a saturated *correct* prediction: `−ln(1 − LOSS_EPS)`.
     sat_small: f64,
     /// BCE of a saturated *wrong* prediction: `−ln(LOSS_EPS)`.
     sat_large: f64,
-    /// Per-group center-gradient scratch, kept across [`SgnsModel::train`]
-    /// calls so the dynamic phase's per-round continuation training
-    /// allocates nothing.
+    /// Per-group center-gradient scratch (f64 accumulator), kept across
+    /// [`SgnsModel::train`] calls so the dynamic phase's per-round
+    /// continuation training allocates nothing.
     scratch: Vec<f64>,
+    /// Per-group negative-draw scratch (see [`SgnsModel::train_group`]:
+    /// draws are batched ahead of the gradient passes so the context-row
+    /// cache misses overlap instead of serialising behind the RNG).
+    neg_buf: Vec<usize>,
 }
 
 /// Thinned negative sampling for **frozen centers** (dynamic phase).
@@ -212,24 +201,23 @@ impl SgnsModel {
     pub fn new(nodes: usize, dim: usize, seed: u64) -> Self {
         let mut rng = DetRng::seed_from_u64(seed);
         let bound = 0.5 / dim as f64;
+        // Draws stay f64 (same RNG stream shape as the f64-storage
+        // revisions); only the stored value rounds to f32.
         let in_vecs = (0..nodes * dim)
-            .map(|_| rng.random_range(-bound..=bound))
+            .map(|_| rng.random_range(-bound..=bound) as f32)
             .collect();
         // Out vectors start at zero, as in word2vec.
-        let out_vecs = vec![0.0; nodes * dim];
-        let sigmoid = build_sigmoid_table();
-        let (pos_loss, neg_loss) = build_loss_tables(&sigmoid);
+        let out_vecs = vec![0.0f32; nodes * dim];
         SgnsModel {
             dim,
             in_vecs,
             out_vecs,
             frozen: vec![false; nodes],
-            sigmoid,
-            pos_loss,
-            neg_loss,
+            bins: build_sigmoid_bins(),
             sat_small: -(1.0 - LOSS_EPS).ln(),
             sat_large: -LOSS_EPS.ln(),
             scratch: Vec::new(),
+            neg_buf: Vec::new(),
         }
     }
 
@@ -244,8 +232,9 @@ impl SgnsModel {
     }
 
     /// The (input) embedding of a node — this is the vector exposed to
-    /// downstream tasks.
-    pub fn embedding(&self, node: NodeId) -> &[f64] {
+    /// downstream tasks. Stored f32; widen per element where a task
+    /// needs f64 features.
+    pub fn embedding(&self, node: NodeId) -> &[f32] {
         let i = node.index();
         &self.in_vecs[i * self.dim..(i + 1) * self.dim]
     }
@@ -271,9 +260,9 @@ impl SgnsModel {
         let mut rng = DetRng::seed_from_u64(seed);
         let bound = 0.5 / self.dim as f64;
         self.in_vecs
-            .extend((0..added * self.dim).map(|_| rng.random_range(-bound..=bound)));
+            .extend((0..added * self.dim).map(|_| rng.random_range(-bound..=bound) as f32));
         self.out_vecs
-            .extend(std::iter::repeat_n(0.0, added * self.dim));
+            .extend(std::iter::repeat_n(0.0f32, added * self.dim));
         self.frozen.extend(std::iter::repeat_n(false, added));
     }
 
@@ -282,8 +271,9 @@ impl SgnsModel {
     /// gradient into `cgrad` when `learn_center` (applied once per group by
     /// the caller) and updates the context row in place unless it is
     /// frozen. Returns the pair's BCE loss *before* the update.
-    #[inline]
-    fn pair_grad(
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn pair_grad<K: kernel::Kernels, const DIM: usize>(
         &mut self,
         center: usize,
         context: usize,
@@ -292,11 +282,30 @@ impl SgnsModel {
         learn_center: bool,
         cgrad: &mut [f64],
     ) -> f64 {
-        let dim = self.dim;
-        let x = dot(
+        let dim = if DIM > 0 { DIM } else { self.dim };
+        let x = K::dot_f32(
             &self.in_vecs[center * dim..center * dim + dim],
             &self.out_vecs[context * dim..context * dim + dim],
         );
+        self.pair_grad_with::<K, DIM>(x, center, context, label, lr, learn_center, cgrad)
+    }
+
+    /// [`SgnsModel::pair_grad`] with the logit already computed — the
+    /// batched group path ([`SgnsModel::train_group`]) evaluates all of a
+    /// group's dots up front and feeds them through here.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn pair_grad_with<K: kernel::Kernels, const DIM: usize>(
+        &mut self,
+        x: f64,
+        center: usize,
+        context: usize,
+        label: f64,
+        lr: f64,
+        learn_center: bool,
+        cgrad: &mut [f64],
+    ) -> f64 {
+        let dim = if DIM > 0 { DIM } else { self.dim };
         // Prediction and BCE loss from the shared bin — no `ln` in the loop
         // (the saturated losses are precomputed in `new`).
         let positive = label > 0.5;
@@ -320,12 +329,9 @@ impl SgnsModel {
             )
         } else {
             let idx = (((x + MAX_EXP) * SIGMOID_SCALE) as usize).min(TABLE_SIZE - 1);
-            let loss = if positive {
-                self.pos_loss[idx]
-            } else {
-                self.neg_loss[idx]
-            };
-            (self.sigmoid[idx], loss)
+            let bin = &self.bins[idx];
+            let loss = if positive { bin.pos_loss } else { bin.neg_loss };
+            (bin.sigmoid, loss)
         };
         let in_row = &self.in_vecs[center * dim..center * dim + dim];
         let out_row = &mut self.out_vecs[context * dim..context * dim + dim];
@@ -333,24 +339,18 @@ impl SgnsModel {
         match (self.frozen[context], learn_center) {
             (true, false) => {} // both ends frozen: loss only
             (true, true) => {
-                // Context row untouched; the center still learns from it.
-                axpy(g, out_row, cgrad);
+                // Context row untouched; the center still learns from it
+                // (f32 products into the f64 gradient accumulator).
+                K::axpy_f32_acc(g, out_row, cgrad);
             }
             (false, false) => {
                 // Frozen center: only the context row moves.
-                axpy(-g, in_row, out_row);
+                K::axpy_f32(-g, in_row, out_row);
             }
             (false, true) => {
-                // Fused elementwise pass with compiler-visible equal
-                // lengths: cgrad += g·out (pre-update value), out -= g·in.
-                let cgrad = &mut cgrad[..dim];
-                let out_row = &mut out_row[..dim];
-                let in_row = &in_row[..dim];
-                for k in 0..dim {
-                    let o = out_row[k];
-                    cgrad[k] += g * o;
-                    out_row[k] -= g * in_row[k];
-                }
+                // Fused pass: cgrad += g·out (pre-update value, f64
+                // accumulation), out ← out − g·in (f32 elementwise).
+                K::sgns_pair_step(g, in_row, out_row, cgrad);
             }
         }
         loss
@@ -370,9 +370,30 @@ impl SgnsModel {
     /// dominant saving of the dynamic continuation, where walks from new
     /// nodes traverse mostly frozen old nodes. Loss *diagnostics*
     /// ([`TrainStats`]) only cover the pairs actually computed.
-    #[allow(clippy::too_many_arguments)]
+    /// Issue a prefetch for `node`'s context row (the gradient pass will
+    /// stream it shortly). Negative draws index the arenas essentially at
+    /// random, so without this every group serialises RNG → row miss →
+    /// gradient; prefetching at draw time lets the misses overlap.
     #[inline]
-    fn train_group(
+    fn prefetch_out_row(&self, node: usize) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: prefetch is a hint with no architectural effect; the
+        // address is in (or one row past) the arena allocation.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let p = self.out_vecs.as_ptr().add(node * self.dim).cast::<i8>();
+            _mm_prefetch(p, _MM_HINT_T0);
+            // Rows are ≥ 2 cache lines for dim ≥ 17; fetch the second
+            // line too and let the hardware stride prefetcher take over.
+            _mm_prefetch(p.add(64), _MM_HINT_T0);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = node;
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn train_group<K: kernel::Kernels, const DIM: usize>(
         &mut self,
         center: usize,
         context: usize,
@@ -382,15 +403,18 @@ impl SgnsModel {
         rng: &mut DetRng,
         lr: f64,
         cgrad: &mut [f64],
+        negs: &mut Vec<usize>,
     ) -> f64 {
         let learn_center = !self.frozen[center];
         if learn_center {
             cgrad.fill(0.0);
         }
-        let mut loss = 0.0;
-        if learn_center || !self.frozen[context] {
-            loss += self.pair_grad(center, context, 1.0, lr, learn_center, cgrad);
-        }
+        // Draw the group's negatives *before* any gradient work (same RNG
+        // stream, same effective pairs in the same order — bit-identical
+        // output). Batching breaks the serial chain sample → row miss →
+        // gradient: all effective rows are prefetched while the positive
+        // pair computes, so their cache misses overlap.
+        negs.clear();
         match (learn_center, thinned) {
             (false, Some(thin)) => {
                 // Frozen center: only unfrozen negatives update anything.
@@ -400,7 +424,8 @@ impl SgnsModel {
                     if neg == context {
                         continue;
                     }
-                    loss += self.pair_grad(center, neg, 0.0, lr, false, cgrad);
+                    negs.push(neg);
+                    self.prefetch_out_row(neg);
                 }
             }
             _ => {
@@ -410,16 +435,76 @@ impl SgnsModel {
                         continue;
                     }
                     if learn_center || !self.frozen[neg] {
-                        loss += self.pair_grad(center, neg, 0.0, lr, learn_center, cgrad);
+                        negs.push(neg);
+                        self.prefetch_out_row(neg);
                     }
                 }
             }
         }
+        let mut loss = 0.0;
+        let do_pos = learn_center || !self.frozen[context];
+        // Batch the group's dots ahead of the gradient passes: every
+        // pair's logit reads rows no earlier pair in the group updates —
+        // as long as the drawn negatives are distinct — so hoisting the
+        // dots out of the branchy sigmoid/update sequence computes the
+        // exact same IEEE values while the 7 independent reductions
+        // pipeline instead of serialising behind each pair's updates. A
+        // group with a repeated negative (rare: ~negatives²/2 in the
+        // table size) falls back to the strict interleaved order, where
+        // the second draw's dot must observe the first's row update.
+        const BATCH: usize = 32;
+        let distinct = negs.len() < BATCH && {
+            let mut ok = true;
+            for i in 1..negs.len() {
+                ok &= !negs[..i].contains(&negs[i]);
+            }
+            ok
+        };
+        if distinct {
+            let mut xs = [0.0f64; BATCH];
+            let dim = if DIM > 0 { DIM } else { self.dim };
+            {
+                let in_row = &self.in_vecs[center * dim..center * dim + dim];
+                let mut k = 0;
+                if do_pos {
+                    xs[k] = K::dot_f32(in_row, &self.out_vecs[context * dim..context * dim + dim]);
+                    k += 1;
+                }
+                for &neg in negs.iter() {
+                    xs[k] = K::dot_f32(in_row, &self.out_vecs[neg * dim..neg * dim + dim]);
+                    k += 1;
+                }
+            }
+            let mut k = 0;
+            if do_pos {
+                loss += self.pair_grad_with::<K, DIM>(
+                    xs[k],
+                    center,
+                    context,
+                    1.0,
+                    lr,
+                    learn_center,
+                    cgrad,
+                );
+                k += 1;
+            }
+            for &neg in negs.iter() {
+                loss +=
+                    self.pair_grad_with::<K, DIM>(xs[k], center, neg, 0.0, lr, learn_center, cgrad);
+                k += 1;
+            }
+        } else {
+            if do_pos {
+                loss += self.pair_grad::<K, DIM>(center, context, 1.0, lr, learn_center, cgrad);
+            }
+            for &neg in negs.iter() {
+                loss += self.pair_grad::<K, DIM>(center, neg, 0.0, lr, learn_center, cgrad);
+            }
+        }
         if learn_center {
-            let dim = self.dim;
-            axpy(
-                -1.0,
-                cgrad,
+            let dim = if DIM > 0 { DIM } else { self.dim };
+            K::apply_center_grad(
+                &cgrad[..dim],
                 &mut self.in_vecs[center * dim..center * dim + dim],
             );
         }
@@ -430,9 +515,107 @@ impl SgnsModel {
     /// within `window`, one positive update plus `negatives` negative
     /// updates sampled from `table`. The learning rate decays linearly over
     /// the total update schedule.
+    ///
+    /// Kernel dispatch is hoisted **here**, not per row operation: the
+    /// loop body is monomorphised over a [`kernel::Kernels`] family and
+    /// the [`kernel::active_path`] match happens once per `train` call.
+    /// On the AVX2 path the [`kernel::WideKernels`] instantiation is
+    /// wrapped in a `#[target_feature(enable = "avx2")]` function, so
+    /// the kernels inline into the pair loop and revectorise at 256
+    /// bits — at ~45 ns per pair, the per-call dispatch + call overhead
+    /// of the module-level kernel wrappers was a measurable slice of
+    /// the whole continuation SGD. All three instantiations execute the
+    /// same fixed-lane IEEE schedule, so outputs are bit-identical
+    /// (asserted by `train_paths_agree_bitwise`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn train(
+        &mut self,
+        corpus: &WalkCorpus,
+        table: &NegativeTable,
+        window: usize,
+        negatives: usize,
+        epochs: usize,
+        lr0: f64,
+        seed: u64,
+    ) -> TrainStats {
+        // Specialise the loop for the common embedding dimensions so the
+        // kernels see a compile-time trip count (fully unrolled lane
+        // loops, no remainder code). `0` is the sentinel for "read
+        // `self.dim` at runtime" — same code, generic loops.
+        match self.dim {
+            32 => self.train_path::<32>(corpus, table, window, negatives, epochs, lr0, seed),
+            64 => self.train_path::<64>(corpus, table, window, negatives, epochs, lr0, seed),
+            128 => self.train_path::<128>(corpus, table, window, negatives, epochs, lr0, seed),
+            _ => self.train_path::<0>(corpus, table, window, negatives, epochs, lr0, seed),
+        }
+    }
+
+    /// Second dispatch level: pick the kernel family once per `train`
+    /// call (see [`SgnsModel::train`] — this match used to sit inside
+    /// every row operation).
+    #[allow(clippy::too_many_arguments)]
+    fn train_path<const DIM: usize>(
+        &mut self,
+        corpus: &WalkCorpus,
+        table: &NegativeTable,
+        window: usize,
+        negatives: usize,
+        epochs: usize,
+        lr0: f64,
+        seed: u64,
+    ) -> TrainStats {
+        match kernel::active_path() {
+            kernel::KernelPath::Scalar => self.train_with::<kernel::ScalarKernels, DIM>(
+                corpus, table, window, negatives, epochs, lr0, seed,
+            ),
+            kernel::KernelPath::Wide => self.train_with::<kernel::WideKernels, DIM>(
+                corpus, table, window, negatives, epochs, lr0, seed,
+            ),
+            kernel::KernelPath::Avx2 => {
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: `Avx2` is only selected after runtime AVX2
+                // detection (see `KernelPath::from_env`).
+                unsafe {
+                    self.train_avx2::<DIM>(corpus, table, window, negatives, epochs, lr0, seed)
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                self.train_with::<kernel::WideKernels, DIM>(
+                    corpus, table, window, negatives, epochs, lr0, seed,
+                )
+            }
+        }
+    }
+
+    /// The wide train body compiled with AVX2 enabled: everything from
+    /// the walk loop down to the kernel lane loops inlines into this
+    /// function (`#[inline(always)]` chain), so LLVM vectorises the
+    /// per-pair math with 256-bit registers. Same IEEE op sequence as
+    /// every other instantiation.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn train_avx2<const DIM: usize>(
+        &mut self,
+        corpus: &WalkCorpus,
+        table: &NegativeTable,
+        window: usize,
+        negatives: usize,
+        epochs: usize,
+        lr0: f64,
+        seed: u64,
+    ) -> TrainStats {
+        self.train_with::<kernel::WideKernels, DIM>(
+            corpus, table, window, negatives, epochs, lr0, seed,
+        )
+    }
+
+    /// The train loop body, generic over the kernel family and the
+    /// (optionally const) dimension (see [`SgnsModel::train`] for why
+    /// dispatch lives at this level).
     #[allow(clippy::too_many_arguments)]
     #[allow(clippy::needless_range_loop)] // window positions index the walk
-    pub fn train(
+    #[inline(always)]
+    fn train_with<K: kernel::Kernels, const DIM: usize>(
         &mut self,
         corpus: &WalkCorpus,
         table: &NegativeTable,
@@ -473,6 +656,7 @@ impl SgnsModel {
         let mut cgrad = std::mem::take(&mut self.scratch);
         cgrad.clear();
         cgrad.resize(self.dim, 0.0);
+        let mut negs = std::mem::take(&mut self.neg_buf);
 
         let mut order: Vec<usize> = (0..corpus.len()).collect();
         for epoch in 0..epochs {
@@ -496,7 +680,7 @@ impl SgnsModel {
                         }
                         let context = walk[ctx_pos];
                         let lr = lr0 * (1.0 - done as f64 * inv_total_updates).max(1e-4);
-                        epoch_loss += self.train_group(
+                        epoch_loss += self.train_group::<K, DIM>(
                             center.index(),
                             context.index(),
                             negatives,
@@ -505,6 +689,7 @@ impl SgnsModel {
                             &mut rng,
                             lr,
                             &mut cgrad,
+                            &mut negs,
                         );
                         stats.updates += 1 + negatives;
                         epoch_pairs += 1;
@@ -519,6 +704,7 @@ impl SgnsModel {
             stats.last_epoch_loss = mean;
         }
         self.scratch = cgrad;
+        self.neg_buf = negs;
         stats
     }
 }
@@ -552,6 +738,45 @@ mod tests {
             counts[n.index()] += 1;
         }
         (g, corpus, counts)
+    }
+
+    /// Every `train` instantiation — scalar reference, portable wide,
+    /// the const-dim specialisations, and (where the CPU has it) the
+    /// AVX2 recompilation — produces bit-identical embeddings: the
+    /// dispatch hoisted into `train` must never change output.
+    #[test]
+    fn train_paths_agree_bitwise() {
+        let (_, corpus, counts) = clique_pair_corpus(11);
+        let table = NegativeTable::new(&counts);
+        let run = |f: &mut dyn FnMut(&mut SgnsModel) -> TrainStats| {
+            // dim 32 exercises the DIM=32 specialisation against the
+            // dynamic (DIM=0) body below.
+            let mut model = SgnsModel::new(counts.len(), 32, 1);
+            let stats = f(&mut model);
+            let bits: Vec<u32> = model.in_vecs.iter().map(|v| v.to_bits()).collect();
+            (stats.last_epoch_loss.to_bits(), bits)
+        };
+        let scalar = run(&mut |m| {
+            m.train_with::<kernel::ScalarKernels, 0>(&corpus, &table, 3, 5, 3, 0.05, 2)
+        });
+        let wide =
+            run(&mut |m| m.train_with::<kernel::WideKernels, 0>(&corpus, &table, 3, 5, 3, 0.05, 2));
+        let scalar32 = run(&mut |m| {
+            m.train_with::<kernel::ScalarKernels, 32>(&corpus, &table, 3, 5, 3, 0.05, 2)
+        });
+        let wide32 = run(&mut |m| {
+            m.train_with::<kernel::WideKernels, 32>(&corpus, &table, 3, 5, 3, 0.05, 2)
+        });
+        assert_eq!(scalar, wide, "scalar vs wide train");
+        assert_eq!(scalar, scalar32, "dynamic vs const-dim scalar train");
+        assert_eq!(scalar, wide32, "scalar vs const-dim wide train");
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 presence checked just above.
+            let avx2 =
+                run(&mut |m| unsafe { m.train_avx2::<32>(&corpus, &table, 3, 5, 3, 0.05, 2) });
+            assert_eq!(scalar, avx2, "scalar vs avx2 train");
+        }
     }
 
     #[test]
@@ -602,10 +827,22 @@ mod tests {
         );
     }
 
-    fn linalg_cosine(a: &[f64], b: &[f64]) -> f64 {
-        let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
-        let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
-        let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    fn linalg_cosine(a: &[f32], b: &[f32]) -> f64 {
+        let dot: f64 = a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| f64::from(*x) * f64::from(*y))
+            .sum();
+        let na: f64 = a
+            .iter()
+            .map(|x| f64::from(*x) * f64::from(*x))
+            .sum::<f64>()
+            .sqrt();
+        let nb: f64 = b
+            .iter()
+            .map(|x| f64::from(*x) * f64::from(*x))
+            .sum::<f64>()
+            .sqrt();
         if na == 0.0 || nb == 0.0 {
             0.0
         } else {
@@ -621,7 +858,7 @@ mod tests {
         model.train(&corpus, &table, 3, 5, 2, 0.05, 3);
         // Freeze everything, then grow by two nodes and train again.
         model.freeze_all();
-        let snapshot: Vec<Vec<f64>> = (0..model.node_count())
+        let snapshot: Vec<Vec<f32>> = (0..model.node_count())
             .map(|i| model.embedding(NodeId(i as u32)).to_vec())
             .collect();
         model.grow(counts.len() + 2, 77);
@@ -730,7 +967,7 @@ mod tests {
         model.train(&warm, &table, 2, 2, 3, 0.1, 2);
         model.frozen[0] = true;
         model.frozen[1] = true; // node 2 stays unfrozen
-        let out_before: Vec<f64> = model.out_vecs.clone();
+        let out_before: Vec<f32> = model.out_vecs.clone();
         // Corpus of frozen nodes only: every group has a frozen center and
         // frozen context; only thinned negative hits on node 2 can move
         // anything, and with 50/150 of the mass they will.

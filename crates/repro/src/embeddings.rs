@@ -58,13 +58,18 @@ impl AnyEmbedder {
                 seed,
             )?))),
             Method::Node2Vec => Ok(AnyEmbedder::Node2Vec(Box::new(
-                Node2VecEmbedder::train(db, &cfg.n2v, seed).with_mode(mode),
+                // Localized build: BFS node ids from the prediction
+                // relation keep the dynamic phase's dirty sets clustered
+                // (few negative-table buckets, contiguous arena rows).
+                Node2VecEmbedder::train_localized(db, ds.prediction_rel, &cfg.n2v, seed)
+                    .with_mode(mode),
             ))),
         }
     }
 
-    /// The embedding of a fact.
-    pub fn embedding(&self, fact: FactId) -> Option<&[f64]> {
+    /// The embedding of a fact (by value — see
+    /// [`TupleEmbedder::embedding`]).
+    pub fn embedding(&self, fact: FactId) -> Option<Vec<f64>> {
         match self {
             AnyEmbedder::Forward(e) => e.embedding(fact),
             AnyEmbedder::Node2Vec(e) => e.embedding(fact),
@@ -94,7 +99,6 @@ impl AnyEmbedder {
             .map(|&f| {
                 self.embedding(f)
                     .unwrap_or_else(|| panic!("fact {f} has no embedding"))
-                    .to_vec()
             })
             .collect()
     }

@@ -30,9 +30,18 @@
 //! but updating `k` of `n` weights rebuilds only the affected fixed-size
 //! buckets plus a top-level table over bucket masses, never the whole
 //! structure.
+//!
+//! Finally, the crate hosts the workspace's **mixed-precision SGD
+//! kernels** ([`kernel`]): f32-storage / f64-accumulate dot, axpy and
+//! fused SGNS gradient steps with a fixed-lane, fixed-order accumulation
+//! schedule, so the autovectorised wide path and the portable scalar
+//! reference (`STEMBED_KERNEL=scalar`) are **bit-identical** — the
+//! determinism guarantees above extend unchanged to the mixed-precision
+//! hot loops.
 
 pub mod alias;
 pub mod bucket;
+pub mod kernel;
 pub mod par;
 mod pool;
 pub mod rng;

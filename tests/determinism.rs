@@ -405,12 +405,12 @@ fn node2vec_sgns_is_bit_identical_across_shard_counts() {
         .collect();
     for (i, m) in models.iter().enumerate().skip(1) {
         for node in g.graph().node_ids() {
-            let a: Vec<u64> = models[0]
+            let a: Vec<u32> = models[0]
                 .embedding(node)
                 .iter()
                 .map(|v| v.to_bits())
                 .collect();
-            let b: Vec<u64> = m.embedding(node).iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = m.embedding(node).iter().map(|v| v.to_bits()).collect();
             assert_eq!(a, b, "shards={}: node {node:?} diverged", SHARDS[i]);
         }
     }
@@ -428,7 +428,7 @@ fn node2vec_dynamic_extension_is_bit_identical_across_shard_counts() {
         .iter()
         .map(|v| cascade_delete(&mut db, ids[v], false).unwrap())
         .collect();
-    let results: Vec<Vec<Vec<u64>>> = SHARDS
+    let results: Vec<Vec<Vec<u32>>> = SHARDS
         .iter()
         .map(|&s| {
             let mut g = DbGraph::build(&db);
@@ -449,7 +449,7 @@ fn node2vec_dynamic_extension_is_bit_identical_across_shard_counts() {
                     g.graph()
                         .node_ids()
                         .flat_map(|n| model.embedding(n).iter().map(|v| v.to_bits()))
-                        .collect::<Vec<u64>>(),
+                        .collect::<Vec<u32>>(),
                 );
             }
             per_round
