@@ -240,6 +240,17 @@ impl Node2VecEmbedder {
     pub fn model(&self) -> &Node2VecModel {
         &self.model
     }
+
+    /// The dynamic-phase walk-resampling mode.
+    pub fn mode(&self) -> ExtendMode {
+        self.mode
+    }
+
+    /// Reassemble an embedder from snapshotted parts (see
+    /// `crate::snapshot` for the byte encoding).
+    pub fn from_parts(graph: DbGraph, model: Node2VecModel, mode: ExtendMode) -> Self {
+        Node2VecEmbedder { graph, model, mode }
+    }
 }
 
 impl TupleEmbedder for Node2VecEmbedder {

@@ -26,6 +26,47 @@ pub trait Kernel: Send + Sync + std::fmt::Debug {
     /// Clone into a box (kernels are small `Copy`-ish structs; this lets
     /// [`KernelAssignment`] — and everything holding one — be `Clone`).
     fn clone_box(&self) -> Box<dyn Kernel>;
+
+    /// The serializable description of this kernel. Snapshots store kernel
+    /// *kinds* rather than re-fitting from data on recovery: a Gaussian
+    /// variance was fitted to the active domain **at training time**, and
+    /// the domain may have shifted since — recovery must reproduce the
+    /// trained kernel bit for bit, not a re-fitted lookalike.
+    fn kind(&self) -> KernelKind;
+}
+
+/// Closed, serializable enumeration of the kernels a [`KernelAssignment`]
+/// can hold (see [`Kernel::kind`]). Parameters are carried by value so
+/// [`KernelKind::instantiate`] rebuilds the exact kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelKind {
+    /// [`EqualityKernel`].
+    Equality,
+    /// [`GaussianKernel`] with its (possibly data-fitted) variance.
+    Gaussian {
+        /// The "variance" `υ`.
+        variance: f64,
+    },
+    /// [`EditDistanceKernel`] with its length scale.
+    EditDistance {
+        /// Length scale `λ`.
+        scale: f64,
+    },
+}
+
+impl KernelKind {
+    /// Rebuild the kernel this kind describes.
+    pub fn instantiate(self) -> Box<dyn Kernel> {
+        match self {
+            KernelKind::Equality => Box::new(EqualityKernel),
+            // Construct directly instead of through the clamping `new`
+            // constructors: the stored parameter was already clamped when
+            // the original kernel was built, and round-tripping must not
+            // re-interpret it.
+            KernelKind::Gaussian { variance } => Box::new(GaussianKernel { variance }),
+            KernelKind::EditDistance { scale } => Box::new(EditDistanceKernel { scale }),
+        }
+    }
 }
 
 impl Clone for Box<dyn Kernel> {
@@ -54,6 +95,10 @@ impl Kernel for EqualityKernel {
 
     fn clone_box(&self) -> Box<dyn Kernel> {
         Box::new(*self)
+    }
+
+    fn kind(&self) -> KernelKind {
+        KernelKind::Equality
     }
 }
 
@@ -124,6 +169,12 @@ impl Kernel for GaussianKernel {
     fn clone_box(&self) -> Box<dyn Kernel> {
         Box::new(*self)
     }
+
+    fn kind(&self) -> KernelKind {
+        KernelKind::Gaussian {
+            variance: self.variance,
+        }
+    }
 }
 
 /// Edit-distance kernel `exp(−lev(a,b)/λ)` over text values; smooths out
@@ -187,6 +238,10 @@ impl Kernel for EditDistanceKernel {
     fn clone_box(&self) -> Box<dyn Kernel> {
         Box::new(*self)
     }
+
+    fn kind(&self) -> KernelKind {
+        KernelKind::EditDistance { scale: self.scale }
+    }
 }
 
 /// Which kernel each attribute of each relation uses.
@@ -235,6 +290,26 @@ impl KernelAssignment {
     /// Evaluate `κ_{rel.attr}(a, b)`.
     pub fn eval(&self, rel: RelationId, attr: usize, a: &Value, b: &Value) -> f64 {
         self.kernels[rel.index()][attr].eval(a, b)
+    }
+
+    /// The serializable kind of every kernel, `kinds[rel][attr]`
+    /// (snapshot encoding; see [`Kernel::kind`]).
+    pub fn kinds(&self) -> Vec<Vec<KernelKind>> {
+        self.kernels
+            .iter()
+            .map(|per_attr| per_attr.iter().map(|k| k.kind()).collect())
+            .collect()
+    }
+
+    /// Rebuild an assignment from snapshotted kinds (the inverse of
+    /// [`KernelAssignment::kinds`]).
+    pub fn from_kinds(kinds: &[Vec<KernelKind>]) -> Self {
+        KernelAssignment {
+            kernels: kinds
+                .iter()
+                .map(|per_attr| per_attr.iter().map(|k| k.instantiate()).collect())
+                .collect(),
+        }
     }
 }
 

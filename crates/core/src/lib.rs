@@ -61,6 +61,7 @@ pub mod kd;
 pub mod kernel;
 pub mod sampler;
 pub mod schemes;
+pub mod snapshot;
 pub mod train;
 pub mod walkdist;
 
@@ -68,7 +69,9 @@ pub use config::ForwardConfig;
 pub use distcache::{CacheStats, DistCache, DistCacheStats};
 pub use dynamic::ExtendOptions;
 pub use embedder::{ForwardEmbedder, Node2VecEmbedder, TupleEmbedder};
-pub use kernel::{EditDistanceKernel, EqualityKernel, GaussianKernel, Kernel, KernelAssignment};
+pub use kernel::{
+    EditDistanceKernel, EqualityKernel, GaussianKernel, Kernel, KernelAssignment, KernelKind,
+};
 pub use schemes::{
     enumerate_schemes, target_pairs, ReachScope, SchemeReach, Step, Target, WalkScheme,
 };
@@ -101,6 +104,9 @@ pub enum CoreError {
     NoEquations(reldb::FactId),
     /// Numerical failure in the linear solve.
     Linalg(linalg::LinalgError),
+    /// Snapshotted embedding state does not fit the database it is being
+    /// restored against (wrong schema, config, or dimension).
+    SnapshotMismatch(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -120,6 +126,7 @@ impl std::fmt::Display for CoreError {
                 write!(f, "no KD equations could be built for new fact {id}")
             }
             CoreError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            CoreError::SnapshotMismatch(msg) => write!(f, "snapshot mismatch: {msg}"),
         }
     }
 }

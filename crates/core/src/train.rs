@@ -359,6 +359,66 @@ impl ForwardEmbedding {
         &self.dist_cache
     }
 
+    /// Rebuild an embedding from snapshotted state. `targets` are
+    /// **re-derived** from the schema (they are a pure function of
+    /// `(schema, rel, max_walk_len)`), the distribution cache starts cold
+    /// (it is a pure accelerator — the determinism contract guarantees
+    /// cached ≡ uncached), and the runtime comes from the environment.
+    /// Only `ϕ`, `ψ`, the kernel assignment, and the loss history are
+    /// state.
+    ///
+    /// Errors with [`CoreError::SnapshotMismatch`] when the snapshotted
+    /// matrices do not line up with the re-derived targets or the config's
+    /// dimension — the snapshot belongs to a different schema or config.
+    pub fn from_snapshot_parts(
+        db: &Database,
+        rel: RelationId,
+        config: ForwardConfig,
+        kernels: KernelAssignment,
+        phi: HashMap<FactId, Vec<f64>>,
+        psi: Vec<Matrix>,
+        epoch_losses: Vec<f64>,
+    ) -> Result<Self, CoreError> {
+        let targets = target_pairs(db.schema(), rel, config.max_walk_len);
+        if psi.len() != targets.len() {
+            return Err(CoreError::SnapshotMismatch(format!(
+                "snapshot has {} ψ matrices, schema derives {} targets",
+                psi.len(),
+                targets.len()
+            )));
+        }
+        if let Some(m) = psi
+            .iter()
+            .find(|m| m.rows() != config.dim || m.cols() != config.dim)
+        {
+            return Err(CoreError::SnapshotMismatch(format!(
+                "ψ shape {}×{} does not match dim {}",
+                m.rows(),
+                m.cols(),
+                config.dim
+            )));
+        }
+        if let Some((f, v)) = phi.iter().find(|(_, v)| v.len() != config.dim) {
+            return Err(CoreError::SnapshotMismatch(format!(
+                "ϕ({f}) has {} components, config dim is {}",
+                v.len(),
+                config.dim
+            )));
+        }
+        Ok(ForwardEmbedding {
+            rel,
+            dim: config.dim,
+            targets,
+            phi,
+            psi,
+            kernels,
+            config,
+            runtime: Runtime::from_env(),
+            epoch_losses,
+            dist_cache: DistCache::new(),
+        })
+    }
+
     /// Move the cache out for a solve that also borrows `self` shared
     /// (see `extend_with`); pair with [`Self::put_back_dist_cache`].
     pub(crate) fn take_dist_cache(&mut self) -> DistCache {

@@ -333,6 +333,63 @@ impl DbGraph {
         self.column_class[rel.index()][attr]
     }
 
+    /// The kind table, `kinds()[n]` being what node `n` represents (for
+    /// snapshotting — both lookup maps are derived from it).
+    pub fn kinds(&self) -> &[NodeKind] {
+        &self.kinds
+    }
+
+    /// The inverse BFS relabelling installed by
+    /// [`DbGraph::build_localized`], or `None` for insertion-order
+    /// builds. Part of the snapshot: the id layout is state, not derivable
+    /// from the database.
+    pub fn insertion_ids(&self) -> Option<&[u32]> {
+        self.insertion_id.as_deref()
+    }
+
+    /// Rebuild a `DbGraph` from snapshotted parts: the CSR graph, the kind
+    /// table, and the optional inverse relabelling. The lookup maps are
+    /// rebuilt from `kinds` and the column classes re-derived from
+    /// `schema` — both are deterministic functions of their inputs, so a
+    /// round trip reproduces the original graph exactly.
+    ///
+    /// # Panics
+    /// If `kinds.len()` does not match the graph's node count, or the
+    /// relabelling (when present) has the wrong length.
+    pub fn from_raw_parts(
+        schema: &Schema,
+        graph: Graph,
+        kinds: Vec<NodeKind>,
+        insertion_id: Option<Vec<u32>>,
+    ) -> DbGraph {
+        assert_eq!(kinds.len(), graph.node_count(), "kind table length");
+        if let Some(inv) = &insertion_id {
+            assert_eq!(inv.len(), graph.node_count(), "relabelling length");
+        }
+        let (column_class, class_repr) = Self::column_classes(schema);
+        let mut fact_nodes = HashMap::new();
+        let mut value_nodes = HashMap::new();
+        for (i, kind) in kinds.iter().enumerate() {
+            match kind {
+                NodeKind::Fact(f) => {
+                    fact_nodes.insert(*f, NodeId(i as u32));
+                }
+                NodeKind::Value { class, value } => {
+                    value_nodes.insert((*class, value.clone()), NodeId(i as u32));
+                }
+            }
+        }
+        DbGraph {
+            graph,
+            kinds,
+            fact_nodes,
+            value_nodes,
+            column_class,
+            class_repr,
+            insertion_id,
+        }
+    }
+
     /// Human-readable description of a node, in the paper's notation
     /// (`v(f)` / `u(REL, attr, value)` with a representative column for
     /// identified nodes).

@@ -231,6 +231,42 @@ impl Graph {
     pub(crate) fn pending_edges(&self) -> &[(NodeId, NodeId)] {
         &self.pending
     }
+
+    /// The CSR arrays `(offsets, neighbors, edge_count)`, for
+    /// snapshotting. Requires a finalized graph (a snapshot of buffered
+    /// edges would not round-trip through [`Graph::from_csr_parts`]).
+    pub fn csr_parts(&self) -> (&[u32], &[NodeId], usize) {
+        assert!(self.is_finalized(), "snapshot requires a finalized graph");
+        (&self.offsets, &self.neighbors, self.edge_count)
+    }
+
+    /// Rebuild a finalized graph from snapshotted CSR arrays (the inverse
+    /// of [`Graph::csr_parts`]).
+    ///
+    /// # Panics
+    /// If the CSR invariants are violated (empty or non-monotone offsets,
+    /// neighbour array length mismatch, out-of-range neighbour ids).
+    pub fn from_csr_parts(offsets: Vec<u32>, neighbors: Vec<NodeId>, edge_count: usize) -> Self {
+        assert!(!offsets.is_empty(), "offsets never empty");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets monotone");
+        assert_eq!(
+            *offsets.last().expect("non-empty") as usize,
+            neighbors.len(),
+            "offsets must cover the neighbour array"
+        );
+        let n = offsets.len() - 1;
+        assert!(
+            neighbors.iter().all(|v| v.index() < n),
+            "neighbour id out of range"
+        );
+        Graph {
+            offsets,
+            neighbors,
+            pending: Vec::new(),
+            edge_count,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -246,6 +246,47 @@ impl Node2VecModel {
     pub fn runtime(&self) -> Runtime {
         self.runtime
     }
+
+    /// The underlying SGNS parameters (for snapshotting; see
+    /// [`SgnsModel::raw_parts`]).
+    pub fn sgns(&self) -> &SgnsModel {
+        &self.sgns
+    }
+
+    /// Per-node walk visit counts (for snapshotting — the negative table
+    /// is *derived* from these: `NegativeTable::new(&counts)` is
+    /// byte-identical to the incrementally maintained table, a contract
+    /// the incremental-update tests pin down).
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Rebuild a model from snapshotted state: the SGNS parameters and
+    /// visit counts are the only learned state; the negative table, walk
+    /// arenas, and timing are derived or transient and are reconstructed
+    /// here, bit-identical to the originals.
+    ///
+    /// # Panics
+    /// If `counts.len() != sgns.node_count()`.
+    pub fn from_raw_parts(
+        config: Node2VecConfig,
+        sgns: SgnsModel,
+        counts: Vec<usize>,
+        runtime: Runtime,
+    ) -> Self {
+        assert_eq!(counts.len(), sgns.node_count(), "counts/node mismatch");
+        let negatives = NegativeTable::new(&counts);
+        Node2VecModel {
+            config,
+            sgns,
+            counts,
+            negatives,
+            walk_buf: WalkCorpus::default(),
+            dirty_buf: Vec::new(),
+            runtime,
+            last_timing: ExtendTiming::default(),
+        }
+    }
 }
 
 fn count_tokens(corpus: &WalkCorpus, counts: &mut [usize]) {

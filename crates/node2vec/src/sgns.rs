@@ -249,6 +249,45 @@ impl SgnsModel {
         self.frozen[node.index()]
     }
 
+    /// The learned state, for snapshotting: `(in_vecs, out_vecs, frozen)`,
+    /// node-major. Everything else in the struct (sigmoid bins, saturation
+    /// constants, scratch buffers) is data-independent and rebuilt by
+    /// [`SgnsModel::from_raw_parts`].
+    pub fn raw_parts(&self) -> (&[f32], &[f32], &[bool]) {
+        (&self.in_vecs, &self.out_vecs, &self.frozen)
+    }
+
+    /// Rebuild a model from snapshotted state (the inverse of
+    /// [`SgnsModel::raw_parts`]). The derived tables are recomputed from
+    /// constants, so a round trip is bit-identical to the original.
+    ///
+    /// # Panics
+    /// If the vector lengths are not `frozen.len() * dim`.
+    pub fn from_raw_parts(
+        dim: usize,
+        in_vecs: Vec<f32>,
+        out_vecs: Vec<f32>,
+        frozen: Vec<bool>,
+    ) -> Self {
+        assert_eq!(in_vecs.len(), frozen.len() * dim, "in_vecs length mismatch");
+        assert_eq!(
+            out_vecs.len(),
+            frozen.len() * dim,
+            "out_vecs length mismatch"
+        );
+        SgnsModel {
+            dim,
+            in_vecs,
+            out_vecs,
+            frozen,
+            bins: build_sigmoid_bins(),
+            sat_small: -(1.0 - LOSS_EPS).ln(),
+            sat_large: -LOSS_EPS.ln(),
+            scratch: Vec::new(),
+            neg_buf: Vec::new(),
+        }
+    }
+
     /// Grow the model to cover `new_count` nodes; the added nodes get random
     /// input vectors (seeded) and are unfrozen.
     pub fn grow(&mut self, new_count: usize, seed: u64) {

@@ -15,10 +15,39 @@
 //! behind than the ring remembers, `journal_since` returns `None` and the
 //! consumer falls back to a full rebuild — the journal is an optimisation
 //! channel, never a correctness requirement.
+//!
+//! ## Durability hooks
+//!
+//! A [`DurabilityHook`] observes the same stream the journal records, but
+//! synchronously and unboundedly: every successful mutation is reported to
+//! the attached hook *with its full fact payload* (inserts and restores
+//! pass the live fact, deletes pass the removed values), in epoch order.
+//! This is the attachment point for a write-ahead log (`stembed-wal`):
+//! because every record carries the complete fact, replaying the stream
+//! onto a snapshot reconstructs the database exactly — see
+//! [`Database::apply_mutation`].
 
 use crate::{DbError, Fact, FactId, FkId, RelationId, Result, Schema, Value};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Observer of the mutation stream, called synchronously by every
+/// successful mutation **after** stores, indexes, and the journal are
+/// updated. `payload` is always the complete fact: the live fact for
+/// inserts/restores, the removed values for deletes.
+///
+/// Implementations must be `Send + Sync` with interior mutability — the
+/// database is shared immutably across worker shards, so the hook is
+/// invoked through `&self`. Hooks must not call back into the database.
+/// I/O failures cannot be surfaced through this interface (mutations have
+/// already committed in memory); a write-ahead log implementation records
+/// them internally and reports them on its next explicit flush point.
+pub trait DurabilityHook: std::fmt::Debug + Send + Sync {
+    /// One mutation, in epoch order. `record.removed` is populated for
+    /// deletes; `payload` is the fact for all three kinds.
+    fn on_mutation(&self, record: &MutationRecord, payload: &Fact);
+}
 
 /// Process-wide source of database identities (see [`Database::db_id`]).
 static NEXT_DB_ID: AtomicU64 = AtomicU64::new(1);
@@ -139,6 +168,8 @@ pub struct Database {
     epoch: u64,
     /// Ring of the most recent mutations (see the module docs).
     journal: MutationJournal,
+    /// Synchronous observer of the mutation stream (see [`DurabilityHook`]).
+    hook: Option<Arc<dyn DurabilityHook>>,
 }
 
 impl Clone for Database {
@@ -160,6 +191,10 @@ impl Clone for Database {
             // would describe the *original*'s history, and epoch 0 of the
             // clone names the cloned content, not an empty database.
             journal: MutationJournal::new(self.journal.capacity),
+            // The hook persists the *original* lineage's WAL; a clone's
+            // mutations interleaving into it would corrupt the epoch
+            // stream, so clones start undurable until re-attached.
+            hook: None,
         }
     }
 }
@@ -186,7 +221,58 @@ impl Database {
             db_id: fresh_db_id(),
             epoch: 0,
             journal: MutationJournal::new(DEFAULT_JOURNAL_CAPACITY),
+            hook: None,
         }
+    }
+
+    /// Rebuild a database from snapshotted slot contents — one
+    /// `Vec<Option<Fact>>` per relation in [`RelationId`] order, `None`
+    /// marking tombstones — exactly as read back via
+    /// [`Database::slot_count`] / [`Database::fact`]. Tombstones are
+    /// preserved so every [`FactId`] of the snapshotted database denotes
+    /// the same slot here, which is what lets a WAL tail recorded against
+    /// the original replay onto the restored copy
+    /// ([`Database::apply_mutation`]).
+    ///
+    /// All per-fact constraints are re-validated and all indexes rebuilt;
+    /// FK existence is checked once at the end (snapshot order need not be
+    /// FK-topological). The restored database starts a **new lineage**
+    /// (fresh [`Database::db_id`], empty journal) at the given `epoch`.
+    pub fn from_snapshot_parts(
+        schema: Schema,
+        slots: Vec<Vec<Option<Fact>>>,
+        epoch: u64,
+    ) -> Result<Database> {
+        if slots.len() != schema.relation_count() {
+            return Err(DbError::Replay(format!(
+                "snapshot has {} relations but the schema declares {}",
+                slots.len(),
+                schema.relation_count()
+            )));
+        }
+        let mut db = Database::new(schema);
+        // Per-fact validation with FK existence deferred to the final
+        // whole-database check (`db` is dropped on any error path, so the
+        // temporary flag never escapes).
+        db.defer_fk_checks = true;
+        for (rel_idx, rel_slots) in slots.into_iter().enumerate() {
+            let rel = RelationId(rel_idx as u32);
+            for (row, slot) in rel_slots.into_iter().enumerate() {
+                match slot {
+                    Some(fact) => {
+                        db.validate_fact(rel, &fact)?;
+                        db.index_fact(rel, row as u32, &fact);
+                        db.stores[rel.index()].slots.push(Some(fact));
+                        db.stores[rel.index()].live += 1;
+                    }
+                    None => db.stores[rel.index()].slots.push(None),
+                }
+            }
+        }
+        db.defer_fk_checks = false;
+        db.check_all_fks()?;
+        db.epoch = epoch;
+        Ok(db)
     }
 
     /// The schema.
@@ -219,6 +305,17 @@ impl Database {
     /// [`Database::journal_capacity`] mutations, or `since` lies in the
     /// future of this lineage); the caller must then fall back to a full
     /// rebuild of whatever it derived.
+    ///
+    /// **Boundary contract:** the comparison is strict. A consumer lagging
+    /// by *exactly* the ring's length (`missed == records.len()`, e.g. a
+    /// full-capacity ring whose oldest retained record is the first one
+    /// missed) still replays — the full ring is returned. Only
+    /// `missed > records.len()` — at least one missed record already
+    /// discarded — reports the wrap. An off-by-one here in either
+    /// direction would silently serve a partial history (unsound
+    /// invalidation) or force a spurious full rebuild once per exactly-
+    /// capacity lag (the steady state of a consumer that catches up in
+    /// capacity-sized batches).
     pub fn journal_since(&self, since: u64) -> Option<impl Iterator<Item = &MutationRecord> + '_> {
         if since > self.epoch {
             return None;
@@ -251,9 +348,36 @@ impl Database {
         self.journal.capacity = capacity;
     }
 
-    /// Bump the epoch and journal the mutation that caused it. Called by
-    /// every successful mutation, after the stores and indexes are updated;
-    /// deletes pass the removed fact's values along.
+    /// Attach a [`DurabilityHook`]; every subsequent successful mutation is
+    /// reported to it in epoch order. At most one hook is attached at a
+    /// time (a new attach replaces the old hook).
+    ///
+    /// Fails with [`DbError::JournalDisabled`] when journalling is off
+    /// ([`Database::set_journal_capacity`]`(0)`): a journal-disabled
+    /// database skips building delete payloads, and silently attaching
+    /// there would produce a WAL that cannot replay its deletes.
+    pub fn attach_durability_hook(&mut self, hook: Arc<dyn DurabilityHook>) -> Result<()> {
+        if self.journal.capacity == 0 {
+            return Err(DbError::JournalDisabled);
+        }
+        self.hook = Some(hook);
+        Ok(())
+    }
+
+    /// Detach and return the current durability hook, if any.
+    pub fn detach_durability_hook(&mut self) -> Option<Arc<dyn DurabilityHook>> {
+        self.hook.take()
+    }
+
+    /// The currently attached durability hook, if any.
+    pub fn durability_hook(&self) -> Option<&Arc<dyn DurabilityHook>> {
+        self.hook.as_ref()
+    }
+
+    /// Bump the epoch and journal the mutation that caused it, then report
+    /// it to the durability hook. Called by every successful mutation,
+    /// after the stores and indexes are updated; deletes pass the removed
+    /// fact's values along.
     fn record_mutation(
         &mut self,
         kind: MutationKind,
@@ -261,13 +385,60 @@ impl Database {
         removed: Option<std::sync::Arc<Fact>>,
     ) {
         self.epoch += 1;
-        self.journal.push(MutationRecord {
+        let record = MutationRecord {
             kind,
             fact,
             rel: fact.rel,
             epoch: self.epoch,
             removed,
-        });
+        };
+        if let Some(hook) = &self.hook {
+            // Deletes carry their payload in the record (the slot is a
+            // tombstone by now, and `delete_unchecked` always builds the
+            // payload while a hook is attached); inserts and restores read
+            // the live fact.
+            let payload = match record.kind {
+                MutationKind::Delete => record
+                    .removed
+                    .as_deref()
+                    .expect("delete payload present while hook attached"),
+                MutationKind::Insert | MutationKind::Restore => self
+                    .fact(record.fact)
+                    .expect("mutated fact live while hook attached"),
+            };
+            hook.on_mutation(&record, payload);
+        }
+        self.journal.push(record);
+    }
+
+    /// Re-apply one journalled mutation (crash-recovery replay). The
+    /// caller feeds back the exact stream a [`DurabilityHook`] observed —
+    /// in epoch order, onto a database restored from the snapshot the
+    /// stream follows ([`Database::from_snapshot_parts`]).
+    ///
+    /// Inserts re-run full validation and must land in the slot the log
+    /// recorded (guaranteed by slot-exact snapshots plus in-order replay —
+    /// a mismatch means the log and snapshot disagree and fails with
+    /// [`DbError::Replay`]). Deletes skip the dangling-reference check:
+    /// the original sequence interleaved cascade members in execution
+    /// order, which may pass through transiently dangling states that the
+    /// later records of the same cascade repair.
+    pub fn apply_mutation(&mut self, kind: MutationKind, id: FactId, fact: &Fact) -> Result<()> {
+        match kind {
+            MutationKind::Insert => {
+                let got = self.insert(id.rel, fact.values().to_vec())?;
+                if got != id {
+                    return Err(DbError::Replay(format!(
+                        "insert replayed into slot {got}, log recorded {id}"
+                    )));
+                }
+            }
+            MutationKind::Restore => self.restore(id, fact.clone())?,
+            MutationKind::Delete => {
+                self.delete_unchecked(id)?;
+            }
+        }
+        Ok(())
     }
 
     /// Enable/disable deferred FK checking. With deferral on, `insert`
@@ -280,6 +451,14 @@ impl Database {
     /// Number of live facts in `rel`.
     pub fn live_count(&self, rel: RelationId) -> usize {
         self.stores[rel.index()].live
+    }
+
+    /// Number of slots ever allocated in `rel` — live facts *plus*
+    /// tombstones. Snapshots iterate `0..slot_count` and read each slot
+    /// via [`Database::fact`] (`None` = tombstone) so a restored database
+    /// preserves slot identity ([`Database::from_snapshot_parts`]).
+    pub fn slot_count(&self, rel: RelationId) -> usize {
+        self.stores[rel.index()].slots.len()
     }
 
     /// Total number of live facts (Table I's "#Tuples").
@@ -472,8 +651,9 @@ impl Database {
         // on, and fine-grained invalidation needs the fact's key/FK
         // tuples to scope what the delete could reach. With journalling
         // disabled (capacity 0) the record is dropped on push, so skip
-        // the clone.
-        let removed = if self.journal.capacity > 0 {
+        // the clone — unless a durability hook is attached, which always
+        // needs the payload to make its log replayable.
+        let removed = if self.journal.capacity > 0 || self.hook.is_some() {
             Some(std::sync::Arc::new(fact.clone()))
         } else {
             None
@@ -868,6 +1048,179 @@ mod tests {
         db.restore(s, fact).unwrap();
         assert!(db.journal_since(db.epoch() - 1).is_none());
         assert_eq!(db.journal_since(db.epoch()).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn journal_since_replays_an_exactly_capacity_lag() {
+        // Regression for the wrap boundary: `missed == records.len()` is
+        // the *largest replayable* lag, not a wrap. With capacity 4 and a
+        // consumer exactly 4 mutations behind, the full ring must come
+        // back; one further mutation tips it into `None`.
+        let (mut db, s) = db_with_one_s();
+        db.set_journal_capacity(4);
+        let e0 = db.epoch();
+        let fact = db.delete(s).unwrap();
+        db.restore(s, fact.clone()).unwrap();
+        db.delete(s).unwrap();
+        db.restore(s, fact.clone()).unwrap();
+        // Four mutations since e0, ring holds exactly four: replayable.
+        let replayed: Vec<u64> = db
+            .journal_since(e0)
+            .expect("missed == len must replay, not fall back")
+            .map(|r| r.epoch)
+            .collect();
+        assert_eq!(replayed, vec![e0 + 1, e0 + 2, e0 + 3, e0 + 4]);
+        db.delete(s).unwrap();
+        // Five missed, oldest discarded: wrapped.
+        assert!(db.journal_since(e0).is_none());
+        assert_eq!(db.journal_since(e0 + 1).unwrap().count(), 4);
+    }
+
+    /// Hook that records every report it receives.
+    #[derive(Debug, Default)]
+    struct RecordingHook {
+        seen: std::sync::Mutex<Vec<(MutationKind, FactId, u64, Fact)>>,
+    }
+
+    impl DurabilityHook for RecordingHook {
+        fn on_mutation(&self, record: &MutationRecord, payload: &Fact) {
+            self.seen.lock().unwrap().push((
+                record.kind,
+                record.fact,
+                record.epoch,
+                payload.clone(),
+            ));
+        }
+    }
+
+    #[test]
+    fn hook_refuses_journal_disabled_database() {
+        let (mut db, _) = db_with_one_s();
+        db.set_journal_capacity(0);
+        let hook = std::sync::Arc::new(RecordingHook::default());
+        assert_eq!(
+            db.attach_durability_hook(hook.clone()),
+            Err(DbError::JournalDisabled)
+        );
+        assert!(db.durability_hook().is_none());
+        // Re-enabling journalling makes the attach valid.
+        db.set_journal_capacity(8);
+        db.attach_durability_hook(hook).unwrap();
+        assert!(db.durability_hook().is_some());
+    }
+
+    #[test]
+    fn hook_observes_every_mutation_with_payload_in_epoch_order() {
+        let (mut db, s) = db_with_one_s();
+        let hook = std::sync::Arc::new(RecordingHook::default());
+        db.attach_durability_hook(hook.clone()).unwrap();
+        let e0 = db.epoch();
+        let fact = db.delete(s).unwrap();
+        db.restore(s, fact.clone()).unwrap();
+        let r = db
+            .insert_into("R", vec!["r1".into(), "s1".into(), Value::Int(7)])
+            .unwrap();
+        // Failed mutations must not reach the hook.
+        assert!(db
+            .insert_into("S", vec!["s1".into(), "dup".into()])
+            .is_err());
+        let seen = hook.seen.lock().unwrap();
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[0].0, MutationKind::Delete);
+        assert_eq!(seen[0].1, s);
+        assert_eq!(seen[0].2, e0 + 1);
+        // The delete's payload is the removed fact's values.
+        assert_eq!(seen[0].3, fact);
+        assert_eq!(seen[1].0, MutationKind::Restore);
+        assert_eq!(seen[1].3, fact);
+        assert_eq!(seen[2].0, MutationKind::Insert);
+        assert_eq!(seen[2].1, r);
+        assert_eq!(seen[2].3.get(2), &Value::Int(7));
+    }
+
+    #[test]
+    fn clones_drop_the_durability_hook() {
+        let (mut db, s) = db_with_one_s();
+        let hook = std::sync::Arc::new(RecordingHook::default());
+        db.attach_durability_hook(hook.clone()).unwrap();
+        let mut clone = db.clone();
+        assert!(clone.durability_hook().is_none());
+        clone.delete(s).unwrap();
+        assert!(hook.seen.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn snapshot_parts_round_trip_preserves_slots_and_replays() {
+        let (mut db, s) = db_with_one_s();
+        let rel_s = s.rel;
+        let s2 = db
+            .insert_into("S", vec!["s2".into(), "Globex".into()])
+            .unwrap();
+        let r = db
+            .insert_into("R", vec!["r1".into(), "s2".into(), Value::Int(1)])
+            .unwrap();
+        // Tombstone in the middle of S: s is deleted, s2 stays.
+        let removed = db.delete(s).unwrap();
+        // Capture slot-exact snapshot parts.
+        let slots: Vec<Vec<Option<Fact>>> = db
+            .schema()
+            .relation_ids()
+            .map(|rel| {
+                (0..db.slot_count(rel))
+                    .map(|row| db.fact(FactId::new(rel, row as u32)).cloned())
+                    .collect()
+            })
+            .collect();
+        let restored =
+            Database::from_snapshot_parts(db.schema().clone(), slots, db.epoch()).unwrap();
+        assert_eq!(restored.epoch(), db.epoch());
+        assert_eq!(restored.total_facts(), db.total_facts());
+        assert_eq!(restored.slot_count(rel_s), db.slot_count(rel_s));
+        assert!(restored.fact(s).is_none(), "tombstone preserved");
+        assert_eq!(restored.fact(s2), db.fact(s2));
+        // Replay the original's continued history onto the restored copy:
+        // the tombstoned slot revives under its old id and a fresh insert
+        // lands in the same slot on both sides.
+        let mut db2 = restored;
+        db.restore(s, removed.clone()).unwrap();
+        db2.apply_mutation(MutationKind::Restore, s, &removed)
+            .unwrap();
+        let next = db
+            .insert_into("S", vec!["s3".into(), "Initech".into()])
+            .unwrap();
+        db2.apply_mutation(
+            MutationKind::Insert,
+            next,
+            &Fact::new(vec!["s3".into(), "Initech".into()]),
+        )
+        .unwrap();
+        db.delete(r).unwrap();
+        db2.apply_mutation(MutationKind::Delete, r, &Fact::new(Vec::new()))
+            .unwrap();
+        assert_eq!(db2.epoch(), db.epoch());
+        for rel in db.schema().relation_ids() {
+            assert_eq!(db2.slot_count(rel), db.slot_count(rel));
+            for row in 0..db.slot_count(rel) {
+                let id = FactId::new(rel, row as u32);
+                assert_eq!(db2.fact(id), db.fact(id));
+            }
+        }
+    }
+
+    #[test]
+    fn replayed_insert_must_match_the_logged_slot() {
+        let (mut db, _) = db_with_one_s();
+        // The log claims the insert landed in slot 5; an empty restored
+        // database would assign slot 1 — divergence must be typed.
+        let rel_s = db.schema().relation_id("S").unwrap();
+        let err = db
+            .apply_mutation(
+                MutationKind::Insert,
+                FactId::new(rel_s, 5),
+                &Fact::new(vec!["s9".into(), "Hooli".into()]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::Replay(_)));
     }
 
     #[test]

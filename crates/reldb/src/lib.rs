@@ -49,7 +49,7 @@ pub mod text;
 pub mod value;
 
 pub use cascade::{cascade_delete, restore_journal, DeletionJournal};
-pub use database::{Database, MutationKind, MutationRecord};
+pub use database::{Database, DurabilityHook, MutationKind, MutationRecord};
 pub use error::DbError;
 pub use fact::{Fact, FactId};
 pub use schema::{Attribute, FkId, ForeignKey, RelationId, RelationSchema, Schema, SchemaBuilder};

@@ -1,0 +1,271 @@
+//! The durable embedding pipeline: a [`reldb::Database`] plus both
+//! embedders (FoRWaRD and dynamic Node2Vec) on top of `stembed-wal`'s
+//! write-ahead log and snapshots, with deterministic crash recovery.
+//!
+//! ## What is logged
+//!
+//! * Every journalled database mutation — inserts, deletes, restores,
+//!   **including every member of a cascade group** — is appended to the
+//!   WAL *by the database itself* through the attached
+//!   [`stembed_wal::WalHook`], in epoch order, before the pipeline
+//!   regains control.
+//! * Every completed embedding extension is appended by the pipeline as
+//!   one `Extend{seed, facts}` frame. The frame does **not** carry the
+//!   computed vectors: the workspace's determinism contract
+//!   (`PRECISION.md` — bit-identical at any shard count, cached ≡
+//!   uncached, retained ≡ fresh) means re-running
+//!   `extend(db, facts, seed)` during replay reproduces them bit for
+//!   bit, so the log stays proportional to the mutation stream, not to
+//!   the embedding dimension.
+//!
+//! ## Recovery
+//!
+//! [`DurablePipeline::recover`] loads the newest valid snapshot (schema,
+//! slot-exact facts, both embedding blobs — see `stembed_core::snapshot`),
+//! replays the WAL tail in LSN order (mutations via
+//! [`reldb::Database::apply_mutation`] with epoch verification, extends by
+//! re-running both embedders), and reopens the log at the recovered LSN.
+//! A recovered pipeline is **byte-identical** to the uninterrupted run at
+//! the same LSN — `tests/crash_recovery.rs` kills the pipeline at every
+//! single simulated I/O operation and asserts exactly that via
+//! [`DurablePipeline::state_bytes`].
+//!
+//! ## Crash semantics inside a process
+//!
+//! `Database::record_mutation` cannot fail, so a WAL I/O error latches
+//! inside the hook ([`stembed_wal::WalHook::check`]). The pipeline checks
+//! after every operation and surfaces the latched error; callers must
+//! treat it as a process death — drop the pipeline and `recover`.
+
+use reldb::{Database, FactId};
+use std::sync::Arc;
+use stembed_core::embedder::{ForwardEmbedder, Node2VecEmbedder};
+use stembed_core::snapshot::{
+    decode_forward, decode_node2vec, encode_forward, encode_node2vec, FORWARD_BLOB, NODE2VEC_BLOB,
+};
+use stembed_core::TupleEmbedder;
+use stembed_wal::frame::FramePayload;
+use stembed_wal::{
+    latest_snapshot, read_wal_tail, write_snapshot, Snapshot, Vfs, WalError, WalHook, WalStats,
+    WalWriter,
+};
+
+/// Default fsync batching: frames per fsync. One fsync per cascade-sized
+/// mutation group keeps the one-by-one protocol's WAL overhead in the
+/// single-digit percent range (see `examples/profile_extend.rs`); crash
+/// durability is still bounded — at most one batch of frames can be lost,
+/// never torn mid-frame.
+pub const DEFAULT_SYNC_EVERY: usize = 64;
+
+/// A database + FoRWaRD + Node2Vec pipeline with a WAL underneath.
+#[derive(Debug)]
+pub struct DurablePipeline {
+    vfs: Arc<dyn Vfs>,
+    dir: String,
+    sync_every: usize,
+    hook: Arc<WalHook>,
+    db: Database,
+    fwd: ForwardEmbedder,
+    n2v: Node2VecEmbedder,
+}
+
+impl DurablePipeline {
+    /// Put a freshly trained pipeline under WAL protection: open the log
+    /// in `dir` (which must be empty of segments), attach the durability
+    /// hook, and commit the initial snapshot so recovery has a floor.
+    ///
+    /// The database must have journalling enabled
+    /// ([`reldb::DbError::JournalDisabled`] otherwise — an unjournalled
+    /// database would silently skip the WAL for every mutation).
+    pub fn create(
+        vfs: Arc<dyn Vfs>,
+        dir: &str,
+        mut db: Database,
+        fwd: ForwardEmbedder,
+        n2v: Node2VecEmbedder,
+        sync_every: usize,
+    ) -> Result<Self, WalError> {
+        let writer = WalWriter::open(vfs.clone(), dir, sync_every, 0)?;
+        let hook = Arc::new(WalHook::new(writer));
+        db.attach_durability_hook(hook.clone())?;
+        let mut this = DurablePipeline {
+            vfs,
+            dir: dir.to_string(),
+            sync_every,
+            hook,
+            db,
+            fwd,
+            n2v,
+        };
+        this.snapshot()?;
+        Ok(this)
+    }
+
+    /// The live database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The FoRWaRD embedder.
+    pub fn forward(&self) -> &ForwardEmbedder {
+        &self.fwd
+    }
+
+    /// The Node2Vec embedder.
+    pub fn node2vec(&self) -> &Node2VecEmbedder {
+        &self.n2v
+    }
+
+    /// Write-side WAL counters (frames, bytes, fsyncs).
+    pub fn wal_stats(&self) -> WalStats {
+        self.hook.stats()
+    }
+
+    /// LSN of the last appended frame.
+    pub fn last_lsn(&self) -> Result<u64, WalError> {
+        self.hook.last_lsn()
+    }
+
+    /// Run a database mutation under the WAL: the hook appends every
+    /// journalled mutation the closure performs, and any latched WAL
+    /// error surfaces here — after which the pipeline must be treated as
+    /// dead (recover from `dir`).
+    pub fn mutate<T>(
+        &mut self,
+        f: impl FnOnce(&mut Database) -> Result<T, reldb::DbError>,
+    ) -> Result<T, WalError> {
+        let out = f(&mut self.db)?;
+        self.hook.check()?;
+        Ok(out)
+    }
+
+    /// Extend both embedders to `facts` (which must already be live) and
+    /// log one `Extend` frame. The frame is appended *after* the
+    /// extensions succeed: a crash mid-extension recovers to the
+    /// pre-extension state and the in-memory progress is discarded with
+    /// the process, exactly as if the extension never ran.
+    pub fn extend(&mut self, facts: &[FactId], seed: u64) -> Result<(), WalError> {
+        self.fwd
+            .extend(&self.db, facts, seed)
+            .map_err(|e| WalError::Corrupt(format!("forward extend: {e}")))?;
+        self.n2v
+            .extend(&self.db, facts, seed)
+            .map_err(|e| WalError::Corrupt(format!("node2vec extend: {e}")))?;
+        self.hook.append_extend(seed, facts.to_vec())?;
+        Ok(())
+    }
+
+    /// Force every appended frame durable (an explicit fsync outside the
+    /// batching cadence).
+    pub fn sync(&self) -> Result<(), WalError> {
+        self.hook.sync()
+    }
+
+    /// Commit a snapshot of the complete pipeline state and rotate the
+    /// WAL: sync the log, capture `(db, ϕ/ψ, SGNS)` at the current LSN,
+    /// write it atomically (tmp → fsync → rename → dir fsync), then drop
+    /// the now-superseded segments. Returns the snapshot LSN.
+    pub fn snapshot(&mut self) -> Result<u64, WalError> {
+        let cursor = self.hook.snapshot_cursor()?;
+        let snap = Snapshot::capture(
+            &self.db,
+            cursor,
+            vec![
+                (FORWARD_BLOB.to_string(), encode_forward(&self.fwd)),
+                (NODE2VEC_BLOB.to_string(), encode_node2vec(&self.n2v)),
+            ],
+        );
+        write_snapshot(self.vfs.as_ref(), &self.dir, &snap)?;
+        self.hook.rotate(cursor)?;
+        Ok(cursor)
+    }
+
+    /// Size in bytes of the newest committed snapshot, if one exists.
+    pub fn latest_snapshot_bytes(&self) -> Result<Option<u64>, WalError> {
+        Ok(latest_snapshot(self.vfs.as_ref(), &self.dir)?.map(|s| s.encode().len() as u64))
+    }
+
+    /// Rebuild the pipeline from `dir`: newest valid snapshot, then
+    /// deterministic replay of the WAL tail. The recovered pipeline is
+    /// byte-identical (per [`DurablePipeline::state_bytes`]) to the
+    /// pre-crash pipeline at the last durable LSN, and recovering twice
+    /// from the same directory yields identical bytes.
+    pub fn recover(vfs: Arc<dyn Vfs>, dir: &str, sync_every: usize) -> Result<Self, WalError> {
+        let snap = latest_snapshot(vfs.as_ref(), dir)?.ok_or_else(|| {
+            WalError::Corrupt(format!("no valid snapshot in {dir}; cannot recover"))
+        })?;
+        let mut db = snap.restore_database()?;
+        let fwd_blob = snap
+            .blob(FORWARD_BLOB)
+            .ok_or_else(|| WalError::Corrupt("snapshot lacks the forward blob".into()))?;
+        let n2v_blob = snap
+            .blob(NODE2VEC_BLOB)
+            .ok_or_else(|| WalError::Corrupt("snapshot lacks the node2vec blob".into()))?;
+        let mut fwd = decode_forward(&db, fwd_blob)?;
+        let mut n2v = decode_node2vec(&db, n2v_blob)?;
+
+        for frame in read_wal_tail(vfs.as_ref(), dir, snap.lsn)? {
+            match frame.payload {
+                FramePayload::Mutation {
+                    kind,
+                    id,
+                    epoch,
+                    fact,
+                } => {
+                    db.apply_mutation(kind, id, &fact)?;
+                    if db.epoch() != epoch {
+                        return Err(WalError::Corrupt(format!(
+                            "replay of lsn {} reached epoch {}, log recorded {epoch}",
+                            frame.lsn,
+                            db.epoch()
+                        )));
+                    }
+                }
+                FramePayload::Extend { seed, facts } => {
+                    fwd.extend(&db, &facts, seed)
+                        .map_err(|e| WalError::Corrupt(format!("replay forward extend: {e}")))?;
+                    n2v.extend(&db, &facts, seed)
+                        .map_err(|e| WalError::Corrupt(format!("replay node2vec extend: {e}")))?;
+                }
+            }
+        }
+
+        // Reopen the log — `open` rescans the newest segment, truncates
+        // any torn tail, and resumes the LSN sequence after the last
+        // intact frame.
+        let writer = WalWriter::open(vfs.clone(), dir, sync_every, 0)?;
+        let hook = Arc::new(WalHook::new(writer));
+        db.attach_durability_hook(hook.clone())?;
+        Ok(DurablePipeline {
+            vfs,
+            dir: dir.to_string(),
+            sync_every,
+            hook,
+            db,
+            fwd,
+            n2v,
+        })
+    }
+
+    /// Canonical byte serialization of the complete logical state —
+    /// database (schema, slots, epoch) and both embedders — used by the
+    /// fault-injection suite to compare a recovered pipeline against the
+    /// uninterrupted reference with plain `==`. The WAL cursor is *not*
+    /// part of the logical state and is pinned to 0 in the bytes.
+    pub fn state_bytes(&self) -> Vec<u8> {
+        Snapshot::capture(
+            &self.db,
+            0,
+            vec![
+                (FORWARD_BLOB.to_string(), encode_forward(&self.fwd)),
+                (NODE2VEC_BLOB.to_string(), encode_node2vec(&self.n2v)),
+            ],
+        )
+        .encode()
+    }
+
+    /// The configured fsync batching (frames per fsync).
+    pub fn sync_every(&self) -> usize {
+        self.sync_every
+    }
+}

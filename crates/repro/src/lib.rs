@@ -18,6 +18,7 @@
 
 pub mod baselines;
 pub mod config;
+pub mod durable;
 pub mod embeddings;
 pub mod harness;
 pub mod report;

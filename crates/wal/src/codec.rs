@@ -1,0 +1,365 @@
+//! Bit-exact binary codec for the WAL and snapshot payloads.
+//!
+//! Hand-rolled little-endian encoding (the workspace vendors everything;
+//! no serde). Two properties matter more than compactness:
+//!
+//! * **Bit-exactness**: floats travel as `to_bits()` / `from_bits()`, so
+//!   an encode→decode round trip reproduces the *identical* f64/f32 —
+//!   including negative zero — which is what makes recovered state
+//!   byte-comparable against an uninterrupted run (see `DURABILITY.md`).
+//!   NaN never occurs in stored values (`reldb` rejects it at insert).
+//! * **Totality of decoding**: every reader checks bounds and tags and
+//!   returns a typed error instead of panicking, so arbitrarily corrupted
+//!   input — the fault-injection suite feeds exactly that — degrades into
+//!   `WalError::Corrupt`, never UB or an abort.
+
+use crate::WalError;
+use reldb::{Fact, FactId, MutationKind, RelationId, Value};
+
+/// Append-only little-endian byte sink.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Fresh empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Raw bytes, verbatim.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// One byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `usize` as u64 (platform-independent width).
+    pub fn len_prefix(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// f64 as its IEEE-754 bit pattern.
+    pub fn f64_bits(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// f32 as its IEEE-754 bit pattern.
+    pub fn f32_bits(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.len_prefix(s.len());
+        self.bytes(s.as_bytes());
+    }
+}
+
+/// Bounds-checked little-endian reader over an encoded slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn corrupt(what: &str) -> WalError {
+    WalError::Corrupt(format!("decode: {what}"))
+}
+
+impl<'a> ByteReader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the whole input was consumed (decoders of framed payloads
+    /// require this: trailing garbage is corruption, not padding).
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Take `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WalError> {
+        if self.remaining() < n {
+            return Err(corrupt("input truncated"));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// One byte.
+    pub fn u8(&mut self) -> Result<u8, WalError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, WalError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    /// Little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, WalError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    /// A u64 length prefix, validated against the bytes actually left so a
+    /// corrupted length cannot drive a huge allocation.
+    pub fn len_prefix(&mut self) -> Result<usize, WalError> {
+        let n = self.u64()?;
+        if n > self.remaining() as u64 {
+            return Err(corrupt("length prefix exceeds input"));
+        }
+        Ok(n as usize)
+    }
+
+    /// A length prefix counting fixed-size items of `item_bytes` each.
+    pub fn count_prefix(&mut self, item_bytes: usize) -> Result<usize, WalError> {
+        let n = self.u64()?;
+        if n.checked_mul(item_bytes.max(1) as u64)
+            .is_none_or(|total| total > self.remaining() as u64)
+        {
+            return Err(corrupt("count prefix exceeds input"));
+        }
+        Ok(n as usize)
+    }
+
+    /// f64 from its bit pattern.
+    pub fn f64_bits(&mut self) -> Result<f64, WalError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// f32 from its bit pattern.
+    pub fn f32_bits(&mut self) -> Result<f32, WalError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, WalError> {
+        let n = self.len_prefix()?;
+        let bytes = self.bytes(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("invalid utf-8"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// reldb value codecs
+// ---------------------------------------------------------------------
+
+const VAL_NULL: u8 = 0;
+const VAL_INT: u8 = 1;
+const VAL_FLOAT: u8 = 2;
+const VAL_TEXT: u8 = 3;
+const VAL_BOOL_FALSE: u8 = 4;
+const VAL_BOOL_TRUE: u8 = 5;
+
+/// Encode one [`Value`].
+pub fn write_value(w: &mut ByteWriter, v: &Value) {
+    match v {
+        Value::Null => w.u8(VAL_NULL),
+        Value::Int(i) => {
+            w.u8(VAL_INT);
+            w.u64(*i as u64);
+        }
+        Value::Float(f) => {
+            w.u8(VAL_FLOAT);
+            w.f64_bits(*f);
+        }
+        Value::Text(s) => {
+            w.u8(VAL_TEXT);
+            w.str(s);
+        }
+        Value::Bool(false) => w.u8(VAL_BOOL_FALSE),
+        Value::Bool(true) => w.u8(VAL_BOOL_TRUE),
+    }
+}
+
+/// Decode one [`Value`].
+pub fn read_value(r: &mut ByteReader<'_>) -> Result<Value, WalError> {
+    match r.u8()? {
+        VAL_NULL => Ok(Value::Null),
+        VAL_INT => Ok(Value::Int(r.u64()? as i64)),
+        VAL_FLOAT => {
+            let f = r.f64_bits()?;
+            if f.is_nan() {
+                // reldb rejects NaN at insert, so a NaN here can only be
+                // corruption that happened to keep the tag byte valid.
+                return Err(corrupt("NaN value"));
+            }
+            Ok(Value::Float(f))
+        }
+        VAL_TEXT => Ok(Value::Text(r.str()?)),
+        VAL_BOOL_FALSE => Ok(Value::Bool(false)),
+        VAL_BOOL_TRUE => Ok(Value::Bool(true)),
+        tag => Err(corrupt(&format!("unknown value tag {tag}"))),
+    }
+}
+
+/// Encode a [`Fact`]: arity-prefixed values.
+pub fn write_fact(w: &mut ByteWriter, fact: &Fact) {
+    w.len_prefix(fact.arity());
+    for v in fact.values() {
+        write_value(w, v);
+    }
+}
+
+/// Decode a [`Fact`].
+pub fn read_fact(r: &mut ByteReader<'_>) -> Result<Fact, WalError> {
+    // A value is at least one byte, so arity is bounded by the remainder.
+    let arity = r.count_prefix(1)?;
+    let mut values = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        values.push(read_value(r)?);
+    }
+    Ok(Fact::new(values))
+}
+
+/// Encode a [`FactId`].
+pub fn write_fact_id(w: &mut ByteWriter, id: FactId) {
+    w.u32(id.rel.0);
+    w.u32(id.row);
+}
+
+/// Decode a [`FactId`].
+pub fn read_fact_id(r: &mut ByteReader<'_>) -> Result<FactId, WalError> {
+    let rel = RelationId(r.u32()?);
+    let row = r.u32()?;
+    Ok(FactId::new(rel, row))
+}
+
+/// Encode a [`MutationKind`].
+pub fn write_kind(w: &mut ByteWriter, kind: MutationKind) {
+    w.u8(match kind {
+        MutationKind::Insert => 0,
+        MutationKind::Delete => 1,
+        MutationKind::Restore => 2,
+    });
+}
+
+/// Decode a [`MutationKind`].
+pub fn read_kind(r: &mut ByteReader<'_>) -> Result<MutationKind, WalError> {
+    match r.u8()? {
+        0 => Ok(MutationKind::Insert),
+        1 => Ok(MutationKind::Delete),
+        2 => Ok(MutationKind::Restore),
+        tag => Err(corrupt(&format!("unknown mutation kind {tag}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_value(v: Value) {
+        let mut w = ByteWriter::new();
+        write_value(&mut w, &v);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(read_value(&mut r).unwrap(), v);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn values_round_trip_bit_exactly() {
+        round_trip_value(Value::Null);
+        round_trip_value(Value::Int(-42));
+        round_trip_value(Value::Int(i64::MIN));
+        round_trip_value(Value::Float(0.1 + 0.2));
+        round_trip_value(Value::Float(-0.0));
+        round_trip_value(Value::Float(f64::MIN_POSITIVE));
+        round_trip_value(Value::Text("møvies ⊥".into()));
+        round_trip_value(Value::Text(String::new()));
+        round_trip_value(Value::Bool(true));
+        round_trip_value(Value::Bool(false));
+    }
+
+    #[test]
+    fn negative_zero_survives() {
+        let mut w = ByteWriter::new();
+        write_value(&mut w, &Value::Float(-0.0));
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        match read_value(&mut r).unwrap() {
+            Value::Float(f) => assert_eq!(f.to_bits(), (-0.0f64).to_bits()),
+            other => panic!("wrong value {other:?}"),
+        }
+    }
+
+    #[test]
+    fn facts_round_trip() {
+        let fact = Fact::new(vec![
+            Value::Text("m1".into()),
+            Value::Null,
+            Value::Int(1984),
+            Value::Float(7.5),
+        ]);
+        let mut w = ByteWriter::new();
+        write_fact(&mut w, &fact);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(read_fact(&mut r).unwrap(), fact);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_and_garbage_input_errors_out() {
+        let mut w = ByteWriter::new();
+        write_fact(&mut w, &Fact::new(vec![Value::Text("hello".into())]));
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(read_fact(&mut r).is_err(), "truncation at {cut} must fail");
+        }
+        // A hostile length prefix must not allocate or panic.
+        let mut r = ByteReader::new(&[u8::MAX; 9]);
+        assert!(read_fact(&mut r).is_err());
+        // An unknown tag byte.
+        let mut r = ByteReader::new(&[99]);
+        assert!(read_value(&mut r).is_err());
+    }
+
+    #[test]
+    fn nan_floats_are_rejected_as_corruption() {
+        let mut w = ByteWriter::new();
+        w.u8(2); // VAL_FLOAT
+        w.u64(f64::NAN.to_bits());
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(read_value(&mut r).is_err());
+    }
+}

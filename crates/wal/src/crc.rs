@@ -1,0 +1,76 @@
+//! CRC-32 (IEEE 802.3, the zlib/PNG polynomial) — table-driven,
+//! byte-at-a-time.
+//!
+//! Every WAL frame and snapshot section carries a CRC over its payload so
+//! torn tails and bit rot are *detected* rather than decoded into garbage.
+//! The polynomial choice is unremarkable on purpose: the guarantee the
+//! recovery path needs is only "a random corruption is overwhelmingly
+//! unlikely to keep the checksum valid", and CRC-32's 2⁻³² miss rate
+//! (exact detection of all burst errors ≤ 32 bits) is plenty at frame
+//! sizes of a few hundred bytes. The table is computed once at first use.
+
+use std::sync::OnceLock;
+
+/// Reflected CRC-32 table for the IEEE polynomial `0xEDB88320`.
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        table
+    })
+}
+
+/// CRC-32 of `bytes` (init `0xFFFF_FFFF`, final xor `0xFFFF_FFFF` — the
+/// standard reflected IEEE variant, matching zlib's `crc32`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ u32::MAX
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Canonical check value of CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"frame payload with some entropy 0123456789".to_vec();
+        let reference = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(
+                    crc32(&flipped),
+                    reference,
+                    "flip at {byte}:{bit} undetected"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! [`WalHook`] — the [`reldb::DurabilityHook`] implementation that puts a
+//! [`WalWriter`] underneath a live [`reldb::Database`].
+//!
+//! `Database::record_mutation` is infallible, so the hook cannot surface
+//! an I/O error at the mutation site. Instead it **poisons** itself on the
+//! first failed append: the error is latched, every later mutation is
+//! dropped (the log must not skip an LSN and keep going), and the pipeline
+//! checks [`WalHook::check`] after each database operation — a poisoned
+//! hook is treated exactly like a process death at that point, which is
+//! also precisely what the fault-injection suite simulates.
+//!
+//! The hook is shared (`Arc<WalHook>`) between the database (which calls
+//! `on_mutation`) and the pipeline (which appends `Extend` frames, forces
+//! syncs, and rotates at snapshots), so all log access funnels through one
+//! mutex around the writer.
+
+use crate::frame::FramePayload;
+pub use crate::wal::WalWriterStats as WalStats;
+use crate::wal::{mutation_payload, WalWriter};
+use crate::{Result, WalError};
+use reldb::FactId;
+use std::sync::Mutex;
+
+/// A durability hook writing every journalled mutation (and the
+/// pipeline's `Extend` markers) to a [`WalWriter`], in epoch order.
+#[derive(Debug)]
+pub struct WalHook {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    writer: WalWriter,
+    /// First I/O error, if any. Latched: once set, nothing more is
+    /// written.
+    poisoned: Option<WalError>,
+}
+
+impl WalHook {
+    /// Wrap an opened writer.
+    pub fn new(writer: WalWriter) -> WalHook {
+        WalHook {
+            inner: Mutex::new(Inner {
+                writer,
+                poisoned: None,
+            }),
+        }
+    }
+
+    fn with<T>(&self, f: impl FnOnce(&mut WalWriter) -> Result<T>) -> Result<T> {
+        let mut g = self.inner.lock().expect("wal hook poisoned by panic");
+        if let Some(e) = &g.poisoned {
+            return Err(e.clone());
+        }
+        match f(&mut g.writer) {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                g.poisoned = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    /// Surface the latched error, if the hook swallowed one inside
+    /// `on_mutation`. Pipelines call this after every database operation.
+    pub fn check(&self) -> Result<()> {
+        self.with(|_| Ok(()))
+    }
+
+    /// Append an `Extend` frame recording a completed embedding extension.
+    /// Returns the assigned LSN.
+    pub fn append_extend(&self, seed: u64, facts: Vec<FactId>) -> Result<u64> {
+        self.with(|w| w.append(FramePayload::Extend { seed, facts }))
+    }
+
+    /// Force everything appended so far durable.
+    pub fn sync(&self) -> Result<()> {
+        self.with(|w| w.sync())
+    }
+
+    /// LSN of the last appended frame (0 if none), **without** forcing a
+    /// sync — the frame may not be durable yet.
+    pub fn last_lsn(&self) -> Result<u64> {
+        self.with(|w| Ok(w.last_lsn()))
+    }
+
+    /// LSN of the last appended frame — the cursor a snapshot taken *now*
+    /// must record. Also syncs: a snapshot must never point past the
+    /// durable tail.
+    pub fn snapshot_cursor(&self) -> Result<u64> {
+        self.with(|w| {
+            w.sync()?;
+            Ok(w.last_lsn())
+        })
+    }
+
+    /// Rotate segments after a durably committed snapshot at
+    /// `snapshot_lsn` (see [`WalWriter::rotate`]).
+    pub fn rotate(&self, snapshot_lsn: u64) -> Result<()> {
+        self.with(|w| w.rotate(snapshot_lsn))
+    }
+
+    /// Write-side counters.
+    pub fn stats(&self) -> WalStats {
+        self.inner
+            .lock()
+            .expect("wal hook poisoned by panic")
+            .writer
+            .stats()
+    }
+}
+
+impl reldb::DurabilityHook for WalHook {
+    fn on_mutation(&self, record: &reldb::MutationRecord, payload: &reldb::Fact) {
+        // Errors are latched, not surfaced: record_mutation is infallible.
+        let _ = self.with(|w| w.append(mutation_payload(record, payload)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::{FailPoint, SimVfs};
+    use crate::wal::read_wal_tail;
+    use reldb::{movies, Value};
+    use std::sync::Arc;
+
+    #[test]
+    fn hook_logs_every_mutation_including_cascades() {
+        let vfs = Arc::new(SimVfs::new());
+        let writer = WalWriter::open(vfs.clone(), "w", 1, 0).unwrap();
+        let hook = Arc::new(WalHook::new(writer));
+        let mut db = movies::movies_database();
+        let epoch0 = db.epoch();
+        db.attach_durability_hook(hook.clone()).unwrap();
+
+        let studios = db.schema().relation_id("STUDIOS").unwrap();
+        let victim = db.fact_ids(studios)[0];
+        let journal = reldb::cascade_delete(&mut db, victim, true).unwrap();
+        assert!(journal.len() > 1, "cascade must touch dependents");
+        hook.check().unwrap();
+        hook.sync().unwrap();
+
+        let tail = read_wal_tail(vfs.as_ref(), "w", 0).unwrap();
+        assert_eq!(tail.len(), journal.len());
+        // Epoch-ordered, consecutive, and every frame carries the full
+        // removed fact.
+        for (i, frame) in tail.iter().enumerate() {
+            match &frame.payload {
+                FramePayload::Mutation { epoch, fact, .. } => {
+                    assert_eq!(*epoch, epoch0 + 1 + i as u64);
+                    assert!(!fact.values().is_empty());
+                }
+                other => panic!("expected mutation frame, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn extend_frames_interleave_with_mutations_in_lsn_order() {
+        let vfs = Arc::new(SimVfs::new());
+        let writer = WalWriter::open(vfs.clone(), "w", 1, 0).unwrap();
+        let hook = Arc::new(WalHook::new(writer));
+        let mut db = movies::movies_database();
+        db.attach_durability_hook(hook.clone()).unwrap();
+
+        let actors = db.schema().relation_id("ACTORS").unwrap();
+        let id = db
+            .insert(
+                actors,
+                vec![
+                    Value::Text("a99".into()),
+                    Value::Text("New Actor".into()),
+                    Value::Int(5),
+                ],
+            )
+            .unwrap();
+        let lsn = hook.append_extend(42, vec![id]).unwrap();
+        assert_eq!(lsn, 2, "extend follows the insert frame");
+        hook.sync().unwrap();
+        let tail = read_wal_tail(vfs.as_ref(), "w", 0).unwrap();
+        assert!(matches!(tail[0].payload, FramePayload::Mutation { .. }));
+        assert!(matches!(
+            &tail[1].payload,
+            FramePayload::Extend { seed: 42, facts } if facts == &vec![id]
+        ));
+    }
+
+    #[test]
+    fn io_failure_poisons_the_hook_until_checked() {
+        let vfs = Arc::new(SimVfs::new());
+        let writer = WalWriter::open(vfs.clone(), "w", 1, 0).unwrap();
+        let hook = Arc::new(WalHook::new(writer));
+        let mut db = movies::movies_database();
+        db.attach_durability_hook(hook.clone()).unwrap();
+
+        vfs.set_fail_point(FailPoint::CrashBeforeOp(vfs.op_count() + 1));
+        let actors = db.schema().relation_id("ACTORS").unwrap();
+        // The mutation itself succeeds in memory; the hook swallows the
+        // I/O error and latches it.
+        db.insert(
+            actors,
+            vec![
+                Value::Text("a99".into()),
+                Value::Text("New Actor".into()),
+                Value::Int(5),
+            ],
+        )
+        .unwrap();
+        assert_eq!(hook.check(), Err(WalError::Crashed));
+        // Latched: still failing, and nothing further is appended.
+        assert_eq!(hook.append_extend(1, Vec::new()), Err(WalError::Crashed));
+        assert_eq!(hook.check(), Err(WalError::Crashed));
+    }
+}

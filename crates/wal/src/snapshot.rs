@@ -1,0 +1,460 @@
+//! Snapshot container and its atomic commit protocol.
+//!
+//! A snapshot is one self-validating file `snap-<lsn>.snp`:
+//!
+//! ```text
+//! magic "STEMSNP1" | crc: u32 LE | len: u64 LE | body (len bytes)
+//! body := lsn, epoch, schema, per-relation slot images, tagged blobs
+//! ```
+//!
+//! `crc` is CRC-32/IEEE over the body — a snapshot either decodes in full
+//! or is rejected in full. The database section is **slot-exact**: every
+//! relation stores its complete slot vector including tombstones, so
+//! [`Snapshot::restore_database`] rebuilds a database in which every
+//! `FactId` denotes the same slot as in the snapshotted one — the
+//! precondition for replaying the WAL tail on top. Embedding state rides
+//! along as tagged opaque blobs (this crate knows nothing of embedding
+//! internals; `stembed-core::snapshot` owns those encodings).
+//!
+//! **Commit protocol** (`write_snapshot`): write everything to
+//! `snap-<lsn>.tmp`, fsync the file, rename to `snap-<lsn>.snp`, fsync
+//! the directory. The rename is the commit point: a crash anywhere
+//! before the directory sync leaves either no new file or only the
+//! `.tmp` (ignored by recovery), and the *previous* snapshot — whose WAL
+//! segments are deleted only after this commit — still restores. A crash
+//! after it leaves the new snapshot fully readable. There is no state in
+//! between, which is exactly what the crash-mid-rename fault injection
+//! asserts.
+
+use crate::codec::{read_fact, write_fact, ByteReader, ByteWriter};
+use crate::crc::crc32;
+use crate::vfs::{join, Vfs};
+use crate::{Result, WalError};
+use reldb::{Database, Fact, FactId, Schema, SchemaBuilder, ValueType};
+
+/// Magic at the start of every snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"STEMSNP1";
+
+/// Committed snapshot file name for `lsn`.
+pub fn snapshot_name(lsn: u64) -> String {
+    format!("snap-{lsn:016}.snp")
+}
+
+/// Scratch name the snapshot is written under before the commit rename.
+pub fn snapshot_tmp_name(lsn: u64) -> String {
+    format!("snap-{lsn:016}.tmp")
+}
+
+/// Parse a committed snapshot name back into its LSN.
+pub fn parse_snapshot_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("snap-")?.strip_suffix(".snp")?;
+    if digits.len() != 16 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// A decoded (or to-be-written) snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// The WAL cursor: every frame with `lsn > self.lsn` must be replayed
+    /// on top of this snapshot.
+    pub lsn: u64,
+    /// The database epoch at capture time.
+    pub epoch: u64,
+    /// The schema.
+    pub schema: Schema,
+    /// Per relation (in [`RelationId`] order): the complete slot vector,
+    /// `None` marking tombstones.
+    pub slots: Vec<Vec<Option<Fact>>>,
+    /// Tagged opaque sections (embedding state, RNG cursors, …).
+    pub blobs: Vec<(String, Vec<u8>)>,
+}
+
+impl Snapshot {
+    /// Capture the database's current state (slot-exact) plus the given
+    /// blobs, stamped with the WAL cursor `lsn`.
+    pub fn capture(db: &Database, lsn: u64, blobs: Vec<(String, Vec<u8>)>) -> Snapshot {
+        let slots = db
+            .schema()
+            .relation_ids()
+            .map(|rel| {
+                (0..db.slot_count(rel))
+                    .map(|row| db.fact(FactId::new(rel, row as u32)).cloned())
+                    .collect()
+            })
+            .collect();
+        Snapshot {
+            lsn,
+            epoch: db.epoch(),
+            schema: db.schema().clone(),
+            slots,
+            blobs,
+        }
+    }
+
+    /// Rebuild the database: same schema, same slots (tombstones
+    /// included), fresh lineage at the snapshotted epoch.
+    pub fn restore_database(&self) -> Result<Database> {
+        Ok(Database::from_snapshot_parts(
+            self.schema.clone(),
+            self.slots.clone(),
+            self.epoch,
+        )?)
+    }
+
+    /// The blob with the given tag, if present.
+    pub fn blob(&self, tag: &str) -> Option<&[u8]> {
+        self.blobs
+            .iter()
+            .find(|(t, _)| t == tag)
+            .map(|(_, b)| b.as_slice())
+    }
+
+    /// Encode to the container format (magic + crc + len + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u64(self.lsn);
+        w.u64(self.epoch);
+        write_schema(&mut w, &self.schema);
+        w.len_prefix(self.slots.len());
+        for rel_slots in &self.slots {
+            w.len_prefix(rel_slots.len());
+            for slot in rel_slots {
+                match slot {
+                    None => w.u8(0),
+                    Some(fact) => {
+                        w.u8(1);
+                        write_fact(&mut w, fact);
+                    }
+                }
+            }
+        }
+        w.len_prefix(self.blobs.len());
+        for (tag, bytes) in &self.blobs {
+            w.str(tag);
+            w.len_prefix(bytes.len());
+            w.bytes(bytes);
+        }
+        let body = w.into_bytes();
+        let mut out = Vec::with_capacity(20 + body.len());
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decode and checksum-verify a container. Total: arbitrary bytes
+    /// produce a typed error, never a panic.
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot> {
+        if bytes.len() < 20 || &bytes[..8] != SNAPSHOT_MAGIC {
+            return Err(WalError::Corrupt("bad snapshot magic".into()));
+        }
+        let crc = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        let len = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+        let body = &bytes[20..];
+        if len != body.len() as u64 {
+            return Err(WalError::Corrupt("snapshot length mismatch".into()));
+        }
+        if crc32(body) != crc {
+            return Err(WalError::Corrupt("snapshot checksum mismatch".into()));
+        }
+        let mut r = ByteReader::new(body);
+        let lsn = r.u64()?;
+        let epoch = r.u64()?;
+        let schema = read_schema(&mut r)?;
+        let rel_count = r.count_prefix(8)?;
+        let mut slots = Vec::with_capacity(rel_count);
+        for _ in 0..rel_count {
+            let slot_count = r.count_prefix(1)?;
+            let mut rel_slots = Vec::with_capacity(slot_count);
+            for _ in 0..slot_count {
+                match r.u8()? {
+                    0 => rel_slots.push(None),
+                    1 => rel_slots.push(Some(read_fact(&mut r)?)),
+                    tag => {
+                        return Err(WalError::Corrupt(format!("unknown slot tag {tag}")));
+                    }
+                }
+            }
+            slots.push(rel_slots);
+        }
+        let blob_count = r.count_prefix(8)?;
+        let mut blobs = Vec::with_capacity(blob_count);
+        for _ in 0..blob_count {
+            let tag = r.str()?;
+            let n = r.len_prefix()?;
+            blobs.push((tag, r.bytes(n)?.to_vec()));
+        }
+        if !r.is_exhausted() {
+            return Err(WalError::Corrupt("trailing bytes in snapshot".into()));
+        }
+        Ok(Snapshot {
+            lsn,
+            epoch,
+            schema,
+            slots,
+            blobs,
+        })
+    }
+}
+
+/// Schema encoding: names and positions only — everything the
+/// [`SchemaBuilder`] needs to revalidate and rebuild the identical
+/// schema (relation and FK ids are declaration-order indices, which the
+/// encoding preserves).
+fn write_schema(w: &mut ByteWriter, schema: &Schema) {
+    w.len_prefix(schema.relation_count());
+    for rel in schema.relations() {
+        w.str(&rel.name);
+        w.len_prefix(rel.attributes.len());
+        for attr in &rel.attributes {
+            w.str(&attr.name);
+            w.u8(match attr.ty {
+                ValueType::Int => 0,
+                ValueType::Float => 1,
+                ValueType::Text => 2,
+                ValueType::Bool => 3,
+            });
+        }
+        w.len_prefix(rel.key.len());
+        for &k in &rel.key {
+            w.u64(k as u64);
+        }
+    }
+    w.len_prefix(schema.foreign_keys().len());
+    for fk in schema.foreign_keys() {
+        w.u32(fk.from_rel.0);
+        w.len_prefix(fk.from_attrs.len());
+        for &a in &fk.from_attrs {
+            w.u64(a as u64);
+        }
+        w.u32(fk.to_rel.0);
+    }
+}
+
+fn read_schema(r: &mut ByteReader<'_>) -> Result<Schema> {
+    let rel_count = r.count_prefix(1)?;
+    let mut b = SchemaBuilder::new();
+    // Names collected alongside building: FK decoding refers to relations
+    // and attributes by index, the builder wants names.
+    let mut rel_names: Vec<String> = Vec::with_capacity(rel_count);
+    let mut attr_names: Vec<Vec<String>> = Vec::with_capacity(rel_count);
+    for _ in 0..rel_count {
+        let name = r.str()?;
+        let attr_count = r.count_prefix(1)?;
+        let mut attrs = Vec::with_capacity(attr_count);
+        for _ in 0..attr_count {
+            let attr_name = r.str()?;
+            let ty = match r.u8()? {
+                0 => ValueType::Int,
+                1 => ValueType::Float,
+                2 => ValueType::Text,
+                3 => ValueType::Bool,
+                tag => return Err(WalError::Corrupt(format!("unknown type tag {tag}"))),
+            };
+            attrs.push((attr_name, ty));
+        }
+        let key_count = r.count_prefix(8)?;
+        let mut key = Vec::with_capacity(key_count);
+        for _ in 0..key_count {
+            let pos = r.u64()? as usize;
+            if pos >= attrs.len() {
+                return Err(WalError::Corrupt("key position out of range".into()));
+            }
+            key.push(pos);
+        }
+        let mut rb = b.relation(name.clone());
+        for (attr_name, ty) in &attrs {
+            rb = rb.attr(attr_name.clone(), *ty);
+        }
+        let key_names: Vec<&str> = key.iter().map(|&k| attrs[k].0.as_str()).collect();
+        rb.key(&key_names);
+        rel_names.push(name);
+        attr_names.push(attrs.into_iter().map(|(n, _)| n).collect());
+    }
+    let fk_count = r.count_prefix(9)?;
+    for _ in 0..fk_count {
+        let from_rel = r.u32()? as usize;
+        let from_count = r.count_prefix(8)?;
+        let mut from_attrs = Vec::with_capacity(from_count);
+        for _ in 0..from_count {
+            from_attrs.push(r.u64()? as usize);
+        }
+        let to_rel = r.u32()? as usize;
+        let (Some(from_name), Some(to_name)) = (rel_names.get(from_rel), rel_names.get(to_rel))
+        else {
+            return Err(WalError::Corrupt("fk relation out of range".into()));
+        };
+        let names = &attr_names[from_rel];
+        let mut from_attr_names = Vec::with_capacity(from_attrs.len());
+        for a in from_attrs {
+            match names.get(a) {
+                Some(n) => from_attr_names.push(n.as_str()),
+                None => return Err(WalError::Corrupt("fk attribute out of range".into())),
+            }
+        }
+        b.foreign_key(from_name.clone(), &from_attr_names, to_name.clone());
+    }
+    b.build()
+        .map_err(|e| WalError::Corrupt(format!("snapshot schema invalid: {e}")))
+}
+
+/// Atomically commit a snapshot into `dir` and prune the superseded ones.
+/// Returns the committed file's size in bytes. See the module docs for
+/// the protocol; after this returns, [`latest_snapshot`] finds the new
+/// snapshot even across a crash.
+pub fn write_snapshot(vfs: &dyn Vfs, dir: &str, snap: &Snapshot) -> Result<u64> {
+    vfs.create_dir_all(dir)?;
+    let bytes = snap.encode();
+    let tmp = join(dir, &snapshot_tmp_name(snap.lsn));
+    let committed = join(dir, &snapshot_name(snap.lsn));
+    let mut file = vfs.create(&tmp)?;
+    file.append(&bytes)?;
+    file.sync()?;
+    drop(file);
+    vfs.rename(&tmp, &committed)?;
+    // The directory sync is the durable commit point.
+    vfs.sync_dir(dir)?;
+    // Prune superseded snapshots (and any abandoned tmp files) — only
+    // after the commit, so a crash at any earlier point still recovers
+    // from the previous snapshot.
+    for name in vfs.list(dir)? {
+        let stale_snap = parse_snapshot_name(&name).is_some_and(|lsn| lsn < snap.lsn);
+        let stale_tmp = name.ends_with(".tmp") && name != snapshot_tmp_name(snap.lsn);
+        if stale_snap || stale_tmp {
+            vfs.remove(&join(dir, &name))?;
+        }
+    }
+    vfs.sync_dir(dir)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Load the newest decodable snapshot in `dir`: candidates are tried
+/// newest-first, skipping corrupt ones (a corrupt *newest* snapshot can
+/// only be an in-flight one whose rename raced a crash — its predecessor
+/// is the durable truth). `Ok(None)` when the directory holds no
+/// committed snapshot at all.
+pub fn latest_snapshot(vfs: &dyn Vfs, dir: &str) -> Result<Option<Snapshot>> {
+    let mut lsns: Vec<u64> = vfs
+        .list(dir)?
+        .into_iter()
+        .filter_map(|name| parse_snapshot_name(&name))
+        .collect();
+    lsns.sort_unstable();
+    for lsn in lsns.into_iter().rev() {
+        let path = join(dir, &snapshot_name(lsn));
+        let bytes = vfs.read(&path)?;
+        match Snapshot::decode(&bytes) {
+            Ok(snap) => return Ok(Some(snap)),
+            Err(WalError::Corrupt(_)) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::SimVfs;
+
+    fn sample_db() -> Database {
+        let mut db = reldb::movies::movies_database();
+        // Leave a tombstone somewhere so slot-exactness is actually
+        // exercised: delete the first fact nothing references.
+        let ids: Vec<FactId> = db
+            .schema()
+            .relation_ids()
+            .flat_map(|rel| db.fact_ids(rel))
+            .collect();
+        assert!(
+            ids.into_iter().any(|id| db.delete(id).is_ok()),
+            "movies database must contain at least one unreferenced fact"
+        );
+        db
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_exactly() {
+        let db = sample_db();
+        let snap = Snapshot::capture(
+            &db,
+            42,
+            vec![("fwd".into(), vec![1, 2, 3]), ("n2v".into(), Vec::new())],
+        );
+        let bytes = snap.encode();
+        let decoded = Snapshot::decode(&bytes).unwrap();
+        assert_eq!(decoded, snap);
+        // Decode → encode is byte-identical (recovery determinism).
+        assert_eq!(decoded.encode(), bytes);
+        assert_eq!(decoded.blob("fwd"), Some(&[1u8, 2, 3][..]));
+        assert_eq!(decoded.blob("missing"), None);
+    }
+
+    #[test]
+    fn restore_database_preserves_slots_epoch_and_schema() {
+        let db = sample_db();
+        let snap = Snapshot::capture(&db, 0, Vec::new());
+        let restored = snap.restore_database().unwrap();
+        assert_eq!(restored.schema(), db.schema());
+        assert_eq!(restored.epoch(), db.epoch());
+        for rel in db.schema().relation_ids() {
+            assert_eq!(restored.slot_count(rel), db.slot_count(rel));
+            for row in 0..db.slot_count(rel) {
+                let id = FactId::new(rel, row as u32);
+                assert_eq!(restored.fact(id), db.fact(id));
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_snapshots_are_rejected_not_decoded() {
+        let db = sample_db();
+        let snap = Snapshot::capture(&db, 7, vec![("x".into(), vec![9; 16])]);
+        let bytes = snap.encode();
+        assert!(Snapshot::decode(&bytes[..bytes.len() - 1]).is_err());
+        for pos in (0..bytes.len()).step_by(13) {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x10;
+            assert!(
+                Snapshot::decode(&corrupt).is_err(),
+                "flip at {pos} must fail the checksum"
+            );
+        }
+    }
+
+    #[test]
+    fn commit_protocol_survives_crash_before_and_after_rename() {
+        let db = sample_db();
+        let vfs = SimVfs::new();
+        vfs.create_dir_all("s").unwrap();
+        let old = Snapshot::capture(&db, 10, Vec::new());
+        write_snapshot(&vfs, "s", &old).unwrap();
+        // Newer snapshot: crash right after the rename op but before the
+        // directory sync — the commit must not be durable yet.
+        let newer = Snapshot::capture(&db, 20, Vec::new());
+        let ops_before = vfs.op_count();
+        // Dry-run a full write on a scratch VFS to learn the op layout:
+        // append, sync, rename, sync_dir, (prunes…), sync_dir.
+        vfs.set_fail_point(crate::vfs::FailPoint::CrashAfterOp(ops_before + 2));
+        assert!(write_snapshot(&vfs, "s", &newer).is_err());
+        vfs.crash();
+        let recovered = latest_snapshot(&vfs, "s").unwrap().unwrap();
+        assert_eq!(recovered.lsn, 10, "uncommitted snapshot must not win");
+        // Clean rewrite: now the new snapshot commits and the old one is
+        // pruned.
+        write_snapshot(&vfs, "s", &newer).unwrap();
+        vfs.crash();
+        let recovered = latest_snapshot(&vfs, "s").unwrap().unwrap();
+        assert_eq!(recovered.lsn, 20);
+        assert_eq!(
+            vfs.durable_paths()
+                .iter()
+                .filter(|p| p.ends_with(".snp"))
+                .count(),
+            1
+        );
+    }
+}
