@@ -40,7 +40,7 @@ fn bench_walk_length(c: &mut Criterion) {
             b.iter(|| {
                 let emb = ForwardEmbedding::train(&ds.db, ds.prediction_rel, &cfg, 3).unwrap();
                 black_box(emb.targets().len())
-            })
+            });
         });
     }
     group.finish();
@@ -62,7 +62,7 @@ fn bench_dimension(c: &mut Criterion) {
             b.iter(|| {
                 let emb = ForwardEmbedding::train(&ds.db, ds.prediction_rel, &cfg, 3).unwrap();
                 black_box(emb.dim())
-            })
+            });
         });
     }
     group.finish();
@@ -93,7 +93,7 @@ fn bench_kd(c: &mut Criterion) {
             let q =
                 destination_value_distribution(&ds.db, &scheme, attr, f2, 4096).expect("exists");
             black_box(kd_exact(&kernels, end, attr, &p, &q))
-        })
+        });
     });
     group.bench_function("kd_monte_carlo_48", |b| {
         let mut rng = DetRng::seed_from_u64(3);
@@ -102,7 +102,7 @@ fn bench_kd(c: &mut Criterion) {
                 kd_monte_carlo(&ds.db, &kernels, &scheme, attr, f1, f2, &opts, &mut rng)
                     .expect("exists"),
             )
-        })
+        });
     });
     group.finish();
 }
@@ -135,7 +135,7 @@ fn bench_nnew_samples(c: &mut Criterion) {
                     black_box(emb.embedding(victim).map(|v| v[0]))
                 },
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
     }
     group.finish();

@@ -122,7 +122,7 @@ fn bench_extend(c: &mut Criterion, prepared: &[Prepared]) {
                         black_box(emb.embedding(p.victim).map(|v| v[0]))
                     },
                     criterion::BatchSize::LargeInput,
-                )
+                );
             });
         }
     }
@@ -157,7 +157,7 @@ fn bench_one_by_one(c: &mut Criterion, prepared: &[Prepared]) {
                         black_box(emb.len())
                     },
                     criterion::BatchSize::LargeInput,
-                )
+                );
             });
         }
     }

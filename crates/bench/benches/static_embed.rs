@@ -37,7 +37,7 @@ fn bench_static(c: &mut Criterion) {
                             AnyEmbedder::train(method, &ds.db, &ds, &cfg, 7, ExtendMode::OneByOne)
                                 .expect("training");
                         black_box(emb.embedding(ds.labels[0].0).map(|v| v[0]))
-                    })
+                    });
                 },
             );
         }
@@ -77,7 +77,7 @@ fn bench_shards(c: &mut Criterion) {
                 )
                 .expect("training");
                 black_box(emb.len())
-            })
+            });
         });
     }
     group.finish();

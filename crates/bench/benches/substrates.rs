@@ -40,14 +40,14 @@ fn bench_kernel(c: &mut Criterion) {
     let yf: Vec<f32> = (0..d).map(|_| rng.random_range(-1.0..1.0) as f32).collect();
     // f32 rows, f64 accumulation — the mixed-precision hot ops.
     group.bench_function("dot_f32_d64", |b| {
-        b.iter(|| black_box(kernel::dot_f32(black_box(&xf), black_box(&yf))))
+        b.iter(|| black_box(kernel::dot_f32(black_box(&xf), black_box(&yf))));
     });
     group.bench_function("axpy_f32_d64", |b| {
         let mut out = yf.clone();
         b.iter(|| {
             kernel::axpy_f32(black_box(0.01), black_box(&xf), &mut out);
             black_box(out[0])
-        })
+        });
     });
     group.bench_function("sgns_pair_step", |b| {
         let mut out = yf.clone();
@@ -55,7 +55,7 @@ fn bench_kernel(c: &mut Criterion) {
         b.iter(|| {
             kernel::sgns_pair_step(black_box(0.01), black_box(&xf), &mut out, &mut cgrad);
             black_box(cgrad[0])
-        })
+        });
     });
     group.finish();
 }
@@ -68,7 +68,7 @@ fn bench_graph(c: &mut Criterion) {
     };
     let ds = datasets::hepatitis::generate(&params);
     group.bench_function("build_bipartite_graph", |b| {
-        b.iter(|| black_box(DbGraph::build(&ds.db).graph().node_count()))
+        b.iter(|| black_box(DbGraph::build(&ds.db).graph().node_count()));
     });
     let graph = DbGraph::build(&ds.db);
     group.bench_function("walk_corpus_2x10", |b| {
@@ -81,7 +81,7 @@ fn bench_graph(c: &mut Criterion) {
             };
             let corpus = Walker::new(graph.graph(), cfg, 3).corpus();
             black_box(corpus.total_tokens())
-        })
+        });
     });
     group.finish();
 }
@@ -105,14 +105,14 @@ fn bench_sampling(c: &mut Criterion) {
     let total = *cumulative.last().unwrap();
     group.bench_function("alias_sample_4096", |b| {
         let mut rng = DetRng::seed_from_u64(1);
-        b.iter(|| black_box(alias.sample(&mut rng)))
+        b.iter(|| black_box(alias.sample(&mut rng)));
     });
     group.bench_function("cdf_sample_4096", |b| {
         let mut rng = DetRng::seed_from_u64(2);
         b.iter(|| {
             let x = rng.random_range(0.0..total);
             black_box(cumulative.partition_point(|&c| c <= x).min(n - 1))
-        })
+        });
     });
     // The two-level bucketed alias (what NegativeTable uses since the
     // incremental-maintenance change): two draws per sample instead of
@@ -120,7 +120,7 @@ fn bench_sampling(c: &mut Criterion) {
     let bucketed = stembed_runtime::BucketAlias::new(&weights);
     group.bench_function("bucket_alias_sample_4096", |b| {
         let mut rng = DetRng::seed_from_u64(3);
-        b.iter(|| black_box(bucketed.sample(&mut rng)))
+        b.iter(|| black_box(bucketed.sample(&mut rng)));
     });
     group.finish();
 }
@@ -142,7 +142,7 @@ fn bench_db(c: &mut Criterion) {
                 black_box(db.total_facts())
             },
             criterion::BatchSize::LargeInput,
-        )
+        );
     });
     group.finish();
 }
@@ -171,7 +171,7 @@ fn bench_svm(c: &mut Criterion) {
             });
             svm.fit(&x, &y);
             black_box(svm.support_count())
-        })
+        });
     });
     group.finish();
 }

@@ -61,7 +61,7 @@ use crate::walkdist::{
     DistStatus, FactDistribution, ValueDistribution,
 };
 use reldb::{Database, Fact, FactId, MutationKind, MutationRecord};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Cached fact-level entry: the distribution behind an [`Arc`], or the
@@ -71,19 +71,22 @@ pub type CachedFactDist = DistStatus<Arc<FactDistribution>>;
 /// Cached value-level entry (see [`CachedFactDist`]).
 pub type CachedValueDist = DistStatus<Arc<ValueDistribution>>;
 
-// Two-level maps, outer-keyed by scheme: lookups hash the (cheap) borrowed
-// scheme once and the inner key is `Copy` — the flat
-// `(WalkScheme, FactId)`-keyed alternative would clone the scheme's step
-// vector on every probe just to build a key.
-type FactMap = HashMap<WalkScheme, HashMap<FactId, CachedFactDist>>;
-type ValueMap = HashMap<WalkScheme, HashMap<(usize, FactId), CachedValueDist>>;
+// Two-level maps, outer-keyed by scheme: lookups compare the (cheap)
+// borrowed scheme without cloning it and the inner key is `Copy` — the
+// flat `(WalkScheme, FactId)`-keyed alternative would clone the scheme's
+// step vector on every probe just to build a key. `BTreeMap` (not
+// `HashMap`) because replay and eviction iterate these maps: the scheme
+// order — and with it the stats counters and any eviction tie-breaks —
+// must not depend on hasher state.
+type FactMap = BTreeMap<WalkScheme, BTreeMap<FactId, CachedFactDist>>;
+type ValueMap = BTreeMap<WalkScheme, BTreeMap<(usize, FactId), CachedValueDist>>;
 
-fn map_len<K, K2, V>(map: &HashMap<K, HashMap<K2, V>>) -> usize {
-    map.values().map(|inner| inner.len()).sum()
+fn map_len<K, K2, V>(map: &BTreeMap<K, BTreeMap<K2, V>>) -> usize {
+    map.values().map(std::collections::BTreeMap::len).sum()
 }
 
-fn put<K2: std::hash::Hash + Eq, V>(
-    map: &mut HashMap<WalkScheme, HashMap<K2, V>>,
+fn put<K2: Ord, V>(
+    map: &mut BTreeMap<WalkScheme, BTreeMap<K2, V>>,
     scheme: &WalkScheme,
     key: K2,
     value: V,
@@ -150,7 +153,7 @@ pub struct DistCache {
     values: ValueMap,
     /// Per-scheme FK-reachability, computed once per scheme (the schema is
     /// immutable within a lineage) and consulted by every journal replay.
-    scopes: HashMap<WalkScheme, SchemeReach>,
+    scopes: BTreeMap<WalkScheme, SchemeReach>,
     stats: DistCacheStats,
 }
 

@@ -128,7 +128,7 @@ impl TupleEmbedder for ForwardEmbedder {
     }
 
     fn embedding(&self, fact: FactId) -> Option<Vec<f64>> {
-        self.inner.embedding(fact).map(|v| v.to_vec())
+        self.inner.embedding(fact).map(<[f64]>::to_vec)
     }
 
     fn extend(&mut self, db: &Database, new_facts: &[FactId], seed: u64) -> Result<(), CoreError> {

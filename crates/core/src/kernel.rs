@@ -127,16 +127,18 @@ impl GaussianKernel {
     /// scale track the data, which is what the paper's "variance υ"
     /// hyperparameter is tuned to.
     pub fn fitted(db: &Database, rel: RelationId, attr: usize) -> Self {
+        // `active_domain` yields canonical `Value` order, so the variance
+        // sums below run over a fixed lane order — the fitted υ is
+        // bit-identical across runs and hasher states.
         let values: Vec<f64> = db
             .active_domain(rel, attr)
-            .filter_map(|v| v.as_f64())
+            .into_iter()
+            .filter_map(reldb::Value::as_f64)
             .collect();
         if values.len() < 2 {
             return GaussianKernel::new(1.0);
         }
-        let mean = values.iter().sum::<f64>() / values.len() as f64;
-        let var =
-            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (values.len() - 1) as f64;
+        let var = linalg::stats::variance(&values);
         if var <= 0.0 {
             GaussianKernel::new(1.0)
         } else {

@@ -31,7 +31,10 @@ use reldb::{FkId, RelationId, Schema};
 use std::fmt;
 
 /// One step of a walk scheme: a foreign key and a direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Ord` (fk id, then direction) exists so schemes can key ordered maps —
+/// caches iterate their entries and must do so in a deterministic order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Step {
     /// The foreign key being traversed.
     pub fk: FkId,
@@ -83,7 +86,7 @@ impl Step {
 }
 
 /// A walk scheme: start relation plus steps (possibly none).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct WalkScheme {
     /// The start relation `R₀`.
     pub start: RelationId,

@@ -34,7 +34,7 @@ use dbgraph::{DbGraph, Graph, NodeId, NodeKind};
 use linalg::Matrix;
 use node2vec::{Node2VecConfig, Node2VecModel, SgnsModel};
 use reldb::Database;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use stembed_runtime::Runtime;
 use stembed_wal::codec::{
     read_fact_id, read_value, write_fact_id, write_value, ByteReader, ByteWriter,
@@ -57,8 +57,9 @@ pub fn encode_forward(emb: &ForwardEmbedder) -> Vec<u8> {
     w.u32(inner.relation().0);
     write_forward_config(&mut w, inner.config());
     write_kernel_kinds(&mut w, &inner.kernels().kinds());
-    // ϕ in canonical (rel, row) order — HashMap iteration order must not
-    // leak into the bytes.
+    // ϕ in canonical (rel, row) order. `embedded_facts` already yields
+    // ascending `FactId`s; the explicit sort pins the byte layout to the
+    // canonical key rather than to `Ord`'s derive order.
     let mut facts: Vec<_> = inner.embedded_facts().collect();
     facts.sort_unstable_by_key(|f| (f.rel.0, f.row));
     w.len_prefix(facts.len());
@@ -90,7 +91,7 @@ pub fn decode_forward(db: &Database, bytes: &[u8]) -> Result<ForwardEmbedder, Wa
     let config = read_forward_config(&mut r)?;
     let kernels = KernelAssignment::from_kinds(&read_kernel_kinds(&mut r)?);
     let nfacts = r.count_prefix(8 + 8 * config.dim)?;
-    let mut phi = HashMap::with_capacity(nfacts);
+    let mut phi = BTreeMap::new();
     for _ in 0..nfacts {
         let f = read_fact_id(&mut r)?;
         let mut v = Vec::with_capacity(config.dim);

@@ -37,7 +37,7 @@ use crate::schemes::{target_pairs, Target};
 use crate::CoreError;
 use linalg::{vector, Matrix};
 use reldb::{Database, FactId, RelationId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use stembed_runtime::rng::DetRng;
 use stembed_runtime::{derive_seed, Runtime};
 
@@ -53,7 +53,10 @@ pub struct ForwardEmbedding {
     rel: RelationId,
     dim: usize,
     targets: Vec<Target>,
-    phi: HashMap<FactId, Vec<f64>>,
+    /// `BTreeMap` so every whole-map walk (snapshots, update application,
+    /// candidate enumeration) runs in ascending `FactId` order — hasher
+    /// state must never pick the order of float updates.
+    phi: BTreeMap<FactId, Vec<f64>>,
     psi: Vec<Matrix>,
     kernels: KernelAssignment,
     config: ForwardConfig,
@@ -105,7 +108,7 @@ impl ForwardEmbedding {
         let mut rng = DetRng::seed_from_u64(seed);
 
         // Random initialisation of ϕ and ψ (paper §V-D).
-        let mut phi = HashMap::with_capacity(facts.len());
+        let mut phi = BTreeMap::new();
         for &f in &facts {
             let v: Vec<f64> = (0..config.dim)
                 .map(|_| rng.random_range(-config.init_bound..=config.init_bound))
@@ -237,8 +240,8 @@ impl ForwardEmbedding {
     /// safe to run on any shard.
     fn chunk_gradients(&self, chunk: &[TrainingSample]) -> ChunkGradients {
         let dim = self.dim;
-        let mut phi_grad: HashMap<FactId, Vec<f64>> = HashMap::new();
-        let mut psi_grad: HashMap<usize, Matrix> = HashMap::new();
+        let mut phi_grad: BTreeMap<FactId, Vec<f64>> = BTreeMap::new();
+        let mut psi_grad: BTreeMap<usize, Matrix> = BTreeMap::new();
         let mut loss = 0.0;
         for s in chunk {
             let psi = &self.psi[s.target];
@@ -291,7 +294,7 @@ impl ForwardEmbedding {
     /// The embedding `ϕ(f)`, if `f` belongs to the embedded relation and
     /// was present at training (or added by the dynamic phase).
     pub fn embedding(&self, f: FactId) -> Option<&[f64]> {
-        self.phi.get(&f).map(|v| v.as_slice())
+        self.phi.get(&f).map(std::vec::Vec::as_slice)
     }
 
     /// Number of embedded facts.
@@ -342,7 +345,7 @@ impl ForwardEmbedding {
         self.phi.remove(&f).is_some()
     }
 
-    /// All embedded facts (unspecified order).
+    /// All embedded facts, in ascending [`FactId`] order.
     pub fn embedded_facts(&self) -> impl Iterator<Item = FactId> + '_ {
         self.phi.keys().copied()
     }
@@ -375,7 +378,7 @@ impl ForwardEmbedding {
         rel: RelationId,
         config: ForwardConfig,
         kernels: KernelAssignment,
-        phi: HashMap<FactId, Vec<f64>>,
+        phi: BTreeMap<FactId, Vec<f64>>,
         psi: Vec<Matrix>,
         epoch_losses: Vec<f64>,
     ) -> Result<Self, CoreError> {
@@ -435,8 +438,8 @@ impl ForwardEmbedding {
 /// Chunk-local gradient accumulators (see [`ForwardEmbedding::chunk_gradients`]).
 struct ChunkGradients {
     loss: f64,
-    phi_grad: HashMap<FactId, Vec<f64>>,
-    psi_grad: HashMap<usize, Matrix>,
+    phi_grad: BTreeMap<FactId, Vec<f64>>,
+    psi_grad: BTreeMap<usize, Matrix>,
 }
 
 /// Ordered merge of per-chunk accumulators: every fact/target slot receives
@@ -445,29 +448,29 @@ struct ChunkGradients {
 fn merge_chunk_gradients(partials: Vec<ChunkGradients>) -> ChunkGradients {
     let mut merged = ChunkGradients {
         loss: 0.0,
-        phi_grad: HashMap::new(),
-        psi_grad: HashMap::new(),
+        phi_grad: BTreeMap::new(),
+        psi_grad: BTreeMap::new(),
     };
     for part in partials {
         merged.loss += part.loss;
         for (f, grad) in part.phi_grad {
             match merged.phi_grad.entry(f) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
                     vector::axpy(1.0, &grad, e.get_mut());
                 }
-                std::collections::hash_map::Entry::Vacant(e) => {
+                std::collections::btree_map::Entry::Vacant(e) => {
                     e.insert(grad);
                 }
             }
         }
         for (t, grad) in part.psi_grad {
             match merged.psi_grad.entry(t) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
                     e.get_mut()
                         .add_scaled(1.0, &grad)
                         .expect("chunk gradients share ψ shape");
                 }
-                std::collections::hash_map::Entry::Vacant(e) => {
+                std::collections::btree_map::Entry::Vacant(e) => {
                     e.insert(grad);
                 }
             }

@@ -338,7 +338,7 @@ mod tests {
         g.sample_size(3);
         g.bench_function("busy", |b| b.iter(|| (0..1000u64).sum::<u64>()));
         g.bench_with_input(BenchmarkId::new("param", 7), &7usize, |b, &x| {
-            b.iter(|| x * 2)
+            b.iter(|| x * 2);
         });
         g.finish();
         assert_eq!(c.results().len(), 2);
@@ -352,7 +352,7 @@ mod tests {
         let mut g = c.benchmark_group("g");
         g.sample_size(2);
         g.bench_function("batched", |b| {
-            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput)
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput);
         });
         g.finish();
         assert_eq!(c.results().len(), 1);

@@ -2,7 +2,7 @@
 
 use crate::{Graph, NodeId, UnionFind};
 use reldb::{Database, FactId, RelationId, Schema, Value};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// What a graph node represents.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,7 +26,13 @@ pub enum NodeKind {
 pub struct DbGraph {
     graph: Graph,
     kinds: Vec<NodeKind>,
-    fact_nodes: HashMap<FactId, NodeId>,
+    /// Ordered map: relabelling rewrites every entry in place, and the
+    /// visit order must be hasher-independent.
+    fact_nodes: BTreeMap<FactId, NodeId>,
+    /// Stays a `HashMap`: [`Value`] has no consistent `Ord` (`Float` keys
+    /// are compared by `PartialEq`, which identifies `-0.0 == 0.0`, while
+    /// any total order would have to split them). Every iteration over it
+    /// is order-insensitive (see the waiver at `apply_relabel`).
     value_nodes: HashMap<(u32, Value), NodeId>,
     /// `column_class[rel][attr]` → equivalence class id.
     column_class: Vec<Vec<u32>>,
@@ -176,7 +182,7 @@ impl DbGraph {
         let mut this = DbGraph {
             graph: Graph::new(),
             kinds: Vec::new(),
-            fact_nodes: HashMap::new(),
+            fact_nodes: BTreeMap::new(),
             value_nodes: HashMap::new(),
             column_class,
             class_repr,
@@ -204,6 +210,11 @@ impl DbGraph {
         for v in self.fact_nodes.values_mut() {
             *v = NodeId(new_id_of[v.index()]);
         }
+        // Pure per-entry rewrite: every value is mapped independently
+        // through `new_id_of`, so the visit order cannot influence any
+        // result. `value_nodes` cannot become a `BTreeMap` — `Value` has
+        // no consistent total order (see the field docs).
+        // lint: nondeterministic-iter-ok(order-insensitive in-place rewrite; Value is not Ord)
         for v in self.value_nodes.values_mut() {
             *v = NodeId(new_id_of[v.index()]);
         }
@@ -367,7 +378,7 @@ impl DbGraph {
             assert_eq!(inv.len(), graph.node_count(), "relabelling length");
         }
         let (column_class, class_repr) = Self::column_classes(schema);
-        let mut fact_nodes = HashMap::new();
+        let mut fact_nodes = BTreeMap::new();
         let mut value_nodes = HashMap::new();
         for (i, kind) in kinds.iter().enumerate() {
             match kind {

@@ -244,7 +244,7 @@ impl<'g> Walker<'g> {
             .reserve(per_start.iter().map(|s| s.tokens.len()).sum());
         corpus
             .offsets
-            .reserve(per_start.iter().map(|s| s.len()).sum::<usize>() + 1);
+            .reserve(per_start.iter().map(WalkCorpus::len).sum::<usize>() + 1);
         corpus.offsets.push(0);
         for shard in &per_start {
             corpus.append(shard);
@@ -418,14 +418,14 @@ mod tests {
         let corpus = Walker::new(&g, cfg, 5).corpus();
         // offsets delimit exactly the token arena…
         assert_eq!(corpus.total_tokens(), corpus.tokens().len());
-        let summed: usize = corpus.iter().map(|w| w.len()).sum();
+        let summed: usize = corpus.iter().map(<[NodeId]>::len).sum();
         assert_eq!(summed, corpus.total_tokens());
         // …and indexed access agrees with iteration.
         for (i, w) in corpus.iter().enumerate() {
             assert_eq!(w, corpus.walk(i));
         }
         // Round-trip through the nested representation.
-        let nested: Vec<Vec<NodeId>> = corpus.iter().map(|w| w.to_vec()).collect();
+        let nested: Vec<Vec<NodeId>> = corpus.iter().map(<[NodeId]>::to_vec).collect();
         assert_eq!(WalkCorpus::from_nested(&nested), corpus);
     }
 

@@ -68,7 +68,7 @@ impl Matrix {
     /// Build from a slice of equally-long rows.
     pub fn from_rows(rows: &[Vec<f64>]) -> Self {
         let r = rows.len();
-        let c = rows.first().map_or(0, |row| row.len());
+        let c = rows.first().map_or(0, std::vec::Vec::len);
         let mut data = Vec::with_capacity(r * c);
         for row in rows {
             assert_eq!(row.len(), c, "Matrix::from_rows: ragged rows");

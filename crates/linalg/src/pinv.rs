@@ -157,8 +157,8 @@ pub fn pinv_solve_gram(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     // solving, is the right answer).
     if let Ok(chol) = crate::Cholesky::decompose(&gram) {
         let diag: Vec<f64> = (0..gram.rows()).map(|i| chol.factor()[(i, i)]).collect();
-        let max_d = diag.iter().cloned().fold(0.0f64, f64::max);
-        let min_d = diag.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max_d = diag.iter().copied().fold(0.0f64, f64::max);
+        let min_d = diag.iter().copied().fold(f64::INFINITY, f64::min);
         if min_d > max_d * f64::EPSILON.sqrt() {
             let g = if tall { a.matvec_t(b)? } else { b.to_vec() };
             let y = chol.solve(&g)?;

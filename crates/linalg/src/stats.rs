@@ -14,9 +14,19 @@ pub fn std_dev(xs: &[f64]) -> f64 {
     if xs.len() < 2 {
         return 0.0;
     }
+    variance(xs).sqrt()
+}
+
+/// Sample variance (n−1 denominator); `0.0` for fewer than two
+/// observations. Serial left-to-right sums — callers that need a fixed
+/// float lane order (e.g. kernel variance fitting) get it by fixing the
+/// order of `xs`.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
     let m = mean(xs);
-    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
-    var.sqrt()
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
 }
 
 /// `(mean, std_dev)` in one pass over the slice boundary.

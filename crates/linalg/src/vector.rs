@@ -25,7 +25,7 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
 /// `y ← y + alpha * x` (BLAS `axpy`), on the shared kernel.
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    kernel::axpy(alpha, x, y)
+    kernel::axpy(alpha, x, y);
 }
 
 /// `x ← alpha * x`.

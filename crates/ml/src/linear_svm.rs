@@ -58,8 +58,7 @@ impl BinaryClassifier for LinearSvm {
                 t += 1;
                 let i = rng.random_range(0..n);
                 let eta = 1.0 / (self.lambda * t as f64);
-                let margin =
-                    y[i] * (self.w.iter().zip(&x[i]).map(|(w, v)| w * v).sum::<f64>() + self.b);
+                let margin = y[i] * (linalg::vector::dot(&self.w, &x[i]) + self.b);
                 // w ← (1 − ηλ)w [+ η y x when the margin is violated].
                 let shrink = 1.0 - eta * self.lambda;
                 for w in &mut self.w {
@@ -76,7 +75,7 @@ impl BinaryClassifier for LinearSvm {
     }
 
     fn decision(&self, row: &[f64]) -> f64 {
-        self.w.iter().zip(row).map(|(w, v)| w * v).sum::<f64>() + self.b
+        linalg::vector::dot(&self.w, row) + self.b
     }
 }
 

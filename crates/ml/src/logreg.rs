@@ -75,7 +75,7 @@ impl BinaryClassifier for LogisticRegression {
     }
 
     fn decision(&self, row: &[f64]) -> f64 {
-        self.w.iter().zip(row).map(|(w, v)| w * v).sum::<f64>() + self.b
+        linalg::vector::dot(&self.w, row) + self.b
     }
 }
 

@@ -11,7 +11,7 @@ pub struct StandardScaler {
 impl StandardScaler {
     /// Fit to the rows of `x`.
     pub fn fit(x: &[Vec<f64>]) -> Self {
-        let dim = x.first().map_or(0, |r| r.len());
+        let dim = x.first().map_or(0, std::vec::Vec::len);
         let n = x.len().max(1) as f64;
         let mut means = vec![0.0; dim];
         for row in x {

@@ -84,17 +84,20 @@ impl RbfSvm {
             return g;
         }
         // gamma = 1 / (n_features * Var(X)) over all entries.
-        let dim = x.first().map_or(1, |r| r.len()).max(1);
+        let dim = x.first().map_or(1, std::vec::Vec::len).max(1);
         let n: usize = x.len() * dim;
         if n == 0 {
             return 1.0;
         }
-        let mean: f64 = x.iter().flatten().sum::<f64>() / n as f64;
+        // Serial left-to-right sums over the caller-fixed row order: the
+        // lane order is already deterministic, and the flattened matrix
+        // never round-trips through the kernel layer.
+        let mean: f64 = x.iter().flatten().sum::<f64>() / n as f64; // lint: unfused-float-reduction-ok(serial sum over caller-fixed row order)
         let var: f64 = x
             .iter()
             .flatten()
             .map(|v| (v - mean) * (v - mean))
-            .sum::<f64>()
+            .sum::<f64>() // lint: unfused-float-reduction-ok(serial sum over caller-fixed row order)
             / n as f64;
         if var <= 1e-12 {
             1.0

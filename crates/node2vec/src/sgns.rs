@@ -630,6 +630,10 @@ impl SgnsModel {
     /// function (`#[inline(always)]` chain), so LLVM vectorises the
     /// per-pair math with 256-bit registers. Same IEEE op sequence as
     /// every other instantiation.
+    ///
+    /// Safety: the caller must ensure the CPU supports AVX2 (runtime
+    /// detection via `KernelPath::from_env` or an explicit
+    /// `is_x86_feature_detected!` check).
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2")]
     #[allow(clippy::too_many_arguments)]
@@ -811,9 +815,10 @@ mod tests {
         assert_eq!(scalar, wide32, "scalar vs const-dim wide train");
         #[cfg(target_arch = "x86_64")]
         if std::arch::is_x86_feature_detected!("avx2") {
-            // SAFETY: AVX2 presence checked just above.
-            let avx2 =
-                run(&mut |m| unsafe { m.train_avx2::<32>(&corpus, &table, 3, 5, 3, 0.05, 2) });
+            let avx2 = run(&mut |m| {
+                // SAFETY: AVX2 presence checked just above.
+                unsafe { m.train_avx2::<32>(&corpus, &table, 3, 5, 3, 0.05, 2) }
+            });
             assert_eq!(scalar, avx2, "scalar vs avx2 train");
         }
     }

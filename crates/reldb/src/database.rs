@@ -510,9 +510,17 @@ impl Database {
             .map_or(&[], |v| v.as_slice())
     }
 
-    /// The active domain `adom(A)`: distinct non-null values of `rel.attr`.
-    pub fn active_domain(&self, rel: RelationId, attr: usize) -> impl Iterator<Item = &Value> {
-        self.stores[rel.index()].value_index[attr].keys()
+    /// The active domain `adom(A)`: distinct non-null values of `rel.attr`,
+    /// in canonical order ([`Value::canonical_cmp`]).
+    ///
+    /// The backing index is hash-ordered; the sort here keeps consumers —
+    /// notably kernel variance fitting, whose float sums run in this
+    /// order — independent of hasher state.
+    pub fn active_domain(&self, rel: RelationId, attr: usize) -> Vec<&Value> {
+        // lint: nondeterministic-iter-ok(keys are collected and canonically sorted before exposure)
+        let mut vals: Vec<&Value> = self.stores[rel.index()].value_index[attr].keys().collect();
+        vals.sort_unstable_by(|a, b| a.canonical_cmp(b));
+        vals
     }
 
     /// Facts of `fk.from_rel` whose FK tuple references the key tuple
@@ -952,8 +960,7 @@ mod tests {
         db.delete(r1).unwrap();
         assert_eq!(db.facts_with_value(rel_r, 2, &Value::Int(5)).len(), 1);
         assert_eq!(db.facts_with_value(rel_r, 2, &Value::Int(99)).len(), 0);
-        let adom: Vec<&Value> = db.active_domain(rel_r, 2).collect();
-        assert_eq!(adom, vec![&Value::Int(5)]);
+        assert_eq!(db.active_domain(rel_r, 2), vec![&Value::Int(5)]);
     }
 
     #[test]

@@ -104,12 +104,12 @@ impl fmt::Display for DbError {
                 write!(f, "NaN value rejected for {relation}.{attribute}")
             }
             DbError::DuplicateKey { relation, key } => {
-                let parts: Vec<String> = key.iter().map(|v| v.to_string()).collect();
+                let parts: Vec<String> = key.iter().map(std::string::ToString::to_string).collect();
                 write!(f, "duplicate key ({}) in {relation}", parts.join(", "))
             }
             DbError::FkViolation { from, to, values } => {
                 let parts: Vec<String> =
-                    values.iter().map(|v| v.to_string()).collect();
+                    values.iter().map(std::string::ToString::to_string).collect();
                 write!(
                     f,
                     "foreign-key violation: {from} references {to} with ({}) but no such fact exists",

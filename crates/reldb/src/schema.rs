@@ -152,7 +152,7 @@ impl Schema {
     /// Total number of attributes across all relations (Table I's
     /// "#Attributes" column).
     pub fn total_attributes(&self) -> usize {
-        self.relations.iter().map(|r| r.arity()).sum()
+        self.relations.iter().map(RelationSchema::arity).sum()
     }
 
     /// `true` iff attribute `attr` of `rel` participates in *any* FK, on
@@ -280,7 +280,10 @@ impl SchemaBuilder {
     ) {
         self.pending_fks.push(PendingFk {
             from_rel: from_rel.into(),
-            from_attrs: from_attrs.iter().map(|s| s.to_string()).collect(),
+            from_attrs: from_attrs
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             to_rel: to_rel.into(),
         });
     }

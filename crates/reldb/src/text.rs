@@ -44,7 +44,11 @@ pub fn to_text(db: &Database) -> String {
             .unwrap();
         }
         for (_, fact) in db.facts(rel_id) {
-            let fields: Vec<String> = fact.values().iter().map(|v| v.to_string()).collect();
+            let fields: Vec<String> = fact
+                .values()
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect();
             writeln!(out, "{}", fields.join("\t")).unwrap();
         }
         writeln!(out, "@end").unwrap();
@@ -81,7 +85,7 @@ pub fn from_text(text: &str) -> Result<Database> {
                 .collect();
             current_rel = Some((name.trim().to_string(), types));
         } else if line.starts_with("@attr") || line.starts_with("@fk") {
-            continue;
+            // Schema annotations — already applied when the schema was read.
         } else if line == "@end" {
             current_rel = None;
         } else {
@@ -125,7 +129,7 @@ fn parse_schema(text: &str) -> Result<Schema> {
             for (attr_name, ty) in &attrs {
                 rb = rb.attr(attr_name.clone(), *ty);
             }
-            let key_refs: Vec<&str> = key.iter().map(|s| s.as_str()).collect();
+            let key_refs: Vec<&str> = key.iter().map(std::string::String::as_str).collect();
             if key_refs.is_empty() {
                 return Err(DbError::Parse("relation without key".into()));
             }
@@ -191,7 +195,7 @@ fn parse_schema(text: &str) -> Result<Schema> {
     }
     flush(&mut b, current.take())?;
     for (from_rel, from_attrs, to_rel) in fks {
-        let refs: Vec<&str> = from_attrs.iter().map(|s| s.as_str()).collect();
+        let refs: Vec<&str> = from_attrs.iter().map(std::string::String::as_str).collect();
         b.foreign_key(from_rel, &refs, to_rel);
     }
     b.build()

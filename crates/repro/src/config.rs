@@ -141,7 +141,7 @@ mod tests {
     fn arg_parsing() {
         let args: Vec<String> = ["--seed", "7", "--scale", "0.3", "--dataset", "genes"]
             .iter()
-            .map(|s| s.to_string())
+            .map(std::string::ToString::to_string)
             .collect();
         let cfg = ExperimentConfig::from_args(&args);
         assert_eq!(cfg.seed, 7);

@@ -185,36 +185,43 @@ fn reduce(acc: &[f64; LANES]) -> f64 {
 mod avx2 {
     use super::*;
 
+    // SAFETY: caller must ensure the CPU supports AVX2.
     #[target_feature(enable = "avx2")]
     pub unsafe fn dot(x: &[f64], y: &[f64]) -> f64 {
         dot_wide(x, y)
     }
 
+    // SAFETY: caller must ensure the CPU supports AVX2.
     #[target_feature(enable = "avx2")]
     pub unsafe fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
         axpy_wide(alpha, x, y);
     }
 
+    // SAFETY: caller must ensure the CPU supports AVX2.
     #[target_feature(enable = "avx2")]
     pub unsafe fn dot_f32(x: &[f32], y: &[f32]) -> f64 {
         dot_f32_wide(x, y)
     }
 
+    // SAFETY: caller must ensure the CPU supports AVX2.
     #[target_feature(enable = "avx2")]
     pub unsafe fn axpy_f32(alpha: f64, x: &[f32], y: &mut [f32]) {
         axpy_f32_wide(alpha, x, y);
     }
 
+    // SAFETY: caller must ensure the CPU supports AVX2.
     #[target_feature(enable = "avx2")]
     pub unsafe fn axpy_f32_acc(alpha: f64, x: &[f32], acc: &mut [f64]) {
         axpy_f32_acc_wide(alpha, x, acc);
     }
 
+    // SAFETY: caller must ensure the CPU supports AVX2.
     #[target_feature(enable = "avx2")]
     pub unsafe fn sgns_pair_step(g: f64, in_row: &[f32], out_row: &mut [f32], cgrad: &mut [f64]) {
         sgns_pair_step_wide(g, in_row, out_row, cgrad);
     }
 
+    // SAFETY: caller must ensure the CPU supports AVX2.
     #[target_feature(enable = "avx2")]
     pub unsafe fn apply_center_grad(cgrad: &[f64], row: &mut [f32]) {
         apply_center_grad_wide(cgrad, row);
@@ -228,30 +235,38 @@ mod avx2 {
 mod avx2 {
     use super::*;
 
+    // SAFETY: no requirement — safe forward kept `unsafe` only to
+    // mirror the x86-64 signature.
     pub unsafe fn dot(x: &[f64], y: &[f64]) -> f64 {
         dot_wide(x, y)
     }
 
+    // SAFETY: no requirement — safe forward mirroring the x86-64 signature.
     pub unsafe fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
         axpy_wide(alpha, x, y);
     }
 
+    // SAFETY: no requirement — safe forward mirroring the x86-64 signature.
     pub unsafe fn dot_f32(x: &[f32], y: &[f32]) -> f64 {
         dot_f32_wide(x, y)
     }
 
+    // SAFETY: no requirement — safe forward mirroring the x86-64 signature.
     pub unsafe fn axpy_f32(alpha: f64, x: &[f32], y: &mut [f32]) {
         axpy_f32_wide(alpha, x, y);
     }
 
+    // SAFETY: no requirement — safe forward mirroring the x86-64 signature.
     pub unsafe fn axpy_f32_acc(alpha: f64, x: &[f32], acc: &mut [f64]) {
         axpy_f32_acc_wide(alpha, x, acc);
     }
 
+    // SAFETY: no requirement — safe forward mirroring the x86-64 signature.
     pub unsafe fn sgns_pair_step(g: f64, in_row: &[f32], out_row: &mut [f32], cgrad: &mut [f64]) {
         sgns_pair_step_wide(g, in_row, out_row, cgrad);
     }
 
+    // SAFETY: no requirement — safe forward mirroring the x86-64 signature.
     pub unsafe fn apply_center_grad(cgrad: &[f64], row: &mut [f32]) {
         apply_center_grad_wide(cgrad, row);
     }

@@ -54,11 +54,7 @@ impl Runtime {
         let shards = std::env::var(SHARDS_ENV)
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
-            .unwrap_or_else(|| {
-                thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            });
+            .unwrap_or_else(|| thread::available_parallelism().map_or(1, std::num::NonZero::get));
         Runtime::new(shards)
     }
 
@@ -73,11 +69,8 @@ impl Runtime {
     /// by thread), so the cap is a pure scheduling decision.
     fn effective_workers(&self, n_chunks: usize) -> usize {
         static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-        let cores = *CORES.get_or_init(|| {
-            thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        });
+        let cores = *CORES
+            .get_or_init(|| thread::available_parallelism().map_or(1, std::num::NonZero::get));
         self.shards.min(cores).min(n_chunks.max(1))
     }
 

@@ -26,7 +26,7 @@
 //! the borrow ends — the same guarantee `std::thread::scope` provides,
 //! amortised over one long-lived pool.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Condvar, Mutex, OnceLock};
 use std::thread;
 
@@ -47,8 +47,10 @@ struct Job {
 #[derive(Default)]
 struct State {
     /// Live jobs by id. Multiple jobs coexist when several threads (or
-    /// nested regions) submit concurrently.
-    jobs: HashMap<u64, Job>,
+    /// nested regions) submit concurrently. Ordered map: idle workers scan
+    /// for unclaimed work, and the oldest (lowest-id) job should win that
+    /// scan rather than whichever bucket a hasher visits first.
+    jobs: BTreeMap<u64, Job>,
     next_id: u64,
     /// Worker threads spawned so far.
     workers: usize,
@@ -152,7 +154,7 @@ impl Pool {
         loop {
             let done = st.jobs.get(&id).is_none_or(|job| job.active == 0);
             if done {
-                return st.jobs.remove(&id).map(|job| job.poisoned).unwrap_or(false);
+                return st.jobs.remove(&id).is_some_and(|job| job.poisoned);
             }
             st = self.done_cv.wait(st).expect("pool state");
         }

@@ -75,7 +75,7 @@ impl WalHook {
 
     /// Force everything appended so far durable.
     pub fn sync(&self) -> Result<()> {
-        self.with(|w| w.sync())
+        self.with(super::wal::WalWriter::sync)
     }
 
     /// LSN of the last appended frame (0 if none), **without** forcing a

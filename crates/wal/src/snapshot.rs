@@ -348,7 +348,8 @@ pub fn latest_snapshot(vfs: &dyn Vfs, dir: &str) -> Result<Option<Snapshot>> {
         let bytes = vfs.read(&path)?;
         match Snapshot::decode(&bytes) {
             Ok(snap) => return Ok(Some(snap)),
-            Err(WalError::Corrupt(_)) => continue,
+            // A torn snapshot: fall through to the next-older one.
+            Err(WalError::Corrupt(_)) => {}
             Err(e) => return Err(e),
         }
     }

@@ -1,0 +1,5 @@
+//! Fixture: wall-clock reads in a compute crate must be flagged.
+pub fn elapsed_secs() -> f64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,4 @@
+//! Fixture: reading an env var outside the STEMBED_* allowlist.
+pub fn home() -> Option<String> {
+    std::env::var("HOME").ok()
+}

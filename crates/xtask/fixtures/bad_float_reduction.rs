@@ -1,0 +1,5 @@
+//! Fixture: an iterator float reduction outside the fixed-lane kernel
+//! layer.
+pub fn total(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}

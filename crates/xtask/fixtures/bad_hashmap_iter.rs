@@ -1,0 +1,14 @@
+//! Fixture: iterating a HashMap in a compute crate must be flagged.
+use std::collections::{HashMap, HashSet};
+
+pub fn totals(map: &HashMap<u32, f64>) -> f64 {
+    let mut t = 0.0;
+    for (_k, v) in map.iter() {
+        t += v;
+    }
+    t
+}
+
+pub fn names(set: &HashSet<String>) -> Vec<String> {
+    set.iter().cloned().collect()
+}

@@ -1,0 +1,6 @@
+//! Fixture: the rand crate bypasses the vendored seeded RNG.
+use rand::Rng;
+
+pub fn draw() -> u64 {
+    rand::thread_rng().gen()
+}

@@ -1,0 +1,6 @@
+//! Fixture: explicit RandomState anywhere is ambient nondeterminism.
+use std::collections::hash_map::RandomState;
+
+pub fn build() -> RandomState {
+    RandomState::new()
+}

@@ -1,0 +1,9 @@
+//! Fixture: a #[target_feature] fn without a scalar reference sibling.
+
+// SAFETY: caller must ensure the CPU supports AVX2.
+#[target_feature(enable = "avx2")]
+pub unsafe fn frob(xs: &mut [f32]) {
+    for x in xs {
+        *x *= 2.0;
+    }
+}

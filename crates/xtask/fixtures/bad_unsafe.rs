@@ -1,0 +1,4 @@
+//! Fixture: an unsafe block without a SAFETY: comment.
+pub fn first(xs: &[u8]) -> u8 {
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,15 @@
+//! Fixture: ordered containers iterate freely; HashMap point lookups are
+//! fine too — only *iteration* is order-sensitive.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn totals(map: &BTreeMap<u32, f64>) -> f64 {
+    let mut t = 0.0;
+    for (_k, v) in map.iter() {
+        t += v;
+    }
+    t
+}
+
+pub fn lookup(index: &HashMap<u32, f64>, k: u32) -> Option<f64> {
+    index.get(&k).copied()
+}

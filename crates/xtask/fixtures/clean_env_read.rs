@@ -1,0 +1,10 @@
+//! Fixture: STEMBED_* reads are the documented configuration surface.
+const SHARDS_ENV: &str = "STEMBED_SHARDS";
+
+pub fn shards() -> Option<String> {
+    std::env::var(SHARDS_ENV).ok()
+}
+
+pub fn kernel() -> Option<String> {
+    std::env::var("STEMBED_KERNEL").ok()
+}

@@ -1,0 +1,14 @@
+//! Fixture: the kernel convention — an accelerated fn with a scalar
+//! reference sibling of the same lane order.
+
+// SAFETY: caller must ensure the CPU supports AVX2.
+#[target_feature(enable = "avx2")]
+pub unsafe fn frob(xs: &mut [f32]) {
+    frob_scalar(xs);
+}
+
+pub fn frob_scalar(xs: &mut [f32]) {
+    for x in xs {
+        *x *= 2.0;
+    }
+}

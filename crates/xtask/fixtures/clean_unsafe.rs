@@ -1,0 +1,6 @@
+//! Fixture: a documented unsafe block passes.
+pub fn first(xs: &[u8]) -> u8 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *xs.get_unchecked(0) }
+}

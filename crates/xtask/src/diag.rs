@@ -1,0 +1,100 @@
+//! rustc-style diagnostic rendering and the `--waivers` JSON dump.
+
+use crate::rules::{Finding, Waiver};
+use std::fmt::Write as _;
+
+/// Render one finding the way rustc renders an error:
+///
+/// ```text
+/// error[xtask::nondeterministic-iter]: iteration over hash-ordered container `facts`
+///   --> crates/core/src/distcache.rs:244:49
+///     |
+/// 244 |         let mut seen: Vec<&WalkScheme> = self.facts.keys().collect();
+///     |                                                     ^^^^^
+///     = help: iterate a BTreeMap/sorted Vec instead, …
+/// ```
+pub fn render(f: &Finding) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "error[xtask::{}]: {}", f.rule.name(), f.message);
+    let _ = writeln!(s, "  --> {}:{}:{}", f.file, f.line, f.col);
+    let gutter = f.line.to_string().len().max(3);
+    let _ = writeln!(s, "{:gutter$} |", "");
+    let _ = writeln!(s, "{:>gutter$} | {}", f.line, f.snippet.trim_end());
+    // Caret under the column (tabs in the snippet render as one char).
+    let caret_pad: usize = f.col.saturating_sub(1);
+    let _ = writeln!(s, "{:gutter$} | {:caret_pad$}^", "", "");
+    let _ = writeln!(s, "{:gutter$} = help: {}", "", f.rule.help());
+    s
+}
+
+/// The `--waivers` audit output: a JSON array, one object per waiver.
+pub fn waivers_json(waivers: &[Waiver]) -> String {
+    let mut s = String::from("[\n");
+    for (i, w) in waivers.iter().enumerate() {
+        let _ = write!(
+            s,
+            "  {{\"file\": {}, \"line\": {}, \"rule\": {}, \"reason\": {}}}",
+            json_str(&w.file),
+            w.line,
+            json_str(w.rule.name()),
+            json_str(&w.reason),
+        );
+        s.push_str(if i + 1 < waivers.len() { ",\n" } else { "\n" });
+    }
+    s.push(']');
+    s
+}
+
+fn json_str(v: &str) -> String {
+    let mut s = String::with_capacity(v.len() + 2);
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    #[test]
+    fn render_is_rustc_shaped() {
+        let f = Finding {
+            rule: Rule::AmbientTime,
+            file: "crates/core/src/x.rs".into(),
+            line: 7,
+            col: 13,
+            message: "ambient wall-clock read".into(),
+            snippet: "    let t = Instant::now();".into(),
+        };
+        let r = render(&f);
+        assert!(r.starts_with("error[xtask::ambient-time]:"));
+        assert!(r.contains("--> crates/core/src/x.rs:7:13"));
+        assert!(r.contains("  7 |     let t = Instant::now();"));
+    }
+
+    #[test]
+    fn json_escapes() {
+        let w = Waiver {
+            rule: Rule::EnvRead,
+            file: "a\"b.rs".into(),
+            line: 1,
+            reason: "line\nbreak".into(),
+        };
+        let j = waivers_json(&[w]);
+        assert!(j.contains("\"a\\\"b.rs\""));
+        assert!(j.contains("line\\nbreak"));
+    }
+}

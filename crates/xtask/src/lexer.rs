@@ -1,0 +1,406 @@
+//! A comment- and string-literal-aware scanner for Rust source.
+//!
+//! The lint rules work on a *blanked* view of each file: comments and the
+//! contents of string/char literals are replaced by spaces (newlines kept),
+//! so token scans never match inside `"HashMap"` the string or `// unsafe`
+//! the comment. Comments are collected separately, per line, because two
+//! rules read them: `SAFETY:` justification comments and `// lint: …-ok(…)`
+//! waivers.
+
+/// One file, split into the views the rules need.
+pub struct FileSource {
+    /// Original text (needed to read string-literal arguments, e.g. the
+    /// env-var name passed to `std::env::var`).
+    pub raw: String,
+    /// `raw` with comments and literal contents blanked to spaces. Always
+    /// the same length and line structure as `raw`.
+    pub code: String,
+    /// Comment text per line (0-based index = line − 1; empty string when
+    /// the line has no comment). Block comments contribute to every line
+    /// they span.
+    pub comments: Vec<String>,
+}
+
+impl FileSource {
+    pub fn parse(raw: &str) -> FileSource {
+        let mut code: Vec<char> = Vec::with_capacity(raw.len());
+        let nlines = raw.lines().count().max(1);
+        let mut comments = vec![String::new(); nlines + 1];
+        let chars: Vec<char> = raw.chars().collect();
+        let mut line = 0usize;
+        let mut i = 0usize;
+
+        // Push a blank (space) for every non-newline char, the char itself
+        // for newlines, so offsets and line structure survive.
+        fn blank(code: &mut Vec<char>, c: char) {
+            code.push(if c == '\n' { '\n' } else { ' ' });
+        }
+
+        while i < chars.len() {
+            let c = chars[i];
+            match c {
+                '\n' => {
+                    code.push('\n');
+                    line += 1;
+                    i += 1;
+                }
+                '/' if i + 1 < chars.len() && chars[i + 1] == '/' => {
+                    // Line comment (incl. doc comments). Capture to newline.
+                    let start = i;
+                    while i < chars.len() && chars[i] != '\n' {
+                        blank(&mut code, chars[i]);
+                        i += 1;
+                    }
+                    let text: String = chars[start..i].iter().collect();
+                    if !comments[line].is_empty() {
+                        comments[line].push(' ');
+                    }
+                    comments[line].push_str(&text);
+                }
+                '/' if i + 1 < chars.len() && chars[i + 1] == '*' => {
+                    // Block comment, nested per Rust.
+                    let mut depth = 1usize;
+                    blank(&mut code, chars[i]);
+                    blank(&mut code, chars[i + 1]);
+                    i += 2;
+                    let mut seg = String::from("/*");
+                    while i < chars.len() && depth > 0 {
+                        if chars[i] == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+                            depth += 1;
+                            seg.push_str("/*");
+                            blank(&mut code, '/');
+                            blank(&mut code, '*');
+                            i += 2;
+                        } else if chars[i] == '*' && i + 1 < chars.len() && chars[i + 1] == '/' {
+                            depth -= 1;
+                            seg.push_str("*/");
+                            blank(&mut code, '*');
+                            blank(&mut code, '/');
+                            i += 2;
+                        } else {
+                            if chars[i] == '\n' {
+                                if !comments[line].is_empty() {
+                                    comments[line].push(' ');
+                                }
+                                comments[line].push_str(&seg);
+                                seg.clear();
+                                code.push('\n');
+                                line += 1;
+                            } else {
+                                seg.push(chars[i]);
+                                blank(&mut code, chars[i]);
+                            }
+                            i += 1;
+                        }
+                    }
+                    if !seg.is_empty() {
+                        if !comments[line].is_empty() {
+                            comments[line].push(' ');
+                        }
+                        comments[line].push_str(&seg);
+                    }
+                }
+                '"' => {
+                    i = scan_string(&chars, i, &mut code, &mut line);
+                }
+                'r' | 'b' if starts_literal_prefix(&chars, i) => {
+                    i = scan_prefixed_literal(&chars, i, &mut code, &mut line);
+                }
+                '\'' => {
+                    // Char literal vs lifetime.
+                    if let Some(end) = char_literal_end(&chars, i) {
+                        // Blank the contents, keep line structure.
+                        for &ch in &chars[i..end] {
+                            blank(&mut code, ch);
+                        }
+                        i = end;
+                    } else {
+                        // Lifetime: keep the tick, the ident scans as code.
+                        code.push('\'');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+
+        FileSource {
+            raw: raw.to_string(),
+            code: code.into_iter().collect(),
+            comments,
+        }
+    }
+
+    /// 1-based line and column (both in chars) of a char offset into `code`.
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let mut line = 1usize;
+        let mut col = 1usize;
+        for (n, c) in self.code.chars().enumerate() {
+            if n == offset {
+                break;
+            }
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+
+    /// The raw text of a 1-based line (for diagnostics).
+    pub fn raw_line(&self, line: usize) -> &str {
+        self.raw.lines().nth(line.saturating_sub(1)).unwrap_or("")
+    }
+
+    /// Comment text attached to a 1-based line ("" when none).
+    pub fn comment_on(&self, line: usize) -> &str {
+        self.comments
+            .get(line.saturating_sub(1))
+            .map_or("", String::as_str)
+    }
+
+    /// Whether the 1-based line has no code other than whitespace (it may
+    /// still carry a comment).
+    pub fn code_blank(&self, line: usize) -> bool {
+        self.code
+            .lines()
+            .nth(line.saturating_sub(1))
+            .is_none_or(|l| l.trim().is_empty())
+    }
+
+    /// Whether the 1-based line's code is an attribute line — `#[…]` /
+    /// `#![…]`, possibly spanning (a line ending in `]` that began one).
+    pub fn attr_line(&self, line: usize) -> bool {
+        let l = self
+            .code
+            .lines()
+            .nth(line.saturating_sub(1))
+            .unwrap_or("")
+            .trim();
+        l.starts_with("#[") || l.starts_with("#!") || (l.ends_with(']') && !l.contains([';', '{']))
+    }
+}
+
+fn starts_literal_prefix(chars: &[char], i: usize) -> bool {
+    // r"…", r#"…"#, b"…", br"…", br#"…"#, b'…'
+    match chars[i] {
+        'r' => {
+            // Only when 'r' is not part of a longer identifier.
+            if i > 0 && is_ident_char(chars[i - 1]) {
+                return false;
+            }
+            let mut j = i + 1;
+            while j < chars.len() && chars[j] == '#' {
+                j += 1;
+            }
+            j < chars.len() && chars[j] == '"'
+        }
+        'b' => {
+            if i > 0 && is_ident_char(chars[i - 1]) {
+                return false;
+            }
+            match chars.get(i + 1) {
+                Some('"') | Some('\'') => true,
+                Some('r') => {
+                    let mut j = i + 2;
+                    while j < chars.len() && chars[j] == '#' {
+                        j += 1;
+                    }
+                    j < chars.len() && chars[j] == '"'
+                }
+                _ => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+fn scan_string(chars: &[char], start: usize, code: &mut Vec<char>, line: &mut usize) -> usize {
+    // Plain "…" with escapes. Blanks everything including the quotes.
+    let mut i = start;
+    push_blank(code, chars[i], line);
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' if i + 1 < chars.len() => {
+                push_blank(code, chars[i], line);
+                push_blank(code, chars[i + 1], line);
+                i += 2;
+            }
+            '"' => {
+                push_blank(code, chars[i], line);
+                return i + 1;
+            }
+            c => {
+                push_blank(code, c, line);
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+fn scan_prefixed_literal(
+    chars: &[char],
+    start: usize,
+    code: &mut Vec<char>,
+    line: &mut usize,
+) -> usize {
+    let mut i = start;
+    // Consume prefix letters.
+    while i < chars.len() && (chars[i] == 'r' || chars[i] == 'b') {
+        push_blank(code, chars[i], line);
+        i += 1;
+    }
+    if i < chars.len() && chars[i] == '\'' {
+        // b'…' byte literal.
+        if let Some(end) = char_literal_end(chars, i) {
+            for &ch in &chars[i..end] {
+                push_blank(code, ch, line);
+            }
+            return end;
+        }
+        push_blank(code, chars[i], line);
+        return i + 1;
+    }
+    let mut hashes = 0usize;
+    while i < chars.len() && chars[i] == '#' {
+        push_blank(code, chars[i], line);
+        hashes += 1;
+        i += 1;
+    }
+    if i >= chars.len() || chars[i] != '"' {
+        return i;
+    }
+    push_blank(code, chars[i], line);
+    i += 1;
+    // Raw (or plain, when hashes == 0 after r) string: no escapes; closing
+    // is `"` followed by `hashes` hash marks.
+    while i < chars.len() {
+        if chars[i] == '"' {
+            let mut j = i + 1;
+            let mut h = 0usize;
+            while h < hashes && j < chars.len() && chars[j] == '#' {
+                j += 1;
+                h += 1;
+            }
+            if h == hashes {
+                for &ch in &chars[i..j] {
+                    push_blank(code, ch, line);
+                }
+                return j;
+            }
+        }
+        push_blank(code, chars[i], line);
+        i += 1;
+    }
+    i
+}
+
+fn push_blank(code: &mut Vec<char>, c: char, line: &mut usize) {
+    if c == '\n' {
+        code.push('\n');
+        *line += 1;
+    } else {
+        code.push(' ');
+    }
+}
+
+/// If a `'` at `i` opens a char literal, return the offset one past its
+/// closing quote; `None` when it is a lifetime tick.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    let next = *chars.get(i + 1)?;
+    if next == '\\' {
+        // Escaped char: '\n', '\u{…}', '\\', '\''…
+        let mut j = i + 2;
+        if chars.get(j) == Some(&'u') && chars.get(j + 1) == Some(&'{') {
+            j += 2;
+            while j < chars.len() && chars[j] != '}' {
+                j += 1;
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+        if chars.get(j) == Some(&'\'') {
+            return Some(j + 1);
+        }
+        return None;
+    }
+    if is_ident_char(next) {
+        // 'a' is a char literal iff a quote follows the single ident char
+        // run; 'static (no closing quote right after) is a lifetime.
+        let mut j = i + 1;
+        while j < chars.len() && is_ident_char(chars[j]) {
+            j += 1;
+        }
+        if chars.get(j) == Some(&'\'') && j == i + 2 {
+            return Some(j + 1);
+        }
+        return None;
+    }
+    if next != '\'' && chars.get(i + 2) == Some(&'\'') {
+        // Punctuation char literal like '(' or '-'.
+        return Some(i + 3);
+    }
+    None
+}
+
+pub fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_blanked_and_collected() {
+        let src = "let x = 1; // unsafe HashMap\nlet y = 2;\n";
+        let f = FileSource::parse(src);
+        assert!(!f.code.contains("unsafe"));
+        assert!(f.comment_on(1).contains("unsafe HashMap"));
+        assert_eq!(f.comment_on(2), "");
+        assert_eq!(f.raw.len(), f.code.len());
+    }
+
+    #[test]
+    fn strings_are_blanked() {
+        let src = "let s = \"HashMap.iter()\"; let t = r#\"unsafe\"# ;";
+        let f = FileSource::parse(src);
+        assert!(!f.code.contains("HashMap"));
+        assert!(!f.code.contains("unsafe"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let f = FileSource::parse(src);
+        assert!(f.code.contains("'a"));
+        assert!(!f.code.contains("'x'"));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let src = "a\n/* one\ntwo */\nb\n";
+        let f = FileSource::parse(src);
+        assert!(f.comment_on(2).contains("one"));
+        assert!(f.comment_on(3).contains("two"));
+        assert!(f.code_blank(2) && f.code_blank(3));
+        assert!(!f.code_blank(1));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ tail */ fn main() {}";
+        let f = FileSource::parse(src);
+        assert!(f.code.contains("fn main"));
+        assert!(!f.code.contains("tail"));
+        assert!(f.comment_on(1).contains("inner"));
+    }
+}

@@ -1,0 +1,80 @@
+//! `cargo xtask` — workspace automation for the stembed repo.
+//!
+//! The one subcommand so far is `lint`: a dependency-free static analyzer
+//! that enforces the workspace's determinism contract (bit-identical output
+//! at any `STEMBED_SHARDS`, retained ≡ fresh, fixed float lane order,
+//! byte-identical crash recovery) at the source level, before the property
+//! tests ever run. See `STATIC_ANALYSIS.md` at the repo root for the rule
+//! catalogue, rationale, and waiver syntax.
+//!
+//! The analyzer is deliberately `syn`-free: the container vendors no
+//! external crates, so the scanner in [`lexer`] strips comments and
+//! literals itself and the rules in [`rules`] work on that blanked view.
+//! The trade-off is documented per rule — token-level passes
+//! over-approximate (every flag is waivable with a stated reason) and
+//! under-approximate in known ways (no type inference across files).
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+use rules::{Finding, Waiver};
+use std::path::{Path, PathBuf};
+
+/// Result of linting a tree.
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub waivers: Vec<Waiver>,
+    pub files_scanned: usize,
+}
+
+/// Directories never descended into.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", ".github", "fixtures"];
+
+/// Lint every `.rs` file under `root` (the workspace checkout).
+pub fn lint_root(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs(root, root, &mut files)?;
+    files.sort();
+    let mut report = Report {
+        findings: Vec::new(),
+        waivers: Vec::new(),
+        files_scanned: 0,
+    };
+    for rel in files {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        let rel_str = rel
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        let (mut f, mut w) = lint_source(&rel_str, &src);
+        report.findings.append(&mut f);
+        report.waivers.append(&mut w);
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+/// Lint one file's contents under its workspace-relative path (pure — the
+/// fixture tests call this directly).
+pub fn lint_source(rel_path: &str, source: &str) -> (Vec<Finding>, Vec<Waiver>) {
+    let parsed = lexer::FileSource::parse(source);
+    rules::check_file(rel_path, &parsed)
+}
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path.strip_prefix(root).unwrap_or(&path).to_path_buf());
+        }
+    }
+    Ok(())
+}

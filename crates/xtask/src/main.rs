@@ -1,0 +1,96 @@
+//! `cargo xtask <command>` entry point (wired through `[alias]` in
+//! `.cargo/config.toml`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: cargo xtask lint [--waivers] [--quiet] [--root PATH]
+
+  lint        run the determinism-contract static analyzer over the
+              workspace (see STATIC_ANALYSIS.md)
+  --waivers   print the active waivers as JSON on stdout (audit view)
+  --quiet     suppress per-violation diagnostics, print the summary only
+  --root PATH lint PATH instead of the enclosing workspace";
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut waivers_json = false;
+    let mut quiet = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--waivers" => waivers_json = true,
+            "--quiet" => quiet = true,
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown lint flag `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // `cargo xtask` runs with cwd = workspace root; fall back to the
+    // manifest-relative root for direct `cargo run -p xtask` invocations.
+    let root = root.unwrap_or_else(|| {
+        let cwd = std::env::current_dir().expect("cwd");
+        if cwd.join("Cargo.toml").exists() {
+            cwd
+        } else {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .canonicalize()
+                .expect("workspace root")
+        }
+    });
+
+    let report = match xtask::lint_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask lint: i/o error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if !quiet {
+        for f in &report.findings {
+            eprint!("{}", xtask::diag::render(f));
+            eprintln!();
+        }
+    }
+    if waivers_json {
+        println!("{}", xtask::diag::waivers_json(&report.waivers));
+    }
+    eprintln!(
+        "xtask lint: {} file(s) scanned, {} violation(s), {} waiver(s) in effect",
+        report.files_scanned,
+        report.findings.len(),
+        report.waivers.len()
+    );
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

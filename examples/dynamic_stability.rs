@@ -29,12 +29,15 @@ fn main() {
         let j = rng.random_range(0..=i);
         pool.swap(i, j);
     }
-    let new_tuples: Vec<_> = pool.iter().take(n_new).cloned().collect();
+    let new_tuples: Vec<_> = pool.iter().take(n_new).copied().collect();
     let mut journals = Vec::new();
     for (fact, _) in &new_tuples {
         journals.push(cascade_delete(&mut db, *fact, true).expect("cascade"));
     }
-    let removed: usize = journals.iter().map(|j| j.len()).sum();
+    let removed: usize = journals
+        .iter()
+        .map(stembed::reldb::DeletionJournal::len)
+        .sum();
     println!(
         "Removed {n_new} molecules (cascade took {removed} facts total); {} facts remain.",
         db.total_facts()
@@ -51,7 +54,7 @@ fn main() {
         .labels
         .iter()
         .filter(|(f, _)| new_tuples.iter().all(|(g, _)| g != f))
-        .cloned()
+        .copied()
         .collect();
     let x_old: Vec<Vec<f64>> = old
         .iter()

@@ -179,7 +179,10 @@ fn flat_corpus_pair_stream_matches_nested() {
             ..Default::default()
         };
         let corpus = Walker::new(&g, cfg, seed).corpus();
-        let nested: Vec<Vec<NodeId>> = corpus.iter().map(|w| w.to_vec()).collect();
+        let nested: Vec<Vec<NodeId>> = corpus
+            .iter()
+            .map(<[stembed::dbgraph::NodeId]>::to_vec)
+            .collect();
 
         let pairs_of = |walks: &mut dyn Iterator<Item = &[NodeId]>| -> Vec<(NodeId, NodeId)> {
             let mut pairs = Vec::new();
@@ -197,7 +200,7 @@ fn flat_corpus_pair_stream_matches_nested() {
             pairs
         };
         let flat_pairs = pairs_of(&mut corpus.iter());
-        let nested_pairs = pairs_of(&mut nested.iter().map(|w| w.as_slice()));
+        let nested_pairs = pairs_of(&mut nested.iter().map(std::vec::Vec::as_slice));
         assert!(!flat_pairs.is_empty() || corpus.is_empty(), "case {case}");
         assert_eq!(flat_pairs, nested_pairs, "case {case}: pair streams differ");
         // And the flat corpus round-trips through the nested form.
