@@ -125,6 +125,74 @@ fn bench_sampling(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_prefix_frontier(c: &mut Criterion) {
+    use stembed_core::walkdist::destination_distribution_status;
+    use stembed_core::{target_pairs, DistCache, SchemePlan};
+    let mut group = c.benchmark_group("prefix_frontier_reuse");
+    let params = datasets::DatasetParams {
+        scale: 0.15,
+        ..Default::default()
+    };
+    let ds = datasets::mutagenesis::generate(&params);
+    let rel = ds.prediction_rel;
+    // The dynamic-extension access pattern: every *target* needs its
+    // scheme's destination distribution for every start. Targets share
+    // schemes, and schemes share step prefixes.
+    let targets = target_pairs(ds.db.schema(), rel, 3);
+    let plan = SchemePlan::from_targets(rel, &targets);
+    let starts: Vec<reldb::FactId> = ds.db.fact_ids(rel).into_iter().take(16).collect();
+    const LIMIT: usize = 256;
+    // Per-target evaluation with nothing shared: a fresh ℓ-step BFS for
+    // every (target, start) — what independent per-target work items do
+    // without a shared warm cache.
+    group.bench_function("flat_bfs", |b| {
+        b.iter(|| {
+            let mut live = 0usize;
+            for &start in &starts {
+                for t in &targets {
+                    if destination_distribution_status(&ds.db, &t.scheme, start, LIMIT)
+                        .exists()
+                        .is_some()
+                    {
+                        live += 1;
+                    }
+                }
+            }
+            black_box(live)
+        });
+    });
+    // The same lookups through a fresh cache pre-warmed in plan-DFS
+    // order: each scheme's BFS resumes its parent's cached frontier
+    // ("parent + 1 step"), and the per-target lookups then hit the fact
+    // tier.
+    group.bench_function("plan_cached", |b| {
+        b.iter(|| {
+            let mut cache = DistCache::new();
+            cache.ensure_bound(&ds.db, LIMIT);
+            let mut live = 0usize;
+            for &start in &starts {
+                for idx in plan.dfs() {
+                    let node = plan.node(idx);
+                    if node.is_scheme() {
+                        cache.fact_distribution(&ds.db, node.prefix(), start);
+                    }
+                }
+                for t in &targets {
+                    if cache
+                        .fact_distribution(&ds.db, &t.scheme, start)
+                        .exists()
+                        .is_some()
+                    {
+                        live += 1;
+                    }
+                }
+            }
+            black_box(live)
+        });
+    });
+    group.finish();
+}
+
 fn bench_db(c: &mut Criterion) {
     let mut group = c.benchmark_group("reldb");
     let params = datasets::DatasetParams {
@@ -182,6 +250,7 @@ criterion_group!(
     bench_kernel,
     bench_graph,
     bench_sampling,
+    bench_prefix_frontier,
     bench_db,
     bench_svm
 );

@@ -13,7 +13,27 @@
 //!
 //! * [`FactDistribution`] is keyed by `(scheme, start)`;
 //! * [`ValueDistribution`] by `(scheme, attr, start)`;
-//! * both are valid only for one `(db_id, epoch, support_limit)` triple.
+//! * [`FrontierState`] (the **prefix tier**) by `(prefix, start)` where
+//!   `prefix` is a step sequence shared by several schemes;
+//! * exact KD values (the **KD tier**) by `(scheme, attr, f1, f2)` —
+//!   the key is *directional* because [`crate::kd::kd_exact`] iterates
+//!   `p` then `q` and float addition does not reassociate, so `(f1, f2)`
+//!   and `(f2, f1)` are distinct cache lines by design;
+//! * all four are valid only for one `(db_id, epoch, support_limit)`
+//!   triple. KD entries are additionally valid only under the kernel
+//!   assignment of the embedding that computed them — which holds
+//!   because kernels are fixed at train time and each embedding owns its
+//!   cache.
+//!
+//! The prefix tier is what makes the scheme plan
+//! ([`crate::plan::SchemePlan`]) pay off: walk schemes share step
+//! prefixes heavily (enumeration is prefix-closed), and a frontier
+//! cached after a shared prefix turns every sibling scheme's BFS into
+//! "cached parent frontier + 1 [`crate::walkdist::frontier_step`]".
+//! Negative prefix entries ([`DistStatus::TooLarge`] /
+//! [`DistStatus::Nonexistent`]) are keyed by the **exact failing
+//! prefix**, so they can never poison sibling schemes that diverge
+//! before the failing step — a sibling probes a different key.
 //!
 //! `reldb::Database` carries a **mutation epoch** (bumped by every insert,
 //! restore, and delete), a process-unique **lineage id** (fresh per
@@ -55,13 +75,14 @@
 //! section — the shard count decides only *when* a miss is computed, never
 //! *what* any caller observes.
 
-use crate::schemes::{ReachScope, SchemeReach, WalkScheme};
+use crate::schemes::{ReachScope, SchemeReach, Step, WalkScheme};
 use crate::walkdist::{
-    destination_distribution_status, step_predecessors, step_predecessors_of, value_distribution,
-    DistStatus, FactDistribution, ValueDistribution,
+    destination_distribution_status, frontier_finish, frontier_start, frontier_step,
+    step_predecessors, step_predecessors_of, value_distribution, DistStatus, FactDistribution,
+    FrontierState, ValueDistribution,
 };
 use reldb::{Database, Fact, FactId, MutationKind, MutationRecord};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Cached fact-level entry: the distribution behind an [`Arc`], or the
@@ -70,6 +91,11 @@ use std::sync::Arc;
 pub type CachedFactDist = DistStatus<Arc<FactDistribution>>;
 /// Cached value-level entry (see [`CachedFactDist`]).
 pub type CachedValueDist = DistStatus<Arc<ValueDistribution>>;
+/// Cached prefix-tier entry: the resumable BFS frontier after a step
+/// prefix, or the exact reason the prefix already failed (see
+/// [`CachedFactDist`] — negative entries bind to the failing prefix
+/// only).
+pub type CachedFrontier = DistStatus<Arc<FrontierState>>;
 
 // Two-level maps, outer-keyed by scheme: lookups compare the (cheap)
 // borrowed scheme without cloning it and the inner key is `Copy` — the
@@ -80,6 +106,16 @@ pub type CachedValueDist = DistStatus<Arc<ValueDistribution>>;
 // must not depend on hasher state.
 type FactMap = BTreeMap<WalkScheme, BTreeMap<FactId, CachedFactDist>>;
 type ValueMap = BTreeMap<WalkScheme, BTreeMap<(usize, FactId), CachedValueDist>>;
+// The prefix tier is keyed by the bare step sequence: `steps[0]` pins the
+// start relation, so the key is unambiguous without the `WalkScheme`
+// wrapper, and lookups probe with a borrowed `&[Step]` slice of the
+// scheme being assembled (no allocation per probe). The empty prefix is
+// never cached — rebuilding it is one `frontier_start`.
+type PrefixMap = BTreeMap<Vec<Step>, BTreeMap<FactId, CachedFrontier>>;
+// KD tier: directional `(attr, f1, f2)` under the scheme (see module
+// docs). Only *exact* KD values land here — the Monte-Carlo fallback
+// consumes RNG and is never cached.
+type KdMap = BTreeMap<WalkScheme, BTreeMap<(usize, FactId, FactId), f64>>;
 
 fn map_len<K, K2, V>(map: &BTreeMap<K, BTreeMap<K2, V>>) -> usize {
     map.values().map(std::collections::BTreeMap::len).sum()
@@ -105,28 +141,62 @@ fn put<K2: Ord, V>(
 /// Hit/miss/eviction counters of a [`DistCache`] (diagnostics and tests).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DistCacheStats {
-    /// Lookups answered from the cache (including negative entries).
+    /// Fact/value-tier lookups answered from the cache (including
+    /// negative entries).
     pub hits: u64,
-    /// Lookups that had to compute (and then stored) their result.
+    /// Fact/value-tier lookups that had to compute (and then stored)
+    /// their result.
     pub misses: u64,
     /// Times the whole cache was dropped: lineage change, support-limit
     /// change, or a wrapped journal (fell too far behind to replay).
     pub invalidations: u64,
     /// Journal replays applied (fine-grained catch-ups instead of clears).
     pub replays: u64,
-    /// Entries evicted by journal replays (full clears are counted in
-    /// `invalidations`, not here).
+    /// Fact/value/KD-tier entries evicted by journal replays (full clears
+    /// are counted in `invalidations`, not here; prefix-tier evictions in
+    /// [`DistCacheStats::prefix_evicted`]).
     pub evicted: u64,
+    /// Fact-tier BFS assemblies that resumed from a cached prefix
+    /// frontier (including negative prefix entries, which settle the
+    /// status outright).
+    pub prefix_hits: u64,
+    /// Fact-tier BFS assemblies that found no usable prefix and started
+    /// from scratch.
+    pub prefix_misses: u64,
+    /// Prefix-tier entries evicted by journal replays.
+    pub prefix_evicted: u64,
+    /// Exact KD values served from the KD tier.
+    pub kd_hits: u64,
+    /// Exact KD evaluations that had to compute (and then stored) their
+    /// value.
+    pub kd_misses: u64,
 }
 
 impl DistCacheStats {
     /// Fraction of lookups served from the cache (0 when none happened).
+    ///
+    /// Covers the **fact and value tiers only** — prefix-frontier reuse is
+    /// [`DistCacheStats::prefix_hit_rate`], KD-value reuse is
+    /// `kd_hits / (kd_hits + kd_misses)`.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of fact-tier BFS assemblies that resumed from a cached
+    /// prefix frontier (0 when none happened). A fact-tier *hit* never
+    /// reaches the prefix tier, so this measures reuse among the lookups
+    /// that actually had to compute.
+    pub fn prefix_hit_rate(&self) -> f64 {
+        let total = self.prefix_hits + self.prefix_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.prefix_hits as f64 / total as f64
         }
     }
 }
@@ -151,9 +221,14 @@ pub struct DistCache {
     support_limit: usize,
     facts: FactMap,
     values: ValueMap,
+    prefixes: PrefixMap,
+    kd_values: KdMap,
     /// Per-scheme FK-reachability, computed once per scheme (the schema is
     /// immutable within a lineage) and consulted by every journal replay.
     scopes: BTreeMap<WalkScheme, SchemeReach>,
+    /// When set, the prefix tier only **stores** frontiers at these
+    /// prefixes (probing is unrestricted). `None` stores everything.
+    persist: Option<Arc<BTreeSet<Vec<Step>>>>,
     stats: DistCacheStats,
 }
 
@@ -162,6 +237,27 @@ impl DistCache {
     /// it.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Restrict the prefix tier to **storing** frontiers only at
+    /// `prefixes` — typically [`crate::plan::SchemePlan::persist_prefixes`],
+    /// the prefixes some other scheme's evaluation will actually resume.
+    /// Lookups still probe every length, and values are unaffected either
+    /// way (a frontier is a pure function of its key); this only trims
+    /// the insert-per-step bookkeeping that plain-BFS evaluation never
+    /// pays, which otherwise makes low-sharing plans *slower* through the
+    /// cache than without it. Survives rebinds and replays.
+    pub fn set_persist_prefixes(&mut self, prefixes: Arc<BTreeSet<Vec<Step>>>) {
+        self.persist = Some(prefixes);
+    }
+
+    /// `true` when a frontier at `prefix` should be stored (see
+    /// [`DistCache::set_persist_prefixes`]).
+    fn should_store(&self, prefix: &[Step]) -> bool {
+        match &self.persist {
+            None => true,
+            Some(set) => set.contains(prefix),
+        }
     }
 
     /// `true` when the cache is bound to `db`'s current state and `limit`.
@@ -194,10 +290,12 @@ impl DistCache {
                 return;
             }
         }
-        if !(self.facts.is_empty() && self.values.is_empty()) {
+        if !self.is_empty() {
             self.stats.invalidations += 1;
             self.facts.clear();
             self.values.clear();
+            self.prefixes.clear();
+            self.kd_values.clear();
         }
         // Scopes are schema-derived; a different lineage may carry a
         // different schema, so they go too (cheap to recompute).
@@ -237,15 +335,23 @@ impl DistCache {
     /// record without payload (not produced by this `reldb`, but the type
     /// permits it) and a reverse frontier exceeding the cap fall back to
     /// wholesale eviction of the scheme.
+    ///
+    /// The **prefix tier** replays under the same machinery: a cached
+    /// prefix is a walk scheme in its own right (its BFS reads exactly
+    /// the facts along its own relation sequence), so [`SchemeReach`] of
+    /// the prefix-as-scheme scopes its evictions with no generalisation
+    /// needed. The **KD tier** is a pure function of the two value
+    /// distributions under its scheme, so an entry goes exactly when
+    /// `f1` or `f2` lands in the scheme's affected-start set.
     fn replay(&mut self, db: &Database, records: &[MutationRecord]) {
         self.stats.replays += 1;
-        if records.is_empty() || (self.facts.is_empty() && self.values.is_empty()) {
+        if records.is_empty() || self.is_empty() {
             return;
         }
         let schema = db.schema();
         let schemes: Vec<WalkScheme> = {
             let mut seen: Vec<&WalkScheme> = self.facts.keys().collect();
-            for s in self.values.keys() {
+            for s in self.values.keys().chain(self.kd_values.keys()) {
                 if !seen.contains(&s) {
                     seen.push(s);
                 }
@@ -261,78 +367,82 @@ impl DistCache {
                 .scopes
                 .entry(scheme.clone())
                 .or_insert_with(|| SchemeReach::of(schema, &scheme));
-            let mut wholesale = false;
-            // Start facts whose entries the records touch.
-            let mut starts: Vec<FactId> = Vec::new();
-            'records: for record in records {
-                match reach.scope(record.rel) {
-                    ReachScope::AllStarts => {
-                        // A delete's reverse walk runs from the journalled
-                        // payload (the slot is a tombstone); a payload-less
-                        // delete record cannot be scoped and goes coarse.
-                        let removed = match record.kind {
-                            MutationKind::Insert | MutationKind::Restore => None,
-                            MutationKind::Delete => match &record.removed {
-                                Some(fact) => Some(fact.as_ref()),
-                                None => {
-                                    wholesale = true;
-                                    break 'records;
-                                }
-                            },
-                        };
-                        if record.rel == scheme.start {
-                            // The scheme re-enters its start relation:
-                            // position 0 is affected for this fact …
-                            starts.push(record.fact);
+            match affected_starts(db, &scheme, reach, records, reverse_cap) {
+                None => {
+                    if let Some(inner) = self.facts.remove(&scheme) {
+                        self.stats.evicted += inner.len() as u64;
+                    }
+                    if let Some(inner) = self.values.remove(&scheme) {
+                        self.stats.evicted += inner.len() as u64;
+                    }
+                    if let Some(inner) = self.kd_values.remove(&scheme) {
+                        self.stats.evicted += inner.len() as u64;
+                    }
+                }
+                Some(starts) if !starts.is_empty() => {
+                    if let Some(inner) = self.facts.get_mut(&scheme) {
+                        for f in &starts {
+                            if inner.remove(f).is_some() {
+                                self.stats.evicted += 1;
+                            }
                         }
-                        // … and interior positions via reverse walks.
-                        if !reverse_reachable_starts(
-                            db,
-                            &scheme,
-                            record.fact,
-                            removed,
-                            reverse_cap,
-                            &mut starts,
-                        ) {
-                            wholesale = true;
-                            break 'records;
+                        if inner.is_empty() {
+                            self.facts.remove(&scheme);
                         }
                     }
-                    ReachScope::StartOnly => starts.push(record.fact),
-                    ReachScope::Unreachable => {}
+                    if let Some(inner) = self.values.get_mut(&scheme) {
+                        let before = inner.len();
+                        inner.retain(|(_, start), _| starts.binary_search(start).is_err());
+                        self.stats.evicted += (before - inner.len()) as u64;
+                        if inner.is_empty() {
+                            self.values.remove(&scheme);
+                        }
+                    }
+                    if let Some(inner) = self.kd_values.get_mut(&scheme) {
+                        let before = inner.len();
+                        inner.retain(|(_, f1, f2), _| {
+                            starts.binary_search(f1).is_err() && starts.binary_search(f2).is_err()
+                        });
+                        self.stats.evicted += (before - inner.len()) as u64;
+                        if inner.is_empty() {
+                            self.kd_values.remove(&scheme);
+                        }
+                    }
                 }
+                Some(_) => {}
             }
-            if wholesale {
-                if let Some(inner) = self.facts.remove(&scheme) {
-                    self.stats.evicted += inner.len() as u64;
+        }
+        // Prefix tier: each cached prefix scopes independently as a scheme
+        // of its own (`steps[0]` pins the start relation).
+        let prefix_keys: Vec<Vec<Step>> = self.prefixes.keys().cloned().collect();
+        for key in prefix_keys {
+            let scheme = WalkScheme {
+                start: key[0].source(schema),
+                steps: key.clone(),
+            };
+            let reach = self
+                .scopes
+                .entry(scheme.clone())
+                .or_insert_with(|| SchemeReach::of(schema, &scheme));
+            match affected_starts(db, &scheme, reach, records, reverse_cap) {
+                None => {
+                    if let Some(inner) = self.prefixes.remove(&key) {
+                        self.stats.prefix_evicted += inner.len() as u64;
+                    }
                 }
-                if let Some(inner) = self.values.remove(&scheme) {
-                    self.stats.evicted += inner.len() as u64;
-                }
-            } else if !starts.is_empty() {
-                // Records and reverse walks routinely rediscover the same
-                // start; dedup once so the evictions below are
-                // O(starts + entries·log(starts)), not O(entries·starts).
-                starts.sort_unstable();
-                starts.dedup();
-                if let Some(inner) = self.facts.get_mut(&scheme) {
-                    for f in &starts {
-                        if inner.remove(f).is_some() {
-                            self.stats.evicted += 1;
+                Some(starts) if !starts.is_empty() => {
+                    if let Some(inner) = self.prefixes.get_mut(&key) {
+                        for f in &starts {
+                            if inner.remove(f).is_some() {
+                                self.stats.prefix_evicted += 1;
+                            }
+                        }
+                        if inner.is_empty() {
+                            self.prefixes.remove(&key);
                         }
                     }
-                    if inner.is_empty() {
-                        self.facts.remove(&scheme);
-                    }
                 }
-                if let Some(inner) = self.values.get_mut(&scheme) {
-                    let before = inner.len();
-                    inner.retain(|(_, start), _| starts.binary_search(start).is_err());
-                    self.stats.evicted += (before - inner.len()) as u64;
-                    if inner.is_empty() {
-                        self.values.remove(&scheme);
-                    }
-                }
+                Some(_) => {}
             }
         }
     }
@@ -356,10 +466,83 @@ impl DistCache {
             return hit.clone();
         }
         self.stats.misses += 1;
-        let computed =
-            destination_distribution_status(db, scheme, start, self.support_limit).map(Arc::new);
+        let computed = self.assemble_from_prefixes(db, scheme, start).map(Arc::new);
         put(&mut self.facts, scheme, start, computed.clone());
         computed
+    }
+
+    /// Compute a fact-level miss by resuming from the **longest cached
+    /// prefix frontier**, extending it one [`frontier_step`] at a time and
+    /// caching the intermediate frontiers another scheme can resume (all
+    /// of them, unless narrowed by
+    /// [`DistCache::set_persist_prefixes`]). Bitwise
+    /// identical to [`destination_distribution_status`]: both run the
+    /// same `frontier_start → frontier_step* → frontier_finish`
+    /// composition, and a cached frontier is a pure function of
+    /// `(db content, prefix, start, limit)`.
+    ///
+    /// A cached *negative* prefix settles the status outright — the
+    /// from-scratch BFS would fail at that exact step with that exact
+    /// status. Schemes diverging before the failing step probe different
+    /// keys and are untouched.
+    fn assemble_from_prefixes(
+        &mut self,
+        db: &Database,
+        scheme: &WalkScheme,
+        start: FactId,
+    ) -> DistStatus<FactDistribution> {
+        if scheme.is_empty() || db.fact(start).is_none() {
+            // Nothing shareable: the empty prefix is one `frontier_start`,
+            // and a dead start fails before any step.
+            return destination_distribution_status(db, scheme, start, self.support_limit);
+        }
+        let mut found: Option<(usize, CachedFrontier)> = None;
+        for k in (1..=scheme.len()).rev() {
+            if let Some(entry) = self
+                .prefixes
+                .get(&scheme.steps[..k])
+                .and_then(|m| m.get(&start))
+            {
+                found = Some((k, entry.clone()));
+                break;
+            }
+        }
+        let (mut depth, mut state) = match found {
+            Some((k, entry)) => {
+                self.stats.prefix_hits += 1;
+                match entry {
+                    DistStatus::Exists(arc) => (k, arc),
+                    DistStatus::TooLarge => return DistStatus::TooLarge,
+                    DistStatus::Nonexistent => return DistStatus::Nonexistent,
+                }
+            }
+            None => {
+                self.stats.prefix_misses += 1;
+                match frontier_start(db, start) {
+                    DistStatus::Exists(s) => (0, Arc::new(s)),
+                    _ => return DistStatus::Nonexistent,
+                }
+            }
+        };
+        while depth < scheme.len() {
+            let stepped =
+                frontier_step(db, &scheme.steps[depth], &state, self.support_limit).map(Arc::new);
+            depth += 1;
+            if self.should_store(&scheme.steps[..depth]) {
+                store_prefix(
+                    &mut self.prefixes,
+                    &scheme.steps[..depth],
+                    start,
+                    stepped.clone(),
+                );
+            }
+            match stepped {
+                DistStatus::Exists(next) => state = next,
+                DistStatus::TooLarge => return DistStatus::TooLarge,
+                DistStatus::Nonexistent => return DistStatus::Nonexistent,
+            }
+        }
+        frontier_finish(&state)
     }
 
     /// Memoised `d_{start,scheme}[attr]` (via the fact-level entry, which
@@ -415,8 +598,24 @@ impl DistCache {
                 target.entry(k).or_insert(v);
             }
         }
+        for (prefix, inner) in delta.prefixes {
+            let target = self.prefixes.entry(prefix).or_default();
+            for (k, v) in inner {
+                target.entry(k).or_insert(v);
+            }
+        }
+        for (scheme, inner) in delta.kd {
+            let target = self.kd_values.entry(scheme).or_default();
+            for (k, v) in inner {
+                target.entry(k).or_insert(v);
+            }
+        }
         self.stats.hits += delta.hits;
         self.stats.misses += delta.misses;
+        self.stats.prefix_hits += delta.prefix_hits;
+        self.stats.prefix_misses += delta.prefix_misses;
+        self.stats.kd_hits += delta.kd_hits;
+        self.stats.kd_misses += delta.kd_misses;
     }
 
     /// Lifetime hit/miss/eviction/invalidation counters.
@@ -424,14 +623,91 @@ impl DistCache {
         self.stats
     }
 
-    /// Number of memoised entries (fact-level + value-level).
+    /// Number of memoised entries across all four tiers (fact, value,
+    /// prefix-frontier, KD).
     pub fn len(&self) -> usize {
-        map_len(&self.facts) + map_len(&self.values)
+        map_len(&self.facts)
+            + map_len(&self.values)
+            + map_len(&self.prefixes)
+            + map_len(&self.kd_values)
     }
 
-    /// `true` when nothing is memoised.
+    /// `true` when nothing is memoised in any tier.
     pub fn is_empty(&self) -> bool {
-        self.facts.is_empty() && self.values.is_empty()
+        self.facts.is_empty()
+            && self.values.is_empty()
+            && self.prefixes.is_empty()
+            && self.kd_values.is_empty()
+    }
+}
+
+/// The start facts of `scheme` whose cached entries `records` can
+/// influence, sorted and deduplicated — or `None` when scoping is
+/// impossible (payload-less delete, reverse frontier over `reverse_cap`)
+/// and the caller must evict the scheme wholesale. The per-record logic
+/// is documented on [`DistCache::replay`]; this is shared by the
+/// fact/value/KD pass and the prefix pass.
+fn affected_starts(
+    db: &Database,
+    scheme: &WalkScheme,
+    reach: &SchemeReach,
+    records: &[MutationRecord],
+    reverse_cap: usize,
+) -> Option<Vec<FactId>> {
+    // Start facts whose entries the records touch.
+    let mut starts: Vec<FactId> = Vec::new();
+    for record in records {
+        match reach.scope(record.rel) {
+            ReachScope::AllStarts => {
+                // A delete's reverse walk runs from the journalled
+                // payload (the slot is a tombstone); a payload-less
+                // delete record cannot be scoped and goes coarse.
+                let removed = match record.kind {
+                    MutationKind::Insert | MutationKind::Restore => None,
+                    MutationKind::Delete => match &record.removed {
+                        Some(fact) => Some(fact.as_ref()),
+                        None => return None,
+                    },
+                };
+                if record.rel == scheme.start {
+                    // The scheme re-enters its start relation:
+                    // position 0 is affected for this fact …
+                    starts.push(record.fact);
+                }
+                // … and interior positions via reverse walks.
+                if !reverse_reachable_starts(
+                    db,
+                    scheme,
+                    record.fact,
+                    removed,
+                    reverse_cap,
+                    &mut starts,
+                ) {
+                    return None;
+                }
+            }
+            ReachScope::StartOnly => starts.push(record.fact),
+            ReachScope::Unreachable => {}
+        }
+    }
+    // Records and reverse walks routinely rediscover the same start;
+    // dedup once so the evictions are O(starts + entries·log(starts)),
+    // not O(entries·starts).
+    starts.sort_unstable();
+    starts.dedup();
+    Some(starts)
+}
+
+/// Insert a prefix-tier entry, cloning the key only for a prefix's first
+/// entry (the `&[Step]` analogue of [`put`]).
+fn store_prefix(map: &mut PrefixMap, prefix: &[Step], start: FactId, entry: CachedFrontier) {
+    match map.get_mut(prefix) {
+        Some(inner) => {
+            inner.insert(start, entry);
+        }
+        None => {
+            map.entry(prefix.to_vec()).or_default().insert(start, entry);
+        }
     }
 }
 
@@ -518,8 +794,14 @@ pub struct DistCacheView<'a> {
 pub struct DistCacheDelta {
     facts: FactMap,
     values: ValueMap,
+    prefixes: PrefixMap,
+    kd: KdMap,
     hits: u64,
     misses: u64,
+    prefix_hits: u64,
+    prefix_misses: u64,
+    kd_hits: u64,
+    kd_misses: u64,
 }
 
 impl DistCacheView<'_> {
@@ -545,10 +827,108 @@ impl DistCacheView<'_> {
             return hit.clone();
         }
         self.delta.misses += 1;
-        let computed = destination_distribution_status(db, scheme, start, self.base.support_limit)
-            .map(Arc::new);
+        let computed = self.assemble_from_prefixes(db, scheme, start).map(Arc::new);
         put(&mut self.delta.facts, scheme, start, computed.clone());
         computed
+    }
+
+    /// [`DistCache::assemble_from_prefixes`] against base-then-delta:
+    /// prefix probes check the shared base first, then the private delta;
+    /// newly produced frontiers land in the delta.
+    fn assemble_from_prefixes(
+        &mut self,
+        db: &Database,
+        scheme: &WalkScheme,
+        start: FactId,
+    ) -> DistStatus<FactDistribution> {
+        if scheme.is_empty() || db.fact(start).is_none() {
+            return destination_distribution_status(db, scheme, start, self.base.support_limit);
+        }
+        let mut found: Option<(usize, CachedFrontier)> = None;
+        'probe: for k in (1..=scheme.len()).rev() {
+            for map in [&self.base.prefixes, &self.delta.prefixes] {
+                if let Some(entry) = map.get(&scheme.steps[..k]).and_then(|m| m.get(&start)) {
+                    found = Some((k, entry.clone()));
+                    break 'probe;
+                }
+            }
+        }
+        let (mut depth, mut state) = match found {
+            Some((k, entry)) => {
+                self.delta.prefix_hits += 1;
+                match entry {
+                    DistStatus::Exists(arc) => (k, arc),
+                    DistStatus::TooLarge => return DistStatus::TooLarge,
+                    DistStatus::Nonexistent => return DistStatus::Nonexistent,
+                }
+            }
+            None => {
+                self.delta.prefix_misses += 1;
+                match frontier_start(db, start) {
+                    DistStatus::Exists(s) => (0, Arc::new(s)),
+                    _ => return DistStatus::Nonexistent,
+                }
+            }
+        };
+        while depth < scheme.len() {
+            let stepped = frontier_step(db, &scheme.steps[depth], &state, self.base.support_limit)
+                .map(Arc::new);
+            depth += 1;
+            if self.base.should_store(&scheme.steps[..depth]) {
+                store_prefix(
+                    &mut self.delta.prefixes,
+                    &scheme.steps[..depth],
+                    start,
+                    stepped.clone(),
+                );
+            }
+            match stepped {
+                DistStatus::Exists(next) => state = next,
+                DistStatus::TooLarge => return DistStatus::TooLarge,
+                DistStatus::Nonexistent => return DistStatus::Nonexistent,
+            }
+        }
+        frontier_finish(&state)
+    }
+
+    /// Look up an exact KD value under its directional
+    /// `(scheme, attr, f1, f2)` key, base-then-delta. The order of `f1`
+    /// and `f2` matters: `kd_exact` iterates `p` then `q` and float
+    /// addition does not reassociate.
+    pub fn kd_value(
+        &mut self,
+        scheme: &WalkScheme,
+        attr: usize,
+        f1: FactId,
+        f2: FactId,
+    ) -> Option<f64> {
+        let key = (attr, f1, f2);
+        let hit = self
+            .base
+            .kd_values
+            .get(scheme)
+            .and_then(|m| m.get(&key))
+            .or_else(|| self.delta.kd.get(scheme).and_then(|m| m.get(&key)))
+            .copied();
+        if hit.is_some() {
+            self.delta.kd_hits += 1;
+        } else {
+            self.delta.kd_misses += 1;
+        }
+        hit
+    }
+
+    /// Record a freshly computed exact KD value in the private delta
+    /// (see [`DistCacheView::kd_value`] for the key discipline).
+    pub fn store_kd_value(
+        &mut self,
+        scheme: &WalkScheme,
+        attr: usize,
+        f1: FactId,
+        f2: FactId,
+        y: f64,
+    ) {
+        put(&mut self.delta.kd, scheme, (attr, f1, f2), y);
     }
 
     /// [`DistCache::value_distribution`] against base-then-delta.
@@ -948,6 +1328,232 @@ mod tests {
             cache.fact_distribution(&clone, &scheme, ids["a1"]),
             DistStatus::TooLarge
         );
+    }
+
+    #[test]
+    fn prefix_assembled_distributions_match_direct_bfs_bitwise() {
+        // Evaluating every scheme in plan-DFS order must produce, for every
+        // start, byte-identical distributions to the independent
+        // from-scratch BFS — and actually reuse parent frontiers doing it.
+        let (db, _) = movies_database_labeled();
+        let schema = db.schema();
+        let actors = schema.relation_id("ACTORS").unwrap();
+        let schemes = enumerate_schemes(schema, actors, 3, false);
+        let plan = crate::plan::SchemePlan::build(actors, &schemes);
+        let mut cache = DistCache::new();
+        cache.ensure_bound(&db, 256);
+        for &start in &db.fact_ids(actors) {
+            for idx in plan.dfs() {
+                let scheme = plan.node(idx).prefix();
+                let cached = cache.fact_distribution(&db, scheme, start);
+                let direct = destination_distribution_status(&db, scheme, start, 256);
+                match (cached, direct) {
+                    (DistStatus::Exists(c), DistStatus::Exists(d)) => {
+                        assert_eq!(c.support.len(), d.support.len());
+                        for ((cf, cp), (df, dp)) in c.support.iter().zip(d.support.iter()) {
+                            assert_eq!(cf, df, "{scheme:?} from {start}: support order");
+                            assert_eq!(
+                                cp.to_bits(),
+                                dp.to_bits(),
+                                "{scheme:?} from {start}: probability bits"
+                            );
+                        }
+                    }
+                    (c, d) => assert_eq!(c.is_too_large(), d.is_too_large()),
+                }
+            }
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.prefix_hits > 0,
+            "plan-order evaluation must resume cached parent frontiers"
+        );
+        // Each non-trivial scheme is one step past an already-evaluated
+        // parent: after the trivial root, every deeper scheme's assembly
+        // should hit, never re-run the full BFS.
+        assert!(
+            stats.prefix_hits >= stats.prefix_misses,
+            "hits {} vs misses {}",
+            stats.prefix_hits,
+            stats.prefix_misses
+        );
+    }
+
+    #[test]
+    fn too_large_prefix_does_not_poison_siblings() {
+        // Regression (tri-state `DistStatus` through the prefix tier): a
+        // `TooLarge` frontier after prefix P must fail exactly the schemes
+        // routed through P — as TooLarge, never Nonexistent — while sibling
+        // schemes diverging before the failing step stay fully usable.
+        use crate::schemes::Step;
+        use reldb::{SchemaBuilder, ValueType};
+        let mut b = SchemaBuilder::new();
+        b.relation("A").attr("aid", ValueType::Text).key(&["aid"]);
+        b.relation("M")
+            .attr("mid", ValueType::Text)
+            .attr("v", ValueType::Int)
+            .key(&["mid"]);
+        b.relation("J1")
+            .attr("jid", ValueType::Text)
+            .attr("a_ref", ValueType::Text)
+            .attr("m_ref", ValueType::Text)
+            .key(&["jid"]);
+        b.relation("J2")
+            .attr("kid", ValueType::Text)
+            .attr("a_ref", ValueType::Text)
+            .attr("m_ref", ValueType::Text)
+            .key(&["kid"]);
+        b.foreign_key("J1", &["a_ref"], "A");
+        b.foreign_key("J1", &["m_ref"], "M");
+        b.foreign_key("J2", &["a_ref"], "A");
+        b.foreign_key("J2", &["m_ref"], "M");
+        let mut db = Database::new(b.build().unwrap());
+        let a1 = db.insert_into("A", vec!["a1".into()]).unwrap();
+        for i in 0..2 {
+            db.insert_into("M", vec![format!("m{i}").into(), reldb::Value::Int(i)])
+                .unwrap();
+        }
+        // 5 J1 rows: the backward A—J1 frontier blows a limit of 3.
+        for i in 0..5 {
+            db.insert_into(
+                "J1",
+                vec![
+                    format!("j{i}").into(),
+                    "a1".into(),
+                    format!("m{}", i % 2).into(),
+                ],
+            )
+            .unwrap();
+        }
+        // 2 J2 rows: the sibling branch stays under the limit.
+        for i in 0..2 {
+            db.insert_into(
+                "J2",
+                vec![format!("k{i}").into(), "a1".into(), format!("m{i}").into()],
+            )
+            .unwrap();
+        }
+        let schema = db.schema();
+        let rel_a = schema.relation_id("A").unwrap();
+        let rel_j1 = schema.relation_id("J1").unwrap();
+        let rel_m = schema.relation_id("M").unwrap();
+        let back = |from_rel| {
+            let fk = *schema
+                .fks_to(rel_a)
+                .iter()
+                .find(|&&fk| schema.foreign_key(fk).from_rel == from_rel)
+                .unwrap();
+            Step { fk, forward: false }
+        };
+        let to_m = |from_rel| {
+            let fk = *schema
+                .fks_to(rel_m)
+                .iter()
+                .find(|&&fk| schema.foreign_key(fk).from_rel == from_rel)
+                .unwrap();
+            Step { fk, forward: true }
+        };
+        let rel_j2 = schema.relation_id("J2").unwrap();
+        let via_j1 = WalkScheme {
+            start: rel_a,
+            steps: vec![back(rel_j1), to_m(rel_j1)],
+        };
+        let via_j1_short = WalkScheme {
+            start: rel_a,
+            steps: vec![back(rel_j1)],
+        };
+        let via_j2 = WalkScheme {
+            start: rel_a,
+            steps: vec![back(rel_j2), to_m(rel_j2)],
+        };
+
+        let mut cache = DistCache::new();
+        cache.ensure_bound(&db, 3);
+        // The short scheme fails TooLarge and plants a negative prefix.
+        assert!(cache
+            .fact_distribution(&db, &via_j1_short, a1)
+            .is_too_large());
+        // The longer scheme through the same prefix reuses the negative
+        // entry (a prefix hit, no fresh BFS) and fails the same way —
+        // TooLarge, routing to sampling, not Nonexistent.
+        let hits = cache.stats().prefix_hits;
+        let status = cache.fact_distribution(&db, &via_j1, a1);
+        assert!(status.is_too_large(), "must stay tri-state: {status:?}");
+        assert!(!status.is_nonexistent());
+        assert_eq!(cache.stats().prefix_hits, hits + 1, "negative entry reused");
+        // The sibling diverging at step 1 probes a different prefix key:
+        // fully usable, with a 2-fact support.
+        let sibling = cache.fact_distribution(&db, &via_j2, a1);
+        assert_eq!(sibling.exists().unwrap().support.len(), 2);
+        // Every status equals the direct BFS's.
+        for scheme in [&via_j1_short, &via_j1, &via_j2] {
+            let direct = destination_distribution_status(&db, scheme, a1, 3);
+            let cached = cache.fact_distribution(&db, scheme, a1);
+            assert_eq!(cached.is_too_large(), direct.is_too_large());
+            assert_eq!(cached.is_nonexistent(), direct.is_nonexistent());
+        }
+    }
+
+    #[test]
+    fn kd_tier_serves_and_evicts_directionally() {
+        use crate::kd::{kd, kd_cached, KdOptions};
+        use crate::kernel::KernelAssignment;
+        use stembed_runtime::rng::DetRng;
+        let (mut db, ids) = movies_database_labeled();
+        let scheme = s5(&db);
+        let kernels = KernelAssignment::defaults(&db);
+        let opts = KdOptions::default();
+        let mut cache = DistCache::new();
+        cache.ensure_bound(&db, opts.exact_limit);
+
+        let solve = |cache: &mut DistCache, db: &Database, f1: FactId, f2: FactId| {
+            let mut view = cache.view();
+            let mut rng = DetRng::seed_from_u64(99);
+            let q2 = view.value_distribution(db, &scheme, 4, f2);
+            let y = kd_cached(
+                db, &kernels, &scheme, 4, f1, f2, &q2, &opts, &mut rng, &mut view,
+            );
+            cache.absorb(view.into_delta());
+            y.unwrap()
+        };
+        let first = solve(&mut cache, &db, ids["a1"], ids["a4"]);
+        assert_eq!(cache.stats().kd_misses, 1);
+        assert_eq!(cache.stats().kd_hits, 0);
+        // Second identical query: served from the KD tier, same bits, and
+        // equal to the uncached reference.
+        let second = solve(&mut cache, &db, ids["a1"], ids["a4"]);
+        assert_eq!(cache.stats().kd_hits, 1);
+        assert_eq!(first.to_bits(), second.to_bits());
+        let mut rng = DetRng::seed_from_u64(1);
+        let reference = kd(
+            &db, &kernels, &scheme, 4, ids["a1"], ids["a4"], &opts, &mut rng,
+        )
+        .unwrap();
+        assert_eq!(first.to_bits(), reference.to_bits());
+        // The key is directional: the swapped pair is its own entry (a
+        // miss), even though exact KD is symmetric in value.
+        solve(&mut cache, &db, ids["a4"], ids["a1"]);
+        assert_eq!(cache.stats().kd_misses, 2);
+
+        // Replay eviction: a mutation reaching a4 must drop every KD entry
+        // with a4 on either side, while recomputation agrees with the new
+        // database state.
+        db.insert_into(
+            "COLLABORATIONS",
+            vec!["a04".into(), "a03".into(), "m01".into()],
+        )
+        .unwrap();
+        cache.ensure_bound(&db, opts.exact_limit);
+        let kd_misses = cache.stats().kd_misses;
+        let after = solve(&mut cache, &db, ids["a1"], ids["a4"]);
+        assert_eq!(cache.stats().kd_misses, kd_misses + 1, "entry must be gone");
+        let mut rng = DetRng::seed_from_u64(1);
+        let reference = kd(
+            &db, &kernels, &scheme, 4, ids["a1"], ids["a4"], &opts, &mut rng,
+        )
+        .unwrap();
+        assert_eq!(after.to_bits(), reference.to_bits());
+        assert_ne!(after.to_bits(), first.to_bits(), "a4 gained a destination");
     }
 
     #[test]

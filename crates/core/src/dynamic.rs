@@ -22,12 +22,10 @@
 
 use crate::distcache::DistCache;
 use crate::kd::kd_cached;
-use crate::schemes::WalkScheme;
 use crate::train::ForwardEmbedding;
 use crate::CoreError;
 use linalg::{lstsq, LstsqMethod, Matrix};
 use reldb::{Database, FactId};
-use std::collections::HashSet;
 use stembed_runtime::{derive_seed, stream_rng};
 
 /// Options controlling the dynamic extension.
@@ -130,9 +128,11 @@ impl ForwardEmbedding {
     /// entries untouched by the mutations stay warm across inserts):
     /// the `f_new`-side distribution is resolved **once per target** rather
     /// than once per equation, the fact-level BFS of `f_new` is pre-warmed
-    /// once per distinct scheme, and each target works against a read-only
-    /// cache view whose privately computed entries are merged back in
-    /// target order — keeping the result independent of the shard count.
+    /// in the scheme plan's DFS order (each scheme resumes its parent's
+    /// cached prefix frontier — see [`crate::plan::SchemePlan`]), and each
+    /// target works against a read-only cache view whose privately
+    /// computed entries are merged back in target order — keeping the
+    /// result independent of the shard count.
     fn solve_new_vector(
         &self,
         db: &Database,
@@ -154,14 +154,62 @@ impl ForwardEmbedding {
         candidates.sort_unstable(); // determinism independent of HashMap order
 
         cache.ensure_bound(db, config.kd.exact_limit);
-        // Pre-warm the new fact's fact-level BFS once per distinct scheme:
-        // all targets sharing that scheme marginalise the same distribution
-        // to their attribute, so it belongs in the shared snapshot before
-        // the sharded section starts.
-        let mut seen: HashSet<&WalkScheme> = HashSet::new();
-        for target in self.targets() {
-            if seen.insert(&target.scheme) {
-                cache.fact_distribution(db, &target.scheme, new_fact);
+        // Pre-warm each fact's fact-level BFS once per distinct scheme, in
+        // the scheme plan's DFS order: a child scheme's BFS is "parent
+        // frontier + one step" via the cache's prefix tier, and preorder
+        // evaluation guarantees the parent frontier is cached (and hot)
+        // when each child asks. All targets sharing a scheme marginalise
+        // the same distribution to their attribute, so this belongs in the
+        // shared snapshot before the sharded section starts — the
+        // per-target views below then hit the fact tier instead of each
+        // re-running the BFS privately (views cannot share frontiers with
+        // each other mid-section). Warming is bit-invisible: every entry
+        // is a pure function of `(db content, scheme, start, limit)`, so
+        // only *who computes first* changes, never any value.
+        let plan = self.scheme_plan();
+        let dfs = plan.dfs();
+        // The new fact is always warmed: every target resolves its
+        // f_new-side distribution, so each scheme's BFS is computed
+        // exactly once here and the views below hit the fact tier. Old
+        // facts are warmed **per scheme**, and only when the per-target
+        // equation budget lets the targets sharing that scheme
+        // collectively sample most of the candidate pool — otherwise the
+        // warm pass would compute distributions the shuffled pools never
+        // draw, which is slower than letting the (few) sharers duplicate
+        // the occasional entry privately.
+        let warm_old: Vec<bool> = dfs
+            .iter()
+            .map(|&idx| {
+                let node = plan.node(idx);
+                node.is_scheme() && {
+                    let sharers = self
+                        .targets()
+                        .iter()
+                        .filter(|t| t.scheme == *node.prefix())
+                        .count();
+                    sharers * per_target >= candidates.len()
+                }
+            })
+            .collect();
+        let live_old: Vec<FactId> = if warm_old.iter().any(|&w| w) {
+            candidates
+                .iter()
+                .copied()
+                .filter(|&f| db.fact(f).is_some())
+                .collect()
+        } else {
+            Vec::new()
+        };
+        for (pos, &idx) in dfs.iter().enumerate() {
+            let node = plan.node(idx);
+            if !node.is_scheme() {
+                continue;
+            }
+            cache.fact_distribution(db, node.prefix(), new_fact);
+            if warm_old[pos] {
+                for &f in &live_old {
+                    cache.fact_distribution(db, node.prefix(), f);
+                }
             }
         }
 
@@ -471,6 +519,55 @@ mod tests {
                 "cached and uncached extension diverged for {f}"
             );
         }
+    }
+
+    #[test]
+    fn repeat_extension_hits_the_prefix_and_kd_tiers() {
+        // Forget + re-extend on an unchanged database: the second solve
+        // must be served by the retained cache's prefix frontiers and KD
+        // values — and still produce the exact bits of a throwaway-cache
+        // solve.
+        let (mut db, ids, journal) = scenario();
+        let actors = db.schema().relation_id("ACTORS").unwrap();
+        let emb0 = ForwardEmbedding::train(&db, actors, &cfg(), 42).unwrap();
+        restore_journal(&mut db, &journal).unwrap();
+
+        let mut warm = emb0.clone();
+        warm.extend(&db, ids["a5"], 7).unwrap();
+        let first = warm.embedding(ids["a5"]).unwrap().to_vec();
+        let after_first = warm.dist_cache().stats();
+        assert!(
+            after_first.prefix_misses > 0,
+            "the pre-warm pass assembles frontiers through the prefix tier"
+        );
+
+        warm.forget(ids["a5"]);
+        warm.extend(&db, ids["a5"], 7).unwrap();
+        let second = warm.embedding(ids["a5"]).unwrap().to_vec();
+        let after_second = warm.dist_cache().stats();
+        assert!(
+            after_second.kd_hits > after_first.kd_hits,
+            "re-solving the same fact must reuse cached exact KD values"
+        );
+        assert_eq!(
+            after_second.prefix_misses, after_first.prefix_misses,
+            "no frontier may be rebuilt when the database is unchanged"
+        );
+        assert_eq!(bits(&first), bits(&second));
+
+        // Throwaway-cache reference: identical bits.
+        let mut cold = emb0.clone();
+        cold.extend_with(
+            &db,
+            ids["a5"],
+            7,
+            ExtendOptions {
+                nnew_samples: None,
+                reuse_cache: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(bits(&first), bits(cold.embedding(ids["a5"]).unwrap()));
     }
 
     #[test]

@@ -106,9 +106,17 @@ impl ForwardEmbedder {
     }
 
     /// Hit/miss/invalidation counters of the persistent walk-distribution
-    /// cache driving `extend` (diagnostics).
+    /// cache driving `extend` (diagnostics) — including the prefix-frontier
+    /// and KD tiers (`prefix_hits`/`prefix_misses`, `kd_hits`/`kd_misses`).
     pub fn dist_cache_stats(&self) -> crate::distcache::CacheStats {
         self.inner.dist_cache().stats()
+    }
+
+    /// The targets' schemes factored into a shared prefix trie — the
+    /// deterministic DFS order `extend` pre-warms distributions in (see
+    /// [`crate::plan::SchemePlan`]).
+    pub fn scheme_plan(&self) -> &crate::plan::SchemePlan {
+        self.inner.scheme_plan()
     }
 }
 

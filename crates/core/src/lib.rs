@@ -24,14 +24,22 @@
 //!   with the SVD pseudoinverse ([`dynamic`]).
 //! * A **walk-distribution cache** under the KD/dynamic stack
 //!   ([`distcache`]): exact distributions are memoised by
-//!   `(scheme, start)` / `(scheme, attr, start)` and invalidated through
-//!   `reldb`'s mutation journal, scoped by each scheme's FK-reachability
-//!   ([`schemes::SchemeReach`]) — a mutation evicts only the entries it
-//!   can actually influence, so the cache stays warm across the one-by-one
-//!   insertion protocol and one insert costs one linear solve, not
-//!   thousands of repeated BFS runs. The cache is **invisible
-//!   semantically**: results are bit-identical with and without it, at any
-//!   shard count (`tests/determinism.rs` asserts both).
+//!   `(scheme, start)` / `(scheme, attr, start)`, resumable BFS frontiers
+//!   by `(prefix, start)`, and exact KD values by
+//!   `(scheme, attr, f1, f2)` — all invalidated through `reldb`'s
+//!   mutation journal, scoped by each scheme's (or prefix's)
+//!   FK-reachability ([`schemes::SchemeReach`]) — a mutation evicts only
+//!   the entries it can actually influence, so the cache stays warm
+//!   across the one-by-one insertion protocol and one insert costs one
+//!   linear solve, not thousands of repeated BFS runs. The cache is
+//!   **invisible semantically**: results are bit-identical with and
+//!   without it, at any shard count (`tests/determinism.rs` asserts
+//!   both).
+//! * **Scheme plans** ([`plan`]): a target set's walk schemes factored
+//!   into a shared prefix trie ([`plan::SchemePlan`]); evaluated in
+//!   deterministic DFS order, every scheme's BFS resumes its parent's
+//!   cached frontier ([`walkdist::frontier_step`]) instead of starting
+//!   from scratch.
 //! * A unified [`TupleEmbedder`] trait implemented by both FoRWaRD and the
 //!   Node2Vec adaptation, which the experiment harness trains and extends
 //!   interchangeably ([`embedder`]).
@@ -59,6 +67,7 @@ pub mod dynamic;
 pub mod embedder;
 pub mod kd;
 pub mod kernel;
+pub mod plan;
 pub mod sampler;
 pub mod schemes;
 pub mod snapshot;
@@ -72,11 +81,12 @@ pub use embedder::{ForwardEmbedder, Node2VecEmbedder, TupleEmbedder};
 pub use kernel::{
     EditDistanceKernel, EqualityKernel, GaussianKernel, Kernel, KernelAssignment, KernelKind,
 };
+pub use plan::{PlanNode, SchemePlan};
 pub use schemes::{
     enumerate_schemes, target_pairs, ReachScope, SchemeReach, Step, Target, WalkScheme,
 };
 pub use train::ForwardEmbedding;
-pub use walkdist::{DestinationSampler, ValueDistribution};
+pub use walkdist::{DestinationSampler, FrontierState, ValueDistribution};
 
 /// Errors surfaced by the embedding algorithms.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,0 +1,401 @@
+//! Scheme plans: a target set's walk schemes factored into a shared
+//! prefix trie (ROADMAP item 5 — the Datalog subplan-sharing shape).
+//!
+//! Walk-scheme enumeration ([`crate::schemes::enumerate_schemes`]) is
+//! prefix-closed BFS, so a length-`ℓ` scheme's BFS frontier is exactly
+//! one [`crate::walkdist::frontier_step`] past a length-`ℓ−1` scheme's.
+//! A [`SchemePlan`] makes that sharing explicit: every node is a step
+//! prefix, an edge adds one step, and a node may *be* one of the input
+//! schemes (interior nodes that are not themselves schemes arise when a
+//! target set skips a length — e.g. the movies schema has no length-1
+//! targets because `COLLABORATIONS` has only FK attributes).
+//!
+//! Consumers walk the plan in [`SchemePlan::dfs`] preorder so that a
+//! child's distribution is evaluated immediately after its parent's
+//! frontier was produced — the distribution cache's prefix tier
+//! ([`crate::distcache::DistCache`]) then serves every non-root node
+//! from "parent frontier + 1 step" instead of a fresh `ℓ`-step BFS.
+//!
+//! ## Determinism
+//!
+//! The plan is a pure function of `(start, schemes)`: children are kept
+//! sorted by their last [`Step`] (which is `Ord`), the DFS is a fixed
+//! stack-based preorder, and nothing reads ambient state. Evaluation
+//! *order* also cannot change any bits — each distribution is computed
+//! by the identical IEEE operation sequence regardless of which scheme
+//! triggered the shared prefix work (see `PRECISION.md`, "Scheme
+//! plans").
+
+use crate::schemes::{Step, Target, WalkScheme};
+use reldb::RelationId;
+
+/// One node of a [`SchemePlan`]: a step prefix shared by every scheme in
+/// the subtree below it.
+#[derive(Debug, Clone)]
+pub struct PlanNode {
+    prefix: WalkScheme,
+    parent: Option<usize>,
+    children: Vec<usize>,
+    scheme: Option<usize>,
+}
+
+impl PlanNode {
+    /// The step prefix this node represents, as a walk scheme in its own
+    /// right (the root is the length-0 scheme).
+    pub fn prefix(&self) -> &WalkScheme {
+        &self.prefix
+    }
+
+    /// Number of steps in the prefix (0 for the root).
+    pub fn depth(&self) -> usize {
+        self.prefix.len()
+    }
+
+    /// Index of the parent node (`None` for the root).
+    pub fn parent(&self) -> Option<usize> {
+        self.parent
+    }
+
+    /// Indices of the child nodes, sorted by their last step.
+    pub fn children(&self) -> &[usize] {
+        &self.children
+    }
+
+    /// Position of this node's scheme in the plan's input scheme list
+    /// (first occurrence), or `None` for interior prefixes that are not
+    /// themselves schemes.
+    pub fn scheme_index(&self) -> Option<usize> {
+        self.scheme
+    }
+
+    /// `true` when this prefix is one of the input schemes.
+    pub fn is_scheme(&self) -> bool {
+        self.scheme.is_some()
+    }
+
+    /// The step that extends the parent's prefix into this one (`None`
+    /// for the root).
+    pub fn step(&self) -> Option<&Step> {
+        self.prefix.steps.last()
+    }
+}
+
+/// A target set's walk schemes factored into a prefix trie rooted at the
+/// length-0 scheme of the start relation. See the module docs.
+#[derive(Debug, Clone)]
+pub struct SchemePlan {
+    nodes: Vec<PlanNode>,
+    scheme_count: usize,
+    flat_steps: usize,
+}
+
+impl SchemePlan {
+    /// Build the plan for `schemes`, all of which must start at `start`.
+    /// Duplicate schemes collapse onto one node (first occurrence wins
+    /// for [`PlanNode::scheme_index`]).
+    pub fn build(start: RelationId, schemes: &[WalkScheme]) -> Self {
+        let mut nodes = vec![PlanNode {
+            prefix: WalkScheme::trivial(start),
+            parent: None,
+            children: Vec::new(),
+            scheme: None,
+        }];
+        let mut scheme_count = 0;
+        let mut flat_steps = 0;
+        for (s_idx, scheme) in schemes.iter().enumerate() {
+            debug_assert_eq!(scheme.start, start, "plan schemes share one start");
+            flat_steps += scheme.len();
+            let mut cur = 0usize;
+            for (depth, &step) in scheme.steps.iter().enumerate() {
+                // Children stay sorted by their last step so the layout
+                // (and every DFS) is independent of scheme input order.
+                let found = nodes[cur].children.binary_search_by(|&c| {
+                    nodes[c]
+                        .prefix
+                        .steps
+                        .last()
+                        .expect("non-root nodes have a last step")
+                        .cmp(&step)
+                });
+                cur = match found {
+                    Ok(i) => nodes[cur].children[i],
+                    Err(i) => {
+                        let id = nodes.len();
+                        let mut prefix = WalkScheme::trivial(start);
+                        prefix.steps.extend_from_slice(&scheme.steps[..=depth]);
+                        nodes.push(PlanNode {
+                            prefix,
+                            parent: Some(cur),
+                            children: Vec::new(),
+                            scheme: None,
+                        });
+                        nodes[cur].children.insert(i, id);
+                        id
+                    }
+                };
+            }
+            if nodes[cur].scheme.is_none() {
+                nodes[cur].scheme = Some(s_idx);
+                scheme_count += 1;
+            }
+        }
+        SchemePlan {
+            nodes,
+            scheme_count,
+            flat_steps,
+        }
+    }
+
+    /// Build the plan from a target list, deduplicating schemes in first
+    /// occurrence order (several targets share one scheme with different
+    /// attributes).
+    pub fn from_targets(start: RelationId, targets: &[Target]) -> Self {
+        let mut schemes: Vec<WalkScheme> = Vec::new();
+        for t in targets {
+            if !schemes.contains(&t.scheme) {
+                schemes.push(t.scheme.clone());
+            }
+        }
+        SchemePlan::build(start, &schemes)
+    }
+
+    /// The node at `index` (0 is always the root).
+    pub fn node(&self, index: usize) -> &PlanNode {
+        &self.nodes[index]
+    }
+
+    /// Total node count, including the root and interior non-scheme
+    /// prefixes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// How many distinct input schemes the plan covers.
+    pub fn scheme_count(&self) -> usize {
+        self.scheme_count
+    }
+
+    /// Total step count of the unfactored scheme list — what independent
+    /// BFS evaluation would traverse.
+    pub fn flat_step_count(&self) -> usize {
+        self.flat_steps
+    }
+
+    /// Step count of the factored plan (one frontier extension per
+    /// non-root node) — what plan-order evaluation traverses.
+    pub fn shared_step_count(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// The start relation all schemes share.
+    pub fn start(&self) -> RelationId {
+        self.nodes[0].prefix.start
+    }
+
+    /// Deterministic preorder DFS over all nodes (root first, children
+    /// in sorted-step order). Evaluating distributions in this order
+    /// keeps each parent frontier hot in the cache when its children
+    /// extend it.
+    pub fn dfs(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![0usize];
+        while let Some(idx) = stack.pop() {
+            order.push(idx);
+            stack.extend(self.nodes[idx].children.iter().rev());
+        }
+        order
+    }
+
+    /// Number of scheme nodes **strictly below** each node (indexed like
+    /// the node list): how many other schemes' evaluations would resume a
+    /// frontier cached at that prefix.
+    fn schemes_below(&self) -> Vec<usize> {
+        let mut below = vec![0usize; self.nodes.len()];
+        // Children are always pushed after their parent, so reverse index
+        // order is a valid bottom-up traversal.
+        for i in (1..self.nodes.len()).rev() {
+            let parent = self.nodes[i].parent.expect("non-root nodes have a parent");
+            below[parent] += below[i] + usize::from(self.nodes[i].is_scheme());
+        }
+        below
+    }
+
+    /// The prefixes whose BFS frontier is worth caching: some *other*
+    /// scheme's evaluation will resume it. A prefix qualifies when ≥ 2
+    /// schemes pass strictly through it (the first evaluation stores, the
+    /// rest resume), or when it is itself a scheme with ≥ 1 scheme below
+    /// (its own evaluation produces the frontier; descendants resume it).
+    /// Leaf schemes and chains feeding a single scheme are excluded — a
+    /// frontier nothing ever resumes is pure bookkeeping, and on plans
+    /// with little sharing that bookkeeping is what a cache-backed
+    /// evaluation pays over a plain BFS.
+    pub fn persist_prefixes(&self) -> std::collections::BTreeSet<Vec<Step>> {
+        let below = self.schemes_below();
+        let mut set = std::collections::BTreeSet::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.depth() == 0 {
+                continue; // the length-0 frontier is one `frontier_start`
+            }
+            if below[i] >= 2 || (node.is_scheme() && below[i] >= 1) {
+                set.insert(node.prefix.steps.clone());
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::{enumerate_schemes, target_pairs};
+    use reldb::movies::movies_schema;
+
+    #[test]
+    fn movies_enumeration_factors_into_prefix_trie() {
+        let schema = movies_schema();
+        let actors = schema.relation_id("ACTORS").unwrap();
+        let schemes = enumerate_schemes(&schema, actors, 3, false);
+        let plan = SchemePlan::build(actors, &schemes);
+        // Prefix-closed enumeration: every node *is* a scheme, so the trie
+        // has exactly one node per scheme (1 + 2 + 4 + 4 = 11).
+        assert_eq!(plan.node_count(), 11);
+        assert_eq!(plan.scheme_count(), 11);
+        // Flat steps: 2×1 + 4×2 + 4×3 = 22; factored: 10 edges.
+        assert_eq!(plan.flat_step_count(), 22);
+        assert_eq!(plan.shared_step_count(), 10);
+        assert_eq!(plan.start(), actors);
+        for idx in plan.dfs() {
+            assert!(plan.node(idx).is_scheme());
+        }
+    }
+
+    #[test]
+    fn target_plan_has_non_scheme_interior_nodes() {
+        let schema = movies_schema();
+        let actors = schema.relation_id("ACTORS").unwrap();
+        let targets = target_pairs(&schema, actors, 3);
+        assert_eq!(targets.len(), 16);
+        let plan = SchemePlan::from_targets(actors, &targets);
+        // COLLABORATIONS has only FK attributes, so neither the two
+        // length-1 schemes nor the two length-3 schemes ending there
+        // contribute targets. The length-1 prefixes still appear —
+        // as interior non-scheme nodes under the longer schemes — while
+        // the length-3 ones are leaves and vanish entirely: 9 nodes for
+        // 7 distinct target schemes.
+        assert_eq!(plan.node_count(), 9);
+        assert_eq!(plan.scheme_count(), 7);
+        let interior: Vec<_> = (0..plan.node_count())
+            .filter(|&i| !plan.node(i).is_scheme())
+            .collect();
+        assert_eq!(interior.len(), 2);
+        for &i in &interior {
+            assert_eq!(plan.node(i).depth(), 1);
+        }
+    }
+
+    #[test]
+    fn dfs_is_preorder_and_input_order_independent() {
+        let schema = movies_schema();
+        let actors = schema.relation_id("ACTORS").unwrap();
+        let schemes = enumerate_schemes(&schema, actors, 3, false);
+        let plan = SchemePlan::build(actors, &schemes);
+        let order = plan.dfs();
+        assert_eq!(order.len(), plan.node_count());
+        assert_eq!(order[0], 0);
+        // Preorder: every node appears after its parent.
+        let mut seen = vec![false; plan.node_count()];
+        for &idx in &order {
+            if let Some(p) = plan.node(idx).parent() {
+                assert!(seen[p], "parent frontier must be produced first");
+            }
+            seen[idx] = true;
+        }
+        // Reversing the input scheme order yields the identical *DFS
+        // evaluation order* (node ids reflect first-seen order, but
+        // children are kept step-sorted, so the walk is canonical).
+        let mut reversed = schemes.clone();
+        reversed.reverse();
+        let plan2 = SchemePlan::build(actors, &reversed);
+        assert_eq!(plan2.node_count(), plan.node_count());
+        let walk = |p: &SchemePlan| -> Vec<WalkScheme> {
+            p.dfs()
+                .into_iter()
+                .map(|i| p.node(i).prefix().clone())
+                .collect()
+        };
+        assert_eq!(walk(&plan), walk(&plan2));
+    }
+
+    #[test]
+    fn persist_prefixes_cover_exactly_the_shared_frontiers() {
+        let schema = movies_schema();
+        let actors = schema.relation_id("ACTORS").unwrap();
+        // Full enumeration is prefix-closed: every non-leaf node is a
+        // scheme with descendants, every leaf is a scheme nothing resumes.
+        let schemes = enumerate_schemes(&schema, actors, 3, false);
+        let plan = SchemePlan::build(actors, &schemes);
+        let persist = plan.persist_prefixes();
+        for idx in plan.dfs() {
+            let node = plan.node(idx);
+            if node.depth() == 0 {
+                continue;
+            }
+            let expected = !node.children().is_empty();
+            assert_eq!(
+                persist.contains(&node.prefix().steps),
+                expected,
+                "node at depth {} with {} children",
+                node.depth(),
+                node.children().len()
+            );
+        }
+        // Target plan: the two non-scheme interior depth-1 prefixes each
+        // carry two scheme subtrees, so they persist; the depth-2/3 target
+        // schemes are leaves and do not.
+        let targets = target_pairs(&schema, actors, 3);
+        let tplan = SchemePlan::from_targets(actors, &targets);
+        let tpersist = tplan.persist_prefixes();
+        for idx in tplan.dfs() {
+            let node = tplan.node(idx);
+            if node.depth() == 0 {
+                continue;
+            }
+            if !node.is_scheme() {
+                assert!(
+                    tpersist.contains(&node.prefix().steps),
+                    "interior prefixes exist only because schemes pass through them"
+                );
+            }
+            if node.children().is_empty() {
+                assert!(
+                    !tpersist.contains(&node.prefix().steps),
+                    "leaves never resume"
+                );
+            }
+        }
+        assert!(!tpersist.is_empty());
+    }
+
+    #[test]
+    fn plan_nodes_link_parent_and_step() {
+        let schema = movies_schema();
+        let actors = schema.relation_id("ACTORS").unwrap();
+        let schemes = enumerate_schemes(&schema, actors, 3, false);
+        let plan = SchemePlan::build(actors, &schemes);
+        assert!(plan.node(0).parent().is_none());
+        assert!(plan.node(0).step().is_none());
+        assert_eq!(plan.node(0).depth(), 0);
+        for i in 1..plan.node_count() {
+            let node = plan.node(i);
+            let parent = plan.node(node.parent().unwrap());
+            assert_eq!(node.depth(), parent.depth() + 1);
+            // The node's prefix is the parent's prefix plus its step.
+            assert_eq!(
+                &node.prefix().steps[..parent.depth()],
+                &parent.prefix().steps[..]
+            );
+            assert_eq!(node.step(), node.prefix().steps.last());
+            assert!(parent.children().contains(&i));
+        }
+    }
+}

@@ -32,6 +32,7 @@
 use crate::config::ForwardConfig;
 use crate::distcache::DistCache;
 use crate::kernel::KernelAssignment;
+use crate::plan::SchemePlan;
 use crate::sampler::{generate_samples, EligibilityIndex, TrainingSample};
 use crate::schemes::{target_pairs, Target};
 use crate::CoreError;
@@ -53,6 +54,13 @@ pub struct ForwardEmbedding {
     rel: RelationId,
     dim: usize,
     targets: Vec<Target>,
+    /// The targets' schemes factored into a shared prefix trie. Fixes the
+    /// deterministic DFS evaluation order of **exact-path** distribution
+    /// work (the dynamic pre-warm), so sibling schemes extend a cached
+    /// parent frontier while it is hot. The sampling schedule stays in
+    /// target order — ψ indexing and the per-target RNG streams are keyed
+    /// by target position, which the plan never reorders.
+    plan: SchemePlan,
     /// `BTreeMap` so every whole-map walk (snapshots, update application,
     /// candidate enumeration) runs in ascending `FactId` order — hasher
     /// state must never pick the order of float updates.
@@ -104,6 +112,13 @@ impl ForwardEmbedding {
                 relation: db.schema().relation(rel).name.clone(),
             });
         }
+        let plan = SchemePlan::from_targets(rel, &targets);
+        // The cache only stores prefix frontiers another scheme will
+        // resume (see `SchemePlan::persist_prefixes`); on plans with
+        // little sharing this is what keeps cache-backed evaluation from
+        // paying bookkeeping a plain BFS does not.
+        let mut dist_cache = DistCache::new();
+        dist_cache.set_persist_prefixes(std::sync::Arc::new(plan.persist_prefixes()));
         let kernels = KernelAssignment::defaults(db);
         let mut rng = DetRng::seed_from_u64(seed);
 
@@ -126,13 +141,14 @@ impl ForwardEmbedding {
             rel,
             dim: config.dim,
             targets,
+            plan,
             phi,
             psi,
             kernels,
             config: config.clone(),
             runtime,
             epoch_losses: Vec::new(),
-            dist_cache: DistCache::new(),
+            dist_cache,
         };
         this.run_sgd(db, &facts, seed ^ 0x5a5a, &mut rng)?;
         Ok(this)
@@ -312,6 +328,13 @@ impl ForwardEmbedding {
         &self.targets
     }
 
+    /// The targets' schemes factored into a shared prefix trie — the
+    /// deterministic DFS evaluation order for exact-path distribution
+    /// work (see [`SchemePlan`]).
+    pub fn scheme_plan(&self) -> &SchemePlan {
+        &self.plan
+    }
+
     /// The learned inner-product matrix `ψ(s,A)` for target `t`.
     pub fn psi(&self, t: usize) -> &Matrix {
         &self.psi[t]
@@ -362,9 +385,10 @@ impl ForwardEmbedding {
         &self.dist_cache
     }
 
-    /// Rebuild an embedding from snapshotted state. `targets` are
-    /// **re-derived** from the schema (they are a pure function of
-    /// `(schema, rel, max_walk_len)`), the distribution cache starts cold
+    /// Rebuild an embedding from snapshotted state. `targets` (and with
+    /// them the scheme plan) are **re-derived** from the schema (they are
+    /// a pure function of `(schema, rel, max_walk_len)`), the
+    /// distribution cache starts cold
     /// (it is a pure accelerator — the determinism contract guarantees
     /// cached ≡ uncached), and the runtime comes from the environment.
     /// Only `ϕ`, `ψ`, the kernel assignment, and the loss history are
@@ -408,17 +432,21 @@ impl ForwardEmbedding {
                 config.dim
             )));
         }
+        let plan = SchemePlan::from_targets(rel, &targets);
+        let mut dist_cache = DistCache::new();
+        dist_cache.set_persist_prefixes(std::sync::Arc::new(plan.persist_prefixes()));
         Ok(ForwardEmbedding {
             rel,
             dim: config.dim,
             targets,
+            plan,
             phi,
             psi,
             kernels,
             config,
             runtime: Runtime::from_env(),
             epoch_losses,
-            dist_cache: DistCache::new(),
+            dist_cache,
         })
     }
 

@@ -88,6 +88,11 @@ impl<T> DistStatus<T> {
         matches!(self, DistStatus::Nonexistent)
     }
 
+    /// `true` iff an intermediate frontier exceeded the support cap.
+    pub fn is_too_large(&self) -> bool {
+        matches!(self, DistStatus::TooLarge)
+    }
+
     /// Map the payload, preserving the status.
     pub fn map<U>(self, f: impl FnOnce(T) -> U) -> DistStatus<U> {
         match self {
@@ -169,73 +174,107 @@ pub fn step_predecessors_of(db: &Database, step: &Step, fact: &reldb::Fact) -> V
     }
 }
 
-/// Exactly compute `d_{f,s}` by probability propagation, reporting *why*
-/// when it cannot: [`DistStatus::Nonexistent`] when no complete walk
-/// exists (exact knowledge), [`DistStatus::TooLarge`] when an intermediate
-/// support exceeds `support_limit` (callers then fall back to sampling).
-pub fn destination_distribution_status(
-    db: &Database,
-    scheme: &WalkScheme,
-    start: FactId,
-    support_limit: usize,
-) -> DistStatus<FactDistribution> {
-    debug_assert_eq!(start.rel, scheme.start);
+/// The resumable state of the probability-propagating BFS after a prefix
+/// of a walk scheme's steps: the **pre-renormalisation** `(fact, mass)`
+/// frontier in canonical fact order.
+///
+/// A full distribution is [`frontier_start`], one [`frontier_step`] per
+/// scheme step, then [`frontier_finish`];
+/// [`destination_distribution_status`] is literally that composition. A
+/// state cached after a shared prefix and extended step by step therefore
+/// yields the **same bits** as the from-scratch BFS: each extension runs
+/// the identical IEEE operation sequence on the identical intermediate
+/// values. This is what the distribution cache's prefix tier
+/// ([`crate::distcache::DistCache`]) stores, and what the scheme plan
+/// ([`crate::plan::SchemePlan`]) orders evaluation around.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierState {
+    /// `(fact, accumulated mass)` pairs; sorted by fact id, no duplicates.
+    /// Masses are walk-completion probabilities *before* the final
+    /// renormalisation — that belongs to [`frontier_finish`], because a
+    /// prefix's mass keeps being split and dropped by later steps.
+    pub frontier: Vec<(FactId, f64)>,
+}
+
+/// The length-0 frontier: all mass on the start fact.
+/// [`DistStatus::Nonexistent`] when the start fact is not live.
+pub fn frontier_start(db: &Database, start: FactId) -> DistStatus<FrontierState> {
     if db.fact(start).is_none() {
         return DistStatus::Nonexistent;
     }
+    DistStatus::Exists(FrontierState {
+        frontier: vec![(start, 1.0)],
+    })
+}
+
+/// Extend a frontier by one scheme step: propagate each fact's mass to its
+/// successors (backward steps split it uniformly over the referencing
+/// slots), then sort-and-merge duplicates so masses add in fact order.
+/// [`DistStatus::Nonexistent`] when every walk prefix dead-ends,
+/// [`DistStatus::TooLarge`] when the merged frontier exceeds
+/// `support_limit`.
+///
+/// The frontier is a sorted `(fact, probability)` vector, deduplicated by
+/// a sort-and-merge after each step: at walk-scheme frontier sizes a
+/// contiguous sort beats per-fact hashing, and it keeps the support in
+/// canonical fact order at every stage (see
+/// [`FactDistribution::support`]).
+pub fn frontier_step(
+    db: &Database,
+    step: &Step,
+    state: &FrontierState,
+    support_limit: usize,
+) -> DistStatus<FrontierState> {
     let schema = db.schema();
-    // The frontier is a sorted `(fact, probability)` vector, deduplicated
-    // by a sort-and-merge after each step: at walk-scheme frontier sizes a
-    // contiguous sort beats per-fact hashing, and it keeps the support in
-    // canonical fact order at every stage (see the support docs).
-    let mut frontier: Vec<(FactId, f64)> = vec![(start, 1.0)];
+    let fk = schema.foreign_key(step.fk);
     let mut next: Vec<(FactId, f64)> = Vec::new();
     let mut key: Vec<Value> = Vec::new();
-    for step in &scheme.steps {
-        next.clear();
-        let fk = schema.foreign_key(step.fk);
-        for &(fact_id, prob) in &frontier {
-            let fact = db.fact(fact_id).expect("frontier facts are live");
-            if step.forward {
-                if fact.any_null(&fk.from_attrs) {
-                    continue; // null FK: this walk prefix dead-ends
-                }
-                fact.project_into(&fk.from_attrs, &mut key);
-                if let Some(dest) = db.lookup_key(fk.to_rel, &key) {
-                    next.push((dest, prob));
-                }
-            } else {
-                fact.project_into(&fk.to_attrs, &mut key);
-                let slots = db.referencing_slots(step.fk, &key);
-                if slots.is_empty() {
-                    continue;
-                }
-                let share = prob / slots.len() as f64;
-                next.extend(
-                    slots
-                        .iter()
-                        .map(|&row| (FactId::new(fk.from_rel, row), share)),
-                );
+    for &(fact_id, prob) in &state.frontier {
+        let fact = db.fact(fact_id).expect("frontier facts are live");
+        if step.forward {
+            if fact.any_null(&fk.from_attrs) {
+                continue; // null FK: this walk prefix dead-ends
             }
-        }
-        if next.is_empty() {
-            return DistStatus::Nonexistent;
-        }
-        // Merge duplicate destinations (masses add in fact order).
-        next.sort_unstable_by_key(|(f, _)| *f);
-        frontier.clear();
-        for &(f, p) in &next {
-            match frontier.last_mut() {
-                Some((last, mass)) if *last == f => *mass += p,
-                _ => frontier.push((f, p)),
+            fact.project_into(&fk.from_attrs, &mut key);
+            if let Some(dest) = db.lookup_key(fk.to_rel, &key) {
+                next.push((dest, prob));
             }
-        }
-        if frontier.len() > support_limit {
-            return DistStatus::TooLarge;
+        } else {
+            fact.project_into(&fk.to_attrs, &mut key);
+            let slots = db.referencing_slots(step.fk, &key);
+            if slots.is_empty() {
+                continue;
+            }
+            let share = prob / slots.len() as f64;
+            next.extend(
+                slots
+                    .iter()
+                    .map(|&row| (FactId::new(fk.from_rel, row), share)),
+            );
         }
     }
-    // Renormalise: the remaining mass conditions on walk completion.
-    let mut support = frontier;
+    if next.is_empty() {
+        return DistStatus::Nonexistent;
+    }
+    // Merge duplicate destinations (masses add in fact order).
+    next.sort_unstable_by_key(|(f, _)| *f);
+    let mut merged: Vec<(FactId, f64)> = Vec::new();
+    for &(f, p) in &next {
+        match merged.last_mut() {
+            Some((last, mass)) if *last == f => *mass += p,
+            _ => merged.push((f, p)),
+        }
+    }
+    if merged.len() > support_limit {
+        return DistStatus::TooLarge;
+    }
+    DistStatus::Exists(FrontierState { frontier: merged })
+}
+
+/// Turn a completed frontier into a distribution: renormalise so the
+/// remaining mass conditions on walk completion.
+pub fn frontier_finish(state: &FrontierState) -> DistStatus<FactDistribution> {
+    let mut support = state.frontier.clone();
     let total: f64 = support.iter().map(|(_, p)| p).sum();
     if total <= 0.0 {
         return DistStatus::Nonexistent;
@@ -244,6 +283,35 @@ pub fn destination_distribution_status(
         *p /= total;
     }
     DistStatus::Exists(FactDistribution { support })
+}
+
+/// Exactly compute `d_{f,s}` by probability propagation, reporting *why*
+/// when it cannot: [`DistStatus::Nonexistent`] when no complete walk
+/// exists (exact knowledge), [`DistStatus::TooLarge`] when an intermediate
+/// support exceeds `support_limit` (callers then fall back to sampling).
+///
+/// Built on the resumable frontier primitives — [`frontier_start`], one
+/// [`frontier_step`] per scheme step, [`frontier_finish`] — so the
+/// prefix-cached evaluation path shares this exact code and is bitwise
+/// indistinguishable from it.
+pub fn destination_distribution_status(
+    db: &Database,
+    scheme: &WalkScheme,
+    start: FactId,
+    support_limit: usize,
+) -> DistStatus<FactDistribution> {
+    debug_assert_eq!(start.rel, scheme.start);
+    let DistStatus::Exists(mut state) = frontier_start(db, start) else {
+        return DistStatus::Nonexistent;
+    };
+    for step in &scheme.steps {
+        state = match frontier_step(db, step, &state, support_limit) {
+            DistStatus::Exists(s) => s,
+            DistStatus::TooLarge => return DistStatus::TooLarge,
+            DistStatus::Nonexistent => return DistStatus::Nonexistent,
+        };
+    }
+    frontier_finish(&state)
 }
 
 /// [`destination_distribution_status`] flattened to an `Option` for callers

@@ -10,8 +10,10 @@
 //!   invalidation keeps FK-unreachable entries warm across rounds (deletes
 //!   included, via the journalled fact payloads). Per round it prints the
 //!   wall-clock (restore + extends, via the same `repro::one_by_one_round`
-//!   the bench measures) plus the cache's hit/miss/evicted deltas; a
-//!   throwaway-cache pass of the same rounds prints last for comparison.
+//!   the bench measures) plus the cache's hit/miss/evicted deltas and the
+//!   prefix tier's reuse share (what fraction of frontier lookups resumed
+//!   a cached parent instead of starting a fresh BFS); a throwaway-cache
+//!   pass of the same rounds prints last for comparison.
 //! * **Node2Vec** extends with the bucketed negative table: per round it
 //!   prints how many nodes the continuation walks dirtied and how many
 //!   sampler buckets were rebuilt out of the total — the sub-linearity
@@ -108,15 +110,18 @@ fn main() {
                         hits: s.hits - prev.hits,
                         misses: s.misses - prev.misses,
                         evicted: s.evicted - prev.evicted,
+                        prefix_hits: s.prefix_hits - prev.prefix_hits,
+                        prefix_misses: s.prefix_misses - prev.prefix_misses,
                         ..Default::default()
                     };
                     println!(
                         "  round {round}: {dt:6.2} ms  hits={:<5} misses={:<5} \
-                         evicted={:<4} hit-rate={:4.0}%  entries={}",
+                         evicted={:<4} hit-rate={:4.0}%  prefix-reuse={:4.0}%  entries={}",
                         round_stats.hits,
                         round_stats.misses,
                         round_stats.evicted,
                         100.0 * round_stats.hit_rate(),
+                        100.0 * round_stats.prefix_hit_rate(),
                         e.dist_cache().len()
                     );
                 }
@@ -138,6 +143,25 @@ fn main() {
                     "{name}: the restore-only protocol forced a full clear"
                 );
                 assert!(s.replays > 0, "{name}: no journal replay happened");
+                assert!(
+                    s.prefix_hits + s.prefix_misses > 0,
+                    "{name}: no frontier was ever assembled through the prefix tier"
+                );
+                // Reuse is a property of the plan's shape: schemes that
+                // share step prefixes must resume each other's frontiers.
+                // (Some schemas — hepatitis at walk length 2 — branch at
+                // the root only, so there is legitimately nothing to
+                // share and the plan collapses to the flat scheme list.)
+                let plan = e.scheme_plan();
+                if plan.shared_step_count() < plan.flat_step_count() {
+                    assert!(
+                        s.prefix_hits > 0,
+                        "{name}: the plan factors {} flat steps into {} shared ones, \
+                         yet no frontier was ever resumed",
+                        plan.flat_step_count(),
+                        plan.shared_step_count()
+                    );
+                }
             }
         }
 

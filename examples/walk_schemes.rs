@@ -5,6 +5,7 @@
 
 use stembed::core::schemes::enumerate_schemes;
 use stembed::core::walkdist::{destination_distribution, destination_value_distribution};
+use stembed::core::SchemePlan;
 use stembed::reldb::movies::movies_database_labeled;
 
 fn main() {
@@ -30,6 +31,56 @@ fn main() {
         "  ({} schemes; the paper's Figure 4 draws 9, merging the two symmetric STUDIOS branches)\n",
         schemes.len()
     );
+
+    // ---------------------------------------------------------------
+    // The same schemes factored into a shared prefix plan: every node
+    // is a step prefix, every edge one FK step, and evaluating in DFS
+    // order computes each distribution as "parent frontier + 1 step".
+    // ---------------------------------------------------------------
+    let plan = SchemePlan::build(actors, &schemes);
+    println!(
+        "Factored scheme plan: {} schemes / {} flat steps collapse into {} nodes / {} shared steps:",
+        plan.scheme_count(),
+        plan.flat_step_count(),
+        plan.node_count(),
+        plan.shared_step_count()
+    );
+    for idx in plan.dfs() {
+        let node = plan.node(idx);
+        let label = match node.step() {
+            Some(step) => {
+                let src = step.source(schema);
+                let dst = step.destination(schema);
+                let depart: Vec<&str> = step
+                    .depart_attrs(schema)
+                    .iter()
+                    .map(|&a| schema.relation(src).attributes[a].name.as_str())
+                    .collect();
+                let arrive: Vec<&str> = step
+                    .arrive_attrs(schema)
+                    .iter()
+                    .map(|&a| schema.relation(dst).attributes[a].name.as_str())
+                    .collect();
+                format!(
+                    "—[{}]→ {}[{}]",
+                    depart.join(","),
+                    schema.relation(dst).name,
+                    arrive.join(",")
+                )
+            }
+            None => format!("start at {}", schema.relation(actors).name),
+        };
+        println!(
+            "  {}{label}{}",
+            "  ".repeat(node.depth()),
+            if node.is_scheme() {
+                ""
+            } else {
+                "   (shared prefix only)"
+            }
+        );
+    }
+    println!();
 
     // ---------------------------------------------------------------
     // Example 5.2/5.3: the distribution of walks from a1 (DiCaprio)

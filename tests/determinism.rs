@@ -349,6 +349,98 @@ fn fine_grained_invalidation_is_bit_identical_to_cold_caches() {
 }
 
 #[test]
+fn plan_evaluated_extension_is_bit_identical_to_cold_caches() {
+    // Scheme-plan property: dynamic extension pre-warms exact
+    // distributions in the plan's DFS order, so every non-root scheme is
+    // assembled as "cached parent frontier + 1 step" through the cache's
+    // prefix tier. That factored evaluation must be semantically
+    // invisible: across an insert/delete/restore sequence and at 1, 2,
+    // and 8 shards, the solved vectors are bit-identical to throwaway
+    // caches that never see a second scheme.
+    use stembed::core::ExtendOptions;
+
+    let (db0, ids) = movies();
+    let mut base = db0.clone();
+    let j_a5 = cascade_delete(&mut base, ids["a5"], false).unwrap();
+    let actors = base.schema().relation_id("ACTORS").unwrap();
+    let cfg = ForwardConfig {
+        dim: 8,
+        epochs: 4,
+        nsamples: 25,
+        ..ForwardConfig::small()
+    };
+
+    let run = |shards: usize, retained: bool| -> Vec<Vec<u64>> {
+        let mut emb =
+            ForwardEmbedding::train_with_runtime(&base, actors, &cfg, 23, Runtime::new(shards))
+                .unwrap();
+        // The plan itself is shard-independent: one trie per target set.
+        let plan = emb.scheme_plan();
+        assert!(plan.shared_step_count() < plan.flat_step_count());
+        let mut db = base.clone();
+        let mut out: Vec<Vec<u64>> = Vec::new();
+        let mut step = 0u64;
+        let mut extend = |emb: &mut ForwardEmbedding, db: &stembed::reldb::Database, f| {
+            step += 1;
+            let options = ExtendOptions {
+                nnew_samples: None,
+                reuse_cache: retained,
+            };
+            emb.extend_with(db, f, step, options).unwrap();
+            out.push(
+                emb.embedding(f)
+                    .unwrap()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect(),
+            );
+        };
+
+        // Insert: a5 comes back, extend it.
+        restore_journal(&mut db, &j_a5).unwrap();
+        extend(&mut emb, &db, ids["a5"]);
+        // Delete + restore an interior fact, re-extend after each.
+        let j_m6 = cascade_delete(&mut db, ids["m6"], false).unwrap();
+        emb.forget(ids["a5"]);
+        extend(&mut emb, &db, ids["a5"]);
+        restore_journal(&mut db, &j_m6).unwrap();
+        emb.forget(ids["a5"]);
+        extend(&mut emb, &db, ids["a5"]);
+
+        let stats = emb.dist_cache().stats();
+        if retained {
+            assert!(
+                stats.prefix_hits > 0,
+                "plan-order pre-warm must resume cached parent frontiers"
+            );
+            assert!(
+                stats.prefix_hit_rate() >= 0.5,
+                "frontier lookups mostly extend a cached parent (rate {})",
+                stats.prefix_hit_rate()
+            );
+        } else {
+            assert!(emb.dist_cache().is_empty(), "throwaway caches persisted");
+        }
+        out
+    };
+
+    let baseline = run(1, true);
+    assert_eq!(baseline.len(), 3);
+    for &shards in &SHARDS {
+        for retained in [true, false] {
+            if shards == 1 && retained {
+                continue; // that configuration *is* the baseline
+            }
+            assert_eq!(
+                run(shards, retained),
+                baseline,
+                "shards={shards} retained={retained} diverged"
+            );
+        }
+    }
+}
+
+#[test]
 fn wrapped_journal_falls_back_without_changing_results() {
     // With the journal disabled (capacity 0) every mutation is a forced
     // full clear — slower, but the solved vectors must not move a bit.
