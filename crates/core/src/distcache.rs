@@ -417,6 +417,7 @@ impl DistCache {
         let prefix_keys: Vec<Vec<Step>> = self.prefixes.keys().cloned().collect();
         for key in prefix_keys {
             let scheme = WalkScheme {
+                // PANICS: in bounds — cached prefixes are non-empty.
                 start: key[0].source(schema),
                 steps: key.clone(),
             };

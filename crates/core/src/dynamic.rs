@@ -259,7 +259,9 @@ impl ForwardEmbedding {
                     };
                     let phi_old = self
                         .embedding(f_old)
+                        // PANICS: never — candidates come from embedded_facts.
                         .expect("candidate comes from embedded_facts");
+                    // PANICS: never — ϕ and ψ share the model dimension.
                     let row = self.psi(t_idx).matvec(phi_old).expect("dims agree");
                     rows.push(row);
                     ys.push(y);

@@ -209,6 +209,7 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
     let mut prev: Vec<usize> = (0..=b.len()).collect();
     let mut cur = vec![0usize; b.len() + 1];
     for (i, ca) in a.iter().enumerate() {
+        // PANICS: in bounds — both rows have length b.len() + 1 ≥ 1.
         cur[0] = i + 1;
         for (j, cb) in b.iter().enumerate() {
             let cost = usize::from(ca != cb);

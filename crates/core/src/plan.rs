@@ -114,6 +114,7 @@ impl SchemePlan {
                         .prefix
                         .steps
                         .last()
+                        // PANICS: never — candidates are child nodes.
                         .expect("non-root nodes have a last step")
                         .cmp(&step)
                 });
@@ -189,6 +190,7 @@ impl SchemePlan {
 
     /// The start relation all schemes share.
     pub fn start(&self) -> RelationId {
+        // PANICS: in bounds — the root node always exists.
         self.nodes[0].prefix.start
     }
 
@@ -214,6 +216,7 @@ impl SchemePlan {
         // Children are always pushed after their parent, so reverse index
         // order is a valid bottom-up traversal.
         for i in (1..self.nodes.len()).rev() {
+            // PANICS: never — index 0 (the root) is excluded by the range.
             let parent = self.nodes[i].parent.expect("non-root nodes have a parent");
             below[parent] += below[i] + usize::from(self.nodes[i].is_scheme());
         }

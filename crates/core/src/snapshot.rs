@@ -65,6 +65,7 @@ pub fn encode_forward(emb: &ForwardEmbedder) -> Vec<u8> {
     w.len_prefix(facts.len());
     for f in facts {
         write_fact_id(&mut w, f);
+        // PANICS: never — `f` was just listed by `embedded_facts()`.
         for &x in inner.embedding(f).expect("listed fact is embedded") {
             w.f64_bits(x);
         }
@@ -305,7 +306,9 @@ pub fn decode_node2vec(db: &Database, bytes: &[u8]) -> Result<Node2VecEmbedder, 
     let edge_count = read_usize(&mut r)?;
     if offsets.is_empty()
         || offsets.first() != Some(&0)
+        // PANICS: in bounds — `windows(2)` slices have length 2.
         || offsets.windows(2).any(|w| w[0] > w[1])
+        // PANICS: never — `is_empty()` short-circuited above.
         || *offsets.last().expect("non-empty") as usize != neighbors.len()
         || neighbors.iter().any(|v| v.index() + 1 >= offsets.len())
     {

@@ -48,6 +48,14 @@ use stembed_runtime::{derive_seed, Runtime};
 /// change with the machine.
 const GRAD_CHUNK: usize = 512;
 
+/// Named sub-stream of the master seed feeding the SGD sampling family
+/// (`run_sgd` further derives per-epoch streams from it). Hand mixing
+/// (`seed ^ SALT`) is what the seed-arithmetic lint exists to prevent:
+/// two salts can collide under xor where `derive_seed` streams cannot.
+/// Kept clear of the small-integer stream family `extend_all` draws
+/// (`derive_seed(seed, fact_index)`).
+const SAMPLE_STREAM: u64 = 0x5a5a;
+
 /// A trained FoRWaRD embedding of one relation.
 #[derive(Debug, Clone)]
 pub struct ForwardEmbedding {
@@ -150,7 +158,7 @@ impl ForwardEmbedding {
             epoch_losses: Vec::new(),
             dist_cache,
         };
-        this.run_sgd(db, &facts, seed ^ 0x5a5a, &mut rng)?;
+        this.run_sgd(db, &facts, derive_seed(seed, SAMPLE_STREAM), &mut rng)?;
         Ok(this)
     }
 
@@ -219,6 +227,12 @@ impl ForwardEmbedding {
     /// Gradients are computed against the pre-batch snapshot in parallel
     /// fixed-size chunks and merged in chunk order (see module docs).
     /// Returns the summed squared error of the batch (pre-update).
+    ///
+    /// # Panics
+    ///
+    /// If a gradient references a fact or target absent from `ϕ`/`ψ`, or a
+    /// shape disagrees — both would mean the sampler and the model went
+    /// out of sync, a state no update should be applied from.
     fn minibatch_step(&mut self, batch: &[TrainingSample], lr: f64) -> f64 {
         let dim = self.dim;
         let inv_b = 1.0 / batch.len() as f64;
@@ -254,6 +268,11 @@ impl ForwardEmbedding {
     /// Gradient accumulators of one fixed-size sample chunk, evaluated
     /// against the current (pre-batch) `ϕ`/`ψ` snapshot. Pure read access —
     /// safe to run on any shard.
+    ///
+    /// # Panics
+    ///
+    /// If a sample references an embedding of the wrong dimension — the
+    /// sampler draws from the same fact set the model was initialised on.
     fn chunk_gradients(&self, chunk: &[TrainingSample]) -> ChunkGradients {
         let dim = self.dim;
         let mut phi_grad: BTreeMap<FactId, Vec<f64>> = BTreeMap::new();
@@ -356,6 +375,11 @@ impl ForwardEmbedding {
     }
 
     /// Bilinear prediction `ϕ(f)ᵀ ψ_t ϕ(f′)` (Eq. 3's left-hand side).
+    ///
+    /// # Panics
+    ///
+    /// If `t` is out of range or the stored embeddings disagree in
+    /// dimension (impossible for a model built by [`ForwardEmbedding::train`]).
     pub fn predict(&self, t: usize, f: FactId, f_prime: FactId) -> Option<f64> {
         let a = self.phi.get(&f)?;
         let b = self.phi.get(&f_prime)?;
@@ -473,6 +497,11 @@ struct ChunkGradients {
 /// Ordered merge of per-chunk accumulators: every fact/target slot receives
 /// one contribution per chunk, in ascending chunk order — float sums are
 /// fixed regardless of which shard computed which chunk.
+///
+/// # Panics
+///
+/// If two chunks disagree on a target's `ψ` gradient shape — they were
+/// produced from the same model snapshot, so shapes agree by construction.
 fn merge_chunk_gradients(partials: Vec<ChunkGradients>) -> ChunkGradients {
     let mut merged = ChunkGradients {
         loss: 0.0,

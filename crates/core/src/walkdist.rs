@@ -230,6 +230,7 @@ pub fn frontier_step(
     let mut next: Vec<(FactId, f64)> = Vec::new();
     let mut key: Vec<Value> = Vec::new();
     for &(fact_id, prob) in &state.frontier {
+        // PANICS: never — frontiers only ever hold live facts.
         let fact = db.fact(fact_id).expect("frontier facts are live");
         if step.forward {
             if fact.any_null(&fk.from_attrs) {

@@ -271,6 +271,7 @@ impl DbGraph {
 
         let fact = db
             .fact(fact_id)
+            // PANICS: never — callers pass ids of live facts only.
             .expect("fact must be live when added to the graph");
         for (attr, value) in fact.values().iter().enumerate() {
             if value.is_null() {

@@ -65,6 +65,7 @@ impl Graph {
     /// node's row is empty, so only the offset table grows.
     pub fn add_node(&mut self) -> NodeId {
         let id = NodeId((self.offsets.len() - 1) as u32);
+        // PANICS: never — the offset table always holds at least `[0]`.
         let end = *self.offsets.last().expect("offsets never empty");
         self.offsets.push(end);
         id
@@ -132,6 +133,7 @@ impl Graph {
         }
         let n = self.node_count();
         // New degrees = old degrees + pending contributions.
+        // PANICS: in bounds — `windows(2)` slices have length 2.
         let mut degree: Vec<u32> = self.offsets.windows(2).map(|w| w[1] - w[0]).collect();
         for &(a, b) in &self.pending {
             degree[a.index()] += 1;
@@ -143,6 +145,8 @@ impl Graph {
         for &d in &degree {
             acc = acc
                 .checked_add(d)
+                // PANICS: documented capacity limit — the CSR offset table
+                // addresses half-edges through u32.
                 .expect("graph exceeds u32 half-edge capacity");
             new_offsets.push(acc);
         }

@@ -91,6 +91,11 @@ impl Default for WalkCorpus {
 }
 
 /// Offset-safe conversion: the corpus addresses tokens through `u32`.
+///
+/// # Panics
+///
+/// Documented capacity limit: a corpus beyond `u32::MAX` tokens cannot be
+/// addressed by the arena's offset table.
 #[inline]
 fn token_offset(len: usize) -> u32 {
     u32::try_from(len).expect("walk corpus exceeds u32 token capacity")
@@ -128,6 +133,7 @@ impl WalkCorpus {
     pub fn iter(&self) -> impl Iterator<Item = &[NodeId]> {
         self.offsets
             .windows(2)
+            // PANICS: in bounds — `windows(2)` slices have length 2.
             .map(move |w| &self.tokens[w[0] as usize..w[1] as usize])
     }
 

@@ -119,6 +119,7 @@ impl SymmetricEigen {
         self.vectors
             .matmul(&lam)
             .and_then(|vl| vl.matmul(&self.vectors.transpose()))
+            // PANICS: never — V and Λ are square of the same order.
             .expect("reconstruct: shapes are consistent by construction")
     }
 }

@@ -54,6 +54,8 @@ impl BinaryClassifier for LogisticRegression {
         if n == 0 {
             return;
         }
+        // PANICS: in bounds — the n == 0 early return above guarantees a
+        // first row.
         let dim = x[0].len();
         self.w = vec![0.0; dim];
         self.b = 0.0;

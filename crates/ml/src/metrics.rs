@@ -25,6 +25,7 @@ pub fn majority_class(labels: &[usize]) -> (usize, f64) {
         .iter()
         .enumerate()
         .max_by_key(|(_, &c)| c)
+        // PANICS: never — `counts` has one slot per class, ≥ 1.
         .expect("nonempty");
     (best, count as f64 / labels.len() as f64)
 }

@@ -24,6 +24,7 @@ pub mod config;
 pub mod model;
 pub mod negative;
 pub mod sgns;
+pub mod stopwatch;
 
 pub use config::Node2VecConfig;
 pub use model::Node2VecModel;

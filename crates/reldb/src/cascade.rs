@@ -96,6 +96,7 @@ pub fn cascade_delete(
                 .entries
                 .iter()
                 .find(|e| e.id == id)
+                // PANICS: never — the frontier was seeded from this journal.
                 .expect("frontier ids come from the journal")
                 .clone();
             let fk_ids: Vec<_> = db.schema().fks_from(id.rel).to_vec();

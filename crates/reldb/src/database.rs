@@ -401,9 +401,12 @@ impl Database {
                 MutationKind::Delete => record
                     .removed
                     .as_deref()
+                    // PANICS: never — deletes capture their payload whenever
+                    // a hook is attached (see `record_mutation`).
                     .expect("delete payload present while hook attached"),
                 MutationKind::Insert | MutationKind::Restore => self
                     .fact(record.fact)
+                    // PANICS: never — the fact was just inserted/restored.
                     .expect("mutated fact live while hook attached"),
             };
             hook.on_mutation(&record, payload);

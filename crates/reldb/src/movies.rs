@@ -37,6 +37,7 @@ pub fn movies_schema() -> Schema {
     b.foreign_key("COLLABORATIONS", &["actor1"], "ACTORS");
     b.foreign_key("COLLABORATIONS", &["actor2"], "ACTORS");
     b.foreign_key("COLLABORATIONS", &["movie"], "MOVIES");
+    // PANICS: never — the schema literal above is valid by construction.
     b.build().expect("movies schema is valid by construction")
 }
 
@@ -61,6 +62,7 @@ pub fn movies_database_labeled() -> (Database, HashMap<&'static str, FactId>) {
     for (label, sid, name, loc) in studios {
         let id = db
             .insert_into("STUDIOS", vec![sid.into(), name.into(), loc.into()])
+            // PANICS: never — fixture rows satisfy the schema.
             .expect("studio insert");
         ids.insert(label, id);
     }
@@ -88,6 +90,7 @@ pub fn movies_database_labeled() -> (Database, HashMap<&'static str, FactId>) {
                     millions(budget),
                 ],
             )
+            // PANICS: never — fixture rows satisfy the schema.
             .expect("movie insert");
         ids.insert(label, id);
     }
@@ -103,6 +106,7 @@ pub fn movies_database_labeled() -> (Database, HashMap<&'static str, FactId>) {
     for (label, aid, name, worth) in actors {
         let id = db
             .insert_into("ACTORS", vec![aid.into(), name.into(), millions(worth)])
+            // PANICS: never — fixture rows satisfy the schema.
             .expect("actor insert");
         ids.insert(label, id);
     }
@@ -120,6 +124,7 @@ pub fn movies_database_labeled() -> (Database, HashMap<&'static str, FactId>) {
                 "COLLABORATIONS",
                 vec![actor1.into(), actor2.into(), movie.into()],
             )
+            // PANICS: never — fixture rows satisfy the schema.
             .expect("collaboration insert");
         ids.insert(label, id);
     }

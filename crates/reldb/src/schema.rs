@@ -412,6 +412,9 @@ impl RelationBuilder<'_> {
             .iter()
             .map(|n| {
                 rel.attr_index(n).unwrap_or_else(|| {
+                    // PANICS: deliberate — a key over an undeclared attribute
+                    // is a programming error in the schema literal, caught at
+                    // declaration time rather than deferred to `build`.
                     panic!("key attribute {n} not declared on relation {}", rel.name)
                 })
             })

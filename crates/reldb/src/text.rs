@@ -23,10 +23,10 @@ pub fn to_text(db: &Database) -> String {
     let schema = db.schema();
     for rel_id in schema.relation_ids() {
         let rel = schema.relation(rel_id);
-        writeln!(out, "@relation {}", rel.name).unwrap();
+        let _ = writeln!(out, "@relation {}", rel.name);
         for (i, attr) in rel.attributes.iter().enumerate() {
             let key_marker = if rel.is_key_attr(i) { " key" } else { "" };
-            writeln!(out, "@attr {} {}{}", attr.name, attr.ty, key_marker).unwrap();
+            let _ = writeln!(out, "@attr {} {}{}", attr.name, attr.ty, key_marker);
         }
         for &fk_id in schema.fks_from(rel_id) {
             let fk = schema.foreign_key(fk_id);
@@ -35,13 +35,12 @@ pub fn to_text(db: &Database) -> String {
                 .iter()
                 .map(|&a| rel.attributes[a].name.as_str())
                 .collect();
-            writeln!(
+            let _ = writeln!(
                 out,
                 "@fk {} -> {}",
                 from_names.join(","),
                 schema.relation(fk.to_rel).name
-            )
-            .unwrap();
+            );
         }
         for (_, fact) in db.facts(rel_id) {
             let fields: Vec<String> = fact
@@ -49,9 +48,9 @@ pub fn to_text(db: &Database) -> String {
                 .iter()
                 .map(std::string::ToString::to_string)
                 .collect();
-            writeln!(out, "{}", fields.join("\t")).unwrap();
+            let _ = writeln!(out, "{}", fields.join("\t"));
         }
-        writeln!(out, "@end").unwrap();
+        let _ = writeln!(out, "@end");
     }
     out
 }
@@ -151,6 +150,8 @@ fn parse_schema(text: &str) -> Result<Schema> {
                     line_no + 1
                 )));
             }
+            // PANICS: in bounds — the malformed-@attr check above
+            // guarantees at least two fields.
             let ty = match parts[1] {
                 "int" => ValueType::Int,
                 "float" => ValueType::Float,
@@ -167,8 +168,10 @@ fn parse_schema(text: &str) -> Result<Schema> {
                 DbError::Parse(format!("line {}: @attr outside @relation", line_no + 1))
             })?;
             let _ = name;
+            // PANICS: in bounds — same length guard as the type field.
             attrs.push((parts[0].to_string(), ty));
             if parts.get(2) == Some(&"key") {
+                // PANICS: in bounds — same length guard as the type field.
                 key.push(parts[0].to_string());
             }
         } else if let Some(rest) = line.strip_prefix("@fk ") {
@@ -182,11 +185,14 @@ fn parse_schema(text: &str) -> Result<Schema> {
                     line_no + 1
                 )));
             }
+            // PANICS: in bounds — the malformed-@fk check above
+            // guarantees exactly two `->`-separated halves.
             let from_attrs: Vec<String> = parts[0]
                 .trim()
                 .split(',')
                 .map(|s| s.trim().to_string())
                 .collect();
+            // PANICS: in bounds — same two-halves guard.
             fks.push((name.clone(), from_attrs, parts[1].trim().to_string()));
         } else if line == "@end" {
             flush(&mut b, current.take())?;

@@ -128,6 +128,12 @@ impl Runtime {
     /// calling thread plus `workers - 1` pool helpers claim ranges from an
     /// atomic counter, and returns the per-range results sorted back into
     /// range order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates result-sink mutex poisoning: a participant that died
+    /// mid-push already unwinds through [`Pool::run`], and the sink may
+    /// hold a partial result set no caller should observe.
     fn run_chunked<R, F>(&self, n: usize, chunk: usize, workers: usize, f: F) -> Vec<R>
     where
         R: Send,

@@ -88,9 +88,14 @@ impl Pool {
     /// returns after every participant has finished. `work` must be safe to
     /// execute concurrently from several threads (it drains a shared queue).
     ///
+    /// # Panics
+    ///
     /// Panic behaviour matches `std::thread::scope`: if the caller's own
     /// `work` run panics, helpers are still joined before the unwind leaves
     /// this frame; if a helper panics, this function panics after joining.
+    /// Pool-state mutex poisoning and worker-spawn failure also panic —
+    /// a pool that lost a lock holder mid-update has no consistent state
+    /// to continue from.
     pub(crate) fn run<'a>(&'static self, helpers: usize, work: &'a Work<'a>) {
         if helpers == 0 {
             work();
@@ -144,6 +149,10 @@ impl Pool {
 
     /// Revoke unclaimed helper slots, wait for active helpers, unpublish
     /// the job. Returns whether any helper panicked.
+    ///
+    /// # Panics
+    ///
+    /// Propagates pool-state mutex poisoning, like [`Pool::run`].
     fn finish(&self, id: u64) -> bool {
         let mut st = self.state.lock().expect("pool state");
         // Revoke helper slots nobody claimed: the queue is drained, late
@@ -160,6 +169,13 @@ impl Pool {
         }
     }
 
+    /// Body of every pool thread: claim work, run it, park when idle.
+    ///
+    /// # Panics
+    ///
+    /// Propagates pool-state mutex poisoning, like [`Pool::run`]. A dead
+    /// worker takes the process with it rather than silently shrinking
+    /// the pool (which would change chunk scheduling).
     fn worker_loop(&'static self) {
         let mut st = self.state.lock().expect("pool state");
         loop {
@@ -198,6 +214,8 @@ impl Drop for JoinGuard {
     fn drop(&mut self) {
         let poisoned = self.pool.finish(self.id);
         if poisoned && !thread::panicking() {
+            // PANICS: deliberate — re-raises a helper panic on the
+            // submitting thread, the `std::thread::scope` contract.
             panic!("stembed-runtime pool worker panicked");
         }
     }

@@ -130,11 +130,13 @@ impl<'a> ByteReader<'a> {
 
     /// Little-endian u32.
     pub fn u32(&mut self) -> Result<u32, WalError> {
+        // PANICS: never — `bytes(4)` returned exactly 4 bytes.
         Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
     }
 
     /// Little-endian u64.
     pub fn u64(&mut self) -> Result<u64, WalError> {
+        // PANICS: never — `bytes(8)` returned exactly 8 bytes.
         Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
     }
 

@@ -195,7 +195,9 @@ pub fn scan(bytes: &[u8]) -> ScanResult {
                 tail_error: Some(WalError::Corrupt("torn frame header".into())),
             };
         }
+        // PANICS: never — `rest.len() >= 8` was checked above.
         let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+        // PANICS: never — `rest.len() >= 8` was checked above.
         let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
         if rest.len() < 8 + len {
             return ScanResult {

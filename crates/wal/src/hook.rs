@@ -47,6 +47,11 @@ impl WalHook {
         }
     }
 
+    /// # Panics
+    ///
+    /// Propagates mutex poisoning: a panic inside a WAL append already set
+    /// the sticky `poisoned` error, and a poisoned lock means even that
+    /// bookkeeping was interrupted — no safe recovery exists.
     fn with<T>(&self, f: impl FnOnce(&mut WalWriter) -> Result<T>) -> Result<T> {
         let mut g = self.inner.lock().expect("wal hook poisoned by panic");
         if let Some(e) = &g.poisoned {
@@ -101,6 +106,10 @@ impl WalHook {
     }
 
     /// Write-side counters.
+    ///
+    /// # Panics
+    ///
+    /// Propagates mutex poisoning, like every accessor on this hook.
     pub fn stats(&self) -> WalStats {
         self.inner
             .lock()

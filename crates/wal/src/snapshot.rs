@@ -151,7 +151,9 @@ impl Snapshot {
         if bytes.len() < 20 || &bytes[..8] != SNAPSHOT_MAGIC {
             return Err(WalError::Corrupt("bad snapshot magic".into()));
         }
+        // PANICS: never — `bytes.len() >= 20` was checked above.
         let crc = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        // PANICS: never — `bytes.len() >= 20` was checked above.
         let len = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
         let body = &bytes[20..];
         if len != body.len() as u64 {

@@ -298,29 +298,42 @@ impl SimVfs {
         Self::default()
     }
 
+    /// Lock the shared machine image.
+    ///
+    /// # Panics
+    ///
+    /// Propagates mutex poisoning. A panic while holding the image lock
+    /// leaves the simulated machine half-written; under the durability
+    /// layer's poisoned-hook discipline that is process death, and every
+    /// accessor dying with it is exactly the semantics the fault-injection
+    /// sweeps rely on.
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, SimState> {
+        self.state.lock().expect("sim state poisoned by panic")
+    }
+
     /// Schedule a fail point for this incarnation.
     pub fn set_fail_point(&self, fp: FailPoint) {
-        self.state.lock().unwrap().fail = Some(fp);
+        self.lock_state().fail = Some(fp);
     }
 
     /// Total mutating operations observed so far (dry-run sweep bound).
     pub fn op_count(&self) -> u64 {
-        self.state.lock().unwrap().ops
+        self.lock_state().ops
     }
 
     /// Whether a scheduled fail point has fired.
     pub fn is_dead(&self) -> bool {
-        self.state.lock().unwrap().dead
+        self.lock_state().dead
     }
 
     /// Fsync count (file and dir syncs).
     pub fn sync_count(&self) -> u64 {
-        self.state.lock().unwrap().syncs
+        self.lock_state().syncs
     }
 
     /// Total bytes appended across all files.
     pub fn bytes_appended(&self) -> u64 {
-        self.state.lock().unwrap().bytes_appended
+        self.lock_state().bytes_appended
     }
 
     /// Power-cycle: discard the live image, restart from the durable one,
@@ -328,7 +341,7 @@ impl SimVfs {
     /// where the previous one stopped (op numbers stay unique per
     /// machine-lifetime, so sweeps can schedule points past recovery).
     pub fn crash(&self) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock_state();
         st.live = st.durable.clone();
         st.pending_ns.clear();
         st.fail = None;
@@ -339,7 +352,7 @@ impl SimVfs {
     /// surfacing after the next crash). No-op if the file or offset does
     /// not exist; returns whether a bit was flipped.
     pub fn corrupt_durable(&self, path: &str, offset: usize, bit: u8) -> bool {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock_state();
         match st.durable.get_mut(path) {
             Some(bytes) if offset < bytes.len() => {
                 bytes[offset] ^= 1 << (bit % 8);
@@ -352,7 +365,7 @@ impl SimVfs {
     /// Truncate a file in the **durable** image (torn tail at the block
     /// layer). Returns whether the file existed.
     pub fn truncate_durable(&self, path: &str, len: usize) -> bool {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock_state();
         match st.durable.get_mut(path) {
             Some(bytes) => {
                 bytes.truncate(len);
@@ -364,12 +377,12 @@ impl SimVfs {
 
     /// Size of a durable file, if present.
     pub fn durable_len(&self, path: &str) -> Option<usize> {
-        self.state.lock().unwrap().durable.get(path).map(Vec::len)
+        self.lock_state().durable.get(path).map(Vec::len)
     }
 
     /// Paths present in the durable image (diagnostics).
     pub fn durable_paths(&self) -> Vec<String> {
-        self.state.lock().unwrap().durable.keys().cloned().collect()
+        self.lock_state().durable.keys().cloned().collect()
     }
 }
 
@@ -381,7 +394,7 @@ struct SimFile {
 
 impl WalFile for SimFile {
     fn append(&mut self, bytes: &[u8]) -> Result<()> {
-        let mut st = self.vfs.state.lock().unwrap();
+        let mut st = self.vfs.lock_state();
         let gate = st.gate()?;
         let keep = match gate {
             Gate::Proceed | Gate::ProceedThenDie => bytes.len(),
@@ -402,7 +415,7 @@ impl WalFile for SimFile {
     }
 
     fn sync(&mut self) -> Result<()> {
-        let mut st = self.vfs.state.lock().unwrap();
+        let mut st = self.vfs.lock_state();
         let gate = st.gate()?;
         if !matches!(gate, Gate::Tear(_)) {
             st.syncs += 1;
@@ -424,7 +437,7 @@ impl WalFile for SimFile {
     }
 
     fn len(&self) -> Result<u64> {
-        let st = self.vfs.state.lock().unwrap();
+        let st = self.vfs.lock_state();
         if st.dead {
             return Err(WalError::Crashed);
         }
@@ -434,7 +447,7 @@ impl WalFile for SimFile {
 
 impl Vfs for SimVfs {
     fn open_append(&self, path: &str) -> Result<Box<dyn WalFile>> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock_state();
         if st.dead {
             return Err(WalError::Crashed);
         }
@@ -447,7 +460,7 @@ impl Vfs for SimVfs {
     }
 
     fn create(&self, path: &str) -> Result<Box<dyn WalFile>> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock_state();
         if st.dead {
             return Err(WalError::Crashed);
         }
@@ -460,7 +473,7 @@ impl Vfs for SimVfs {
     }
 
     fn read(&self, path: &str) -> Result<Vec<u8>> {
-        let st = self.state.lock().unwrap();
+        let st = self.lock_state();
         if st.dead {
             return Err(WalError::Crashed);
         }
@@ -471,11 +484,11 @@ impl Vfs for SimVfs {
     }
 
     fn exists(&self, path: &str) -> bool {
-        self.state.lock().unwrap().live.contains_key(path)
+        self.lock_state().live.contains_key(path)
     }
 
     fn list(&self, dir: &str) -> Result<Vec<String>> {
-        let st = self.state.lock().unwrap();
+        let st = self.lock_state();
         if st.dead {
             return Err(WalError::Crashed);
         }
@@ -490,7 +503,7 @@ impl Vfs for SimVfs {
     }
 
     fn rename(&self, from: &str, to: &str) -> Result<()> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock_state();
         let gate = st.gate()?;
         let content = st
             .live
@@ -514,7 +527,7 @@ impl Vfs for SimVfs {
     }
 
     fn remove(&self, path: &str) -> Result<()> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock_state();
         let gate = st.gate()?;
         st.live.remove(path);
         st.pending_ns.push(NsOp::Remove {
@@ -530,7 +543,7 @@ impl Vfs for SimVfs {
     }
 
     fn truncate(&self, path: &str, len: u64) -> Result<()> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock_state();
         let gate = st.gate()?;
         if let Some(bytes) = st.live.get_mut(path) {
             bytes.truncate(len as usize);
@@ -552,14 +565,14 @@ impl Vfs for SimVfs {
     }
 
     fn create_dir_all(&self, _dir: &str) -> Result<()> {
-        if self.state.lock().unwrap().dead {
+        if self.lock_state().dead {
             return Err(WalError::Crashed);
         }
         Ok(())
     }
 
     fn sync_dir(&self, dir: &str) -> Result<()> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock_state();
         let gate = st.gate()?;
         if !matches!(gate, Gate::Tear(_)) {
             st.syncs += 1;

@@ -1,0 +1,12 @@
+//! Fixture: a float accumulator updated inside a loop over a hash-ordered
+//! source — reassociation across runs.
+
+use std::collections::HashMap;
+
+pub fn total(weights: &HashMap<u64, f64>) -> f64 {
+    let mut acc = 0.0;
+    for (_, w) in weights {
+        acc += *w;
+    }
+    acc
+}

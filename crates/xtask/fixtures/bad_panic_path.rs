@@ -1,0 +1,7 @@
+//! Fixture: undocumented panics on a production compute path — an
+//! `.unwrap()` and a literal index with no provable bound.
+
+pub fn head(xs: &[u32]) -> u32 {
+    let first = xs.first().unwrap();
+    *first + xs[0]
+}

@@ -1,0 +1,8 @@
+//! Fixture: hand-derived RNG streams — the stream-overlap bug class the
+//! seed-arithmetic rule exists to catch, including laundering through a
+//! plain `let`.
+
+pub fn shard_streams(seed: u64) -> (u64, u64) {
+    let laundered = seed;
+    (seed ^ 1, laundered.wrapping_add(2))
+}

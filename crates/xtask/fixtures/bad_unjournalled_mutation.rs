@@ -1,0 +1,14 @@
+//! Fixture: an `&mut self` method on `Database` that writes fact storage
+//! without touching the journal/epoch path.
+
+pub struct Database {
+    slots: Vec<u32>,
+    live: usize,
+}
+
+impl Database {
+    pub fn clobber(&mut self, i: usize, v: u32) {
+        self.slots[i] = v;
+        self.live = self.live.saturating_sub(1);
+    }
+}

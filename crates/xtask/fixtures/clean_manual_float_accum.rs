@@ -1,0 +1,10 @@
+//! Fixture: the same accumulation over an ordered slice is fine — the
+//! iteration order is the storage order.
+
+pub fn total(weights: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for w in weights {
+        acc += *w;
+    }
+    acc
+}

@@ -1,0 +1,16 @@
+//! Fixture: every potential panic carries a documented contract — a
+//! `# Panics` doc section, or a provable fixed-size array bound.
+
+/// Reads the head element.
+///
+/// # Panics
+///
+/// Panics when `xs` is empty — callers guarantee nonempty input.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().expect("nonempty by contract")
+}
+
+pub fn lane_zero() -> f32 {
+    let lanes = [0.0f32; 4];
+    lanes[0]
+}

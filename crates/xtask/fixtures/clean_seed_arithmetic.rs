@@ -1,0 +1,8 @@
+//! Fixture: the sanctioned derivation — named stream constants routed
+//! through `derive_seed`, no hand arithmetic anywhere.
+
+const STREAM_WALK: u64 = 1;
+
+pub fn walk_seed(seed: u64) -> u64 {
+    stembed_runtime::derive_seed(seed, STREAM_WALK)
+}

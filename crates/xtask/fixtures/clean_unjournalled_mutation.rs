@@ -1,0 +1,16 @@
+//! Fixture: the same storage write, journalled through the primitive.
+
+pub struct Database {
+    slots: Vec<u32>,
+}
+
+impl Database {
+    fn record_mutation(&mut self, i: usize) {
+        let _ = i;
+    }
+
+    pub fn store(&mut self, i: usize, v: u32) {
+        self.record_mutation(i);
+        self.slots[i] = v;
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: both the hash iteration and the accumulator carry reasoned
+//! waivers — zero findings, two reported waivers.
+
+use std::collections::HashMap;
+
+pub fn checksum(weights: &HashMap<u64, f64>) -> f64 {
+    let mut acc = 0.0;
+    // lint: nondeterministic-iter-ok(diagnostic checksum, never feeds an output)
+    for (_, w) in weights {
+        // lint: manual-float-accumulation-ok(diagnostic checksum, order noise accepted)
+        acc += *w;
+    }
+    acc
+}

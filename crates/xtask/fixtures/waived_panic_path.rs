@@ -1,0 +1,5 @@
+//! Fixture: a same-line waiver silences the panic-path finding.
+
+pub fn checked(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap() // lint: panic-path-ok(fixture exercises same-line waivers)
+}

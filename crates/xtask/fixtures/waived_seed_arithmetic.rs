@@ -1,0 +1,6 @@
+//! Fixture: a reasoned waiver silences the seed-arithmetic finding.
+
+pub fn golden_mix(seed: u64) -> u64 {
+    // lint: seed-arithmetic-ok(golden-ratio finalizer documented in DESIGN notes)
+    seed ^ 0x9e37_79b9
+}

@@ -1,0 +1,12 @@
+//! Fixture: a reasoned waiver on the line above the flagged fn.
+
+pub struct Database {
+    slots: Vec<u32>,
+}
+
+impl Database {
+    // lint: unjournalled-mutation-ok(checkpoint load replaces the journal wholesale)
+    pub fn load_checkpoint(&mut self, slots: Vec<u32>) {
+        self.slots = slots;
+    }
+}

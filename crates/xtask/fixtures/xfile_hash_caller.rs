@@ -1,0 +1,10 @@
+//! Cross-file fixture (caller half): iterates the helper's returned
+//! `HashMap` — only the workspace index can see the return type.
+
+pub fn total() -> u64 {
+    let mut n = 0u64;
+    for (_, c) in crate::stats::visit_counts() {
+        n += u64::from(c);
+    }
+    n
+}

@@ -1,0 +1,8 @@
+//! Cross-file fixture (helper half): a free fn whose return type is a
+//! hash-ordered container.
+
+use std::collections::HashMap;
+
+pub fn visit_counts() -> HashMap<u64, u32> {
+    HashMap::new()
+}

@@ -1,0 +1,8 @@
+//! Cross-file fixture: the scalar reference sibling for
+//! `bad_target_feature.rs`'s `frob`, declared in another file.
+
+pub fn frob_scalar(xs: &mut [f32]) {
+    for x in xs {
+        *x *= 2.0;
+    }
+}

@@ -1,0 +1,7 @@
+//! Cross-file fixture (caller half): the seed is laundered through a
+//! local whose name says nothing — provenance comes from the index.
+
+pub fn shard(run: u64) -> u64 {
+    let s = crate::ids::session_seed(run);
+    s ^ 0x5bd1
+}

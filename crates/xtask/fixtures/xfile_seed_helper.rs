@@ -1,0 +1,6 @@
+//! Cross-file fixture (helper half): a seed-producing helper (`seed` in
+//! the name, returns `u64`).
+
+pub fn session_seed(run: u64) -> u64 {
+    run
+}

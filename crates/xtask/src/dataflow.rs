@@ -1,0 +1,460 @@
+//! Intra-procedural dataflow tags: what a binding *is*, traced through
+//! `let` chains and helper-call returns.
+//!
+//! The per-file pass collects four tag sets over the blanked code view:
+//!
+//! * **hash** — bindings whose type or provenance reaches a
+//!   `HashMap`/`HashSet` (including through type aliases and, via the
+//!   [`WorkspaceIndex`], through helper functions declared in *other* files
+//!   whose return type is a hash container);
+//! * **seed** — bindings assigned from seed-producing helpers
+//!   (`let s = derive_seed(m, 7); s ^ 1` is the laundering the
+//!   seed-arithmetic rule must still see). Names that *pattern*-match a
+//!   seed (`seed`, `*_seed`, `seed_*`) are recognised at the use site by
+//!   [`is_seedy_name`] and need no tracking;
+//! * **float** — scalar `f32`/`f64` bindings (annotated, or initialised
+//!   from a float literal), the candidates for manual loop accumulation;
+//! * **arrays** — bindings of fixed-size array type `[T; N]` with a
+//!   literal `N`, which make literal indexing below `N` provably in
+//!   bounds for the panic-path rule.
+//!
+//! Tags are name-scoped per file (no shadowing analysis) — the same
+//! over-approximation the PR 8 rules already document, now with one less
+//! blind spot: provenance survives `let` renaming and helper calls.
+
+use crate::index::WorkspaceIndex;
+use crate::lexer::{is_ident_char, FileSource};
+
+/// Does an identifier name a seed by convention?
+pub fn is_seedy_name(name: &str) -> bool {
+    name == "seed" || name.ends_with("_seed") || name.starts_with("seed_")
+}
+
+/// Per-file binding tags. Query with the `is_*` accessors.
+#[derive(Debug, Default)]
+pub struct Bindings {
+    hash: Vec<String>,
+    seed: Vec<String>,
+    float: Vec<String>,
+    arrays: Vec<(String, usize)>,
+    /// Same-file `const NAME: usize = N;` values, so `[T; LANES]` bounds
+    /// resolve to a number.
+    int_consts: Vec<(String, usize)>,
+    /// Hash container type names in scope: `HashMap`/`HashSet` plus local
+    /// aliases whose RHS mentions one.
+    pub hash_types: Vec<String>,
+}
+
+impl Bindings {
+    pub fn is_hash(&self, name: &str) -> bool {
+        self.hash.iter().any(|n| n == name)
+    }
+
+    /// Seedy by name pattern or by tracked provenance.
+    pub fn is_seed(&self, name: &str) -> bool {
+        is_seedy_name(name) || self.seed.iter().any(|n| n == name)
+    }
+
+    pub fn is_float(&self, name: &str) -> bool {
+        self.float.iter().any(|n| n == name)
+    }
+
+    /// Fixed-size array length when the binding has one.
+    pub fn array_len(&self, name: &str) -> Option<usize> {
+        self.arrays
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, len)| len)
+    }
+
+    fn tag_hash(&mut self, name: &str) {
+        if !name.is_empty() && name != "_" && !self.is_hash(name) {
+            self.hash.push(name.to_string());
+        }
+    }
+
+    fn tag_seed(&mut self, name: &str) {
+        if !name.is_empty() && name != "_" && !self.seed.iter().any(|n| n == name) {
+            self.seed.push(name.to_string());
+        }
+    }
+
+    fn tag_float(&mut self, name: &str) {
+        if !name.is_empty() && name != "_" && !self.is_float(name) {
+            self.float.push(name.to_string());
+        }
+    }
+}
+
+/// Run the tagging pass over one file.
+pub fn analyze(src: &FileSource, index: &WorkspaceIndex) -> Bindings {
+    let code = &src.code;
+    let chars: Vec<char> = code.chars().collect();
+    let mut b = Bindings {
+        hash_types: vec!["HashMap".into(), "HashSet".into()],
+        ..Bindings::default()
+    };
+
+    // 0. Same-file integer consts (`const LANES: usize = 8;`) — array
+    // bounds written with a named length resolve through these.
+    for off in word_occurrences(code, "const") {
+        let rest: String = chars[off + 5..].iter().take(120).collect();
+        let rest = rest.trim_start();
+        let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+        if name.is_empty() {
+            continue;
+        }
+        let Some(eq) = rest.find('=') else {
+            continue;
+        };
+        let val: String = rest[eq + 1..]
+            .trim_start()
+            .chars()
+            .take_while(|&c| c.is_ascii_digit() || c == '_')
+            .collect();
+        if let Ok(n) = val.replace('_', "").parse::<usize>() {
+            b.int_consts.push((name, n));
+        }
+    }
+
+    // 1. Type aliases whose RHS mentions a hash container.
+    for off in word_occurrences(code, "type") {
+        let rest: String = chars[off + 4..].iter().take(200).collect();
+        let rest = rest.trim_start();
+        let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+        if name.is_empty() {
+            continue;
+        }
+        if let Some(eq) = rest.find('=') {
+            let rhs: String = rest[eq..].chars().take_while(|&c| c != ';').collect();
+            if mentions_hash(&rhs, &b.hash_types) {
+                b.hash_types.push(name);
+            }
+        }
+    }
+
+    // 2. `name : Type` — fields, params, annotated lets.
+    let mut i = 0usize;
+    while i < chars.len() {
+        if chars[i] == ':'
+            && i + 1 < chars.len()
+            && chars[i + 1] != ':'
+            && (i == 0 || chars[i - 1] != ':')
+        {
+            // Identifier to the left.
+            let mut e = i;
+            while e > 0 && chars[e - 1].is_whitespace() {
+                e -= 1;
+            }
+            let mut s = e;
+            while s > 0 && is_ident_char(chars[s - 1]) {
+                s -= 1;
+            }
+            if s < e {
+                let name: String = chars[s..e].iter().collect();
+                // Type text to the right, up to a depth-0 terminator.
+                let mut j = i + 1;
+                let mut angle = 0i32;
+                let mut paren = 0i32;
+                let mut ty = String::new();
+                while j < chars.len() && ty.chars().count() < 300 {
+                    let c = chars[j];
+                    match c {
+                        '<' => angle += 1,
+                        '>' => angle -= 1,
+                        '(' | '[' => paren += 1,
+                        ')' | ']' if paren > 0 => paren -= 1,
+                        ',' | ';' | '=' | '{' | '}' | ')' | ']' if angle <= 0 && paren <= 0 => {
+                            break
+                        }
+                        _ => {}
+                    }
+                    ty.push(c);
+                    j += 1;
+                }
+                classify_annotation(&mut b, &name, &ty);
+            }
+        }
+        i += 1;
+    }
+
+    // 3. `let [mut] name = RHS` — initialisers and propagation, in textual
+    // order so let-chains resolve top-down.
+    for off in word_occurrences(code, "let") {
+        let rest: String = chars[off + 3..].iter().take(300).collect();
+        let rest = rest.trim_start();
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+        let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+        if name.is_empty() {
+            continue;
+        }
+        let after = rest[name.len()..].trim_start();
+        // Annotated lets were handled by the `:` pass; here only `=`.
+        let Some(rhs) = after.strip_prefix('=') else {
+            continue;
+        };
+        let rhs = rhs.trim_start();
+        classify_initializer(&mut b, index, &name, rhs);
+    }
+
+    b
+}
+
+/// Tag `name` from its type annotation text.
+fn classify_annotation(b: &mut Bindings, name: &str, ty: &str) {
+    if mentions_hash(ty, &b.hash_types) {
+        b.tag_hash(name);
+    }
+    let scalar = ty
+        .trim()
+        .trim_start_matches('&')
+        .trim_start()
+        .trim_start_matches("mut ")
+        .trim();
+    if scalar == "f32" || scalar == "f64" {
+        b.tag_float(name);
+    }
+    // `[T; N]` with a literal (or same-file const) length.
+    if let Some(len) = array_literal_len(ty, &b.int_consts) {
+        if !name.is_empty() && name != "_" {
+            b.arrays.push((name.to_string(), len));
+        }
+    }
+}
+
+/// Tag `name` from its initialiser expression text.
+fn classify_initializer(b: &mut Bindings, index: &WorkspaceIndex, name: &str, rhs: &str) {
+    // `Hash::new()`-style constructor paths.
+    let head: String = rhs
+        .chars()
+        .take_while(|&c| is_ident_char(c) || c == ':')
+        .collect();
+    let segs: Vec<&str> = head.split("::").collect();
+    if segs.len() >= 2 {
+        let head_ty = segs[segs.len() - 2];
+        if b.hash_types.iter().any(|t| t == head_ty) {
+            b.tag_hash(name);
+            return;
+        }
+    }
+
+    // Statement text up to the terminating `;` at bracket depth 0 — the
+    // `;` inside an array literal `[0.0; 8]` is part of the initialiser,
+    // and tags must not leak across statements.
+    let mut stmt = String::new();
+    let mut depth = 0i32;
+    for c in rhs.chars() {
+        match c {
+            '[' | '(' | '{' => depth += 1,
+            ']' | ')' | '}' => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            ';' if depth == 0 => break,
+            _ => {}
+        }
+        stmt.push(c);
+    }
+    let stmt = stmt;
+
+    // Plain-identifier copy/move (possibly `&x` / `x.clone()`): propagate.
+    let bare = stmt.trim().trim_start_matches('&').trim_start();
+    let bare = bare.strip_suffix(".clone()").unwrap_or(bare);
+    if !bare.is_empty() && bare.chars().all(is_ident_char) {
+        if b.is_hash(bare) {
+            b.tag_hash(name);
+        }
+        if b.is_seed(bare) {
+            b.tag_seed(name);
+        }
+        if b.is_float(bare) {
+            b.tag_float(name);
+        }
+        if let Some(len) = b.array_len(bare) {
+            b.arrays.push((name.to_string(), len));
+        }
+        return;
+    }
+
+    // Call result: `helper(...)`, `path::helper(...)`, `x.helper(...)` —
+    // classify via the callee's indexed return type.
+    if let Some(paren) = stmt.find('(') {
+        let prefix = &stmt[..paren];
+        let callee: String = prefix
+            .chars()
+            .rev()
+            .take_while(|&c| is_ident_char(c))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        if !callee.is_empty() {
+            if index.returns_hash(&callee) {
+                b.tag_hash(name);
+            }
+            if index.returns_seed(&callee) {
+                b.tag_seed(name);
+            }
+        }
+    }
+
+    // Float-literal initialiser: `0.0`, `1e-9`, `0f32`, `2.5f64`.
+    let tok: String = stmt
+        .trim()
+        .trim_start_matches('-')
+        .chars()
+        .take_while(|&c| is_ident_char(c) || c == '.')
+        .collect();
+    if tok.chars().next().is_some_and(|c| c.is_ascii_digit())
+        && (tok.contains('.') || tok.ends_with("f32") || tok.ends_with("f64"))
+        && tok == stmt.trim().trim_start_matches('-')
+    {
+        b.tag_float(name);
+    }
+
+    // Array-literal initialiser: `[expr; N]`.
+    if let Some(len) = array_literal_len(stmt.trim(), &b.int_consts) {
+        if !name.is_empty() && name != "_" {
+            b.arrays.push((name.to_string(), len));
+        }
+    }
+}
+
+/// `[T; N]` / `[expr; N]` → `Some(N)` when `N` is a decimal literal or a
+/// same-file integer const.
+fn array_literal_len(text: &str, int_consts: &[(String, usize)]) -> Option<usize> {
+    let t = text.trim();
+    let t = t.trim_start_matches('&').trim_start();
+    if !t.starts_with('[') || !t.ends_with(']') {
+        return None;
+    }
+    let inner = &t[1..t.len() - 1];
+    let semi = inner.rfind(';')?;
+    let n = inner[semi + 1..].trim().replace('_', "");
+    if let Ok(v) = n.parse::<usize>() {
+        return Some(v);
+    }
+    int_consts
+        .iter()
+        .find(|(name, _)| *name == n)
+        .map(|&(_, v)| v)
+}
+
+fn mentions_hash(ty: &str, hash_types: &[String]) -> bool {
+    hash_types
+        .iter()
+        .any(|t| !word_occurrences(ty, t).is_empty())
+}
+
+/// Offsets (in chars) of word-boundary occurrences of `word` in `code`.
+pub fn word_occurrences(code: &str, word: &str) -> Vec<usize> {
+    let chars: Vec<char> = code.chars().collect();
+    let wchars: Vec<char> = word.chars().collect();
+    let mut out = Vec::new();
+    if wchars.is_empty() || chars.len() < wchars.len() {
+        return out;
+    }
+    for i in 0..=chars.len() - wchars.len() {
+        if chars[i..i + wchars.len()] == wchars[..] {
+            let before_ok = i == 0 || !is_ident_char(chars[i - 1]);
+            let after = chars.get(i + wchars.len());
+            let after_ok = after.is_none_or(|&c| !is_ident_char(c));
+            if before_ok && after_ok {
+                out.push(i);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::FileSource;
+
+    fn tags(src: &str) -> Bindings {
+        let parsed = FileSource::parse(src);
+        let idx = WorkspaceIndex::build(&[("f.rs", &parsed)]);
+        analyze(&parsed, &idx)
+    }
+
+    fn tags_with(files: &[(&str, &str)], target: usize) -> Bindings {
+        let parsed: Vec<(&str, FileSource)> = files
+            .iter()
+            .map(|(p, s)| (*p, FileSource::parse(s)))
+            .collect();
+        let refs: Vec<(&str, &FileSource)> = parsed.iter().map(|(p, s)| (*p, s)).collect();
+        let idx = WorkspaceIndex::build(&refs);
+        analyze(&parsed[target].1, &idx)
+    }
+
+    #[test]
+    fn annotation_tags() {
+        let b = tags(
+            "use std::collections::HashMap;\n\
+             struct S { by_key: HashMap<u32, u32>, s: [u64; 4], lr: f64 }\n\
+             fn f(m: &HashMap<u32, u32>, seed_x: u64) {}\n",
+        );
+        assert!(b.is_hash("by_key") && b.is_hash("m"));
+        assert_eq!(b.array_len("s"), Some(4));
+        assert!(b.is_float("lr"));
+        assert!(b.is_seed("seed_x"), "pattern name needs no tracking");
+        assert!(b.is_seed("seed") && b.is_seed("shard_seed"));
+        assert!(!b.is_seed("seeds"));
+    }
+
+    #[test]
+    fn let_chain_propagation() {
+        let b = tags(
+            "use std::collections::HashMap;\n\
+             fn f() {\n\
+                 let m = HashMap::new();\n\
+                 let alias = m;\n\
+                 let r = &alias;\n\
+                 let mut acc = 0.0;\n\
+                 let acc2 = acc;\n\
+             }\n",
+        );
+        assert!(b.is_hash("m") && b.is_hash("alias") && b.is_hash("r"));
+        assert!(b.is_float("acc") && b.is_float("acc2"));
+    }
+
+    #[test]
+    fn helper_return_resolution_crosses_files() {
+        let b = tags_with(
+            &[
+                (
+                    "helpers.rs",
+                    "use std::collections::HashMap;\n\
+                     pub fn by_key() -> HashMap<u32, u32> { HashMap::new() }\n\
+                     pub fn derive_seed(m: u64, s: u64) -> u64 { 0 }\n",
+                ),
+                (
+                    "use.rs",
+                    "fn g(x: u64) {\n\
+                         let groups = crate::helpers::by_key();\n\
+                         let laundered = derive_seed(x, 7);\n\
+                     }\n",
+                ),
+            ],
+            1,
+        );
+        assert!(b.is_hash("groups"), "helper-returned HashMap must tag");
+        assert!(b.is_seed("laundered"), "seed provenance must survive a let");
+    }
+
+    #[test]
+    fn array_literal_initialiser() {
+        let b = tags("fn f() { let acc = [0.0f64; 8]; acc[7]; }\n");
+        assert_eq!(b.array_len("acc"), Some(8));
+    }
+
+    #[test]
+    fn statement_boundaries_do_not_leak() {
+        let b = tags("fn f(seed: u64) { let x = 1; let y = x; }\n");
+        assert!(!b.is_seed("x") && !b.is_seed("y"));
+        assert!(!b.is_float("x"));
+    }
+}

@@ -1,6 +1,6 @@
 //! rustc-style diagnostic rendering and the `--waivers` JSON dump.
 
-use crate::rules::{Finding, Waiver};
+use crate::rules::{Finding, Rule, Waiver};
 use std::fmt::Write as _;
 
 /// Render one finding the way rustc renders an error:
@@ -13,6 +13,9 @@ use std::fmt::Write as _;
 ///     |                                                     ^^^^^
 ///     = help: iterate a BTreeMap/sorted Vec instead, …
 /// ```
+///
+/// Findings that span an item body (`end_line > line`) add a
+/// `span continues through line N` note after the caret.
 pub fn render(f: &Finding) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "error[xtask::{}]: {}", f.rule.name(), f.message);
@@ -23,17 +26,41 @@ pub fn render(f: &Finding) -> String {
     // Caret under the column (tabs in the snippet render as one char).
     let caret_pad: usize = f.col.saturating_sub(1);
     let _ = writeln!(s, "{:gutter$} | {:caret_pad$}^", "", "");
+    if f.end_line > f.line {
+        let _ = writeln!(
+            s,
+            "{:gutter$} = note: span continues through line {}",
+            "", f.end_line
+        );
+    }
     let _ = writeln!(s, "{:gutter$} = help: {}", "", f.rule.help());
     s
 }
 
-/// The `--waivers` audit output: a JSON array, one object per waiver.
+/// Version of the `--waivers` JSON shape. Bump when the structure changes;
+/// the snapshot test in `tests/fixtures.rs` pins the exact rendering.
+pub const WAIVERS_SCHEMA_VERSION: u32 = 2;
+
+/// The `--waivers` audit output: a versioned object carrying the total,
+/// per-rule counts (every rule, zeroes included, so a new rule changes the
+/// shape visibly), and one entry per waiver.
 pub fn waivers_json(waivers: &[Waiver]) -> String {
-    let mut s = String::from("[\n");
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"schema_version\": {WAIVERS_SCHEMA_VERSION},");
+    let _ = writeln!(s, "  \"total\": {},", waivers.len());
+    s.push_str("  \"counts\": {\n");
+    let rules = Rule::all();
+    for (i, rule) in rules.iter().enumerate() {
+        let n = waivers.iter().filter(|w| w.rule == *rule).count();
+        let _ = write!(s, "    {}: {}", json_str(rule.name()), n);
+        s.push_str(if i + 1 < rules.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  },\n");
+    s.push_str("  \"waivers\": [\n");
     for (i, w) in waivers.iter().enumerate() {
         let _ = write!(
             s,
-            "  {{\"file\": {}, \"line\": {}, \"rule\": {}, \"reason\": {}}}",
+            "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"reason\": {}}}",
             json_str(&w.file),
             w.line,
             json_str(w.rule.name()),
@@ -41,7 +68,7 @@ pub fn waivers_json(waivers: &[Waiver]) -> String {
         );
         s.push_str(if i + 1 < waivers.len() { ",\n" } else { "\n" });
     }
-    s.push(']');
+    s.push_str("  ]\n}");
     s
 }
 
@@ -67,7 +94,6 @@ fn json_str(v: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rules::Rule;
 
     #[test]
     fn render_is_rustc_shaped() {
@@ -75,6 +101,7 @@ mod tests {
             rule: Rule::AmbientTime,
             file: "crates/core/src/x.rs".into(),
             line: 7,
+            end_line: 7,
             col: 13,
             message: "ambient wall-clock read".into(),
             snippet: "    let t = Instant::now();".into(),
@@ -83,6 +110,27 @@ mod tests {
         assert!(r.starts_with("error[xtask::ambient-time]:"));
         assert!(r.contains("--> crates/core/src/x.rs:7:13"));
         assert!(r.contains("  7 |     let t = Instant::now();"));
+        assert!(!r.contains("span continues"));
+    }
+
+    #[test]
+    fn render_multi_line_span_notes_the_end() {
+        let f = Finding {
+            rule: Rule::UnjournalledMutation,
+            file: "crates/reldb/src/database.rs".into(),
+            line: 100,
+            end_line: 112,
+            col: 5,
+            message: "writes fact storage without journalling".into(),
+            snippet: "    pub fn poke(&mut self) {".into(),
+        };
+        let r = render(&f);
+        assert!(r.contains("--> crates/reldb/src/database.rs:100:5"));
+        assert!(r.contains("= note: span continues through line 112"));
+        // The note sits between the caret and the help line.
+        let note = r.find("span continues").unwrap();
+        let help = r.find("= help:").unwrap();
+        assert!(note < help);
     }
 
     #[test]
@@ -96,5 +144,8 @@ mod tests {
         let j = waivers_json(&[w]);
         assert!(j.contains("\"a\\\"b.rs\""));
         assert!(j.contains("line\\nbreak"));
+        assert!(j.contains("\"schema_version\": 2"));
+        assert!(j.contains("\"env-read\": 1"));
+        assert!(j.contains("\"panic-path\": 0"));
     }
 }

@@ -1,0 +1,574 @@
+//! Workspace symbol index — the cross-file layer under the dataflow-aware
+//! rules.
+//!
+//! Pass one collects every `fn`/`struct`/`impl`/`const` declaration from the
+//! blanked code view of each file: name, file, signature line, parameter and
+//! return-type text, receiver, enclosing `impl` type, body line span, and
+//! the attributes/doc sections two rules read (`#[target_feature]`,
+//! `# Panics`). Pass two is implicit: rules resolve name references through
+//! the [`WorkspaceIndex`] maps, so "does a scalar sibling exist", "does this
+//! helper return a hash container", and "is this line inside a fn whose doc
+//! declares its panics" all work across files.
+//!
+//! Like the lexer, this is a token-level approximation, not a compiler:
+//! same-named functions in different files share one index entry (rules that
+//! consume the index treat any match as a match, which over-approximates in
+//! the safe direction for each rule that uses it).
+
+use crate::lexer::{is_ident_char, FileSource};
+use std::collections::BTreeMap;
+
+/// How a method takes `self`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Receiver {
+    Ref,
+    RefMut,
+    Owned,
+}
+
+/// One `fn` declaration.
+#[derive(Debug, Clone)]
+pub struct FnDecl {
+    pub name: String,
+    /// Workspace-relative path of the declaring file.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Parameter-list text (between the parens, blanked view).
+    pub params: String,
+    /// Return-type text ("" for unit).
+    pub ret: String,
+    /// `self` receiver when the fn is a method.
+    pub receiver: Option<Receiver>,
+    /// Innermost enclosing `impl` block's type name.
+    pub impl_type: Option<String>,
+    /// 1-based body line span (opening `{` line to closing `}` line);
+    /// `None` for bodyless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Carries a `#[target_feature(...)]` attribute.
+    pub has_target_feature: bool,
+    /// The doc comment above declares a `# Panics` section.
+    pub doc_panics: bool,
+}
+
+/// A `struct` or `const` declaration (name + location is all the rules
+/// need; field/value classification happens in the per-file dataflow pass).
+#[derive(Debug, Clone)]
+pub struct ItemDecl {
+    pub name: String,
+    pub file: String,
+    pub line: usize,
+}
+
+/// The two-pass symbol index over a set of files.
+#[derive(Debug, Default)]
+pub struct WorkspaceIndex {
+    pub fns: BTreeMap<String, Vec<FnDecl>>,
+    pub structs: BTreeMap<String, Vec<ItemDecl>>,
+    pub consts: BTreeMap<String, Vec<ItemDecl>>,
+}
+
+impl WorkspaceIndex {
+    /// Build the index over `(workspace-relative path, parsed source)` pairs.
+    pub fn build(files: &[(&str, &FileSource)]) -> WorkspaceIndex {
+        let mut idx = WorkspaceIndex::default();
+        for (rel, src) in files {
+            index_file(rel, src, &mut idx);
+        }
+        idx
+    }
+
+    /// Every declaration of a fn with this exact name, any file.
+    pub fn fn_named(&self, name: &str) -> &[FnDecl] {
+        self.fns.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Is any fn with this name declared anywhere in the indexed set?
+    pub fn has_fn(&self, name: &str) -> bool {
+        self.fns.contains_key(name)
+    }
+
+    /// Does any declaration of `name` return a hash-ordered container?
+    pub fn returns_hash(&self, name: &str) -> bool {
+        self.fn_named(name)
+            .iter()
+            .any(|f| mentions_word(&f.ret, "HashMap") || mentions_word(&f.ret, "HashSet"))
+    }
+
+    /// Does `name` look like a seed-producing helper (name mentions `seed`,
+    /// returns `u64`)? Arithmetic on such a helper's result re-derives
+    /// stream identity by hand — the laundering the seed-arithmetic rule
+    /// exists to catch.
+    pub fn returns_seed(&self, name: &str) -> bool {
+        name.contains("seed")
+            && self
+                .fn_named(name)
+                .iter()
+                .any(|f| mentions_word(&f.ret, "u64"))
+    }
+
+    /// The innermost fn in `file` whose body contains 1-based `line`.
+    pub fn enclosing_fn(&self, file: &str, line: usize) -> Option<&FnDecl> {
+        self.fns
+            .values()
+            .flatten()
+            .filter(|f| f.file == file)
+            .filter(|f| f.body.is_some_and(|(a, b)| line >= a && line <= b))
+            .min_by_key(|f| {
+                let (a, b) = f.body.unwrap_or((0, 0));
+                b - a
+            })
+    }
+
+    /// All fns declared in one file (for per-file rule passes).
+    pub fn fns_in_file<'a>(&'a self, file: &'a str) -> impl Iterator<Item = &'a FnDecl> {
+        self.fns.values().flatten().filter(move |f| f.file == file)
+    }
+}
+
+fn mentions_word(text: &str, word: &str) -> bool {
+    let chars: Vec<char> = text.chars().collect();
+    let w: Vec<char> = word.chars().collect();
+    if chars.len() < w.len() {
+        return false;
+    }
+    (0..=chars.len() - w.len()).any(|i| {
+        chars[i..i + w.len()] == w[..]
+            && (i == 0 || !is_ident_char(chars[i - 1]))
+            && chars.get(i + w.len()).is_none_or(|&c| !is_ident_char(c))
+    })
+}
+
+fn index_file(rel: &str, src: &FileSource, idx: &mut WorkspaceIndex) {
+    let chars: Vec<char> = src.code.chars().collect();
+    let impls = impl_spans(&chars);
+
+    for off in word_offsets(&chars, "fn") {
+        if let Some(decl) = parse_fn(rel, src, &chars, off, &impls) {
+            idx.fns.entry(decl.name.clone()).or_default().push(decl);
+        }
+    }
+    for (kw, map) in [("struct", &mut idx.structs), ("const", &mut idx.consts)] {
+        for off in word_offsets(&chars, kw) {
+            let mut j = off + kw.chars().count();
+            while j < chars.len() && chars[j].is_whitespace() {
+                j += 1;
+            }
+            let name: String = chars[j..]
+                .iter()
+                .take_while(|&&c| is_ident_char(c))
+                .collect();
+            // `struct` in `fn(...)` types or `const` in `*const T` produce
+            // empty/keyword names; require a real identifier.
+            if name.is_empty() || name == "fn" {
+                continue;
+            }
+            let (line, _) = src.line_col(off);
+            map.entry(name.clone()).or_default().push(ItemDecl {
+                name,
+                file: rel.to_string(),
+                line,
+            });
+        }
+    }
+}
+
+/// `(open_char_offset, close_char_offset, type_name)` of every `impl` block.
+fn impl_spans(chars: &[char]) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    for off in word_offsets(chars, "impl") {
+        let mut j = off + 4;
+        j = skip_generics(chars, skip_ws(chars, j));
+        // Header text up to the opening brace; a trait impl names the type
+        // after `for`.
+        let mut header = String::new();
+        let mut k = j;
+        while k < chars.len() && chars[k] != '{' && chars[k] != ';' {
+            header.push(chars[k]);
+            k += 1;
+        }
+        if k >= chars.len() || chars[k] != '{' {
+            continue;
+        }
+        let ty_text = match header.find(" for ") {
+            Some(p) => &header[p + 5..],
+            None => header.as_str(),
+        };
+        let name = type_base_name(ty_text);
+        if name.is_empty() {
+            continue;
+        }
+        let close = match_brace(chars, k);
+        out.push((k, close, name));
+    }
+    out
+}
+
+/// The base identifier of a type path: `&mut reldb::Database<'a>` → `Database`.
+fn type_base_name(ty: &str) -> String {
+    let ty = ty.trim();
+    let ty = ty.trim_start_matches('&').trim_start();
+    let ty = ty.strip_prefix("mut ").unwrap_or(ty).trim_start();
+    let ty = ty.strip_prefix("dyn ").unwrap_or(ty).trim_start();
+    let head: String = ty
+        .chars()
+        .take_while(|&c| is_ident_char(c) || c == ':')
+        .collect();
+    head.rsplit("::").next().unwrap_or("").to_string()
+}
+
+fn parse_fn(
+    rel: &str,
+    src: &FileSource,
+    chars: &[char],
+    off: usize,
+    impls: &[(usize, usize, String)],
+) -> Option<FnDecl> {
+    let mut j = skip_ws(chars, off + 2);
+    let name: String = chars[j..]
+        .iter()
+        .take_while(|&&c| is_ident_char(c))
+        .collect();
+    if name.is_empty() {
+        // `fn(...)` pointer type, not a declaration.
+        return None;
+    }
+    j += name.chars().count();
+    j = skip_generics(chars, skip_ws(chars, j));
+    j = skip_ws(chars, j);
+    if chars.get(j) != Some(&'(') {
+        return None;
+    }
+    let params_close = match_paren(chars, j);
+    let params: String = chars[j + 1..params_close.min(chars.len())].iter().collect();
+    let params = params.trim().to_string();
+    j = skip_ws(chars, params_close + 1);
+
+    // Return type: after `->`, up to the body/terminator at depth 0.
+    let mut ret = String::new();
+    if chars.get(j) == Some(&'-') && chars.get(j + 1) == Some(&'>') {
+        j += 2;
+        let mut depth = 0i32;
+        while j < chars.len() {
+            let c = chars[j];
+            match c {
+                '<' | '(' | '[' => depth += 1,
+                '>' | ')' | ']' if depth > 0 => depth -= 1,
+                '{' | ';' if depth == 0 => break,
+                _ => {}
+            }
+            ret.push(c);
+            j += 1;
+        }
+        // A `where` clause ends the type text.
+        if let Some(p) = ret.find(" where ") {
+            ret.truncate(p);
+        }
+    }
+    // Body: the `{` before any `;` (a `;` first means a trait declaration).
+    let mut body = None;
+    let mut k = j;
+    while k < chars.len() {
+        match chars[k] {
+            '{' => {
+                let close = match_brace(chars, k);
+                let (l0, _) = src.line_col(k);
+                let (l1, _) = src.line_col(close.min(chars.len().saturating_sub(1)));
+                body = Some((l0, l1));
+                break;
+            }
+            ';' => break,
+            _ => k += 1,
+        }
+    }
+
+    let receiver = parse_receiver(&params);
+    let impl_type = impls
+        .iter()
+        .filter(|&&(a, b, _)| off > a && off < b)
+        .min_by_key(|&&(a, b, _)| b - a)
+        .map(|(_, _, n)| n.clone());
+
+    // Attributes and docs: the contiguous run of comment-only / attribute /
+    // blank lines directly above the signature.
+    let (line, _) = src.line_col(off);
+    let mut has_target_feature = false;
+    let mut doc_panics = false;
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        let is_attr = src.attr_line(l);
+        let is_blankish = src.code_blank(l);
+        if !(is_attr || is_blankish) {
+            break;
+        }
+        if src.raw_line(l).contains("#[target_feature") {
+            has_target_feature = true;
+        }
+        if src.comment_on(l).contains("# Panics") {
+            doc_panics = true;
+        }
+    }
+
+    Some(FnDecl {
+        name,
+        file: rel.to_string(),
+        line,
+        params,
+        ret: ret.trim().to_string(),
+        receiver,
+        impl_type,
+        body,
+        has_target_feature,
+        doc_panics,
+    })
+}
+
+fn parse_receiver(params: &str) -> Option<Receiver> {
+    let p = params.trim_start();
+    if let Some(rest) = p.strip_prefix('&') {
+        // `&self`, `&mut self`, `&'a self`, `&'a mut self`.
+        let rest = rest.trim_start();
+        let rest = if rest.starts_with('\'') {
+            match rest.find(char::is_whitespace) {
+                Some(w) => rest[w..].trim_start(),
+                None => return None,
+            }
+        } else {
+            rest
+        };
+        if let Some(rest) = rest.strip_prefix("mut ") {
+            if word_is_self(rest.trim_start()) {
+                return Some(Receiver::RefMut);
+            }
+        } else if word_is_self(rest) {
+            return Some(Receiver::Ref);
+        }
+        return None;
+    }
+    let p = p.strip_prefix("mut ").unwrap_or(p);
+    if word_is_self(p) {
+        return Some(Receiver::Owned);
+    }
+    None
+}
+
+fn word_is_self(s: &str) -> bool {
+    s.starts_with("self") && s[4..].chars().next().is_none_or(|c| !is_ident_char(c))
+}
+
+// ---------------------------------------------------------------------
+// char-level scanning helpers
+// ---------------------------------------------------------------------
+
+fn skip_ws(chars: &[char], mut j: usize) -> usize {
+    while j < chars.len() && chars[j].is_whitespace() {
+        j += 1;
+    }
+    j
+}
+
+/// Skip a balanced `<...>` group at `j` (no-op otherwise). The `>` of a
+/// `->` inside the group (closure bounds like `F: Fn(u64) -> u64`) does
+/// not close an angle.
+fn skip_generics(chars: &[char], j: usize) -> usize {
+    if chars.get(j) != Some(&'<') {
+        return j;
+    }
+    let mut depth = 0i32;
+    let mut k = j;
+    while k < chars.len() {
+        match chars[k] {
+            '-' if chars.get(k + 1) == Some(&'>') => {
+                k += 2;
+                continue;
+            }
+            '<' => depth += 1,
+            '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    return k + 1;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    k
+}
+
+/// Offset of the `)` matching the `(` at `open`.
+fn match_paren(chars: &[char], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < chars.len() {
+        match chars[k] {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    k
+}
+
+/// Offset of the `}` matching the `{` at `open`.
+fn match_brace(chars: &[char], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < chars.len() {
+        match chars[k] {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    k
+}
+
+/// Word-boundary occurrences of `word` (char offsets).
+fn word_offsets(chars: &[char], word: &str) -> Vec<usize> {
+    let w: Vec<char> = word.chars().collect();
+    let mut out = Vec::new();
+    if chars.len() < w.len() {
+        return out;
+    }
+    for i in 0..=chars.len() - w.len() {
+        if chars[i..i + w.len()] == w[..]
+            && (i == 0 || !is_ident_char(chars[i - 1]))
+            && chars.get(i + w.len()).is_none_or(|&c| !is_ident_char(c))
+        {
+            out.push(i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::FileSource;
+
+    fn index_of(srcs: &[(&str, &str)]) -> WorkspaceIndex {
+        let parsed: Vec<(&str, FileSource)> = srcs
+            .iter()
+            .map(|(p, s)| (*p, FileSource::parse(s)))
+            .collect();
+        let refs: Vec<(&str, &FileSource)> = parsed.iter().map(|(p, s)| (*p, s)).collect();
+        WorkspaceIndex::build(&refs)
+    }
+
+    #[test]
+    fn fn_signature_and_body_span() {
+        let idx = index_of(&[(
+            "a.rs",
+            "/// Docs.\n///\n/// # Panics\n/// When empty.\npub fn head(xs: &[u32]) -> u32 {\n    xs[0]\n}\n",
+        )]);
+        let f = &idx.fn_named("head")[0];
+        assert_eq!(f.file, "a.rs");
+        assert_eq!(f.line, 5);
+        assert_eq!(f.ret, "u32");
+        assert_eq!(f.params, "xs: &[u32]");
+        assert_eq!(f.body, Some((5, 7)));
+        assert!(f.doc_panics);
+        assert!(f.receiver.is_none());
+        assert_eq!(
+            idx.enclosing_fn("a.rs", 6).map(|f| f.name.as_str()),
+            Some("head")
+        );
+        assert!(idx.enclosing_fn("a.rs", 1).is_none());
+    }
+
+    #[test]
+    fn impl_methods_and_receivers() {
+        let idx = index_of(&[(
+            "db.rs",
+            "pub struct Database;\n\
+             impl Database {\n\
+                 pub fn get(&self) -> u32 { 0 }\n\
+                 pub fn put(&mut self, x: u32) { let _ = x; }\n\
+                 pub fn into_inner(self) -> u32 { 0 }\n\
+             }\n\
+             impl Clone for Database {\n\
+                 fn clone(&self) -> Self { Database }\n\
+             }\n",
+        )]);
+        assert_eq!(idx.fn_named("put")[0].receiver, Some(Receiver::RefMut));
+        assert_eq!(idx.fn_named("get")[0].receiver, Some(Receiver::Ref));
+        assert_eq!(
+            idx.fn_named("into_inner")[0].receiver,
+            Some(Receiver::Owned)
+        );
+        assert_eq!(
+            idx.fn_named("put")[0].impl_type.as_deref(),
+            Some("Database")
+        );
+        assert_eq!(
+            idx.fn_named("clone")[0].impl_type.as_deref(),
+            Some("Database")
+        );
+        assert_eq!(idx.structs.get("Database").map(Vec::len), Some(1));
+    }
+
+    #[test]
+    fn cross_file_return_classification() {
+        let idx = index_of(&[
+            (
+                "helpers.rs",
+                "use std::collections::HashMap;\n\
+                 pub fn by_key() -> HashMap<u32, u32> { HashMap::new() }\n\
+                 pub fn derive_seed(master: u64, stream: u64) -> u64 { master ^ stream }\n",
+            ),
+            ("other.rs", "pub fn plain() -> Vec<u32> { Vec::new() }\n"),
+        ]);
+        assert!(idx.returns_hash("by_key"));
+        assert!(!idx.returns_hash("plain"));
+        assert!(idx.returns_seed("derive_seed"));
+        assert!(!idx.returns_seed("plain"));
+        assert!(idx.has_fn("by_key") && idx.has_fn("plain"));
+    }
+
+    #[test]
+    fn generics_with_fn_bounds_do_not_derail_params() {
+        let idx = index_of(&[(
+            "g.rs",
+            "pub fn apply<F: Fn(u64) -> u64, G: Fn() -> u64>(f: F, g: G) -> u64 { f(g()) }\n",
+        )]);
+        let f = &idx.fn_named("apply")[0];
+        assert_eq!(f.params, "f: F, g: G");
+        assert_eq!(f.ret, "u64");
+    }
+
+    #[test]
+    fn target_feature_attribute_is_seen() {
+        let idx = index_of(&[(
+            "k.rs",
+            "#[target_feature(enable = \"avx2\")]\n\
+             unsafe fn dot_avx2(a: &[f32]) -> f32 { 0.0 }\n\
+             fn dot_scalar(a: &[f32]) -> f32 { 0.0 }\n",
+        )]);
+        assert!(idx.fn_named("dot_avx2")[0].has_target_feature);
+        assert!(!idx.fn_named("dot_scalar")[0].has_target_feature);
+    }
+
+    #[test]
+    fn trait_declarations_have_no_body() {
+        let idx = index_of(&[(
+            "t.rs",
+            "pub trait Hook {\n    fn notify(&mut self, epoch: u64);\n}\n",
+        )]);
+        assert_eq!(idx.fn_named("notify")[0].body, None);
+        assert_eq!(idx.fn_named("notify")[0].receiver, Some(Receiver::RefMut));
+    }
+}

@@ -252,8 +252,19 @@ fn scan_prefixed_literal(
     line: &mut usize,
 ) -> usize {
     let mut i = start;
-    // Consume prefix letters.
-    while i < chars.len() && (chars[i] == 'r' || chars[i] == 'b') {
+    // Consume the prefix in Rust's order: an optional `b`, then an
+    // optional `r`. Only the `r` makes the literal *raw* (no escapes) —
+    // a plain `b"…"` byte string processes `\"` exactly like `"…"` does,
+    // which is what the escape-aware branch below preserves. (Treating
+    // `b"…"` as raw used to end the literal at an escaped quote and leak
+    // its tail into the code view.)
+    let mut raw = false;
+    if i < chars.len() && chars[i] == 'b' {
+        push_blank(code, chars[i], line);
+        i += 1;
+    }
+    if i < chars.len() && chars[i] == 'r' {
+        raw = true;
         push_blank(code, chars[i], line);
         i += 1;
     }
@@ -279,8 +290,29 @@ fn scan_prefixed_literal(
     }
     push_blank(code, chars[i], line);
     i += 1;
-    // Raw (or plain, when hashes == 0 after r) string: no escapes; closing
-    // is `"` followed by `hashes` hash marks.
+    if !raw {
+        // `b"…"`: escapes behave exactly as in a plain string.
+        while i < chars.len() {
+            match chars[i] {
+                '\\' if i + 1 < chars.len() => {
+                    push_blank(code, chars[i], line);
+                    push_blank(code, chars[i + 1], line);
+                    i += 2;
+                }
+                '"' => {
+                    push_blank(code, chars[i], line);
+                    return i + 1;
+                }
+                c => {
+                    push_blank(code, c, line);
+                    i += 1;
+                }
+            }
+        }
+        return i;
+    }
+    // Raw string: no escapes; closing is `"` followed by `hashes` hash
+    // marks.
     while i < chars.len() {
         if chars[i] == '"' {
             let mut j = i + 1;
@@ -402,5 +434,91 @@ mod tests {
         assert!(f.code.contains("fn main"));
         assert!(!f.code.contains("tail"));
         assert!(f.comment_on(1).contains("inner"));
+    }
+
+    #[test]
+    fn byte_strings_honour_escapes() {
+        // Regression: `b"…"` used to take the raw-string (no-escape) path,
+        // so an escaped quote ended the literal early and leaked its tail
+        // into the code view — flipping everything after it in and out of
+        // string state.
+        let src = "let s = b\"a\\\"HashMap.iter()\"; let x = 1;";
+        let f = FileSource::parse(src);
+        assert!(!f.code.contains("HashMap"), "tail leaked: {}", f.code);
+        assert!(f.code.contains("let x = 1;"), "code after literal lost");
+
+        // Escaped backslash directly before the closing quote.
+        let src = "let s = b\"a\\\\\"; let y = unsafe_token;";
+        let f = FileSource::parse(src);
+        assert!(f.code.contains("let y = unsafe_token;"));
+    }
+
+    #[test]
+    fn raw_strings_do_not_escape() {
+        // `r"…\"` ends at the quote — the backslash is plain content.
+        let src = "let s = r\"trailing\\\"; let x = 1;";
+        let f = FileSource::parse(src);
+        assert!(f.code.contains("let x = 1;"));
+        // Hash-delimited raw string containing a bare quote.
+        let src = "let s = r#\"say \"hi\" ok\"#; let x = 2;";
+        let f = FileSource::parse(src);
+        assert!(!f.code.contains("say"));
+        assert!(f.code.contains("let x = 2;"));
+        // More hashes than the opener: the surplus stays outside.
+        let src = "let s = r##\"inner \"# still\"##; let x = 3;";
+        let f = FileSource::parse(src);
+        assert!(!f.code.contains("still"));
+        assert!(f.code.contains("let x = 3;"));
+        // Raw byte string.
+        let src = "let s = br#\"x\"y\"#; let x = 4;";
+        let f = FileSource::parse(src);
+        assert!(f.code.contains("let x = 4;"));
+    }
+
+    #[test]
+    fn raw_strings_span_lines_and_keep_line_numbers() {
+        let src = "let s = r#\"one\ntwo \"quoted\"\nthree\"#;\nlet x = HashMap;\n";
+        let f = FileSource::parse(src);
+        assert!(!f.code.contains("two"));
+        let off = f.code.find("HashMap").expect("code survives");
+        let chars_before = f.code[..off].chars().count();
+        let (line, _) = f.line_col(chars_before);
+        assert_eq!(
+            line, 4,
+            "line structure must survive multi-line raw strings"
+        );
+    }
+
+    #[test]
+    fn nested_block_comment_torture() {
+        // Tight nesting, no separators.
+        let f = FileSource::parse("/*/* inner */*/ let x = HashMap;");
+        assert!(f.code.contains("let x = HashMap;"));
+        // Overlapping close-then-star: `*/*` closes at the `*/`.
+        let f = FileSource::parse("/* a */* let x = 1;");
+        assert!(f.code.contains("let x = 1;"));
+        assert!(f.code.contains('*'), "the stray `*` stays code");
+        // `//*` inside a block comment opens a nest (matches rustc).
+        let f = FileSource::parse("/*//*/ let hidden = 1;");
+        assert!(
+            !f.code.contains("hidden"),
+            "depth 2 comment is unterminated; rest of file is comment"
+        );
+        // Depth three, closing across lines.
+        let f = FileSource::parse("/* 1 /* 2 /* 3 */ 2 */ 1 */ let x = 9;\n");
+        assert!(f.code.contains("let x = 9;"));
+        assert!(f.comment_on(1).contains('3'));
+    }
+
+    #[test]
+    fn block_comment_markers_inside_literals_are_inert() {
+        let f = FileSource::parse("let s = \"/* not a comment\"; let x = 1;");
+        assert!(f.code.contains("let x = 1;"));
+        let f = FileSource::parse("let s = r#\"*/ also not\"#; let y = 2;");
+        assert!(f.code.contains("let y = 2;"));
+        // And the reverse: a quote inside a block comment does not open a
+        // string.
+        let f = FileSource::parse("/* \" */ let z = 3;");
+        assert!(f.code.contains("let z = 3;"));
     }
 }

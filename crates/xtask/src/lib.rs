@@ -9,12 +9,16 @@
 //!
 //! The analyzer is deliberately `syn`-free: the container vendors no
 //! external crates, so the scanner in [`lexer`] strips comments and
-//! literals itself and the rules in [`rules`] work on that blanked view.
-//! The trade-off is documented per rule — token-level passes
-//! over-approximate (every flag is waivable with a stated reason) and
-//! under-approximate in known ways (no type inference across files).
+//! literals itself. Two layers run on that blanked view: the workspace
+//! symbol [`index`] (declarations from every file, resolved across files)
+//! feeds the per-file [`dataflow`] walker, and the rules in [`rules`]
+//! consume both. The trade-off is documented per rule — token-level passes
+//! over-approximate (every flag is waivable with a stated reason) and the
+//! remaining under-approximations are listed in `STATIC_ANALYSIS.md`.
 
+pub mod dataflow;
 pub mod diag;
+pub mod index;
 pub mod lexer;
 pub mod rules;
 
@@ -31,34 +35,60 @@ pub struct Report {
 /// Directories never descended into.
 const SKIP_DIRS: [&str; 4] = ["target", ".git", ".github", "fixtures"];
 
-/// Lint every `.rs` file under `root` (the workspace checkout).
+/// Lint every `.rs` file under `root` (the workspace checkout). Two-pass:
+/// every file is parsed and indexed first so cross-file resolution (helper
+/// returns, scalar siblings in sibling modules) sees the whole workspace,
+/// then each file is checked against the shared index.
 pub fn lint_root(root: &Path) -> std::io::Result<Report> {
     let mut files = Vec::new();
     collect_rs(root, root, &mut files)?;
     files.sort();
-    let mut report = Report {
-        findings: Vec::new(),
-        waivers: Vec::new(),
-        files_scanned: 0,
-    };
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for rel in files {
         let src = std::fs::read_to_string(root.join(&rel))?;
         let rel_str = rel
             .to_string_lossy()
             .replace(std::path::MAIN_SEPARATOR, "/");
-        let (mut f, mut w) = lint_source(&rel_str, &src);
-        report.findings.append(&mut f);
-        report.waivers.append(&mut w);
-        report.files_scanned += 1;
+        sources.push((rel_str, src));
     }
-    Ok(report)
+    let borrowed: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(p, s)| (p.as_str(), s.as_str()))
+        .collect();
+    let (findings, waivers) = lint_files(&borrowed);
+    Ok(Report {
+        findings,
+        waivers,
+        files_scanned: sources.len(),
+    })
 }
 
-/// Lint one file's contents under its workspace-relative path (pure — the
+/// Lint a set of `(workspace-relative path, contents)` pairs against a
+/// symbol index built from exactly those files (pure — the cross-file
 /// fixture tests call this directly).
+pub fn lint_files(files: &[(&str, &str)]) -> (Vec<Finding>, Vec<Waiver>) {
+    let parsed: Vec<(&str, lexer::FileSource)> = files
+        .iter()
+        .map(|(p, s)| (*p, lexer::FileSource::parse(s)))
+        .collect();
+    let index_input: Vec<(&str, &lexer::FileSource)> =
+        parsed.iter().map(|(p, src)| (*p, src)).collect();
+    let idx = index::WorkspaceIndex::build(&index_input);
+    let mut findings = Vec::new();
+    let mut waivers = Vec::new();
+    for (rel, src) in &parsed {
+        let (mut f, mut w) = rules::check_file(rel, src, &idx);
+        findings.append(&mut f);
+        waivers.append(&mut w);
+    }
+    (findings, waivers)
+}
+
+/// Lint one file's contents under its workspace-relative path, with the
+/// index built from that file alone (pure — the single-file fixture tests
+/// call this directly).
 pub fn lint_source(rel_path: &str, source: &str) -> (Vec<Finding>, Vec<Waiver>) {
-    let parsed = lexer::FileSource::parse(source);
-    rules::check_file(rel_path, &parsed)
+    lint_files(&[(rel_path, source)])
 }
 
 fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {

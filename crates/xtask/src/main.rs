@@ -21,22 +21,25 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "\
-usage: cargo xtask lint [--waivers] [--quiet] [--root PATH]
+usage: cargo xtask lint [--waivers] [--summary] [--quiet] [--root PATH]
 
   lint        run the determinism-contract static analyzer over the
               workspace (see STATIC_ANALYSIS.md)
   --waivers   print the active waivers as JSON on stdout (audit view)
+  --summary   print a per-rule violation/waiver table on stdout
   --quiet     suppress per-violation diagnostics, print the summary only
   --root PATH lint PATH instead of the enclosing workspace";
 
 fn lint(args: &[String]) -> ExitCode {
     let mut waivers_json = false;
+    let mut summary = false;
     let mut quiet = false;
     let mut root: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--waivers" => waivers_json = true,
+            "--summary" => summary = true,
             "--quiet" => quiet = true,
             "--root" => match it.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
@@ -81,6 +84,14 @@ fn lint(args: &[String]) -> ExitCode {
     }
     if waivers_json {
         println!("{}", xtask::diag::waivers_json(&report.waivers));
+    }
+    if summary {
+        println!("rule                        violations  waivers");
+        for rule in xtask::rules::Rule::all() {
+            let v = report.findings.iter().filter(|f| f.rule == rule).count();
+            let w = report.waivers.iter().filter(|w| w.rule == rule).count();
+            println!("{:<28}{v:>10}  {w:>7}", rule.name());
+        }
     }
     eprintln!(
         "xtask lint: {} file(s) scanned, {} violation(s), {} waiver(s) in effect",

@@ -4,6 +4,8 @@
 //! `STATIC_ANALYSIS.md` at the repo root for the contract each rule
 //! enforces, its known approximations, and the waiver syntax.
 
+use crate::dataflow::{self, Bindings};
+use crate::index::{Receiver, WorkspaceIndex};
 use crate::lexer::{is_ident_char, FileSource};
 
 /// Rule identifiers. The kebab-case name doubles as the waiver tag:
@@ -27,6 +29,21 @@ pub enum Rule {
     MissingScalarSibling,
     /// f32/f64 `sum()`/`fold` reduction outside the fixed-lane kernels.
     UnfusedFloatReduction,
+    /// Hand arithmetic (`+`/`^`/shifts/`wrapping_*`) on a seed-derived
+    /// value outside the sanctioned derivation layer (the PR 3 stream
+    /// overlap bug class).
+    SeedArithmetic,
+    /// An `&mut self` method on `Database` that writes fact storage
+    /// without journalling through `record_mutation` (the PR 4/7
+    /// journal/epoch contract).
+    UnjournalledMutation,
+    /// A float `+=`/`-=`/`*=` accumulator inside a loop over a
+    /// hash-ordered source — reassociation the fixed-lane kernels exist
+    /// to prevent.
+    ManualFloatAccumulation,
+    /// `unwrap`/`expect`/`panic!`/literal indexing in compute-crate
+    /// production code without a documented panic contract.
+    PanicPath,
 }
 
 impl Rule {
@@ -40,10 +57,14 @@ impl Rule {
             Rule::UndocumentedUnsafe => "undocumented-unsafe",
             Rule::MissingScalarSibling => "missing-scalar-sibling",
             Rule::UnfusedFloatReduction => "unfused-float-reduction",
+            Rule::SeedArithmetic => "seed-arithmetic",
+            Rule::UnjournalledMutation => "unjournalled-mutation",
+            Rule::ManualFloatAccumulation => "manual-float-accumulation",
+            Rule::PanicPath => "panic-path",
         }
     }
 
-    pub fn all() -> [Rule; 8] {
+    pub fn all() -> [Rule; 12] {
         [
             Rule::NondeterministicIter,
             Rule::AmbientTime,
@@ -53,6 +74,10 @@ impl Rule {
             Rule::UndocumentedUnsafe,
             Rule::MissingScalarSibling,
             Rule::UnfusedFloatReduction,
+            Rule::SeedArithmetic,
+            Rule::UnjournalledMutation,
+            Rule::ManualFloatAccumulation,
+            Rule::PanicPath,
         ]
     }
 
@@ -91,6 +116,27 @@ impl Rule {
                  order); deterministic serial reductions may be waived with \
                  `// lint: unfused-float-reduction-ok(reason)`"
             }
+            Rule::SeedArithmetic => {
+                "derive sub-streams with stembed_runtime::derive_seed(seed, STREAM) — hand \
+                 mixing (`seed ^ SALT`, `seed.wrapping_add(i)`) risks overlapping RNG \
+                 streams; name each stream with a constant instead"
+            }
+            Rule::UnjournalledMutation => {
+                "every fact-storage write must reach the journal: call `record_mutation` \
+                 (or delegate to insert/restore/delete) so the epoch, the durability hook, \
+                 and cache invalidation observe the mutation"
+            }
+            Rule::ManualFloatAccumulation => {
+                "accumulating floats over a hash-ordered source reassociates per run; \
+                 iterate a sorted container, or route the reduction through the \
+                 fixed-lane kernel layer"
+            }
+            Rule::PanicPath => {
+                "document the contract: a `# Panics` doc section on the enclosing fn or a \
+                 `// PANICS:` comment at the site (poisoned-hook discipline makes stray \
+                 panics unrecoverable, not unsound); literal indexing is accepted when \
+                 the receiver is a fixed-size array provably long enough"
+            }
         }
     }
 }
@@ -103,6 +149,9 @@ pub struct Finding {
     pub file: String,
     /// 1-based.
     pub line: usize,
+    /// 1-based, inclusive; `== line` for single-line findings. Rules that
+    /// flag a whole item (e.g. an unjournalled method) span its body.
+    pub end_line: usize,
     /// 1-based column (chars).
     pub col: usize,
     pub message: String,
@@ -155,20 +204,37 @@ impl Scope {
     }
 }
 
+/// Files exempt from the seed-arithmetic rule: the sanctioned derivation
+/// layer itself (SplitMix64 finalizer rounds *are* seed arithmetic).
+const SEED_EXEMPT_FILES: [&str; 2] = ["crates/runtime/src/seed.rs", "crates/runtime/src/rng.rs"];
+
 /// Run every applicable rule over one file. Returns surviving findings and
-/// the waivers that silenced the rest.
-pub fn check_file(rel_path: &str, src: &FileSource) -> (Vec<Finding>, Vec<Waiver>) {
+/// the waivers that silenced the rest. `index` carries the cross-file
+/// symbol information (possibly built from this file alone — see
+/// [`crate::lint_source`]).
+pub fn check_file(
+    rel_path: &str,
+    src: &FileSource,
+    index: &WorkspaceIndex,
+) -> (Vec<Finding>, Vec<Waiver>) {
     let scope = Scope::of(rel_path);
-    let test_lines = test_regions(src);
+    let exempt = exempt_regions(src);
+    let bindings = dataflow::analyze(src, index);
     let mut raw_findings: Vec<Finding> = Vec::new();
 
     if scope.compute {
-        nondeterministic_iter(rel_path, src, &test_lines, &mut raw_findings);
-        ambient_time(rel_path, src, &test_lines, &mut raw_findings);
-        env_read(rel_path, src, &test_lines, &mut raw_findings);
+        nondeterministic_iter(rel_path, src, &exempt, &bindings, index, &mut raw_findings);
+        ambient_time(rel_path, src, &exempt, &mut raw_findings);
+        env_read(rel_path, src, &exempt, &mut raw_findings);
         if !scope.float_exempt {
-            float_reduction(rel_path, src, &test_lines, &mut raw_findings);
+            float_reduction(rel_path, src, &exempt, &mut raw_findings);
+            manual_float_accumulation(rel_path, src, &exempt, &bindings, index, &mut raw_findings);
         }
+        if !SEED_EXEMPT_FILES.contains(&rel_path) {
+            seed_arithmetic(rel_path, src, &exempt, &bindings, &mut raw_findings);
+        }
+        unjournalled_mutation(rel_path, src, &exempt, index, &mut raw_findings);
+        panic_path(rel_path, src, &exempt, &bindings, index, &mut raw_findings);
     }
     // Contract-global rules: any crate, tests included. The analyzer's
     // own sources are exempt from the pure token-pattern rules — they
@@ -179,7 +245,7 @@ pub fn check_file(rel_path: &str, src: &FileSource) -> (Vec<Finding>, Vec<Waiver
         rand_crate(rel_path, src, &mut raw_findings);
     }
     undocumented_unsafe(rel_path, src, &mut raw_findings);
-    missing_scalar_sibling(rel_path, src, &mut raw_findings);
+    missing_scalar_sibling(rel_path, src, index, &mut raw_findings);
 
     raw_findings.sort_by_key(|a| (a.line, a.col));
     raw_findings.dedup_by(|a, b| a.rule == b.rule && a.line == b.line && a.col == b.col);
@@ -264,27 +330,47 @@ fn has_safety_comment(src: &FileSource, line: usize) -> bool {
 }
 
 // ---------------------------------------------------------------------
-// `#[cfg(test)]` region detection
+// Exempt-region detection: `#[cfg(test)]` and `#[cfg(feature = …)]`
 // ---------------------------------------------------------------------
 
-/// 1-based line numbers covered by `#[cfg(test)] mod … { … }` regions.
-fn test_regions(src: &FileSource) -> Vec<(usize, usize)> {
+/// 1-based line spans exempt from the *scoped* compute rules: test code
+/// (`#[cfg(test)]`) and feature-gated code (`#[cfg(feature = "…")]`) —
+/// the determinism contract binds the default build, and no compute crate
+/// enables features by default. `#[cfg(not(feature = …))]` (the default
+/// build's half) is deliberately NOT exempt.
+fn exempt_regions(src: &FileSource) -> Vec<(usize, usize)> {
+    let mut regions = attr_regions(src, "#[cfg(test)]");
+    regions.extend(attr_regions(src, "#[cfg(feature"));
+    regions
+}
+
+/// Line spans of items gated by an attribute starting with `pat`: from the
+/// attribute to the matching `}` of the item's body, or through the `;`
+/// for braceless items (`use`, type aliases).
+fn attr_regions(src: &FileSource, pat: &str) -> Vec<(usize, usize)> {
     let code = &src.code;
     let mut regions = Vec::new();
     let mut search = 0usize;
     let chars: Vec<char> = code.chars().collect();
-    while let Some(pos) = code[byte_of(code, search)..].find("#[cfg(test)]") {
+    while let Some(pos) = code[byte_of(code, search)..].find(pat) {
         let start = search + code[byte_of(code, search)..][..pos].chars().count();
-        // Find the first `{` after the attribute; brace-match to its end.
-        let mut i = start + "#[cfg(test)]".len();
-        while i < chars.len() && chars[i] != '{' {
+        // First `{` after the attribute opens the item's body; a `;` first
+        // means a braceless item — the region is just those lines.
+        let mut i = start + pat.chars().count();
+        while i < chars.len() && chars[i] != '{' && chars[i] != ';' {
             i += 1;
         }
         if i >= chars.len() {
             break;
         }
+        let (l0, _) = src.line_col(start);
+        if chars[i] == ';' {
+            let (l1, _) = src.line_col(i);
+            regions.push((l0, l1));
+            search = i + 1;
+            continue;
+        }
         let mut depth = 0usize;
-        let open = i;
         while i < chars.len() {
             match chars[i] {
                 '{' => depth += 1,
@@ -298,7 +384,6 @@ fn test_regions(src: &FileSource) -> Vec<(usize, usize)> {
             }
             i += 1;
         }
-        let (l0, _) = src.line_col(open);
         let (l1, _) = src.line_col(i.min(chars.len().saturating_sub(1)));
         regions.push((l0, l1));
         search = i + 1;
@@ -309,8 +394,8 @@ fn test_regions(src: &FileSource) -> Vec<(usize, usize)> {
     regions
 }
 
-fn in_test(test_lines: &[(usize, usize)], line: usize) -> bool {
-    test_lines.iter().any(|&(a, b)| line >= a && line <= b)
+fn in_exempt(exempt: &[(usize, usize)], line: usize) -> bool {
+    exempt.iter().any(|&(a, b)| line >= a && line <= b)
 }
 
 /// Byte offset of a char offset (the scanner works in chars, `str::find`
@@ -424,119 +509,30 @@ const ITER_METHODS: [&str; 10] = [
 fn nondeterministic_iter(
     rel_path: &str,
     src: &FileSource,
-    test_lines: &[(usize, usize)],
+    exempt: &[(usize, usize)],
+    bindings: &Bindings,
+    index: &WorkspaceIndex,
     out: &mut Vec<Finding>,
 ) {
     let code = &src.code;
     let chars: Vec<char> = code.chars().collect();
 
-    // 1. Type aliases whose RHS mentions a hash container.
-    let mut hash_types: Vec<String> = vec!["HashMap".into(), "HashSet".into()];
-    for off in word_occurrences(code, "type") {
-        // `type NAME = …;`
-        let rest: String = chars[off + 4..].iter().take(200).collect();
-        let rest = rest.trim_start();
-        let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
-        if name.is_empty() {
-            continue;
-        }
-        if let Some(eq) = rest.find('=') {
-            let rhs: String = rest[eq..].chars().take_while(|&c| c != ';').collect();
-            if mentions_hash(&rhs, &hash_types) {
-                hash_types.push(name);
-            }
-        }
-    }
-
-    // 2. Identifiers declared with a hash-bearing type or initializer.
-    let mut hash_names: Vec<String> = Vec::new();
-    let mut track = |name: &str| {
-        if !name.is_empty() && name != "_" && !hash_names.iter().any(|n| n == name) {
-            hash_names.push(name.to_string());
-        }
-    };
-    // `name : Type` — fields, params, annotated lets.
-    let mut i = 0usize;
-    while i < chars.len() {
-        if chars[i] == ':'
-            && i + 1 < chars.len()
-            && chars[i + 1] != ':'
-            && (i == 0 || chars[i - 1] != ':')
-        {
-            // Identifier to the left.
-            let mut e = i;
-            while e > 0 && chars[e - 1].is_whitespace() {
-                e -= 1;
-            }
-            let mut s = e;
-            while s > 0 && is_ident_char(chars[s - 1]) {
-                s -= 1;
-            }
-            if s < e {
-                let name: String = chars[s..e].iter().collect();
-                // Type text to the right, up to a depth-0 terminator.
-                let mut j = i + 1;
-                let mut angle = 0i32;
-                let mut paren = 0i32;
-                let mut ty = String::new();
-                while j < chars.len() && ty.chars().count() < 300 {
-                    let c = chars[j];
-                    match c {
-                        '<' => angle += 1,
-                        '>' => angle -= 1,
-                        '(' | '[' => paren += 1,
-                        ')' | ']' if paren > 0 => paren -= 1,
-                        ',' | ';' | '=' | '{' | ')' | ']' if angle <= 0 && paren <= 0 => break,
-                        _ => {}
-                    }
-                    ty.push(c);
-                    j += 1;
-                }
-                if mentions_hash(&ty, &hash_types) {
-                    track(&name);
-                }
-            }
-        }
-        i += 1;
-    }
-    // `let [mut] name = <Hash>::…`
-    for off in word_occurrences(code, "let") {
-        let rest: String = chars[off + 3..].iter().take(200).collect();
-        let rest = rest.trim_start();
-        let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
-        let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
-        let after = rest[name.len()..].trim_start();
-        if let Some(rhs) = after.strip_prefix('=') {
-            let rhs = rhs.trim_start();
-            let head: String = rhs
-                .chars()
-                .take_while(|&c| is_ident_char(c) || c == ':')
-                .collect();
-            let segs: Vec<&str> = head.split("::").collect();
-            let head_ty = if segs.len() >= 2 {
-                segs[segs.len() - 2]
-            } else {
-                ""
-            };
-            if hash_types.iter().any(|t| t == head_ty) {
-                track(&name);
-            }
-        }
-    }
-
-    // 3. Iteration method calls on tracked receivers.
+    // 1. Iteration method calls on hash-tagged receivers — the tags come
+    // from the dataflow pass (annotations, aliases, `let` chains, and
+    // helper-call returns resolved through the workspace index).
     for m in ITER_METHODS {
         for off in substr_occurrences(code, m) {
             if let Some(recv) = receiver_ident(&chars, off) {
-                if hash_names.contains(&recv) {
+                if bindings.is_hash(&recv) {
                     let (line, col) = src.line_col(off + 1);
-                    if in_test(test_lines, line) {
+                    if in_exempt(exempt, line) {
                         continue;
                     }
                     out.push(Finding {
                         rule: Rule::NondeterministicIter,
                         file: rel_path.to_string(),
                         line,
+                        end_line: line,
                         col,
                         message: format!(
                             "iteration over hash-ordered container `{recv}` via `{}`",
@@ -549,7 +545,7 @@ fn nondeterministic_iter(
         }
     }
 
-    // 4. `for … in [&[mut]] <tracked> {`.
+    // 2. `for … in [&[mut]] <tracked or helper()> {`.
     for off in word_occurrences(code, "for") {
         // Find ` in ` after the pattern, then the expression up to `{`.
         let tail: String = chars[off..].iter().take(400).collect();
@@ -565,32 +561,44 @@ fn nondeterministic_iter(
             .or_else(|| expr.strip_prefix('&'))
             .unwrap_or(expr)
             .trim();
-        // Only plain ident chains: calls were handled by the method scan.
-        if expr.is_empty() || !expr.chars().all(|c| is_ident_char(c) || c == '.') {
-            continue;
-        }
-        let last = expr.rsplit('.').next().unwrap_or(expr);
-        if hash_names.iter().any(|n| n == last) {
+        let flagged = if expr.chars().all(|c| is_ident_char(c) || c == '.') {
+            // Plain ident chain: the last component decides.
+            let last = expr.rsplit('.').next().unwrap_or(expr);
+            (!expr.is_empty() && bindings.is_hash(last)).then(|| last.to_string())
+        } else if let Some(paren) = expr.find('(') {
+            // A call: flag when the callee is an indexed helper returning
+            // a hash container (`for g in groups_by_key() {`). Iteration
+            // *methods* on tracked receivers were handled by the scan
+            // above.
+            let callee: String = expr[..paren]
+                .chars()
+                .rev()
+                .take_while(|&c| is_ident_char(c))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev()
+                .collect();
+            (!callee.is_empty() && !expr[..paren].contains('.') && index.returns_hash(&callee))
+                .then(|| format!("{callee}()"))
+        } else {
+            None
+        };
+        if let Some(what) = flagged {
             let (line, col) = src.line_col(off);
-            if in_test(test_lines, line) {
+            if in_exempt(exempt, line) {
                 continue;
             }
             out.push(Finding {
                 rule: Rule::NondeterministicIter,
                 file: rel_path.to_string(),
                 line,
+                end_line: line,
                 col,
-                message: format!("`for` loop over hash-ordered container `{last}`"),
+                message: format!("`for` loop over hash-ordered container `{what}`"),
                 snippet: src.raw_line(line).to_string(),
             });
         }
     }
-}
-
-fn mentions_hash(ty: &str, hash_types: &[String]) -> bool {
-    hash_types
-        .iter()
-        .any(|t| !word_occurrences(ty, t).is_empty())
 }
 
 // ---------------------------------------------------------------------
@@ -600,19 +608,20 @@ fn mentions_hash(ty: &str, hash_types: &[String]) -> bool {
 fn ambient_time(
     rel_path: &str,
     src: &FileSource,
-    test_lines: &[(usize, usize)],
+    exempt: &[(usize, usize)],
     out: &mut Vec<Finding>,
 ) {
     for word in ["Instant", "SystemTime"] {
         for off in word_occurrences(&src.code, word) {
             let (line, col) = src.line_col(off);
-            if in_test(test_lines, line) {
+            if in_exempt(exempt, line) {
                 continue;
             }
             out.push(Finding {
                 rule: Rule::AmbientTime,
                 file: rel_path.to_string(),
                 line,
+                end_line: line,
                 col,
                 message: format!("ambient wall-clock read: `{word}` in a compute/state crate"),
                 snippet: src.raw_line(line).to_string(),
@@ -632,6 +641,7 @@ fn random_state(rel_path: &str, src: &FileSource, out: &mut Vec<Finding>) {
             rule: Rule::RandomState,
             file: rel_path.to_string(),
             line,
+            end_line: line,
             col,
             message: "std RandomState is seeded from the OS at process start".into(),
             snippet: src.raw_line(line).to_string(),
@@ -657,6 +667,7 @@ fn rand_crate(rel_path: &str, src: &FileSource, out: &mut Vec<Finding>) {
                 rule: Rule::RandCrate,
                 file: rel_path.to_string(),
                 line,
+                end_line: line,
                 col,
                 message: "direct rand-crate usage bypasses the vendored seeded RNG".into(),
                 snippet: src.raw_line(line).to_string(),
@@ -669,12 +680,7 @@ fn rand_crate(rel_path: &str, src: &FileSource, out: &mut Vec<Finding>) {
 // Rule: env-read
 // ---------------------------------------------------------------------
 
-fn env_read(
-    rel_path: &str,
-    src: &FileSource,
-    test_lines: &[(usize, usize)],
-    out: &mut Vec<Finding>,
-) {
+fn env_read(rel_path: &str, src: &FileSource, exempt: &[(usize, usize)], out: &mut Vec<Finding>) {
     // Consts in this file naming allowlisted variables:
     // `const NAME: &str = "STEMBED_…";`
     let mut allow_consts: Vec<String> = Vec::new();
@@ -703,7 +709,7 @@ fn env_read(
                 continue;
             }
             let (line, col) = src.line_col(off);
-            if in_test(test_lines, line) {
+            if in_exempt(exempt, line) {
                 continue;
             }
             // Read the first argument from the raw text.
@@ -735,6 +741,7 @@ fn env_read(
                     rule: Rule::EnvRead,
                     file: rel_path.to_string(),
                     line,
+                    end_line: line,
                     col,
                     message: format!("`{pat}` read outside the STEMBED_* allowlist"),
                     snippet: src.raw_line(line).to_string(),
@@ -756,6 +763,7 @@ fn undocumented_unsafe(rel_path: &str, src: &FileSource, out: &mut Vec<Finding>)
                 rule: Rule::UndocumentedUnsafe,
                 file: rel_path.to_string(),
                 line,
+                end_line: line,
                 col,
                 message: "`unsafe` without a `SAFETY:` comment stating the invariant".into(),
                 snippet: src.raw_line(line).to_string(),
@@ -770,7 +778,12 @@ fn undocumented_unsafe(rel_path: &str, src: &FileSource, out: &mut Vec<Finding>)
 
 const FEATURE_SUFFIXES: [&str; 6] = ["_avx2", "_avx512", "_fma", "_sse41", "_sse2", "_neon"];
 
-fn missing_scalar_sibling(rel_path: &str, src: &FileSource, out: &mut Vec<Finding>) {
+fn missing_scalar_sibling(
+    rel_path: &str,
+    src: &FileSource,
+    index: &WorkspaceIndex,
+    out: &mut Vec<Finding>,
+) {
     let code = &src.code;
     let chars: Vec<char> = code.chars().collect();
     for off in substr_occurrences(code, "#[target_feature") {
@@ -797,10 +810,13 @@ fn missing_scalar_sibling(rel_path: &str, src: &FileSource, out: &mut Vec<Findin
             format!("{base}_with"),
             format!("{base}_wide"),
         ];
+        // A sibling in the same file (textual) or anywhere in the indexed
+        // workspace (a scalar twin in a sibling module) both count.
         let has_sibling = candidates.iter().any(|c| {
-            word_occurrences(code, c)
-                .iter()
-                .any(|&o| preceded_by_fn(&chars, o))
+            index.has_fn(c)
+                || word_occurrences(code, c)
+                    .iter()
+                    .any(|&o| preceded_by_fn(&chars, o))
         });
         if !has_sibling {
             let (line, col) = src.line_col(off);
@@ -808,6 +824,7 @@ fn missing_scalar_sibling(rel_path: &str, src: &FileSource, out: &mut Vec<Findin
                 rule: Rule::MissingScalarSibling,
                 file: rel_path.to_string(),
                 line,
+                end_line: line,
                 col,
                 message: format!(
                     "#[target_feature] fn `{name}` has no scalar reference sibling \
@@ -843,22 +860,437 @@ const FLOAT_REDUCTIONS: [&str; 8] = [
     ".fold(0f64",
 ];
 
+// ---------------------------------------------------------------------
+// Rule: seed-arithmetic
+// ---------------------------------------------------------------------
+
+/// Operators and integer-mixing methods that, applied to a seed-provenance
+/// value, hand-derive an RNG stream (the PR 3 overlap bug class). `-`, `*`
+/// and single `<`/`>`/`|` are deliberately excluded: deref/ref sigils,
+/// comparisons, and closure pipes would swamp the rule with noise.
+fn seed_arithmetic(
+    rel_path: &str,
+    src: &FileSource,
+    exempt: &[(usize, usize)],
+    bindings: &Bindings,
+    out: &mut Vec<Finding>,
+) {
+    let code = &src.code;
+    let chars: Vec<char> = code.chars().collect();
+    let seedy = |w: &str| dataflow::is_seedy_name(w) || bindings.is_seed(w);
+
+    let fire = |off: usize, msg: String, out: &mut Vec<Finding>| {
+        let (line, col) = src.line_col(off);
+        if in_exempt(exempt, line) {
+            return;
+        }
+        out.push(Finding {
+            rule: Rule::SeedArithmetic,
+            file: rel_path.to_string(),
+            line,
+            end_line: line,
+            col,
+            message: msg,
+            snippet: src.raw_line(line).to_string(),
+        });
+    };
+
+    // 1. Operator contexts around each seed-provenance identifier.
+    let mut i = 0usize;
+    while i < chars.len() {
+        if !is_ident_char(chars[i]) {
+            i += 1;
+            continue;
+        }
+        let s = i;
+        while i < chars.len() && is_ident_char(chars[i]) {
+            i += 1;
+        }
+        if chars[s].is_ascii_digit() {
+            continue; // a numeric literal, not an identifier
+        }
+        let word: String = chars[s..i].iter().collect();
+        if !seedy(&word) {
+            continue;
+        }
+        // Operator directly before (skipping whitespace).
+        let mut b = s;
+        while b > 0 && chars[b - 1].is_whitespace() {
+            b -= 1;
+        }
+        let before = b > 0
+            && match chars[b - 1] {
+                '+' | '^' => true,
+                '<' => b >= 2 && chars[b - 2] == '<',
+                '>' => b >= 2 && chars[b - 2] == '>',
+                // `+= seed` / `^= seed` (not `==`, `<=`, `>=`).
+                '=' => b >= 2 && matches!(chars[b - 2], '+' | '^'),
+                _ => false,
+            };
+        // Operator or mixing-method call directly after.
+        let mut j = i;
+        while j < chars.len() && chars[j].is_whitespace() {
+            j += 1;
+        }
+        let mut method: Option<String> = None;
+        let after = j < chars.len()
+            && match chars[j] {
+                '+' | '^' => true,
+                '<' => chars.get(j + 1) == Some(&'<'),
+                '>' => chars.get(j + 1) == Some(&'>'),
+                '.' => {
+                    let m: String = chars[j + 1..]
+                        .iter()
+                        .take_while(|&&c| is_ident_char(c))
+                        .collect();
+                    let mixing = ["wrapping_", "checked_", "overflowing_", "rotate_"]
+                        .iter()
+                        .any(|p| m.starts_with(p));
+                    if mixing {
+                        method = Some(m);
+                    }
+                    mixing
+                }
+                _ => false,
+            };
+        if before || after {
+            let msg = match method {
+                Some(m) => format!("`.{m}` on seed-provenance value `{word}`"),
+                None => format!("hand arithmetic on seed-provenance value `{word}`"),
+            };
+            fire(s, msg, out);
+        }
+    }
+
+    // 2. Seed-provenance values passed as *arguments* to integer-mixing
+    // methods (`epoch.wrapping_add(seed)` launders the seed through the
+    // receiver).
+    for meth in ["wrapping_", "checked_", "overflowing_", "rotate_"] {
+        let pat = format!(".{meth}");
+        for off in substr_occurrences(code, &pat) {
+            let mut j = off + pat.chars().count();
+            while j < chars.len() && is_ident_char(chars[j]) {
+                j += 1;
+            }
+            if chars.get(j) != Some(&'(') {
+                continue;
+            }
+            let close = paren_close(&chars, j);
+            let args: String = chars[j + 1..close.min(chars.len())].iter().collect();
+            let has_seed_arg = args
+                .split(|c: char| !is_ident_char(c))
+                .any(|w| !w.is_empty() && !w.starts_with(|c: char| c.is_ascii_digit()) && seedy(w));
+            if has_seed_arg {
+                fire(
+                    off + 1,
+                    format!("seed-provenance value passed to `{meth}…` integer mixing"),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// Matching `)` for the `(` at char offset `open`.
+fn paren_close(chars: &[char], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < chars.len() {
+        match chars[i] {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    chars.len().saturating_sub(1)
+}
+
+/// Matching `}` for the `{` at char offset `open`.
+fn brace_close(chars: &[char], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < chars.len() {
+        match chars[i] {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    chars.len().saturating_sub(1)
+}
+
+// ---------------------------------------------------------------------
+// Rule: unjournalled-mutation
+// ---------------------------------------------------------------------
+
+/// Body substrings that constitute a fact-storage write.
+const STORAGE_WRITES: [&str; 2] = [".slots", ".live"];
+
+/// Body substrings that reach the journal/epoch path: the primitive, or a
+/// delegation to one of the public mutators that call it.
+const JOURNAL_SIGNALS: [&str; 6] = [
+    "record_mutation(",
+    "self.insert(",
+    "self.restore(",
+    "self.delete(",
+    "self.delete_unchecked(",
+    "self.apply_mutation(",
+];
+
+fn unjournalled_mutation(
+    rel_path: &str,
+    src: &FileSource,
+    exempt: &[(usize, usize)],
+    index: &WorkspaceIndex,
+    out: &mut Vec<Finding>,
+) {
+    let code_lines: Vec<&str> = src.code.split('\n').collect();
+    for f in index.fns_in_file(rel_path) {
+        if f.impl_type.as_deref() != Some("Database") || f.receiver != Some(Receiver::RefMut) {
+            continue;
+        }
+        // 1-based line span of the body, `{` to `}`.
+        let Some((b0, b1)) = f.body else {
+            continue;
+        };
+        if in_exempt(exempt, f.line) {
+            continue;
+        }
+        let body = code_lines[b0.saturating_sub(1)..b1.min(code_lines.len())].join("\n");
+        if !STORAGE_WRITES.iter().any(|w| body.contains(w)) {
+            continue;
+        }
+        if JOURNAL_SIGNALS.iter().any(|s| body.contains(s)) {
+            continue;
+        }
+        let end_line = b1;
+        let col = src.raw_line(f.line).find("fn ").map_or(1, |b| b + 1);
+        out.push(Finding {
+            rule: Rule::UnjournalledMutation,
+            file: rel_path.to_string(),
+            line: f.line,
+            end_line,
+            col,
+            message: format!(
+                "`&mut self` method `{}` on `Database` writes fact storage \
+                 without journalling",
+                f.name
+            ),
+            snippet: src.raw_line(f.line).to_string(),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: manual-float-accumulation
+// ---------------------------------------------------------------------
+
+fn manual_float_accumulation(
+    rel_path: &str,
+    src: &FileSource,
+    exempt: &[(usize, usize)],
+    bindings: &Bindings,
+    index: &WorkspaceIndex,
+    out: &mut Vec<Finding>,
+) {
+    let code = &src.code;
+    let chars: Vec<char> = code.chars().collect();
+    for off in word_occurrences(code, "for") {
+        let tail: String = chars[off..].iter().take(400).collect();
+        let Some(in_pos) = tail.find(" in ") else {
+            continue;
+        };
+        let Some(brace_rel) = tail[in_pos..].find('{') else {
+            continue;
+        };
+        let expr = tail[in_pos + 4..in_pos + brace_rel].trim();
+        // A hash-ordered source: any tracked identifier in the expression,
+        // or a free-fn call the index knows returns a hash container.
+        let mut hashy = expr.split(|c: char| !is_ident_char(c)).any(|w| {
+            !w.is_empty() && !w.starts_with(|c: char| c.is_ascii_digit()) && bindings.is_hash(w)
+        });
+        if !hashy {
+            if let Some(p) = expr.find('(') {
+                let callee: String = expr[..p]
+                    .chars()
+                    .rev()
+                    .take_while(|&c| is_ident_char(c))
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .rev()
+                    .collect();
+                hashy =
+                    !callee.is_empty() && !expr[..p].contains('.') && index.returns_hash(&callee);
+            }
+        }
+        if !hashy {
+            continue;
+        }
+        let open = off + tail[..in_pos + brace_rel].chars().count();
+        let close = brace_close(&chars, open);
+        for op in ["+=", "-=", "*="] {
+            for o in substr_occurrences(code, op) {
+                if o <= open || o >= close {
+                    continue;
+                }
+                let Some(name) = receiver_ident(&chars, o) else {
+                    continue;
+                };
+                if !bindings.is_float(&name) {
+                    continue;
+                }
+                let (line, col) = src.line_col(o);
+                if in_exempt(exempt, line) {
+                    continue;
+                }
+                out.push(Finding {
+                    rule: Rule::ManualFloatAccumulation,
+                    file: rel_path.to_string(),
+                    line,
+                    end_line: line,
+                    col,
+                    message: format!(
+                        "float accumulator `{name}` updated with `{op}` inside a \
+                         loop over a hash-ordered source"
+                    ),
+                    snippet: src.raw_line(line).to_string(),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: panic-path
+// ---------------------------------------------------------------------
+
+/// Is the panic at `line` covered by a documented contract: a `PANICS:`
+/// comment on the line (or the contiguous comment block above), or a
+/// `# Panics` doc section on the enclosing fn?
+fn panic_documented(src: &FileSource, index: &WorkspaceIndex, rel_path: &str, line: usize) -> bool {
+    let marked = |c: &str| c.contains("PANICS:") || c.contains("# Panics");
+    if marked(src.comment_on(line)) {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        if marked(src.comment_on(l)) {
+            return true;
+        }
+        if !(src.code_blank(l) || src.attr_line(l)) {
+            break;
+        }
+    }
+    index
+        .enclosing_fn(rel_path, line)
+        .is_some_and(|f| f.doc_panics)
+}
+
+fn panic_path(
+    rel_path: &str,
+    src: &FileSource,
+    exempt: &[(usize, usize)],
+    bindings: &Bindings,
+    index: &WorkspaceIndex,
+    out: &mut Vec<Finding>,
+) {
+    let code = &src.code;
+    let chars: Vec<char> = code.chars().collect();
+
+    for (pat, what) in [
+        (".unwrap()", "`.unwrap()`"),
+        (".expect(", "`.expect(…)`"),
+        ("panic!", "`panic!` invocation"),
+    ] {
+        for off in substr_occurrences(code, pat) {
+            let anchor = if pat.starts_with('.') { off + 1 } else { off };
+            let (line, col) = src.line_col(anchor);
+            if in_exempt(exempt, line) || panic_documented(src, index, rel_path, line) {
+                continue;
+            }
+            out.push(Finding {
+                rule: Rule::PanicPath,
+                file: rel_path.to_string(),
+                line,
+                end_line: line,
+                col,
+                message: format!("{what} on a production compute path"),
+                snippet: src.raw_line(line).to_string(),
+            });
+        }
+    }
+
+    // Indexing with an integer literal: `xs[3]` panics unless the receiver
+    // is a fixed-size array the dataflow pass proved long enough.
+    let mut i = 0usize;
+    while i < chars.len() {
+        if chars[i] == '[' && i > 0 && is_ident_char(chars[i - 1]) {
+            let mut j = i + 1;
+            while j < chars.len() && chars[j].is_ascii_digit() {
+                j += 1;
+            }
+            if j > i + 1 && chars.get(j) == Some(&']') {
+                let lit: usize = chars[i + 1..j]
+                    .iter()
+                    .collect::<String>()
+                    .parse()
+                    .unwrap_or(0);
+                let proven = receiver_ident(&chars, i)
+                    .and_then(|r| bindings.array_len(&r))
+                    .is_some_and(|n| lit < n);
+                if !proven {
+                    let (line, col) = src.line_col(i);
+                    if !in_exempt(exempt, line) && !panic_documented(src, index, rel_path, line) {
+                        out.push(Finding {
+                            rule: Rule::PanicPath,
+                            file: rel_path.to_string(),
+                            line,
+                            end_line: line,
+                            col,
+                            message: format!(
+                                "literal index `[{lit}]` without a provable fixed-size \
+                                 array bound"
+                            ),
+                            snippet: src.raw_line(line).to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
 fn float_reduction(
     rel_path: &str,
     src: &FileSource,
-    test_lines: &[(usize, usize)],
+    exempt: &[(usize, usize)],
     out: &mut Vec<Finding>,
 ) {
     for pat in FLOAT_REDUCTIONS {
         for off in substr_occurrences(&src.code, pat) {
             let (line, col) = src.line_col(off + 1);
-            if in_test(test_lines, line) {
+            if in_exempt(exempt, line) {
                 continue;
             }
             out.push(Finding {
                 rule: Rule::UnfusedFloatReduction,
                 file: rel_path.to_string(),
                 line,
+                end_line: line,
                 col,
                 message: format!(
                     "float reduction `{}` outside the fixed-lane kernel layer",
